@@ -1,0 +1,13 @@
+let () =
+  let repo = Pkg.Repo_core.repo in
+  let roots = List.map Specs.Spec_parser.parse Pkg.Repo_core.e4s_roots in
+  let t0 = Unix.gettimeofday () in
+  match Concretize.Concretizer.solve ~repo roots with
+  | Concretize.Concretizer.Concrete s ->
+    let st = s.Concretize.Concretizer.sat_stats in
+    let p = s.Concretize.Concretizer.phases in
+    Printf.printf "unified: %.1fs (ground %.1f solve %.1f) conflicts=%d decisions=%d nodes=%d\n"
+      (Unix.gettimeofday () -. t0) p.Concretize.Concretizer.ground_time
+      p.Concretize.Concretizer.solve_time st.Asp.Sat.conflicts st.Asp.Sat.decisions
+      (List.length (Specs.Spec.concrete_nodes s.Concretize.Concretizer.spec))
+  | Concretize.Concretizer.Unsatisfiable _ -> print_endline "UNSAT"

@@ -1,0 +1,12 @@
+let () =
+  let repo = Pkg.Repo_core.repo in
+  List.iter
+    (fun root ->
+      let t0 = Unix.gettimeofday () in
+      match Concretize.Concretizer.solve_spec ~repo root with
+      | Concretize.Concretizer.Concrete s ->
+        let st = s.Concretize.Concretizer.sat_stats in
+        Printf.printf "%-20s %6.2fs conflicts=%d\n%!" root
+          (Unix.gettimeofday () -. t0) st.Asp.Sat.conflicts
+      | Concretize.Concretizer.Unsatisfiable _ -> Printf.printf "%-20s UNSAT\n%!" root)
+    [ "slepc"; "petsc"; "caliper"; "trilinos"; "hdf5" ]

@@ -1,0 +1,26 @@
+let () =
+  let repo = Pkg.Repo_core.repo in
+  let facts = Concretize.Facts.generate ~repo [ Specs.Spec_parser.parse "slepc" ] in
+  let lp = Asp.Parser.parse Concretize.Logic_program.text in
+  let ground, _ = Asp.Grounder.ground (lp @ facts.Concretize.Facts.statements) in
+  let t = Asp.Translate.translate ground in
+  Printf.printf "tight=%b vars=%d\n%!" t.Asp.Translate.tight (Asp.Sat.num_vars t.Asp.Translate.sat);
+  let n_checks = ref 0 and check_time = ref 0.0 in
+  let on_model sat =
+    ignore sat;
+    incr n_checks;
+    let t0 = Unix.gettimeofday () in
+    let r = Asp.Stable.check t in
+    check_time := !check_time +. (Unix.gettimeofday () -. t0);
+    r
+  in
+  let t0 = Unix.gettimeofday () in
+  (match Asp.Optimize.run t ~on_model with
+  | None -> print_endline "UNSAT"
+  | Some o ->
+    Printf.printf "solved in %.2fs; %d model-candidates, stable-checks %.2fs; costs nonzero: %s\n"
+      (Unix.gettimeofday () -. t0) !n_checks !check_time
+      (String.concat " "
+         (List.filter_map
+            (fun (p, v) -> if v <> 0 then Some (Printf.sprintf "%d@%d" v p) else None)
+            o.Asp.Optimize.costs)))

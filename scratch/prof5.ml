@@ -1,0 +1,41 @@
+let () =
+  let repo = Pkg.Repo_core.repo in
+  let facts = Concretize.Facts.generate ~repo [ Specs.Spec_parser.parse "slepc" ] in
+  let lp = Asp.Parser.parse Concretize.Logic_program.text in
+  let with_hints = Array.length Sys.argv > 1 in
+  let ground, _ = Asp.Grounder.ground (lp @ facts.Concretize.Facts.statements) in
+  let t = Asp.Translate.translate ground in
+  let store = ground.Asp.Ground.store in
+  if with_hints then begin
+    let fact_holds pred args =
+      match Asp.Gatom.Store.find store (Asp.Gatom.make pred args) with
+      | Some id -> Asp.Gatom.Store.is_fact store id
+      | None -> false
+    in
+    let zero = Asp.Term.Int 0 in
+    for id = 0 to Asp.Gatom.Store.count store - 1 do
+      let a = Asp.Gatom.Store.atom store id in
+      let preferred =
+        match (a.Asp.Gatom.pred, a.Asp.Gatom.args) with
+        | "attr", [ Asp.Term.Str "version"; p; v ] -> fact_holds "version_declared" [ p; v; zero ]
+        | "attr", [ Asp.Term.Str "variant_value"; p; var; value ] -> fact_holds "variant_default" [ p; var; value ]
+        | "attr", [ Asp.Term.Str "node_target"; _; tgt ] -> fact_holds "target_weight" [ tgt; zero ]
+        | "attr", [ Asp.Term.Str "node_os"; _; os ] -> fact_holds "os_weight" [ os; zero ]
+        | "attr", [ Asp.Term.Str "node_compiler_version"; _; c; v ] -> fact_holds "compiler_weight" [ c; v; zero ]
+        | "provider", [ v; p ] -> fact_holds "provider_weight" [ v; p; zero ]
+        | _ -> false
+      in
+      if preferred then
+        match Asp.Translate.atom_lit t id with
+        | Some l -> Asp.Sat.suggest_phase t.Asp.Translate.sat l
+        | None -> ()
+    done
+  end;
+  let t0 = Unix.gettimeofday () in
+  match Asp.Optimize.run t ~on_model:(Asp.Stable.hook t) with
+  | None -> print_endline "UNSAT"
+  | Some _ ->
+    let st = Asp.Sat.stats t.Asp.Translate.sat in
+    Printf.printf "hints=%b  %.2fs conflicts=%d decisions=%d pbprops=%d\n" with_hints
+      (Unix.gettimeofday () -. t0) st.Asp.Sat.conflicts st.Asp.Sat.decisions
+      st.Asp.Sat.pb_propagations

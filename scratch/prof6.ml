@@ -1,0 +1,19 @@
+let () =
+  let repo = Pkg.Repo_core.repo in
+  let roots = List.map Specs.Spec_parser.parse Pkg.Repo_core.e4s_roots in
+  List.iter
+    (fun strategy ->
+      let config = Asp.Config.make ~strategy () in
+      let t0 = Unix.gettimeofday () in
+      match Concretize.Concretizer.solve ~config ~repo roots with
+      | Concretize.Concretizer.Concrete s ->
+        let hdf5 = Specs.Spec.Node_map.find "hdf5" s.Concretize.Concretizer.spec.Specs.Spec.nodes in
+        Printf.printf "%s (%.1fs): hdf5 deps=%s costs=%s\n"
+          (match strategy with Asp.Config.Bb -> "bb " | Asp.Config.Usc -> "usc")
+          (Unix.gettimeofday () -. t0)
+          (String.concat "," hdf5.Specs.Spec.depends)
+          (String.concat " "
+             (List.filter_map (fun (p, v) -> if v <> 0 then Some (Printf.sprintf "%d@%d" v p) else None)
+                s.Concretize.Concretizer.costs))
+      | Concretize.Concretizer.Unsatisfiable _ -> print_endline "UNSAT")
+    [ Asp.Config.Usc; Asp.Config.Bb ]
