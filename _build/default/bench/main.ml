@@ -1,0 +1,581 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (plus the illustrative figures), printing the same rows/series
+   the paper reports.
+
+   Usage:
+     dune exec bench/main.exe                 # all experiments
+     dune exec bench/main.exe -- fig7d fig6   # a subset
+     dune exec bench/main.exe -- micro        # Bechamel micro-benchmarks
+     dune exec bench/main.exe -- --quick      # reduced sizes (CI-friendly)
+
+   Absolute times differ from the paper (different machine, OCaml solver vs
+   clingo); the reproduction targets are the *shapes*: cluster structure,
+   preset ordering, reuse counts, CDF shifts with buildcache size. *)
+
+let quick = ref false
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subsection title = Printf.printf "\n--- %s ---\n" title
+
+let repo = Pkg.Repo_core.repo
+
+(* ------------------------------------------------------------------ *)
+(* Small statistics helpers                                            *)
+(* ------------------------------------------------------------------ *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+let print_cdf name times =
+  let a = Array.of_list times in
+  Array.sort Float.compare a;
+  Printf.printf "%-32s n=%-4d" name (Array.length a);
+  List.iter
+    (fun p -> Printf.printf "  p%02.0f=%8.4fs" (p *. 100.) (percentile a p))
+    [ 0.10; 0.25; 0.50; 0.75; 0.90 ];
+  if Array.length a > 0 then Printf.printf "  max=%8.4fs" a.(Array.length a - 1);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Table I: spec sigils                                                *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  section "Table I: spec sigils (parser demonstration)";
+  Printf.printf "%-46s %s\n" "input" "parsed constraint";
+  List.iter
+    (fun s ->
+      let a = Specs.Spec_parser.parse s in
+      Printf.printf "%-46s %s\n" s (Specs.Spec.abstract_to_string a))
+    [
+      "hdf5%gcc";
+      "hdf5@1.10.2";
+      "hdf5%gcc@10.3.1";
+      "hdf5+mpi";
+      "hdf5~mpi";
+      "hdf5 mpi=true";
+      "hdf5 api=default";
+      "hdf5 target=skylake";
+      "hdf5@1.10.2 ^zlib%gcc ^cmake target=thunderx2";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 3: grounding and solving                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fig3 () =
+  section "Fig. 3: grounding and solving in ASP";
+  let src =
+    {|depends_on(a, c).
+depends_on(b, d).
+depends_on(c, d).
+node(D) :- node(P), depends_on(P, D).
+1 { node(a); node(b) }.|}
+  in
+  print_endline "Program:";
+  print_endline src;
+  let prog = Asp.Parser.parse src in
+  let ground, stats = Asp.Grounder.ground prog in
+  Printf.printf "\nGround instances (%d atoms, %d rules):\n"
+    stats.Asp.Grounder.possible_atoms stats.Asp.Grounder.ground_rules;
+  Printf.printf "%s" (Format.asprintf "%a" Asp.Ground.pp ground);
+  let models = Asp.Naive.stable_models prog in
+  Printf.printf "Stable models (%d):\n" (List.length models);
+  List.iter
+    (fun m ->
+      let nodes =
+        List.filter_map
+          (fun (a : Asp.Gatom.t) ->
+            if a.Asp.Gatom.pred = "node" then Some (Format.asprintf "%a" Asp.Gatom.pp a)
+            else None)
+          m
+      in
+      Printf.printf "  { %s }\n" (String.concat " " nodes))
+    models
+
+(* ------------------------------------------------------------------ *)
+(* Table II: optimization criteria                                     *)
+(* ------------------------------------------------------------------ *)
+
+let table2 () =
+  section "Table II: optimization criteria (priority order)";
+  List.iter (fun (i, name) -> Printf.printf "%4d  %s\n" i name) Concretize.Criteria.names;
+  subsection "objective vector of hdf5@1.10.2%gcc@8.5.0 (forces old version + compiler)";
+  match Concretize.Concretizer.solve_spec ~repo "hdf5@1.10.2%gcc@8.5.0" with
+  | Concretize.Concretizer.Unsatisfiable _ -> print_endline "UNSAT"
+  | Concretize.Concretizer.Concrete s ->
+    Printf.printf "%s"
+      (Format.asprintf "%a" Concretize.Criteria.pp_costs s.Concretize.Concretizer.costs)
+
+(* ------------------------------------------------------------------ *)
+(* Figs. 4-6: reuse                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let reuse_cache roots =
+  let db = Pkg.Database.create () in
+  Pkg.Buildcache_gen.populate ~repo ~combos:Pkg.Buildcache_gen.default_combos ~roots db;
+  db
+
+let fig6 () =
+  section "Fig. 6: concretization with and without reuse optimization";
+  let db = reuse_cache [ "hdf5"; "cmake"; "openmpi"; "zlib" ] in
+  Printf.printf "buildcache: %d installed specs\n" (Pkg.Database.size db);
+  (* a toolchain/target combination absent from the cache: exact-hash reuse
+     gets nothing, while the solver can still mix in installed nodes *)
+  let request = "hdf5+szip %gcc@8.5.0 target=skylake" in
+  Printf.printf "request: %s\n" request;
+  (* 6a: hash-based reuse on the greedy result *)
+  (match Concretize.Greedy.concretize_spec ~repo request with
+  | Concretize.Greedy.Error e ->
+    Printf.printf "greedy failed: %s\n" e.Concretize.Greedy.message
+  | Concretize.Greedy.Ok c ->
+    let nodes = Specs.Spec.concrete_nodes c in
+    let hits =
+      List.length
+        (List.filter
+           (fun (n : Specs.Spec.concrete_node) ->
+             Pkg.Database.find db (Specs.Spec.node_hash c n.Specs.Spec.name) <> None)
+           nodes)
+    in
+    Printf.printf "(a) hash-based reuse : %d/%d hits -> %d to install\n" hits
+      (List.length nodes)
+      (List.length nodes - hits));
+  (* 6b: solving for reuse *)
+  match Concretize.Concretizer.solve_spec ~repo ~installed:db request with
+  | Concretize.Concretizer.Unsatisfiable _ -> print_endline "UNSAT"
+  | Concretize.Concretizer.Concrete s ->
+    Printf.printf "(b) solving for reuse: %d reused, %d to build (%s)\n"
+      (List.length s.Concretize.Concretizer.reused)
+      (List.length s.Concretize.Concretizer.built)
+      (String.concat ", " s.Concretize.Concretizer.built)
+
+let fig5 () =
+  section "Fig. 5: two-bucket objective vector of a mixed solve";
+  let db = reuse_cache [ "zlib"; "cmake" ] in
+  match Concretize.Concretizer.solve_spec ~repo ~installed:db "h5utils" with
+  | Concretize.Concretizer.Unsatisfiable _ -> print_endline "UNSAT"
+  | Concretize.Concretizer.Concrete s ->
+    Printf.printf "%d reused, %d built; objective vector (highest priority first):\n"
+      (List.length s.Concretize.Concretizer.reused)
+      (List.length s.Concretize.Concretizer.built);
+    Printf.printf "%s"
+      (Format.asprintf "%a"
+         (fun ppf costs ->
+           List.iter (fun pv -> Format.fprintf ppf "  %a@." Concretize.Criteria.pp_cost pv) costs)
+         s.Concretize.Concretizer.costs)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 7a-c: solve times vs. possible dependencies                    *)
+(* ------------------------------------------------------------------ *)
+
+type row = {
+  pkg : string;
+  possible : int;
+  ground_t : float;
+  solve_t : float;
+  total_t : float;
+}
+
+let solve_rows ?config ?installed names =
+  List.filter_map
+    (fun pkg ->
+      match Concretize.Concretizer.solve_spec ?config ?installed ~repo pkg with
+      | Concretize.Concretizer.Concrete s ->
+        let p = s.Concretize.Concretizer.phases in
+        Some
+          {
+            pkg;
+            possible = s.Concretize.Concretizer.n_possible;
+            ground_t = p.Concretize.Concretizer.ground_time;
+            solve_t = p.Concretize.Concretizer.solve_time;
+            total_t = Concretize.Concretizer.total p;
+          }
+      | Concretize.Concretizer.Unsatisfiable _ -> None
+      | exception Concretize.Facts.Unknown_package _ -> None)
+    names
+
+let sample names = if !quick then List.filteri (fun i _ -> i mod 4 = 0) names else names
+
+let fig7abc () =
+  section "Fig. 7a-c: ground/solve/total times vs. number of possible dependencies";
+  let rows = solve_rows (sample (Pkg.Repo.package_names repo)) in
+  Printf.printf "%-20s %10s %10s %10s %10s\n" "package" "poss.deps" "ground(s)" "solve(s)"
+    "total(s)";
+  List.iter
+    (fun r ->
+      Printf.printf "%-20s %10d %10.3f %10.3f %10.3f\n" r.pkg r.possible r.ground_t
+        r.solve_t r.total_t)
+    (List.sort (fun a b -> Int.compare a.possible b.possible) rows);
+  (* the paper's observation: a bimodal split between packages that can
+     reach the MPI hub and those that cannot *)
+  let small = List.filter (fun r -> r.possible < 20) rows in
+  let large = List.filter (fun r -> r.possible >= 20) rows in
+  let avg f l =
+    List.fold_left (fun a r -> a +. f r) 0.0 l /. float_of_int (max 1 (List.length l))
+  in
+  subsection "cluster summary (the paper's bimodal split)";
+  Printf.printf
+    "cluster A (cannot reach MPI): %3d packages, avg poss.deps %5.1f, avg total %6.3fs\n"
+    (List.length small)
+    (avg (fun r -> float_of_int r.possible) small)
+    (avg (fun r -> r.total_t) small);
+  Printf.printf
+    "cluster B (can reach MPI)   : %3d packages, avg poss.deps %5.1f, avg total %6.3fs\n"
+    (List.length large)
+    (avg (fun r -> float_of_int r.possible) large)
+    (avg (fun r -> r.total_t) large);
+  let amax = List.fold_left (fun acc r -> max acc r.possible) 0 small in
+  let bmin = List.fold_left (fun acc r -> min acc r.possible) max_int large in
+  Printf.printf "gap between clusters        : %d .. %d possible dependencies\n" amax bmin
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 7d: preset comparison (tweety / trendy / handy)                *)
+(* ------------------------------------------------------------------ *)
+
+let fig7d () =
+  section "Fig. 7d: cumulative distribution of full solve times per preset";
+  let names = sample (Pkg.Repo.package_names repo) in
+  List.iter
+    (fun preset ->
+      let config = Asp.Config.make ~preset () in
+      let rows = solve_rows ~config names in
+      print_cdf (Asp.Config.preset_name preset) (List.map (fun r -> r.total_t) rows))
+    [ Asp.Config.Tweety; Asp.Config.Trendy; Asp.Config.Handy ];
+  subsection "ground times are preset-independent";
+  List.iter
+    (fun preset ->
+      let config = Asp.Config.make ~preset () in
+      let rows = solve_rows ~config names in
+      print_cdf
+        (Asp.Config.preset_name preset ^ " (ground only)")
+        (List.map (fun r -> r.ground_t) rows))
+    [ Asp.Config.Tweety; Asp.Config.Trendy; Asp.Config.Handy ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 7e-g: reuse with growing buildcaches                           *)
+(* ------------------------------------------------------------------ *)
+
+let fig7efg () =
+  section "Fig. 7e-g: solve times of E4S roots with increasing buildcache";
+  let db = Pkg.Database.create () in
+  let variations = if !quick then 2 else 3 in
+  Pkg.Buildcache_gen.populate ~variations ~repo
+    ~combos:Pkg.Buildcache_gen.default_combos ~roots:Pkg.Repo_core.e4s_roots db;
+  let is_family fam (r : Pkg.Database.record) =
+    match Specs.Target.find r.Pkg.Database.target with
+    | Some t -> String.equal t.Specs.Target.family fam
+    | None -> false
+  in
+  let slices =
+    [
+      ("full buildcache", db);
+      ("x86_64 only", Pkg.Database.filter db ~f:(is_family "x86_64"));
+      ("rhel8 only", Pkg.Database.filter db ~f:(fun r -> r.Pkg.Database.os = "rhel8"));
+      ( "x86_64 + rhel8",
+        Pkg.Database.filter db ~f:(fun r ->
+            is_family "x86_64" r && r.Pkg.Database.os = "rhel8") );
+    ]
+  in
+  let roots =
+    if !quick then List.filteri (fun i _ -> i mod 3 = 0) Pkg.Repo_core.e4s_roots
+    else Pkg.Repo_core.e4s_roots
+  in
+  List.iter
+    (fun (name, slice) ->
+      let label = Printf.sprintf "%s (%d specs)" name (Pkg.Database.size slice) in
+      let rows = solve_rows ~installed:slice roots in
+      print_cdf label (List.map (fun r -> r.total_t) rows);
+      let setup = List.map (fun r -> r.total_t -. r.ground_t -. r.solve_t) rows in
+      let solve = List.map (fun r -> r.solve_t) rows in
+      let avg l = List.fold_left ( +. ) 0. l /. float_of_int (max 1 (List.length l)) in
+      Printf.printf "%-32s      avg setup=%.3fs avg solve=%.3fs\n" "" (avg setup)
+        (avg solve))
+    slices
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 7h: old (greedy) vs. new (ASP) concretizer                     *)
+(* ------------------------------------------------------------------ *)
+
+let fig7h () =
+  section "Fig. 7h: cumulative distribution, old concretizer vs clingo-style solver";
+  let names = sample (Pkg.Repo.package_names repo) in
+  let greedy_times =
+    List.filter_map
+      (fun pkg ->
+        let t0 = Unix.gettimeofday () in
+        match Concretize.Greedy.concretize_spec ~repo pkg with
+        | Concretize.Greedy.Ok _ -> Some (Unix.gettimeofday () -. t0)
+        | Concretize.Greedy.Error _ -> None)
+      names
+  in
+  let asp_rows = solve_rows names in
+  print_cdf "old concretizer (greedy)" greedy_times;
+  print_cdf "ASP solver (tweety)" (List.map (fun r -> r.total_t) asp_rows);
+  Printf.printf "\nnote: greedy solved %d/%d packages; the ASP solver solved %d/%d\n"
+    (List.length greedy_times) (List.length names) (List.length asp_rows)
+    (List.length names)
+
+(* ------------------------------------------------------------------ *)
+(* Usability scenarios of §V-B (completeness demonstrations)           *)
+(* ------------------------------------------------------------------ *)
+
+let usability () =
+  section "Section V-B: usability improvements (greedy vs ASP)";
+  let scenarios =
+    [
+      (repo, "conditional dependency (V-B.1)", "hpctoolkit ^mpich");
+      (repo, "conflict handling (V-B.2)", "example target=thunderx2");
+      (repo, "provider specialization (V-B.3)", "berkeleygw+openmp");
+    ]
+  in
+  (* III-C.2's bzip2 anecdote needs two dependents with crossing version
+     bounds; reconstructed on a minimal repository *)
+  let mini =
+    Pkg.Repo.make
+      [
+        Pkg.Package.make "dep" [ Pkg.Package.version "1.0.8"; Pkg.Package.version "1.0.7" ];
+        Pkg.Package.make "liba"
+          [ Pkg.Package.version "1.0"; Pkg.Package.depends_on "dep@1.0.7:" ];
+        Pkg.Package.make "libb"
+          [ Pkg.Package.version "1.0"; Pkg.Package.depends_on "dep@:1.0.7" ];
+        Pkg.Package.make "app"
+          [
+            Pkg.Package.version "1.0";
+            Pkg.Package.depends_on "liba";
+            Pkg.Package.depends_on "libb";
+          ];
+      ]
+  in
+  let scenarios = scenarios @ [ (mini, "backtracking versions (III-C.2)", "app") ] in
+  Printf.printf "%-36s %-28s %s\n" "scenario" "greedy" "ASP";
+  List.iter
+    (fun (repo, name, spec) ->
+      let greedy =
+        match Concretize.Greedy.concretize_spec ~repo spec with
+        | Concretize.Greedy.Ok _ -> "solved"
+        | Concretize.Greedy.Error _ -> "FAILED (asks user to fix)"
+      in
+      let asp =
+        match Concretize.Concretizer.solve_spec ~repo spec with
+        | Concretize.Concretizer.Concrete _ -> "solved"
+        | Concretize.Concretizer.Unsatisfiable _ -> "proven unsatisfiable"
+      in
+      Printf.printf "%-36s %-28s %s\n" name greedy asp)
+    scenarios
+
+(* ------------------------------------------------------------------ *)
+(* Scaling on synthetic repositories (supplementary)                   *)
+(* ------------------------------------------------------------------ *)
+
+let scaling () =
+  section "Scaling: unified environment solves on synthetic repositories";
+  Printf.printf "%-12s %8s %7s %9s %10s %10s %10s %8s\n" "target size" "pkgs" "roots"
+    "facts" "ground(s)" "solve(s)" "total(s)" "nodes";
+  let sizes = if !quick then [ 100; 300 ] else [ 100; 300; 600; 1200 ] in
+  List.iter
+    (fun n ->
+      let sr = Pkg.Repo_synth.repo (Pkg.Repo_synth.scaled n) in
+      (* a whole-stack solve: every application root concretized in one DAG,
+         like a large Spack environment *)
+      let roots =
+        List.filter
+          (fun p -> String.length p > 3 && String.sub p 0 3 = "app")
+          (Pkg.Repo.package_names sr)
+        |> List.map Specs.Spec_parser.parse
+      in
+      match Concretize.Concretizer.solve ~repo:sr roots with
+      | Concretize.Concretizer.Concrete s ->
+        let p = s.Concretize.Concretizer.phases in
+        Printf.printf "%-12d %8d %7d %9d %10.3f %10.3f %10.3f %8d\n" n
+          (Pkg.Repo.size sr) (List.length roots) s.Concretize.Concretizer.n_facts
+          p.Concretize.Concretizer.ground_time p.Concretize.Concretizer.solve_time
+          (Concretize.Concretizer.total p)
+          (List.length (Specs.Spec.concrete_nodes s.Concretize.Concretizer.spec))
+      | Concretize.Concretizer.Unsatisfiable _ -> Printf.printf "%-12d UNSAT\n" n)
+    sizes
+
+(* ------------------------------------------------------------------ *)
+(* Multi-shot vs unified stack concretization                          *)
+(* ------------------------------------------------------------------ *)
+
+let multishot () =
+  section "Multi-shot vs unified concretization (the paper's closing remark)";
+  let roots = List.map Specs.Spec_parser.parse Pkg.Repo_core.e4s_roots in
+  (* unified: one combinatorial solve, globally optimal *)
+  (match Concretize.Concretizer.solve ~repo roots with
+  | Concretize.Concretizer.Concrete s ->
+    let p = s.Concretize.Concretizer.phases in
+    Printf.printf
+      "unified   : %d roots -> %d nodes in %.2fs (one configuration per package)\n"
+      (List.length roots)
+      (List.length (Specs.Spec.concrete_nodes s.Concretize.Concretizer.spec))
+      (Concretize.Concretizer.total p)
+  | Concretize.Concretizer.Unsatisfiable _ -> print_endline "unified: UNSAT");
+  (* multi-shot: divide and conquer, later shots reuse earlier results *)
+  let ms = Concretize.Multishot.solve_stack ~repo roots in
+  let solved =
+    List.length
+      (List.filter
+         (fun sh ->
+           match sh.Concretize.Multishot.shot_result with
+           | Concretize.Concretizer.Concrete _ -> true
+           | Concretize.Concretizer.Unsatisfiable _ -> false)
+         ms.Concretize.Multishot.shots)
+  in
+  Printf.printf "multi-shot: %d/%d roots -> %d installed specs in %.2fs\n" solved
+    (List.length roots)
+    (Pkg.Database.size ms.Concretize.Multishot.db)
+    ms.Concretize.Multishot.total_time;
+  (match ms.Concretize.Multishot.distinct_configs with
+  | [] -> print_endline "            no duplicated configurations (as good as unified)"
+  | dups ->
+    Printf.printf
+      "            'slightly less optimal': %d package(s) got several configs: %s\n"
+      (List.length dups)
+      (String.concat ", " (List.map (fun (n, k) -> Printf.sprintf "%s(%d)" n k) dups)));
+  (* how the trade-off looks at scale: one big combinatorial solve vs a sum
+     of many small reuse solves *)
+  subsection "at scale (synthetic repository)";
+  let n = if !quick then 300 else 900 in
+  let sr = Pkg.Repo_synth.repo (Pkg.Repo_synth.scaled n) in
+  let roots =
+    List.filter
+      (fun p -> String.length p > 3 && String.sub p 0 3 = "app")
+      (Pkg.Repo.package_names sr)
+    |> List.map Specs.Spec_parser.parse
+  in
+  (match Concretize.Concretizer.solve ~repo:sr roots with
+  | Concretize.Concretizer.Concrete s ->
+    Printf.printf "unified   : %d roots, %d packages -> %.2fs\n" (List.length roots)
+      (Pkg.Repo.size sr)
+      (Concretize.Concretizer.total s.Concretize.Concretizer.phases)
+  | Concretize.Concretizer.Unsatisfiable _ -> print_endline "unified: UNSAT");
+  let ms = Concretize.Multishot.solve_stack ~repo:sr roots in
+  Printf.printf "multi-shot: %.2fs, %d package(s) with several configs\n"
+    ms.Concretize.Multishot.total_time
+    (List.length ms.Concretize.Multishot.distinct_configs)
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: optimization strategy (bb vs usc,one)                     *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  section "Ablation: model-guided (bb) vs core-guided (usc,one) optimization";
+  let names = sample (Pkg.Repo.package_names repo) in
+  List.iter
+    (fun (label, strategy) ->
+      let config = Asp.Config.make ~strategy () in
+      let rows = solve_rows ~config names in
+      print_cdf label (List.map (fun r -> r.total_t) rows))
+    [ ("bb (branch-and-bound)", Asp.Config.Bb); ("usc,one (core-guided)", Asp.Config.Usc) ];
+  print_endline
+    "(the paper selects clingo's unsatisfiable-core-guided strategy usc,one;\n\
+    \ the same ordering shows here)"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  section "Bechamel micro-benchmarks (hot kernels)";
+  let open Bechamel in
+  let lp = Concretize.Logic_program.text in
+  let facts =
+    lazy
+      (Concretize.Facts.generate ~repo [ Specs.Spec_parser.parse "hdf5" ])
+        .Concretize.Facts.statements
+  in
+  let full_program = lazy (Asp.Parser.parse lp @ Lazy.force facts) in
+  let ground = lazy (fst (Asp.Grounder.ground (Lazy.force full_program))) in
+  let tests =
+    [
+      Test.make ~name:"spec-parse"
+        (Staged.stage (fun () ->
+             ignore
+               (Specs.Spec_parser.parse
+                  "hdf5@1.10.2+mpi%gcc@10.3.1 ^zlib@1.2.8: target=skylake")));
+      Test.make ~name:"version-compare"
+        (Staged.stage (fun () ->
+             ignore
+               (Specs.Version.compare
+                  (Specs.Version.of_string "1.10.2")
+                  (Specs.Version.of_string "1.9.30"))));
+      Test.make ~name:"lp-parse (load)"
+        (Staged.stage (fun () -> ignore (Asp.Parser.parse lp)));
+      Test.make ~name:"fact-gen hdf5 (setup)"
+        (Staged.stage (fun () ->
+             ignore (Concretize.Facts.generate ~repo [ Specs.Spec_parser.parse "hdf5" ])));
+      Test.make ~name:"ground hdf5 (ground)"
+        (Staged.stage (fun () -> ignore (Asp.Grounder.ground (Lazy.force full_program))));
+      Test.make ~name:"solve hdf5 (solve)"
+        (Staged.stage (fun () ->
+             let t = Asp.Translate.translate (Lazy.force ground) in
+             ignore (Asp.Optimize.run t ~on_model:(Asp.Stable.hook t))));
+    ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let benchmark test =
+    let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) () in
+    Benchmark.all cfg [ instance ] test
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  List.iter
+    (fun t ->
+      let results = benchmark t in
+      let a = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name o ->
+          match Analyze.OLS.estimates o with
+          | Some [ est ] -> Printf.printf "%-32s %14.0f ns/run\n" name est
+          | _ -> Printf.printf "%-32s (no estimate)\n" name)
+        a)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("table1", table1);
+    ("fig3", fig3);
+    ("table2", table2);
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("usability", usability);
+    ("fig7abc", fig7abc);
+    ("fig7d", fig7d);
+    ("fig7efg", fig7efg);
+    ("fig7h", fig7h);
+    ("scaling", scaling);
+    ("multishot", multishot);
+    ("ablation", ablation);
+    ("micro", micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--quick" then begin
+          quick := true;
+          false
+        end
+        else true)
+      args
+  in
+  let to_run = match args with [] -> List.map fst experiments | names -> names in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown experiment %s (available: %s)\n" name
+          (String.concat ", " (List.map fst experiments));
+        exit 2)
+    to_run;
+  Printf.printf "\nall experiments completed in %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,86 @@
+(* asp_run: a clingo-like command-line front end for the ASP engine.
+
+   Reads a logic program from files (or stdin with "-"), prints the optimal
+   stable model, its cost vector and solver statistics. *)
+
+open Cmdliner
+
+let read_file = function
+  | "-" -> In_channel.input_all In_channel.stdin
+  | path -> In_channel.with_open_text path In_channel.input_all
+
+let run files preset show_stats nmodels =
+  let preset =
+    match Asp.Config.preset_of_name preset with
+    | Some p -> p
+    | None ->
+      Printf.eprintf "unknown preset %s\n" preset;
+      exit 2
+  in
+  let config = Asp.Config.make ~preset () in
+  let src = String.concat "\n" (List.map read_file files) in
+  match Asp.Solve.solve_text ~config src with
+  | exception Asp.Parser.Error (msg, line) ->
+    Printf.eprintf "syntax error on line %d: %s\n" line msg;
+    exit 2
+  | exception Asp.Grounder.Error msg ->
+    Printf.eprintf "grounding error: %s\n" msg;
+    exit 2
+  | Asp.Solve.Unsat { ground_time; solve_time } ->
+    print_endline "UNSATISFIABLE";
+    if show_stats then
+      Printf.printf "Time: ground %.3fs, solve %.3fs\n" ground_time solve_time;
+    exit 1
+  | Asp.Solve.Sat o ->
+    (if nmodels <> 1 then begin
+       let limit = if nmodels = 0 then max_int else nmodels in
+       let models = Asp.Solve.enumerate ~config ~limit (Asp.Parser.parse src) in
+       List.iteri
+         (fun i m ->
+           Printf.printf "Answer: %d\n" (i + 1);
+           List.iter (fun a -> Format.printf "%a " Asp.Gatom.pp a) m;
+           Format.printf "@.")
+         models
+     end
+     else begin
+       print_endline "Answer: 1";
+       List.iter (fun a -> Format.printf "%a " Asp.Gatom.pp a) o.Asp.Solve.answer;
+       Format.printf "@."
+     end);
+    if o.Asp.Solve.costs <> [] then begin
+      print_string "Optimization:";
+      List.iter (fun (p, v) -> Printf.printf " %d@%d" v p) o.Asp.Solve.costs;
+      print_newline ()
+    end;
+    print_endline "SATISFIABLE";
+    if show_stats then begin
+      let s = o.Asp.Solve.sat_stats in
+      Printf.printf "Atoms      : %d possible\n" o.Asp.Solve.ground_stats.Asp.Grounder.possible_atoms;
+      Printf.printf "Rules      : %d ground\n" o.Asp.Solve.ground_stats.Asp.Grounder.ground_rules;
+      Printf.printf "Models     : %d enumerated\n" o.Asp.Solve.models_enumerated;
+      Printf.printf "Conflicts  : %d\n" s.Asp.Sat.conflicts;
+      Printf.printf "Decisions  : %d\n" s.Asp.Sat.decisions;
+      Printf.printf "Restarts   : %d\n" s.Asp.Sat.restarts;
+      Printf.printf "Time       : ground %.3fs, solve %.3fs\n" o.Asp.Solve.ground_time
+        o.Asp.Solve.solve_time
+    end
+
+let files =
+  Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE" ~doc:"Logic program files ('-' for stdin).")
+
+let preset =
+  Arg.(value & opt string "tweety" & info [ "preset"; "c" ] ~docv:"PRESET"
+         ~doc:"Solver configuration preset (frumpy|jumpy|tweety|trendy|crafty|handy).")
+
+let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print solver statistics.")
+
+let nmodels =
+  Arg.(value & opt int 1 & info [ "models"; "n" ] ~docv:"N"
+         ~doc:"Enumerate up to N (optimal) stable models (0 = all).")
+
+let cmd =
+  let doc = "ground and solve an answer set program" in
+  Cmd.v (Cmd.info "asp_run" ~doc)
+    Term.(const run $ files $ preset $ stats $ nmodels)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,191 @@
+(* spack_solve: concretize specs against the bundled repository, in the
+   style of `spack spec` / `spack solve`. *)
+
+open Cmdliner
+
+let pick_repo = function
+  | "core" -> Pkg.Repo_core.repo
+  | s -> (
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Pkg.Repo_synth.repo (Pkg.Repo_synth.scaled n)
+    | _ ->
+      Printf.eprintf "unknown repo %S (use 'core' or a package count)\n" s;
+      exit 2)
+
+let print_phases (p : Concretize.Concretizer.phases) =
+  Printf.printf
+    "Phases: setup %.3fs, load %.3fs, ground %.3fs, solve %.3fs (total %.3fs)\n"
+    p.Concretize.Concretizer.setup_time p.Concretize.Concretizer.load_time
+    p.Concretize.Concretizer.ground_time p.Concretize.Concretizer.solve_time
+    (Concretize.Concretizer.total p)
+
+let solve_one repo config installed show_stats greedy validate spec_text =
+  if greedy then begin
+    match Concretize.Greedy.concretize_spec ~repo spec_text with
+    | Concretize.Greedy.Ok c ->
+      Format.printf "%a@." Specs.Spec.pp_concrete c;
+      0
+    | Concretize.Greedy.Error e ->
+      Printf.eprintf "Error: %s\n" e.Concretize.Greedy.message;
+      (match e.Concretize.Greedy.hint with
+      | Some h -> Printf.eprintf "Hint: %s\n" h
+      | None -> ());
+      1
+  end
+  else
+    match Concretize.Concretizer.solve_spec ~config ?installed ~repo spec_text with
+    | exception Concretize.Facts.Unknown_package p ->
+      Printf.eprintf "Error: unknown package %s\n" p;
+      2
+    | Concretize.Concretizer.Unsatisfiable { phases; n_facts; n_possible; reasons } ->
+      Printf.printf "UNSATISFIABLE: no valid configuration of %s exists\n" spec_text;
+      List.iter (Printf.printf "  possible cause: %s\n") reasons;
+      if show_stats then begin
+        Printf.printf "Facts: %d, possible dependencies: %d\n" n_facts n_possible;
+        print_phases phases
+      end;
+      1
+    | Concretize.Concretizer.Concrete s ->
+      Format.printf "%a@." Specs.Spec.pp_concrete s.Concretize.Concretizer.spec;
+      if validate then begin
+        match Concretize.Validate.check ~repo s.Concretize.Concretizer.spec with
+        | [] -> print_endline "validated: ok"
+        | vs ->
+          List.iter
+            (fun v -> Format.printf "VIOLATION %a@." Concretize.Validate.pp_violation v)
+            vs
+      end;
+      if s.Concretize.Concretizer.reused <> [] then begin
+        Printf.printf "\n%d installed package(s) reused, %d to build\n"
+          (List.length s.Concretize.Concretizer.reused)
+          (List.length s.Concretize.Concretizer.built);
+        List.iter
+          (fun (p, h) -> Printf.printf "  [%s]  %s\n" (String.sub h 0 8) p)
+          s.Concretize.Concretizer.reused
+      end;
+      if show_stats then begin
+        Printf.printf "Facts: %d, possible dependencies: %d, logic program: %d lines\n"
+          s.Concretize.Concretizer.n_facts s.Concretize.Concretizer.n_possible
+          Concretize.Logic_program.line_count;
+        let g = s.Concretize.Concretizer.ground_stats in
+        Printf.printf "Ground: %d atoms, %d rules\n" g.Asp.Grounder.possible_atoms
+          g.Asp.Grounder.ground_rules;
+        let st = s.Concretize.Concretizer.sat_stats in
+        Printf.printf "Search: %d conflicts, %d decisions, %d restarts\n"
+          st.Asp.Sat.conflicts st.Asp.Sat.decisions st.Asp.Sat.restarts;
+        Printf.printf "Optimization vector (priority, value):";
+        List.iter (fun (p, v) -> Printf.printf " (%d,%d)" p v)
+          (List.filter (fun (_, v) -> v <> 0) s.Concretize.Concretizer.costs);
+        print_newline ();
+        print_phases s.Concretize.Concretizer.phases
+      end;
+      0
+
+let run_multishot repo config installed specs =
+  let roots = List.map Specs.Spec_parser.parse specs in
+  let ms = Concretize.Multishot.solve_stack ~config ?installed ~repo roots in
+  List.iter
+    (fun (sh : Concretize.Multishot.shot) ->
+      match sh.Concretize.Multishot.shot_result with
+      | Concretize.Concretizer.Concrete s ->
+        Printf.printf "%-24s -> %s  (%d reused, %d built)
+"
+          sh.Concretize.Multishot.shot_root
+          (Specs.Spec.concrete_node_to_string
+             (Specs.Spec.concrete_root s.Concretize.Concretizer.spec))
+          (List.length s.Concretize.Concretizer.reused)
+          (List.length s.Concretize.Concretizer.built)
+      | Concretize.Concretizer.Unsatisfiable _ ->
+        Printf.printf "%-24s -> UNSATISFIABLE
+" sh.Concretize.Multishot.shot_root)
+    ms.Concretize.Multishot.shots;
+  Printf.printf "
+%d specs installed in %.2fs" (Pkg.Database.size ms.Concretize.Multishot.db)
+    ms.Concretize.Multishot.total_time;
+  (match ms.Concretize.Multishot.distinct_configs with
+  | [] -> print_endline "; every package has a single configuration"
+  | dups ->
+    Printf.printf "; %d package(s) duplicated: %s
+" (List.length dups)
+      (String.concat ", " (List.map fst dups)));
+  exit 0
+
+let run repo_name preset specs show_stats greedy multishot validate reuse_roots cache_size =
+  let repo = pick_repo repo_name in
+  let preset =
+    match Asp.Config.preset_of_name preset with
+    | Some p -> p
+    | None ->
+      Printf.eprintf "unknown preset %s\n" preset;
+      exit 2
+  in
+  let config = Asp.Config.make ~preset () in
+  let installed =
+    match reuse_roots with
+    | [] -> None
+    | roots ->
+      let db = Pkg.Buildcache_gen.quick ~repo ~roots cache_size in
+      Printf.printf "Populated a synthetic buildcache with %d installed specs\n\n"
+        (Pkg.Database.size db);
+      Some db
+  in
+  if multishot then run_multishot repo config installed specs;
+  let rc =
+    List.fold_left
+      (fun rc spec ->
+        max rc (solve_one repo config installed show_stats greedy validate spec))
+      0 specs
+  in
+  exit rc
+
+let specs =
+  Arg.(non_empty & pos_all string [] & info [] ~docv:"SPEC" ~doc:"Abstract specs to concretize.")
+
+let repo_name =
+  Arg.(value & opt string "core" & info [ "repo" ] ~docv:"REPO"
+         ~doc:"Repository: 'core' (bundled HPC packages) or an integer for a synthetic repository of roughly that many packages.")
+
+let preset =
+  Arg.(value & opt string "tweety" & info [ "preset" ] ~docv:"PRESET"
+         ~doc:"clingo-style solver preset (tweety|trendy|handy|frumpy|jumpy|crafty).")
+
+let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print solver phases and statistics.")
+
+let greedy =
+  Arg.(value & flag & info [ "greedy" ] ~doc:"Use the original greedy concretizer instead of the ASP solver.")
+
+let multishot =
+  Arg.(value & flag & info [ "multishot" ]
+         ~doc:"Concretize the specs one at a time, reusing earlier results (divide and conquer).")
+
+let validate =
+  Arg.(value & flag & info [ "validate" ]
+         ~doc:"Audit the result against the repository (the validity checklist of Section III-C.1).")
+
+let reuse_roots =
+  Arg.(value & opt (list string) [] & info [ "reuse" ] ~docv:"ROOTS"
+         ~doc:"Enable reuse against a synthetic buildcache populated from these comma-separated root packages.")
+
+let cache_size =
+  Arg.(value & opt int 500 & info [ "cache-size" ] ~docv:"N"
+         ~doc:"Approximate number of installed specs in the synthetic buildcache.")
+
+let cmd =
+  let doc = "concretize package specs with the ASP-based dependency solver" in
+  let man =
+    [
+      `S Manpage.s_examples;
+      `P "Concretize HDF5 with full statistics:";
+      `Pre "  spack_solve --stats hdf5";
+      `P "The paper's conditional-dependency example (Section V-B.1):";
+      `Pre "  spack_solve 'hpctoolkit ^mpich'\n  spack_solve --greedy 'hpctoolkit ^mpich'";
+      `P "Reuse against a synthetic buildcache (Section VI):";
+      `Pre "  spack_solve --reuse hdf5,cmake --stats hdf5";
+    ]
+  in
+  Cmd.v (Cmd.info "spack_solve" ~doc ~man)
+    Term.(
+      const run $ repo_name $ preset $ specs $ stats $ greedy $ multishot $ validate
+      $ reuse_roots $ cache_size)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/conditional_deps.ml: Concretize Format List Option Pkg Printf Specs

@@ -1,0 +1,1 @@
+examples/conditional_deps.mli:

@@ -1,0 +1,1 @@
+examples/e4s_stack.ml: Concretize List Pkg Printf Specs

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Concretize Format List Pkg Printf Specs

@@ -1,0 +1,1 @@
+examples/reuse_demo.ml: Concretize Format List Pkg Printf Specs String

@@ -1,0 +1,1 @@
+examples/reuse_demo.mli:

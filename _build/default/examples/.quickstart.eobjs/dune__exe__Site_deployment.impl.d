@@ -1,0 +1,1 @@
+examples/site_deployment.ml: Concretize Format List Pkg Printf Specs

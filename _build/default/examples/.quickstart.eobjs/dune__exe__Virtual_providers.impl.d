@@ -1,0 +1,1 @@
+examples/virtual_providers.ml: Concretize List Option Pkg Printf Specs String

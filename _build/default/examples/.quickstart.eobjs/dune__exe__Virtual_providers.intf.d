@@ -1,0 +1,1 @@
+examples/virtual_providers.mli:

@@ -1,0 +1,1 @@
+lib/asp/ast.ml: Format List Term

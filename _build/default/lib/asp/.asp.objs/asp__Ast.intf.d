@@ -1,0 +1,1 @@
+lib/asp/ast.mli: Format Term

@@ -1,0 +1,1 @@
+lib/asp/config.mli: Sat

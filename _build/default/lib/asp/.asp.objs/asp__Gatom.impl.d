@@ -1,0 +1,1 @@
+lib/asp/gatom.ml: Format Hashtbl List String Term Vec

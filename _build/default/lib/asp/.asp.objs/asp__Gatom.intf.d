@@ -1,0 +1,1 @@
+lib/asp/gatom.mli: Format Term Vec

@@ -1,0 +1,1 @@
+lib/asp/ground.ml: Array Format Gatom Term Vec

@@ -1,0 +1,1 @@
+lib/asp/ground.mli: Format Gatom Term Vec

@@ -1,0 +1,1 @@
+lib/asp/grounder.ml: Array Ast Format Gatom Ground Hashtbl Int List Option String Term Vec

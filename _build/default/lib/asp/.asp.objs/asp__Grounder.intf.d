@@ -1,0 +1,1 @@
+lib/asp/grounder.mli: Ast Ground

@@ -1,0 +1,1 @@
+lib/asp/lexer.ml: Buffer Format List Printf String

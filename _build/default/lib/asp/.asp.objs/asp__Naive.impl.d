@@ -1,0 +1,1 @@
+lib/asp/naive.ml: Array Fun Gatom Ground Grounder Hashtbl Int List Option Vec

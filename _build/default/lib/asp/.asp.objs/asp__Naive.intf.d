@@ -1,0 +1,1 @@
+lib/asp/naive.mli: Ast Gatom

@@ -1,0 +1,1 @@
+lib/asp/optimize.ml: Fun Ground Hashtbl Int List Option Sat Term Translate Vec

@@ -1,0 +1,1 @@
+lib/asp/optimize.mli: Sat Translate

@@ -1,0 +1,1 @@
+lib/asp/parser.ml: Array Ast Format Hashtbl Lexer List Printf Term

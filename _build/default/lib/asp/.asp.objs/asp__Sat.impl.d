@@ -1,0 +1,1 @@
+lib/asp/sat.ml: Array Float Hashtbl Int List Option Vec

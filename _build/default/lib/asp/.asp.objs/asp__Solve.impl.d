@@ -1,0 +1,1 @@
+lib/asp/solve.ml: Array Ast Config Fun Gatom Grounder List Optimize Parser Sat Stable String Translate Unix

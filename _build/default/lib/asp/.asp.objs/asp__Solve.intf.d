@@ -1,0 +1,1 @@
+lib/asp/solve.mli: Ast Config Gatom Grounder Sat Term

@@ -1,0 +1,1 @@
+lib/asp/stable.ml: Array Gatom Ground Int List Queue Sat Translate

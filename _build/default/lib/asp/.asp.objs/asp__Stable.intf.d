@@ -1,0 +1,1 @@
+lib/asp/stable.mli: Sat Translate

@@ -1,0 +1,1 @@
+lib/asp/term.ml: Format Hashtbl Int List String

@@ -1,0 +1,1 @@
+lib/asp/translate.ml: Array Gatom Ground Hashtbl List Option Sat Vec

@@ -1,0 +1,1 @@
+lib/asp/translate.mli: Gatom Ground Hashtbl Sat

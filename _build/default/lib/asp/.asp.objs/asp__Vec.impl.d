@@ -1,0 +1,1 @@
+lib/asp/vec.ml: Array List

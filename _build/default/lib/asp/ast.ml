@@ -1,0 +1,156 @@
+type binop = Add | Sub | Mul | Div | Mod
+
+type term =
+  | Cst of Term.t
+  | Var of string
+  | Binop of binop * term * term
+  | Interval of term * term
+  | Fn of string * term list
+type atom = { pred : string; args : term list }
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type body_lit =
+  | Pos of atom
+  | Neg of atom
+  | Cmp of cmp * term * term
+  | Forall of atom * atom list
+
+type choice_elem = { elem : atom; guard : body_lit list }
+
+type head =
+  | Head_atom of atom
+  | Head_choice of { lb : term option; ub : term option; elems : choice_elem list }
+  | Head_none
+
+type rule = { head : head; body : body_lit list }
+
+type min_elem = {
+  weight : term;
+  priority : term;
+  tuple : term list;
+  guard : body_lit list;
+}
+
+type statement = Rule of rule | Minimize of min_elem list | Show of (string * int) option
+type program = statement list
+
+let cst_str s = Cst (Term.Str s)
+let cst_int i = Cst (Term.Int i)
+let var v = Var v
+let atom pred args = { pred; args }
+let fact p args = Rule { head = Head_atom (atom p (List.map (fun t -> Cst t) args)); body = [] }
+let rule h body = Rule { head = Head_atom h; body }
+let constraint_ body = Rule { head = Head_none; body }
+
+let rec term_vars = function
+  | Cst _ -> []
+  | Var v -> [ v ]
+  | Binop (_, a, b) -> term_vars a @ term_vars b
+  | Interval (a, b) -> term_vars a @ term_vars b
+  | Fn (_, args) -> List.concat_map term_vars args
+
+let atom_vars a = List.concat_map term_vars a.args
+
+let body_lit_vars = function
+  | Pos a | Neg a -> atom_vars a
+  | Cmp (_, a, b) -> term_vars a @ term_vars b
+  | Forall (a, conds) -> atom_vars a @ List.concat_map atom_vars conds
+
+let rec is_ground_term = function
+  | Cst _ -> true
+  | Var _ -> false
+  | Binop (_, a, b) -> is_ground_term a && is_ground_term b
+  | Interval (a, b) -> is_ground_term a && is_ground_term b
+  | Fn (_, args) -> List.for_all is_ground_term args
+
+let statement_is_fact = function
+  | Rule { head = Head_atom a; body = [] } -> List.for_all is_ground_term a.args
+  | _ -> false
+
+let rec term_has_interval = function
+  | Cst _ | Var _ -> false
+  | Binop (_, a, b) -> term_has_interval a || term_has_interval b
+  | Interval _ -> true
+  | Fn (_, args) -> List.exists term_has_interval args
+
+let head_atoms = function
+  | Head_atom a -> [ a ]
+  | Head_choice { elems; _ } -> List.map (fun e -> e.elem) elems
+  | Head_none -> []
+
+let pp_binop ppf op =
+  Format.pp_print_string ppf
+    (match op with Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "\\")
+
+let pp_comma_list pp ppf xs =
+  Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",") pp ppf xs
+
+let rec pp_term ppf = function
+  | Cst t -> Term.pp ppf t
+  | Var v -> Format.pp_print_string ppf v
+  | Binop (op, a, b) -> Format.fprintf ppf "(%a%a%a)" pp_term a pp_binop op pp_term b
+  | Interval (a, b) -> Format.fprintf ppf "%a..%a" pp_term a pp_term b
+  | Fn (f, args) -> Format.fprintf ppf "%s(%a)" f (pp_comma_list pp_term) args
+
+let pp_atom ppf { pred; args } =
+  match args with
+  | [] -> Format.pp_print_string ppf pred
+  | _ -> Format.fprintf ppf "%s(%a)" pred (pp_comma_list pp_term) args
+
+let pp_cmp ppf c =
+  Format.pp_print_string ppf
+    (match c with Eq -> "=" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=")
+
+let rec pp_body_lit ppf = function
+  | Pos a -> pp_atom ppf a
+  | Neg a -> Format.fprintf ppf "not %a" pp_atom a
+  | Cmp (c, a, b) -> Format.fprintf ppf "%a %a %a" pp_term a pp_cmp c pp_term b
+  | Forall (a, conds) ->
+    Format.fprintf ppf "%a : %a" pp_atom a (pp_comma_list pp_atom) conds
+
+and pp_body ppf body =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+    pp_body_lit ppf body
+
+let pp_choice_elem ppf { elem; guard } =
+  match guard with
+  | [] -> pp_atom ppf elem
+  | _ -> Format.fprintf ppf "%a : %a" pp_atom elem (pp_comma_list pp_body_lit) guard
+
+let pp_head ppf = function
+  | Head_atom a -> pp_atom ppf a
+  | Head_none -> ()
+  | Head_choice { lb; ub; elems } ->
+    let pp_bound ppf = function None -> () | Some t -> Format.fprintf ppf "%a " pp_term t in
+    let pp_ubound ppf = function None -> () | Some t -> Format.fprintf ppf " %a" pp_term t in
+    Format.fprintf ppf "%a{ %a }%a" pp_bound lb
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+         pp_choice_elem)
+      elems pp_ubound ub
+
+let pp_min_elem ppf { weight; priority; tuple; guard } =
+  Format.fprintf ppf "%a@%a" pp_term weight pp_term priority;
+  List.iter (fun t -> Format.fprintf ppf ",%a" pp_term t) tuple;
+  match guard with
+  | [] -> ()
+  | _ -> Format.fprintf ppf " : %a" (pp_comma_list pp_body_lit) guard
+
+let pp_statement ppf = function
+  | Show None -> Format.pp_print_string ppf "#show."
+  | Show (Some (p, n)) -> Format.fprintf ppf "#show %s/%d." p n
+  | Rule { head = Head_none; body } -> Format.fprintf ppf ":- %a." pp_body body
+  | Rule { head; body = [] } -> Format.fprintf ppf "%a." pp_head head
+  | Rule { head; body } -> Format.fprintf ppf "%a :- %a." pp_head head pp_body body
+  | Minimize elems ->
+    Format.fprintf ppf "#minimize{ %a }."
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+         pp_min_elem)
+      elems
+
+let pp_program ppf prog =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_newline ppf ())
+    pp_statement ppf prog

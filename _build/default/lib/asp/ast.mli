@@ -1,0 +1,98 @@
+(** Abstract syntax of (a practical subset of) the ASP input language.
+
+    The subset is the one needed by the Spack-style concretizer encoding plus
+    everything exercised in the paper: normal rules, integrity constraints,
+    choice rules with cardinality bounds, conditional body literals
+    ([a : c1, ..., cn], "for all" expansion over EDB conditions), comparison
+    built-ins, integer arithmetic, and [#minimize] statements with weights,
+    priorities and term tuples. *)
+
+type binop = Add | Sub | Mul | Div | Mod
+
+type term =
+  | Cst of Term.t  (** ground constant *)
+  | Var of string  (** variable (capitalized in the input syntax) *)
+  | Binop of binop * term * term  (** integer arithmetic *)
+  | Interval of term * term
+      (** [lo..hi]: expands to each integer in the range (facts only) *)
+  | Fn of string * term list  (** compound term with possibly non-ground args *)
+
+type atom = { pred : string; args : term list }
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type body_lit =
+  | Pos of atom  (** positive literal *)
+  | Neg of atom  (** negation as failure: [not a] *)
+  | Cmp of cmp * term * term  (** built-in comparison *)
+  | Forall of atom * atom list
+      (** [Forall (a, conds)] is the conditional literal [a : conds]: for
+          every instantiation of the condition's local variables that makes
+          all of [conds] facts, [a] must hold.  Conditions must be EDB-only
+          (checked by the grounder). *)
+
+type choice_elem = { elem : atom; guard : body_lit list }
+    (** one element [a : guard] of a choice head *)
+
+type head =
+  | Head_atom of atom
+  | Head_choice of {
+      lb : term option;  (** lower cardinality bound *)
+      ub : term option;  (** upper cardinality bound *)
+      elems : choice_elem list;
+    }
+  | Head_none  (** integrity constraint *)
+
+type rule = { head : head; body : body_lit list }
+
+type min_elem = {
+  weight : term;
+  priority : term;  (** defaults to [Cst (Int 0)] when [@p] is omitted *)
+  tuple : term list;  (** discriminating term tuple *)
+  guard : body_lit list;
+}
+
+type statement =
+  | Rule of rule
+  | Minimize of min_elem list
+  | Show of (string * int) option
+      (** [#show p/n.] restricts the reported answer atoms; [#show.] hides
+          everything not explicitly shown *)
+
+type program = statement list
+
+(** {1 Construction helpers} *)
+
+val cst_str : string -> term
+val cst_int : int -> term
+val var : string -> term
+val atom : string -> term list -> atom
+
+val fact : string -> Term.t list -> statement
+(** [fact p args] is the ground fact [p(args).]. *)
+
+val rule : atom -> body_lit list -> statement
+val constraint_ : body_lit list -> statement
+
+(** {1 Queries} *)
+
+val term_vars : term -> string list
+val atom_vars : atom -> string list
+
+val body_lit_vars : body_lit -> string list
+(** All variables, including condition-local ones of [Forall]. *)
+
+val is_ground_term : term -> bool
+val statement_is_fact : statement -> bool
+
+val term_has_interval : term -> bool
+(** Does the term contain an [lo..hi] range? *)
+
+val head_atoms : head -> atom list
+(** Atoms that can be derived by this head (choice elements included). *)
+
+val pp_term : Format.formatter -> term -> unit
+val pp_atom : Format.formatter -> atom -> unit
+val pp_body_lit : Format.formatter -> body_lit -> unit
+val pp_statement : Format.formatter -> statement -> unit
+val pp_program : Format.formatter -> program -> unit

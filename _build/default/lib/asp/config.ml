@@ -1,0 +1,84 @@
+type preset = Frumpy | Jumpy | Tweety | Trendy | Crafty | Handy
+type strategy = Bb | Usc
+type t = { preset : preset; strategy : strategy }
+
+let default = { preset = Tweety; strategy = Usc }
+let make ?(preset = Tweety) ?(strategy = Usc) () = { preset; strategy }
+
+let params = function
+  | Tweety ->
+    (* geared towards typical ASP programs: fast decay, frequent restarts *)
+    {
+      Sat.default_params with
+      var_decay = 0.92;
+      restart_base = 60;
+      learnt_start = 3000;
+      seed = 11;
+    }
+  | Trendy ->
+    (* industrial problems: slow decay, infrequent restarts, big clause DB *)
+    {
+      Sat.default_params with
+      var_decay = 0.99;
+      restart_base = 256;
+      learnt_start = 10000;
+      learnt_inc = 1.5;
+      seed = 23;
+    }
+  | Handy ->
+    (* large problems: aggressive clause deletion, moderate restarts *)
+    {
+      Sat.default_params with
+      var_decay = 0.97;
+      restart_base = 128;
+      learnt_start = 2000;
+      learnt_inc = 1.2;
+      seed = 37;
+    }
+  | Frumpy ->
+    (* conservative defaults reminiscent of early clasp *)
+    {
+      Sat.default_params with
+      var_decay = 0.95;
+      restart_base = 100;
+      learnt_start = 4000;
+      seed = 41;
+    }
+  | Jumpy ->
+    (* very aggressive restarts *)
+    {
+      Sat.default_params with
+      var_decay = 0.94;
+      restart_base = 32;
+      learnt_start = 2500;
+      seed = 53;
+    }
+  | Crafty ->
+    (* geared towards crafted/combinatorial instances *)
+    {
+      Sat.default_params with
+      var_decay = 0.98;
+      restart_base = 192;
+      learnt_start = 6000;
+      default_phase = true;
+      seed = 67;
+    }
+
+let preset_name = function
+  | Frumpy -> "frumpy"
+  | Jumpy -> "jumpy"
+  | Tweety -> "tweety"
+  | Trendy -> "trendy"
+  | Crafty -> "crafty"
+  | Handy -> "handy"
+
+let preset_of_name = function
+  | "frumpy" -> Some Frumpy
+  | "jumpy" -> Some Jumpy
+  | "tweety" -> Some Tweety
+  | "trendy" -> Some Trendy
+  | "crafty" -> Some Crafty
+  | "handy" -> Some Handy
+  | _ -> None
+
+let all_presets = [ Frumpy; Jumpy; Tweety; Trendy; Crafty; Handy ]

@@ -1,0 +1,26 @@
+(** clingo-style solver configuration presets.
+
+    clingo ships six presets ([frumpy], [jumpy], [tweety], [trendy],
+    [crafty], [handy]) that differ in low-level search parameters — decision
+    heuristic decay, restart schedule, clause-deletion policy — but not in
+    grounding (the paper observes identical ground times across presets,
+    which holds here by construction).  The paper benchmarks [tweety]
+    (typical ASP programs), [trendy] (industrial) and [handy] (large
+    problems) and picks [tweety] as Spack's default. *)
+
+type preset = Frumpy | Jumpy | Tweety | Trendy | Crafty | Handy
+
+type strategy =
+  | Bb  (** model-guided branch-and-bound descent *)
+  | Usc  (** unsatisfiable-core-guided (clasp's [usc,one]) *)
+
+type t = { preset : preset; strategy : strategy }
+
+val default : t
+(** [tweety] with [usc], the configuration the paper settles on. *)
+
+val make : ?preset:preset -> ?strategy:strategy -> unit -> t
+val params : preset -> Sat.params
+val preset_name : preset -> string
+val preset_of_name : string -> preset option
+val all_presets : preset list

@@ -1,0 +1,534 @@
+exception Error of string
+
+type stats = { possible_atoms : int; ground_rules : int; fixpoint_rounds : int }
+
+let errf fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Substitution environments with trailing for cheap undo.             *)
+(* ------------------------------------------------------------------ *)
+
+module Env = struct
+  type t = { tbl : (string, Term.t) Hashtbl.t; trail : string Vec.t }
+
+  let create () = { tbl = Hashtbl.create 16; trail = Vec.create ~dummy:"" () }
+  let mark env = Vec.length env.trail
+
+  let undo env m =
+    while Vec.length env.trail > m do
+      Hashtbl.remove env.tbl (Vec.pop env.trail)
+    done
+
+  let bind env v t =
+    match Hashtbl.find_opt env.tbl v with
+    | Some t' -> Term.equal t t'
+    | None ->
+      Hashtbl.add env.tbl v t;
+      Vec.push env.trail v;
+      true
+
+  let lookup env v = Hashtbl.find_opt env.tbl v
+end
+
+(* Evaluate a term under an environment; [None] if a variable is unbound. *)
+let rec eval env (t : Ast.term) : Term.t option =
+  match t with
+  | Ast.Cst c -> Some c
+  | Ast.Var v -> Env.lookup env v
+  | Ast.Interval _ -> errf "intervals are only supported in fact arguments"
+  | Ast.Fn (f, args) ->
+    let rec all acc = function
+      | [] -> Some (List.rev acc)
+      | t :: rest -> ( match eval env t with Some v -> all (v :: acc) rest | None -> None)
+    in
+    Option.map (fun vs -> Term.Fun (f, vs)) (all [] args)
+  | Ast.Binop (op, a, b) -> (
+    match (eval env a, eval env b) with
+    | Some (Term.Int x), Some (Term.Int y) ->
+      let r =
+        match op with
+        | Ast.Add -> x + y
+        | Ast.Sub -> x - y
+        | Ast.Mul -> x * y
+        | Ast.Div ->
+          if y = 0 then errf "division by zero in grounding" else x / y
+        | Ast.Mod -> if y = 0 then errf "modulo by zero in grounding" else x mod y
+      in
+      Some (Term.Int r)
+    | Some a', Some b' ->
+      errf "arithmetic on non-integer terms %a, %a" Term.pp a' Term.pp b'
+    | _ -> None)
+
+let eval_exn env ctx t =
+  match eval env t with
+  | Some v -> v
+  | None -> errf "unsafe rule: unbound variable in %s (%a)" ctx Ast.pp_term t
+
+(* Match pattern term [p] against ground value [v], extending [env]. *)
+let rec match_term env (p : Ast.term) (v : Term.t) =
+  match (p, v) with
+  | Ast.Cst c, v -> Term.equal c v
+  | Ast.Var x, v -> Env.bind env x v
+  | Ast.Fn (f, args), Term.Fun (g, vals) ->
+    String.equal f g
+    && List.length args = List.length vals
+    && List.for_all2 (fun p v -> match_term env p v) args vals
+  | Ast.Fn _, _ -> false
+  | (Ast.Binop _ | Ast.Interval _), v -> (
+    match eval env p with Some pv -> Term.equal pv v | None -> false)
+
+let match_atom env (pat : Ast.atom) (ga : Gatom.t) =
+  List.for_all2 (fun p v -> match_term env p v) pat.Ast.args ga.Gatom.args
+
+let eval_cmp c (a : Term.t) (b : Term.t) =
+  let k = Term.compare a b in
+  match c with
+  | Ast.Eq -> k = 0
+  | Ast.Ne -> k <> 0
+  | Ast.Lt -> k < 0
+  | Ast.Le -> k <= 0
+  | Ast.Gt -> k > 0
+  | Ast.Ge -> k >= 0
+
+(* ------------------------------------------------------------------ *)
+(* Compiled rules: bodies split by literal kind.                       *)
+(* ------------------------------------------------------------------ *)
+
+type split_body = {
+  b_pos : Ast.atom array;
+  b_cmps : (Ast.cmp * Ast.term * Ast.term) array;
+  b_foralls : (Ast.atom * Ast.atom list) array;
+  b_negs : Ast.atom array;
+}
+
+let split_body (body : Ast.body_lit list) =
+  let pos = ref [] and cmps = ref [] and foralls = ref [] and negs = ref [] in
+  List.iter
+    (function
+      | Ast.Pos a -> pos := a :: !pos
+      | Ast.Neg a -> negs := a :: !negs
+      | Ast.Cmp (c, x, y) -> cmps := (c, x, y) :: !cmps
+      | Ast.Forall (a, conds) -> foralls := (a, conds) :: !foralls)
+    body;
+  {
+    b_pos = Array.of_list (List.rev !pos);
+    b_cmps = Array.of_list (List.rev !cmps);
+    b_foralls = Array.of_list (List.rev !foralls);
+    b_negs = Array.of_list (List.rev !negs);
+  }
+
+type compiled = {
+  c_head : Ast.head;
+  c_body : split_body;
+  c_text : string;  (** for error messages *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* The grounding state.                                                *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  store : Gatom.Store.t;
+  env : Env.t;
+  idb : (string * int, unit) Hashtbl.t;  (** predicates with rule-defined heads *)
+}
+
+let arity (a : Ast.atom) = List.length a.Ast.args
+
+let is_edb st (a : Ast.atom) = not (Hashtbl.mem st.idb (a.Ast.pred, arity a))
+
+(* Candidate atom ids for a positive atom pattern under the current env.
+   Picks the most selective index among argument positions whose pattern is
+   already ground. *)
+let candidates st (pat : Ast.atom) : int Vec.t =
+  let ar = arity pat in
+  let best = ref None in
+  List.iteri
+    (fun pos p ->
+      match eval st.env p with
+      | Some v ->
+        let c = Gatom.Store.by_pred_arg st.store pat.Ast.pred ar ~pos ~value:v in
+        let n = Vec.length c in
+        (match !best with
+        | Some (m, _) when m <= n -> ()
+        | _ -> best := Some (n, c))
+      | None -> ())
+    pat.Ast.args;
+  match !best with
+  | Some (_, c) -> c
+  | None -> Gatom.Store.by_pred st.store pat.Ast.pred ar
+
+(* Enumerate all substitutions satisfying the positive atoms and comparisons
+   of [body] over the possible-atom store.  [delta] optionally restricts one
+   positive literal (by index) to atoms with id >= the given bound, for
+   semi-naive evaluation.  Calls [k] for each complete substitution with the
+   matched positive atom ids (in literal order). *)
+let enumerate st (body : split_body) ?delta (k : int array -> unit) =
+  let npos = Array.length body.b_pos in
+  let matched = Array.make npos (-1) in
+  let done_pos = Array.make npos false in
+  let cmps_left = ref (Array.to_list body.b_cmps) in
+  (* Evaluate all comparisons that have become ground; false means prune. *)
+  let rec check_cmps acc = function
+    | [] ->
+      cmps_left := List.rev acc;
+      true
+    | ((c, x, y) as cmp) :: rest -> (
+      match (eval st.env x, eval st.env y) with
+      | Some a, Some b ->
+        if eval_cmp c a b then check_cmps acc rest else false
+      | _ -> check_cmps (cmp :: acc) rest)
+  in
+  let rec go remaining =
+    if remaining = 0 then begin
+      (match !cmps_left with
+      | [] -> ()
+      | (_, x, y) :: _ ->
+        ignore (eval_exn st.env "comparison" x);
+        ignore (eval_exn st.env "comparison" y));
+      k (Array.copy matched)
+    end
+    else begin
+      (* choose the unprocessed literal with the fewest candidates *)
+      let best = ref (-1) and best_c = ref None and best_n = ref max_int in
+      for i = 0 to npos - 1 do
+        if not done_pos.(i) then begin
+          let c = candidates st body.b_pos.(i) in
+          let n = Vec.length c in
+          if n < !best_n then begin
+            best := i;
+            best_c := Some c;
+            best_n := n
+          end
+        end
+      done;
+      let i = !best in
+      let cands = Option.get !best_c in
+      done_pos.(i) <- true;
+      let lo = match delta with Some (j, lo) when j = i -> lo | _ -> 0 in
+      Vec.iter
+        (fun id ->
+          if id >= lo then begin
+            let m = Env.mark st.env in
+            let saved_cmps = !cmps_left in
+            if
+              match_atom st.env body.b_pos.(i) (Gatom.Store.atom st.store id)
+              && check_cmps [] !cmps_left
+            then begin
+              matched.(i) <- id;
+              go (remaining - 1)
+            end;
+            cmps_left := saved_cmps;
+            Env.undo st.env m
+          end)
+        cands;
+      done_pos.(i) <- false
+    end
+  in
+  let m = Env.mark st.env in
+  let saved = !cmps_left in
+  if check_cmps [] !cmps_left then go npos;
+  cmps_left := saved;
+  Env.undo st.env m
+
+(* Enumerate EDB-guard matches: used for Forall conditions and choice-element
+   guards.  The guard is a conjunction of atoms over EDB predicates; local
+   variables are bound during enumeration.  Calls [k] once per match. *)
+let enumerate_guard st (conds : Ast.atom list) rule_text (k : unit -> unit) =
+  List.iter
+    (fun c ->
+      if not (is_edb st c) then
+        errf "condition %a in %s must range over fact-only predicates" Ast.pp_atom c
+          rule_text)
+    conds;
+  let rec go = function
+    | [] -> k ()
+    | c :: rest ->
+      let cands = candidates st c in
+      Vec.iter
+        (fun id ->
+          if Gatom.Store.is_fact st.store id then begin
+            let m = Env.mark st.env in
+            if match_atom st.env c (Gatom.Store.atom st.store id) then go rest;
+            Env.undo st.env m
+          end)
+        cands
+    in
+  go conds
+
+let ground_atom st ctx (a : Ast.atom) : Gatom.t =
+  Gatom.make a.Ast.pred (List.map (fun t -> eval_exn st.env ctx t) a.Ast.args)
+
+(* ------------------------------------------------------------------ *)
+(* Phase 1: possible-atom closure.                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Derive all head atoms of [rule] for the current substitution into the
+   store (optimistic w.r.t. negation and Forall targets). *)
+let derive_heads st (rule : compiled) =
+  match rule.c_head with
+  | Ast.Head_none -> ()
+  | Ast.Head_atom a ->
+    ignore (Gatom.Store.intern st.store (ground_atom st rule.c_text a))
+  | Ast.Head_choice { elems; _ } ->
+    List.iter
+      (fun { Ast.elem; guard } ->
+        let conds =
+          List.map
+            (function
+              | Ast.Pos a -> a
+              | l ->
+                errf "choice guard %a in %s must be a positive atom" Ast.pp_body_lit l
+                  rule.c_text)
+            guard
+        in
+        enumerate_guard st conds rule.c_text (fun () ->
+            ignore (Gatom.Store.intern st.store (ground_atom st rule.c_text elem))))
+      elems
+
+let possible_closure st (rules : compiled list) =
+  let nfacts = Gatom.Store.count st.store in
+  (* round 0: full evaluation over the facts *)
+  List.iter (fun r -> enumerate st r.c_body (fun _ -> derive_heads st r)) rules;
+  let rounds = ref 1 in
+  (* semi-naive rounds: some positive literal must match an atom added since
+     the previous round *)
+  let frontier = ref nfacts in
+  while !frontier < Gatom.Store.count st.store do
+    incr rounds;
+    let lo = !frontier in
+    frontier := Gatom.Store.count st.store;
+    List.iter
+      (fun r ->
+        let npos = Array.length r.c_body.b_pos in
+        for i = 0 to npos - 1 do
+          enumerate st r.c_body ~delta:(i, lo) (fun _ -> derive_heads st r)
+        done)
+      rules
+  done;
+  !rounds
+
+(* ------------------------------------------------------------------ *)
+(* Phase 2: emitting simplified ground rules.                          *)
+(* ------------------------------------------------------------------ *)
+
+exception Drop_instance
+
+(* Resolve the full body of a rule instance to (pos, neg) atom-id arrays.
+   [matched] are the ids matched for positive literals.  Facts are removed;
+   impossible positive atoms (from Forall expansion) or negated facts drop
+   the whole instance. *)
+let resolve_body st (body : split_body) (matched : int array) : Ground.body =
+  let pos = ref [] and neg = ref [] in
+  let add_pos id = if not (Gatom.Store.is_fact st.store id) then pos := id :: !pos in
+  Array.iter add_pos matched;
+  Array.iter
+    (fun (target, conds) ->
+      enumerate_guard st conds "conditional literal" (fun () ->
+          let ga = ground_atom st "conditional literal" target in
+          match Gatom.Store.find st.store ga with
+          | Some id -> add_pos id
+          | None -> raise Drop_instance))
+    body.b_foralls;
+  Array.iter
+    (fun a ->
+      let ga = ground_atom st "negative literal" a in
+      match Gatom.Store.find st.store ga with
+      | None -> () (* impossible atom: [not a] trivially true *)
+      | Some id -> if Gatom.Store.is_fact st.store id then raise Drop_instance else neg := id :: !neg)
+    body.b_negs;
+  let dedup l = List.sort_uniq Int.compare l in
+  { Ground.pos = Array.of_list (dedup !pos); neg = Array.of_list (dedup !neg) }
+
+let bound_value st rule_text = function
+  | None -> None
+  | Some t -> (
+    match eval_exn st.env ("cardinality bound of " ^ rule_text) t with
+    | Term.Int n -> Some n
+    | t -> errf "cardinality bound %a in %s is not an integer" Term.pp t rule_text)
+
+let emit_rules st (out : Ground.t) (rules : compiled list) =
+  List.iter
+    (fun r ->
+      enumerate st r.c_body (fun matched ->
+          match resolve_body st r.c_body matched with
+          | exception Drop_instance -> ()
+          | body -> (
+            match r.c_head with
+            | Ast.Head_none ->
+              if Ground.body_size body = 0 then out.Ground.inconsistent <- true
+              else Vec.push out.Ground.rules (Ground.Rconstraint body)
+            | Ast.Head_atom a -> (
+              let ga = ground_atom st r.c_text a in
+              let id = Gatom.Store.intern st.store ga in
+              if not (Gatom.Store.is_fact st.store id) then
+                if Ground.body_size body = 0 then Gatom.Store.mark_fact st.store id
+                else Vec.push out.Ground.rules (Ground.Rnormal (id, body)))
+            | Ast.Head_choice { lb; ub; elems } ->
+              let lb = bound_value st r.c_text lb in
+              let ub = bound_value st r.c_text ub in
+              let heads = ref [] in
+              List.iter
+                (fun { Ast.elem; guard } ->
+                  let conds =
+                    List.filter_map
+                      (function Ast.Pos a -> Some a | _ -> None)
+                      guard
+                  in
+                  enumerate_guard st conds r.c_text (fun () ->
+                      let ga = ground_atom st r.c_text elem in
+                      match Gatom.Store.find st.store ga with
+                      | Some id -> heads := id :: !heads
+                      | None -> heads := Gatom.Store.intern st.store ga :: !heads))
+                elems;
+              let heads = Array.of_list (List.sort_uniq Int.compare !heads) in
+              if Array.length heads = 0 then begin
+                match lb with
+                | Some n when n > 0 ->
+                  if Ground.body_size body = 0 then out.Ground.inconsistent <- true
+                  else Vec.push out.Ground.rules (Ground.Rconstraint body)
+                | _ -> ()
+              end
+              else
+                Vec.push out.Ground.rules
+                  (Ground.Rchoice { lb; ub; heads; cbody = body }))))
+    rules
+
+let emit_minimize st (out : Ground.t) (elems : Ast.min_elem list list) =
+  List.iter
+    (fun group ->
+      List.iter
+        (fun { Ast.weight; priority; tuple; guard } ->
+          let body = split_body guard in
+          enumerate st body (fun matched ->
+              match resolve_body st body matched with
+              | exception Drop_instance -> ()
+              | mbody ->
+                let w =
+                  match eval_exn st.env "minimize weight" weight with
+                  | Term.Int n -> n
+                  | t -> errf "minimize weight %a is not an integer" Term.pp t
+                in
+                let p =
+                  match eval_exn st.env "minimize priority" priority with
+                  | Term.Int n -> n
+                  | t -> errf "minimize priority %a is not an integer" Term.pp t
+                in
+                let tup = List.map (fun t -> eval_exn st.env "minimize tuple" t) tuple in
+                Vec.push out.Ground.minimize
+                  { Ground.mweight = w; mpriority = p; mtuple = tup; mbody }))
+        group)
+    elems
+
+(* ------------------------------------------------------------------ *)
+(* Entry point.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let check_safety (r : compiled) =
+  let bound =
+    List.concat_map Ast.atom_vars (Array.to_list r.c_body.b_pos)
+  in
+  let bound = List.sort_uniq String.compare bound in
+  let is_bound v = List.mem v bound in
+  let check_vars ctx vars =
+    List.iter
+      (fun v ->
+        if not (is_bound v) then
+          errf "unsafe rule %s: variable %s in %s not bound by a positive body literal"
+            r.c_text v ctx)
+      vars
+  in
+  Array.iter (fun a -> check_vars "negative literal" (Ast.atom_vars a)) r.c_body.b_negs;
+  (* head variables must be bound, except choice-element locals bound by guards *)
+  match r.c_head with
+  | Ast.Head_none -> ()
+  | Ast.Head_atom a -> check_vars "rule head" (Ast.atom_vars a)
+  | Ast.Head_choice { elems; _ } ->
+    List.iter
+      (fun { Ast.elem; guard } ->
+        let guard_vars =
+          List.concat_map
+            (function Ast.Pos a -> Ast.atom_vars a | _ -> [])
+            guard
+        in
+        List.iter
+          (fun v ->
+            if not (is_bound v || List.mem v guard_vars) then
+              errf
+                "unsafe rule %s: choice variable %s bound neither by the body nor by \
+                 its guard"
+                r.c_text v)
+          (Ast.atom_vars elem))
+      elems
+
+let ground (prog : Ast.program) : Ground.t * stats =
+  let store = Gatom.Store.create () in
+  let st = { store; env = Env.create (); idb = Hashtbl.create 64 } in
+  let rules = ref [] and minimizes = ref [] in
+  (* Seed facts; collect rules and classify IDB predicates. *)
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Ast.Show _ -> ()
+      | Ast.Minimize elems -> minimizes := elems :: !minimizes
+      | Ast.Rule ({ head; body } as r) ->
+        if Ast.statement_is_fact stmt then begin
+          match head with
+          | Ast.Head_atom a ->
+            (* expand interval arguments into their cartesian product *)
+            let rec arg_values = function
+              | Ast.Cst c -> [ c ]
+              | Ast.Interval (lo, hi) -> (
+                let ev t =
+                  match t with
+                  | Ast.Cst (Term.Int i) -> i
+                  | Ast.Cst c -> errf "interval bound %a is not an integer" Term.pp c
+                  | t -> errf "interval bound %a is not ground" Ast.pp_term t
+                in
+                let lo = ev lo and hi = ev hi in
+                if lo > hi then []
+                else List.init (hi - lo + 1) (fun k -> Term.Int (lo + k)))
+              | (Ast.Binop _ | Ast.Fn _) as t -> (
+                match eval (Env.create ()) t with
+                | Some c -> [ c ]
+                | None -> errf "non-ground fact argument %a" Ast.pp_term t)
+              | Ast.Var _ as t -> errf "non-ground fact argument %a" Ast.pp_term t
+            and expand = function
+              | [] -> [ [] ]
+              | t :: rest ->
+                let tails = expand rest in
+                List.concat_map (fun v -> List.map (fun tl -> v :: tl) tails) (arg_values t)
+            in
+            List.iter
+              (fun args ->
+                let id = Gatom.Store.intern store (Gatom.make a.Ast.pred args) in
+                Gatom.Store.mark_fact store id)
+              (expand a.Ast.args)
+          | _ -> assert false
+        end
+        else begin
+          List.iter
+            (fun a -> Hashtbl.replace st.idb (a.Ast.pred, arity a) ())
+            (Ast.head_atoms head);
+          let c =
+            {
+              c_head = head;
+              c_body = split_body body;
+              c_text = Format.asprintf "%a" Ast.pp_statement (Ast.Rule r);
+            }
+          in
+          check_safety c;
+          rules := c :: !rules
+        end)
+    prog;
+  let rules = List.rev !rules in
+  let rounds = possible_closure st rules in
+  let out = Ground.create store in
+  emit_rules st out rules;
+  emit_minimize st out (List.rev !minimizes);
+  ( out,
+    {
+      possible_atoms = Gatom.Store.count store;
+      ground_rules = Ground.num_rules out;
+      fixpoint_rounds = rounds;
+    } )

@@ -1,0 +1,28 @@
+(** Grounding: instantiating a first-order {!Ast.program} into a
+    propositional {!Ground.t}.
+
+    The algorithm follows the classic two-phase scheme used by lparse/gringo:
+
+    + a semi-naive fixpoint computes the set of {e possibly true} atoms,
+      treating negative literals and conditional-literal targets
+      optimistically;
+    + a second pass re-enumerates every rule against the final possible-atom
+      set and emits simplified ground rules: literals over input facts are
+      removed, rules whose positive body mentions impossible atoms are
+      dropped, and negative literals on impossible atoms are erased.
+
+    Conditional literals ([a : conds]) and choice-element guards must range
+    over EDB predicates (predicates defined only by facts); this is checked
+    and a {!Error} is raised otherwise. *)
+
+exception Error of string
+
+type stats = {
+  possible_atoms : int;  (** atoms in the possible-set closure *)
+  ground_rules : int;
+  fixpoint_rounds : int;
+}
+
+val ground : Ast.program -> Ground.t * stats
+(** @raise Error on unsafe rules, non-EDB conditions, or arithmetic on
+    non-integer terms. *)

@@ -1,0 +1,214 @@
+type token =
+  | IDENT of string
+  | VARIABLE of string
+  | STRING of string
+  | INT of int
+  | IF
+  | DOT
+  | COMMA
+  | SEMI
+  | COLON
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | AT
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | BACKSLASH
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | NOT
+  | MINIMIZE
+  | MAXIMIZE
+  | SHOW
+  | CONST
+  | DOTDOT
+  | EOF
+
+exception Error of string * int
+
+let pp_token ppf = function
+  | IDENT s -> Format.fprintf ppf "identifier %s" s
+  | VARIABLE s -> Format.fprintf ppf "variable %s" s
+  | STRING s -> Format.fprintf ppf "string %S" s
+  | INT i -> Format.fprintf ppf "integer %d" i
+  | IF -> Format.pp_print_string ppf "':-'"
+  | DOT -> Format.pp_print_string ppf "'.'"
+  | COMMA -> Format.pp_print_string ppf "','"
+  | SEMI -> Format.pp_print_string ppf "';'"
+  | COLON -> Format.pp_print_string ppf "':'"
+  | LPAREN -> Format.pp_print_string ppf "'('"
+  | RPAREN -> Format.pp_print_string ppf "')'"
+  | LBRACE -> Format.pp_print_string ppf "'{'"
+  | RBRACE -> Format.pp_print_string ppf "'}'"
+  | AT -> Format.pp_print_string ppf "'@'"
+  | PLUS -> Format.pp_print_string ppf "'+'"
+  | MINUS -> Format.pp_print_string ppf "'-'"
+  | STAR -> Format.pp_print_string ppf "'*'"
+  | SLASH -> Format.pp_print_string ppf "'/'"
+  | BACKSLASH -> Format.pp_print_string ppf "'\\'"
+  | EQ -> Format.pp_print_string ppf "'='"
+  | NE -> Format.pp_print_string ppf "'!='"
+  | LT -> Format.pp_print_string ppf "'<'"
+  | LE -> Format.pp_print_string ppf "'<='"
+  | GT -> Format.pp_print_string ppf "'>'"
+  | GE -> Format.pp_print_string ppf "'>='"
+  | NOT -> Format.pp_print_string ppf "'not'"
+  | MINIMIZE -> Format.pp_print_string ppf "'#minimize'"
+  | MAXIMIZE -> Format.pp_print_string ppf "'#maximize'"
+  | SHOW -> Format.pp_print_string ppf "'#show'"
+  | CONST -> Format.pp_print_string ppf "'#const'"
+  | DOTDOT -> Format.pp_print_string ppf "'..'"
+  | EOF -> Format.pp_print_string ppf "end of input"
+
+let is_alpha = function 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false
+let is_digit = function '0' .. '9' -> true | _ -> false
+let is_alnum c = is_alpha c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let emit t = toks := (t, !line) :: !toks in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    (match c with
+    | '\n' ->
+      incr line;
+      incr i
+    | ' ' | '\t' | '\r' -> incr i
+    | '%' ->
+      (* comment to end of line *)
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    | '"' ->
+      let buf = Buffer.create 16 in
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        (match src.[!i] with
+        | '"' -> closed := true
+        | '\\' when !i + 1 < n ->
+          incr i;
+          Buffer.add_char buf
+            (match src.[!i] with 'n' -> '\n' | 't' -> '\t' | ch -> ch)
+        | '\n' -> raise (Error ("unterminated string", !line))
+        | ch -> Buffer.add_char buf ch);
+        incr i
+      done;
+      if not !closed then raise (Error ("unterminated string", !line));
+      emit (STRING (Buffer.contents buf))
+    | '#' ->
+      let j = ref (!i + 1) in
+      while !j < n && is_alnum src.[!j] do
+        incr j
+      done;
+      let word = String.sub src (!i + 1) (!j - !i - 1) in
+      (match word with
+      | "minimize" -> emit MINIMIZE
+      | "maximize" -> emit MAXIMIZE
+      | "show" -> emit SHOW
+      | "const" -> emit CONST
+      | w -> raise (Error (Printf.sprintf "unknown directive #%s" w, !line)));
+      i := !j
+    | ':' when peek 1 = Some '-' ->
+      emit IF;
+      i := !i + 2
+    | ':' ->
+      emit COLON;
+      incr i
+    | '.' when peek 1 = Some '.' ->
+      emit DOTDOT;
+      i := !i + 2
+    | '.' ->
+      emit DOT;
+      incr i
+    | ',' ->
+      emit COMMA;
+      incr i
+    | ';' ->
+      emit SEMI;
+      incr i
+    | '(' ->
+      emit LPAREN;
+      incr i
+    | ')' ->
+      emit RPAREN;
+      incr i
+    | '{' ->
+      emit LBRACE;
+      incr i
+    | '}' ->
+      emit RBRACE;
+      incr i
+    | '@' ->
+      emit AT;
+      incr i
+    | '+' ->
+      emit PLUS;
+      incr i
+    | '-' ->
+      emit MINUS;
+      incr i
+    | '*' ->
+      emit STAR;
+      incr i
+    | '/' ->
+      emit SLASH;
+      incr i
+    | '\\' ->
+      emit BACKSLASH;
+      incr i
+    | '=' ->
+      emit EQ;
+      incr i
+    | '!' when peek 1 = Some '=' ->
+      emit NE;
+      i := !i + 2
+    | '<' when peek 1 = Some '=' ->
+      emit LE;
+      i := !i + 2
+    | '<' ->
+      emit LT;
+      incr i
+    | '>' when peek 1 = Some '=' ->
+      emit GE;
+      i := !i + 2
+    | '>' ->
+      emit GT;
+      incr i
+    | c when is_digit c ->
+      let j = ref !i in
+      while !j < n && is_digit src.[!j] do
+        incr j
+      done;
+      emit (INT (int_of_string (String.sub src !i (!j - !i))));
+      i := !j
+    | c when is_alpha c ->
+      let j = ref !i in
+      while !j < n && is_alnum src.[!j] do
+        incr j
+      done;
+      let word = String.sub src !i (!j - !i) in
+      (match word with
+      | "not" -> emit NOT
+      | _ ->
+        if word = "_" || (word.[0] >= 'A' && word.[0] <= 'Z') || word.[0] = '_' then
+          emit (VARIABLE word)
+        else emit (IDENT word));
+      i := !j
+    | c -> raise (Error (Printf.sprintf "unexpected character %C" c, !line)));
+    ()
+  done;
+  emit EOF;
+  List.rev !toks

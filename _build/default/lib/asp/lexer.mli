@@ -1,0 +1,45 @@
+(** Tokenizer for the ASP input language. *)
+
+type token =
+  | IDENT of string  (** lowercase identifier *)
+  | VARIABLE of string  (** capitalized identifier, or [_] (anonymous) *)
+  | STRING of string  (** quoted string, unescaped *)
+  | INT of int
+  | IF  (** [:-] *)
+  | DOT
+  | COMMA
+  | SEMI
+  | COLON
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | AT
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | BACKSLASH
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | NOT
+  | MINIMIZE
+  | MAXIMIZE
+  | SHOW
+  | CONST
+  | DOTDOT  (** [..] (intervals) *)
+  | EOF
+
+exception Error of string * int
+(** [Error (message, line)] *)
+
+val pp_token : Format.formatter -> token -> unit
+
+val tokenize : string -> (token * int) list
+(** [tokenize src] lexes a whole program, pairing each token with its
+    1-based source line.  [%]-comments are skipped.
+    @raise Error on invalid input. *)

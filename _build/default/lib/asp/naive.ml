@@ -1,0 +1,176 @@
+(* Reference implementation by exhaustive enumeration. *)
+
+let ground_only prog =
+  let g, _ = Grounder.ground prog in
+  g
+
+(* Truth of a body under a candidate set (bitmask over atom ids). *)
+let body_holds is_true (b : Ground.body) =
+  Array.for_all is_true b.pos && not (Array.exists is_true b.neg)
+
+let count_true is_true heads =
+  Array.fold_left (fun acc h -> if is_true h then acc + 1 else acc) 0 heads
+
+(* Is [m] (a predicate on atom ids, facts included) a model of the rules? *)
+let is_model (g : Ground.t) is_true =
+  (not g.Ground.inconsistent)
+  && Vec.fold
+       (fun ok rule ->
+         ok
+         &&
+         match rule with
+         | Ground.Rnormal (h, b) -> (not (body_holds is_true b)) || is_true h
+         | Ground.Rconstraint b -> not (body_holds is_true b)
+         | Ground.Rchoice { lb; ub; heads; cbody } ->
+           if not (body_holds is_true cbody) then true
+           else begin
+             let n = count_true is_true heads in
+             (match lb with Some l -> n >= l | None -> true)
+             && match ub with Some u -> n <= u | None -> true
+           end)
+       true g.Ground.rules
+
+(* Least fixpoint of the reduct: an atom is founded when some rule with a
+   satisfied body (w.r.t. the candidate model) derives it from founded
+   positive atoms; choice rules found their heads only if the head is in the
+   candidate model. *)
+let founded_set (g : Ground.t) natoms is_true =
+  let store = g.Ground.store in
+  let founded = Array.make natoms false in
+  for id = 0 to natoms - 1 do
+    if Gatom.Store.is_fact store id then founded.(id) <- true
+  done;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Vec.iter
+      (fun rule ->
+        let derive heads (b : Ground.body) =
+          if
+            (not (Array.exists is_true b.neg))
+            && Array.for_all is_true b.pos
+            && Array.for_all (fun p -> founded.(p)) b.pos
+          then
+            Array.iter
+              (fun h ->
+                if is_true h && not founded.(h) then begin
+                  founded.(h) <- true;
+                  changed := true
+                end)
+              heads
+        in
+        match rule with
+        | Ground.Rnormal (h, b) -> derive [| h |] b
+        | Ground.Rchoice { heads; cbody; _ } -> derive heads cbody
+        | Ground.Rconstraint _ -> ())
+      g.Ground.rules
+  done;
+  founded
+
+let candidate_atoms (g : Ground.t) =
+  let store = g.Ground.store in
+  let natoms = Gatom.Store.count store in
+  let mentioned = Array.make natoms false in
+  let touch_body (b : Ground.body) =
+    Array.iter (fun i -> mentioned.(i) <- true) b.pos;
+    Array.iter (fun i -> mentioned.(i) <- true) b.neg
+  in
+  Vec.iter
+    (function
+      | Ground.Rnormal (h, b) ->
+        mentioned.(h) <- true;
+        touch_body b
+      | Ground.Rchoice { heads; cbody; _ } ->
+        Array.iter (fun h -> mentioned.(h) <- true) heads;
+        touch_body cbody
+      | Ground.Rconstraint b -> touch_body b)
+    g.Ground.rules;
+  Vec.iter (fun (m : Ground.min_entry) -> touch_body m.mbody) g.Ground.minimize;
+  let cands = ref [] in
+  for id = natoms - 1 downto 0 do
+    if mentioned.(id) && not (Gatom.Store.is_fact store id) then cands := id :: !cands
+  done;
+  !cands
+
+let stable_models_ground (g : Ground.t) =
+  let store = g.Ground.store in
+  let natoms = Gatom.Store.count store in
+  let cands = Array.of_list (candidate_atoms g) in
+  let k = Array.length cands in
+  if k > 22 then invalid_arg "Naive.stable_models: too many candidate atoms";
+  let models = ref [] in
+  for mask = 0 to (1 lsl k) - 1 do
+    let truth = Array.make natoms false in
+    for id = 0 to natoms - 1 do
+      if Gatom.Store.is_fact store id then truth.(id) <- true
+    done;
+    Array.iteri (fun i id -> truth.(id) <- mask land (1 lsl i) <> 0) cands;
+    let is_true id = truth.(id) in
+    if is_model g is_true then begin
+      let founded = founded_set g natoms is_true in
+      let stable =
+        Array.for_all Fun.id (Array.mapi (fun id t -> (not t) || founded.(id)) truth)
+      in
+      if stable then models := truth :: !models
+    end
+  done;
+  (cands, List.rev !models)
+
+let atoms_of_truth (g : Ground.t) truth =
+  let store = g.Ground.store in
+  let acc = ref [] in
+  for id = Gatom.Store.count store - 1 downto 0 do
+    if truth.(id) then acc := Gatom.Store.atom store id :: !acc
+  done;
+  List.sort Gatom.compare !acc
+
+let stable_models prog =
+  let g = ground_only prog in
+  let _, models = stable_models_ground g in
+  List.map (atoms_of_truth g) models |> List.sort (List.compare Gatom.compare)
+
+(* Cost vector of a model: levels sorted by priority descending; the weight
+   of a (priority, weight, tuple) group counts once if any of its bodies
+   holds. *)
+let cost_vector (g : Ground.t) truth =
+  let is_true id = truth.(id) in
+  let seen = Hashtbl.create 16 in
+  Vec.iter
+    (fun (m : Ground.min_entry) ->
+      if body_holds is_true m.mbody then
+        Hashtbl.replace seen (m.mpriority, m.mweight, m.mtuple) ())
+    g.Ground.minimize;
+  let levels = Hashtbl.create 8 in
+  (* every priority that appears anywhere gets a level, even if it sums to 0 *)
+  Vec.iter
+    (fun (m : Ground.min_entry) ->
+      if not (Hashtbl.mem levels m.mpriority) then Hashtbl.add levels m.mpriority 0)
+    g.Ground.minimize;
+  Hashtbl.iter
+    (fun (p, w, _) () -> Hashtbl.replace levels p (Hashtbl.find levels p + w))
+    seen;
+  Hashtbl.fold (fun p v acc -> (p, v) :: acc) levels []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare b a)
+
+let optimal_models prog =
+  let g = ground_only prog in
+  let _, models = stable_models_ground g in
+  match models with
+  | [] -> []
+  | _ ->
+    let scored = List.map (fun t -> (t, cost_vector g t)) models in
+    let vec_of = List.map snd in
+    let best =
+      List.fold_left
+        (fun acc (_, c) ->
+          match acc with
+          | None -> Some c
+          | Some b -> if compare (vec_of c) (vec_of b) < 0 then Some c else Some b)
+        None scored
+    in
+    let best = Option.get best in
+    List.filter_map
+      (fun (t, c) ->
+        if vec_of c = vec_of best then Some (atoms_of_truth g t, c) else None)
+      scored
+    |> List.sort compare

@@ -1,0 +1,16 @@
+(** Brute-force reference semantics for small programs (testing only).
+
+    Enumerates every subset of the non-fact ground atoms and keeps exactly
+    the stable models (Gelfond–Lifschitz reduct check, with the usual
+    extension for choice rules and cardinality bounds).  Exponential — use
+    on programs with at most ~20 candidate atoms. *)
+
+val stable_models : Ast.program -> Gatom.t list list
+(** All stable models, each sorted, the list itself sorted (deterministic).
+    @raise Invalid_argument when the program has more than 22 candidate
+    atoms. *)
+
+val optimal_models : Ast.program -> (Gatom.t list * (int * int) list) list
+(** Stable models that are lexicographically optimal w.r.t. the program's
+    [#minimize] statements, with their cost vectors (priority, value),
+    priorities descending. *)

@@ -1,0 +1,184 @@
+type level = { priority : int; entries : (int * Sat.lit) list; offset : int }
+
+type group_key = { gprio : int; gweight : int; gtuple : Term.t list }
+
+let levels (t : Translate.t) =
+  let sat = t.Translate.sat in
+  let groups : (group_key, Ground.body list ref) Hashtbl.t = Hashtbl.create 64 in
+  Vec.iter
+    (fun (m : Ground.min_entry) ->
+      let key = { gprio = m.mpriority; gweight = m.mweight; gtuple = m.mtuple } in
+      match Hashtbl.find_opt groups key with
+      | Some r -> r := m.mbody :: !r
+      | None -> Hashtbl.add groups key (ref [ m.mbody ]))
+    t.Translate.ground.Ground.minimize;
+  (* indicator literal per group: true iff one of the bodies holds *)
+  let by_priority : (int, (int * Sat.lit) list ref * int ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let level_slot prio =
+    match Hashtbl.find_opt by_priority prio with
+    | Some slot -> slot
+    | None ->
+      let slot = (ref [], ref 0) in
+      Hashtbl.add by_priority prio slot;
+      slot
+  in
+  Hashtbl.iter
+    (fun key bodies ->
+      let entries, offset = level_slot key.gprio in
+      let inds = List.map (Translate.body_indicator t) !bodies in
+      if List.exists (fun i -> i = None) inds then
+        (* some condition is unconditionally true: constant contribution *)
+        offset := !offset + key.gweight
+      else begin
+        let inds = List.filter_map Fun.id inds in
+        let ind =
+          match inds with
+          | [ l ] -> l
+          | _ ->
+            let y = Sat.Lit.pos (Sat.new_var sat) in
+            List.iter (fun b -> Sat.add_clause sat [ Sat.Lit.negate b; y ]) inds;
+            Sat.add_clause sat (Sat.Lit.negate y :: inds);
+            y
+        in
+        if key.gweight > 0 then entries := (key.gweight, ind) :: !entries
+        else if key.gweight < 0 then begin
+          (* w*x = w + |w|*(1-x): minimize |w| * (not x), constant w *)
+          offset := !offset + key.gweight;
+          entries := (-key.gweight, Sat.Lit.negate ind) :: !entries
+        end
+      end)
+    groups;
+  Hashtbl.fold
+    (fun priority (entries, offset) acc ->
+      { priority; entries = !entries; offset = !offset } :: acc)
+    by_priority []
+  |> List.sort (fun a b -> Int.compare b.priority a.priority)
+
+let eval_raw sat level =
+  List.fold_left
+    (fun acc (w, l) -> if Sat.value sat l then acc + w else acc)
+    0 level.entries
+
+let eval_level sat level = level.offset + eval_raw sat level
+
+type outcome = { costs : (int * int) list; models_enumerated : int }
+
+(* --- model-guided branch and bound (clasp's "bb") -------------------- *)
+
+(* Tighten sum <= best-1 under a fresh selector until unsatisfiable; the
+   stored model always satisfies all bounds fixed so far. *)
+let bb_level sat ~(solve : ?assumptions:Sat.lit list -> unit -> Sat.result) lvl =
+  let w_total = List.fold_left (fun acc (w, _) -> acc + w) 0 lvl.entries in
+  let best = ref (eval_raw sat lvl) in
+  let improving = ref true in
+  while !improving && !best > 0 do
+    let sel = Sat.Lit.pos (Sat.new_var sat) in
+    Sat.add_pb_le sat ((w_total - !best + 1, sel) :: lvl.entries) w_total;
+    match solve ~assumptions:[ sel ] () with
+    | Sat.Sat ->
+      Sat.add_clause sat [ Sat.Lit.negate sel ];
+      let v = eval_raw sat lvl in
+      assert (v < !best);
+      best := v
+    | Sat.Unsat ->
+      Sat.add_clause sat [ Sat.Lit.negate sel ];
+      improving := false
+  done;
+  !best
+
+(* --- unsatisfiable-core-guided (clasp's "usc,one", OLL-style) -------- *)
+
+(* Assume every objective indicator false; each core raises the lower bound
+   by its minimum weight and is relaxed with one cardinality ladder (soft
+   literals "at most j of this core violated"). *)
+let usc_level sat ~(solve : ?assumptions:Sat.lit list -> unit -> Sat.result) lvl =
+  let weights : (Sat.lit, int) Hashtbl.t = Hashtbl.create 16 in
+  let add_soft l w =
+    Hashtbl.replace weights l (w + Option.value ~default:0 (Hashtbl.find_opt weights l))
+  in
+  List.iter (fun (w, y) -> add_soft (Sat.Lit.negate y) w) lvl.entries;
+  let lower = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let assumptions =
+      Hashtbl.fold (fun l w acc -> if w > 0 then l :: acc else acc) weights []
+    in
+    if assumptions = [] then continue_ := false
+    else
+      match solve ~assumptions () with
+      | Sat.Sat -> continue_ := false
+      | Sat.Unsat -> (
+        (* keep only genuine soft assumptions (defensive) *)
+        match List.filter (Hashtbl.mem weights) (Sat.last_core sat) with
+        | [] ->
+          (* hard conflict: cannot happen after an initial model exists *)
+          continue_ := false
+        | core ->
+          let wmin =
+            List.fold_left
+              (fun m l -> min m (Option.value ~default:max_int (Hashtbl.find_opt weights l)))
+              max_int core
+          in
+          lower := !lower + wmin;
+          List.iter
+            (fun l ->
+              match Hashtbl.find_opt weights l with
+              | Some w -> Hashtbl.replace weights l (w - wmin)
+              | None -> ())
+            core;
+          let n = List.length core in
+          if n > 1 then begin
+            (* cardinality ladder: soft "at most j violated" for j=1..n-1 *)
+            let violations = List.map (fun l -> (1, Sat.Lit.negate l)) core in
+            for j = 1 to n - 1 do
+              let r = Sat.Lit.pos (Sat.new_var sat) in
+              (* not r -> (violations <= j):  sum + (n-j)*(not r) <= n *)
+              Sat.add_pb_le sat ((n - j, Sat.Lit.negate r) :: violations) n;
+              add_soft (Sat.Lit.negate r) wmin
+            done
+          end)
+  done;
+  (* the last model realizes the lower bound *)
+  let v = eval_raw sat lvl in
+  assert (v >= !lower);
+  v
+
+let run ?(strategy = `Bb) (t : Translate.t) ~on_model =
+  let sat = t.Translate.sat in
+  let models = ref 0 in
+  let solve ?assumptions () =
+    let r = Sat.solve ?assumptions ~on_model sat in
+    if r = Sat.Sat then incr models;
+    r
+  in
+  match solve () with
+  | Sat.Unsat -> None
+  | Sat.Sat ->
+    let lvls = levels t in
+    (* [levels] added fresh indicator variables that are unassigned in the
+       stored model: re-solve once so every eval below sees them.  From here
+       on the stored model always satisfies all permanent bounds. *)
+    (match solve () with
+    | Sat.Unsat -> assert false (* indicators are unconstrained so far *)
+    | Sat.Sat -> ());
+    let costs =
+      List.map
+        (fun lvl ->
+          let w_total = List.fold_left (fun acc (w, _) -> acc + w) 0 lvl.entries in
+          let best =
+            (* the stored model already realizes 0: no search needed *)
+            if eval_raw sat lvl = 0 then 0
+            else
+              match strategy with
+              | `Bb -> bb_level sat ~solve lvl
+              | `Usc -> usc_level sat ~solve lvl
+          in
+          (* fix the optimum for the remaining levels; the stored model
+             already satisfies this bound *)
+          if lvl.entries <> [] && best < w_total then Sat.add_pb_le sat lvl.entries best;
+          (lvl.priority, lvl.offset + best))
+        lvls
+    in
+    Some { costs; models_enumerated = !models }

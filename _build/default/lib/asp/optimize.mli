@@ -1,0 +1,38 @@
+(** Lexicographic multi-objective optimization over [#minimize] statements.
+
+    Ground minimize entries are grouped by (priority, weight, tuple) — a
+    tuple contributes its weight when any of its condition bodies holds, as
+    in the ASP-Core-2 semantics.  Levels are optimized from the highest
+    priority down.  Each level runs a model-guided descent: after a model
+    with objective value [v], a selector-guarded pseudo-Boolean bound
+    [sum <= v-1] is assumed; when the bound becomes unsatisfiable the
+    optimum [v] is fixed with a permanent constraint and the next level
+    starts.  This mirrors clasp's branch-and-bound ([bb]) strategy; the
+    [usc]-style strategy of the paper differs only in how bounds are probed,
+    not in the optimum found. *)
+
+type level = {
+  priority : int;
+  entries : (int * Sat.lit) list;  (** positive weights with indicator literals *)
+  offset : int;  (** constant contribution (negative weights, constant-true bodies) *)
+}
+
+val levels : Translate.t -> level list
+(** Build indicator literals for all minimize groups, highest priority
+    first.  Adds variables/clauses to the underlying solver. *)
+
+val eval_level : Sat.t -> level -> int
+(** Objective value of [level] in the solver's last model (offset included). *)
+
+type outcome = {
+  costs : (int * int) list;  (** (priority, optimal value) per level *)
+  models_enumerated : int;  (** SAT answers seen during descent *)
+}
+
+val run :
+  ?strategy:[ `Bb | `Usc ] ->
+  Translate.t ->
+  on_model:(Sat.t -> [ `Accept | `Refine of Sat.lit list list ]) ->
+  outcome option
+(** Optimize all levels.  [None] if the program is unsatisfiable.  On
+    success the solver's stored model is an optimal stable model. *)

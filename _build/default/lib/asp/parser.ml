@@ -1,0 +1,376 @@
+exception Error of string * int
+
+open Lexer
+
+type state = {
+  toks : (token * int) array;
+  mutable pos : int;
+  mutable anon : int;
+  consts : (string, Ast.term) Hashtbl.t;  (* #const definitions *)
+}
+
+let peek st = fst st.toks.(st.pos)
+let line st = snd st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let err st msg = raise (Error (msg, line st))
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    err st
+      (Format.asprintf "expected %a but found %a" Lexer.pp_token tok Lexer.pp_token
+         (peek st))
+
+let fresh_anon st =
+  st.anon <- st.anon + 1;
+  Printf.sprintf "_Anon%d" st.anon
+
+(* term := add_expr (".." add_expr)?
+   add_expr := mul_expr (("+"|"-") mul_expr)...
+   mul_expr := factor (("*"|"/"|"\\") factor)...
+   factor := INT | STRING | IDENT | VARIABLE | "(" term ")" | "-" factor *)
+let rec parse_interval st =
+  let lo = parse_add st in
+  if peek st = DOTDOT then begin
+    advance st;
+    Ast.Interval (lo, parse_add st)
+  end
+  else lo
+
+and parse_add st =
+  let lhs = parse_mul st in
+  let rec loop acc =
+    match peek st with
+    | PLUS ->
+      advance st;
+      loop (Ast.Binop (Ast.Add, acc, parse_mul st))
+    | MINUS ->
+      advance st;
+      loop (Ast.Binop (Ast.Sub, acc, parse_mul st))
+    | _ -> acc
+  in
+  loop lhs
+
+and parse_mul st =
+  let lhs = parse_factor st in
+  let rec loop acc =
+    match peek st with
+    | STAR ->
+      advance st;
+      loop (Ast.Binop (Ast.Mul, acc, parse_factor st))
+    | SLASH ->
+      advance st;
+      loop (Ast.Binop (Ast.Div, acc, parse_factor st))
+    | BACKSLASH ->
+      advance st;
+      loop (Ast.Binop (Ast.Mod, acc, parse_factor st))
+    | _ -> acc
+  in
+  loop lhs
+
+and parse_factor st =
+  match peek st with
+  | INT i ->
+    advance st;
+    Ast.cst_int i
+  | STRING s ->
+    advance st;
+    Ast.cst_str s
+  | IDENT s ->
+    advance st;
+    if peek st = LPAREN then begin
+      (* compound term *)
+      advance st;
+      let rec args acc =
+        let t = parse_interval st in
+        match peek st with
+        | COMMA ->
+          advance st;
+          args (t :: acc)
+        | RPAREN ->
+          advance st;
+          List.rev (t :: acc)
+        | tok ->
+          err st (Format.asprintf "expected ',' or ')' but found %a" Lexer.pp_token tok)
+      in
+      Ast.Fn (s, args [])
+    end
+    else begin
+      match Hashtbl.find_opt st.consts s with
+      | Some t -> t (* #const substitution *)
+      | None -> Ast.cst_str s
+    end
+  | VARIABLE v ->
+    advance st;
+    if v = "_" then Ast.var (fresh_anon st) else Ast.var v
+  | LPAREN ->
+    advance st;
+    let t = parse_interval st in
+    expect st RPAREN;
+    t
+  | MINUS ->
+    advance st;
+    Ast.Binop (Ast.Sub, Ast.cst_int 0, parse_factor st)
+  | t -> err st (Format.asprintf "expected a term but found %a" Lexer.pp_token t)
+
+let parse_term_ast st = parse_interval st
+
+let parse_atom st =
+  match peek st with
+  | IDENT pred ->
+    advance st;
+    if peek st = LPAREN then begin
+      advance st;
+      let rec args acc =
+        let t = parse_term_ast st in
+        match peek st with
+        | COMMA ->
+          advance st;
+          args (t :: acc)
+        | RPAREN ->
+          advance st;
+          List.rev (t :: acc)
+        | tok -> err st (Format.asprintf "expected ',' or ')' but found %a" Lexer.pp_token tok)
+      in
+      Ast.atom pred (args [])
+    end
+    else Ast.atom pred []
+  | t -> err st (Format.asprintf "expected an atom but found %a" Lexer.pp_token t)
+
+let cmp_of_token = function
+  | EQ -> Some Ast.Eq
+  | NE -> Some Ast.Ne
+  | LT -> Some Ast.Lt
+  | LE -> Some Ast.Le
+  | GT -> Some Ast.Gt
+  | GE -> Some Ast.Ge
+  | _ -> None
+
+(* A "simple" body literal: positive/negative atom or comparison, without the
+   trailing conditional part. *)
+let parse_simple_lit st =
+  match peek st with
+  | NOT ->
+    advance st;
+    Ast.Neg (parse_atom st)
+  | IDENT _ -> (
+    (* could be an atom or the lhs of a comparison (a 0-ary constant) *)
+    let a = parse_atom st in
+    match cmp_of_token (peek st) with
+    | Some c when a.Ast.args = [] ->
+      advance st;
+      Ast.Cmp (c, Ast.cst_str a.Ast.pred, parse_term_ast st)
+    | _ -> Ast.Pos a)
+  | _ -> (
+    let t = parse_term_ast st in
+    match cmp_of_token (peek st) with
+    | Some c ->
+      advance st;
+      Ast.Cmp (c, t, parse_term_ast st)
+    | None -> err st "expected a comparison operator")
+
+(* Conditions after ':' extend until ';', '.', ':-', '}' or ']'. They are
+   comma-separated. *)
+let parse_conditions st =
+  let rec loop acc =
+    let l = parse_simple_lit st in
+    match peek st with
+    | COMMA ->
+      advance st;
+      loop (l :: acc)
+    | _ -> List.rev (l :: acc)
+  in
+  loop []
+
+let parse_body_lit st =
+  let l = parse_simple_lit st in
+  if peek st = COLON then begin
+    advance st;
+    let conds = parse_conditions st in
+    let conds =
+      List.map
+        (function
+          | Ast.Pos a -> a
+          | _ -> err st "conditions of a conditional literal must be positive atoms")
+        conds
+    in
+    match l with
+    | Ast.Pos a -> Ast.Forall (a, conds)
+    | _ -> err st "only positive atoms can carry a condition in a rule body"
+  end
+  else l
+
+(* body := body_lit ((','|';') body_lit)* *)
+let parse_body st =
+  let rec loop acc =
+    let l = parse_body_lit st in
+    match peek st with
+    | COMMA | SEMI ->
+      advance st;
+      loop (l :: acc)
+    | _ -> List.rev (l :: acc)
+  in
+  loop []
+
+let parse_choice_elem st =
+  let a = parse_atom st in
+  if peek st = COLON then begin
+    advance st;
+    let guard = parse_conditions st in
+    { Ast.elem = a; guard }
+  end
+  else { Ast.elem = a; guard = [] }
+
+let parse_choice st ~lb =
+  expect st LBRACE;
+  let rec elems acc =
+    if peek st = RBRACE then List.rev acc
+    else
+      let e = parse_choice_elem st in
+      match peek st with
+      | SEMI ->
+        advance st;
+        elems (e :: acc)
+      | RBRACE -> List.rev (e :: acc)
+      | tok -> err st (Format.asprintf "expected ';' or '}' but found %a" Lexer.pp_token tok)
+  in
+  let elems = elems [] in
+  expect st RBRACE;
+  let ub =
+    match peek st with
+    | INT _ | VARIABLE _ | LPAREN -> Some (parse_term_ast st)
+    | _ -> None
+  in
+  Ast.Head_choice { lb; ub; elems }
+
+let parse_head st =
+  match peek st with
+  | LBRACE -> parse_choice st ~lb:None
+  | INT _ | VARIABLE _ | LPAREN ->
+    (* a head can only start with a term when it is a choice bound *)
+    let lb = parse_term_ast st in
+    parse_choice st ~lb:(Some lb)
+  | _ -> Ast.Head_atom (parse_atom st)
+
+let parse_min_elem st ~negate =
+  let weight = parse_term_ast st in
+  let priority =
+    if peek st = AT then begin
+      advance st;
+      parse_term_ast st
+    end
+    else Ast.cst_int 0
+  in
+  let rec tuple acc =
+    if peek st = COMMA then begin
+      advance st;
+      tuple (parse_term_ast st :: acc)
+    end
+    else List.rev acc
+  in
+  let tuple = tuple [] in
+  let guard = if peek st = COLON then (advance st; parse_conditions st) else [] in
+  let weight = if negate then Ast.Binop (Ast.Sub, Ast.cst_int 0, weight) else weight in
+  { Ast.weight; priority; tuple; guard }
+
+let parse_minimize st ~negate =
+  expect st LBRACE;
+  let rec elems acc =
+    if peek st = RBRACE then List.rev acc
+    else
+      let e = parse_min_elem st ~negate in
+      match peek st with
+      | SEMI ->
+        advance st;
+        elems (e :: acc)
+      | RBRACE -> List.rev (e :: acc)
+      | tok -> err st (Format.asprintf "expected ';' or '}' but found %a" Lexer.pp_token tok)
+  in
+  let elems = elems [] in
+  expect st RBRACE;
+  expect st DOT;
+  Ast.Minimize elems
+
+(* [None] for pure directives (#const) that produce no statement *)
+let parse_statement st =
+  match peek st with
+  | MINIMIZE ->
+    advance st;
+    Some (parse_minimize st ~negate:false)
+  | MAXIMIZE ->
+    advance st;
+    Some (parse_minimize st ~negate:true)
+  | SHOW -> (
+    advance st;
+    match peek st with
+    | DOT ->
+      advance st;
+      Some (Ast.Show None)
+    | IDENT p -> (
+      advance st;
+      expect st SLASH;
+      match peek st with
+      | INT n ->
+        advance st;
+        expect st DOT;
+        Some (Ast.Show (Some (p, n)))
+      | tok -> err st (Format.asprintf "expected an arity but found %a" Lexer.pp_token tok))
+    | tok ->
+      err st (Format.asprintf "expected '.' or a predicate signature but found %a"
+                Lexer.pp_token tok))
+  | CONST -> (
+    advance st;
+    match peek st with
+    | IDENT name -> (
+      advance st;
+      expect st EQ;
+      let t = parse_term_ast st in
+      expect st DOT;
+      match t with
+      | Ast.Cst _ ->
+        Hashtbl.replace st.consts name t;
+        None
+      | _ -> err st "#const requires a ground value")
+    | tok -> err st (Format.asprintf "expected a name after #const but found %a" Lexer.pp_token tok))
+  | IF ->
+    advance st;
+    let body = parse_body st in
+    expect st DOT;
+    Some (Ast.Rule { head = Ast.Head_none; body })
+  | _ ->
+    let head = parse_head st in
+    let body =
+      if peek st = IF then begin
+        advance st;
+        parse_body st
+      end
+      else []
+    in
+    expect st DOT;
+    Some (Ast.Rule { head; body })
+
+let parse src =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; pos = 0; anon = 0; consts = Hashtbl.create 8 } in
+  let rec loop acc =
+    if peek st = EOF then List.rev acc
+    else
+      match parse_statement st with
+      | Some stmt -> loop (stmt :: acc)
+      | None -> loop acc
+  in
+  try loop [] with Lexer.Error (m, l) -> raise (Error (m, l))
+
+let parse_term src =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; pos = 0; anon = 0; consts = Hashtbl.create 8 } in
+  let rec ground = function
+    | Ast.Cst c -> c
+    | Ast.Fn (f, args) -> Term.Fun (f, List.map ground args)
+    | _ -> err st "expected a single ground constant"
+  in
+  match parse_term_ast st with
+  | t when peek st = EOF -> ground t
+  | _ -> err st "expected a single ground constant"
+  | exception Lexer.Error (m, l) -> raise (Error (m, l))

@@ -1,0 +1,758 @@
+type lit = int
+
+module Lit = struct
+  let pos v = 2 * v
+  let neg v = (2 * v) + 1
+  let negate l = l lxor 1
+  let var l = l lsr 1
+  let sign l = l land 1 = 1
+end
+
+type params = {
+  var_decay : float;
+  clause_decay : float;
+  restart_base : int;
+  default_phase : bool;
+  learnt_start : int;
+  learnt_inc : float;
+  seed : int;
+}
+
+let default_params =
+  {
+    var_decay = 0.95;
+    clause_decay = 0.999;
+    restart_base = 100;
+    default_phase = false;
+    learnt_start = 4000;
+    learnt_inc = 1.3;
+    seed = 91648253;
+  }
+
+type stats = {
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable restarts : int;
+  mutable learnt_literals : int;
+  mutable pb_propagations : int;
+}
+
+type clause = {
+  mutable lits : int array;
+  mutable activity : float;
+  learnt : bool;
+  mutable deleted : bool;
+}
+
+type pb = {
+  plits : int array;  (* sorted by weight, descending *)
+  pws : int array;
+  cap : int;
+  mutable sumtrue : int;
+}
+
+type reason =
+  | Decision
+  | RClause of clause
+  | RPb of pb * int
+      (* lazy PB reason: constraint + propagated literal; the clause is
+         reconstructed on demand in conflict analysis *)
+
+let dummy_clause = { lits = [||]; activity = 0.; learnt = false; deleted = true }
+
+type t = {
+  params : params;
+  mutable nvars : int;
+  (* per-var state (length >= nvars) *)
+  mutable values : int array;  (* -1 undef, 0 false, 1 true *)
+  mutable levels : int array;
+  mutable trail_pos : int array;  (* position on the trail when assigned *)
+  mutable reasons : reason array;
+  mutable activities : float array;
+  mutable phases : bool array;
+  mutable seen : bool array;
+  mutable heap_pos : int array;  (* -1 when not in heap *)
+  (* per-literal state (length >= 2*nvars) *)
+  mutable watches : clause Vec.t array;
+  mutable pb_occs : (pb * int) Vec.t array;
+  (* search state *)
+  trail : int Vec.t;
+  trail_lim : int Vec.t;
+  mutable qhead : int;
+  heap : int Vec.t;  (* binary max-heap of vars by activity *)
+  clauses : clause Vec.t;
+  learnts : clause Vec.t;
+  pbs : pb Vec.t;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  mutable unsat : bool;
+  mutable model : int array;  (* copy of values at last SAT *)
+  stats : stats;
+  to_clear : int Vec.t;
+  mutable max_learnts : float;
+  mutable core : int list;  (* assumption core of the last Unsat-under-assumptions *)
+}
+
+let create ?(params = default_params) () =
+  {
+    params;
+    nvars = 0;
+    values = Array.make 16 (-1);
+    levels = Array.make 16 0;
+    trail_pos = Array.make 16 0;
+    reasons = Array.make 16 Decision;
+    activities = Array.make 16 0.;
+    phases = Array.make 16 params.default_phase;
+    seen = Array.make 16 false;
+    heap_pos = Array.make 16 (-1);
+    watches = Array.init 32 (fun _ -> Vec.create ~dummy:dummy_clause ());
+    pb_occs =
+      Array.init 32 (fun _ ->
+          Vec.create ~dummy:({ plits = [||]; pws = [||]; cap = 0; sumtrue = 0 }, 0) ());
+    trail = Vec.create ~dummy:0 ();
+    trail_lim = Vec.create ~dummy:0 ();
+    qhead = 0;
+    heap = Vec.create ~dummy:0 ();
+    clauses = Vec.create ~dummy:dummy_clause ();
+    learnts = Vec.create ~dummy:dummy_clause ();
+    pbs = Vec.create ~dummy:{ plits = [||]; pws = [||]; cap = 0; sumtrue = 0 } ();
+    var_inc = 1.0;
+    cla_inc = 1.0;
+    unsat = false;
+    model = [||];
+    stats =
+      {
+        conflicts = 0;
+        decisions = 0;
+        propagations = 0;
+        restarts = 0;
+        learnt_literals = 0;
+        pb_propagations = 0;
+      };
+    to_clear = Vec.create ~dummy:0 ();
+    max_learnts = float_of_int params.learnt_start;
+    core = [];
+  }
+
+let num_vars s = s.nvars
+let stats s = s.stats
+
+(* ---------------- heap (max-heap on activity) ---------------- *)
+
+let heap_lt s a b = s.activities.(a) > s.activities.(b)
+
+let heap_swap s i j =
+  let a = Vec.get s.heap i and b = Vec.get s.heap j in
+  Vec.set s.heap i b;
+  Vec.set s.heap j a;
+  s.heap_pos.(a) <- j;
+  s.heap_pos.(b) <- i
+
+let rec heap_up s i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if heap_lt s (Vec.get s.heap i) (Vec.get s.heap p) then begin
+      heap_swap s i p;
+      heap_up s p
+    end
+  end
+
+let rec heap_down s i =
+  let n = Vec.length s.heap in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < n && heap_lt s (Vec.get s.heap l) (Vec.get s.heap !best) then best := l;
+  if r < n && heap_lt s (Vec.get s.heap r) (Vec.get s.heap !best) then best := r;
+  if !best <> i then begin
+    heap_swap s i !best;
+    heap_down s !best
+  end
+
+let heap_insert s v =
+  if s.heap_pos.(v) < 0 then begin
+    Vec.push s.heap v;
+    s.heap_pos.(v) <- Vec.length s.heap - 1;
+    heap_up s (Vec.length s.heap - 1)
+  end
+
+let heap_pop s =
+  let v = Vec.get s.heap 0 in
+  let last = Vec.pop s.heap in
+  s.heap_pos.(v) <- -1;
+  if Vec.length s.heap > 0 then begin
+    Vec.set s.heap 0 last;
+    s.heap_pos.(last) <- 0;
+    heap_down s 0
+  end;
+  v
+
+let heap_update s v = if s.heap_pos.(v) >= 0 then heap_up s s.heap_pos.(v)
+
+(* ---------------- variables ---------------- *)
+
+let grow_arrays s =
+  let n = Array.length s.values in
+  if s.nvars >= n then begin
+    let m = 2 * n in
+    let copy a fill = Array.append a (Array.make (m - n) fill) in
+    s.values <- copy s.values (-1);
+    s.levels <- copy s.levels 0;
+    s.trail_pos <- copy s.trail_pos 0;
+    s.reasons <- copy s.reasons Decision;
+    s.activities <- copy s.activities 0.;
+    s.phases <- copy s.phases s.params.default_phase;
+    s.seen <- copy s.seen false;
+    s.heap_pos <- copy s.heap_pos (-1);
+    s.watches <-
+      Array.append s.watches
+        (Array.init (2 * (m - n)) (fun _ -> Vec.create ~dummy:dummy_clause ()));
+    s.pb_occs <-
+      Array.append s.pb_occs
+        (Array.init (2 * (m - n)) (fun _ ->
+             Vec.create ~dummy:({ plits = [||]; pws = [||]; cap = 0; sumtrue = 0 }, 0) ()))
+  end
+
+let new_var s =
+  let v = s.nvars in
+  s.nvars <- v + 1;
+  grow_arrays s;
+  s.values.(v) <- -1;
+  s.phases.(v) <- s.params.default_phase;
+  (* deterministic per-seed jitter so presets differ in activity ties *)
+  s.activities.(v) <- float_of_int ((s.params.seed * (v + 1)) land 0xffff) *. 1e-14;
+  heap_insert s v;
+  v
+
+let lit_value s l =
+  let v = s.values.(l lsr 1) in
+  if v < 0 then -1 else v lxor (l land 1)
+
+let decision_level s = Vec.length s.trail_lim
+
+(* ---------------- activity ---------------- *)
+
+let var_bump s v =
+  s.activities.(v) <- s.activities.(v) +. s.var_inc;
+  if s.activities.(v) > 1e100 then begin
+    for i = 0 to s.nvars - 1 do
+      s.activities.(i) <- s.activities.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end;
+  heap_update s v
+
+let var_decay s = s.var_inc <- s.var_inc /. s.params.var_decay
+
+let cla_bump s c =
+  c.activity <- c.activity +. s.cla_inc;
+  if c.activity > 1e20 then begin
+    Vec.iter (fun c -> c.activity <- c.activity *. 1e-20) s.learnts;
+    s.cla_inc <- s.cla_inc *. 1e-20
+  end
+
+let cla_decay s = s.cla_inc <- s.cla_inc /. s.params.clause_decay
+
+(* ---------------- assignment ---------------- *)
+
+let unchecked_enqueue s l reason =
+  let v = l lsr 1 in
+  s.values.(v) <- 1 - (l land 1);
+  s.levels.(v) <- decision_level s;
+  s.reasons.(v) <- reason;
+  s.trail_pos.(v) <- Vec.length s.trail;
+  Vec.push s.trail l;
+  (* keep PB counters in sync with the assignment (mirrored in cancel_until) *)
+  Vec.iter (fun ((pb : pb), i) -> pb.sumtrue <- pb.sumtrue + pb.pws.(i)) s.pb_occs.(l)
+
+let enqueue s l reason =
+  match lit_value s l with
+  | 1 -> true
+  | 0 -> false
+  | _ ->
+    unchecked_enqueue s l reason;
+    true
+
+let cancel_until s level =
+  if decision_level s > level then begin
+    let bound = Vec.get s.trail_lim level in
+    while Vec.length s.trail > bound do
+      let l = Vec.pop s.trail in
+      let v = l lsr 1 in
+      (* l was true: retract PB sums *)
+      Vec.iter (fun ((pb : pb), i) -> pb.sumtrue <- pb.sumtrue - pb.pws.(i)) s.pb_occs.(l);
+      s.phases.(v) <- s.values.(v) = 1;
+      s.values.(v) <- -1;
+      s.reasons.(v) <- Decision;
+      heap_insert s v
+    done;
+    s.qhead <- bound;
+    Vec.shrink s.trail_lim level
+  end
+
+(* ---------------- clause management ---------------- *)
+
+let attach_clause s c =
+  Vec.push s.watches.(c.lits.(0)) c;
+  Vec.push s.watches.(c.lits.(1)) c
+
+let locked s c =
+  let l0 = c.lits.(0) in
+  lit_value s l0 = 1
+  && match s.reasons.(l0 lsr 1) with RClause c' -> c' == c | _ -> false
+
+(* Add a clause at decision level 0 (the current level must be 0). *)
+let add_clause s lits =
+  if not s.unsat then begin
+    assert (decision_level s = 0);
+    (* simplify: dedup, drop false lits, detect tautology/satisfied *)
+    let lits = List.sort_uniq Int.compare lits in
+    let tautology =
+      let rec go = function
+        | a :: (b :: _ as rest) -> (a lxor b) = 1 || go rest
+        | _ -> false
+      in
+      go lits
+    in
+    let satisfied = List.exists (fun l -> lit_value s l = 1) lits in
+    if not (tautology || satisfied) then begin
+      let lits = List.filter (fun l -> lit_value s l <> 0) lits in
+      match lits with
+      | [] -> s.unsat <- true
+      | [ l ] -> ignore (enqueue s l Decision)
+      | _ ->
+        let c =
+          { lits = Array.of_list lits; activity = 0.; learnt = false; deleted = false }
+        in
+        Vec.push s.clauses c;
+        attach_clause s c
+    end
+  end
+
+let add_pb_le s wls cap =
+  if not s.unsat then begin
+    assert (decision_level s = 0);
+    List.iter (fun (w, _) -> if w <= 0 then invalid_arg "add_pb_le: weights must be > 0") wls;
+    (* merge duplicate literals; a pair (l, ¬l) contributes min weight always *)
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (w, l) ->
+        Hashtbl.replace tbl l (w + Option.value ~default:0 (Hashtbl.find_opt tbl l)))
+      wls;
+    let base = ref 0 in
+    let items = ref [] in
+    Hashtbl.iter
+      (fun l w ->
+        if l land 1 = 0 && Hashtbl.mem tbl (l lxor 1) then begin
+          (* handle the complementary pair once, from the positive side *)
+          let w' = Hashtbl.find tbl (l lxor 1) in
+          let m = min w w' in
+          base := !base + m;
+          if w > m then items := (w - m, l) :: !items
+          else if w' > m then items := (w' - m, l lxor 1) :: !items
+        end
+        else if not (Hashtbl.mem tbl (l lxor 1)) then items := (w, l) :: !items)
+      tbl;
+    let cap = cap - !base in
+    let items = List.filter (fun (_, l) -> lit_value s l <> 0) !items in
+    let fixed_true =
+      List.fold_left (fun acc (w, l) -> if lit_value s l = 1 then acc + w else acc) 0 items
+    in
+    if cap < fixed_true then s.unsat <- true
+    else begin
+      let arr = Array.of_list items in
+      Array.sort (fun (w1, _) (w2, _) -> Int.compare w2 w1) arr;
+      let plits = Array.map snd arr and pws = Array.map fst arr in
+      (* initialize against the current (level-0) assignment; later updates
+         happen in unchecked_enqueue/cancel_until *)
+      let pb = { plits; pws; cap; sumtrue = fixed_true } in
+      Vec.push s.pbs pb;
+      Array.iteri (fun i l -> Vec.push s.pb_occs.(l) (pb, i)) plits;
+      (* forced units at level 0 *)
+      Array.iteri
+        (fun i l ->
+          if lit_value s l = -1 && pb.pws.(i) > pb.cap - pb.sumtrue then
+            ignore (enqueue s (l lxor 1) Decision))
+        plits
+    end
+  end
+
+(* ---------------- propagation ---------------- *)
+
+exception Conflict of int array
+
+(* Conflict clause for a PB overflow: the negations of the constraint's true
+   literals (the counter-propagation scheme of Sat4j). *)
+let pb_conflict_clause s (pb : pb) =
+  let acc = ref [] in
+  Array.iter (fun l' -> if lit_value s l' = 1 then acc := (l' lxor 1) :: !acc) pb.plits;
+  !acc
+
+(* Reason clause for a literal propagated by a PB constraint, reconstructed
+   lazily: exactly the literals that were true when the propagation fired,
+   i.e. the constraint's true literals assigned earlier on the trail. *)
+let pb_reason_clause s (pb : pb) plit =
+  let pos = s.trail_pos.(plit lsr 1) in
+  let acc = ref [ plit ] in
+  Array.iter
+    (fun l' ->
+      if lit_value s l' = 1 && s.trail_pos.(l' lsr 1) < pos then
+        acc := (l' lxor 1) :: !acc)
+    pb.plits;
+  Array.of_list (List.rev !acc)
+
+(* Check/propagate PB constraints containing literal [l], which became true
+   (the counter itself was already updated at enqueue time). *)
+let propagate_pb s l =
+  let occs = s.pb_occs.(l) in
+  for oi = 0 to Vec.length occs - 1 do
+    let pb, _ = Vec.get occs oi in
+    if pb.sumtrue > pb.cap then
+      (* conflict: the true literals overshoot the cap *)
+      raise (Conflict (Array.of_list (pb_conflict_clause s pb)));
+    (* propagate: any unassigned literal whose weight overflows must be false *)
+    let slack = pb.cap - pb.sumtrue in
+    let j = ref 0 in
+    let n = Array.length pb.plits in
+    while !j < n && pb.pws.(!j) > slack do
+      let lj = pb.plits.(!j) in
+      if lit_value s lj = -1 then begin
+        s.stats.pb_propagations <- s.stats.pb_propagations + 1;
+        unchecked_enqueue s (lj lxor 1) (RPb (pb, lj lxor 1))
+      end;
+      incr j
+    done
+  done
+
+let propagate s =
+  try
+    while s.qhead < Vec.length s.trail do
+      let l = Vec.get s.trail s.qhead in
+      s.qhead <- s.qhead + 1;
+      s.stats.propagations <- s.stats.propagations + 1;
+      propagate_pb s l;
+      let false_lit = l lxor 1 in
+      let ws = s.watches.(false_lit) in
+      let n = Vec.length ws in
+      let keep = ref 0 in
+      let i = ref 0 in
+      (try
+         while !i < n do
+           let c = Vec.get ws !i in
+           incr i;
+           if c.deleted then () (* drop lazily *)
+           else begin
+             (* ensure the false literal is at position 1 *)
+             if c.lits.(0) = false_lit then begin
+               c.lits.(0) <- c.lits.(1);
+               c.lits.(1) <- false_lit
+             end;
+             if lit_value s c.lits.(0) = 1 then begin
+               Vec.set ws !keep c;
+               incr keep
+             end
+             else begin
+               (* look for a new watch *)
+               let len = Array.length c.lits in
+               let found = ref false in
+               let k = ref 2 in
+               while (not !found) && !k < len do
+                 if lit_value s c.lits.(!k) <> 0 then begin
+                   c.lits.(1) <- c.lits.(!k);
+                   c.lits.(!k) <- false_lit;
+                   Vec.push s.watches.(c.lits.(1)) c;
+                   found := true
+                 end;
+                 incr k
+               done;
+               if not !found then begin
+                 (* unit or conflict *)
+                 Vec.set ws !keep c;
+                 incr keep;
+                 if lit_value s c.lits.(0) = 0 then begin
+                   (* conflict: keep remaining watchers *)
+                   while !i < n do
+                     Vec.set ws !keep (Vec.get ws !i);
+                     incr keep;
+                     incr i
+                   done;
+                   Vec.shrink ws !keep;
+                   raise (Conflict (Array.copy c.lits))
+                 end
+                 else unchecked_enqueue s c.lits.(0) (RClause c)
+               end
+             end
+           end
+         done;
+         Vec.shrink ws !keep
+       with Conflict _ as e -> raise e)
+    done;
+    None
+  with Conflict lits -> Some lits
+
+(* ---------------- conflict analysis (first UIP) ---------------- *)
+
+let reason_lits s v =
+  match s.reasons.(v) with
+  | Decision -> [||]
+  | RClause c ->
+    cla_bump s c;
+    c.lits
+  | RPb (pb, plit) -> pb_reason_clause s pb plit
+
+let analyze s confl =
+  let learnt = Vec.create ~dummy:0 () in
+  Vec.push learnt 0;
+  (* placeholder for the asserting literal *)
+  let counter = ref 0 in
+  let p = ref (-1) in
+  let trail_idx = ref (Vec.length s.trail - 1) in
+  let cur_level = decision_level s in
+  Vec.clear s.to_clear;
+  let c = ref confl in
+  let continue_ = ref true in
+  while !continue_ do
+    let lits = !c in
+    let start = if !p = -1 then 0 else 1 in
+    for k = start to Array.length lits - 1 do
+      let q = lits.(k) in
+      let v = q lsr 1 in
+      if (not s.seen.(v)) && s.levels.(v) > 0 then begin
+        s.seen.(v) <- true;
+        Vec.push s.to_clear v;
+        var_bump s v;
+        if s.levels.(v) >= cur_level then incr counter
+        else Vec.push learnt q
+      end
+    done;
+    (* select next literal to look at *)
+    while not s.seen.(Vec.get s.trail !trail_idx lsr 1) do
+      decr trail_idx
+    done;
+    p := Vec.get s.trail !trail_idx;
+    decr trail_idx;
+    s.seen.(!p lsr 1) <- false;
+    decr counter;
+    if !counter = 0 then continue_ := false
+    else c := reason_lits s (!p lsr 1)
+  done;
+  Vec.set learnt 0 (!p lxor 1);
+  (* find backtrack level: max level among learnt[1..]; move it to index 1 *)
+  let bt = ref 0 in
+  if Vec.length learnt > 1 then begin
+    let max_i = ref 1 in
+    for k = 2 to Vec.length learnt - 1 do
+      if s.levels.(Vec.get learnt k lsr 1) > s.levels.(Vec.get learnt !max_i lsr 1) then
+        max_i := k
+    done;
+    let tmp = Vec.get learnt 1 in
+    Vec.set learnt 1 (Vec.get learnt !max_i);
+    Vec.set learnt !max_i tmp;
+    bt := s.levels.(Vec.get learnt 1 lsr 1)
+  end;
+  Vec.iter (fun v -> s.seen.(v) <- false) s.to_clear;
+  (Vec.to_array learnt, !bt)
+
+let record_learnt s lits =
+  s.stats.learnt_literals <- s.stats.learnt_literals + Array.length lits;
+  if Array.length lits = 1 then ignore (enqueue s lits.(0) Decision)
+  else begin
+    let c = { lits; activity = 0.; learnt = true; deleted = false } in
+    Vec.push s.learnts c;
+    cla_bump s c;
+    attach_clause s c;
+    unchecked_enqueue s lits.(0) (RClause c)
+  end
+
+(* ---------------- learnt DB reduction ---------------- *)
+
+let reduce_db s =
+  let arr = Vec.to_array s.learnts in
+  Array.sort (fun a b -> Float.compare a.activity b.activity) arr;
+  let n = Array.length arr in
+  let removed = ref 0 in
+  Array.iteri
+    (fun i c ->
+      if
+        (not c.deleted) && (not (locked s c)) && Array.length c.lits > 2
+        && i < n / 2
+      then begin
+        c.deleted <- true;
+        incr removed
+      end)
+    arr;
+  if !removed > 0 then begin
+    (* rebuild learnts vec and purge watches lazily *)
+    let live = Array.of_list (List.filter (fun c -> not c.deleted) (Array.to_list arr)) in
+    Vec.clear s.learnts;
+    Array.iter (Vec.push s.learnts) live;
+    Array.iter
+      (fun ws ->
+        let keep = ref 0 in
+        for i = 0 to Vec.length ws - 1 do
+          let c = Vec.get ws i in
+          if not c.deleted then begin
+            Vec.set ws !keep c;
+            incr keep
+          end
+        done;
+        Vec.shrink ws !keep)
+      s.watches
+  end
+
+(* ---------------- Luby restarts ---------------- *)
+
+(* Luby sequence 1,1,2,1,1,2,4,... ([i] is 0-based). *)
+let rec luby_rec i =
+  let k = ref 1 in
+  while (1 lsl !k) - 1 < i do
+    incr k
+  done;
+  if (1 lsl !k) - 1 = i then 1 lsl (!k - 1)
+  else luby_rec (i - (1 lsl (!k - 1)) + 1)
+
+let luby i = luby_rec (i + 1)
+
+(* Which assumptions imply the current conflict?  Walk the implication graph
+   backwards from the conflicting literals; decisions reached are assumptions
+   (callers only invoke this when the conflict is at an assumption level). *)
+let analyze_final s confl =
+  Vec.clear s.to_clear;
+  let mark q =
+    let v = q lsr 1 in
+    if s.levels.(v) > 0 && not s.seen.(v) then begin
+      s.seen.(v) <- true;
+      Vec.push s.to_clear v
+    end
+  in
+  Array.iter mark confl;
+  let core = ref [] in
+  for i = Vec.length s.trail - 1 downto 0 do
+    let l = Vec.get s.trail i in
+    let v = l lsr 1 in
+    if s.seen.(v) then begin
+      (match s.reasons.(v) with
+      | Decision -> core := l :: !core
+      | RClause c -> Array.iteri (fun k q -> if k > 0 then mark q) c.lits
+      | RPb (pb, plit) ->
+        let arr = pb_reason_clause s pb plit in
+        Array.iteri (fun k q -> if k > 0 then mark q) arr);
+      s.seen.(v) <- false
+    end
+  done;
+  Vec.iter (fun v -> s.seen.(v) <- false) s.to_clear;
+  !core
+
+(* ---------------- search ---------------- *)
+
+type result = Sat | Unsat
+
+let pick_branch_var s =
+  let rec go () =
+    if Vec.length s.heap = 0 then -1
+    else
+      let v = heap_pop s in
+      if s.values.(v) = -1 then v else go ()
+  in
+  go ()
+
+let solve ?(assumptions = []) ?(on_model = fun _ -> `Accept) s =
+  if s.unsat then Unsat
+  else begin
+    let assumptions = Array.of_list assumptions in
+    let result = ref None in
+    let conflicts_until_restart = ref (s.params.restart_base * luby s.stats.restarts) in
+    (match propagate s with
+    | Some _ -> begin
+      s.unsat <- true;
+      result := Some Unsat
+    end
+    | None -> ());
+    while !result = None do
+      match propagate s with
+      | Some confl ->
+        s.stats.conflicts <- s.stats.conflicts + 1;
+        decr conflicts_until_restart;
+        if decision_level s = 0 then begin
+          s.unsat <- true;
+          s.core <- [];
+          result := Some Unsat
+        end
+        else if decision_level s <= Array.length assumptions then begin
+          (* conflict under assumptions: extract the core *)
+          s.core <- analyze_final s confl;
+          result := Some Unsat
+        end
+        else begin
+          let learnt, bt = analyze s confl in
+          (* backtrack to the asserting level (assumptions below are simply
+             re-decided); raising bt instead would plant unit learnts as
+             pseudo-decisions and corrupt core extraction *)
+          cancel_until s bt;
+          record_learnt s learnt;
+          var_decay s;
+          cla_decay s;
+          if float_of_int (Vec.length s.learnts) > s.max_learnts then begin
+            reduce_db s;
+            s.max_learnts <- s.max_learnts *. s.params.learnt_inc
+          end
+        end
+      | None ->
+        if !conflicts_until_restart <= 0 && decision_level s > Array.length assumptions
+        then begin
+          s.stats.restarts <- s.stats.restarts + 1;
+          conflicts_until_restart := s.params.restart_base * luby s.stats.restarts;
+          cancel_until s (Array.length assumptions)
+        end
+        else if decision_level s < Array.length assumptions then begin
+          (* decide the next assumption *)
+          let a = assumptions.(decision_level s) in
+          match lit_value s a with
+          | 1 -> Vec.push s.trail_lim (Vec.length s.trail)
+          | 0 ->
+            (* the assumption is already refuted by earlier ones *)
+            s.core <- a :: analyze_final s [| a |];
+            result := Some Unsat
+          | _ ->
+            Vec.push s.trail_lim (Vec.length s.trail);
+            unchecked_enqueue s a Decision
+        end
+        else begin
+          let v = pick_branch_var s in
+          if v < 0 then begin
+            (* total assignment: consult the model hook *)
+            match on_model s with
+            | `Accept ->
+              s.model <- Array.sub s.values 0 s.nvars;
+              result := Some Sat
+            | `Refine clauses ->
+              cancel_until s 0;
+              List.iter (add_clause s) clauses;
+              if s.unsat then result := Some Unsat
+          end
+          else begin
+            s.stats.decisions <- s.stats.decisions + 1;
+            Vec.push s.trail_lim (Vec.length s.trail);
+            let l = if s.phases.(v) then Lit.pos v else Lit.neg v in
+            unchecked_enqueue s l Decision
+          end
+        end
+    done;
+    cancel_until s 0;
+    Option.get !result
+  end
+
+let value s l =
+  let v = s.model.(l lsr 1) in
+  v lxor (l land 1) = 1
+
+let model_true_vars s =
+  let acc = ref [] in
+  Array.iteri (fun v x -> if x = 1 then acc := v :: !acc) s.model;
+  List.rev !acc
+
+let current_lit_value s l = lit_value s l
+
+let last_core s = s.core
+
+let suggest_phase s l = s.phases.(l lsr 1) <- l land 1 = 0

@@ -1,0 +1,98 @@
+(** A CDCL SAT solver with native pseudo-Boolean (cardinality) constraints.
+
+    This plays the role of clasp's search core: conflict-driven clause
+    learning with two-watched-literal propagation, EVSIDS decision heuristic,
+    phase saving, Luby restarts, and activity-based deletion of learnt
+    clauses.  Pseudo-Boolean [<=] constraints are propagated natively with a
+    counter scheme (no CNF encoding), which is what makes cardinality rules
+    and optimization bounds cheap.
+
+    Literal encoding: variable [v] yields literals [2*v] (positive) and
+    [2*v+1] (negated). *)
+
+type t
+
+type lit = int
+
+module Lit : sig
+  val pos : int -> lit
+  val neg : int -> lit
+  val negate : lit -> lit
+  val var : lit -> int
+  val sign : lit -> bool
+  (** [true] for negative literals. *)
+end
+
+(** Search-behaviour knobs (set per clingo-style preset by {!Config}). *)
+type params = {
+  var_decay : float;  (** EVSIDS decay, e.g. 0.95 *)
+  clause_decay : float;
+  restart_base : int;  (** Luby unit, in conflicts *)
+  default_phase : bool;  (** polarity used before phase saving kicks in *)
+  learnt_start : int;  (** learnt-clause cap before the first reduction *)
+  learnt_inc : float;  (** cap growth factor per reduction *)
+  seed : int;  (** deterministic tie-breaking jitter on initial activities *)
+}
+
+val default_params : params
+
+type stats = {
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable restarts : int;
+  mutable learnt_literals : int;
+  mutable pb_propagations : int;
+}
+
+val create : ?params:params -> unit -> t
+val num_vars : t -> int
+
+val new_var : t -> int
+(** Fresh variable, initially unassigned. *)
+
+val add_clause : t -> lit list -> unit
+(** Add a clause (at decision level 0).  The solver may become trivially
+    unsatisfiable; subsequent [solve] calls then return [Unsat]. *)
+
+val add_pb_le : t -> (int * lit) list -> int -> unit
+(** [add_pb_le s wls k] adds [sum w_i * l_i <= k]; all weights must be
+    positive (normalize before calling). *)
+
+type result = Sat | Unsat
+
+val solve :
+  ?assumptions:lit list ->
+  ?on_model:(t -> [ `Accept | `Refine of lit list list ]) ->
+  t ->
+  result
+(** Search for a model.  When a total assignment is found, [on_model] is
+    consulted: [`Accept] ends the search with [Sat]; [`Refine clauses]
+    installs the clauses (at least one of which must be violated by the
+    current assignment, or the search may not terminate) and continues.
+    Assumptions are decided first; if they are contradictory with the
+    constraints the result is [Unsat]. *)
+
+val value : t -> lit -> bool
+(** Value of a literal in the last model.  Only valid after [solve] returned
+    [Sat]. *)
+
+val model_true_vars : t -> int list
+(** Variables assigned true in the last model. *)
+
+val stats : t -> stats
+
+val current_lit_value : t -> lit -> int
+(** Live value of a literal in the solver's current assignment: [1] true,
+    [0] false, [-1] unassigned.  Meant for [on_model] hooks, where the
+    assignment is total. *)
+
+val suggest_phase : t -> lit -> unit
+(** Bias the decision heuristic so that, when the variable of [lit] is
+    branched on, [lit] is tried true first (until phase saving overrides
+    it).  Domain-aware polarity seeding, like clasp's [#heuristic]. *)
+
+val last_core : t -> lit list
+(** After [solve ~assumptions] returned [Unsat]: a subset of the assumptions
+    that together are inconsistent with the constraints (the {e core}).
+    Empty when the instance is unsatisfiable even without assumptions. *)

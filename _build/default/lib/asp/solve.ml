@@ -1,0 +1,105 @@
+type outcome = {
+  answer : Gatom.t list;
+  costs : (int * int) list;
+  ground_stats : Grounder.stats;
+  sat_stats : Sat.stats;
+  models_enumerated : int;
+  ground_time : float;
+  solve_time : float;
+}
+
+type result = Sat of outcome | Unsat of { ground_time : float; solve_time : float }
+
+(* Apply #show statements: when any are present, only atoms whose
+   (predicate, arity) is explicitly shown are reported. *)
+let apply_show prog answer =
+  let shows = List.filter_map (function Ast.Show s -> Some s | _ -> None) prog in
+  if shows = [] then answer
+  else
+    let shown = List.filter_map Fun.id shows in
+    List.filter
+      (fun (a : Gatom.t) ->
+        List.mem (a.Gatom.pred, List.length a.Gatom.args) shown)
+      answer
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let solve_program ?(config = Config.default) prog =
+  let (g, gstats), ground_time = time (fun () -> Grounder.ground prog) in
+  let params = Config.params config.Config.preset in
+  let result, solve_time =
+    time (fun () ->
+        let t = Translate.translate ~params g in
+        let on_model = Stable.hook t in
+        let strategy =
+          match config.Config.strategy with Config.Bb -> `Bb | Config.Usc -> `Usc
+        in
+        match Optimize.run ~strategy t ~on_model with
+        | None -> None
+        | Some { Optimize.costs; models_enumerated } ->
+          Some
+            ( apply_show prog (Translate.answer t),
+              costs,
+              Sat.stats t.Translate.sat,
+              models_enumerated ))
+  in
+  match result with
+  | None -> Unsat { ground_time; solve_time }
+  | Some (answer, costs, sat_stats, models_enumerated) ->
+    Sat
+      {
+        answer;
+        costs;
+        ground_stats = gstats;
+        sat_stats;
+        models_enumerated;
+        ground_time;
+        solve_time;
+      }
+
+let solve_text ?config src = solve_program ?config (Parser.parse src)
+
+let holds o p args =
+  let target = Gatom.make p args in
+  List.exists (fun a -> Gatom.equal a target) o.answer
+
+let atoms_of o p =
+  List.filter_map
+    (fun (a : Gatom.t) -> if String.equal a.Gatom.pred p then Some a.Gatom.args else None)
+    o.answer
+
+let enumerate ?(config = Config.default) ?(limit = max_int) prog =
+  let g, _ = Grounder.ground prog in
+  let params = Config.params config.Config.preset in
+  let t = Translate.translate ~params g in
+  let on_model = Stable.hook t in
+  let strategy =
+    match config.Config.strategy with Config.Bb -> `Bb | Config.Usc -> `Usc
+  in
+  match Optimize.run ~strategy t ~on_model with
+  | None -> []
+  | Some _ ->
+    (* block each found model on its atom variables and continue *)
+    let atom_vars =
+      Array.to_list t.Translate.var_of_atom |> List.filter (fun v -> v >= 0)
+    in
+    let results = ref [] in
+    let continue_ = ref true in
+    while !continue_ && List.length !results < limit do
+      results := apply_show prog (Translate.answer t) :: !results;
+      let blocking =
+        List.map
+          (fun v ->
+            let l = Sat.Lit.pos v in
+            if Sat.value t.Translate.sat l then Sat.Lit.negate l else l)
+          atom_vars
+      in
+      Sat.add_clause t.Translate.sat blocking;
+      match Sat.solve ~on_model t.Translate.sat with
+      | Sat.Sat -> ()
+      | Sat.Unsat -> continue_ := false
+    done;
+    List.rev !results

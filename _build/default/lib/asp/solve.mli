@@ -1,0 +1,39 @@
+(** Top-level solving pipeline: ground, translate, search, optimize.
+
+    This is the [clingo]-equivalent entry point: it takes a first-order
+    program, grounds it, runs CDCL search under stable-model semantics and
+    returns the optimal answer set together with per-phase timings (the
+    paper's instrumentation distinguishes {e load}, {e ground} and {e solve}
+    phases; {e setup} — fact generation — happens in the caller). *)
+
+type outcome = {
+  answer : Gatom.t list;  (** atoms of the optimal stable model, facts included *)
+  costs : (int * int) list;  (** optimization results: (priority, value) *)
+  ground_stats : Grounder.stats;
+  sat_stats : Sat.stats;
+  models_enumerated : int;
+  ground_time : float;  (** seconds *)
+  solve_time : float;  (** translation + search + optimization, seconds *)
+}
+
+type result = Sat of outcome | Unsat of { ground_time : float; solve_time : float }
+
+val solve_program : ?config:Config.t -> Ast.program -> result
+(** @raise Grounder.Error on unsafe or unsupported programs. *)
+
+val solve_text : ?config:Config.t -> string -> result
+(** Parse then solve.
+    @raise Parser.Error on syntax errors. *)
+
+val holds : outcome -> string -> Term.t list -> bool
+(** [holds o p args] tests whether atom [p(args)] is in the answer. *)
+
+val atoms_of : outcome -> string -> Term.t list list
+(** Argument vectors of all answer atoms with predicate [p]. *)
+
+val enumerate :
+  ?config:Config.t -> ?limit:int -> Ast.program -> Gatom.t list list
+(** Enumerate stable models (all of them by default, up to [limit]): each
+    answer is blocked and the search continues, like clingo's [--models N].
+    When the program has [#minimize] statements only {e optimal} models are
+    enumerated (clingo's [--opt-mode=optN]). *)

@@ -1,0 +1,19 @@
+(** Stable-model enforcement: lazy unfounded-set detection.
+
+    Clark completion is complete only for {e tight} programs.  For programs
+    with positive recursion (e.g. the dependency-closure rules of the
+    concretizer), a supported model can contain atoms that circularly justify
+    each other.  Following the assat/clasp approach, whenever the CDCL search
+    reaches a total assignment we compute the {e founded} subset of the true
+    atoms; if some true atoms are unfounded we reject the candidate with loop
+    formulas: each unfounded atom must be false unless one of its external
+    supports (supporting rules whose positive body leaves the unfounded set)
+    holds. *)
+
+val check : Translate.t -> [ `Accept | `Refine of Sat.lit list list ]
+(** Inspect the solver's current total assignment.  [`Refine clauses] returns
+    loop formulas, each violated by the current assignment. *)
+
+val hook : Translate.t -> Sat.t -> [ `Accept | `Refine of Sat.lit list list ]
+(** Convenience wrapper matching the [on_model] signature of {!Sat.solve}
+    (skips the check entirely for tight programs). *)

@@ -1,0 +1,47 @@
+type t = Int of int | Str of string | Fun of string * t list
+
+let rec compare a b =
+  match (a, b) with
+  | Int x, Int y -> Int.compare x y
+  | Int _, _ -> -1
+  | _, Int _ -> 1
+  | Str x, Str y -> String.compare x y
+  | Str _, _ -> -1
+  | _, Str _ -> 1
+  | Fun (f, xs), Fun (g, ys) ->
+    let c = String.compare f g in
+    if c <> 0 then c else List.compare compare xs ys
+
+let equal a b = compare a b = 0
+
+let rec hash = function
+  | Int i -> Hashtbl.hash (0, i)
+  | Str s -> Hashtbl.hash (1, s)
+  | Fun (f, args) -> List.fold_left (fun acc t -> (acc * 31) + hash t) (Hashtbl.hash (2, f)) args
+
+let int i = Int i
+let str s = Str s
+let fun_ f args = Fun (f, args)
+let to_int = function Int i -> Some i | _ -> None
+
+let is_ident s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       s
+
+let rec pp ppf = function
+  | Int i -> Format.pp_print_int ppf i
+  | Str s ->
+    if is_ident s then Format.pp_print_string ppf s
+    else Format.fprintf ppf "%S" s
+  | Fun (f, args) ->
+    Format.fprintf ppf "%s(%a)" f
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',') pp)
+      args
+
+let to_string = function
+  | Int i -> string_of_int i
+  | Str s -> s
+  | Fun _ as t -> Format.asprintf "%a" pp t

@@ -1,0 +1,36 @@
+(** Ground terms of the ASP language.
+
+    A ground term is either an integer or a symbolic constant.  Symbolic
+    constants subsume both ASP identifiers ([foo]) and quoted strings
+    (["foo"]); the two spellings denote the same constant if their characters
+    coincide, which is the convention used throughout this code base (the
+    concretizer only ever compares constants for equality). *)
+
+type t =
+  | Int of int  (** integer constant *)
+  | Str of string  (** symbolic constant or quoted string *)
+  | Fun of string * t list  (** compound term, e.g. [node(1, "hdf5")] *)
+
+val compare : t -> t -> int
+(** Total order: integers before strings, then natural order. *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val int : int -> t
+
+val str : string -> t
+
+val to_int : t -> int option
+(** [to_int t] is [Some i] when [t] is an integer constant. *)
+
+val to_string : t -> string
+(** Raw contents without quoting (used when reading solutions back);
+    compound terms render in ASP syntax. *)
+
+val fun_ : string -> t list -> t
+
+val pp : Format.formatter -> t -> unit
+(** Print in ASP input syntax: integers bare, strings quoted when they are not
+    valid ASP identifiers. *)

@@ -1,0 +1,246 @@
+type support = {
+  s_lit : Sat.lit option;
+  s_pos : int array;
+  s_neg : int array;
+  s_choice : bool;
+}
+
+type t = {
+  sat : Sat.t;
+  ground : Ground.t;
+  var_of_atom : int array;
+  supports : support list array;
+  tight : bool;
+  mutable false_lit : Sat.lit option;  (** lazily created constant-false literal *)
+  body_cache : (int array * int array, Sat.lit option) Hashtbl.t;
+}
+
+let fact t id = Gatom.Store.is_fact t.ground.Ground.store id
+
+let atom_lit t id =
+  let v = t.var_of_atom.(id) in
+  if v < 0 then None else Some (Sat.Lit.pos v)
+
+let constant_false t =
+  match t.false_lit with
+  | Some l -> l
+  | None ->
+    let v = Sat.new_var t.sat in
+    Sat.add_clause t.sat [ Sat.Lit.neg v ];
+    let l = Sat.Lit.pos v in
+    t.false_lit <- Some l;
+    l
+
+(* literal for a body atom occurrence: None = unconditionally satisfied *)
+let pos_occurrence t id =
+  if fact t id then `True
+  else match atom_lit t id with Some l -> `Lit l | None -> `False
+
+let neg_occurrence t id =
+  if fact t id then `False
+  else match atom_lit t id with Some l -> `Lit (Sat.Lit.negate l) | None -> `True
+
+(* Build (or fetch) the indicator literal of a body, with full equivalence. *)
+let body_indicator t (b : Ground.body) =
+  match Hashtbl.find_opt t.body_cache (b.pos, b.neg) with
+  | Some r -> r
+  | None ->
+    let lits = ref [] and impossible = ref false in
+    Array.iter
+      (fun id ->
+        match pos_occurrence t id with
+        | `True -> ()
+        | `False -> impossible := true
+        | `Lit l -> lits := l :: !lits)
+      b.pos;
+    Array.iter
+      (fun id ->
+        match neg_occurrence t id with
+        | `True -> ()
+        | `False -> impossible := true
+        | `Lit l -> lits := l :: !lits)
+      b.neg;
+    let result =
+      if !impossible then Some (constant_false t)
+      else
+        match !lits with
+        | [] -> None
+        | [ l ] -> Some l
+        | lits ->
+          let beta = Sat.Lit.pos (Sat.new_var t.sat) in
+          List.iter
+            (fun l -> Sat.add_clause t.sat [ Sat.Lit.negate beta; l ])
+            lits;
+          Sat.add_clause t.sat (beta :: List.map Sat.Lit.negate lits);
+          Some beta
+    in
+    Hashtbl.add t.body_cache (b.pos, b.neg) result;
+    result
+
+let add_support t id s = t.supports.(id) <- s :: t.supports.(id)
+
+let process_rule t = function
+  | Ground.Rconstraint b -> (
+    (* clause: not all body literals may hold *)
+    match body_indicator t b with
+    | None -> Sat.add_clause t.sat [] (* body unconditionally true: UNSAT *)
+    | Some l -> Sat.add_clause t.sat [ Sat.Lit.negate l ])
+  | Ground.Rnormal (h, b) ->
+    if not (fact t h) then begin
+      let hlit = Option.get (atom_lit t h) in
+      let slit = body_indicator t b in
+      (match slit with
+      | None -> Sat.add_clause t.sat [ hlit ] (* should not happen: grounder makes facts *)
+      | Some l -> Sat.add_clause t.sat [ Sat.Lit.negate l; hlit ]);
+      add_support t h { s_lit = slit; s_pos = b.pos; s_neg = b.neg; s_choice = false }
+    end
+  | Ground.Rchoice { lb; ub; heads; cbody } ->
+    let slit = body_indicator t cbody in
+    let var_heads = ref [] and nfacts = ref 0 in
+    Array.iter
+      (fun h ->
+        if fact t h then incr nfacts
+        else begin
+          let hl = Option.get (atom_lit t h) in
+          var_heads := hl :: !var_heads;
+          add_support t h
+            { s_lit = slit; s_pos = cbody.pos; s_neg = cbody.neg; s_choice = true }
+        end)
+      heads;
+    let hs = Array.of_list !var_heads in
+    let m = Array.length hs in
+    let body_false () =
+      match slit with
+      | None -> Sat.add_clause t.sat []
+      | Some l -> Sat.add_clause t.sat [ Sat.Lit.negate l ]
+    in
+    (match lb with
+    | Some lb ->
+      let lb = lb - !nfacts in
+      if lb > m then body_false ()
+      else if lb > 0 then begin
+        (* body -> at least lb of hs:  sum(not h) + lb*body <= m *)
+        let entries = Array.to_list (Array.map (fun h -> (1, Sat.Lit.negate h)) hs) in
+        match slit with
+        | None -> Sat.add_pb_le t.sat entries (m - lb)
+        | Some l -> Sat.add_pb_le t.sat ((lb, l) :: entries) m
+      end
+    | None -> ());
+    match ub with
+    | Some ub ->
+      let ub = ub - !nfacts in
+      if ub < 0 then body_false ()
+      else if ub < m then begin
+        (* body -> at most ub of hs:  sum(h) + (m-ub)*body <= m *)
+        let entries = Array.to_list (Array.map (fun h -> (1, h)) hs) in
+        match slit with
+        | None -> Sat.add_pb_le t.sat entries ub
+        | Some l -> Sat.add_pb_le t.sat ((m - ub, l) :: entries) m
+      end
+    | None -> ()
+
+(* Does the positive dependency graph (head -> positive body atoms) have a
+   cycle?  Iterative DFS with tri-state colouring. *)
+let has_positive_cycle (g : Ground.t) natoms =
+  let edges = Array.make natoms [] in
+  let add_edges heads (b : Ground.body) =
+    if Array.length b.pos > 0 then
+      Array.iter (fun h -> edges.(h) <- Array.to_list b.pos @ edges.(h)) heads
+  in
+  Vec.iter
+    (function
+      | Ground.Rnormal (h, b) -> add_edges [| h |] b
+      | Ground.Rchoice { heads; cbody; _ } -> add_edges heads cbody
+      | Ground.Rconstraint _ -> ())
+    g.Ground.rules;
+  let color = Array.make natoms 0 in
+  (* 0 white, 1 on stack, 2 done *)
+  let cyclic = ref false in
+  let rec visit stack =
+    match stack with
+    | [] -> ()
+    | `Enter v :: rest ->
+      if color.(v) = 1 then begin
+        cyclic := true;
+        visit rest
+      end
+      else if color.(v) = 2 then visit rest
+      else begin
+        color.(v) <- 1;
+        visit (List.map (fun w -> `Enter w) edges.(v) @ (`Exit v :: rest))
+      end
+    | `Exit v :: rest ->
+      color.(v) <- 2;
+      visit rest
+  in
+  (try
+     for v = 0 to natoms - 1 do
+       if color.(v) = 0 && not !cyclic then visit [ `Enter v ]
+     done
+   with Stack_overflow -> cyclic := true);
+  !cyclic
+
+let translate ?(params = Sat.default_params) (g : Ground.t) =
+  let natoms = Gatom.Store.count g.Ground.store in
+  let sat = Sat.create ~params () in
+  let var_of_atom = Array.make natoms (-1) in
+  (* allocate variables for every non-fact atom mentioned in the program *)
+  let touch id =
+    if var_of_atom.(id) < 0 && not (Gatom.Store.is_fact g.Ground.store id) then
+      var_of_atom.(id) <- Sat.new_var sat
+  in
+  let touch_body (b : Ground.body) =
+    Array.iter touch b.pos;
+    Array.iter touch b.neg
+  in
+  Vec.iter
+    (function
+      | Ground.Rnormal (h, b) ->
+        touch h;
+        touch_body b
+      | Ground.Rchoice { heads; cbody; _ } ->
+        Array.iter touch heads;
+        touch_body cbody
+      | Ground.Rconstraint b -> touch_body b)
+    g.Ground.rules;
+  Vec.iter (fun (m : Ground.min_entry) -> touch_body m.mbody) g.Ground.minimize;
+  let t =
+    {
+      sat;
+      ground = g;
+      var_of_atom;
+      supports = Array.make natoms [];
+      tight = true;
+      false_lit = None;
+      body_cache = Hashtbl.create 256;
+    }
+  in
+  if g.Ground.inconsistent then Sat.add_clause sat [];
+  Vec.iter (process_rule t) g.Ground.rules;
+  (* completion: an atom needs at least one support *)
+  Array.iteri
+    (fun id v ->
+      if v >= 0 then begin
+        let hlit = Sat.Lit.pos v in
+        let unconditional =
+          List.exists (fun s -> s.s_lit = None) t.supports.(id)
+        in
+        if not unconditional then begin
+          let slits = List.filter_map (fun s -> s.s_lit) t.supports.(id) in
+          Sat.add_clause sat (Sat.Lit.negate hlit :: slits)
+        end
+      end)
+    var_of_atom;
+  let tight = not (has_positive_cycle g natoms) in
+  { t with tight }
+
+let atom_is_true t id =
+  if fact t id then true
+  else match atom_lit t id with None -> false | Some l -> Sat.value t.sat l
+
+let answer t =
+  let acc = ref [] in
+  for id = Gatom.Store.count t.ground.Ground.store - 1 downto 0 do
+    if atom_is_true t id then acc := Gatom.Store.atom t.ground.Ground.store id :: !acc
+  done;
+  !acc

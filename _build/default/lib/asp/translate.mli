@@ -1,0 +1,52 @@
+(** Translation of a ground program into a {!Sat} instance via Clark
+    completion.
+
+    Each (possibly true, non-fact) ground atom gets a solver variable.  Rule
+    bodies get shared auxiliary variables with full equivalence clauses;
+    normal rules force their head; choice rules merely {e support} their
+    heads, with cardinality bounds expressed as native pseudo-Boolean
+    constraints conditioned on the body.  Completion clauses close each atom
+    under its set of supports.
+
+    The translation also records, per atom, its supporting rules (body
+    auxiliary plus positive body atoms), which is what the unfounded-set check
+    in {!Stable} consumes, and whether the positive dependency graph is
+    cyclic (tight programs skip the stability check entirely). *)
+
+type support = {
+  s_lit : Sat.lit option;  (** body indicator; [None] when the body is empty *)
+  s_pos : int array;  (** positive body atom ids *)
+  s_neg : int array;
+  s_choice : bool;  (** support comes from a choice rule *)
+}
+
+type t = {
+  sat : Sat.t;
+  ground : Ground.t;
+  var_of_atom : int array;  (** ground atom id -> solver var, or -1 *)
+  supports : support list array;  (** ground atom id -> supporting rules *)
+  tight : bool;  (** no cycle in the positive dependency graph *)
+  mutable false_lit : Sat.lit option;  (** lazily created constant-false literal *)
+  body_cache : (int array * int array, Sat.lit option) Hashtbl.t;
+      (** shared body auxiliaries *)
+}
+
+val translate : ?params:Sat.params -> Ground.t -> t
+(** Build the instance.  If the ground program was flagged inconsistent the
+    returned solver is already unsatisfiable. *)
+
+val atom_lit : t -> int -> Sat.lit option
+(** Solver literal of a ground atom id ([None] for atoms with no variable:
+    facts and impossible atoms). *)
+
+val body_indicator : t -> Ground.body -> Sat.lit option
+(** Indicator literal [b] with [body -> b] and [b -> body] (full
+    equivalence, sharing auxiliaries across identical bodies).  [None] means
+    the body is unconditionally true; if the body is unsatisfiable
+    (mentions an impossible atom) the result is a literal fixed false. *)
+
+val atom_is_true : t -> int -> bool
+(** Truth of a ground atom id in the last model (facts are true). *)
+
+val answer : t -> Gatom.t list
+(** All atoms true in the last model, facts included, sorted. *)

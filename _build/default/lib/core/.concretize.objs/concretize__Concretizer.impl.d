@@ -1,0 +1,1 @@
+lib/core/concretizer.ml: Asp Diagnose Extract Facts List Logic_program Preferences Specs Unix

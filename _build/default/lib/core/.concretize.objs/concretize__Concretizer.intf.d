@@ -1,0 +1,1 @@
+lib/core/concretizer.mli: Asp Facts Pkg Preferences Specs

@@ -1,0 +1,1 @@
+lib/core/criteria.ml: Format List

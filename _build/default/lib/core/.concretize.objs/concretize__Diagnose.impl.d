@@ -1,0 +1,1 @@
+lib/core/diagnose.ml: Facts Format List Pkg Specs String

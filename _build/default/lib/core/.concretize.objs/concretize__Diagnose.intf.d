@@ -1,0 +1,1 @@
+lib/core/diagnose.mli: Facts Pkg Specs

@@ -1,0 +1,1 @@
+lib/core/extract.ml: Asp Format Hashtbl List Option Specs

@@ -1,0 +1,1 @@
+lib/core/extract.mli: Asp Specs

@@ -1,0 +1,1 @@
+lib/core/facts.ml: Asp Hashtbl List Pkg Preferences Specs String

@@ -1,0 +1,1 @@
+lib/core/facts.mli: Asp Pkg Preferences Specs

@@ -1,0 +1,1 @@
+lib/core/greedy.ml: Facts Format Hashtbl Int List Pkg Preferences Printf Specs String

@@ -1,0 +1,1 @@
+lib/core/greedy.mli: Facts Pkg Preferences Specs

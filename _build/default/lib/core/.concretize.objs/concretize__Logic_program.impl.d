@@ -1,0 +1,1 @@
+lib/core/logic_program.ml: Asp List String

@@ -1,0 +1,1 @@
+lib/core/logic_program.mli: Asp

@@ -1,0 +1,1 @@
+lib/core/multishot.ml: Concretizer Hashtbl List Option Pkg Specs Unix

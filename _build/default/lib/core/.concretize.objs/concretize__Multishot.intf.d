@@ -1,0 +1,1 @@
+lib/core/multishot.mli: Asp Concretizer Facts Pkg Preferences Specs

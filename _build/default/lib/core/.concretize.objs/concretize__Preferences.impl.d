@@ -1,0 +1,1 @@
+lib/core/preferences.ml: List Option Pkg Specs

@@ -1,0 +1,1 @@
+lib/core/preferences.mli: Pkg Specs

@@ -1,0 +1,1 @@
+lib/core/validate.ml: Format Hashtbl List Pkg Specs String

@@ -1,0 +1,126 @@
+type phases = {
+  setup_time : float;
+  load_time : float;
+  ground_time : float;
+  solve_time : float;
+}
+
+let total p = p.setup_time +. p.load_time +. p.ground_time +. p.solve_time
+
+type success = {
+  spec : Specs.Spec.concrete;
+  reused : (string * string) list;
+  built : string list;
+  costs : (int * int) list;
+  phases : phases;
+  n_facts : int;
+  n_possible : int;
+  ground_stats : Asp.Grounder.stats;
+  sat_stats : Asp.Sat.stats;
+}
+
+type result =
+  | Concrete of success
+  | Unsatisfiable of {
+      phases : phases;
+      n_facts : int;
+      n_possible : int;
+      reasons : string list;
+    }
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Seed the solver's polarity toward the default configuration (newest
+   version, default variants, best target, preferred compiler/OS/provider) so
+   that the first model found is already close to optimal and the
+   optimization descent mostly just proves optimality.  This plays the role
+   of the domain heuristics (clasp's #heuristic) Spack uses. *)
+let apply_phase_hints (t : Asp.Translate.t) =
+  let store = t.Asp.Translate.ground.Asp.Ground.store in
+  let fact_holds pred args =
+    match Asp.Gatom.Store.find store (Asp.Gatom.make pred args) with
+    | Some id -> Asp.Gatom.Store.is_fact store id
+    | None -> false
+  in
+  let zero = Asp.Term.Int 0 in
+  for id = 0 to Asp.Gatom.Store.count store - 1 do
+    let a = Asp.Gatom.Store.atom store id in
+    let preferred =
+      match (a.Asp.Gatom.pred, a.Asp.Gatom.args) with
+      | "attr", [ Asp.Term.Str "version"; p; v ] ->
+        fact_holds "version_declared" [ p; v; zero ]
+      | "attr", [ Asp.Term.Str "variant_value"; p; var; value ] ->
+        fact_holds "variant_default" [ p; var; value ]
+      | "attr", [ Asp.Term.Str "node_target"; _; tgt ] ->
+        fact_holds "target_weight" [ tgt; zero ]
+      | "attr", [ Asp.Term.Str "node_os"; _; os ] -> fact_holds "os_weight" [ os; zero ]
+      | "attr", [ Asp.Term.Str "node_compiler_version"; _; c; v ] ->
+        fact_holds "compiler_weight" [ c; v; zero ]
+      | "provider", [ v; p ] -> fact_holds "provider_weight" [ v; p; zero ]
+      | _ -> false
+    in
+    if preferred then
+      match Asp.Translate.atom_lit t id with
+      | Some l -> Asp.Sat.suggest_phase t.Asp.Translate.sat l
+      | None -> ()
+  done
+
+let solve ?(config = Asp.Config.default) ?(env = Facts.default_env)
+    ?(prefs = Preferences.empty) ?installed ~repo roots =
+  (* setup: generate the problem-instance facts *)
+  let facts, setup_time =
+    time (fun () -> Facts.generate ~env ~prefs ?installed ~repo roots)
+  in
+  (* load: parse the logic program (not memoized: the paper times this) *)
+  let lp, load_time = time (fun () -> Asp.Parser.parse Logic_program.text) in
+  (* ground *)
+  let (ground, ground_stats), ground_time =
+    time (fun () -> Asp.Grounder.ground (lp @ facts.Facts.statements))
+  in
+  (* solve: translate, search, optimize *)
+  let params = Asp.Config.params config.Asp.Config.preset in
+  let outcome, solve_time =
+    time (fun () ->
+        let t = Asp.Translate.translate ~params ground in
+        apply_phase_hints t;
+        let on_model = Asp.Stable.hook t in
+        let strategy =
+          match config.Asp.Config.strategy with
+          | Asp.Config.Bb -> `Bb
+          | Asp.Config.Usc -> `Usc
+        in
+        match Asp.Optimize.run ~strategy t ~on_model with
+        | None -> None
+        | Some { Asp.Optimize.costs; _ } ->
+          Some (Asp.Translate.answer t, costs, Asp.Sat.stats t.Asp.Translate.sat))
+  in
+  let phases = { setup_time; load_time; ground_time; solve_time } in
+  match outcome with
+  | None ->
+    Unsatisfiable
+      {
+        phases;
+        n_facts = facts.Facts.n_facts;
+        n_possible = List.length facts.Facts.possible;
+        reasons = Diagnose.explain ~env ~repo roots;
+      }
+  | Some (answer, costs, sat_stats) ->
+    let info = Extract.extract answer in
+    Concrete
+      {
+        spec = info.Extract.spec;
+        reused = info.Extract.reused;
+        built = info.Extract.built;
+        costs;
+        phases;
+        n_facts = facts.Facts.n_facts;
+        n_possible = List.length facts.Facts.possible;
+        ground_stats;
+        sat_stats;
+      }
+
+let solve_spec ?config ?env ?prefs ?installed ~repo text =
+  solve ?config ?env ?prefs ?installed ~repo [ Specs.Spec_parser.parse text ]

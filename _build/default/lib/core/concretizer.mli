@@ -1,0 +1,57 @@
+(** The ASP-based concretizer: Spack's dependency solver, reimplemented.
+
+    Pipeline (§VII): {e setup} generates facts for the problem instance,
+    {e load} parses the logic program, {e ground} instantiates it, and
+    {e solve} runs CDCL search with lexicographic optimization.  Each phase
+    is timed separately, matching the paper's instrumentation. *)
+
+type phases = {
+  setup_time : float;
+  load_time : float;
+  ground_time : float;
+  solve_time : float;
+}
+
+val total : phases -> float
+
+type success = {
+  spec : Specs.Spec.concrete;
+  reused : (string * string) list;  (** (package, hash) reused from the DB *)
+  built : string list;  (** packages built from source *)
+  costs : (int * int) list;  (** optimization vector: (priority, value) *)
+  phases : phases;
+  n_facts : int;
+  n_possible : int;  (** possible dependencies considered (Fig. 7's x-axis) *)
+  ground_stats : Asp.Grounder.stats;
+  sat_stats : Asp.Sat.stats;
+}
+
+type result =
+  | Concrete of success
+  | Unsatisfiable of {
+      phases : phases;
+      n_facts : int;
+      n_possible : int;
+      reasons : string list;  (** best-effort explanations ({!Diagnose}) *)
+    }
+
+val solve :
+  ?config:Asp.Config.t ->
+  ?env:Facts.env ->
+  ?prefs:Preferences.t ->
+  ?installed:Pkg.Database.t ->
+  repo:Pkg.Repo.t ->
+  Specs.Spec.abstract list ->
+  result
+(** Concretize one or more root specs together (unified DAG).
+    @raise Facts.Unknown_package on unknown roots or [^deps]. *)
+
+val solve_spec :
+  ?config:Asp.Config.t ->
+  ?env:Facts.env ->
+  ?prefs:Preferences.t ->
+  ?installed:Pkg.Database.t ->
+  repo:Pkg.Repo.t ->
+  string ->
+  result
+(** Parse a spec string, then {!solve}. *)

@@ -1,0 +1,45 @@
+let names =
+  [
+    (1, "Deprecated versions used");
+    (2, "Version oldness (roots)");
+    (3, "Non-default variant values (roots)");
+    (4, "Non-preferred providers (roots)");
+    (5, "Unused default variant values (roots)");
+    (6, "Non-default variant values (non-roots)");
+    (7, "Non-preferred providers (non-roots)");
+    (8, "Compiler mismatches");
+    (9, "OS mismatches");
+    (10, "Non-preferred OS's");
+    (11, "Version oldness (non-roots)");
+    (12, "Unused default variant values (non-roots)");
+    (13, "Non-preferred compilers");
+    (14, "Target mismatches");
+    (15, "Non-preferred targets");
+  ]
+
+let name i = List.assoc i names
+
+type bucket = Build | Reuse
+type decoded = Number_of_builds | Criterion of int * bucket
+
+(* Criterion i has base priority 16-i; the build bucket sits at +200 and the
+   build count at 100 (Fig. 5). *)
+let decode_priority p =
+  if p = 100 then Some Number_of_builds
+  else
+    let base, bucket = if p > 100 then (p - 200, Build) else (p, Reuse) in
+    if base >= 1 && base <= 15 then Some (Criterion (16 - base, bucket)) else None
+
+let pp_cost ppf (p, v) =
+  match decode_priority p with
+  | Some Number_of_builds -> Format.fprintf ppf "@%-3d number of builds = %d" p v
+  | Some (Criterion (i, bucket)) ->
+    Format.fprintf ppf "@%-3d criterion %2d (%s)%s = %d" p i (name i)
+      (match bucket with Build -> " [build]" | Reuse -> "")
+      v
+  | None -> Format.fprintf ppf "@%-3d = %d" p v
+
+let pp_costs ppf costs =
+  List.iter
+    (fun (p, v) -> if v <> 0 then Format.fprintf ppf "%a@." pp_cost (p, v))
+    costs

@@ -1,0 +1,29 @@
+(** Table II: the optimization criteria, as data.
+
+    The authoritative encoding lives in {!Logic_program} ([#minimize]
+    statements); this module is the single source of truth for the
+    criteria's names and for decoding ground priority levels back into
+    human-readable form (used by the CLI, benchmarks and tests). *)
+
+val names : (int * string) list
+(** [(criterion number 1..15, description)] in Table II's priority order. *)
+
+val name : int -> string
+(** @raise Not_found for numbers outside 1..15. *)
+
+type bucket =
+  | Build  (** contribution from a package that must be built (@201..215) *)
+  | Reuse  (** contribution from an installed package (@1..15) *)
+
+type decoded =
+  | Number_of_builds  (** the @100 level between the buckets (Section VI) *)
+  | Criterion of int * bucket
+
+val decode_priority : int -> decoded option
+(** Decode a ground [#minimize] priority level. *)
+
+val pp_cost : Format.formatter -> int * int -> unit
+(** Render one [(priority, value)] pair of an objective vector. *)
+
+val pp_costs : Format.formatter -> (int * int) list -> unit
+(** Render the nonzero entries of an objective vector, one per line. *)

@@ -1,0 +1,110 @@
+let explain ~env ~repo (roots : Specs.Spec.abstract list) =
+  let reasons = ref [] in
+  let say fmt = Format.kasprintf (fun s -> reasons := s :: !reasons) fmt in
+  let check_node (cn : Specs.Spec.constraint_node) =
+    let name = cn.Specs.Spec.cname in
+    let pkg = Pkg.Repo.find repo name in
+    (* version requirement vs declared versions *)
+    (match (cn.Specs.Spec.cversion, pkg) with
+    | Some r, Some p ->
+      if Pkg.Package.versions_satisfying p r = [] then
+        say "no declared version of %s satisfies @%s (declared: %s)" name
+          (Specs.Vrange.to_string r)
+          (String.concat ", "
+             (List.map
+                (fun (d : Pkg.Package.version_decl) ->
+                  Specs.Version.to_string d.Pkg.Package.vversion)
+                (Pkg.Package.declared_versions p)))
+    | _ -> ());
+    (* variants must exist and admit the requested value *)
+    (match pkg with
+    | Some p ->
+      List.iter
+        (fun (var, value) ->
+          match Pkg.Package.find_variant p var with
+          | None -> say "package %s has no variant %S" name var
+          | Some v ->
+            if not (List.mem value v.Pkg.Package.var_values) then
+              say "variant %s of %s admits {%s}, not %S" var name
+                (String.concat ", " v.Pkg.Package.var_values)
+                value)
+        cn.Specs.Spec.cvariants
+    | None -> ());
+    (* compiler must be in the roster, with a satisfying version *)
+    (match cn.Specs.Spec.ccompiler with
+    | Some c ->
+      let candidates =
+        List.filter
+          (fun (k : Specs.Compiler.t) -> String.equal k.Specs.Compiler.name c)
+          env.Facts.compilers
+      in
+      if candidates = [] then say "no compiler %s is available" c
+      else (
+        match cn.Specs.Spec.ccompiler_version with
+        | Some r
+          when not
+                 (List.exists
+                    (fun (k : Specs.Compiler.t) ->
+                      Specs.Vrange.satisfies r k.Specs.Compiler.version)
+                    candidates) ->
+          say "no available %s satisfies %%%s@%s" c c (Specs.Vrange.to_string r)
+        | _ -> ())
+    | None -> ());
+    (* target must exist and be reachable by some compiler *)
+    (match cn.Specs.Spec.ctarget with
+    | Some t when not (String.length t > 0 && t.[String.length t - 1] = ':') -> (
+      match Specs.Target.find t with
+      | None -> say "unknown target %s" t
+      | Some tt ->
+        if
+          not
+            (List.exists
+               (fun c -> Specs.Compiler.supports_target c tt)
+               env.Facts.compilers)
+        then say "no available compiler can generate code for target %s" t)
+    | _ -> ());
+    (* conflicts declared by the package that plainly match the request *)
+    match pkg with
+    | Some p ->
+      List.iter
+        (fun (c : Pkg.Package.conflict_decl) ->
+          let spec = c.Pkg.Package.conflict_spec in
+          let compiler_matches =
+            match (spec.Specs.Spec.ccompiler, cn.Specs.Spec.ccompiler) with
+            | Some a, Some b -> String.equal a b
+            | Some _, None | None, _ -> false
+          in
+          let target_matches =
+            match (spec.Specs.Spec.ctarget, cn.Specs.Spec.ctarget) with
+            | Some a, Some b ->
+              String.equal a b
+              || (String.length a > 0
+                 && a.[String.length a - 1] = ':'
+                 &&
+                 match Specs.Target.find b with
+                 | Some t ->
+                   Specs.Target.is_descendant_of t (String.sub a 0 (String.length a - 1))
+                 | None -> false)
+            | _ -> false
+          in
+          if compiler_matches || target_matches then
+            say "%s conflicts with %s%s" name
+              (Specs.Spec.node_to_string spec)
+              (if c.Pkg.Package.conflict_msg = "" then ""
+               else ": " ^ c.Pkg.Package.conflict_msg))
+        p.Pkg.Package.conflicts
+    | None -> ()
+  in
+  List.iter
+    (fun (a : Specs.Spec.abstract) ->
+      check_node a.Specs.Spec.aroot;
+      List.iter check_node a.Specs.Spec.adeps;
+      (* virtuals named in the request must have providers *)
+      List.iter
+        (fun (d : Specs.Spec.constraint_node) ->
+          let n = d.Specs.Spec.cname in
+          if Pkg.Repo.is_virtual repo n && Pkg.Repo.providers repo n = [] then
+            say "virtual package %s has no providers" n)
+        (a.Specs.Spec.aroot :: a.Specs.Spec.adeps))
+    roots;
+  List.rev !reasons

@@ -1,0 +1,13 @@
+(** Human-readable explanations for unsatisfiable concretizations.
+
+    The ASP solver proves unsatisfiability but (like clasp) does not produce
+    an explanation.  This module re-examines the request against the
+    repository with cheap syntactic checks and reports the likely causes:
+    unsatisfiable version requirements, unknown compilers/targets/OSes,
+    matching [conflicts] declarations, variant misuse, and providerless
+    virtuals. *)
+
+val explain :
+  env:Facts.env -> repo:Pkg.Repo.t -> Specs.Spec.abstract list -> string list
+(** Best-effort list of reasons, most specific first; empty when nothing
+    obvious is wrong (a genuinely combinatorial conflict). *)

@@ -1,0 +1,82 @@
+exception Error of string
+
+type info = {
+  spec : Specs.Spec.concrete;
+  reused : (string * string) list;
+  built : string list;
+}
+
+let errf fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let s = Asp.Term.to_string
+
+let extract (answer : Asp.Gatom.t list) =
+  let nodes = Hashtbl.create 16 in
+  let versions = Hashtbl.create 16 in
+  let variants = Hashtbl.create 16 in
+  let compilers = Hashtbl.create 16 in
+  let flags = Hashtbl.create 16 in
+  let oses = Hashtbl.create 16 in
+  let targets = Hashtbl.create 16 in
+  let edges = Hashtbl.create 16 in
+  let reused = ref [] and built = ref [] and roots = ref [] in
+  List.iter
+    (fun (a : Asp.Gatom.t) ->
+      match (a.Asp.Gatom.pred, a.Asp.Gatom.args) with
+      | "attr", [ n; p ] when s n = "node" -> Hashtbl.replace nodes (s p) ()
+      | "attr", [ n; p; v ] when s n = "version" -> Hashtbl.replace versions (s p) (s v)
+      | "attr", [ n; p; var; value ] when s n = "variant_value" ->
+        Hashtbl.replace variants (s p) ((s var, s value) :: Option.value ~default:[] (Hashtbl.find_opt variants (s p)))
+      | "attr", [ n; p; c; v ] when s n = "node_compiler_version" ->
+        Hashtbl.replace compilers (s p) (s c, s v)
+      | "attr", [ n; p; f; v ] when s n = "node_flags" ->
+        Hashtbl.replace flags (s p)
+          ((s f, s v) :: Option.value ~default:[] (Hashtbl.find_opt flags (s p)))
+      | "attr", [ n; p; o ] when s n = "node_os" -> Hashtbl.replace oses (s p) (s o)
+      | "attr", [ n; p; t ] when s n = "node_target" -> Hashtbl.replace targets (s p) (s t)
+      | "edge", [ p; d ] ->
+        Hashtbl.replace edges (s p) (s d :: Option.value ~default:[] (Hashtbl.find_opt edges (s p)))
+      | "hash", [ p; h ] -> reused := (s p, s h) :: !reused
+      | "build", [ p ] -> built := s p :: !built
+      | "root", [ p ] -> roots := s p :: !roots
+      | _ -> ())
+    answer;
+  let concrete_nodes =
+    Hashtbl.fold
+      (fun name () acc ->
+        let get tbl what =
+          match Hashtbl.find_opt tbl name with
+          | Some v -> v
+          | None -> errf "node %s has no %s in the answer" name what
+        in
+        let cname, cver = get compilers "compiler" in
+        {
+          Specs.Spec.name;
+          version = Specs.Version.of_string (get versions "version");
+          variants = Option.value ~default:[] (Hashtbl.find_opt variants name);
+          compiler = Specs.Compiler.make cname cver;
+          flags = Option.value ~default:[] (Hashtbl.find_opt flags name);
+          os = get oses "os";
+          target = get targets "target";
+          depends = Option.value ~default:[] (Hashtbl.find_opt edges name);
+        }
+        :: acc)
+      nodes []
+  in
+  let root =
+    match !roots with
+    | r :: _ -> r
+    | [] -> (
+      (* virtual root: any node without an incoming edge *)
+      let has_parent n =
+        Hashtbl.fold (fun _ ds acc -> acc || List.mem n ds) edges false
+      in
+      match List.find_opt (fun (n : Specs.Spec.concrete_node) -> not (has_parent n.Specs.Spec.name)) concrete_nodes with
+      | Some n -> n.Specs.Spec.name
+      | None -> errf "no root in the answer")
+  in
+  let spec =
+    try Specs.Spec.make_concrete ~root concrete_nodes
+    with Invalid_argument m -> errf "ill-formed concrete spec: %s" m
+  in
+  { spec; reused = List.sort_uniq compare !reused; built = List.sort_uniq compare !built }

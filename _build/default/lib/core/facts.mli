@@ -1,0 +1,35 @@
+(** Setup phase: translate the problem instance into ASP facts.
+
+    The facts encode (1) the root specs and their constraints, (2) the
+    metadata of every package that could possibly appear in the solve
+    (versions, variants, dependencies-as-conditions, conflicts, provides),
+    (3) the solver environment (compilers, OSes, targets and their weights),
+    and (4) optionally the installed database for reuse (hash-keyed
+    constraints, Section VI).  A typical solve produces 10k–100k facts. *)
+
+type env = {
+  compilers : Specs.Compiler.t list;  (** roster, most preferred first *)
+  oses : Specs.Os.t list;  (** most preferred first *)
+  target_family : string;  (** host architecture family, e.g. "x86_64" *)
+}
+
+val default_env : env
+
+type t = {
+  statements : Asp.Ast.statement list;
+  n_facts : int;
+  possible : string list;  (** package closure considered by this solve *)
+  conflict_msgs : (int * string) list;  (** condition id -> message *)
+}
+
+exception Unknown_package of string
+
+val generate :
+  ?env:env ->
+  ?prefs:Preferences.t ->
+  ?installed:Pkg.Database.t ->
+  repo:Pkg.Repo.t ->
+  Specs.Spec.abstract list ->
+  t
+(** @raise Unknown_package when a root or [^dep] names no known package or
+    virtual. *)

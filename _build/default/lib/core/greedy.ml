@@ -1,0 +1,274 @@
+type error = { message : string; hint : string option }
+type result = Ok of Specs.Spec.concrete | Error of error
+
+exception Fail of error
+
+let fail ?hint fmt =
+  Format.kasprintf (fun message -> raise (Fail { message; hint })) fmt
+
+(* Does a when-condition hold, judged only against decisions already made
+   (the greedy algorithm cannot revisit them)? *)
+let when_holds nodes (w : Specs.Spec.abstract) =
+  let node_ok (cn : Specs.Spec.constraint_node) =
+    match Hashtbl.find_opt nodes cn.Specs.Spec.cname with
+    | None -> false
+    | Some n -> Specs.Spec.node_satisfies n cn
+  in
+  node_ok w.Specs.Spec.aroot && List.for_all node_ok w.Specs.Spec.adeps
+
+let concretize ?(env = Facts.default_env) ?(prefs = Preferences.empty) ~repo
+    (a : Specs.Spec.abstract) =
+  (* user constraints by package name (root + ^deps) *)
+  let user : (string, Specs.Spec.constraint_node) Hashtbl.t = Hashtbl.create 8 in
+  let add_user (cn : Specs.Spec.constraint_node) =
+    let name = cn.Specs.Spec.cname in
+    match Hashtbl.find_opt user name with
+    | Some prev -> Hashtbl.replace user name (Specs.Spec.merge_nodes prev cn)
+    | None -> Hashtbl.replace user name cn
+  in
+  add_user a.Specs.Spec.aroot;
+  List.iter add_user a.Specs.Spec.adeps;
+  let nodes : (string, Specs.Spec.concrete_node) Hashtbl.t = Hashtbl.create 16 in
+  let default_compiler =
+    match env.Facts.compilers with
+    | c :: _ -> c
+    | [] -> invalid_arg "greedy: empty compiler roster"
+  in
+  let choose_compiler (cn : Specs.Spec.constraint_node) =
+    match cn.Specs.Spec.ccompiler with
+    | None -> default_compiler
+    | Some name -> (
+      let candidates =
+        List.filter (fun (c : Specs.Compiler.t) -> String.equal c.Specs.Compiler.name name)
+          env.Facts.compilers
+      in
+      let candidates =
+        match cn.Specs.Spec.ccompiler_version with
+        | None -> candidates
+        | Some r ->
+          List.filter
+            (fun (c : Specs.Compiler.t) -> Specs.Vrange.satisfies r c.Specs.Compiler.version)
+            candidates
+      in
+      match candidates with
+      | c :: _ -> c
+      | [] -> fail "no installed compiler satisfies %%%s" name)
+  in
+  let choose_target compiler (cn : Specs.Spec.constraint_node) =
+    match cn.Specs.Spec.ctarget with
+    | Some t when not (String.length t > 0 && t.[String.length t - 1] = ':') -> t
+    | _ -> (
+      (* newest family target the compiler supports *)
+      let members = Specs.Target.family_members env.Facts.target_family in
+      let supported =
+        List.filter (fun t -> Specs.Compiler.supports_target compiler t) members
+      in
+      match List.rev supported with
+      | t :: _ -> t.Specs.Target.name
+      | [] ->
+        fail "compiler %s supports no %s targets" (Specs.Compiler.to_string compiler)
+          env.Facts.target_family)
+  in
+  (* provider selection: user ^dep naming a provider wins, else preference *)
+  let provider_for virt =
+    let user_choice =
+      Hashtbl.fold
+        (fun name _ acc ->
+          if List.mem name (Pkg.Repo.providers repo virt) then Some name else acc)
+        user None
+    in
+    match user_choice with
+    | Some p -> p
+    | None -> (
+      match Preferences.provider_order prefs repo virt with
+      | p :: _ -> p
+      | [] -> fail "no provider available for virtual %s" virt)
+  in
+  let rec visit name (incoming : Specs.Spec.constraint_node) =
+    let name, incoming =
+      if Pkg.Repo.is_virtual repo name then begin
+        let p = provider_for name in
+        (p, { incoming with Specs.Spec.cname = p })
+      end
+      else (name, incoming)
+    in
+    let constraints =
+      match Hashtbl.find_opt user name with
+      | Some u -> Specs.Spec.merge_nodes incoming u
+      | None -> incoming
+    in
+    match Hashtbl.find_opt nodes name with
+    | Some existing ->
+      (* no backtracking: a previously made decision must already satisfy any
+         later constraint (§III-C's bzip2 example) *)
+      if not (Specs.Spec.node_satisfies existing constraints) then
+        fail
+          ~hint:
+            (Printf.sprintf "try overconstraining, e.g. add ^%s to your spec"
+               (Specs.Spec.node_to_string constraints))
+          "cannot satisfy constraint %s: %s was already concretized as %s"
+          (Specs.Spec.node_to_string constraints)
+          name
+          (Specs.Spec.concrete_node_to_string existing)
+      else name
+    | None ->
+      let p =
+        match Pkg.Repo.find repo name with
+        | Some p -> p
+        | None -> fail "unknown package %s" name
+      in
+      (* version: most-preferred satisfying the constraints seen *now* *)
+      let version =
+        let pool =
+          List.sort
+            (fun (a : Pkg.Package.version_decl) b ->
+              Int.compare a.Pkg.Package.vweight b.Pkg.Package.vweight)
+            (Pkg.Package.declared_versions p)
+          |> List.map (fun (d : Pkg.Package.version_decl) ->
+                 (d.Pkg.Package.vversion, d.Pkg.Package.vweight, d.Pkg.Package.vdeprecated))
+          |> Preferences.version_pool prefs name
+        in
+        let ok (v, _, deprecated) =
+          match constraints.Specs.Spec.cversion with
+          | None -> not deprecated
+          | Some r -> Specs.Vrange.satisfies r v
+        in
+        match List.find_opt ok pool with
+        | Some (v, _, _) -> v
+        | None ->
+          fail "no version of %s satisfies %s" name
+            (Specs.Spec.node_to_string constraints)
+      in
+      (* variants: user-set else defaults, decided before descending *)
+      let variants =
+        List.map
+          (fun (v : Pkg.Package.variant_decl) ->
+            let value =
+              match List.assoc_opt v.Pkg.Package.var_name constraints.Specs.Spec.cvariants with
+              | Some value ->
+                if not (List.mem value v.Pkg.Package.var_values) then
+                  fail "invalid value %s=%s for %s" v.Pkg.Package.var_name value name;
+                value
+              | None -> Preferences.preferred_variant_default prefs name v
+            in
+            (v.Pkg.Package.var_name, value))
+          p.Pkg.Package.variants
+      in
+      List.iter
+        (fun (k, _) ->
+          if Pkg.Package.find_variant p k = None then
+            fail "package %s has no variant %s" name k)
+        constraints.Specs.Spec.cvariants;
+      let compiler = choose_compiler constraints in
+      let os =
+        match constraints.Specs.Spec.cos with
+        | Some o -> o
+        | None -> (match env.Facts.oses with o :: _ -> o | [] -> Specs.Os.default)
+      in
+      let target = choose_target compiler constraints in
+      let node =
+        {
+          Specs.Spec.name;
+          version;
+          variants = List.sort compare variants;
+          compiler;
+          flags = List.sort compare constraints.Specs.Spec.cflags;
+          os;
+          target;
+          depends = [];
+        }
+      in
+      Hashtbl.replace nodes name node;
+      (* descend into dependencies whose condition holds for decisions made
+         so far; conditions that would need different choices are missed *)
+      let deps = ref [] in
+      List.iter
+        (fun (d : Pkg.Package.dependency) ->
+          let active =
+            match d.Pkg.Package.dep_when with
+            | None -> true
+            | Some w -> when_holds nodes w
+          in
+          if active then begin
+            let spec = d.Pkg.Package.dep_spec in
+            let dname = spec.Specs.Spec.cname in
+            let inherited =
+              (* propagate compiler/flags/os/target downward, greedily *)
+              {
+                spec with
+                Specs.Spec.cflags =
+                  (node.Specs.Spec.flags
+                  |> List.fold_left
+                       (fun acc (k, v) ->
+                         if List.mem_assoc k acc then acc else (k, v) :: acc)
+                       spec.Specs.Spec.cflags);
+                ccompiler =
+                  (match spec.Specs.Spec.ccompiler with
+                  | Some c -> Some c
+                  | None -> Some compiler.Specs.Compiler.name);
+                ccompiler_version =
+                  (match spec.Specs.Spec.ccompiler_version with
+                  | Some v -> Some v
+                  | None ->
+                    Some (Specs.Vrange.exactly compiler.Specs.Compiler.version));
+                cos = Some os;
+                ctarget = Some target;
+              }
+            in
+            let resolved = visit dname inherited in
+            deps := resolved :: !deps
+          end)
+        p.Pkg.Package.dependencies;
+      Hashtbl.replace nodes name
+        { node with Specs.Spec.depends = List.sort_uniq compare !deps };
+      name
+  in
+  try
+    let root_name = a.Specs.Spec.aroot.Specs.Spec.cname in
+    let root = visit root_name a.Specs.Spec.aroot in
+    (* validate: every user ^dep must actually be in the DAG *)
+    List.iter
+      (fun (d : Specs.Spec.constraint_node) ->
+        let dname = d.Specs.Spec.cname in
+        let resolved =
+          if Pkg.Repo.is_virtual repo dname then
+            List.exists (fun p -> Hashtbl.mem nodes p) (Pkg.Repo.providers repo dname)
+          else Hashtbl.mem nodes dname
+        in
+        if not resolved then
+          fail
+            ~hint:
+              (Printf.sprintf
+                 "a variant enabling the dependency may need to be set explicitly \
+                  (e.g. %s+<variant> ^%s)"
+                 root_name dname)
+            "package %s is not a dependency of %s" dname root_name)
+      a.Specs.Spec.adeps;
+    (* validate conflicts a posteriori (§V-B.2) *)
+    Hashtbl.iter
+      (fun name (n : Specs.Spec.concrete_node) ->
+        let p = Pkg.Repo.find_exn repo name in
+        List.iter
+          (fun (c : Pkg.Package.conflict_decl) ->
+            let when_ok =
+              match c.Pkg.Package.conflict_when with
+              | None -> true
+              | Some w -> when_holds nodes w
+            in
+            if when_ok && Specs.Spec.node_satisfies n c.Pkg.Package.conflict_spec then
+              fail
+                ~hint:"overconstrain the input spec to avoid the conflicting choice"
+                "conflict in %s: %s%s" name
+                (Specs.Spec.node_to_string c.Pkg.Package.conflict_spec)
+                (if c.Pkg.Package.conflict_msg = "" then ""
+                 else " (" ^ c.Pkg.Package.conflict_msg ^ ")"))
+          p.Pkg.Package.conflicts)
+      nodes;
+    let all = Hashtbl.fold (fun _ n acc -> n :: acc) nodes [] in
+    Ok (Specs.Spec.make_concrete ~root all)
+  with
+  | Fail e -> Error e
+  | Invalid_argument m -> Error { message = m; hint = None }
+
+let concretize_spec ?env ?prefs ~repo text =
+  concretize ?env ?prefs ~repo (Specs.Spec_parser.parse text)

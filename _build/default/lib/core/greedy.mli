@@ -1,0 +1,32 @@
+(** The original (pre-ASP) concretizer: a greedy fixed-point algorithm.
+
+    Reproduces the old algorithm's behaviour and, deliberately, its
+    {e incompleteness} (§III-C):
+
+    - decisions are local and never revisited (no backtracking);
+    - variant values are fixed from defaults/user settings {e before}
+      descending into dependencies, so conditional dependencies on
+      non-default variants are never activated ([hpctoolkit ^mpich] fails,
+      §V-B.1);
+    - version choices take the first constraint seen; a later, conflicting
+      constraint is a hard error even when a compatible choice existed;
+    - conflicts are only {e validated} after the fact, with a hint to
+      overconstrain the input (§V-B.2);
+    - reuse is by exact hash match only (§VI, Fig. 4). *)
+
+type error = {
+  message : string;
+  hint : string option;  (** the "please overconstrain" suggestion *)
+}
+
+type result = Ok of Specs.Spec.concrete | Error of error
+
+val concretize :
+  ?env:Facts.env ->
+  ?prefs:Preferences.t ->
+  repo:Pkg.Repo.t ->
+  Specs.Spec.abstract ->
+  result
+
+val concretize_spec :
+  ?env:Facts.env -> ?prefs:Preferences.t -> repo:Pkg.Repo.t -> string -> result

@@ -1,0 +1,251 @@
+let text =
+  {|
+%=============================================================================
+% The Spack-style software model, as an ASP logic program (Section V).
+%
+% Facts supplied per solve (see Facts):
+%   root/1, virtual/1, possible_provider/2, provider_weight/3,
+%   version_declared/3, deprecated_version/2, version_satisfies_possible/3,
+%   variant/2, variant_possible_value/3, variant_default/3,
+%   compiler/2, compiler_weight/3, compiler_supports_target/3,
+%   compiler_version_satisfies/3,
+%   os/1, os_weight/2, target/1, target_weight/2, target_satisfies/2,
+%   condition/1, condition_requirement/3..5, imposed_constraint/3..5,
+%   dependency_condition/3, provider_condition/3, conflict/1,
+%   installed_hash/2, hash_constraint/3..5, hash_dep/3, optimize_for_reuse/0
+%=============================================================================
+
+%-----------------------------------------------------------------------------
+% Generalized conditions (Section V-A): a condition holds when every
+% requirement attribute of its arity holds.
+%-----------------------------------------------------------------------------
+condition_holds(ID) :-
+  condition(ID);
+  attr(N, A1)         : condition_requirement(ID, N, A1);
+  attr(N, A1, A2)     : condition_requirement(ID, N, A1, A2);
+  attr(N, A1, A2, A3) : condition_requirement(ID, N, A1, A2, A3).
+
+% conditions impose constraints when they hold
+attr(N, A1)         :- condition_holds(ID), imposed_constraint(ID, N, A1).
+attr(N, A1, A2)     :- condition_holds(ID), imposed_constraint(ID, N, A1, A2).
+attr(N, A1, A2, A3) :- condition_holds(ID), imposed_constraint(ID, N, A1, A2, A3).
+
+% conflicts are conditions that must not hold (Section V-B.2); they apply to
+% packages we would build, while installed packages are taken as-is
+:- conflict(ID, P), condition_holds(ID), build(P).
+
+%-----------------------------------------------------------------------------
+% Nodes and dependencies
+%-----------------------------------------------------------------------------
+attr("node", P) :- root(P).
+
+% dependency conditions drive new builds; a reused package's dependencies
+% are pinned by its hash instead (Section VI)
+depends_on(P, D) :- dependency_condition(ID, P, D), condition_holds(ID), build(P).
+
+attr("node", D) :- depends_on(P, D), attr("node", P), not virtual(D).
+edge(P, D)      :- depends_on(P, D), attr("node", P), not virtual(D).
+
+% virtual dependencies resolve to exactly one provider (Section III-B)
+virtual_needed(V) :- depends_on(P, V), attr("node", P), virtual(V).
+virtual_needed(V) :- attr("virtual_node", V).
+1 { provider(V, P) : possible_provider(V, P) } 1 :- virtual_needed(V).
+attr("node", P) :- provider(V, P).
+edge(P, Prov)   :- depends_on(P, V), attr("node", P), virtual(V), provider(V, Prov).
+
+% a chosen provider must actually provide the virtual under its conditions
+provides(P, V) :- provider_condition(ID, P, V), condition_holds(ID).
+:- provider(V, P), not provides(P, V).
+
+% constraints written against a virtual transfer to its chosen provider
+attr("version_satisfies", P, Con) :-
+  attr("provider_version_satisfies", V, Con), provider(V, P).
+attr("variant_set", P, Var, Val) :-
+  attr("provider_variant_set", V, Var, Val), provider(V, P).
+
+% the resolved graph is a DAG
+path(A, B) :- edge(A, B).
+path(A, C) :- path(A, B), edge(B, C).
+:- path(A, A).
+
+% command-line ^dep constraints name actual dependencies of the root: the
+% solver must find variant/provider choices that pull them into the DAG
+% (Section V-B.1: hpctoolkit ^mpich forces +mpi)
+:- attr("root_dep", R, D), not path(R, D).
+virtual_needed(V) :- attr("root_virtual_dep", R, V).
+:- attr("root_virtual_dep", R, V), provider(V, P), not path(R, P).
+
+%-----------------------------------------------------------------------------
+% Versions
+%-----------------------------------------------------------------------------
+1 { attr("version", P, V) : version_declared(P, V, W) } 1 :- attr("node", P).
+:- attr("version", P, V1), attr("version", P, V2), V1 < V2.
+
+version_weight(P, W) :- attr("version", P, V), version_declared(P, V, W).
+
+% version constraints: satisfied iff the chosen version is in the
+% precomputed satisfying set
+attr("version_satisfies", P, Con) :-
+  attr("version", P, V), version_satisfies_possible(P, Con, V).
+:- attr("version_satisfies", P, Con), attr("version", P, V),
+   not version_satisfies_possible(P, Con, V).
+
+%-----------------------------------------------------------------------------
+% Variants
+%-----------------------------------------------------------------------------
+1 { attr("variant_value", P, Var, Val) : variant_possible_value(P, Var, Val) } 1 :-
+  attr("node", P), variant(P, Var).
+:- attr("variant_value", P, Var, V1), attr("variant_value", P, Var, V2), V1 < V2.
+
+attr("variant_value", P, Var, Val) :- attr("variant_set", P, Var, Val), attr("node", P).
+
+% a set variant must actually exist on the package
+:- attr("variant_set", P, Var, Val), attr("node", P), not variant(P, Var).
+
+variant_not_default(P, Var, Val) :-
+  attr("variant_value", P, Var, Val), not variant_default(P, Var, Val), attr("node", P).
+unused_default(P, Var) :-
+  variant_default(P, Var, Val), attr("node", P), variant(P, Var),
+  not attr("variant_value", P, Var, Val).
+
+%-----------------------------------------------------------------------------
+% Compilers
+%-----------------------------------------------------------------------------
+1 { attr("node_compiler_version", P, C, V) : compiler(C, V) } 1 :- attr("node", P).
+:- attr("node_compiler_version", P, C1, V1), attr("node_compiler_version", P, C2, V2),
+   C1 < C2.
+:- attr("node_compiler_version", P, C, V1), attr("node_compiler_version", P, C, V2),
+   V1 < V2.
+
+attr("node_compiler", P, C) :- attr("node_compiler_version", P, C, V).
+:- attr("node_compiler_set", P, C), attr("node", P), not attr("node_compiler", P, C).
+
+attr("node_compiler_version_satisfies", P, C, Con) :-
+  attr("node_compiler_version", P, C, V), compiler_version_satisfies(C, Con, V).
+:- attr("node_compiler_version_satisfies", P, C, Con),
+   attr("node_compiler_version", P, C, V), not compiler_version_satisfies(C, Con, V).
+
+node_compiler_weight(P, W) :-
+  attr("node_compiler_version", P, C, V), compiler_weight(C, V, W).
+compiler_mismatch(P, D) :-
+  edge(P, D), attr("node_compiler_version", P, C, V),
+  not attr("node_compiler_version", D, C, V).
+
+%-----------------------------------------------------------------------------
+% Compiler flags: set by specs, inherited by the dependencies we build
+%-----------------------------------------------------------------------------
+attr("node_flags", P, F, V) :- attr("node_flags_set", P, F, V), attr("node", P).
+attr("node_flags", D, F, V) :- edge(P, D), attr("node_flags", P, F, V), build(D).
+:- attr("node_flags", P, F, V1), attr("node_flags", P, F, V2), V1 < V2.
+
+%-----------------------------------------------------------------------------
+% Operating system
+%-----------------------------------------------------------------------------
+1 { attr("node_os", P, O) : os(O) } 1 :- attr("node", P).
+:- attr("node_os", P, O1), attr("node_os", P, O2), O1 < O2.
+attr("node_os", P, O) :- attr("node_os_set", P, O), attr("node", P).
+
+node_os_weight(P, W) :- attr("node_os", P, O), os_weight(O, W).
+os_mismatch(P, D) :- edge(P, D), attr("node_os", P, O), not attr("node_os", D, O).
+
+%-----------------------------------------------------------------------------
+% Target microarchitecture (Section V's running example)
+%-----------------------------------------------------------------------------
+1 { attr("node_target", P, T) : target(T) } 1 :- attr("node", P).
+:- attr("node_target", P, T1), attr("node_target", P, T2), T1 < T2.
+attr("node_target", P, T) :- attr("node_target_set", P, T), attr("node", P).
+
+% targets not supported by the chosen compiler are invalid
+:- attr("node_target", P, T),
+   not compiler_supports_target(C, V, T),
+   attr("node_compiler_version", P, C, V).
+
+attr("node_target_satisfies", P, Con) :-
+  attr("node_target", P, T), target_satisfies(Con, T).
+:- attr("node_target_satisfies", P, Con), attr("node_target", P, T),
+   not target_satisfies(Con, T).
+
+node_target_weight(P, W) :- attr("node_target", P, T), target_weight(T, W).
+target_mismatch(P, D) :-
+  edge(P, D), attr("node_target", P, T), not attr("node_target", D, T).
+
+%-----------------------------------------------------------------------------
+% Reuse of installed packages (Section VI)
+%-----------------------------------------------------------------------------
+{ hash(P, H) : installed_hash(P, H) } 1 :- attr("node", P).
+hashed(P) :- hash(P, H).
+build(P) :- attr("node", P), not hashed(P).
+:- hash(P, H1), hash(P, H2), H1 < H2.
+
+% a chosen hash imposes the installed spec's parameters ...
+attr(A1, A2)         :- hash(P, H), hash_constraint(H, A1, A2).
+attr(A1, A2, A3)     :- hash(P, H), hash_constraint(H, A1, A2, A3).
+attr(A1, A2, A3, A4) :- hash(P, H), hash_constraint(H, A1, A2, A3, A4).
+
+% ... and pins its dependencies to the installed sub-DAG
+attr("node", D) :- hash(P, H), hash_dep(H, D, DH).
+hash(D, DH)     :- hash(P, H), hash_dep(H, D, DH).
+edge(P, D)      :- hash(P, H), hash_dep(H, D, DH).
+
+%-----------------------------------------------------------------------------
+% Optimization (Table II + Section VI's two-bucket scheme, Fig. 5).
+% Criterion i of Table II gets base priority 16-i; contributions from
+% packages that must be built land in the higher bucket at +200, those from
+% reused installs in the base bucket.  The build count sits between the
+% buckets at priority 100.
+%-----------------------------------------------------------------------------
+build_priority(P, 200) :- build(P), attr("node", P), optimize_for_reuse.
+build_priority(P, 0)   :- attr("node", P), not build(P), optimize_for_reuse.
+build_priority(P, 0)   :- attr("node", P), not optimize_for_reuse.
+
+provider_root(V, P)    :- provider(V, P), depends_on(R, V), root(R).
+provider_nonroot(V, P) :- provider(V, P), not provider_root(V, P).
+
+#minimize { 1@100,P : build(P), optimize_for_reuse }.
+
+% 1: deprecated versions used
+#minimize { 1@15+X,P,V : attr("version", P, V), deprecated_version(P, V), build_priority(P, X) }.
+% 2: version oldness (roots)
+#minimize { W@14+X,P : version_weight(P, W), root(P), build_priority(P, X) }.
+% 3: non-default variant values (roots)
+#minimize { 1@13+X,P,Var,Val : variant_not_default(P, Var, Val), root(P), build_priority(P, X) }.
+% 4: non-preferred providers (roots)
+#minimize { W@12+X,V,P : provider_root(V, P), provider_weight(V, P, W), build_priority(P, X) }.
+% 5: unused default variant values (roots)
+#minimize { 1@11+X,P,Var : unused_default(P, Var), root(P), build_priority(P, X) }.
+% 6: non-default variant values (non-roots)
+#minimize { 1@10+X,P,Var,Val : variant_not_default(P, Var, Val), not root(P), build_priority(P, X) }.
+% 7: non-preferred providers (non-roots)
+#minimize { W@9+X,V,P : provider_nonroot(V, P), provider_weight(V, P, W), build_priority(P, X) }.
+% 8: compiler mismatches
+#minimize { 1@8+X,P,D : compiler_mismatch(P, D), build_priority(D, X) }.
+% 9: OS mismatches
+#minimize { 1@7+X,P,D : os_mismatch(P, D), build_priority(D, X) }.
+% 10: non-preferred OS's
+#minimize { W@6+X,P : node_os_weight(P, W), build_priority(P, X) }.
+% 11: version oldness (non-roots)
+#minimize { W@5+X,P : version_weight(P, W), not root(P), build_priority(P, X) }.
+% 12: unused default variant values (non-roots)
+#minimize { 1@4+X,P,Var : unused_default(P, Var), not root(P), build_priority(P, X) }.
+% 13: non-preferred compilers
+#minimize { W@3+X,P : node_compiler_weight(P, W), build_priority(P, X) }.
+% 14: target mismatches
+#minimize { 1@2+X,P,D : target_mismatch(P, D), build_priority(D, X) }.
+% 15: non-preferred targets
+#minimize { W@1+X,P : node_target_weight(P, W), build_priority(P, X) }.
+|}
+
+let program =
+  let memo = ref None in
+  fun () ->
+    match !memo with
+    | Some p -> p
+    | None ->
+      let p = Asp.Parser.parse text in
+      memo := Some p;
+      p
+
+let line_count =
+  String.split_on_char '\n' text
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.length

@@ -1,0 +1,37 @@
+type package_prefs = {
+  pref_version : Specs.Vrange.t option;
+  pref_variants : (string * string) list;
+}
+
+type t = {
+  packages : (string * package_prefs) list;
+  providers : (string * string list) list;
+  compilers : Specs.Compiler.t list option;
+}
+
+let empty = { packages = []; providers = []; compilers = None }
+let empty_pkg = { pref_version = None; pref_variants = [] }
+
+let package t name = Option.value ~default:empty_pkg (List.assoc_opt name t.packages)
+
+let provider_order t repo virt =
+  let preferred =
+    Option.value ~default:[] (List.assoc_opt virt t.providers)
+    |> List.filter (fun p -> List.mem p (Pkg.Repo.providers repo virt))
+  in
+  preferred
+  @ List.filter (fun p -> not (List.mem p preferred)) (Pkg.Repo.providers repo virt)
+
+let preferred_variant_default t pkg (v : Pkg.Package.variant_decl) =
+  match List.assoc_opt v.Pkg.Package.var_name (package t pkg).pref_variants with
+  | Some value when List.mem value v.Pkg.Package.var_values -> value
+  | _ -> v.Pkg.Package.var_default
+
+let version_pool t pkg pool =
+  match (package t pkg).pref_version with
+  | None -> pool
+  | Some range ->
+    let matching, rest =
+      List.partition (fun (v, _, _) -> Specs.Vrange.satisfies range v) pool
+    in
+    List.mapi (fun i (v, _, d) -> (v, i, d)) (matching @ rest)

@@ -1,0 +1,42 @@
+(** User configuration preferences — the third input source to
+    concretization (§III-C: command line, package DSL, and configuration
+    files; Spack's [packages.yaml]).
+
+    Preferences are {e soft}: they reshape the optimization weights
+    (preferred versions sort first, preferred variant values become the
+    defaults, preferred providers get weight 0) without constraining the
+    solution space.  Hard requirements belong in the spec. *)
+
+type package_prefs = {
+  pref_version : Specs.Vrange.t option;
+      (** versions matching this range are preferred over newer ones *)
+  pref_variants : (string * string) list;  (** overrides variant defaults *)
+}
+
+type t = {
+  packages : (string * package_prefs) list;
+  providers : (string * string list) list;
+      (** per-virtual provider order, overriding the repository's *)
+  compilers : Specs.Compiler.t list option;  (** roster order override *)
+}
+
+val empty : t
+
+val package : t -> string -> package_prefs
+(** Preferences for one package ([empty] defaults). *)
+
+val provider_order : t -> Pkg.Repo.t -> string -> string list
+(** Effective provider order for a virtual: preferred ones first, then the
+    repository's order. *)
+
+val preferred_variant_default : t -> string -> Pkg.Package.variant_decl -> string
+(** The effective default value of a variant under these preferences. *)
+
+val version_pool :
+  t ->
+  string ->
+  (Specs.Version.t * int * bool) list ->
+  (Specs.Version.t * int * bool) list
+(** Reweight a version pool [(version, weight, deprecated)]: versions
+    matching the package's preferred range move to the front (weight 0
+    upward), others follow, preserving relative order. *)

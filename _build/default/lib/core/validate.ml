@@ -1,0 +1,135 @@
+type violation = { v_package : string; v_message : string }
+
+let pp_violation ppf v = Format.fprintf ppf "%s: %s" v.v_package v.v_message
+
+(* Does a when-condition hold against the fully concrete DAG? *)
+let when_holds (c : Specs.Spec.concrete) (w : Specs.Spec.abstract) =
+  let node_ok (cn : Specs.Spec.constraint_node) =
+    match Specs.Spec.Node_map.find_opt cn.Specs.Spec.cname c.Specs.Spec.nodes with
+    | Some n -> Specs.Spec.node_satisfies n cn
+    | None -> false
+  in
+  node_ok w.Specs.Spec.aroot && List.for_all node_ok w.Specs.Spec.adeps
+
+(* The node (if any) that resolves a dependency on [name] from [n]:
+   direct match, or any dependency edge to a provider when [name] is
+   virtual. *)
+let resolver ~repo (c : Specs.Spec.concrete) (n : Specs.Spec.concrete_node) name =
+  let find dep = Specs.Spec.Node_map.find_opt dep c.Specs.Spec.nodes in
+  if Pkg.Repo.is_virtual repo name then
+    List.find_map
+      (fun dep -> if List.mem dep (Pkg.Repo.providers repo name) then find dep else None)
+      n.Specs.Spec.depends
+  else if List.mem name n.Specs.Spec.depends then find name
+  else None
+
+let provides_holds ~repo (c : Specs.Spec.concrete) (prov : Specs.Spec.concrete_node)
+    virt =
+  match Pkg.Repo.find repo prov.Specs.Spec.name with
+  | None -> false
+  | Some p ->
+    List.exists
+      (fun (pr : Pkg.Package.provide) ->
+        String.equal pr.Pkg.Package.prov_virtual virt
+        &&
+        match pr.Pkg.Package.prov_when with
+        | None -> true
+        | Some w -> when_holds c w)
+      p.Pkg.Package.provides
+
+let check ~repo (c : Specs.Spec.concrete) =
+  let violations = ref [] in
+  let bad name fmt =
+    Format.kasprintf
+      (fun m -> violations := { v_package = name; v_message = m } :: !violations)
+      fmt
+  in
+  Specs.Spec.Node_map.iter
+    (fun name (n : Specs.Spec.concrete_node) ->
+      match Pkg.Repo.find repo name with
+      | None -> bad name "unknown package"
+      | Some p ->
+        (* version declared *)
+        if
+          not
+            (List.exists
+               (fun (d : Pkg.Package.version_decl) ->
+                 Specs.Version.equal d.Pkg.Package.vversion n.Specs.Spec.version)
+               p.Pkg.Package.versions)
+        then bad name "version %s is not declared" (Specs.Version.to_string n.Specs.Spec.version);
+        (* variants: exactly the declared ones, each with a legal value *)
+        List.iter
+          (fun (v : Pkg.Package.variant_decl) ->
+            match List.assoc_opt v.Pkg.Package.var_name n.Specs.Spec.variants with
+            | None -> bad name "variant %s has no value" v.Pkg.Package.var_name
+            | Some value ->
+              if not (List.mem value v.Pkg.Package.var_values) then
+                bad name "variant %s=%s is not admissible" v.Pkg.Package.var_name value)
+          p.Pkg.Package.variants;
+        List.iter
+          (fun (var, _) ->
+            if Pkg.Package.find_variant p var = None then
+              bad name "undeclared variant %s" var)
+          n.Specs.Spec.variants;
+        (* toolchain *)
+        (match Specs.Target.find n.Specs.Spec.target with
+        | None -> bad name "unknown target %s" n.Specs.Spec.target
+        | Some t ->
+          if not (Specs.Compiler.supports_target n.Specs.Spec.compiler t) then
+            bad name "compiler %s cannot target %s"
+              (Specs.Compiler.to_string n.Specs.Spec.compiler)
+              n.Specs.Spec.target);
+        (* active dependency directives are resolved and satisfied *)
+        let explained = Hashtbl.create 8 in
+        List.iter
+          (fun (d : Pkg.Package.dependency) ->
+            let active =
+              match d.Pkg.Package.dep_when with
+              | None -> true
+              | Some w -> when_holds c w
+            in
+            if active then begin
+              let spec = d.Pkg.Package.dep_spec in
+              let dname = spec.Specs.Spec.cname in
+              match resolver ~repo c n dname with
+              | None -> bad name "active dependency on %s is unresolved" dname
+              | Some dep_node ->
+                Hashtbl.replace explained dep_node.Specs.Spec.name ();
+                if
+                  not
+                    (Specs.Spec.node_satisfies dep_node
+                       { spec with Specs.Spec.cname = dep_node.Specs.Spec.name })
+                then
+                  bad name "dependency %s does not satisfy %s" dep_node.Specs.Spec.name
+                    (Specs.Spec.node_to_string spec);
+                if
+                  Pkg.Repo.is_virtual repo dname
+                  && not (provides_holds ~repo c dep_node dname)
+                then
+                  bad name "%s does not provide %s here" dep_node.Specs.Spec.name dname
+            end)
+          p.Pkg.Package.dependencies;
+        (* every edge must be explained by some active directive *)
+        List.iter
+          (fun dep ->
+            if not (Hashtbl.mem explained dep) then
+              bad name "edge to %s matches no active dependency directive" dep)
+          n.Specs.Spec.depends;
+        (* conflicts *)
+        List.iter
+          (fun (cf : Pkg.Package.conflict_decl) ->
+            let when_ok =
+              match cf.Pkg.Package.conflict_when with
+              | None -> true
+              | Some w -> when_holds c w
+            in
+            if when_ok && Specs.Spec.node_satisfies n cf.Pkg.Package.conflict_spec then
+              bad name "violates conflict %s%s"
+                (Specs.Spec.node_to_string cf.Pkg.Package.conflict_spec)
+                (if cf.Pkg.Package.conflict_msg = "" then ""
+                 else " (" ^ cf.Pkg.Package.conflict_msg ^ ")"))
+          p.Pkg.Package.conflicts)
+    c.Specs.Spec.nodes;
+  List.rev !violations
+
+let is_valid ~repo c = check ~repo c = []

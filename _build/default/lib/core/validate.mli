@@ -1,0 +1,30 @@
+(** Independent validation of concrete specs against a repository — the
+    checklist of §III-C.1 ("a solution is valid iff ..."), implemented
+    directly on the DAG rather than through the solver.
+
+    Used as an oracle in tests (every concretizer answer must validate) and
+    as a standalone audit for externally-produced specs (e.g. installed
+    databases). *)
+
+type violation = {
+  v_package : string;  (** node the problem is on *)
+  v_message : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check : repo:Pkg.Repo.t -> Specs.Spec.concrete -> violation list
+(** All violations found (empty = valid):
+    - every node's package exists, its version is declared, every declared
+      variant has exactly one admissible value and no extra variants appear;
+    - the chosen compiler supports the chosen target;
+    - for every dependency directive whose [when]-condition holds on the
+      DAG, an edge to a satisfying node exists (virtuals resolve through a
+      provider whose [provides] condition holds);
+    - no edge is unexplained (every edge corresponds to some dependency
+      directive or provider resolution);
+    - no conflict declaration matches;
+    - the graph is acyclic with all edges internal (guaranteed by
+      {!Specs.Spec.make_concrete}, re-checked here). *)
+
+val is_valid : repo:Pkg.Repo.t -> Specs.Spec.concrete -> bool

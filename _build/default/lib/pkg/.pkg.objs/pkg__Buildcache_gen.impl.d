@@ -1,0 +1,1 @@
+lib/pkg/buildcache_gen.ml: Database Hashtbl Int List Package Random Repo Specs

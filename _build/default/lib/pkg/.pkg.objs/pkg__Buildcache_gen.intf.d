@@ -1,0 +1,1 @@
+lib/pkg/buildcache_gen.mli: Database Repo Specs

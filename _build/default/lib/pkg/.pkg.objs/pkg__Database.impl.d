@@ -1,0 +1,1 @@
+lib/pkg/database.ml: Hashtbl List Specs String

@@ -1,0 +1,1 @@
+lib/pkg/database.mli: Specs

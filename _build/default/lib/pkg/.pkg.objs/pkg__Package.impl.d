@@ -1,0 +1,1 @@
+lib/pkg/package.ml: List Option Printf Specs String

@@ -1,0 +1,1 @@
+lib/pkg/package.mli: Specs

@@ -1,0 +1,1 @@
+lib/pkg/repo.ml: Hashtbl List Option Package Printf Specs String

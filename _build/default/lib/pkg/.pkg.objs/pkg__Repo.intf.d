@@ -1,0 +1,1 @@
+lib/pkg/repo.mli: Package

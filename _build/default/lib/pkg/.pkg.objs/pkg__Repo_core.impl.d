@@ -1,0 +1,1 @@
+lib/pkg/repo_core.ml: Package Repo

@@ -1,0 +1,1 @@
+lib/pkg/repo_core.mli: Package Repo

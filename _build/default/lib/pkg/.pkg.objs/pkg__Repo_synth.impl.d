@@ -1,0 +1,1 @@
+lib/pkg/repo_synth.ml: Fun List Package Printf Random Repo

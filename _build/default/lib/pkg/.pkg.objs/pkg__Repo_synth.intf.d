@@ -1,0 +1,1 @@
+lib/pkg/repo_synth.mli: Package Repo

@@ -1,0 +1,131 @@
+type combo = { c_os : Specs.Os.t; c_target : string; c_compiler : Specs.Compiler.t }
+
+let default_combos =
+  let gcc11 = Specs.Compiler.make "gcc" "11.2.0" in
+  let gcc8 = Specs.Compiler.make "gcc" "8.5.0" in
+  let clang = Specs.Compiler.make "clang" "14.0.6" in
+  let xl = Specs.Compiler.make "xl" "16.1.1" in
+  [
+    { c_os = "rhel7"; c_target = "power9le"; c_compiler = gcc8 };
+    { c_os = "rhel7"; c_target = "power9le"; c_compiler = xl };
+    { c_os = "rhel7"; c_target = "power8le"; c_compiler = gcc8 };
+    { c_os = "rhel8"; c_target = "skylake"; c_compiler = gcc11 };
+    { c_os = "rhel8"; c_target = "icelake"; c_compiler = gcc11 };
+    { c_os = "rhel8"; c_target = "haswell"; c_compiler = gcc8 };
+    { c_os = "rhel7"; c_target = "haswell"; c_compiler = gcc8 };
+    { c_os = "ubuntu20.04"; c_target = "skylake"; c_compiler = clang };
+    { c_os = "ubuntu20.04"; c_target = "thunderx2"; c_compiler = gcc11 };
+    { c_os = "rhel8"; c_target = "thunderx2"; c_compiler = gcc11 };
+  ]
+
+(* Recipe-consistent default expansion: newest (or jittered) version, default
+   (or jittered) variants, fixed compiler/os/target, dependencies activated
+   by their when-conditions against already-made decisions. *)
+let expand rng ~repo ~combo ~jitter root =
+  let nodes : (string, Specs.Spec.concrete_node) Hashtbl.t = Hashtbl.create 16 in
+  let flip prob = Random.State.float rng 1.0 < prob in
+  let when_holds (w : Specs.Spec.abstract) =
+    let ok (cn : Specs.Spec.constraint_node) =
+      match Hashtbl.find_opt nodes cn.Specs.Spec.cname with
+      | None -> false
+      | Some n -> Specs.Spec.node_satisfies n cn
+    in
+    ok w.Specs.Spec.aroot && List.for_all ok w.Specs.Spec.adeps
+  in
+  let provider_for v =
+    match Repo.providers repo v with
+    | [] -> raise Exit
+    | ps -> List.nth ps (Random.State.int rng (List.length ps))
+  in
+  let rec visit name (req : Specs.Vrange.t option) =
+    let name = if Repo.is_virtual repo name then provider_for name else name in
+    match Hashtbl.find_opt nodes name with
+    | Some _ -> name
+    | None ->
+      let p = match Repo.find repo name with Some p -> p | None -> raise Exit in
+      let pool =
+        List.sort
+          (fun (a : Package.version_decl) b ->
+            Int.compare a.Package.vweight b.Package.vweight)
+          (Package.declared_versions p)
+        |> List.filter (fun (d : Package.version_decl) ->
+               match req with
+               | None -> true
+               | Some r -> Specs.Vrange.satisfies r d.Package.vversion)
+      in
+      let version =
+        match pool with
+        | [] -> raise Exit
+        | [ only ] -> only.Package.vversion
+        | first :: rest ->
+          if jitter && flip 0.3 then
+            (List.nth rest (Random.State.int rng (List.length rest))).Package.vversion
+          else first.Package.vversion
+      in
+      let variants =
+        List.map
+          (fun (v : Package.variant_decl) ->
+            let value =
+              if jitter && flip 0.2 then
+                List.nth v.Package.var_values
+                  (Random.State.int rng (List.length v.Package.var_values))
+              else v.Package.var_default
+            in
+            (v.Package.var_name, value))
+          p.Package.variants
+      in
+      Hashtbl.replace nodes name
+        {
+          Specs.Spec.name;
+          version;
+          variants = List.sort compare variants;
+          compiler = combo.c_compiler;
+          flags = [];
+          os = combo.c_os;
+          target = combo.c_target;
+          depends = [];
+        };
+      let deps = ref [] in
+      List.iter
+        (fun (d : Package.dependency) ->
+          let active =
+            match d.Package.dep_when with None -> true | Some w -> when_holds w
+          in
+          if active then begin
+            let spec = d.Package.dep_spec in
+            deps := visit spec.Specs.Spec.cname spec.Specs.Spec.cversion :: !deps
+          end)
+        p.Package.dependencies;
+      let n = Hashtbl.find nodes name in
+      Hashtbl.replace nodes name
+        { n with Specs.Spec.depends = List.sort_uniq compare !deps };
+      name
+  in
+  let root = visit root None in
+  let all = Hashtbl.fold (fun _ n acc -> n :: acc) nodes [] in
+  Specs.Spec.make_concrete ~root all
+
+let populate ?(seed = 7) ?(variations = 3) ~repo ~combos ~roots db =
+  let rng = Random.State.make [| seed |] in
+  List.iter
+    (fun root ->
+      List.iter
+        (fun combo ->
+          for v = 0 to variations - 1 do
+            match expand rng ~repo ~combo ~jitter:(v > 0) root with
+            | spec -> Database.add_concrete db spec
+            | exception Exit -> ()
+            | exception Invalid_argument _ -> ()
+          done)
+        combos)
+    roots
+
+let quick ?(seed = 7) ~repo ~roots target_size =
+  let db = Database.create () in
+  let variations = ref 1 in
+  while Database.size db < target_size && !variations < 64 do
+    populate ~seed:(seed + !variations) ~variations:!variations ~repo
+      ~combos:default_combos ~roots db;
+    variations := !variations * 2
+  done;
+  db

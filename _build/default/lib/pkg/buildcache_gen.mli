@@ -1,0 +1,33 @@
+(** Synthetic buildcache generator (the E4S buildcache stand-in, §VII-C).
+
+    The E4S buildcache spans multiple architectures, operating systems and
+    compilers: ~600 packages become >60k installed hashes.  This generator
+    reproduces that blow-up: it concretizes each root with the greedy-style
+    default expansion under every (os, target, compiler) combination plus
+    variant jitter, and installs the resulting concrete DAGs.
+
+    Slices matching the paper's four groups are obtained with
+    {!Database.filter} on target family and/or OS. *)
+
+type combo = { c_os : Specs.Os.t; c_target : string; c_compiler : Specs.Compiler.t }
+
+val default_combos : combo list
+(** A paper-like matrix: x86_64, ppc64le and aarch64 targets, three OSes,
+    several compilers. *)
+
+val populate :
+  ?seed:int ->
+  ?variations:int ->
+  repo:Repo.t ->
+  combos:combo list ->
+  roots:string list ->
+  Database.t ->
+  unit
+(** For every root × combo × variation, build a concrete spec with
+    recipe-consistent defaults (newest version, default variants except the
+    jittered ones, the combo's compiler/OS/target) and install its nodes.
+    Roots that cannot be expanded under a combo are skipped. *)
+
+val quick : ?seed:int -> repo:Repo.t -> roots:string list -> int -> Database.t
+(** [quick ~repo ~roots n] populates a cache of roughly [n] hashes using
+    {!default_combos} (truncated/cycled as needed). *)

@@ -1,0 +1,82 @@
+type record = {
+  hash : string;
+  name : string;
+  version : Specs.Version.t;
+  variants : (string * string) list;
+  compiler : Specs.Compiler.t;
+  os : Specs.Os.t;
+  target : string;
+  deps : (string * string) list;
+}
+
+type t = {
+  by_hash : (string, record) Hashtbl.t;
+  mutable insertion : string list;  (** hashes, newest first *)
+}
+
+let create () = { by_hash = Hashtbl.create 256; insertion = [] }
+
+let add_record t r =
+  if not (Hashtbl.mem t.by_hash r.hash) then begin
+    Hashtbl.add t.by_hash r.hash r;
+    t.insertion <- r.hash :: t.insertion
+  end
+
+let add_concrete t (c : Specs.Spec.concrete) =
+  List.iter
+    (fun (n : Specs.Spec.concrete_node) ->
+      add_record t
+        {
+          hash = Specs.Spec.node_hash c n.Specs.Spec.name;
+          name = n.Specs.Spec.name;
+          version = n.Specs.Spec.version;
+          variants = n.Specs.Spec.variants;
+          compiler = n.Specs.Spec.compiler;
+          os = n.Specs.Spec.os;
+          target = n.Specs.Spec.target;
+          deps =
+            List.map (fun d -> (d, Specs.Spec.node_hash c d)) n.Specs.Spec.depends;
+        })
+    (Specs.Spec.concrete_nodes c)
+
+let find t hash = Hashtbl.find_opt t.by_hash hash
+
+let by_package t name =
+  List.filter_map
+    (fun h ->
+      match Hashtbl.find_opt t.by_hash h with
+      | Some r when String.equal r.name name -> Some r
+      | _ -> None)
+    t.insertion
+
+let records t = List.filter_map (Hashtbl.find_opt t.by_hash) (List.rev t.insertion)
+let size t = Hashtbl.length t.by_hash
+let is_empty t = size t = 0
+
+let rec dag_complete t hash =
+  match Hashtbl.find_opt t.by_hash hash with
+  | None -> false
+  | Some r -> List.for_all (fun (_, dh) -> dag_complete t dh) r.deps
+
+let mem_dag t hash = dag_complete t hash
+
+let filter t ~f =
+  let keep = Hashtbl.create 256 in
+  List.iter
+    (fun r -> if f r then Hashtbl.replace keep r.hash r)
+    (records t);
+  (* drop records whose dependency closure is not fully kept *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun h (r : record) ->
+        if not (List.for_all (fun (_, dh) -> Hashtbl.mem keep dh) r.deps) then begin
+          Hashtbl.remove keep h;
+          changed := true
+        end)
+      (Hashtbl.copy keep)
+  done;
+  let out = create () in
+  List.iter (fun r -> if Hashtbl.mem keep r.hash then add_record out r) (records t);
+  out

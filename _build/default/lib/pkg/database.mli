@@ -1,0 +1,42 @@
+(** The installed-package database / binary buildcache.
+
+    Stores per-node records of concrete specs keyed by DAG hash — the same
+    information Spack encodes into reuse facts ([installed_hash/2] plus
+    hash-keyed [imposed_constraint]s, Section VI). *)
+
+type record = {
+  hash : string;
+  name : string;
+  version : Specs.Version.t;
+  variants : (string * string) list;
+  compiler : Specs.Compiler.t;
+  os : Specs.Os.t;
+  target : string;
+  deps : (string * string) list;  (** (dependency package, dependency hash) *)
+}
+
+type t
+
+val create : unit -> t
+
+val add_record : t -> record -> unit
+(** Idempotent on hash. *)
+
+val add_concrete : t -> Specs.Spec.concrete -> unit
+(** Install every node of a concrete spec. *)
+
+val find : t -> string -> record option
+(** Lookup by hash. *)
+
+val by_package : t -> string -> record list
+val records : t -> record list
+val size : t -> int
+val is_empty : t -> bool
+
+val filter : t -> f:(record -> bool) -> t
+(** Restrict to records matching [f] whose dependency closure also matches
+    (dangling sub-DAGs are dropped), e.g. per-architecture or per-OS
+    buildcache slices (§VII-C). *)
+
+val mem_dag : t -> string -> bool
+(** Is the hash present with its full dependency closure? *)

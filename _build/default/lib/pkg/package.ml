@@ -1,0 +1,164 @@
+type version_decl = { vversion : Specs.Version.t; vweight : int; vdeprecated : bool }
+
+type variant_decl = {
+  var_name : string;
+  var_default : string;
+  var_values : string list;
+  var_description : string;
+}
+
+type dependency = {
+  dep_spec : Specs.Spec.constraint_node;
+  dep_when : Specs.Spec.abstract option;
+}
+
+type conflict_decl = {
+  conflict_spec : Specs.Spec.constraint_node;
+  conflict_when : Specs.Spec.abstract option;
+  conflict_msg : string;
+}
+
+type provide = { prov_virtual : string; prov_when : Specs.Spec.abstract option }
+
+type t = {
+  name : string;
+  versions : version_decl list;
+  variants : variant_decl list;
+  dependencies : dependency list;
+  conflicts : conflict_decl list;
+  provides : provide list;
+}
+
+type directive =
+  | Dversion of string * bool
+  | Dvariant of variant_decl
+  | Ddep of string * string option
+  | Dconflict of string * string option * string
+  | Dprovides of string * string option
+
+let version ?(deprecated = false) v = Dversion (v, deprecated)
+
+let variant ?(default = true) ?(description = "") name =
+  Dvariant
+    {
+      var_name = name;
+      var_default = (if default then "true" else "false");
+      var_values = [ "true"; "false" ];
+      var_description = description;
+    }
+
+let variant_values name ~default ~values ?(description = "") () =
+  Dvariant
+    {
+      var_name = name;
+      var_default = default;
+      var_values = values;
+      var_description = description;
+    }
+
+let depends_on ?when_ spec = Ddep (spec, when_)
+let conflicts ?when_ ?(msg = "") spec = Dconflict (spec, when_, msg)
+let provides ?when_ v = Dprovides (v, when_)
+
+(* An "anonymous" constraint like "+mpi" or "%intel" or "@1.2:" or
+   "target=aarch64:" constrains the package itself. *)
+let parse_constraint ~self text =
+  let text = String.trim text in
+  let anonymous =
+    text = ""
+    || (match text.[0] with '@' | '%' | '+' | '~' -> true | _ -> false)
+    ||
+    (* key=value with no package name before it *)
+    let rec scan i =
+      if i >= String.length text then false
+      else
+        match text.[i] with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> scan (i + 1)
+        | '=' -> true
+        | _ -> false
+    in
+    scan 0
+  in
+  if anonymous then
+    let sep =
+      if text = "" || text.[0] = '@' || text.[0] = '%' || text.[0] = '+' || text.[0] = '~'
+      then ""
+      else " "
+    in
+    Specs.Spec_parser.parse_node (self ^ sep ^ text)
+  else Specs.Spec_parser.parse_node text
+
+(* A when= condition may carry ^dep constraints on other DAG nodes. *)
+let parse_when ~self text =
+  match String.split_on_char '^' (String.trim text) with
+  | [] -> { Specs.Spec.aroot = Specs.Spec.empty_node self; adeps = [] }
+  | root :: deps ->
+    let aroot =
+      if String.trim root = "" then Specs.Spec.empty_node self
+      else parse_constraint ~self root
+    in
+    {
+      Specs.Spec.aroot;
+      adeps =
+        List.map Specs.Spec_parser.parse_node
+          (List.filter (fun s -> String.trim s <> "") deps);
+    }
+
+let make name directives =
+  let versions = ref [] and variants = ref [] in
+  let deps = ref [] and confs = ref [] and provs = ref [] in
+  let vcount = ref 0 in
+  List.iter
+    (function
+      | Dversion (v, deprecated) ->
+        versions :=
+          { vversion = Specs.Version.of_string v; vweight = !vcount; vdeprecated = deprecated }
+          :: !versions;
+        incr vcount
+      | Dvariant v -> variants := v :: !variants
+      | Ddep (spec, when_) ->
+        deps :=
+          {
+            dep_spec = Specs.Spec_parser.parse_node spec;
+            dep_when = Option.map (parse_when ~self:name) when_;
+          }
+          :: !deps
+      | Dconflict (spec, when_, msg) ->
+        confs :=
+          {
+            conflict_spec = parse_constraint ~self:name spec;
+            conflict_when = Option.map (parse_when ~self:name) when_;
+            conflict_msg = msg;
+          }
+          :: !confs
+      | Dprovides (v, when_) ->
+        provs :=
+          { prov_virtual = v; prov_when = Option.map (parse_when ~self:name) when_ }
+          :: !provs)
+    directives;
+  {
+    name;
+    versions = List.rev !versions;
+    variants = List.rev !variants;
+    dependencies = List.rev !deps;
+    conflicts = List.rev !confs;
+    provides = List.rev !provs;
+  }
+
+let find_variant p name = List.find_opt (fun v -> String.equal v.var_name name) p.variants
+
+let preferred_version p =
+  match p.versions with
+  | [] -> invalid_arg (Printf.sprintf "package %s declares no versions" p.name)
+  | vs ->
+    (List.fold_left (fun best v -> if v.vweight < best.vweight then v else best)
+       (List.hd vs) vs)
+      .vversion
+
+let declared_versions p = p.versions
+
+let versions_satisfying p range =
+  List.filter_map
+    (fun v ->
+      if Specs.Vrange.satisfies range v.vversion then Some v.vversion else None)
+    p.versions

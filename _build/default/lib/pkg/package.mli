@@ -1,0 +1,99 @@
+(** Package recipes: the metadata half of Spack's package DSL (Fig. 2).
+
+    A recipe declares versions, variants, dependencies, conflicts and
+    virtual-package [provides] — each optionally guarded by a [when]
+    condition written in spec syntax.  The build half ([install()]) is out
+    of scope: nothing is compiled here.
+
+    Example, mirroring the paper's Fig. 2:
+    {[
+      let example =
+        Package.make "example"
+          [
+            version "1.1.0";
+            version "1.0.0";
+            variant "bzip" ~default:true ~description:"enable bzip";
+            depends_on "bzip2@1.0.7:" ~when_:"+bzip";
+            depends_on "zlib";
+            depends_on "zlib@1.2.8:" ~when_:"@1.1.0:";
+            depends_on "mpi";
+            conflicts "%intel";
+            conflicts "target=aarch64:";
+          ]
+    ]} *)
+
+type version_decl = { vversion : Specs.Version.t; vweight : int; vdeprecated : bool }
+
+type variant_decl = {
+  var_name : string;
+  var_default : string;
+  var_values : string list;
+  var_description : string;
+}
+
+type dependency = {
+  dep_spec : Specs.Spec.constraint_node;  (** constraint imposed on the dependency *)
+  dep_when : Specs.Spec.abstract option;
+      (** condition on the dependent; its [adeps] express [^pkg] conditions
+          on other nodes of the DAG (§V-B.3) *)
+}
+
+type conflict_decl = {
+  conflict_spec : Specs.Spec.constraint_node;  (** pattern that must not hold *)
+  conflict_when : Specs.Spec.abstract option;
+  conflict_msg : string;
+}
+
+type provide = {
+  prov_virtual : string;
+  prov_when : Specs.Spec.abstract option;
+}
+
+type t = {
+  name : string;
+  versions : version_decl list;  (** newest (lowest weight) first *)
+  variants : variant_decl list;
+  dependencies : dependency list;
+  conflicts : conflict_decl list;
+  provides : provide list;
+}
+
+(** {1 Directives} *)
+
+type directive
+
+val version : ?deprecated:bool -> string -> directive
+(** Versions are weighted by declaration order: first declared = preferred. *)
+
+val variant : ?default:bool -> ?description:string -> string -> directive
+(** Boolean variant. *)
+
+val variant_values :
+  string -> default:string -> values:string list -> ?description:string -> unit -> directive
+(** Multi-valued variant. *)
+
+val depends_on : ?when_:string -> string -> directive
+val conflicts : ?when_:string -> ?msg:string -> string -> directive
+val provides : ?when_:string -> string -> directive
+
+val make : string -> directive list -> t
+(** Assemble a recipe.  [when]/[conflicts] spec strings may be anonymous
+    (["+mpi"], ["%intel"], ["@1.2:"]): they implicitly constrain the package
+    itself.
+    @raise Specs.Spec_parser.Error on malformed spec strings. *)
+
+(** {1 Accessors} *)
+
+val find_variant : t -> string -> variant_decl option
+val preferred_version : t -> Specs.Version.t
+(** @raise Invalid_argument when the recipe declares no versions. *)
+
+val declared_versions : t -> version_decl list
+val versions_satisfying : t -> Specs.Vrange.t -> Specs.Version.t list
+val parse_constraint : self:string -> string -> Specs.Spec.constraint_node
+(** Parse a possibly anonymous constraint against package [self]
+    (no [^] allowed). *)
+
+val parse_when : self:string -> string -> Specs.Spec.abstract
+(** Parse a [when=] condition: a possibly anonymous constraint on [self],
+    optionally followed by [^dep] constraints on other DAG nodes. *)

@@ -1,0 +1,84 @@
+type t = {
+  by_name : (string, Package.t) Hashtbl.t;
+  names : string list;
+  virtual_providers : (string, string list) Hashtbl.t;
+}
+
+let make ?(preferred_providers = []) packages =
+  let by_name = Hashtbl.create 256 in
+  List.iter
+    (fun (p : Package.t) ->
+      if Hashtbl.mem by_name p.Package.name then
+        invalid_arg (Printf.sprintf "duplicate package %s" p.Package.name);
+      Hashtbl.add by_name p.Package.name p)
+    packages;
+  let virtual_providers = Hashtbl.create 16 in
+  List.iter
+    (fun (p : Package.t) ->
+      List.iter
+        (fun (pr : Package.provide) ->
+          let v = pr.Package.prov_virtual in
+          let existing = Option.value ~default:[] (Hashtbl.find_opt virtual_providers v) in
+          if not (List.mem p.Package.name existing) then
+            Hashtbl.replace virtual_providers v (existing @ [ p.Package.name ]))
+        p.Package.provides)
+    packages;
+  (* apply preferred-provider ordering *)
+  Hashtbl.iter
+    (fun v provs ->
+      let preferred =
+        List.filter_map
+          (fun (v', p) -> if String.equal v v' && List.mem p provs then Some p else None)
+          preferred_providers
+      in
+      let rest = List.filter (fun p -> not (List.mem p preferred)) provs in
+      Hashtbl.replace virtual_providers v (preferred @ rest))
+    (Hashtbl.copy virtual_providers);
+  { by_name; names = List.map (fun (p : Package.t) -> p.Package.name) packages;
+    virtual_providers }
+
+let find t name = Hashtbl.find_opt t.by_name name
+
+let find_exn t name =
+  match find t name with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "unknown package %s" name)
+
+let package_names t = t.names
+let packages t = List.map (fun n -> Hashtbl.find t.by_name n) t.names
+let size t = List.length t.names
+let is_virtual t name = Hashtbl.mem t.virtual_providers name
+
+let virtuals t =
+  Hashtbl.fold (fun v _ acc -> v :: acc) t.virtual_providers [] |> List.sort compare
+
+let providers t v = Option.value ~default:[] (Hashtbl.find_opt t.virtual_providers v)
+
+let provider_weight t ~virtual_ ~provider =
+  let rec idx i = function
+    | [] -> 99
+    | p :: rest -> if String.equal p provider then i else idx (i + 1) rest
+  in
+  idx 0 (providers t virtual_)
+
+let possible_dependencies t root =
+  let seen = Hashtbl.create 64 in
+  let rec visit name =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.replace seen name ();
+      let targets =
+        if is_virtual t name then providers t name
+        else
+          match find t name with
+          | None -> []
+          | Some p ->
+            List.map
+              (fun (d : Package.dependency) -> d.Package.dep_spec.Specs.Spec.cname)
+              p.Package.dependencies
+      in
+      List.iter visit targets
+    end
+  in
+  visit root;
+  Hashtbl.remove seen root;
+  Hashtbl.fold (fun n () acc -> n :: acc) seen [] |> List.sort compare

@@ -1,0 +1,30 @@
+(** Package repositories: the set of recipes a concretization draws from. *)
+
+type t
+
+val make : ?preferred_providers:(string * string) list -> Package.t list -> t
+(** Build a repository.  Virtual package names are inferred from [provides]
+    directives.  [preferred_providers] orders providers per virtual (first =
+    most preferred); unlisted providers follow in declaration order.
+    @raise Invalid_argument on duplicate package names. *)
+
+val find : t -> string -> Package.t option
+val find_exn : t -> string -> Package.t
+val package_names : t -> string list
+val packages : t -> Package.t list
+val size : t -> int
+
+val is_virtual : t -> string -> bool
+val virtuals : t -> string list
+
+val providers : t -> string -> string list
+(** Provider package names for a virtual, most preferred first. *)
+
+val provider_weight : t -> virtual_:string -> provider:string -> int
+
+val possible_dependencies : t -> string -> string list
+(** Transitive closure of every package that {e could} appear in a solve
+    rooted at the given package: all conditional dependency branches are
+    followed and virtual dependencies expand to all their providers.  This
+    is the paper's "possible dependencies" measure (Fig. 7), which bounds
+    solver work much better than the resolved dependency count. *)

@@ -1,0 +1,1044 @@
+open Package
+
+(* ------------------------------------------------------------------ *)
+(* Build tools                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let m4 = make "m4" [ version "1.4.19"; version "1.4.18"; depends_on "libsigsegv" ]
+let libsigsegv = make "libsigsegv" [ version "2.13"; version "2.12" ]
+
+let autoconf =
+  make "autoconf"
+    [ version "2.71"; version "2.69"; depends_on "m4@1.4.8:"; depends_on "perl" ]
+
+let automake =
+  make "automake" [ version "1.16.5"; version "1.16.3"; depends_on "autoconf"; depends_on "perl" ]
+
+let libtool = make "libtool" [ version "2.4.7"; version "2.4.6"; depends_on "m4@1.4.6:" ]
+let pkgconf = make "pkgconf" [ version "1.8.0"; version "1.7.4" ]
+
+let ninja = make "ninja" [ version "1.11.1"; version "1.10.2"; depends_on "python" ]
+
+let cmake =
+  make "cmake"
+    [
+      version "3.23.1";
+      version "3.21.4";
+      version "3.21.1";
+      version "3.18.4";
+      variant "ownlibs" ~default:true ~description:"use bundled curl and zlib";
+      variant "ncurses" ~default:true ~description:"build the ccmake TUI";
+      variant "qt" ~default:false ~description:"build the Qt GUI";
+      depends_on "ncurses" ~when_:"+ncurses";
+      depends_on "curl" ~when_:"~ownlibs";
+      depends_on "zlib" ~when_:"~ownlibs";
+      depends_on "openssl" ~when_:"~ownlibs";
+      depends_on "qt@5.9:" ~when_:"+qt";
+    ]
+
+let gmake =
+  make "gmake" [ version "4.3"; version "4.2.1"; variant "guile" ~default:false ]
+
+let perl =
+  make "perl"
+    [
+      version "5.34.1";
+      version "5.34.0";
+      version "5.30.3";
+      variant "threads" ~default:true;
+      depends_on "gdbm";
+      depends_on "zlib";
+      depends_on "bzip2";
+    ]
+
+let python =
+  make "python"
+    [
+      version "3.10.4";
+      version "3.9.12";
+      version "3.8.13";
+      version "2.7.18" ~deprecated:true;
+      variant "ssl" ~default:true ~description:"openssl support";
+      variant "tkinter" ~default:false;
+      variant "optimizations" ~default:false;
+      depends_on "openssl" ~when_:"+ssl";
+      depends_on "zlib";
+      depends_on "bzip2";
+      depends_on "xz";
+      depends_on "expat";
+      depends_on "libffi";
+      depends_on "readline";
+      depends_on "sqlite";
+      depends_on "gettext";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Core libraries                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let zlib =
+  make "zlib"
+    [
+      version "1.2.12";
+      version "1.2.11";
+      version "1.2.8";
+      version "1.2.3" ~deprecated:true;
+      variant "pic" ~default:true ~description:"position independent code";
+      variant "shared" ~default:true;
+    ]
+
+let zstd =
+  make "zstd" [ version "1.5.2"; version "1.4.9"; variant "programs" ~default:false ]
+
+let bzip2 =
+  make "bzip2"
+    [ version "1.0.8"; version "1.0.7"; version "1.0.6"; variant "shared" ~default:true ]
+
+let xz = make "xz" [ version "5.2.5"; version "5.2.4"; variant "pic" ~default:false ]
+let libiconv = make "libiconv" [ version "1.16"; version "1.15" ]
+
+let ncurses =
+  make "ncurses"
+    [
+      version "6.2";
+      version "6.1";
+      variant "termlib" ~default:true;
+      variant "symlinks" ~default:false;
+      depends_on "pkgconf";
+    ]
+
+let readline = make "readline" [ version "8.1"; version "8.0"; depends_on "ncurses" ]
+
+let openssl =
+  make "openssl"
+    [
+      version "1.1.1q";
+      version "1.1.1k";
+      version "1.0.2u" ~deprecated:true;
+      variant "certs" ~default:true;
+      depends_on "zlib";
+      depends_on "perl@5.14.0:";
+    ]
+
+let curl =
+  make "curl"
+    [
+      version "7.83.0";
+      version "7.78.0";
+      variant "tls" ~default:true;
+      variant "nghttp2" ~default:false;
+      depends_on "openssl" ~when_:"+tls";
+      depends_on "zlib";
+    ]
+
+let sqlite =
+  make "sqlite"
+    [ version "3.38.5"; version "3.36.0"; variant "fts" ~default:true; depends_on "readline"; depends_on "zlib" ]
+
+let gettext =
+  make "gettext"
+    [
+      version "0.21";
+      version "0.20.2";
+      variant "curses" ~default:true;
+      depends_on "ncurses" ~when_:"+curses";
+      depends_on "libiconv";
+      depends_on "libxml2";
+    ]
+
+let libxml2 =
+  make "libxml2"
+    [
+      version "2.9.13";
+      version "2.9.12";
+      variant "python" ~default:false;
+      depends_on "zlib";
+      depends_on "xz";
+      depends_on "libiconv";
+      depends_on "python" ~when_:"+python";
+    ]
+
+let expat = make "expat" [ version "2.4.8"; version "2.4.1"; depends_on "libbsd" ]
+let libbsd = make "libbsd" [ version "0.11.5"; version "0.11.3"; depends_on "libmd" ]
+let libmd = make "libmd" [ version "1.0.4"; version "1.0.3" ]
+let gdbm = make "gdbm" [ version "1.23"; version "1.19"; depends_on "readline" ]
+let libffi = make "libffi" [ version "3.4.2"; version "3.3" ]
+
+let libpng =
+  make "libpng" [ version "1.6.37"; version "1.6.0"; version "1.5.30"; depends_on "zlib@1.0.4:" ]
+
+(* ------------------------------------------------------------------ *)
+(* Low-level HPC plumbing                                              *)
+(* ------------------------------------------------------------------ *)
+
+let numactl =
+  make "numactl" [ version "2.0.14"; version "2.0.12"; depends_on "autoconf"; depends_on "automake"; depends_on "libtool" ]
+
+let hwloc =
+  make "hwloc"
+    [
+      version "2.7.1";
+      version "2.6.0";
+      version "1.11.13";
+      variant "libxml2" ~default:true;
+      variant "cuda" ~default:false;
+      variant "opencl" ~default:false;
+      depends_on "libxml2" ~when_:"+libxml2";
+      depends_on "ncurses";
+      depends_on "numactl" ~when_:"target=x86_64:";
+      depends_on "cuda" ~when_:"+cuda";
+    ]
+
+let libevent =
+  make "libevent"
+    [ version "2.1.12"; version "2.1.8"; variant "openssl" ~default:true; depends_on "openssl" ~when_:"+openssl" ]
+
+let pmix =
+  make "pmix"
+    [
+      version "4.1.2";
+      version "3.2.3";
+      depends_on "hwloc@2.0.0:" ~when_:"@3.0.0:";
+      depends_on "libevent@2.0.20:";
+    ]
+
+let ucx =
+  make "ucx"
+    [
+      version "1.12.1";
+      version "1.11.2";
+      variant "thread_multiple" ~default:false;
+      variant "cuda" ~default:false;
+      depends_on "numactl";
+      depends_on "cuda" ~when_:"+cuda";
+      conflicts "target=aarch64:" ~when_:"@:1.11" ~msg:"aarch64 support requires 1.12";
+    ]
+
+let libfabric =
+  make "libfabric"
+    [
+      version "1.14.1";
+      version "1.13.2";
+      variant_values "fabrics" ~default:"sockets" ~values:[ "sockets"; "verbs"; "shm" ] ();
+    ]
+
+let cuda =
+  make "cuda"
+    [
+      version "11.7.0";
+      version "11.4.2";
+      version "10.2.89";
+      conflicts "%gcc@12:" ~msg:"unsupported host compiler";
+      conflicts "target=ppc64le:" ~when_:"@11.5:" ~msg:"ppc64le dropped after 11.4";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* MPI: virtual package with several providers                         *)
+(* ------------------------------------------------------------------ *)
+
+let mpich =
+  make "mpich"
+    [
+      version "4.0.2";
+      version "3.4.3";
+      version "3.1";
+      variant_values "pmi" ~default:"pmi" ~values:[ "pmi"; "pmi2"; "pmix" ] ();
+      variant_values "device" ~default:"ch4" ~values:[ "ch3"; "ch4" ] ();
+      variant "fortran" ~default:true;
+      provides "mpi";
+      depends_on "hwloc@2.0.0:" ~when_:"@3.3:";
+      depends_on "pmix" ~when_:"pmi=pmix";
+      depends_on "ucx" ~when_:"device=ch4";
+      depends_on "libfabric" ~when_:"device=ch3";
+      depends_on "libxml2";
+    ]
+
+let openmpi =
+  make "openmpi"
+    [
+      version "4.1.4";
+      version "4.1.1";
+      version "3.1.6";
+      variant "cuda" ~default:false;
+      variant "pmix" ~default:true;
+      variant "legacylaunchers" ~default:false;
+      provides "mpi";
+      depends_on "hwloc@2.0:" ~when_:"@4.0.0:";
+      depends_on "hwloc@:1.999" ~when_:"@:3.999";
+      depends_on "libevent@2.0:";
+      depends_on "pmix@3.2:" ~when_:"+pmix @4.0:";
+      depends_on "ucx" ~when_:"@4.0:";
+      depends_on "zlib";
+      depends_on "cuda" ~when_:"+cuda";
+    ]
+
+let mvapich2 =
+  make "mvapich2"
+    [
+      version "2.3.7";
+      version "2.3.6";
+      variant_values "process_managers" ~default:"hydra" ~values:[ "hydra"; "slurm" ] ();
+      provides "mpi";
+      depends_on "libfabric";
+      depends_on "zlib";
+      conflicts "target=aarch64:" ~msg:"mvapich2 does not support ARM";
+    ]
+
+(* The paper's potential-cycle example: mpilander provides MPI and depends on
+   cmake, whose optional GUI drags in qt -> valgrind -> mpi. *)
+let mpilander =
+  make "mpilander"
+    [
+      version "develop";
+      provides "mpi";
+      depends_on "cmake@3.9.3:";
+      conflicts "target=ppc64le:" ~msg:"single-node MPI for laptops";
+    ]
+
+let valgrind =
+  make "valgrind"
+    [
+      version "3.19.0";
+      version "3.18.1";
+      variant "mpi" ~default:true ~description:"MPI wrapper support";
+      variant "boost" ~default:false;
+      depends_on "mpi" ~when_:"+mpi";
+      depends_on "boost" ~when_:"+boost";
+    ]
+
+let qt =
+  make "qt"
+    [
+      version "5.15.4";
+      version "5.14.2";
+      version "5.9.9";
+      variant "gui" ~default:true;
+      variant "webkit" ~default:false;
+      variant "debug" ~default:false;
+      depends_on "libpng";
+      depends_on "zlib";
+      depends_on "openssl";
+      depends_on "sqlite";
+      depends_on "valgrind" ~when_:"+webkit";
+      depends_on "libxml2";
+    ]
+
+let boost =
+  make "boost"
+    [
+      version "1.79.0";
+      version "1.76.0";
+      version "1.73.0";
+      variant "mpi" ~default:false;
+      variant "python" ~default:false;
+      variant "shared" ~default:true;
+      depends_on "bzip2";
+      depends_on "zlib";
+      depends_on "zstd";
+      depends_on "mpi" ~when_:"+mpi";
+      depends_on "python" ~when_:"+python";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* BLAS / LAPACK: virtuals with several providers                      *)
+(* ------------------------------------------------------------------ *)
+
+let openblas =
+  make "openblas"
+    [
+      version "0.3.20";
+      version "0.3.18";
+      version "0.3.10";
+      variant "openmp" ~default:false ~description:"threading via OpenMP";
+      variant "pic" ~default:true;
+      variant "shared" ~default:true;
+      provides "blas";
+      provides "lapack";
+      depends_on "perl";
+    ]
+
+let netlib_lapack =
+  make "netlib-lapack"
+    [
+      version "3.10.1";
+      version "3.9.1";
+      variant "external-blas" ~default:false;
+      provides "lapack";
+      provides "blas" ~when_:"~external-blas";
+      depends_on "cmake";
+      depends_on "blas" ~when_:"+external-blas";
+    ]
+
+let intel_mkl =
+  make "intel-mkl"
+    [
+      version "2020.4.304";
+      version "2020.3.279";
+      variant "threads" ~default:false;
+      provides "blas";
+      provides "lapack";
+      provides "fftw-api" ~when_:"@2020:";
+      conflicts "target=aarch64:" ~msg:"MKL is x86 only";
+      conflicts "target=ppc64le:" ~msg:"MKL is x86 only";
+    ]
+
+let amdblis =
+  make "amdblis"
+    [
+      version "3.1";
+      version "3.0";
+      provides "blas";
+      variant "threads" ~default:false;
+      conflicts "target=ppc64le:";
+      conflicts "target=aarch64:";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Math & I/O libraries                                                *)
+(* ------------------------------------------------------------------ *)
+
+let fftw =
+  make "fftw"
+    [
+      version "3.3.10";
+      version "3.3.9";
+      variant "mpi" ~default:true;
+      variant "openmp" ~default:false;
+      variant_values "precision" ~default:"double" ~values:[ "float"; "double"; "long_double" ] ();
+      provides "fftw-api";
+      depends_on "mpi" ~when_:"+mpi";
+    ]
+
+let metis =
+  make "metis"
+    [
+      version "5.1.0";
+      version "4.0.3";
+      variant "int64" ~default:false;
+      variant "real64" ~default:false;
+      depends_on "cmake@2.8:" ~when_:"@5:";
+    ]
+
+let parmetis =
+  make "parmetis"
+    [
+      version "4.0.3";
+      variant "int64" ~default:false;
+      depends_on "cmake@2.8:";
+      depends_on "metis@5:";
+      depends_on "mpi";
+    ]
+
+let scotch =
+  make "scotch"
+    [
+      version "7.0.1";
+      version "6.1.1";
+      variant "mpi" ~default:true;
+      variant "compression" ~default:true;
+      depends_on "zlib" ~when_:"+compression";
+      depends_on "mpi" ~when_:"+mpi";
+      depends_on "cmake@3.10:" ~when_:"@7:";
+    ]
+
+let superlu_dist =
+  make "superlu-dist"
+    [
+      version "7.2.0";
+      version "7.1.1";
+      variant "int64" ~default:false;
+      variant "openmp" ~default:false;
+      depends_on "mpi";
+      depends_on "blas";
+      depends_on "lapack";
+      depends_on "parmetis";
+      depends_on "metis@5:";
+      depends_on "cmake@3.18.1:";
+    ]
+
+let hypre =
+  make "hypre"
+    [
+      version "2.24.0";
+      version "2.23.0";
+      version "2.20.0";
+      variant "mpi" ~default:true;
+      variant "openmp" ~default:false;
+      variant "int64" ~default:false;
+      variant "cuda" ~default:false;
+      depends_on "mpi" ~when_:"+mpi";
+      depends_on "blas";
+      depends_on "lapack";
+      depends_on "cuda" ~when_:"+cuda";
+    ]
+
+let petsc =
+  make "petsc"
+    [
+      version "3.17.1";
+      version "3.16.6";
+      version "3.14.6";
+      variant "mpi" ~default:true;
+      variant "hypre" ~default:true;
+      variant "metis" ~default:true;
+      variant "hdf5" ~default:true;
+      variant "complex" ~default:false;
+      variant "cuda" ~default:false;
+      depends_on "mpi" ~when_:"+mpi";
+      depends_on "blas";
+      depends_on "lapack";
+      depends_on "hypre+mpi" ~when_:"+hypre+mpi";
+      depends_on "metis@5:" ~when_:"+metis";
+      depends_on "hdf5+mpi" ~when_:"+hdf5+mpi";
+      depends_on "python";
+      depends_on "cuda" ~when_:"+cuda";
+      conflicts "+hypre" ~when_:"+complex" ~msg:"hypre does not support complex scalars";
+    ]
+
+let slepc =
+  make "slepc"
+    [
+      version "3.17.1";
+      version "3.16.3";
+      variant "arpack" ~default:false;
+      depends_on "petsc+mpi";
+      depends_on "python";
+    ]
+
+let mfem =
+  make "mfem"
+    [
+      version "4.4.0";
+      version "4.3.0";
+      variant "mpi" ~default:true;
+      variant "openmp" ~default:false;
+      variant "petsc" ~default:false;
+      variant "sundials" ~default:false;
+      depends_on "mpi" ~when_:"+mpi";
+      depends_on "hypre+mpi" ~when_:"+mpi";
+      depends_on "blas";
+      depends_on "lapack";
+      depends_on "metis" ~when_:"+mpi";
+      depends_on "petsc+mpi" ~when_:"+petsc";
+      depends_on "zlib";
+    ]
+
+let hdf5 =
+  make "hdf5"
+    [
+      version "1.13.1";
+      version "1.12.2";
+      version "1.10.8";
+      version "1.10.2";
+      version "1.8.22";
+      variant "mpi" ~default:true ~description:"parallel HDF5";
+      variant "szip" ~default:false;
+      variant "shared" ~default:true;
+      variant "fortran" ~default:false;
+      variant_values "api" ~default:"default" ~values:[ "default"; "v18"; "v110"; "v112" ] ();
+      depends_on "zlib@1.1.2:";
+      depends_on "mpi" ~when_:"+mpi";
+      depends_on "szip" ~when_:"+szip";
+      depends_on "cmake@3.12:" ~when_:"@1.13:";
+      conflicts "api=v112" ~when_:"@:1.11" ~msg:"v112 API requires 1.12 or newer";
+    ]
+
+let szip = make "szip" [ version "2.1.1"; version "2.1" ]
+
+let netcdf_c =
+  make "netcdf-c"
+    [
+      version "4.8.1";
+      version "4.7.4";
+      variant "mpi" ~default:true;
+      variant "parallel-netcdf" ~default:false;
+      variant "zstd" ~default:false;
+      depends_on "hdf5+mpi" ~when_:"+mpi";
+      depends_on "hdf5~mpi" ~when_:"~mpi";
+      depends_on "parallel-netcdf" ~when_:"+parallel-netcdf";
+      depends_on "zlib";
+      depends_on "zstd" ~when_:"+zstd";
+      depends_on "m4";
+    ]
+
+let parallel_netcdf =
+  make "parallel-netcdf"
+    [
+      version "1.12.2";
+      version "1.11.2";
+      variant "fortran" ~default:true;
+      depends_on "mpi";
+      depends_on "m4";
+      depends_on "perl";
+    ]
+
+let adios2 =
+  make "adios2"
+    [
+      version "2.8.0";
+      version "2.7.1";
+      variant "mpi" ~default:true;
+      variant "hdf5" ~default:false;
+      variant "zfp" ~default:true;
+      variant "python" ~default:false;
+      depends_on "cmake@3.12:";
+      depends_on "mpi" ~when_:"+mpi";
+      depends_on "hdf5" ~when_:"+hdf5";
+      depends_on "zfp" ~when_:"+zfp";
+      depends_on "python" ~when_:"+python";
+      depends_on "bzip2";
+    ]
+
+let zfp =
+  make "zfp" [ version "0.5.5"; version "0.5.4"; variant "shared" ~default:true; depends_on "cmake@3.4:" ]
+
+(* ------------------------------------------------------------------ *)
+(* Performance tools & frameworks                                      *)
+(* ------------------------------------------------------------------ *)
+
+let papi =
+  make "papi"
+    [
+      version "6.0.0.1";
+      version "5.7.0";
+      variant "cuda" ~default:false;
+      depends_on "cuda" ~when_:"+cuda";
+    ]
+
+let libunwind =
+  make "libunwind" [ version "1.6.2"; version "1.5.0"; variant "xz" ~default:false; depends_on "xz" ~when_:"+xz" ]
+
+let libmonitor = make "libmonitor" [ version "2021.11.08"; version "2020.10.15" ]
+
+let intel_tbb = make "intel-tbb" [ version "2021.6.0"; version "2020.3"; depends_on "cmake@3.1:" ]
+
+let libdwarf =
+  make "libdwarf" [ version "20180129"; version "20160507"; depends_on "elfutils"; depends_on "zlib" ]
+
+let elfutils =
+  make "elfutils"
+    [
+      version "0.187";
+      version "0.186";
+      variant "bzip2" ~default:false;
+      variant "nls" ~default:true;
+      depends_on "bzip2" ~when_:"+bzip2";
+      depends_on "xz";
+      depends_on "zlib";
+      depends_on "gettext" ~when_:"+nls";
+      depends_on "m4";
+    ]
+
+(* The paper's §V-B.1 example: mpi dependency conditional on a
+   non-default variant. *)
+let hpctoolkit =
+  make "hpctoolkit"
+    [
+      version "2022.04.15";
+      version "2021.10.15";
+      variant "mpi" ~default:false ~description:"build the MPI trace analyzer";
+      variant "papi" ~default:true;
+      variant "cuda" ~default:false;
+      depends_on "mpi" ~when_:"+mpi";
+      depends_on "papi" ~when_:"+papi";
+      depends_on "cuda" ~when_:"+cuda";
+      depends_on "boost";
+      depends_on "elfutils";
+      depends_on "libdwarf";
+      depends_on "libmonitor";
+      depends_on "libunwind";
+      depends_on "intel-tbb";
+      depends_on "zlib";
+      depends_on "xz";
+    ]
+
+let caliper =
+  make "caliper"
+    [
+      version "2.7.0";
+      version "2.6.0";
+      variant "mpi" ~default:true;
+      variant "papi" ~default:true;
+      depends_on "cmake@3.12:";
+      depends_on "mpi" ~when_:"+mpi";
+      depends_on "papi" ~when_:"+papi";
+      depends_on "adiak";
+      depends_on "python";
+    ]
+
+let adiak =
+  make "adiak"
+    [ version "0.2.1"; version "0.1.1"; variant "mpi" ~default:true; depends_on "mpi" ~when_:"+mpi"; depends_on "cmake" ]
+
+let tau =
+  make "tau"
+    [
+      version "2.31.1";
+      version "2.30.2";
+      variant "mpi" ~default:true;
+      variant "python" ~default:false;
+      variant "papi" ~default:true;
+      depends_on "mpi" ~when_:"+mpi";
+      depends_on "papi" ~when_:"+papi";
+      depends_on "python" ~when_:"+python";
+      depends_on "libunwind";
+      depends_on "zlib";
+    ]
+
+let camp =
+  make "camp" [ version "0.2.3"; version "0.2.2"; variant "cuda" ~default:false; depends_on "cmake@3.10:"; depends_on "cuda" ~when_:"+cuda" ]
+
+let raja =
+  make "raja"
+    [
+      version "2022.03.0";
+      version "0.14.1";
+      variant "openmp" ~default:true;
+      variant "cuda" ~default:false;
+      variant "shared" ~default:true;
+      depends_on "cmake@3.14:";
+      depends_on "camp";
+      depends_on "cuda" ~when_:"+cuda";
+    ]
+
+let umpire =
+  make "umpire"
+    [
+      version "2022.03.1";
+      version "6.0.0";
+      variant "cuda" ~default:false;
+      variant "openmp" ~default:true;
+      depends_on "cmake@3.14:";
+      depends_on "camp";
+      depends_on "cuda" ~when_:"+cuda";
+    ]
+
+let kokkos =
+  make "kokkos"
+    [
+      version "3.6.00";
+      version "3.5.00";
+      variant "openmp" ~default:true;
+      variant "cuda" ~default:false;
+      variant "shared" ~default:true;
+      depends_on "cmake@3.16:";
+      depends_on "cuda@9.3:" ~when_:"+cuda";
+      conflicts "%gcc@:5.2" ~msg:"kokkos needs C++14";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Applications & paper-specific packages                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Fig. 2 of the paper, verbatim semantics. *)
+let example =
+  make "example"
+    [
+      version "1.1.0";
+      version "1.0.0";
+      variant "bzip" ~default:true ~description:"enable bzip";
+      depends_on "bzip2@1.0.7:" ~when_:"+bzip";
+      depends_on "zlib";
+      depends_on "zlib@1.2.8:" ~when_:"@1.1.0:";
+      depends_on "mpi";
+      conflicts "%intel";
+      conflicts "target=aarch64:";
+    ]
+
+(* §V-A's h5utils: conditional dependency through a variant. *)
+let h5utils =
+  make "h5utils"
+    [
+      version "1.13.1";
+      version "1.12.1";
+      variant "png" ~default:true;
+      variant "octave" ~default:false;
+      depends_on "libpng@1.6.0:" ~when_:"+png";
+      depends_on "hdf5";
+    ]
+
+(* §V-B.3's berkeleygw: constraints on the chosen provider of a virtual. *)
+let berkeleygw =
+  make "berkeleygw"
+    [
+      version "3.0.1";
+      version "2.1";
+      variant "mpi" ~default:true;
+      variant "openmp" ~default:true;
+      depends_on "mpi" ~when_:"+mpi";
+      depends_on "blas";
+      depends_on "lapack";
+      depends_on "fftw-api";
+      depends_on "hdf5+mpi" ~when_:"+mpi";
+      depends_on "openblas+openmp" ~when_:"+openmp ^openblas";
+      depends_on "fftw+openmp" ~when_:"+openmp ^fftw";
+    ]
+
+let lammps =
+  make "lammps"
+    [
+      version "20220107";
+      version "20210929";
+      variant "mpi" ~default:true;
+      variant "openmp" ~default:true;
+      variant "fft" ~default:true;
+      depends_on "cmake@3.16:";
+      depends_on "mpi" ~when_:"+mpi";
+      depends_on "fftw-api" ~when_:"+fft";
+    ]
+
+let gromacs =
+  make "gromacs"
+    [
+      version "2022.1";
+      version "2021.5";
+      variant "mpi" ~default:true;
+      variant "cuda" ~default:false;
+      variant "double" ~default:false;
+      depends_on "cmake@3.16:";
+      depends_on "mpi" ~when_:"+mpi";
+      depends_on "blas";
+      depends_on "lapack";
+      depends_on "fftw-api";
+      depends_on "cuda" ~when_:"+cuda";
+    ]
+
+let quantum_espresso =
+  make "quantum-espresso"
+    [
+      version "7.0";
+      version "6.8";
+      variant "mpi" ~default:true;
+      variant "openmp" ~default:false;
+      variant "scalapack" ~default:true;
+      depends_on "blas";
+      depends_on "lapack";
+      depends_on "fftw-api";
+      depends_on "mpi" ~when_:"+mpi";
+      depends_on "scalapack" ~when_:"+scalapack";
+      conflicts "~mpi" ~when_:"+scalapack" ~msg:"scalapack requires MPI";
+    ]
+
+let strumpack =
+  make "strumpack"
+    [
+      version "6.3.1";
+      version "6.1.0";
+      variant "mpi" ~default:true;
+      variant "openmp" ~default:true;
+      depends_on "cmake@3.11:";
+      depends_on "blas";
+      depends_on "lapack";
+      depends_on "mpi" ~when_:"+mpi";
+      depends_on "metis";
+      depends_on "parmetis" ~when_:"+mpi";
+      depends_on "zfp";
+    ]
+
+let sundials =
+  make "sundials"
+    [
+      version "6.2.0";
+      version "5.8.0";
+      variant "mpi" ~default:true;
+      variant "openmp" ~default:false;
+      variant "hypre" ~default:false;
+      depends_on "cmake@3.12:";
+      depends_on "mpi" ~when_:"+mpi";
+      depends_on "hypre+mpi" ~when_:"+hypre";
+      depends_on "blas";
+    ]
+
+let trilinos =
+  make "trilinos"
+    [
+      version "13.2.0";
+      version "13.0.1";
+      variant "mpi" ~default:true;
+      variant "openmp" ~default:false;
+      variant "kokkos" ~default:true;
+      variant "fortran" ~default:false;
+      depends_on "cmake@3.17:";
+      depends_on "mpi" ~when_:"+mpi";
+      depends_on "blas";
+      depends_on "lapack";
+      depends_on "kokkos" ~when_:"+kokkos";
+      depends_on "boost";
+      depends_on "hdf5+mpi" ~when_:"+mpi";
+      conflicts "%gcc@:4.9" ~msg:"trilinos needs C++14";
+    ]
+
+let bison = make "bison" [ version "3.8.2"; version "3.7.6"; depends_on "m4"; depends_on "perl" ]
+let flex = make "flex" [ version "2.6.4"; version "2.6.3"; depends_on "bison"; depends_on "m4" ]
+
+let swig =
+  make "swig" [ version "4.0.2"; version "3.0.12"; depends_on "pcre" ]
+
+let pcre = make "pcre" [ version "8.45"; version "8.44"; variant "jit" ~default:false ]
+let lz4 = make "lz4" [ version "1.9.3"; version "1.9.2" ]
+let snappy = make "snappy" [ version "1.1.9"; variant "shared" ~default:true; depends_on "cmake@3.1:" ]
+
+let c_blosc =
+  make "c-blosc"
+    [
+      version "1.21.1";
+      version "1.21.0";
+      variant "avx2" ~default:true;
+      depends_on "cmake@2.8.10:";
+      depends_on "lz4";
+      depends_on "snappy";
+      depends_on "zlib";
+      depends_on "zstd";
+    ]
+
+let llvm =
+  make "llvm"
+    [
+      version "14.0.3";
+      version "13.0.1";
+      version "12.0.1";
+      variant "clang" ~default:true;
+      variant "gold" ~default:true;
+      variant "cuda" ~default:false;
+      variant_values "build_type" ~default:"Release" ~values:[ "Release"; "Debug" ] ();
+      depends_on "cmake@3.13.4:";
+      depends_on "python";
+      depends_on "perl";
+      depends_on "zlib";
+      depends_on "ncurses";
+      depends_on "libxml2";
+      depends_on "cuda" ~when_:"+cuda";
+      conflicts "%gcc@:5.0" ~msg:"LLVM requires C++14";
+    ]
+
+let netlib_scalapack =
+  make "netlib-scalapack"
+    [
+      version "2.2.0";
+      version "2.1.0";
+      variant "shared" ~default:true;
+      provides "scalapack";
+      depends_on "mpi";
+      depends_on "blas";
+      depends_on "lapack";
+      depends_on "cmake@3.9:";
+    ]
+
+let heffte =
+  make "heffte"
+    [
+      version "2.2.0";
+      version "2.1.0";
+      variant "cuda" ~default:false;
+      variant "fftw" ~default:true;
+      depends_on "cmake@3.10:";
+      depends_on "mpi";
+      depends_on "fftw-api" ~when_:"+fftw";
+      depends_on "cuda" ~when_:"+cuda";
+    ]
+
+let amrex =
+  make "amrex"
+    [
+      version "22.05";
+      version "22.02";
+      variant "mpi" ~default:true;
+      variant "openmp" ~default:false;
+      variant "cuda" ~default:false;
+      depends_on "cmake@3.14:";
+      depends_on "mpi" ~when_:"+mpi";
+      depends_on "cuda@9.0:" ~when_:"+cuda";
+      conflicts "%gcc@:4.9" ~msg:"amrex needs C++14";
+    ]
+
+let magma =
+  make "magma"
+    [
+      version "2.6.2";
+      version "2.6.1";
+      variant "fortran" ~default:true;
+      depends_on "cmake@3.0:";
+      depends_on "blas";
+      depends_on "lapack";
+      depends_on "cuda@8:";
+      conflicts "target=aarch64:" ~msg:"no CUDA on our aarch64 machines";
+    ]
+
+let ginkgo =
+  make "ginkgo"
+    [
+      version "1.4.0";
+      version "1.3.0";
+      variant "openmp" ~default:true;
+      variant "cuda" ~default:false;
+      depends_on "cmake@3.13:";
+      depends_on "cuda@9.2:" ~when_:"+cuda";
+    ]
+
+let butterflypack =
+  make "butterflypack"
+    [
+      version "2.1.1";
+      version "2.0.0";
+      variant "shared" ~default:true;
+      depends_on "mpi";
+      depends_on "blas";
+      depends_on "lapack";
+      depends_on "scalapack";
+      depends_on "cmake@3.3:";
+    ]
+
+let slurm = make "slurm" [ version "21.08.8"; version "20.11.9"; depends_on "curl"; depends_on "openssl"; depends_on "readline" ]
+
+let packages =
+  [
+    (* build tools *)
+    m4; libsigsegv; autoconf; automake; libtool; pkgconf; ninja; cmake; gmake; perl; python;
+    (* core libs *)
+    zlib; zstd; bzip2; xz; libiconv; ncurses; readline; openssl; curl; sqlite; gettext;
+    libxml2; expat; libbsd; libmd; gdbm; libffi; libpng; szip;
+    (* plumbing *)
+    numactl; hwloc; libevent; pmix; ucx; libfabric; cuda; slurm;
+    (* MPI providers *)
+    mpich; openmpi; mvapich2; mpilander;
+    (* cycle pieces *)
+    valgrind; qt; boost;
+    (* BLAS/LAPACK providers *)
+    openblas; netlib_lapack; intel_mkl; amdblis;
+    (* math + io *)
+    fftw; metis; parmetis; scotch; superlu_dist; hypre; petsc; slepc; mfem; hdf5;
+    netcdf_c; parallel_netcdf; adios2; zfp;
+    (* extra tools and libraries *)
+    bison; flex; swig; pcre; lz4; snappy; c_blosc; llvm;
+    (* extra math libraries *)
+    netlib_scalapack; heffte; amrex; magma; ginkgo; butterflypack;
+    (* perf tools + frameworks *)
+    papi; libunwind; libmonitor; intel_tbb; libdwarf; elfutils; hpctoolkit; caliper;
+    adiak; tau; camp; raja; umpire; kokkos;
+    (* apps + paper packages *)
+    example; h5utils; berkeleygw; lammps; gromacs; quantum_espresso; strumpack;
+    sundials; trilinos;
+  ]
+
+let repo =
+  Repo.make
+    ~preferred_providers:
+      [
+        ("mpi", "mpich");
+        ("mpi", "openmpi");
+        ("mpi", "mvapich2");
+        ("blas", "openblas");
+        ("lapack", "openblas");
+        ("fftw-api", "fftw");
+        ("scalapack", "netlib-scalapack");
+      ]
+    packages
+
+let e4s_roots =
+  [
+    "hdf5"; "petsc"; "hypre"; "mfem"; "trilinos"; "sundials"; "strumpack"; "superlu-dist";
+    "adios2"; "netcdf-c"; "raja"; "umpire"; "kokkos"; "caliper"; "tau"; "hpctoolkit";
+    "papi"; "lammps"; "gromacs"; "quantum-espresso"; "berkeleygw"; "slepc"; "fftw";
+    "openblas"; "mpich"; "openmpi"; "heffte"; "amrex"; "magma"; "ginkgo";
+    "netlib-scalapack"; "butterflypack";
+  ]

@@ -1,0 +1,21 @@
+(** The hand-modeled package repository.
+
+    A curated, HPC-flavoured slice of Spack's mainline repository: build
+    tools, core system libraries, the MPI/BLAS/LAPACK virtual ecosystems,
+    math libraries, I/O libraries, performance tools and a few applications
+    — plus the specific packages the paper discusses ([example] from Fig. 2,
+    [hpctoolkit], [berkeleygw], [h5utils], and the [mpilander] →
+    [cmake] → [qt] → [valgrind] → [mpi] potential cycle from §VII-B).
+
+    Version numbers and constraints follow the real packages circa the
+    paper's publication, simplified where the full metadata does not change
+    solver behaviour. *)
+
+val packages : Package.t list
+val repo : Repo.t
+(** [packages] assembled, with MPI/BLAS/LAPACK provider preferences
+    (mpich, then openmpi; openblas first). *)
+
+val e4s_roots : string list
+(** Root packages standing in for E4S's ~100 core products (the subset
+    modeled here). *)

@@ -1,0 +1,146 @@
+type params = {
+  seed : int;
+  n_utils : int;
+  n_libs : int;
+  n_apps : int;
+  n_mpi_providers : int;
+  versions_max : int;
+  variants_max : int;
+  p_dep : float;
+  p_conditional : float;
+  p_mpi : float;
+  p_conflict : float;
+}
+
+let default =
+  {
+    seed = 42;
+    n_utils = 120;
+    n_libs = 130;
+    n_apps = 40;
+    n_mpi_providers = 3;
+    versions_max = 5;
+    variants_max = 4;
+    p_dep = 0.06;
+    p_conditional = 0.3;
+    p_mpi = 0.45;
+    p_conflict = 0.05;
+  }
+
+let scaled n =
+  let n = max 20 n in
+  {
+    default with
+    n_utils = n * 2 / 5;
+    n_libs = (n * 2 / 5) + (n mod 5);
+    n_apps = n / 7;
+    n_mpi_providers = max 2 (n / 100);
+  }
+
+let generate p =
+  let rng = Random.State.make [| p.seed |] in
+  let flip prob = Random.State.float rng 1.0 < prob in
+  let int_in lo hi = lo + Random.State.int rng (hi - lo + 1) in
+  let open Package in
+  let versions_of n =
+    List.init n (fun i -> version (Printf.sprintf "%d.%d.0" (1 + ((n - i) / 10)) ((n - i) mod 10)))
+  in
+  let variant_names k = List.init k (fun i -> Printf.sprintf "opt%d" i) in
+  let util_name i = Printf.sprintf "util-%03d" i in
+  let lib_name i = Printf.sprintf "lib-%03d" i in
+  let app_name i = Printf.sprintf "app-%03d" i in
+  let mpi_name i = Printf.sprintf "smpi-%d" i in
+  (* ---- utility layer: sparse internal deps on earlier utils ---- *)
+  let utils =
+    List.init p.n_utils (fun i ->
+        let nvers = int_in 1 p.versions_max in
+        let nvars = int_in 0 (max 0 (p.variants_max - 2)) in
+        let vars = variant_names nvars in
+        let deps =
+          List.filteri (fun j _ -> j < i && flip (p.p_dep /. 2.)) (List.init p.n_utils Fun.id)
+          |> List.filteri (fun k _ -> k < 3)
+          |> List.map (fun j ->
+                 let d = util_name j in
+                 if vars <> [] && flip p.p_conditional then
+                   depends_on d ~when_:("+" ^ List.nth vars (int_in 0 (List.length vars - 1)))
+                 else depends_on d)
+        in
+        make (util_name i)
+          (versions_of nvers
+          @ List.map (fun v -> variant ~default:(flip 0.7) v) vars
+          @ deps))
+  in
+  (* ---- MPI-like virtual hub ---- *)
+  (* provider 0 drags in a big toolchain slice: this is what creates the
+     cluster gap in possible-dependency counts *)
+  let mpi_providers =
+    List.init p.n_mpi_providers (fun i ->
+        let heavy = i = 0 in
+        let util_deps =
+          if heavy then
+            List.init (min 12 p.n_utils) (fun k ->
+                depends_on (util_name (k * max 1 (p.n_utils / 13))))
+          else List.init 3 (fun k -> depends_on (util_name ((i * 7 + k * 11) mod p.n_utils)))
+        in
+        make (mpi_name i)
+          (versions_of (int_in 2 p.versions_max)
+          @ [ provides "smpi"; variant ~default:false "debug" ]
+          @ util_deps))
+  in
+  (* ---- library layer ---- *)
+  let libs =
+    List.init p.n_libs (fun i ->
+        let nvers = int_in 1 p.versions_max in
+        let nvars = int_in 1 p.variants_max in
+        let vars = variant_names nvars in
+        let util_deps =
+          List.init (int_in 1 4) (fun k ->
+              util_name ((i * 13 + k * 29) mod p.n_utils))
+          |> List.sort_uniq compare
+          |> List.map (fun d ->
+                 if flip p.p_conditional then
+                   depends_on d ~when_:("+" ^ List.nth vars (int_in 0 (nvars - 1)))
+                 else depends_on d)
+        in
+        let lib_deps =
+          if i = 0 then []
+          else
+            List.init (int_in 0 2) (fun k -> lib_name ((i * 7 + k * 3) mod i))
+            |> List.sort_uniq compare
+            |> List.map (fun d -> depends_on d)
+        in
+        let mpi_dep =
+          if flip p.p_mpi then
+            if flip 0.5 then [ variant ~default:true "mpi"; depends_on "smpi" ~when_:"+mpi" ]
+            else [ depends_on "smpi" ]
+          else []
+        in
+        let conflict_decl =
+          if flip p.p_conflict then [ conflicts "%intel" ~msg:"known miscompilation" ]
+          else []
+        in
+        make (lib_name i)
+          (versions_of nvers
+          @ List.map (fun v -> variant ~default:(flip 0.8) v) vars
+          @ util_deps @ lib_deps @ mpi_dep @ conflict_decl))
+  in
+  (* ---- application layer ---- *)
+  let apps =
+    List.init p.n_apps (fun i ->
+        let lib_deps =
+          List.init (int_in 2 5) (fun k -> lib_name ((i * 17 + k * 5) mod p.n_libs))
+          |> List.sort_uniq compare
+          |> List.map (fun d -> depends_on d)
+        in
+        let mpi_dep = if flip p.p_mpi then [ depends_on "smpi" ] else [] in
+        make (app_name i)
+          (versions_of (int_in 1 p.versions_max)
+          @ [ variant ~default:true "shared" ]
+          @ lib_deps @ mpi_dep))
+  in
+  utils @ mpi_providers @ libs @ apps
+
+let repo p =
+  Repo.make
+    ~preferred_providers:(List.init p.n_mpi_providers (fun i -> ("smpi", Printf.sprintf "smpi-%d" i)))
+    (generate p)

@@ -1,0 +1,37 @@
+(** Synthetic repository generator.
+
+    Scales the package universe to thousands of packages while reproducing
+    the structural properties that drive solver cost in the paper's Fig. 7:
+
+    - a layered DAG (utility leaves, mid-level libraries, applications);
+    - an MPI-like virtual with several providers, one of which drags in a
+      large toolchain closure — packages that {e can} reach the virtual hub
+      form one cluster of possible-dependency counts, packages that cannot
+      form another, with a gap in between (§VII-B);
+    - conditional dependencies behind variants, version fan-out, and
+      occasional conflicts.
+
+    Generation is deterministic in [seed]. *)
+
+type params = {
+  seed : int;
+  n_utils : int;
+  n_libs : int;
+  n_apps : int;
+  n_mpi_providers : int;
+  versions_max : int;  (** versions per package, 1..versions_max *)
+  variants_max : int;
+  p_dep : float;  (** probability of a cross-layer dependency *)
+  p_conditional : float;  (** probability a dependency sits behind a variant *)
+  p_mpi : float;  (** probability a lib/app can depend on the virtual hub *)
+  p_conflict : float;
+}
+
+val default : params
+(** ~300 packages, paper-like shape. *)
+
+val scaled : int -> params
+(** [scaled n] targets roughly [n] packages, keeping proportions. *)
+
+val generate : params -> Package.t list
+val repo : params -> Repo.t

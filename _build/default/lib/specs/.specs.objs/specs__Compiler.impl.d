@@ -1,0 +1,1 @@
+lib/specs/compiler.ml: Format List Printf String Target Version

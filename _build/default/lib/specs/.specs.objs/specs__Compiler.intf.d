@@ -1,0 +1,1 @@
+lib/specs/compiler.mli: Format Target Version

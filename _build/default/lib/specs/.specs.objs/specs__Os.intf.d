@@ -1,0 +1,1 @@
+lib/specs/os.mli:

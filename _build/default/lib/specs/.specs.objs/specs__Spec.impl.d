@@ -1,0 +1,1 @@
+lib/specs/spec.ml: Buffer Char Compiler Format Hashtbl Int64 List Map Os Printf String Target Version Vrange

@@ -1,0 +1,1 @@
+lib/specs/spec.mli: Compiler Format Map Os Version Vrange

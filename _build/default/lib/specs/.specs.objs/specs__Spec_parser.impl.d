@@ -1,0 +1,1 @@
+lib/specs/spec_parser.ml: List Printf Spec String Vrange

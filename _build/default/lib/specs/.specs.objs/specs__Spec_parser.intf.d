@@ -1,0 +1,1 @@
+lib/specs/spec_parser.mli: Spec

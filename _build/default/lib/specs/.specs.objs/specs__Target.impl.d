@@ -1,0 +1,1 @@
+lib/specs/target.ml: Format Hashtbl Int List Printf String

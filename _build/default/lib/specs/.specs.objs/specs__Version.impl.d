@@ -1,0 +1,1 @@
+lib/specs/version.ml: Buffer Format Int List String

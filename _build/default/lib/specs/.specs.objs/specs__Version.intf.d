@@ -1,0 +1,1 @@
+lib/specs/version.mli: Format

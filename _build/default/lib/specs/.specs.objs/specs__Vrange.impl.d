@@ -1,0 +1,1 @@
+lib/specs/vrange.ml: Format List String Version

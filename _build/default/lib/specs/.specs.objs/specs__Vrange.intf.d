@@ -1,0 +1,1 @@
+lib/specs/vrange.mli: Format Version

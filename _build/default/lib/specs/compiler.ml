@@ -1,0 +1,70 @@
+type t = { name : string; version : Version.t }
+
+let make name version = { name; version = Version.of_string version }
+let to_string c = Printf.sprintf "%s@%s" c.name (Version.to_string c.version)
+
+let compare a b =
+  let c = String.compare a.name b.name in
+  if c <> 0 then c else Version.compare a.version b.version
+
+let equal a b = compare a b = 0
+
+(* (compiler, family, minimum version, supported generation): the newest
+   entry whose minimum version is satisfied wins.  Mirrors archspec's
+   compiler support tables. *)
+let support_table =
+  [
+    ("gcc", "x86_64", "4.0", 3);  (* up to sandybridge *)
+    ("gcc", "x86_64", "4.9", 5);  (* haswell/broadwell *)
+    ("gcc", "x86_64", "6.0", 7);  (* skylake *)
+    ("gcc", "x86_64", "9.0", 8);  (* cascadelake *)
+    ("gcc", "x86_64", "10.0", 9);  (* icelake *)
+    ("gcc", "aarch64", "4.8", 1);
+    ("gcc", "aarch64", "8.0", 3);
+    ("gcc", "aarch64", "10.0", 4);
+    ("gcc", "ppc64le", "4.8", 1);
+    ("gcc", "ppc64le", "6.0", 2);
+    ("gcc", "ppc64le", "11.0", 3);
+    ("clang", "x86_64", "3.9", 5);
+    ("clang", "x86_64", "6.0", 7);
+    ("clang", "x86_64", "8.0", 8);
+    ("clang", "x86_64", "11.0", 9);
+    ("clang", "aarch64", "3.9", 2);
+    ("clang", "aarch64", "11.0", 4);
+    ("clang", "ppc64le", "3.9", 2);
+    ("clang", "ppc64le", "12.0", 3);
+    ("intel", "x86_64", "16.0", 7);
+    ("intel", "x86_64", "18.0", 8);
+    ("intel", "x86_64", "19.0", 9);
+    ("oneapi", "x86_64", "2021.1", 9);
+    ("xl", "ppc64le", "13.1", 1);
+    ("xl", "ppc64le", "16.1", 2);
+    ("nvhpc", "x86_64", "20.9", 8);
+    ("nvhpc", "ppc64le", "20.9", 2);
+    ("fj", "aarch64", "4.0", 3);
+  ]
+
+let max_target_generation c ~family =
+  List.fold_left
+    (fun acc (name, fam, minv, gen) ->
+      if
+        String.equal name c.name && String.equal fam family
+        && Version.compare c.version (Version.of_string minv) >= 0
+      then max acc gen
+      else acc)
+    (-1) support_table
+
+let supports_target c (t : Target.t) =
+  t.Target.generation <= max_target_generation c ~family:t.Target.family
+
+let default_roster =
+  [
+    make "gcc" "11.2.0";
+    make "gcc" "8.5.0";
+    make "gcc" "4.8.5";
+    make "clang" "14.0.6";
+    make "intel" "19.1.3";
+    make "xl" "16.1.1";
+  ]
+
+let pp ppf c = Format.pp_print_string ppf (to_string c)

@@ -1,0 +1,19 @@
+(** Compilers: a name, a version, and the targets they can emit code for. *)
+
+type t = { name : string; version : Version.t }
+
+val make : string -> string -> t
+val to_string : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val max_target_generation : t -> family:string -> int
+(** Newest target generation this compiler supports in [family]
+    ([-1] = cannot target the family at all). *)
+
+val supports_target : t -> Target.t -> bool
+
+val default_roster : t list
+(** The compilers assumed installed in examples and benchmarks. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,12 @@
+type t = string
+
+let known = [ "rhel8"; "rhel7"; "centos8"; "ubuntu22.04"; "ubuntu20.04"; "sles15" ]
+
+let weight os =
+  let rec idx i = function
+    | [] -> List.length known
+    | x :: rest -> if String.equal x os then i else idx (i + 1) rest
+  in
+  idx 0 known
+
+let default = "rhel8"

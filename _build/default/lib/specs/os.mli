@@ -1,0 +1,11 @@
+(** Operating systems (distribution + release), with deployment preferences. *)
+
+type t = string
+
+val known : t list
+(** All OSes modeled in examples/benchmarks, most preferred first. *)
+
+val weight : t -> int
+(** Preference weight: 0 = most preferred.  Unknown OSes sort last. *)
+
+val default : t

@@ -1,0 +1,244 @@
+type constraint_node = {
+  cname : string;
+  cversion : Vrange.t option;
+  cvariants : (string * string) list;
+  ccompiler : string option;
+  ccompiler_version : Vrange.t option;
+  cflags : (string * string) list;
+  cos : string option;
+  ctarget : string option;
+}
+
+type abstract = { aroot : constraint_node; adeps : constraint_node list }
+
+let empty_node cname =
+  {
+    cname;
+    cversion = None;
+    cvariants = [];
+    ccompiler = None;
+    ccompiler_version = None;
+    cflags = [];
+    cos = None;
+    ctarget = None;
+  }
+
+let abstract_of_name name = { aroot = empty_node name; adeps = [] }
+
+let merge_nodes a b =
+  let scalar x y = match y with Some _ -> y | None -> x in
+  let variants =
+    List.fold_left
+      (fun acc (k, v) -> (k, v) :: List.remove_assoc k acc)
+      a.cvariants b.cvariants
+  in
+  let flags =
+    List.fold_left (fun acc (k, v) -> (k, v) :: List.remove_assoc k acc) a.cflags b.cflags
+  in
+  {
+    cname = a.cname;
+    cversion = scalar a.cversion b.cversion;
+    cvariants = List.sort compare variants;
+    ccompiler = scalar a.ccompiler b.ccompiler;
+    ccompiler_version = scalar a.ccompiler_version b.ccompiler_version;
+    cflags = List.sort compare flags;
+    cos = scalar a.cos b.cos;
+    ctarget = scalar a.ctarget b.ctarget;
+  }
+
+let variant_to_string (name, value) =
+  match value with
+  | "true" -> "+" ^ name
+  | "false" -> "~" ^ name
+  | v -> Printf.sprintf " %s=%s" name v
+
+let node_to_string n =
+  let buf = Buffer.create 32 in
+  Buffer.add_string buf n.cname;
+  (match n.cversion with
+  | Some v -> Buffer.add_string buf ("@" ^ Vrange.to_string v)
+  | None -> ());
+  List.iter (fun kv -> Buffer.add_string buf (variant_to_string kv)) n.cvariants;
+  (match n.ccompiler with
+  | Some c ->
+    Buffer.add_string buf ("%" ^ c);
+    (match n.ccompiler_version with
+    | Some v -> Buffer.add_string buf ("@" ^ Vrange.to_string v)
+    | None -> ())
+  | None -> ());
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf " %s=%S" k v))
+    n.cflags;
+  (match n.cos with Some o -> Buffer.add_string buf (" os=" ^ o) | None -> ());
+  (match n.ctarget with Some t -> Buffer.add_string buf (" target=" ^ t) | None -> ());
+  Buffer.contents buf
+
+let abstract_to_string a =
+  String.concat " "
+    (node_to_string a.aroot :: List.map (fun d -> "^" ^ node_to_string d) a.adeps)
+
+(* ------------------------------------------------------------------ *)
+
+type concrete_node = {
+  name : string;
+  version : Version.t;
+  variants : (string * string) list;
+  compiler : Compiler.t;
+  flags : (string * string) list;
+  os : Os.t;
+  target : string;
+  depends : string list;
+}
+
+module Node_map = Map.Make (String)
+
+type concrete = { root : string; nodes : concrete_node Node_map.t }
+
+let make_concrete ~root nodes =
+  let map =
+    List.fold_left
+      (fun acc n ->
+        {
+          n with
+          variants = List.sort compare n.variants;
+          flags = List.sort compare n.flags;
+          depends = List.sort_uniq String.compare n.depends;
+        }
+        |> fun n -> Node_map.add n.name n acc)
+      Node_map.empty nodes
+  in
+  if not (Node_map.mem root map) then invalid_arg "make_concrete: missing root node";
+  Node_map.iter
+    (fun _ n ->
+      List.iter
+        (fun d ->
+          if not (Node_map.mem d map) then
+            invalid_arg (Printf.sprintf "make_concrete: dangling edge %s -> %s" n.name d))
+        n.depends)
+    map;
+  (* cycle check via DFS *)
+  let state = Hashtbl.create 16 in
+  let rec visit name =
+    match Hashtbl.find_opt state name with
+    | Some `Active -> invalid_arg "make_concrete: dependency cycle"
+    | Some `Done -> ()
+    | None ->
+      Hashtbl.replace state name `Active;
+      List.iter visit (Node_map.find name map).depends;
+      Hashtbl.replace state name `Done
+  in
+  Node_map.iter (fun name _ -> visit name) map;
+  { root; nodes = map }
+
+let concrete_root c = Node_map.find c.root c.nodes
+
+let concrete_nodes c =
+  (* topological order, root first *)
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec visit name =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.replace seen name ();
+      let n = Node_map.find name c.nodes in
+      List.iter visit n.depends;
+      order := n :: !order
+    end
+  in
+  visit c.root;
+  let reachable = !order in
+  (* nodes unreachable from the root (multi-root solves) go last *)
+  order := [];
+  Node_map.iter (fun name _ -> visit name) c.nodes;
+  reachable @ !order
+
+let target_constraint_ok actual = function
+  | None -> true
+  | Some c ->
+    if String.length c > 0 && c.[String.length c - 1] = ':' then
+      let family = String.sub c 0 (String.length c - 1) in
+      match Target.find actual with
+      | Some t -> Target.is_descendant_of t family
+      | None -> false
+    else String.equal actual c
+
+let node_satisfies (n : concrete_node) (c : constraint_node) =
+  String.equal n.name c.cname
+  && (match c.cversion with Some r -> Vrange.satisfies r n.version | None -> true)
+  && List.for_all
+       (fun (k, v) ->
+         match List.assoc_opt k n.variants with
+         | Some v' -> String.equal v v'
+         | None -> false)
+       c.cvariants
+  && (match c.ccompiler with
+     | Some cc -> String.equal n.compiler.Compiler.name cc
+     | None -> true)
+  && (match c.ccompiler_version with
+     | Some r -> Vrange.satisfies r n.compiler.Compiler.version
+     | None -> true)
+  && List.for_all
+       (fun (k, v) ->
+         match List.assoc_opt k n.flags with
+         | Some v' -> String.equal v v'
+         | None -> false)
+       c.cflags
+  && (match c.cos with Some o -> String.equal n.os o | None -> true)
+  && target_constraint_ok n.target c.ctarget
+
+let concrete_satisfies (c : concrete) (a : abstract) =
+  node_satisfies (concrete_root c) a.aroot
+  && List.for_all
+       (fun dep ->
+         Node_map.exists (fun _ n -> node_satisfies n dep) c.nodes)
+       a.adeps
+
+(* ------------------------------------------------------------------ *)
+(* DAG hashing: a 128-bit FNV-style digest over a canonical rendering   *)
+(* of the node plus the hashes of its dependencies.                     *)
+(* ------------------------------------------------------------------ *)
+
+let fnv_fold (h : int64) (s : string) =
+  let prime = 0x100000001b3L in
+  let h = ref h in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  !h
+
+let digest strings =
+  let h1 = List.fold_left fnv_fold 0xcbf29ce484222325L strings in
+  let h2 = List.fold_left fnv_fold 0x9e3779b97f4a7c15L (List.rev strings) in
+  Printf.sprintf "%016Lx%016Lx" h1 h2
+
+let concrete_node_to_string n =
+  let buf = Buffer.create 48 in
+  Buffer.add_string buf n.name;
+  Buffer.add_string buf ("@" ^ Version.to_string n.version);
+  List.iter (fun kv -> Buffer.add_string buf (variant_to_string kv)) n.variants;
+  Buffer.add_string buf ("%" ^ Compiler.to_string n.compiler);
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf " %s=%S" k v))
+    n.flags;
+  Buffer.add_string buf (Printf.sprintf " os=%s target=%s" n.os n.target);
+  Buffer.contents buf
+
+let node_hash c name =
+  let memo = Hashtbl.create 16 in
+  let rec go name =
+    match Hashtbl.find_opt memo name with
+    | Some h -> h
+    | None ->
+      let n = Node_map.find name c.nodes in
+      let h = digest (concrete_node_to_string n :: List.map go n.depends) in
+      Hashtbl.replace memo name h;
+      h
+  in
+  go name
+
+let pp_concrete ppf c =
+  let nodes = concrete_nodes c in
+  List.iteri
+    (fun i n ->
+      if i > 0 then Format.fprintf ppf "@\n    ^%s" (concrete_node_to_string n)
+      else Format.fprintf ppf "%s" (concrete_node_to_string n))
+    nodes

@@ -1,0 +1,74 @@
+(** Specs: Spack's dependency-graph descriptions of builds.
+
+    An {e abstract} spec is a bag of constraints (possibly underspecified)
+    on a root package and selected dependencies.  A {e concrete} spec is a
+    fully specified DAG: every node has a version, variant values, compiler,
+    OS and target, and every edge is resolved.  The concretizer maps the
+    former to the latter. *)
+
+(** {1 Abstract specs} *)
+
+type constraint_node = {
+  cname : string;  (** package or virtual name *)
+  cversion : Vrange.t option;
+  cvariants : (string * string) list;  (** variant -> required value *)
+  ccompiler : string option;
+  ccompiler_version : Vrange.t option;
+  cflags : (string * string) list;  (** compiler flags, e.g. [("cflags", "-O3")] *)
+  cos : string option;
+  ctarget : string option;  (** exact name, or [family:] for descendants *)
+}
+
+type abstract = {
+  aroot : constraint_node;
+  adeps : constraint_node list;  (** [^dep] constraints *)
+}
+
+val empty_node : string -> constraint_node
+val abstract_of_name : string -> abstract
+
+val merge_nodes : constraint_node -> constraint_node -> constraint_node
+(** Union of constraints; second wins on scalar conflicts.  Used when the
+    same dependency is constrained twice. *)
+
+val node_to_string : constraint_node -> string
+val abstract_to_string : abstract -> string
+
+(** {1 Concrete specs} *)
+
+type concrete_node = {
+  name : string;
+  version : Version.t;
+  variants : (string * string) list;  (** sorted by variant name *)
+  compiler : Compiler.t;
+  flags : (string * string) list;  (** sorted by flag name *)
+  os : Os.t;
+  target : string;
+  depends : string list;  (** dependency package names, sorted *)
+}
+
+module Node_map : Map.S with type key = string
+
+type concrete = { root : string; nodes : concrete_node Node_map.t }
+
+val make_concrete : root:string -> concrete_node list -> concrete
+(** @raise Invalid_argument if the root is missing, an edge dangles, or the
+    graph is cyclic. *)
+
+val concrete_root : concrete -> concrete_node
+val concrete_nodes : concrete -> concrete_node list
+(** In topological order, root first. *)
+
+val node_satisfies : concrete_node -> constraint_node -> bool
+(** Does a concrete node meet all the node-level constraints?  (Dependency
+    constraints are checked by {!concrete_satisfies}.) *)
+
+val concrete_satisfies : concrete -> abstract -> bool
+
+val node_hash : concrete -> string -> string
+(** Spack-style DAG hash of the sub-DAG rooted at the named node: stable
+    digest of the node's parameters and its dependencies' hashes. *)
+
+val concrete_node_to_string : concrete_node -> string
+val pp_concrete : Format.formatter -> concrete -> unit
+(** Paper-style rendering: root first, dependencies prefixed with [^]. *)

@@ -1,0 +1,143 @@
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let is_name_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> true
+  | _ -> false
+
+let is_version_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | ':' | ',' -> true
+  | _ -> false
+
+let is_value_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | ':' | ',' -> true
+  | _ -> false
+
+let flag_keys = [ "cflags"; "cxxflags"; "fflags"; "ldflags"; "cppflags" ]
+
+(* Parse one node's text (without '^').  [s] may contain spaces between
+   sigil groups: "hdf5@1.10 +mpi target=skylake". *)
+let parse_node_text text =
+  let n = String.length text in
+  let i = ref 0 in
+  let peek () = if !i < n then Some text.[!i] else None in
+  let take pred =
+    let start = !i in
+    while !i < n && pred text.[!i] do
+      incr i
+    done;
+    String.sub text start (!i - start)
+  in
+  let skip_spaces () =
+    while !i < n && (text.[!i] = ' ' || text.[!i] = '\t') do
+      incr i
+    done
+  in
+  skip_spaces ();
+  let name = take is_name_char in
+  if name = "" then err "expected a package name in %S" text;
+  let node = ref (Spec.empty_node name) in
+  let set_variant k v =
+    node :=
+      { !node with Spec.cvariants = (k, v) :: List.remove_assoc k !node.Spec.cvariants }
+  in
+  let rec loop () =
+    skip_spaces ();
+    match peek () with
+    | None -> ()
+    | Some '@' ->
+      incr i;
+      let v = take is_version_char in
+      if v = "" then err "empty version constraint in %S" text;
+      node := { !node with Spec.cversion = Some (Vrange.of_string v) };
+      loop ()
+    | Some '%' ->
+      incr i;
+      let c = take is_name_char in
+      if c = "" then err "empty compiler name in %S" text;
+      node := { !node with Spec.ccompiler = Some c };
+      (match peek () with
+      | Some '@' ->
+        incr i;
+        let v = take is_version_char in
+        if v = "" then err "empty compiler version in %S" text;
+        node := { !node with Spec.ccompiler_version = Some (Vrange.of_string v) }
+      | _ -> ());
+      loop ()
+    | Some '+' ->
+      incr i;
+      let v = take is_name_char in
+      if v = "" then err "empty variant name in %S" text;
+      set_variant v "true";
+      loop ()
+    | Some '~' ->
+      incr i;
+      let v = take is_name_char in
+      if v = "" then err "empty variant name in %S" text;
+      set_variant v "false";
+      loop ()
+    | Some c when is_name_char c ->
+      (* key=value *)
+      let key = take is_name_char in
+      (match peek () with
+      | Some '=' ->
+        incr i;
+        (* values may be quoted (required for flags with spaces/dashes) *)
+        let value =
+          if peek () = Some '"' then begin
+            incr i;
+            let start = !i in
+            while !i < n && text.[!i] <> '"' do
+              incr i
+            done;
+            if !i >= n then err "unterminated quoted value in %S" text;
+            let v = String.sub text start (!i - start) in
+            incr i;
+            v
+          end
+          else take is_value_char
+        in
+        if value = "" then err "empty value for %s in %S" key text;
+        (match key with
+        | k when List.mem k flag_keys ->
+          node :=
+            {
+              !node with
+              Spec.cflags = (k, value) :: List.remove_assoc k !node.Spec.cflags;
+            }
+        | "os" -> node := { !node with Spec.cos = Some value }
+        | "target" -> node := { !node with Spec.ctarget = Some value }
+        | "arch" -> (
+          (* platform-os-target *)
+          match String.split_on_char '-' value with
+          | [ _platform; os; target ] ->
+            node := { !node with Spec.cos = Some os; ctarget = Some target }
+          | _ -> err "arch= expects platform-os-target, got %S" value)
+        | _ -> set_variant key value)
+      | _ -> err "dangling token %S in %S" key text);
+      loop ()
+    | Some c -> err "unexpected character %C in %S" c text
+  in
+  loop ();
+  {
+    !node with
+    Spec.cvariants = List.sort compare !node.Spec.cvariants;
+    cflags = List.sort compare !node.Spec.cflags;
+  }
+
+let parse_node text =
+  if String.contains text '^' then err "unexpected '^' in node %S" text;
+  parse_node_text text
+
+let parse text =
+  let text = String.trim text in
+  if text = "" then err "empty spec";
+  match String.split_on_char '^' text with
+  | [] -> err "empty spec"
+  | root :: deps ->
+    if String.trim root = "" then err "spec must start with a root package";
+    {
+      Spec.aroot = parse_node_text root;
+      adeps = List.map parse_node_text (List.filter (fun s -> String.trim s <> "") deps);
+    }

@@ -1,0 +1,19 @@
+(** Parser for Spack's spec syntax (Table I of the paper).
+
+    Supported sigils:
+    - [pkg@1.10.2] / [pkg@1.2:] / [pkg@1.2:1.5] — version constraints
+    - [pkg%gcc] / [pkg%gcc@10.3.1] — compiler (and compiler version)
+    - [+variant] / [~variant] — boolean variants (chainable: [+a~b+c])
+    - [key=value] — valued variants, plus the reserved keys [os=], [target=]
+      and [arch=platform-os-target]
+    - [^dep...] — constraints on a dependency (fully recursive)
+
+    Example: [hdf5@1.10.2 ^zlib%gcc ^cmake target=aarch64] *)
+
+exception Error of string
+
+val parse : string -> Spec.abstract
+(** @raise Error on malformed input. *)
+
+val parse_node : string -> Spec.constraint_node
+(** Parse a single node (no [^] allowed). *)

@@ -1,0 +1,63 @@
+type t = { name : string; parent : string option; family : string; generation : int }
+
+(* Per-family chains (a subset of archspec's database, linearized). *)
+let chains =
+  [
+    ( "x86_64",
+      [
+        "x86_64";
+        "nehalem";
+        "westmere";
+        "sandybridge";
+        "ivybridge";
+        "haswell";
+        "broadwell";
+        "skylake";
+        "cascadelake";
+        "icelake";
+      ] );
+    ("aarch64", [ "aarch64"; "armv8_1a"; "thunderx2"; "neoverse_n1"; "neoverse_v1" ]);
+    ("ppc64le", [ "ppc64le"; "power8le"; "power9le"; "power10le" ]);
+  ]
+
+let all =
+  List.concat_map
+    (fun (family, names) ->
+      List.mapi
+        (fun i name ->
+          {
+            name;
+            parent = (if i = 0 then None else Some (List.nth names (i - 1)));
+            family;
+            generation = i;
+          })
+        names)
+    chains
+
+let by_name = Hashtbl.create 32
+let () = List.iter (fun t -> Hashtbl.replace by_name t.name t) all
+let find name = Hashtbl.find_opt by_name name
+
+let find_exn name =
+  match find name with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "unknown target %s" name)
+
+let rec ancestors t =
+  match t.parent with
+  | None -> [ t.name ]
+  | Some p -> t.name :: ancestors (find_exn p)
+
+let is_descendant_of t a = List.mem a (ancestors t)
+
+let family_members family =
+  List.filter (fun t -> String.equal t.family family) all
+  |> List.sort (fun a b -> Int.compare a.generation b.generation)
+
+let weight t =
+  let members = family_members t.family in
+  let max_gen = List.fold_left (fun m x -> max m x.generation) 0 members in
+  max_gen - t.generation
+
+let families = List.map fst chains
+let pp ppf t = Format.pp_print_string ppf t.name

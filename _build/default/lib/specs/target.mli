@@ -1,0 +1,34 @@
+(** Microarchitecture targets (an archspec-style lattice).
+
+    Targets form per-family chains ordered by {e generation}: a newer
+    generation implies all instruction sets of its ancestors.  HPC users
+    prefer the newest target their compiler can emit code for (the paper's
+    example: gcc@4.8.3 cannot generate optimized instructions for skylake). *)
+
+type t = {
+  name : string;
+  parent : string option;
+  family : string;  (** x86_64, aarch64 or ppc64le *)
+  generation : int;  (** 0 = the generic family target *)
+}
+
+val all : t list
+val find : string -> t option
+val find_exn : string -> t
+
+val ancestors : t -> string list
+(** Chain up to and including the generic family target, nearest first. *)
+
+val is_descendant_of : t -> string -> bool
+(** [is_descendant_of t a] — [t] equals or descends from target [a]; this is
+    what the spec constraint [target=aarch64:] matches. *)
+
+val weight : t -> int
+(** Preference weight within the family: 0 for the newest generation (best),
+    increasing toward the generic target. *)
+
+val family_members : string -> t list
+(** All targets of a family, generic first. *)
+
+val families : string list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,68 @@
+type component = Num of int | Alpha of string
+
+type t = { raw : string; components : component list }
+
+let split_components s =
+  (* split on '.' and '-', then split digit/alpha boundaries inside a chunk *)
+  let chunks =
+    String.split_on_char '.' s |> List.concat_map (String.split_on_char '-')
+  in
+  let classify chunk =
+    if chunk = "" then []
+    else begin
+      let out = ref [] and buf = Buffer.create 8 in
+      let mode = ref `None in
+      let flush () =
+        if Buffer.length buf > 0 then begin
+          let str = Buffer.contents buf in
+          out := (match !mode with `Digit -> Num (int_of_string str) | _ -> Alpha str) :: !out;
+          Buffer.clear buf
+        end
+      in
+      String.iter
+        (fun c ->
+          let m = match c with '0' .. '9' -> `Digit | _ -> `Alpha in
+          if m <> !mode then begin
+            flush ();
+            mode := m
+          end;
+          Buffer.add_char buf c)
+        chunk;
+      flush ();
+      List.rev !out
+    end
+  in
+  List.concat_map classify chunks
+
+let of_string raw = { raw; components = split_components raw }
+let to_string v = v.raw
+
+let compare_component a b =
+  match (a, b) with
+  | Num x, Num y -> Int.compare x y
+  | Alpha x, Alpha y -> String.compare x y
+  | Num _, Alpha _ -> 1 (* numeric sorts after alphabetic: 1.2 > 1.beta *)
+  | Alpha _, Num _ -> -1
+
+let rec compare_components a b =
+  match (a, b) with
+  | [], [] -> 0
+  | [], _ -> -1 (* shorter is older: 1.2 < 1.2.1 *)
+  | _, [] -> 1
+  | x :: xs, y :: ys ->
+    let c = compare_component x y in
+    if c <> 0 then c else compare_components xs ys
+
+let compare a b = compare_components a.components b.components
+let equal a b = compare a b = 0
+
+let satisfies_prefix ~prefix v =
+  let rec go p c =
+    match (p, c) with
+    | [], _ -> true
+    | _, [] -> false
+    | x :: xs, y :: ys -> compare_component x y = 0 && go xs ys
+  in
+  go prefix.components v.components
+
+let pp ppf v = Format.pp_print_string ppf v.raw

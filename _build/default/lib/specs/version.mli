@@ -1,0 +1,21 @@
+(** Package versions: dotted tuples like [1.10.2] or [2021.06.0-rc1].
+
+    Ordering follows Spack's rules closely enough for the encoding: versions
+    are split on dots and dashes; numeric components compare numerically,
+    alphanumeric ones lexicographically, and numeric components sort after
+    alphabetic ones at the same position (so [1.0 > 1.0-rc1] does not hold —
+    Spack's full pre-release logic is out of scope — but [1.10 > 1.9] and
+    [1.2.1 > 1.2] do). *)
+
+type t
+
+val of_string : string -> t
+val to_string : t -> string
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val satisfies_prefix : prefix:t -> t -> bool
+(** [satisfies_prefix ~prefix v] is true when [v]'s components start with
+    [prefix]'s components: Spack's [@1.10] matches [1.10.2]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,63 @@
+type interval = {
+  lo : Version.t option;  (** inclusive *)
+  hi : Version.t option;  (** inclusive (prefix-inclusive: [:1.5] admits 1.5.2) *)
+  exact : bool;  (** single-version constraint: prefix semantics *)
+}
+
+type t = { raw : string; intervals : interval list }
+
+let of_string raw =
+  if String.trim raw = "" then invalid_arg "Vrange.of_string: empty constraint";
+  let parse_one part =
+    match String.index_opt part ':' with
+    | None -> { lo = Some (Version.of_string part); hi = Some (Version.of_string part); exact = true }
+    | Some i ->
+      let lo = String.sub part 0 i in
+      let hi = String.sub part (i + 1) (String.length part - i - 1) in
+      {
+        lo = (if lo = "" then None else Some (Version.of_string lo));
+        hi = (if hi = "" then None else Some (Version.of_string hi));
+        exact = false;
+      }
+  in
+  let intervals = String.split_on_char ',' raw |> List.map String.trim |> List.map parse_one in
+  { raw; intervals }
+
+let to_string t = t.raw
+let any = { raw = ":"; intervals = [ { lo = None; hi = None; exact = false } ] }
+
+let exactly v =
+  {
+    raw = Version.to_string v;
+    intervals = [ { lo = Some v; hi = Some v; exact = true } ];
+  }
+
+let interval_satisfies iv v =
+  if iv.exact then
+    match iv.lo with
+    | Some p -> Version.satisfies_prefix ~prefix:p v
+    | None -> true
+  else
+    (match iv.lo with Some lo -> Version.compare v lo >= 0 | None -> true)
+    && (match iv.hi with
+       | Some hi -> Version.compare v hi <= 0 || Version.satisfies_prefix ~prefix:hi v
+       | None -> true)
+
+let satisfies t v = List.exists (fun iv -> interval_satisfies iv v) t.intervals
+
+let is_any t = List.exists (fun iv -> iv.lo = None && iv.hi = None) t.intervals
+
+let interval_intersects a b =
+  let lo_le_hi lo hi =
+    match (lo, hi) with
+    | Some l, Some h ->
+      Version.compare l h <= 0 || Version.satisfies_prefix ~prefix:h l
+    | _ -> true
+  in
+  lo_le_hi a.lo b.hi && lo_le_hi b.lo a.hi
+
+let intersects a b =
+  List.exists (fun ia -> List.exists (fun ib -> interval_intersects ia ib) b.intervals) a.intervals
+
+let equal a b = String.equal a.raw b.raw
+let pp ppf t = Format.pp_print_string ppf t.raw

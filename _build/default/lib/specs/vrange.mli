@@ -1,0 +1,29 @@
+(** Version constraints in Spack's [@] syntax.
+
+    A constraint is a union of intervals:
+    - ["1.2.8"] — the single version 1.2.8 (prefix match: also 1.2.8.x)
+    - ["1.0.7:"] — 1.0.7 or higher
+    - [":1.5"] — 1.5 or lower (any 1.5.x included)
+    - ["1.2:1.5"] — inclusive range
+    - ["1.2,2.0:"] — union *)
+
+type t
+
+val of_string : string -> t
+(** @raise Invalid_argument on an empty constraint string. *)
+
+val to_string : t -> string
+val any : t
+(** Matches every version. *)
+
+val exactly : Version.t -> t
+val satisfies : t -> Version.t -> bool
+val is_any : t -> bool
+
+val intersects : t -> t -> bool
+(** Do the two constraints admit a common version?  (Approximate: decided on
+    interval endpoints; sufficient for the package model, where conflicting
+    declared versions are what matters.) *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

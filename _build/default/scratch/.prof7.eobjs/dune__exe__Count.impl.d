@@ -1,0 +1,1 @@
+scratch/count.ml: Pkg Printf

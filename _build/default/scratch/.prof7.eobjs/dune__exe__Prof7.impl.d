@@ -1,0 +1,1 @@
+scratch/prof7.ml: Concretize Format List Pkg Printf String

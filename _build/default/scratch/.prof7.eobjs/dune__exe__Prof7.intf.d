@@ -1,0 +1,1 @@
+scratch/prof7.mli:

@@ -1,0 +1,1 @@
+scratch/prof8.ml: Asp Concretize List Pkg Printf String Unix

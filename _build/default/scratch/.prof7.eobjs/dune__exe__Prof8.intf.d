@@ -1,0 +1,1 @@
+scratch/prof8.mli:

@@ -1,0 +1,1 @@
+let () = Printf.printf "%d packages\n" (Pkg.Repo.size Pkg.Repo_core.repo)

@@ -1,0 +1,13 @@
+let () =
+  let repo = Pkg.Repo_core.repo in
+  List.iter
+    (fun spec ->
+      match Concretize.Concretizer.solve_spec ~repo spec with
+      | Concretize.Concretizer.Concrete s ->
+        let vs = Concretize.Validate.check ~repo s.Concretize.Concretizer.spec in
+        Printf.printf "%-28s %s\n" spec
+          (if vs = [] then "valid"
+           else String.concat "; "
+               (List.map (Format.asprintf "%a" Concretize.Validate.pp_violation) vs))
+      | Concretize.Concretizer.Unsatisfiable _ -> Printf.printf "%-28s UNSAT\n" spec)
+    [ "hdf5"; "example"; "petsc"; "berkeleygw+openmp"; "hpctoolkit ^mpich"; "quantum-espresso" ]

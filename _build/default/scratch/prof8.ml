@@ -1,0 +1,23 @@
+let () =
+  let repo = Pkg.Repo_core.repo in
+  let db = Pkg.Database.create () in
+  Pkg.Buildcache_gen.populate ~variations:5 ~repo
+    ~combos:Pkg.Buildcache_gen.default_combos ~roots:Pkg.Repo_core.e4s_roots db;
+  Printf.printf "cache: %d specs\n%!" (Pkg.Database.size db);
+  List.iter
+    (fun strategy ->
+      let config = Asp.Config.make ~strategy () in
+      let t0 = Unix.gettimeofday () in
+      match Concretize.Concretizer.solve_spec ~config ~repo ~installed:db "hdf5" with
+      | Concretize.Concretizer.Concrete s ->
+        Printf.printf "%s (%.1fs): reused=%d built=%d costs=%s\n%!"
+          (match strategy with Asp.Config.Bb -> "bb " | Asp.Config.Usc -> "usc")
+          (Unix.gettimeofday () -. t0)
+          (List.length s.Concretize.Concretizer.reused)
+          (List.length s.Concretize.Concretizer.built)
+          (String.concat " "
+             (List.filter_map
+                (fun (p, v) -> if v <> 0 then Some (Printf.sprintf "%d@%d" v p) else None)
+                s.Concretize.Concretizer.costs))
+      | Concretize.Concretizer.Unsatisfiable _ -> print_endline "UNSAT")
+    [ Asp.Config.Usc; Asp.Config.Bb ]

@@ -1,0 +1,1 @@
+test/test_asp.ml: Alcotest Asp Format Gen List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_concretize.ml: Alcotest Asp Concretize Concretizer Facts Format Greedy List Logic_program Multishot Pkg Preferences Printf QCheck QCheck_alcotest Specs String Validate

@@ -1,0 +1,1 @@
+test/test_concretize.mli:

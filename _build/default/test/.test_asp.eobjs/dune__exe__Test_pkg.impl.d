@@ -1,0 +1,1 @@
+test/test_pkg.ml: Alcotest Buildcache_gen Database List Option Package Pkg Repo Repo_core Specs String

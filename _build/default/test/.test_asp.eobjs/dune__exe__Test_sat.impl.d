@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Asp Gen List Printf QCheck QCheck_alcotest String Test

@@ -1,0 +1,1 @@
+test/test_specs.ml: Alcotest Compiler Fun Gen List Option Printf QCheck QCheck_alcotest Spec Spec_parser Specs String Target Version Vrange

@@ -1,0 +1,639 @@
+(* Tests for the ASP engine: lexer, parser, grounder, solver, optimization. *)
+
+let solve ?config src = Asp.Solve.solve_text ?config src
+
+let answer_strings = function
+  | Asp.Solve.Unsat _ -> [ "UNSAT" ]
+  | Asp.Solve.Sat o ->
+    List.map (Format.asprintf "%a" Asp.Gatom.pp) o.Asp.Solve.answer |> List.sort compare
+
+let check_answer msg src expected =
+  Alcotest.(check (slist string compare)) msg expected (answer_strings (solve src))
+
+let outcome src =
+  match solve src with
+  | Asp.Solve.Sat o -> o
+  | Asp.Solve.Unsat _ -> Alcotest.fail "expected SAT"
+
+let is_unsat src =
+  match solve src with Asp.Solve.Unsat _ -> true | Asp.Solve.Sat _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_roundtrip () =
+  let src =
+    "node(\"hdf5\").\n\
+     depends_on(\"hdf5\", \"mpi\").\n\
+     node(D) :- node(P), depends_on(P, D).\n\
+     :- depends_on(P, P).\n\
+     1 { version(P, V) : possible_version(P, V) } 1 :- node(P).\n\
+     #minimize{ W@3,P,V : version_weight(P, V, W) }.\n"
+  in
+  let prog = Asp.Parser.parse src in
+  Alcotest.(check int) "statements" 6 (List.length prog);
+  (* pretty-print then re-parse: same statement count *)
+  let printed = Format.asprintf "%a" Asp.Ast.pp_program prog in
+  let reparsed = Asp.Parser.parse printed in
+  Alcotest.(check int) "reparse" 6 (List.length reparsed)
+
+let test_parse_conditional () =
+  let src =
+    "condition_holds(ID) :- condition(ID); attr(N, A1) : condition_requirement(ID, N, \
+     A1); attr(N, A1, A2) : condition_requirement(ID, N, A1, A2).\n"
+  in
+  match Asp.Parser.parse src with
+  | [ Asp.Ast.Rule { body; _ } ] ->
+    let foralls =
+      List.filter (function Asp.Ast.Forall _ -> true | _ -> false) body
+    in
+    Alcotest.(check int) "two conditional literals" 2 (List.length foralls)
+  | _ -> Alcotest.fail "expected one rule"
+
+let test_parse_errors () =
+  let bad = [ "node(."; "a :- b"; "1 { x } y."; "#unknown." ] in
+  List.iter
+    (fun src ->
+      match Asp.Parser.parse src with
+      | exception Asp.Parser.Error _ -> ()
+      | exception Asp.Lexer.Error _ -> ()
+      | _ -> Alcotest.failf "expected syntax error for %S" src)
+    bad
+
+let test_parse_arith () =
+  match Asp.Parser.parse "p(X + 2 * Y) :- q(X, Y)." with
+  | [ Asp.Ast.Rule { head = Asp.Ast.Head_atom { args = [ t ]; _ }; _ } ] -> (
+    match t with
+    | Asp.Ast.Binop (Asp.Ast.Add, _, Asp.Ast.Binop (Asp.Ast.Mul, _, _)) -> ()
+    | _ -> Alcotest.fail "precedence: expected X + (2 * Y)")
+  | _ -> Alcotest.fail "expected one rule"
+
+(* ------------------------------------------------------------------ *)
+(* Grounding + solving basics                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_facts_only () =
+  check_answer "facts are the answer" {|p(1). q("a"). r.|} [ "p(1)"; "q(a)"; "r" ]
+
+let test_closure () =
+  (* the paper's dependency-closure example *)
+  let src =
+    {|node("hdf5").
+      depends_on("hdf5", "mpi").
+      depends_on("mpi", "hwloc").
+      node(D) :- node(P), depends_on(P, D).|}
+  in
+  check_answer "transitive nodes" src
+    [
+      "node(hdf5)";
+      "node(mpi)";
+      "node(hwloc)";
+      "depends_on(hdf5,mpi)";
+      "depends_on(mpi,hwloc)";
+    ]
+
+let test_integrity_constraint () =
+  Alcotest.(check bool) "self-dep banned" true
+    (is_unsat
+       {|node("a"). depends_on("a", "a").
+         node(D) :- node(P), depends_on(P, D).
+         :- depends_on(P, P).|})
+
+let test_fig3 () =
+  (* Figure 3 of the paper: two stable models; the choice picks node(a)
+     and/or node(b); closure adds c and d. *)
+  let src =
+    {|depends_on(a, c).
+      depends_on(b, d).
+      depends_on(c, d).
+      node(D) :- node(P), depends_on(P, D).
+      1 { node(a); node(b) }.|}
+  in
+  let models = Asp.Naive.stable_models (Asp.Parser.parse src) in
+  let strings =
+    List.map
+      (fun m ->
+        List.filter_map
+          (fun (a : Asp.Gatom.t) ->
+            if a.Asp.Gatom.pred = "node" then
+              Some (Format.asprintf "%a" Asp.Gatom.pp a)
+            else None)
+          m)
+      models
+  in
+  (* three models: {b,d}, {a,c,d}, {a,b,c,d} *)
+  Alcotest.(check int) "three stable models" 3 (List.length strings);
+  Alcotest.(check bool) "b-only model" true
+    (List.mem [ "node(b)"; "node(d)" ] strings);
+  Alcotest.(check bool) "a-only model" true
+    (List.mem [ "node(a)"; "node(c)"; "node(d)" ] strings)
+
+let test_negation () =
+  check_answer "negation as failure" {|p :- not q. r :- p.|} [ "p"; "r" ]
+
+let test_negation_cycle_two_models () =
+  (* p :- not q. q :- not p. has two stable models; solver returns one *)
+  let o = outcome "p :- not q. q :- not p." in
+  let ans = List.map (fun (a : Asp.Gatom.t) -> a.Asp.Gatom.pred) o.Asp.Solve.answer in
+  Alcotest.(check bool) "exactly one of p/q" true (ans = [ "p" ] || ans = [ "q" ])
+
+let test_unfounded_rejected () =
+  (* mutual positive support must not justify itself *)
+  check_answer "unfounded loop" {|p :- q. q :- p. r :- not p.|} [ "r" ]
+
+let test_loop_external_support_via_other_atom () =
+  (* Regression: {a, b} form a positive loop; only [a] has an external
+     support (via e), while [b] must be true.  A loop formula built from
+     per-atom external supports would wrongly conclude UNSAT -- the correct
+     formula uses the external supports of the whole unfounded set. *)
+  let src = {|a :- b. b :- a. a :- e. { e }. :- not b.|} in
+  check_answer "loop entered through the other atom" src [ "a"; "b"; "e" ]
+
+let test_unfounded_with_choice () =
+  (* a and b support each other; the choice provides external support only
+     for a, so {a, b} is stable only via the choice *)
+  let src = {|a :- b. b :- a. { a }. :- not b.|} in
+  check_answer "choice-founded loop" src [ "a"; "b" ]
+
+let test_choice_cardinality () =
+  let src =
+    {|item(1). item(2). item(3).
+      2 { pick(I) : item(I) } 2.|}
+  in
+  let o = outcome src in
+  Alcotest.(check int) "picks exactly 2" 2
+    (List.length (Asp.Solve.atoms_of o "pick"))
+
+let test_choice_bound_unsat () =
+  Alcotest.(check bool) "lb > elems" true
+    (is_unsat {|item(1). 3 { pick(I) : item(I) } 3.|})
+
+let test_paper_version_choice () =
+  (* Section IV-D program: optimization picks the newest version (weight 0) *)
+  let src =
+    {|node("hdf5").
+      possible_version("hdf5", "1.13.1", 0).
+      possible_version("hdf5", "1.12.1", 1).
+      1 { version(P, V) : possible_version(P, V, W) } 1 :- node(P).
+      version_weight(P, V, Weight) :-
+        version(P, V), possible_version(P, V, Weight).
+      #minimize{ W@3,P,V : version_weight(P, V, W)}.|}
+  in
+  let o = outcome src in
+  Alcotest.(check bool) "newest version chosen" true
+    (Asp.Solve.holds o "version" [ Asp.Term.str "hdf5"; Asp.Term.str "1.13.1" ]);
+  Alcotest.(check (list (pair int int))) "cost 0 at priority 3" [ (3, 0) ]
+    o.Asp.Solve.costs
+
+let test_optimization_forced_cost () =
+  (* constraint forces the worse version: optimal cost is 1 *)
+  let src =
+    {|node("hdf5").
+      possible_version("hdf5", "new", 0).
+      possible_version("hdf5", "old", 1).
+      1 { version(P, V) : possible_version(P, V, W) } 1 :- node(P).
+      :- version("hdf5", "new").
+      version_weight(P, V, W) :- version(P, V), possible_version(P, V, W).
+      #minimize{ W@3,P,V : version_weight(P, V, W)}.|}
+  in
+  let o = outcome src in
+  Alcotest.(check (list (pair int int))) "forced cost" [ (3, 1) ] o.Asp.Solve.costs
+
+let test_multi_level_optimization () =
+  (* lexicographic: higher priority dominates *)
+  let src =
+    {|1 { pick(a); pick(b) } 1.
+      costly_high(X) :- pick(X), X = a.
+      costly_low(X) :- pick(X), X = b.
+      #minimize{ 1@10,X : costly_high(X) }.
+      #minimize{ 5@1,X : costly_low(X) }.|}
+  in
+  let o = outcome src in
+  (* avoiding the priority-10 cost means picking b, paying 5 at priority 1 *)
+  Alcotest.(check bool) "picked b" true
+    (Asp.Solve.holds o "pick" [ Asp.Term.str "b" ]);
+  Alcotest.(check (list (pair int int))) "costs" [ (10, 0); (1, 5) ] o.Asp.Solve.costs
+
+let test_maximize () =
+  let src =
+    {|{ take(gold); take(silver) }.
+      value(gold, 10). value(silver, 5).
+      :- take(gold), take(silver).
+      #maximize{ V@1,X : take(X), value(X, V) }.|}
+  in
+  let o = outcome src in
+  Alcotest.(check bool) "takes gold" true
+    (Asp.Solve.holds o "take" [ Asp.Term.str "gold" ]);
+  Alcotest.(check (list (pair int int))) "negated cost" [ (1, -10) ] o.Asp.Solve.costs
+
+let test_cycle_detection_path () =
+  (* the paper's acyclicity program *)
+  let src =
+    {|depends_on(a, b). depends_on(b, c). depends_on(c, a).
+      path(A, B) :- depends_on(A, B).
+      path(A, C) :- path(A, B), depends_on(B, C).
+      :- path(A, B), path(B, A).|}
+  in
+  Alcotest.(check bool) "cyclic graph rejected" true (is_unsat src)
+
+let test_arith_in_rules () =
+  check_answer "arithmetic" {|num(3). double(X * 2) :- num(X). big(X) :- double(X), X > 5.|}
+    [ "num(3)"; "double(6)"; "big(6)" ]
+
+let test_comparisons () =
+  let src =
+    {|v(1). v(2). v(3).
+      less(X, Y) :- v(X), v(Y), X < Y.|}
+  in
+  let o = outcome src in
+  Alcotest.(check int) "three pairs" 3 (List.length (Asp.Solve.atoms_of o "less"))
+
+(* ------------------------------------------------------------------ *)
+(* Conditional literals (generalized conditions of Section V-A)        *)
+(* ------------------------------------------------------------------ *)
+
+let test_generalized_conditions () =
+  let src =
+    {|condition(1).
+      condition_requirement(1, "node", "h5utils").
+      condition_requirement(1, "variant_on", "h5utils").
+      attr("node", "h5utils").
+      attr("variant_on", "h5utils").
+      condition_holds(ID) :-
+        condition(ID);
+        attr(N, A1) : condition_requirement(ID, N, A1).|}
+  in
+  let o = outcome src in
+  Alcotest.(check bool) "condition holds" true
+    (Asp.Solve.holds o "condition_holds" [ Asp.Term.int 1 ])
+
+let test_generalized_conditions_unmet () =
+  let src =
+    {|condition(1).
+      condition_requirement(1, "node", "h5utils").
+      condition_requirement(1, "variant_on", "h5utils").
+      attr("node", "h5utils").
+      condition_holds(ID) :-
+        condition(ID);
+        attr(N, A1) : condition_requirement(ID, N, A1).|}
+  in
+  let o = outcome src in
+  Alcotest.(check bool) "condition does not hold" false
+    (Asp.Solve.holds o "condition_holds" [ Asp.Term.int 1 ])
+
+let test_condition_triggers_choice () =
+  (* requirement satisfied by a solver choice, not a fact *)
+  let src =
+    {|condition(1).
+      condition_requirement(1, "on", "x").
+      { attr("on", "x") }.
+      condition_holds(ID) :- condition(ID); attr(N, A) : condition_requirement(ID, N, A).
+      imposed("y") :- condition_holds(1).
+      :- not imposed("y").|}
+  in
+  let o = outcome src in
+  Alcotest.(check bool) "choice made to satisfy condition" true
+    (Asp.Solve.holds o "attr" [ Asp.Term.str "on"; Asp.Term.str "x" ])
+
+(* ------------------------------------------------------------------ *)
+(* Grounder edge cases and error reporting                              *)
+(* ------------------------------------------------------------------ *)
+
+let ground_error src =
+  match Asp.Grounder.ground (Asp.Parser.parse src) with
+  | exception Asp.Grounder.Error _ -> true
+  | _ -> false
+
+let test_grounder_errors () =
+  Alcotest.(check bool) "unsafe head variable" true (ground_error "p(X) :- q.  q.");
+  Alcotest.(check bool) "unsafe negative literal" true
+    (ground_error "p :- q, not r(X). q.");
+  Alcotest.(check bool) "division by zero" true (ground_error "p(1 / 0).");
+  Alcotest.(check bool) "arithmetic on strings" true
+    (ground_error {|q("a"). p(X + 1) :- q(X).|});
+  Alcotest.(check bool) "non-EDB forall condition" true
+    (ground_error "d(1). c(X) :- d(X). h :- a(X) : c(X).");
+  Alcotest.(check bool) "string cardinality bound" true
+    (ground_error {|b("x"). B { p } :- b(B).|})
+
+let test_arith_operators () =
+  check_answer "all operators"
+    {|n(7). sub(X - 2) :- n(X). mul(X * 3) :- n(X). div(X / 2) :- n(X).
+      md(X \ 4) :- n(X). neg(0 - X) :- n(X).|}
+    [ "n(7)"; "sub(5)"; "mul(21)"; "div(3)"; "md(3)"; "neg(-7)" ]
+
+let test_choice_guard_generates () =
+  (* guards bind choice-local variables over EDB facts *)
+  let src = {|opt(a). opt(b). opt(c). 2 { pick(X) : opt(X) } 2.|} in
+  let o = outcome src in
+  Alcotest.(check int) "two picks" 2 (List.length (Asp.Solve.atoms_of o "pick"))
+
+let test_minimize_with_negation_guard () =
+  let src =
+    {|1 { p(a); p(b) } 2.
+      #minimize { 1@1,X : p(X), not preferred(X) }.
+      preferred(a).|}
+  in
+  let o = outcome src in
+  (* choosing only the preferred element costs nothing *)
+  Alcotest.(check (list (pair int int))) "zero cost" [ (1, 0) ] o.Asp.Solve.costs;
+  Alcotest.(check bool) "picked a" true (Asp.Solve.holds o "p" [ Asp.Term.str "a" ])
+
+let test_lexer_strings_and_comments () =
+  let src = "p(\"a \\\"quoted\\\" string\"). % trailing comment\n% full line\nq." in
+  let o = outcome src in
+  Alcotest.(check bool) "string fact" true
+    (Asp.Solve.holds o "p" [ Asp.Term.str "a \"quoted\" string" ]);
+  Alcotest.(check bool) "q" true (Asp.Solve.holds o "q" [])
+
+let test_empty_and_weird_programs () =
+  (* an empty program has one (empty) stable model *)
+  (match Asp.Solve.solve_text "" with
+  | Asp.Solve.Sat o -> Alcotest.(check int) "empty answer" 0 (List.length o.Asp.Solve.answer)
+  | Asp.Solve.Unsat _ -> Alcotest.fail "empty program is satisfiable");
+  (* a single trivially false constraint *)
+  Alcotest.(check bool) "fact + contradiction" true (is_unsat "p. :- p.")
+
+let test_intervals () =
+  check_answer "interval facts expand" {|cell(1..3). even(X) :- cell(X), X \ 2 = 0.|}
+    [ "cell(1)"; "cell(2)"; "cell(3)"; "even(2)" ];
+  check_answer "empty interval" {|p(5..3). q.|} [ "q" ];
+  (* multiple intervals take the cartesian product *)
+  let o = outcome "grid(1..2, 1..2)." in
+  Alcotest.(check int) "2x2 grid" 4 (List.length (Asp.Solve.atoms_of o "grid"));
+  (* intervals outside facts are rejected *)
+  match Asp.Grounder.ground (Asp.Parser.parse "p(X) :- q(X..3). q(1).") with
+  | exception Asp.Grounder.Error _ -> ()
+  | _ -> Alcotest.fail "interval in body accepted"
+
+let test_const_directive () =
+  check_answer "#const substitution"
+    {|#const n = 3. #const who = "world". size(n). hello(who). big :- size(X), X >= n.|}
+    [ "size(3)"; "hello(world)"; "big" ]
+
+let test_show_directive () =
+  let o = outcome {|p(1). q(2). r(1, 2). #show q/1. #show r/2.|} in
+  let preds =
+    List.sort_uniq compare (List.map (fun (a : Asp.Gatom.t) -> a.Asp.Gatom.pred) o.Asp.Solve.answer)
+  in
+  Alcotest.(check (list string)) "only shown predicates" [ "q"; "r" ] preds;
+  (* #show. alone hides everything *)
+  let o = outcome {|p(1). #show.|} in
+  Alcotest.(check int) "all hidden" 0 (List.length o.Asp.Solve.answer)
+
+let test_function_terms () =
+  (* compound terms unify structurally, like Spack's node(ID, Package) *)
+  let src =
+    {|pkg(node(1, "hdf5")). pkg(node(2, "zlib")).
+      id(I) :- pkg(node(I, N)).
+      named(N) :- pkg(node(I, N)), I > 1.
+      wrapped(pair(N, I)) :- pkg(node(I, N)).|}
+  in
+  let o = outcome src in
+  Alcotest.(check int) "ids projected" 2 (List.length (Asp.Solve.atoms_of o "id"));
+  Alcotest.(check bool) "guarded projection" true
+    (Asp.Solve.holds o "named" [ Asp.Term.str "zlib" ]);
+  Alcotest.(check bool) "terms rebuilt in heads" true
+    (Asp.Solve.holds o "wrapped"
+       [ Asp.Term.fun_ "pair" [ Asp.Term.str "hdf5"; Asp.Term.int 1 ] ]);
+  (* nested terms *)
+  let o = outcome {|deep(f(g(1), h(x, 2))). got(A) :- deep(f(A, B)).|} in
+  Alcotest.(check bool) "nested unification" true
+    (Asp.Solve.holds o "got" [ Asp.Term.fun_ "g" [ Asp.Term.int 1 ] ])
+
+let test_function_term_mismatch () =
+  (* different functors or arities never unify *)
+  check_answer "no cross-functor match"
+    {|p(f(1)). p(g(1)). p(f(1, 2)). q(X) :- p(f(X)).|}
+    [ "p(f(1))"; "p(g(1))"; "p(f(1,2))"; "q(1)" ]
+
+let test_enumerate_limit () =
+  let prog = Asp.Parser.parse "{ a; b; c }." in
+  Alcotest.(check int) "eight models" 8 (List.length (Asp.Solve.enumerate prog));
+  Alcotest.(check int) "limit respected" 3 (List.length (Asp.Solve.enumerate ~limit:3 prog))
+
+(* ------------------------------------------------------------------ *)
+(* Cross-validation against the naive reference solver                 *)
+(* ------------------------------------------------------------------ *)
+
+let gen_small_program =
+  let open QCheck in
+  (* random programs over atoms a..e with normal rules, negation, and a
+     choice; guaranteed <= 22 candidate atoms *)
+  let atom = Gen.oneofl [ "a"; "b"; "c"; "d"; "e" ] in
+  let lit =
+    Gen.map2
+      (fun neg a -> if neg then Asp.Ast.Neg (Asp.Ast.atom a []) else Asp.Ast.Pos (Asp.Ast.atom a []))
+      Gen.bool atom
+  in
+  let rule =
+    Gen.map2
+      (fun h body ->
+        Asp.Ast.Rule { head = Asp.Ast.Head_atom (Asp.Ast.atom h []); body })
+      atom
+      (Gen.list_size (Gen.int_range 0 3) lit)
+  in
+  let constraint_ =
+    Gen.map
+      (fun body -> Asp.Ast.Rule { head = Asp.Ast.Head_none; body })
+      (Gen.list_size (Gen.int_range 1 3) lit)
+  in
+  let choice =
+    Gen.map3
+      (fun elems lb ub ->
+        let n = List.length elems in
+        Asp.Ast.Rule
+          {
+            head =
+              Asp.Ast.Head_choice
+                {
+                  (* bounds are sometimes absent, sometimes within range,
+                     occasionally infeasible *)
+                  lb = Option.map Asp.Ast.cst_int lb;
+                  ub =
+                    Option.map (fun u -> Asp.Ast.cst_int (min (n + 1) u)) ub;
+                  elems =
+                    List.map (fun a -> { Asp.Ast.elem = Asp.Ast.atom a []; guard = [] }) elems;
+                };
+            body = [];
+          })
+      (Gen.list_size (Gen.int_range 1 3) atom)
+      (Gen.opt (Gen.int_range 0 3))
+      (Gen.opt (Gen.int_range 0 3))
+  in
+  let stmt = Gen.frequency [ (5, rule); (2, constraint_); (2, choice) ] in
+  make
+    ~print:(fun p -> Format.asprintf "%a" Asp.Ast.pp_program p)
+    (Gen.list_size (Gen.int_range 1 8) stmt)
+
+let cdcl_model_of prog =
+  match Asp.Solve.solve_program prog with
+  | Asp.Solve.Unsat _ -> None
+  | Asp.Solve.Sat o -> Some (List.sort Asp.Gatom.compare o.Asp.Solve.answer)
+
+let prop_agrees_with_naive =
+  QCheck.Test.make ~count:300 ~name:"CDCL solver agrees with naive enumeration"
+    gen_small_program (fun prog ->
+      let naive = Asp.Naive.stable_models prog in
+      match cdcl_model_of prog with
+      | None -> naive = []
+      | Some m -> List.exists (fun m' -> List.compare Asp.Gatom.compare m m' = 0) naive)
+
+let gen_opt_program =
+  let open QCheck in
+  (* random optimization problems: choices over a..d plus random weights *)
+  let atom = Gen.oneofl [ "a"; "b"; "c"; "d" ] in
+  let lit =
+    Gen.map2
+      (fun neg a -> if neg then Asp.Ast.Neg (Asp.Ast.atom a []) else Asp.Ast.Pos (Asp.Ast.atom a []))
+      Gen.bool atom
+  in
+  let choice =
+    Gen.return
+      (Asp.Ast.Rule
+         {
+           head =
+             Asp.Ast.Head_choice
+               {
+                 lb = None;
+                 ub = None;
+                 elems =
+                   List.map
+                     (fun a -> { Asp.Ast.elem = Asp.Ast.atom a []; guard = [] })
+                     [ "a"; "b"; "c"; "d" ];
+               };
+           body = [];
+         })
+  in
+  let rule =
+    Gen.map2
+      (fun h body -> Asp.Ast.Rule { head = Asp.Ast.Head_atom (Asp.Ast.atom h []); body })
+      atom
+      (Gen.list_size (Gen.int_range 1 2) lit)
+  in
+  let minimize =
+    Gen.map3
+      (fun a w p ->
+        Asp.Ast.Minimize
+          [
+            {
+              Asp.Ast.weight = Asp.Ast.cst_int w;
+              priority = Asp.Ast.cst_int p;
+              tuple = [ Asp.Ast.cst_str a ];
+              guard = [ Asp.Ast.Pos (Asp.Ast.atom a []) ];
+            };
+          ])
+      atom (Gen.int_range 1 4) (Gen.int_range 1 2)
+  in
+  let stmt = Gen.frequency [ (3, rule); (3, minimize) ] in
+  make
+    ~print:(fun p -> Format.asprintf "%a" Asp.Ast.pp_program p)
+    (Gen.map2 (fun c rest -> c :: rest) choice (Gen.list_size (Gen.int_range 2 6) stmt))
+
+let prop_optimal_cost_matches_naive =
+  QCheck.Test.make ~count:300 ~name:"optimal cost vector matches naive enumeration"
+    gen_opt_program (fun prog ->
+      let naive = Asp.Naive.optimal_models prog in
+      match Asp.Solve.solve_program prog with
+      | Asp.Solve.Unsat _ -> naive = []
+      | Asp.Solve.Sat o -> (
+        match naive with
+        | [] -> false
+        | (_, best_costs) :: _ ->
+          let nonzero = List.filter (fun (_, v) -> v <> 0) in
+          nonzero o.Asp.Solve.costs = nonzero best_costs))
+
+let prop_enumerate_matches_naive =
+  QCheck.Test.make ~count:200 ~name:"model enumeration matches naive (no optimization)"
+    gen_small_program (fun prog ->
+      (* only compare on programs without minimize statements *)
+      let naive = Asp.Naive.stable_models prog in
+      let enumerated =
+        Asp.Solve.enumerate prog
+        |> List.map (List.sort Asp.Gatom.compare)
+        |> List.sort (List.compare Asp.Gatom.compare)
+      in
+      List.compare (List.compare Asp.Gatom.compare) naive enumerated = 0)
+
+let prop_usc_matches_bb =
+  QCheck.Test.make ~count:200 ~name:"usc and bb strategies find the same optimum"
+    gen_opt_program (fun prog ->
+      let solve strategy =
+        let config = Asp.Config.make ~strategy () in
+        match Asp.Solve.solve_program ~config prog with
+        | Asp.Solve.Unsat _ -> None
+        | Asp.Solve.Sat o ->
+          Some (List.filter (fun (_, v) -> v <> 0) o.Asp.Solve.costs)
+      in
+      solve Asp.Config.Bb = solve Asp.Config.Usc)
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_agrees_with_naive;
+        prop_optimal_cost_matches_naive;
+        prop_usc_matches_bb;
+        prop_enumerate_matches_naive;
+      ]
+  in
+  Alcotest.run "asp"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_parse_roundtrip;
+          Alcotest.test_case "conditional literals" `Quick test_parse_conditional;
+          Alcotest.test_case "syntax errors" `Quick test_parse_errors;
+          Alcotest.test_case "arithmetic precedence" `Quick test_parse_arith;
+        ] );
+      ( "solving",
+        [
+          Alcotest.test_case "facts only" `Quick test_facts_only;
+          Alcotest.test_case "dependency closure" `Quick test_closure;
+          Alcotest.test_case "integrity constraint" `Quick test_integrity_constraint;
+          Alcotest.test_case "figure 3" `Quick test_fig3;
+          Alcotest.test_case "negation" `Quick test_negation;
+          Alcotest.test_case "negation cycle" `Quick test_negation_cycle_two_models;
+          Alcotest.test_case "unfounded loop rejected" `Quick test_unfounded_rejected;
+          Alcotest.test_case "loop external support" `Quick
+            test_loop_external_support_via_other_atom;
+          Alcotest.test_case "choice-founded loop" `Quick test_unfounded_with_choice;
+          Alcotest.test_case "choice cardinality" `Quick test_choice_cardinality;
+          Alcotest.test_case "choice bound unsat" `Quick test_choice_bound_unsat;
+          Alcotest.test_case "acyclicity constraint" `Quick test_cycle_detection_path;
+          Alcotest.test_case "arithmetic" `Quick test_arith_in_rules;
+          Alcotest.test_case "comparisons" `Quick test_comparisons;
+        ] );
+      ( "optimization",
+        [
+          Alcotest.test_case "paper version choice" `Quick test_paper_version_choice;
+          Alcotest.test_case "forced cost" `Quick test_optimization_forced_cost;
+          Alcotest.test_case "multi level" `Quick test_multi_level_optimization;
+          Alcotest.test_case "maximize" `Quick test_maximize;
+        ] );
+      ( "grounder",
+        [
+          Alcotest.test_case "error reporting" `Quick test_grounder_errors;
+          Alcotest.test_case "arithmetic operators" `Quick test_arith_operators;
+          Alcotest.test_case "choice guard generators" `Quick test_choice_guard_generates;
+          Alcotest.test_case "minimize with negation guard" `Quick
+            test_minimize_with_negation_guard;
+          Alcotest.test_case "strings and comments" `Quick test_lexer_strings_and_comments;
+          Alcotest.test_case "degenerate programs" `Quick test_empty_and_weird_programs;
+          Alcotest.test_case "intervals" `Quick test_intervals;
+          Alcotest.test_case "#const" `Quick test_const_directive;
+          Alcotest.test_case "#show" `Quick test_show_directive;
+          Alcotest.test_case "function terms" `Quick test_function_terms;
+          Alcotest.test_case "functor mismatch" `Quick test_function_term_mismatch;
+          Alcotest.test_case "enumeration limit" `Quick test_enumerate_limit;
+        ] );
+      ( "conditions",
+        [
+          Alcotest.test_case "generalized conditions" `Quick test_generalized_conditions;
+          Alcotest.test_case "unmet requirement" `Quick test_generalized_conditions_unmet;
+          Alcotest.test_case "condition triggers choice" `Quick
+            test_condition_triggers_choice;
+        ] );
+      ("properties", qsuite);
+    ]

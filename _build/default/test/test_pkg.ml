@@ -1,0 +1,211 @@
+(* Tests for the package layer: the DSL, repositories, possible-dependency
+   closures, the installed database, and the generators. *)
+
+open Pkg
+
+let repo = Repo_core.repo
+
+(* ------------------------------------------------------------------ *)
+(* Package DSL                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_example_recipe () =
+  (* the paper's Fig. 2 package is modeled verbatim *)
+  let p = Repo.find_exn repo "example" in
+  Alcotest.(check int) "two versions" 2 (List.length p.Package.versions);
+  Alcotest.(check int) "four dependencies" 4 (List.length p.Package.dependencies);
+  Alcotest.(check int) "two conflicts" 2 (List.length p.Package.conflicts);
+  let bzip = Option.get (Package.find_variant p "bzip") in
+  Alcotest.(check string) "bzip default" "true" bzip.Package.var_default;
+  Alcotest.(check string) "preferred version" "1.1.0"
+    (Specs.Version.to_string (Package.preferred_version p))
+
+let test_when_conditions () =
+  let p = Repo.find_exn repo "example" in
+  let dep_on name =
+    List.find
+      (fun (d : Package.dependency) ->
+        String.equal d.Package.dep_spec.Specs.Spec.cname name)
+      p.Package.dependencies
+  in
+  (match (dep_on "bzip2").Package.dep_when with
+  | Some w ->
+    Alcotest.(check (list (pair string string))) "when +bzip"
+      [ ("bzip", "true") ]
+      w.Specs.Spec.aroot.Specs.Spec.cvariants
+  | None -> Alcotest.fail "bzip2 dep should be conditional");
+  match
+    List.filter
+      (fun (d : Package.dependency) ->
+        String.equal d.Package.dep_spec.Specs.Spec.cname "zlib")
+      p.Package.dependencies
+  with
+  | [ unconditional; versioned ] ->
+    Alcotest.(check bool) "plain zlib dep" true (unconditional.Package.dep_when = None);
+    Alcotest.(check (option string)) "zlib version constraint" (Some "1.2.8:")
+      (Option.map Specs.Vrange.to_string versioned.Package.dep_spec.Specs.Spec.cversion)
+  | _ -> Alcotest.fail "expected two zlib dependencies"
+
+let test_anonymous_constraints () =
+  let c = Package.parse_constraint ~self:"foo" "%intel" in
+  Alcotest.(check string) "conflict self" "foo" c.Specs.Spec.cname;
+  Alcotest.(check (option string)) "compiler" (Some "intel") c.Specs.Spec.ccompiler;
+  let t = Package.parse_constraint ~self:"foo" "target=aarch64:" in
+  Alcotest.(check (option string)) "family target" (Some "aarch64:") t.Specs.Spec.ctarget;
+  let w = Package.parse_when ~self:"foo" "+openmp ^openblas" in
+  Alcotest.(check (list (pair string string))) "self variant"
+    [ ("openmp", "true") ]
+    w.Specs.Spec.aroot.Specs.Spec.cvariants;
+  Alcotest.(check int) "one ^dep" 1 (List.length w.Specs.Spec.adeps)
+
+(* ------------------------------------------------------------------ *)
+(* Repository                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_virtuals () =
+  Alcotest.(check bool) "mpi is virtual" true (Repo.is_virtual repo "mpi");
+  Alcotest.(check bool) "zlib is not" false (Repo.is_virtual repo "zlib");
+  let mpis = Repo.providers repo "mpi" in
+  Alcotest.(check bool) "mpich preferred" true (List.hd mpis = "mpich");
+  Alcotest.(check bool) "openmpi second" true (List.nth mpis 1 = "openmpi");
+  Alcotest.(check bool) "mpilander provides mpi" true (List.mem "mpilander" mpis);
+  Alcotest.(check int) "mpich weight" 0 (Repo.provider_weight repo ~virtual_:"mpi" ~provider:"mpich");
+  Alcotest.(check bool) "blas providers include openblas" true
+    (List.mem "openblas" (Repo.providers repo "blas"))
+
+let test_possible_dependencies () =
+  let pd name = List.length (Repo.possible_dependencies repo name) in
+  Alcotest.(check int) "zlib has none" 0 (pd "zlib");
+  Alcotest.(check bool) "m4 small" true (pd "m4" <= 2);
+  (* the paper's observation: anything that can reach MPI has a large
+     possible-dependency count; the clusters are separated by a gap *)
+  Alcotest.(check bool) "hdf5 large (reaches mpi)" true (pd "hdf5" > 35);
+  Alcotest.(check bool) "valgrind large (reaches mpi)" true (pd "valgrind" > 35);
+  Alcotest.(check bool) "readline small" true (pd "readline" < 15);
+  (* mpilander -> cmake -> qt -> valgrind -> mpi: the potential cycle makes
+     the closure of cmake large too *)
+  Alcotest.(check bool) "cmake pulled into the big cluster" true (pd "cmake" > 35)
+
+let test_repo_errors () =
+  (match Repo.make [ Package.make "dup" [ Package.version "1" ]; Package.make "dup" [] ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate names accepted");
+  Alcotest.(check (option string)) "unknown lookup" None
+    (Option.map (fun (p : Package.t) -> p.Package.name) (Repo.find repo "no-such-pkg"))
+
+(* ------------------------------------------------------------------ *)
+(* Database                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let mk_concrete root_deps =
+  let node name version depends =
+    {
+      Specs.Spec.name;
+      version = Specs.Version.of_string version;
+      variants = [];
+      compiler = Specs.Compiler.make "gcc" "11.2.0";
+      flags = [];
+      os = "rhel8";
+      target = "skylake";
+      depends;
+    }
+  in
+  Specs.Spec.make_concrete ~root:"a"
+    (node "a" "1.0" root_deps :: List.map (fun d -> node d "2.0" []) root_deps)
+
+let test_database_roundtrip () =
+  let db = Database.create () in
+  let c = mk_concrete [ "b"; "c" ] in
+  Database.add_concrete db c;
+  Alcotest.(check int) "three records" 3 (Database.size db);
+  let h = Specs.Spec.node_hash c "a" in
+  (match Database.find db h with
+  | Some r ->
+    Alcotest.(check string) "record name" "a" r.Database.name;
+    Alcotest.(check int) "two deps" 2 (List.length r.Database.deps);
+    Alcotest.(check bool) "dag complete" true (Database.mem_dag db h)
+  | None -> Alcotest.fail "root record missing");
+  (* adding again is idempotent *)
+  Database.add_concrete db c;
+  Alcotest.(check int) "still three" 3 (Database.size db)
+
+let test_database_filter () =
+  let db = Database.create () in
+  Database.add_concrete db (mk_concrete [ "b" ]);
+  (* filter that drops the dependency must drop the dependent too *)
+  let filtered = Database.filter db ~f:(fun r -> r.Database.name <> "b") in
+  Alcotest.(check int) "closure-consistent filter" 0 (Database.size filtered);
+  let keep_all = Database.filter db ~f:(fun _ -> true) in
+  Alcotest.(check int) "identity filter" 2 (Database.size keep_all)
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_synth_repo () =
+  let p = Pkg.Repo_synth.scaled 200 in
+  let r = Pkg.Repo_synth.repo p in
+  Alcotest.(check bool) "roughly 200 packages" true
+    (abs (Repo.size r - 200) < 60);
+  Alcotest.(check bool) "smpi virtual exists" true (Repo.is_virtual r "smpi");
+  Alcotest.(check int) "provider count" p.Pkg.Repo_synth.n_mpi_providers
+    (List.length (Repo.providers r "smpi"));
+  (* deterministic in the seed *)
+  let r2 = Pkg.Repo_synth.repo p in
+  Alcotest.(check (list string)) "deterministic" (Repo.package_names r)
+    (Repo.package_names r2);
+  (* the bimodal closure structure must exist: some packages reach the hub
+     closure, some don't *)
+  let counts =
+    List.map (fun n -> List.length (Repo.possible_dependencies r n)) (Repo.package_names r)
+  in
+  let big = List.filter (fun c -> c > 20) counts and small = List.filter (fun c -> c <= 20) counts in
+  Alcotest.(check bool) "two clusters" true (List.length big > 10 && List.length small > 10)
+
+let test_buildcache_gen () =
+  let db = Database.create () in
+  Buildcache_gen.populate ~repo ~combos:Buildcache_gen.default_combos
+    ~roots:[ "zlib"; "hdf5" ] db;
+  Alcotest.(check bool) "cache populated" true (Database.size db > 50);
+  (* every record's dep closure is present *)
+  List.iter
+    (fun (r : Database.record) ->
+      Alcotest.(check bool) ("complete " ^ r.Database.name) true
+        (Database.mem_dag db r.Database.hash))
+    (Database.records db);
+  (* arch slice behaves like the paper's ppc64le group: strictly smaller *)
+  let ppc =
+    Database.filter db ~f:(fun r ->
+        match Specs.Target.find r.Database.target with
+        | Some t -> String.equal t.Specs.Target.family "ppc64le"
+        | None -> false)
+  in
+  Alcotest.(check bool) "ppc slice nonempty" true (Database.size ppc > 0);
+  Alcotest.(check bool) "ppc slice smaller" true (Database.size ppc < Database.size db)
+
+let () =
+  Alcotest.run "pkg"
+    [
+      ( "dsl",
+        [
+          Alcotest.test_case "fig2 example recipe" `Quick test_example_recipe;
+          Alcotest.test_case "when conditions" `Quick test_when_conditions;
+          Alcotest.test_case "anonymous constraints" `Quick test_anonymous_constraints;
+        ] );
+      ( "repo",
+        [
+          Alcotest.test_case "virtuals" `Quick test_virtuals;
+          Alcotest.test_case "possible dependencies" `Quick test_possible_dependencies;
+          Alcotest.test_case "errors" `Quick test_repo_errors;
+        ] );
+      ( "database",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_database_roundtrip;
+          Alcotest.test_case "filter" `Quick test_database_filter;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "synthetic repo" `Quick test_synth_repo;
+          Alcotest.test_case "buildcache" `Quick test_buildcache_gen;
+        ] );
+    ]

@@ -1,0 +1,273 @@
+(* Direct tests of the CDCL core: clauses, pseudo-Boolean constraints,
+   assumptions and unsatisfiable cores, model hooks. *)
+
+module S = Asp.Sat
+
+let mk n =
+  let s = S.create () in
+  let vars = Array.init n (fun _ -> S.new_var s) in
+  (s, vars)
+
+let pos = S.Lit.pos
+let neg = S.Lit.neg
+
+(* ------------------------------------------------------------------ *)
+
+let test_trivial () =
+  let s, v = mk 2 in
+  S.add_clause s [ pos v.(0) ];
+  S.add_clause s [ neg v.(0); pos v.(1) ];
+  Alcotest.(check bool) "sat" true (S.solve s = S.Sat);
+  Alcotest.(check bool) "v0" true (S.value s (pos v.(0)));
+  Alcotest.(check bool) "v1" true (S.value s (pos v.(1)))
+
+let test_unsat () =
+  let s, v = mk 1 in
+  S.add_clause s [ pos v.(0) ];
+  S.add_clause s [ neg v.(0) ];
+  Alcotest.(check bool) "unsat" true (S.solve s = S.Unsat);
+  (* unsat is sticky *)
+  Alcotest.(check bool) "still unsat" true (S.solve s = S.Unsat)
+
+let test_empty_clause () =
+  let s, _ = mk 1 in
+  S.add_clause s [];
+  Alcotest.(check bool) "unsat" true (S.solve s = S.Unsat)
+
+let test_tautology_ignored () =
+  let s, v = mk 2 in
+  S.add_clause s [ pos v.(0); neg v.(0) ];
+  Alcotest.(check bool) "sat" true (S.solve s = S.Sat)
+
+let test_pigeonhole_unsat () =
+  (* 4 pigeons, 3 holes: classic small UNSAT requiring real search *)
+  let np = 4 and nh = 3 in
+  let s = S.create () in
+  let x = Array.init np (fun _ -> Array.init nh (fun _ -> S.new_var s)) in
+  for p = 0 to np - 1 do
+    S.add_clause s (List.init nh (fun h -> pos x.(p).(h)))
+  done;
+  for h = 0 to nh - 1 do
+    for p1 = 0 to np - 1 do
+      for p2 = p1 + 1 to np - 1 do
+        S.add_clause s [ neg x.(p1).(h); neg x.(p2).(h) ]
+      done
+    done
+  done;
+  Alcotest.(check bool) "php(4,3) unsat" true (S.solve s = S.Unsat)
+
+(* ------------------------------------------------------------------ *)
+(* Pseudo-Boolean constraints                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_pb_at_most () =
+  let s, v = mk 4 in
+  S.add_pb_le s (List.init 4 (fun i -> (1, pos v.(i)))) 2;
+  S.add_clause s [ pos v.(0) ];
+  S.add_clause s [ pos v.(1) ];
+  Alcotest.(check bool) "sat at bound" true (S.solve s = S.Sat);
+  (* the two remaining must have been forced false *)
+  Alcotest.(check bool) "v2 false" false (S.value s (pos v.(2)));
+  Alcotest.(check bool) "v3 false" false (S.value s (pos v.(3)));
+  S.add_clause s [ pos v.(2) ];
+  Alcotest.(check bool) "over bound unsat" true (S.solve s = S.Unsat)
+
+let test_pb_weighted () =
+  let s, v = mk 3 in
+  (* 3a + 2b + 1c <= 3 *)
+  S.add_pb_le s [ (3, pos v.(0)); (2, pos v.(1)); (1, pos v.(2)) ] 3;
+  S.add_clause s [ pos v.(0) ];
+  Alcotest.(check bool) "sat" true (S.solve s = S.Sat);
+  Alcotest.(check bool) "b forced false" false (S.value s (pos v.(1)));
+  Alcotest.(check bool) "c forced false" false (S.value s (pos v.(2)))
+
+let test_pb_duplicate_lits () =
+  let s, v = mk 1 in
+  (* x + x <= 1 means x must be false *)
+  S.add_pb_le s [ (1, pos v.(0)); (1, pos v.(0)) ] 1;
+  Alcotest.(check bool) "sat" true (S.solve s = S.Sat);
+  Alcotest.(check bool) "x false" false (S.value s (pos v.(0)))
+
+let test_pb_complementary_lits () =
+  let s, v = mk 2 in
+  (* x + (not x) + y <= 1: the pair always contributes 1, so y false *)
+  S.add_pb_le s [ (1, pos v.(0)); (1, neg v.(0)); (1, pos v.(1)) ] 1;
+  Alcotest.(check bool) "sat" true (S.solve s = S.Sat);
+  Alcotest.(check bool) "y forced false" false (S.value s (pos v.(1)))
+
+let test_pb_at_least_via_negation () =
+  let s, v = mk 3 in
+  (* at least 2 of 3: sum(not x) <= 1 *)
+  S.add_pb_le s (List.init 3 (fun i -> (1, neg v.(i)))) 1;
+  S.add_clause s [ neg v.(0) ];
+  Alcotest.(check bool) "sat" true (S.solve s = S.Sat);
+  Alcotest.(check bool) "v1 forced" true (S.value s (pos v.(1)));
+  Alcotest.(check bool) "v2 forced" true (S.value s (pos v.(2)))
+
+(* ------------------------------------------------------------------ *)
+(* Assumptions and cores                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_assumptions () =
+  let s, v = mk 2 in
+  S.add_clause s [ neg v.(0); neg v.(1) ];
+  Alcotest.(check bool) "sat (a)" true (S.solve ~assumptions:[ pos v.(0) ] s = S.Sat);
+  Alcotest.(check bool) "a true" true (S.value s (pos v.(0)));
+  Alcotest.(check bool) "b forced false" false (S.value s (pos v.(1)));
+  Alcotest.(check bool) "a,b unsat" true
+    (S.solve ~assumptions:[ pos v.(0); pos v.(1) ] s = S.Unsat);
+  (* the instance itself is still satisfiable afterwards *)
+  Alcotest.(check bool) "recoverable" true (S.solve s = S.Sat)
+
+let test_core_subset () =
+  let s, v = mk 4 in
+  (* only v0 and v1 conflict; v2, v3 are irrelevant *)
+  S.add_clause s [ neg v.(0); neg v.(1) ];
+  let assumptions = [ pos v.(2); pos v.(0); pos v.(3); pos v.(1) ] in
+  Alcotest.(check bool) "unsat" true (S.solve ~assumptions s = S.Unsat);
+  let core = S.last_core s in
+  Alcotest.(check bool) "core subset of assumptions" true
+    (List.for_all (fun l -> List.mem l assumptions) core);
+  Alcotest.(check bool) "core mentions v0 or v1" true
+    (List.exists (fun l -> l = pos v.(0) || l = pos v.(1)) core);
+  Alcotest.(check bool) "core excludes irrelevant v2" false (List.mem (pos v.(2)) core);
+  (* the core alone must be unsatisfiable *)
+  Alcotest.(check bool) "core refutes" true (S.solve ~assumptions:core s = S.Unsat)
+
+let test_core_propagated_assumption () =
+  let s, v = mk 2 in
+  S.add_clause s [ neg v.(0); neg v.(1) ];
+  (* assuming v0 propagates not v1; then assuming v1 fails immediately *)
+  Alcotest.(check bool) "unsat" true
+    (S.solve ~assumptions:[ pos v.(0); pos v.(1) ] s = S.Unsat);
+  let core = S.last_core s in
+  Alcotest.(check bool) "nonempty core" true (core <> []);
+  Alcotest.(check bool) "core refutes" true (S.solve ~assumptions:core s = S.Unsat)
+
+(* ------------------------------------------------------------------ *)
+(* Model hook (the stable-semantics driver)                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_on_model_refine () =
+  let s, v = mk 2 in
+  (* enumerate: reject models until only one remains *)
+  let rejected = ref 0 in
+  let hook s' =
+    if S.current_lit_value s' (pos v.(0)) = 1 then begin
+      incr rejected;
+      `Refine [ [ neg v.(0) ] ]
+    end
+    else `Accept
+  in
+  Alcotest.(check bool) "sat" true (S.solve ~on_model:hook s = S.Sat);
+  Alcotest.(check bool) "v0 excluded" false (S.value s (pos v.(0)));
+  Alcotest.(check bool) "at most one rejection" true (!rejected <= 1)
+
+let test_on_model_refine_to_unsat () =
+  let s, v = mk 1 in
+  let hook _ = `Refine [ [ pos v.(0) ]; [ neg v.(0) ] ] in
+  Alcotest.(check bool) "refined to unsat" true (S.solve ~on_model:hook s = S.Unsat)
+
+(* ------------------------------------------------------------------ *)
+(* Properties: random 3-SAT cross-checked with brute force             *)
+(* ------------------------------------------------------------------ *)
+
+let gen_cnf =
+  let open QCheck in
+  let lit = Gen.map2 (fun v s -> if s then pos v else neg v) (Gen.int_range 0 7) Gen.bool in
+  let clause = Gen.list_size (Gen.int_range 1 3) lit in
+  make
+    ~print:(fun cnf ->
+      String.concat " & "
+        (List.map
+           (fun c -> "(" ^ String.concat "|" (List.map string_of_int c) ^ ")")
+           cnf))
+    (Gen.list_size (Gen.int_range 1 20) clause)
+
+let brute_force_sat cnf =
+  let nvars = 8 in
+  let rec try_mask mask =
+    if mask >= 1 lsl nvars then false
+    else
+      let value l =
+        let v = S.Lit.var l in
+        let bit = mask land (1 lsl v) <> 0 in
+        if S.Lit.sign l then not bit else bit
+      in
+      if List.for_all (fun c -> List.exists value c) cnf then true
+      else try_mask (mask + 1)
+  in
+  try_mask 0
+
+let prop_cdcl_matches_brute_force =
+  QCheck.Test.make ~count:500 ~name:"CDCL agrees with brute force on random CNF" gen_cnf
+    (fun cnf ->
+      let s, _ = mk 8 in
+      List.iter (S.add_clause s) cnf;
+      let sat = S.solve s = S.Sat in
+      let expected = brute_force_sat cnf in
+      (* when SAT, the model must satisfy every clause *)
+      (not sat)
+      || List.for_all (fun c -> List.exists (fun l -> S.value s l) c) cnf
+         && sat = expected)
+
+let prop_pb_bound_respected =
+  let open QCheck in
+  let gen =
+    make
+      ~print:(fun (ws, k) ->
+        Printf.sprintf "weights=[%s] k=%d" (String.concat ";" (List.map string_of_int ws)) k)
+      Gen.(pair (list_size (int_range 1 6) (int_range 1 5)) (int_range 0 10))
+  in
+  Test.make ~count:300 ~name:"PB <= bound holds in every model" gen (fun (ws, k) ->
+      let s = S.create () in
+      let vars = List.map (fun _ -> S.new_var s) ws in
+      let entries = List.map2 (fun w v -> (w, pos v)) ws vars in
+      S.add_pb_le s entries k;
+      (* maximize the number of true vars via hook-free solve with phases *)
+      List.iter (fun v -> S.suggest_phase s (pos v)) vars;
+      match S.solve s with
+      | S.Unsat -> k < 0
+      | S.Sat ->
+        let total =
+          List.fold_left (fun acc (w, l) -> if S.value s l then acc + w else acc) 0 entries
+        in
+        total <= k)
+
+let () =
+  let props =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_cdcl_matches_brute_force; prop_pb_bound_respected ]
+  in
+  Alcotest.run "sat"
+    [
+      ( "clauses",
+        [
+          Alcotest.test_case "trivial" `Quick test_trivial;
+          Alcotest.test_case "unsat" `Quick test_unsat;
+          Alcotest.test_case "empty clause" `Quick test_empty_clause;
+          Alcotest.test_case "tautology" `Quick test_tautology_ignored;
+          Alcotest.test_case "pigeonhole" `Quick test_pigeonhole_unsat;
+        ] );
+      ( "pseudo-boolean",
+        [
+          Alcotest.test_case "at-most-k" `Quick test_pb_at_most;
+          Alcotest.test_case "weighted" `Quick test_pb_weighted;
+          Alcotest.test_case "duplicate lits" `Quick test_pb_duplicate_lits;
+          Alcotest.test_case "complementary lits" `Quick test_pb_complementary_lits;
+          Alcotest.test_case "at-least via negation" `Quick test_pb_at_least_via_negation;
+        ] );
+      ( "assumptions",
+        [
+          Alcotest.test_case "basic" `Quick test_assumptions;
+          Alcotest.test_case "core subset" `Quick test_core_subset;
+          Alcotest.test_case "propagated assumption core" `Quick
+            test_core_propagated_assumption;
+        ] );
+      ( "hooks",
+        [
+          Alcotest.test_case "refine" `Quick test_on_model_refine;
+          Alcotest.test_case "refine to unsat" `Quick test_on_model_refine_to_unsat;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,333 @@
+(* Tests for the specs layer: versions, ranges, targets, compilers, specs,
+   the sigil parser (Table I), and DAG hashing. *)
+
+open Specs
+
+let v = Version.of_string
+
+(* ------------------------------------------------------------------ *)
+(* Versions                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_version_order () =
+  let lt a b = Alcotest.(check bool) (a ^ " < " ^ b) true (Version.compare (v a) (v b) < 0) in
+  lt "1.9" "1.10";
+  lt "1.2" "1.2.1";
+  lt "1.10.2" "1.13.1";
+  lt "3.1" "4.0.2";
+  lt "0.3.18" "0.3.20";
+  lt "2020.3.279" "2021.1";
+  lt "1.0-rc1" "1.0.1";
+  Alcotest.(check bool) "equal" true (Version.equal (v "1.2.0") (v "1.2.0"))
+
+let test_version_prefix () =
+  Alcotest.(check bool) "1.10 matches 1.10.2" true
+    (Version.satisfies_prefix ~prefix:(v "1.10") (v "1.10.2"));
+  Alcotest.(check bool) "1.1 does not match 1.10.2" false
+    (Version.satisfies_prefix ~prefix:(v "1.1") (v "1.10.2"))
+
+let test_vrange () =
+  let sat con ver expect =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s satisfies %s" ver con)
+      expect
+      (Vrange.satisfies (Vrange.of_string con) (v ver))
+  in
+  sat "1.0.7:" "1.0.8" true;
+  sat "1.0.7:" "1.0.7" true;
+  sat "1.0.7:" "1.0.6" false;
+  sat ":1.5" "1.5.2" true;
+  (* prefix-inclusive upper bound *)
+  sat ":1.5" "1.6" false;
+  sat "1.2:1.5" "1.3.9" true;
+  sat "1.2:1.5" "1.1" false;
+  sat "1.2.8" "1.2.8" true;
+  sat "1.2.8" "1.2.9" false;
+  sat "1.2" "1.2.11" true;
+  (* single version = prefix semantics *)
+  sat "1.2,2.0:" "2.4" true;
+  sat "1.2,2.0:" "1.5" false
+
+let test_vrange_intersects () =
+  let inter a b expect =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s /\\ %s" a b)
+      expect
+      (Vrange.intersects (Vrange.of_string a) (Vrange.of_string b))
+  in
+  inter "1.0:2.0" "1.5:" true;
+  inter ":1.0" "2.0:" false;
+  inter "1.2.8" "1.2:1.3" true
+
+(* ------------------------------------------------------------------ *)
+(* Targets / compilers                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_target_lattice () =
+  let sky = Target.find_exn "skylake" in
+  Alcotest.(check string) "family" "x86_64" sky.Target.family;
+  Alcotest.(check bool) "descends from x86_64" true (Target.is_descendant_of sky "x86_64");
+  Alcotest.(check bool) "descends from haswell" true (Target.is_descendant_of sky "haswell");
+  Alcotest.(check bool) "not from icelake" false (Target.is_descendant_of sky "icelake");
+  let ice = Target.find_exn "icelake" in
+  Alcotest.(check int) "icelake is best x86" 0 (Target.weight ice);
+  Alcotest.(check bool) "generic is worst" true (Target.weight (Target.find_exn "x86_64") > Target.weight sky)
+
+let test_compiler_support () =
+  (* the paper's example: gcc@4.8.3 cannot target skylake *)
+  let old_gcc = Compiler.make "gcc" "4.8.3" in
+  let new_gcc = Compiler.make "gcc" "11.2.0" in
+  let sky = Target.find_exn "skylake" in
+  Alcotest.(check bool) "gcc 4.8 can't do skylake" false (Compiler.supports_target old_gcc sky);
+  Alcotest.(check bool) "gcc 11 can" true (Compiler.supports_target new_gcc sky);
+  Alcotest.(check bool) "gcc 4.8 can do generic" true
+    (Compiler.supports_target old_gcc (Target.find_exn "x86_64"));
+  Alcotest.(check bool) "xl can't do x86" false
+    (Compiler.supports_target (Compiler.make "xl" "16.1.1") sky)
+
+(* ------------------------------------------------------------------ *)
+(* Spec parser (Table I)                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_sigils () =
+  let a = Spec_parser.parse "hdf5@1.10.2+mpi~szip api=v110 %gcc@10.3.1 os=rhel8 target=skylake" in
+  let r = a.Spec.aroot in
+  Alcotest.(check string) "name" "hdf5" r.Spec.cname;
+  Alcotest.(check (option string)) "version" (Some "1.10.2")
+    (Option.map Vrange.to_string r.Spec.cversion);
+  Alcotest.(check (list (pair string string))) "variants"
+    [ ("api", "v110"); ("mpi", "true"); ("szip", "false") ]
+    r.Spec.cvariants;
+  Alcotest.(check (option string)) "compiler" (Some "gcc") r.Spec.ccompiler;
+  Alcotest.(check (option string)) "compiler version" (Some "10.3.1")
+    (Option.map Vrange.to_string r.Spec.ccompiler_version);
+  Alcotest.(check (option string)) "os" (Some "rhel8") r.Spec.cos;
+  Alcotest.(check (option string)) "target" (Some "skylake") r.Spec.ctarget
+
+let test_parse_deps () =
+  (* the paper's example spec *)
+  let a = Spec_parser.parse "hdf5@1.10.2 ^zlib%gcc ^cmake target=aarch64" in
+  Alcotest.(check int) "two deps" 2 (List.length a.Spec.adeps);
+  let zlib = List.nth a.Spec.adeps 0 and cmake = List.nth a.Spec.adeps 1 in
+  Alcotest.(check string) "dep1" "zlib" zlib.Spec.cname;
+  Alcotest.(check (option string)) "dep1 compiler" (Some "gcc") zlib.Spec.ccompiler;
+  Alcotest.(check (option string)) "dep2 target" (Some "aarch64") cmake.Spec.ctarget
+
+let test_parse_arch_triple () =
+  let a = Spec_parser.parse "zlib arch=linux-centos8-skylake" in
+  Alcotest.(check (option string)) "os" (Some "centos8") a.Spec.aroot.Spec.cos;
+  Alcotest.(check (option string)) "target" (Some "skylake") a.Spec.aroot.Spec.ctarget
+
+let test_parse_chained_variants () =
+  let a = Spec_parser.parse "pkg+a~b+c" in
+  Alcotest.(check (list (pair string string))) "chained"
+    [ ("a", "true"); ("b", "false"); ("c", "true") ]
+    a.Spec.aroot.Spec.cvariants
+
+let test_parse_flags () =
+  let a = Spec_parser.parse {|hdf5 cflags="-O3 -g" ldflags=-static|} in
+  Alcotest.(check (list (pair string string))) "flags"
+    [ ("cflags", "-O3 -g"); ("ldflags", "-static") ]
+    a.Spec.aroot.Spec.cflags;
+  (* flags render quoted and roundtrip *)
+  let printed = Spec.abstract_to_string a in
+  Alcotest.(check (list (pair string string))) "roundtrip"
+    a.Spec.aroot.Spec.cflags
+    (Spec_parser.parse printed).Spec.aroot.Spec.cflags
+
+let test_parse_errors () =
+  List.iter
+    (fun s ->
+      match Spec_parser.parse s with
+      | exception Spec_parser.Error _ -> ()
+      | _ -> Alcotest.failf "expected parse error for %S" s)
+    [ ""; "@1.2"; "pkg@"; "pkg%"; "pkg+"; "pkg os="; "pkg arch=linux" ]
+
+let test_roundtrip () =
+  let specs =
+    [
+      "hdf5@1.10.2+mpi%gcc@10.3.1 os=rhel8 target=skylake";
+      "example~bzip ^zlib@1.2.8:";
+      "hpctoolkit ^mpich";
+    ]
+  in
+  List.iter
+    (fun s ->
+      let a = Spec_parser.parse s in
+      let printed = Spec.abstract_to_string a in
+      let a2 = Spec_parser.parse printed in
+      Alcotest.(check string) ("roundtrip " ^ s) printed (Spec.abstract_to_string a2))
+    specs
+
+(* ------------------------------------------------------------------ *)
+(* Concrete specs and hashing                                          *)
+(* ------------------------------------------------------------------ *)
+
+let node ?(variants = []) ?(depends = []) name version =
+  {
+    Spec.name;
+    version = v version;
+    variants;
+    compiler = Compiler.make "gcc" "11.2.0";
+    flags = [];
+    os = "rhel8";
+    target = "skylake";
+    depends;
+  }
+
+let test_concrete_dag () =
+  let c =
+    Spec.make_concrete ~root:"a"
+      [ node "a" "1.0" ~depends:[ "b"; "c" ]; node "b" "2.0" ~depends:[ "c" ]; node "c" "3.0" ]
+  in
+  let order = List.map (fun (n : Spec.concrete_node) -> n.Spec.name) (Spec.concrete_nodes c) in
+  Alcotest.(check string) "root first" "a" (List.hd order);
+  Alcotest.(check int) "three nodes" 3 (List.length order)
+
+let test_concrete_validation () =
+  (match Spec.make_concrete ~root:"a" [ node "a" "1.0" ~depends:[ "ghost" ] ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "dangling edge accepted");
+  match
+    Spec.make_concrete ~root:"a"
+      [ node "a" "1.0" ~depends:[ "b" ]; node "b" "1.0" ~depends:[ "a" ] ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "cycle accepted"
+
+let test_hash_stability () =
+  let c1 =
+    Spec.make_concrete ~root:"a" [ node "a" "1.0" ~depends:[ "b" ]; node "b" "2.0" ]
+  in
+  let c2 =
+    Spec.make_concrete ~root:"a" [ node "b" "2.0"; node "a" "1.0" ~depends:[ "b" ] ]
+  in
+  Alcotest.(check string) "order-independent" (Spec.node_hash c1 "a") (Spec.node_hash c2 "a");
+  let c3 =
+    Spec.make_concrete ~root:"a" [ node "a" "1.0" ~depends:[ "b" ]; node "b" "2.1" ]
+  in
+  Alcotest.(check bool) "dep change changes root hash" false
+    (String.equal (Spec.node_hash c1 "a") (Spec.node_hash c3 "a"));
+  Alcotest.(check bool) "but b hashes differ too" false
+    (String.equal (Spec.node_hash c1 "b") (Spec.node_hash c3 "b"))
+
+let test_node_satisfies () =
+  let n = node "hdf5" "1.10.2" ~variants:[ ("mpi", "true") ] in
+  let sat s expect =
+    Alcotest.(check bool) s expect
+      (Spec.node_satisfies n (Spec_parser.parse s).Spec.aroot)
+  in
+  sat "hdf5@1.10" true;
+  sat "hdf5@1.11:" false;
+  sat "hdf5+mpi" true;
+  sat "hdf5~mpi" false;
+  sat "hdf5%gcc" true;
+  sat "hdf5%clang" false;
+  sat "hdf5 target=skylake" true;
+  sat "hdf5 target=x86_64:" true;
+  sat "hdf5 target=aarch64:" false
+
+(* property: parse/print roundtrip on generated abstract specs *)
+let gen_abstract =
+  let open QCheck in
+  let name = Gen.oneofl [ "hdf5"; "zlib"; "mpich"; "pkg-a"; "x_y" ] in
+  let gnode =
+    Gen.map2
+      (fun n ver ->
+        { (Spec.empty_node n) with Spec.cversion = Option.map Vrange.of_string ver })
+      name
+      (Gen.opt (Gen.oneofl [ "1.2"; "1.0:"; ":2.0"; "1.2:1.5" ]))
+  in
+  make
+    ~print:Spec.abstract_to_string
+    (Gen.map2 (fun r deps -> { Spec.aroot = r; adeps = deps }) gnode
+       (Gen.list_size (Gen.int_range 0 3) gnode))
+
+let prop_spec_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"abstract spec print/parse roundtrip" gen_abstract
+    (fun a ->
+      let s = Spec.abstract_to_string a in
+      String.equal s (Spec.abstract_to_string (Spec_parser.parse s)))
+
+let gen_version =
+  QCheck.make ~print:Fun.id
+    QCheck.Gen.(
+      map (String.concat ".")
+        (list_size (int_range 1 4) (map string_of_int (int_range 0 30))))
+
+let gen_range =
+  QCheck.make ~print:Fun.id
+    QCheck.Gen.(
+      let ver = map (String.concat ".") (list_size (int_range 1 3) (map string_of_int (int_range 0 9))) in
+      oneof
+        [
+          ver;
+          map (fun v -> v ^ ":") ver;
+          map (fun v -> ":" ^ v) ver;
+          map2 (fun a b -> a ^ ":" ^ b) ver ver;
+        ])
+
+let prop_satisfies_implies_intersects =
+  QCheck.Test.make ~count:300 ~name:"satisfies implies intersects with the exact range"
+    (QCheck.pair gen_range gen_version) (fun (r, ver) ->
+      let range = Vrange.of_string r in
+      let version = v ver in
+      (not (Vrange.satisfies range version))
+      || Vrange.intersects range (Vrange.exactly version))
+
+let prop_any_satisfies_everything =
+  QCheck.Test.make ~count:100 ~name:"the universal range admits every version" gen_version
+    (fun ver -> Vrange.satisfies Vrange.any (v ver))
+
+let prop_version_total_order =
+  QCheck.Test.make ~count:300 ~name:"version compare is a total order"
+    (QCheck.triple gen_version gen_version gen_version) (fun (a, b, c) ->
+      let va = v a and vb = v b and vc = v c in
+      let sgn x = compare x 0 in
+      sgn (Version.compare va vb) = -sgn (Version.compare vb va)
+      && ((not (Version.compare va vb <= 0 && Version.compare vb vc <= 0))
+         || Version.compare va vc <= 0))
+
+let () =
+  let props =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_spec_roundtrip;
+        prop_version_total_order;
+        prop_satisfies_implies_intersects;
+        prop_any_satisfies_everything;
+      ]
+  in
+  Alcotest.run "specs"
+    [
+      ( "versions",
+        [
+          Alcotest.test_case "ordering" `Quick test_version_order;
+          Alcotest.test_case "prefix" `Quick test_version_prefix;
+          Alcotest.test_case "ranges" `Quick test_vrange;
+          Alcotest.test_case "intersection" `Quick test_vrange_intersects;
+        ] );
+      ( "targets",
+        [
+          Alcotest.test_case "lattice" `Quick test_target_lattice;
+          Alcotest.test_case "compiler support" `Quick test_compiler_support;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "sigils" `Quick test_parse_sigils;
+          Alcotest.test_case "dependencies" `Quick test_parse_deps;
+          Alcotest.test_case "arch triple" `Quick test_parse_arch_triple;
+          Alcotest.test_case "chained variants" `Quick test_parse_chained_variants;
+          Alcotest.test_case "compiler flags" `Quick test_parse_flags;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+        ] );
+      ( "concrete",
+        [
+          Alcotest.test_case "dag" `Quick test_concrete_dag;
+          Alcotest.test_case "validation" `Quick test_concrete_validation;
+          Alcotest.test_case "hash stability" `Quick test_hash_stability;
+          Alcotest.test_case "satisfies" `Quick test_node_satisfies;
+        ] );
+      ("properties", props);
+    ]
