@@ -7,12 +7,14 @@
      dune exec bench/main.exe -- fig7d fig6   # a subset
      dune exec bench/main.exe -- micro        # Bechamel micro-benchmarks
      dune exec bench/main.exe -- --quick      # reduced sizes (CI-friendly)
+     dune exec bench/main.exe -- --json F.json  # also dump per-solve timings
 
    Absolute times differ from the paper (different machine, OCaml solver vs
    clingo); the reproduction targets are the *shapes*: cluster structure,
    preset ordering, reuse counts, CDF shifts with buildcache size. *)
 
 let quick = ref false
+let json_file : string option ref = ref None
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -180,23 +182,64 @@ type row = {
   total_t : float;
 }
 
+(* Every solve performed by any experiment is recorded here, tagged with the
+   experiment currently running, and dumped at exit when --json was given. *)
+let current_experiment = ref ""
+let recorded_rows : (string * row) list ref = ref []
+
 let solve_rows ?config ?installed names =
-  List.filter_map
-    (fun pkg ->
-      match Concretize.Concretizer.solve_spec ?config ?installed ~repo pkg with
-      | Concretize.Concretizer.Concrete s ->
-        let p = s.Concretize.Concretizer.phases in
-        Some
-          {
-            pkg;
-            possible = s.Concretize.Concretizer.n_possible;
-            ground_t = p.Concretize.Concretizer.ground_time;
-            solve_t = p.Concretize.Concretizer.solve_time;
-            total_t = Concretize.Concretizer.total p;
-          }
-      | Concretize.Concretizer.Unsatisfiable _ -> None
-      | exception Concretize.Facts.Unknown_package _ -> None)
-    names
+  let rows =
+    List.filter_map
+      (fun pkg ->
+        match Concretize.Concretizer.solve_spec ?config ?installed ~repo pkg with
+        | Concretize.Concretizer.Concrete s ->
+          let p = s.Concretize.Concretizer.phases in
+          Some
+            {
+              pkg;
+              possible = s.Concretize.Concretizer.n_possible;
+              ground_t = p.Concretize.Concretizer.ground_time;
+              solve_t = p.Concretize.Concretizer.solve_time;
+              total_t = Concretize.Concretizer.total p;
+            }
+        | Concretize.Concretizer.Unsatisfiable _ -> None
+        | exception Concretize.Facts.Unknown_package _ -> None)
+      names
+  in
+  if !json_file <> None then
+    recorded_rows :=
+      List.rev_append (List.map (fun r -> (!current_experiment, r)) rows) !recorded_rows;
+  rows
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path =
+  let oc = open_out path in
+  output_string oc "{\n  \"quick\": ";
+  output_string oc (if !quick then "true" else "false");
+  output_string oc ",\n  \"rows\": [\n";
+  let rows = List.rev !recorded_rows in
+  List.iteri
+    (fun i (exp, r) ->
+      Printf.fprintf oc
+        "    {\"experiment\": \"%s\", \"pkg\": \"%s\", \"possible\": %d, \
+         \"ground_s\": %.6f, \"solve_s\": %.6f, \"total_s\": %.6f}%s\n"
+        (json_escape exp) (json_escape r.pkg) r.possible r.ground_t r.solve_t r.total_t
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %d timing rows to %s\n" (List.length rows) path
 
 let sample names = if !quick then List.filteri (fun i _ -> i mod 4 = 0) names else names
 
@@ -557,25 +600,32 @@ let experiments =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--quick" then begin
-          quick := true;
-          false
-        end
-        else true)
-      args
+  let rec parse = function
+    | [] -> []
+    | "--quick" :: rest ->
+      quick := true;
+      parse rest
+    | "--json" :: path :: rest ->
+      json_file := Some path;
+      parse rest
+    | [ "--json" ] ->
+      prerr_endline "--json requires a file argument";
+      exit 2
+    | a :: rest -> a :: parse rest
   in
+  let args = parse args in
   let to_run = match args with [] -> List.map fst experiments | names -> names in
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
-      | Some f -> f ()
+      | Some f ->
+        current_experiment := name;
+        f ()
       | None ->
         Printf.eprintf "unknown experiment %s (available: %s)\n" name
           (String.concat ", " (List.map fst experiments));
         exit 2)
     to_run;
-  Printf.printf "\nall experiments completed in %.1fs\n" (Unix.gettimeofday () -. t0)
+  Printf.printf "\nall experiments completed in %.1fs\n" (Unix.gettimeofday () -. t0);
+  match !json_file with Some path -> write_json path | None -> ()

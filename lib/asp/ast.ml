@@ -34,8 +34,8 @@ type min_elem = {
 type statement = Rule of rule | Minimize of min_elem list | Show of (string * int) option
 type program = statement list
 
-let cst_str s = Cst (Term.Str s)
-let cst_int i = Cst (Term.Int i)
+let cst_str s = Cst (Term.str s)
+let cst_int i = Cst (Term.int i)
 let var v = Var v
 let atom pred args = { pred; args }
 let fact p args = Rule { head = Head_atom (atom p (List.map (fun t -> Cst t) args)); body = [] }

@@ -1,6 +1,10 @@
 type t = { pred : string; args : Term.t list }
 
-let equal a b = String.equal a.pred b.pred && List.equal Term.equal a.args b.args
+(* Terms are hash-consed, so argument comparison is pointer equality and
+   [Term.hash] is a field read: both operations are O(arity) with no
+   recursion into term structure. *)
+let equal a b =
+  a == b || (String.equal a.pred b.pred && List.equal Term.equal a.args b.args)
 
 let hash a =
   List.fold_left (fun acc t -> (acc * 31) + Term.hash t) (Hashtbl.hash a.pred) a.args
@@ -38,10 +42,13 @@ module Store = struct
 
     let equal a b =
       a.karity = b.karity && a.kpos = b.kpos
-      && String.equal a.kpred b.kpred
       && Term.equal a.kvalue b.kvalue
+      && String.equal a.kpred b.kpred
 
-    let hash k = Hashtbl.hash (k.kpred, k.karity, k.kpos, Term.hash k.kvalue)
+    (* id-based, non-allocating: the interned term id discriminates values *)
+    let hash k =
+      (((((Hashtbl.hash k.kpred * 31) + k.karity) * 31) + k.kpos) * 31)
+      + Term.id k.kvalue
   end)
 
   type t = {

@@ -5,46 +5,129 @@ type stats = { possible_atoms : int; ground_rules : int; fixpoint_rounds : int }
 let errf fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
 
 (* ------------------------------------------------------------------ *)
+(* Compiled patterns: variables resolved to dense per-rule slots.       *)
+(* ------------------------------------------------------------------ *)
+
+(* Rules are compiled once before grounding: every variable becomes an
+   integer slot into the substitution array, so the inner join loops never
+   touch variable names (the source name is kept for error messages only). *)
+type cterm =
+  | C_cst of Term.t
+  | C_var of int * string  (** slot, source name *)
+  | C_binop of Ast.binop * cterm * cterm
+  | C_interval of cterm * cterm
+  | C_fn of string * cterm list
+
+type catom = { cpred : string; carity : int; cargs : cterm list }
+
+type cx = { ctbl : (string, int) Hashtbl.t; mutable nvars : int }
+
+let new_cx () = { ctbl = Hashtbl.create 16; nvars = 0 }
+
+let slot cx v =
+  match Hashtbl.find_opt cx.ctbl v with
+  | Some i -> i
+  | None ->
+    let i = cx.nvars in
+    cx.nvars <- i + 1;
+    Hashtbl.add cx.ctbl v i;
+    i
+
+let rec compile_term cx = function
+  | Ast.Cst c -> C_cst c
+  | Ast.Var v -> C_var (slot cx v, v)
+  | Ast.Binop (op, a, b) -> C_binop (op, compile_term cx a, compile_term cx b)
+  | Ast.Interval (a, b) -> C_interval (compile_term cx a, compile_term cx b)
+  | Ast.Fn (f, args) -> C_fn (f, List.map (compile_term cx) args)
+
+let compile_atom cx (a : Ast.atom) =
+  {
+    cpred = a.Ast.pred;
+    carity = List.length a.Ast.args;
+    cargs = List.map (compile_term cx) a.Ast.args;
+  }
+
+let rec pp_cterm ppf = function
+  | C_cst c -> Term.pp ppf c
+  | C_var (_, v) -> Format.pp_print_string ppf v
+  | C_binop (op, a, b) ->
+    let op =
+      match op with
+      | Ast.Add -> "+"
+      | Ast.Sub -> "-"
+      | Ast.Mul -> "*"
+      | Ast.Div -> "/"
+      | Ast.Mod -> "\\"
+    in
+    Format.fprintf ppf "(%a%s%a)" pp_cterm a op pp_cterm b
+  | C_interval (a, b) -> Format.fprintf ppf "%a..%a" pp_cterm a pp_cterm b
+  | C_fn (f, args) ->
+    Format.fprintf ppf "%s(%a)" f
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+         pp_cterm)
+      args
+
+let pp_catom ppf a =
+  match a.cargs with
+  | [] -> Format.pp_print_string ppf a.cpred
+  | _ ->
+    Format.fprintf ppf "%s(%a)" a.cpred
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+         pp_cterm)
+      a.cargs
+
+(* ------------------------------------------------------------------ *)
 (* Substitution environments with trailing for cheap undo.             *)
 (* ------------------------------------------------------------------ *)
 
 module Env = struct
-  type t = { tbl : (string, Term.t) Hashtbl.t; trail : string Vec.t }
+  type t = { mutable slots : Term.t option array; trail : int Vec.t }
 
-  let create () = { tbl = Hashtbl.create 16; trail = Vec.create ~dummy:"" () }
+  let create () = { slots = Array.make 64 None; trail = Vec.create ~dummy:0 () }
+
+  let ensure env n =
+    if Array.length env.slots < n then begin
+      let ns = Array.make (max n (2 * Array.length env.slots)) None in
+      Array.blit env.slots 0 ns 0 (Array.length env.slots);
+      env.slots <- ns
+    end
+
   let mark env = Vec.length env.trail
 
   let undo env m =
     while Vec.length env.trail > m do
-      Hashtbl.remove env.tbl (Vec.pop env.trail)
+      env.slots.(Vec.pop env.trail) <- None
     done
 
+  (* terms are interned, so the conflict check is pointer equality *)
   let bind env v t =
-    match Hashtbl.find_opt env.tbl v with
+    match Array.unsafe_get env.slots v with
     | Some t' -> Term.equal t t'
     | None ->
-      Hashtbl.add env.tbl v t;
+      Array.unsafe_set env.slots v (Some t);
       Vec.push env.trail v;
       true
 
-  let lookup env v = Hashtbl.find_opt env.tbl v
+  let lookup env v = Array.unsafe_get env.slots v
 end
 
 (* Evaluate a term under an environment; [None] if a variable is unbound. *)
-let rec eval env (t : Ast.term) : Term.t option =
+let rec eval env (t : cterm) : Term.t option =
   match t with
-  | Ast.Cst c -> Some c
-  | Ast.Var v -> Env.lookup env v
-  | Ast.Interval _ -> errf "intervals are only supported in fact arguments"
-  | Ast.Fn (f, args) ->
+  | C_cst c -> Some c
+  | C_var (v, _) -> Env.lookup env v
+  | C_interval _ -> errf "intervals are only supported in fact arguments"
+  | C_fn (f, args) ->
     let rec all acc = function
       | [] -> Some (List.rev acc)
       | t :: rest -> ( match eval env t with Some v -> all (v :: acc) rest | None -> None)
     in
-    Option.map (fun vs -> Term.Fun (f, vs)) (all [] args)
-  | Ast.Binop (op, a, b) -> (
+    Option.map (fun vs -> Term.fun_ f vs) (all [] args)
+  | C_binop (op, a, b) -> (
     match (eval env a, eval env b) with
-    | Some (Term.Int x), Some (Term.Int y) ->
+    | Some { Term.node = Term.Int x; _ }, Some { Term.node = Term.Int y; _ } ->
       let r =
         match op with
         | Ast.Add -> x + y
@@ -54,7 +137,7 @@ let rec eval env (t : Ast.term) : Term.t option =
           if y = 0 then errf "division by zero in grounding" else x / y
         | Ast.Mod -> if y = 0 then errf "modulo by zero in grounding" else x mod y
       in
-      Some (Term.Int r)
+      Some (Term.int r)
     | Some a', Some b' ->
       errf "arithmetic on non-integer terms %a, %a" Term.pp a' Term.pp b'
     | _ -> None)
@@ -62,23 +145,25 @@ let rec eval env (t : Ast.term) : Term.t option =
 let eval_exn env ctx t =
   match eval env t with
   | Some v -> v
-  | None -> errf "unsafe rule: unbound variable in %s (%a)" ctx Ast.pp_term t
+  | None -> errf "unsafe rule: unbound variable in %s (%a)" ctx pp_cterm t
 
 (* Match pattern term [p] against ground value [v], extending [env]. *)
-let rec match_term env (p : Ast.term) (v : Term.t) =
-  match (p, v) with
-  | Ast.Cst c, v -> Term.equal c v
-  | Ast.Var x, v -> Env.bind env x v
-  | Ast.Fn (f, args), Term.Fun (g, vals) ->
-    String.equal f g
-    && List.length args = List.length vals
-    && List.for_all2 (fun p v -> match_term env p v) args vals
-  | Ast.Fn _, _ -> false
-  | (Ast.Binop _ | Ast.Interval _), v -> (
+let rec match_term env (p : cterm) (v : Term.t) =
+  match p with
+  | C_cst c -> Term.equal c v
+  | C_var (x, _) -> Env.bind env x v
+  | C_fn (f, args) -> (
+    match Term.node v with
+    | Term.Fun (g, vals) ->
+      String.equal f g
+      && List.length args = List.length vals
+      && List.for_all2 (fun p v -> match_term env p v) args vals
+    | _ -> false)
+  | C_binop _ | C_interval _ -> (
     match eval env p with Some pv -> Term.equal pv v | None -> false)
 
-let match_atom env (pat : Ast.atom) (ga : Gatom.t) =
-  List.for_all2 (fun p v -> match_term env p v) pat.Ast.args ga.Gatom.args
+let match_atom env (pat : catom) (ga : Gatom.t) =
+  List.for_all2 (fun p v -> match_term env p v) pat.cargs ga.Gatom.args
 
 let eval_cmp c (a : Term.t) (b : Term.t) =
   let k = Term.compare a b in
@@ -95,20 +180,21 @@ let eval_cmp c (a : Term.t) (b : Term.t) =
 (* ------------------------------------------------------------------ *)
 
 type split_body = {
-  b_pos : Ast.atom array;
-  b_cmps : (Ast.cmp * Ast.term * Ast.term) array;
-  b_foralls : (Ast.atom * Ast.atom list) array;
-  b_negs : Ast.atom array;
+  b_pos : catom array;
+  b_cmps : (Ast.cmp * cterm * cterm) array;
+  b_foralls : (catom * catom list) array;
+  b_negs : catom array;
 }
 
-let split_body (body : Ast.body_lit list) =
+let split_body cx (body : Ast.body_lit list) =
   let pos = ref [] and cmps = ref [] and foralls = ref [] and negs = ref [] in
   List.iter
     (function
-      | Ast.Pos a -> pos := a :: !pos
-      | Ast.Neg a -> negs := a :: !negs
-      | Ast.Cmp (c, x, y) -> cmps := (c, x, y) :: !cmps
-      | Ast.Forall (a, conds) -> foralls := (a, conds) :: !foralls)
+      | Ast.Pos a -> pos := compile_atom cx a :: !pos
+      | Ast.Neg a -> negs := compile_atom cx a :: !negs
+      | Ast.Cmp (c, x, y) -> cmps := (c, compile_term cx x, compile_term cx y) :: !cmps
+      | Ast.Forall (a, conds) ->
+        foralls := (compile_atom cx a, List.map (compile_atom cx) conds) :: !foralls)
     body;
   {
     b_pos = Array.of_list (List.rev !pos);
@@ -117,11 +203,49 @@ let split_body (body : Ast.body_lit list) =
     b_negs = Array.of_list (List.rev !negs);
   }
 
+(* Compiled choice element; [ce_bad] carries the rendering of a non-positive
+   guard literal, reported (like the interpreter used to) only when the
+   element is actually derived. *)
+type celem = { ce_elem : catom; ce_guard : catom list; ce_bad : string option }
+
+type chead =
+  | C_none
+  | C_atom of catom
+  | C_choice of { c_lb : cterm option; c_ub : cterm option; c_elems : celem list }
+
 type compiled = {
-  c_head : Ast.head;
+  c_head : chead;
   c_body : split_body;
   c_text : string;  (** for error messages *)
+  c_nvars : int;
 }
+
+let compile_head cx = function
+  | Ast.Head_none -> C_none
+  | Ast.Head_atom a -> C_atom (compile_atom cx a)
+  | Ast.Head_choice { lb; ub; elems } ->
+    let celems =
+      List.map
+        (fun { Ast.elem; guard } ->
+          let bad =
+            List.find_map
+              (function Ast.Pos _ -> None | l -> Some (Format.asprintf "%a" Ast.pp_body_lit l))
+              guard
+          in
+          let conds =
+            List.filter_map
+              (function Ast.Pos a -> Some (compile_atom cx a) | _ -> None)
+              guard
+          in
+          { ce_elem = compile_atom cx elem; ce_guard = conds; ce_bad = bad })
+        elems
+    in
+    C_choice
+      {
+        c_lb = Option.map (compile_term cx) lb;
+        c_ub = Option.map (compile_term cx) ub;
+        c_elems = celems;
+      }
 
 (* ------------------------------------------------------------------ *)
 (* The grounding state.                                                *)
@@ -133,30 +257,27 @@ type state = {
   idb : (string * int, unit) Hashtbl.t;  (** predicates with rule-defined heads *)
 }
 
-let arity (a : Ast.atom) = List.length a.Ast.args
-
-let is_edb st (a : Ast.atom) = not (Hashtbl.mem st.idb (a.Ast.pred, arity a))
+let is_edb st (a : catom) = not (Hashtbl.mem st.idb (a.cpred, a.carity))
 
 (* Candidate atom ids for a positive atom pattern under the current env.
    Picks the most selective index among argument positions whose pattern is
    already ground. *)
-let candidates st (pat : Ast.atom) : int Vec.t =
-  let ar = arity pat in
+let candidates st (pat : catom) : int Vec.t =
   let best = ref None in
   List.iteri
     (fun pos p ->
       match eval st.env p with
       | Some v ->
-        let c = Gatom.Store.by_pred_arg st.store pat.Ast.pred ar ~pos ~value:v in
+        let c = Gatom.Store.by_pred_arg st.store pat.cpred pat.carity ~pos ~value:v in
         let n = Vec.length c in
         (match !best with
         | Some (m, _) when m <= n -> ()
         | _ -> best := Some (n, c))
       | None -> ())
-    pat.Ast.args;
+    pat.cargs;
   match !best with
   | Some (_, c) -> c
-  | None -> Gatom.Store.by_pred st.store pat.Ast.pred ar
+  | None -> Gatom.Store.by_pred st.store pat.cpred pat.carity
 
 (* Enumerate all substitutions satisfying the positive atoms and comparisons
    of [body] over the possible-atom store.  [delta] optionally restricts one
@@ -234,11 +355,11 @@ let enumerate st (body : split_body) ?delta (k : int array -> unit) =
 (* Enumerate EDB-guard matches: used for Forall conditions and choice-element
    guards.  The guard is a conjunction of atoms over EDB predicates; local
    variables are bound during enumeration.  Calls [k] once per match. *)
-let enumerate_guard st (conds : Ast.atom list) rule_text (k : unit -> unit) =
+let enumerate_guard st (conds : catom list) rule_text (k : unit -> unit) =
   List.iter
     (fun c ->
       if not (is_edb st c) then
-        errf "condition %a in %s must range over fact-only predicates" Ast.pp_atom c
+        errf "condition %a in %s must range over fact-only predicates" pp_catom c
           rule_text)
     conds;
   let rec go = function
@@ -256,8 +377,8 @@ let enumerate_guard st (conds : Ast.atom list) rule_text (k : unit -> unit) =
     in
   go conds
 
-let ground_atom st ctx (a : Ast.atom) : Gatom.t =
-  Gatom.make a.Ast.pred (List.map (fun t -> eval_exn st.env ctx t) a.Ast.args)
+let ground_atom st ctx (a : catom) : Gatom.t =
+  Gatom.make a.cpred (List.map (fun t -> eval_exn st.env ctx t) a.cargs)
 
 (* ------------------------------------------------------------------ *)
 (* Phase 1: possible-atom closure.                                     *)
@@ -267,24 +388,19 @@ let ground_atom st ctx (a : Ast.atom) : Gatom.t =
    store (optimistic w.r.t. negation and Forall targets). *)
 let derive_heads st (rule : compiled) =
   match rule.c_head with
-  | Ast.Head_none -> ()
-  | Ast.Head_atom a ->
+  | C_none -> ()
+  | C_atom a ->
     ignore (Gatom.Store.intern st.store (ground_atom st rule.c_text a))
-  | Ast.Head_choice { elems; _ } ->
+  | C_choice { c_elems; _ } ->
     List.iter
-      (fun { Ast.elem; guard } ->
-        let conds =
-          List.map
-            (function
-              | Ast.Pos a -> a
-              | l ->
-                errf "choice guard %a in %s must be a positive atom" Ast.pp_body_lit l
-                  rule.c_text)
-            guard
-        in
-        enumerate_guard st conds rule.c_text (fun () ->
-            ignore (Gatom.Store.intern st.store (ground_atom st rule.c_text elem))))
-      elems
+      (fun { ce_elem; ce_guard; ce_bad } ->
+        (match ce_bad with
+        | Some l ->
+          errf "choice guard %s in %s must be a positive atom" l rule.c_text
+        | None -> ());
+        enumerate_guard st ce_guard rule.c_text (fun () ->
+            ignore (Gatom.Store.intern st.store (ground_atom st rule.c_text ce_elem))))
+      c_elems
 
 let possible_closure st (rules : compiled list) =
   let nfacts = Gatom.Store.count st.store in
@@ -344,7 +460,7 @@ let bound_value st rule_text = function
   | None -> None
   | Some t -> (
     match eval_exn st.env ("cardinality bound of " ^ rule_text) t with
-    | Term.Int n -> Some n
+    | { Term.node = Term.Int n; _ } -> Some n
     | t -> errf "cardinality bound %a in %s is not an integer" Term.pp t rule_text)
 
 let emit_rules st (out : Ground.t) (rules : compiled list) =
@@ -355,32 +471,27 @@ let emit_rules st (out : Ground.t) (rules : compiled list) =
           | exception Drop_instance -> ()
           | body -> (
             match r.c_head with
-            | Ast.Head_none ->
+            | C_none ->
               if Ground.body_size body = 0 then out.Ground.inconsistent <- true
               else Vec.push out.Ground.rules (Ground.Rconstraint body)
-            | Ast.Head_atom a -> (
+            | C_atom a -> (
               let ga = ground_atom st r.c_text a in
               let id = Gatom.Store.intern st.store ga in
               if not (Gatom.Store.is_fact st.store id) then
                 if Ground.body_size body = 0 then Gatom.Store.mark_fact st.store id
                 else Vec.push out.Ground.rules (Ground.Rnormal (id, body)))
-            | Ast.Head_choice { lb; ub; elems } ->
-              let lb = bound_value st r.c_text lb in
-              let ub = bound_value st r.c_text ub in
+            | C_choice { c_lb; c_ub; c_elems } ->
+              let lb = bound_value st r.c_text c_lb in
+              let ub = bound_value st r.c_text c_ub in
               let heads = ref [] in
               List.iter
-                (fun { Ast.elem; guard } ->
-                  let conds =
-                    List.filter_map
-                      (function Ast.Pos a -> Some a | _ -> None)
-                      guard
-                  in
-                  enumerate_guard st conds r.c_text (fun () ->
-                      let ga = ground_atom st r.c_text elem in
+                (fun { ce_elem; ce_guard; ce_bad = _ } ->
+                  enumerate_guard st ce_guard r.c_text (fun () ->
+                      let ga = ground_atom st r.c_text ce_elem in
                       match Gatom.Store.find st.store ga with
                       | Some id -> heads := id :: !heads
                       | None -> heads := Gatom.Store.intern st.store ga :: !heads))
-                elems;
+                c_elems;
               let heads = Array.of_list (List.sort_uniq Int.compare !heads) in
               if Array.length heads = 0 then begin
                 match lb with
@@ -394,39 +505,64 @@ let emit_rules st (out : Ground.t) (rules : compiled list) =
                   (Ground.Rchoice { lb; ub; heads; cbody = body }))))
     rules
 
-let emit_minimize st (out : Ground.t) (elems : Ast.min_elem list list) =
+(* Compiled minimize element: weight/priority/tuple plus its guard body. *)
+type cmin = {
+  cm_weight : cterm;
+  cm_priority : cterm;
+  cm_tuple : cterm list;
+  cm_body : split_body;
+  cm_nvars : int;
+}
+
+let compile_min_elem ({ Ast.weight; priority; tuple; guard } : Ast.min_elem) =
+  let cx = new_cx () in
+  {
+    cm_weight = compile_term cx weight;
+    cm_priority = compile_term cx priority;
+    cm_tuple = List.map (compile_term cx) tuple;
+    cm_body = split_body cx guard;
+    cm_nvars = cx.nvars;
+  }
+
+let emit_minimize st (out : Ground.t) (groups : cmin list list) =
   List.iter
     (fun group ->
       List.iter
-        (fun { Ast.weight; priority; tuple; guard } ->
-          let body = split_body guard in
-          enumerate st body (fun matched ->
-              match resolve_body st body matched with
+        (fun m ->
+          Env.ensure st.env m.cm_nvars;
+          enumerate st m.cm_body (fun matched ->
+              match resolve_body st m.cm_body matched with
               | exception Drop_instance -> ()
               | mbody ->
                 let w =
-                  match eval_exn st.env "minimize weight" weight with
-                  | Term.Int n -> n
+                  match eval_exn st.env "minimize weight" m.cm_weight with
+                  | { Term.node = Term.Int n; _ } -> n
                   | t -> errf "minimize weight %a is not an integer" Term.pp t
                 in
                 let p =
-                  match eval_exn st.env "minimize priority" priority with
-                  | Term.Int n -> n
+                  match eval_exn st.env "minimize priority" m.cm_priority with
+                  | { Term.node = Term.Int n; _ } -> n
                   | t -> errf "minimize priority %a is not an integer" Term.pp t
                 in
-                let tup = List.map (fun t -> eval_exn st.env "minimize tuple" t) tuple in
+                let tup =
+                  List.map (fun t -> eval_exn st.env "minimize tuple" t) m.cm_tuple
+                in
                 Vec.push out.Ground.minimize
                   { Ground.mweight = w; mpriority = p; mtuple = tup; mbody }))
         group)
-    elems
+    groups
 
 (* ------------------------------------------------------------------ *)
 (* Entry point.                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let check_safety (r : compiled) =
+(* Safety runs on the source rule (variable names are needed for messages)
+   before compilation to slots. *)
+let check_safety text (head : Ast.head) (body : Ast.body_lit list) =
   let bound =
-    List.concat_map Ast.atom_vars (Array.to_list r.c_body.b_pos)
+    List.concat_map
+      (function Ast.Pos a -> Ast.atom_vars a | _ -> [])
+      body
   in
   let bound = List.sort_uniq String.compare bound in
   let is_bound v = List.mem v bound in
@@ -435,12 +571,16 @@ let check_safety (r : compiled) =
       (fun v ->
         if not (is_bound v) then
           errf "unsafe rule %s: variable %s in %s not bound by a positive body literal"
-            r.c_text v ctx)
+            text v ctx)
       vars
   in
-  Array.iter (fun a -> check_vars "negative literal" (Ast.atom_vars a)) r.c_body.b_negs;
+  List.iter
+    (function
+      | Ast.Neg a -> check_vars "negative literal" (Ast.atom_vars a)
+      | _ -> ())
+    body;
   (* head variables must be bound, except choice-element locals bound by guards *)
-  match r.c_head with
+  match head with
   | Ast.Head_none -> ()
   | Ast.Head_atom a -> check_vars "rule head" (Ast.atom_vars a)
   | Ast.Head_choice { elems; _ } ->
@@ -457,9 +597,15 @@ let check_safety (r : compiled) =
               errf
                 "unsafe rule %s: choice variable %s bound neither by the body nor by \
                  its guard"
-                r.c_text v)
+                text v)
           (Ast.atom_vars elem))
       elems
+
+(* Evaluate a ground (variable-free) fact argument. *)
+let eval_ground_arg t =
+  let cx = new_cx () in
+  let ct = compile_term cx t in
+  eval (Env.create ()) ct
 
 let ground (prog : Ast.program) : Ground.t * stats =
   let store = Gatom.Store.create () in
@@ -470,7 +616,7 @@ let ground (prog : Ast.program) : Ground.t * stats =
     (fun stmt ->
       match stmt with
       | Ast.Show _ -> ()
-      | Ast.Minimize elems -> minimizes := elems :: !minimizes
+      | Ast.Minimize elems -> minimizes := List.map compile_min_elem elems :: !minimizes
       | Ast.Rule ({ head; body } as r) ->
         if Ast.statement_is_fact stmt then begin
           match head with
@@ -481,15 +627,15 @@ let ground (prog : Ast.program) : Ground.t * stats =
               | Ast.Interval (lo, hi) -> (
                 let ev t =
                   match t with
-                  | Ast.Cst (Term.Int i) -> i
+                  | Ast.Cst { Term.node = Term.Int i; _ } -> i
                   | Ast.Cst c -> errf "interval bound %a is not an integer" Term.pp c
                   | t -> errf "interval bound %a is not ground" Ast.pp_term t
                 in
                 let lo = ev lo and hi = ev hi in
                 if lo > hi then []
-                else List.init (hi - lo + 1) (fun k -> Term.Int (lo + k)))
+                else List.init (hi - lo + 1) (fun k -> Term.int (lo + k)))
               | (Ast.Binop _ | Ast.Fn _) as t -> (
-                match eval (Env.create ()) t with
+                match eval_ground_arg t with
                 | Some c -> [ c ]
                 | None -> errf "non-ground fact argument %a" Ast.pp_term t)
               | Ast.Var _ as t -> errf "non-ground fact argument %a" Ast.pp_term t
@@ -508,20 +654,26 @@ let ground (prog : Ast.program) : Ground.t * stats =
         end
         else begin
           List.iter
-            (fun a -> Hashtbl.replace st.idb (a.Ast.pred, arity a) ())
+            (fun (a : Ast.atom) ->
+              Hashtbl.replace st.idb (a.Ast.pred, List.length a.Ast.args) ())
             (Ast.head_atoms head);
+          let text = Format.asprintf "%a" Ast.pp_statement (Ast.Rule r) in
+          check_safety text head body;
+          let cx = new_cx () in
           let c =
             {
-              c_head = head;
-              c_body = split_body body;
-              c_text = Format.asprintf "%a" Ast.pp_statement (Ast.Rule r);
+              c_head = compile_head cx head;
+              c_body = split_body cx body;
+              c_text = text;
+              c_nvars = cx.nvars;
             }
           in
-          check_safety c;
           rules := c :: !rules
         end)
     prog;
   let rules = List.rev !rules in
+  let max_nvars = List.fold_left (fun m r -> max m r.c_nvars) 0 rules in
+  Env.ensure st.env max_nvars;
   let rounds = possible_closure st rules in
   let out = Ground.create store in
   emit_rules st out rules;

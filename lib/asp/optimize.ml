@@ -2,15 +2,31 @@ type level = { priority : int; entries : (int * Sat.lit) list; offset : int }
 
 type group_key = { gprio : int; gweight : int; gtuple : Term.t list }
 
+(* Group keys hash and compare through interned term ids: no structural
+   recursion into (possibly nested) tuple terms. *)
+module G = Hashtbl.Make (struct
+  type t = group_key
+
+  let equal a b =
+    a.gprio = b.gprio && a.gweight = b.gweight
+    && List.equal Term.equal a.gtuple b.gtuple
+
+  let hash k =
+    List.fold_left
+      (fun acc t -> (acc * 31) + Term.id t)
+      ((k.gprio * 31) + k.gweight)
+      k.gtuple
+end)
+
 let levels (t : Translate.t) =
   let sat = t.Translate.sat in
-  let groups : (group_key, Ground.body list ref) Hashtbl.t = Hashtbl.create 64 in
+  let groups : Ground.body list ref G.t = G.create 64 in
   Vec.iter
     (fun (m : Ground.min_entry) ->
       let key = { gprio = m.mpriority; gweight = m.mweight; gtuple = m.mtuple } in
-      match Hashtbl.find_opt groups key with
+      match G.find_opt groups key with
       | Some r -> r := m.mbody :: !r
-      | None -> Hashtbl.add groups key (ref [ m.mbody ]))
+      | None -> G.add groups key (ref [ m.mbody ]))
     t.Translate.ground.Ground.minimize;
   (* indicator literal per group: true iff one of the bodies holds *)
   let by_priority : (int, (int * Sat.lit) list ref * int ref) Hashtbl.t =
@@ -24,7 +40,7 @@ let levels (t : Translate.t) =
       Hashtbl.add by_priority prio slot;
       slot
   in
-  Hashtbl.iter
+  G.iter
     (fun key bodies ->
       let entries, offset = level_slot key.gprio in
       let inds = List.map (Translate.body_indicator t) !bodies in

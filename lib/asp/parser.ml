@@ -367,7 +367,7 @@ let parse_term src =
   let st = { toks; pos = 0; anon = 0; consts = Hashtbl.create 8 } in
   let rec ground = function
     | Ast.Cst c -> c
-    | Ast.Fn (f, args) -> Term.Fun (f, List.map ground args)
+    | Ast.Fn (f, args) -> Term.fun_ f (List.map ground args)
     | _ -> err st "expected a single ground constant"
   in
   match parse_term_ast st with

@@ -1,28 +1,79 @@
-type t = Int of int | Str of string | Fun of string * t list
+type t = { node : node; id : int; hkey : int }
+and node = Int of int | Str of string | Fun of string * t list
+
+let node t = t.node
+let id t = t.id
+let hash t = t.hkey
+let equal (a : t) (b : t) = a == b
+
+(* Non-allocating structural hash over a single node level: children are
+   already interned, so they contribute their precomputed hashes.  (The
+   previous implementation hashed [(tag, payload)] tuples, allocating one
+   tuple per call in the grounder's innermost loops.) *)
+let[@inline] mix h x = ((h * 0x01000193) lxor x) land max_int
+
+let node_hash = function
+  | Int i -> mix 0x2f i
+  | Str s -> mix 0x3d (Hashtbl.hash s)
+  | Fun (f, args) ->
+    List.fold_left (fun acc a -> mix acc a.hkey) (mix 0x53 (Hashtbl.hash f)) args
+
+(* Shallow equality: sub-terms compare by physical identity, which is sound
+   because every [t] is produced by the interning constructors below. *)
+let rec args_eq xs ys =
+  match (xs, ys) with
+  | [], [] -> true
+  | x :: xs, y :: ys -> x == y && args_eq xs ys
+  | _ -> false
+
+let node_equal a b =
+  match (a, b) with
+  | Int x, Int y -> Int.equal x y
+  | Str x, Str y -> String.equal x y
+  | Fun (f, xs), Fun (g, ys) -> String.equal f g && args_eq xs ys
+  | _ -> false
+
+module H = Hashtbl.Make (struct
+  type t = node
+
+  let equal = node_equal
+  let hash = node_hash
+end)
+
+(* The global hash-cons table.  Terms live for the whole process; ids are
+   dense, start at 0, and never change once assigned. *)
+let table : t H.t = H.create 65536
+let next_id = ref 0
+
+let hashcons node =
+  match H.find_opt table node with
+  | Some t -> t
+  | None ->
+    let t = { node; id = !next_id; hkey = node_hash node } in
+    incr next_id;
+    H.add table node t;
+    t
+
+let int i = hashcons (Int i)
+let str s = hashcons (Str s)
+let fun_ f args = hashcons (Fun (f, args))
+let interned () = !next_id
 
 let rec compare a b =
-  match (a, b) with
-  | Int x, Int y -> Int.compare x y
-  | Int _, _ -> -1
-  | _, Int _ -> 1
-  | Str x, Str y -> String.compare x y
-  | Str _, _ -> -1
-  | _, Str _ -> 1
-  | Fun (f, xs), Fun (g, ys) ->
-    let c = String.compare f g in
-    if c <> 0 then c else List.compare compare xs ys
+  if a == b then 0
+  else
+    match (a.node, b.node) with
+    | Int x, Int y -> Int.compare x y
+    | Int _, _ -> -1
+    | _, Int _ -> 1
+    | Str x, Str y -> String.compare x y
+    | Str _, _ -> -1
+    | _, Str _ -> 1
+    | Fun (f, xs), Fun (g, ys) ->
+      let c = String.compare f g in
+      if c <> 0 then c else List.compare compare xs ys
 
-let equal a b = compare a b = 0
-
-let rec hash = function
-  | Int i -> Hashtbl.hash (0, i)
-  | Str s -> Hashtbl.hash (1, s)
-  | Fun (f, args) -> List.fold_left (fun acc t -> (acc * 31) + hash t) (Hashtbl.hash (2, f)) args
-
-let int i = Int i
-let str s = Str s
-let fun_ f args = Fun (f, args)
-let to_int = function Int i -> Some i | _ -> None
+let to_int t = match t.node with Int i -> Some i | _ -> None
 
 let is_ident s =
   s <> ""
@@ -31,7 +82,8 @@ let is_ident s =
        (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
        s
 
-let rec pp ppf = function
+let rec pp ppf t =
+  match t.node with
   | Int i -> Format.pp_print_int ppf i
   | Str s ->
     if is_ident s then Format.pp_print_string ppf s
@@ -41,7 +93,8 @@ let rec pp ppf = function
       (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',') pp)
       args
 
-let to_string = function
+let to_string t =
+  match t.node with
   | Int i -> string_of_int i
   | Str s -> s
-  | Fun _ as t -> Format.asprintf "%a" pp t
+  | Fun _ -> Format.asprintf "%a" pp t

@@ -5,6 +5,25 @@ type support = {
   s_choice : bool;
 }
 
+(* Bodies are deduplicated by their atom-id tuples: plain int-array hashing,
+   no tuple allocation per probe and no polymorphic hash. *)
+module Body_tbl = Hashtbl.Make (struct
+  type t = Ground.body
+
+  let arr_eq (a : int array) (b : int array) =
+    Array.length a = Array.length b
+    &&
+    let rec go i = i < 0 || (Array.unsafe_get a i = Array.unsafe_get b i && go (i - 1)) in
+    go (Array.length a - 1)
+
+  let equal (x : Ground.body) (y : Ground.body) =
+    arr_eq x.Ground.pos y.Ground.pos && arr_eq x.Ground.neg y.Ground.neg
+
+  let arr_hash h a = Array.fold_left (fun acc x -> (acc * 31) + x) h a
+
+  let hash (b : Ground.body) = arr_hash (arr_hash 17 b.Ground.pos) b.Ground.neg
+end)
+
 type t = {
   sat : Sat.t;
   ground : Ground.t;
@@ -12,7 +31,7 @@ type t = {
   supports : support list array;
   tight : bool;
   mutable false_lit : Sat.lit option;  (** lazily created constant-false literal *)
-  body_cache : (int array * int array, Sat.lit option) Hashtbl.t;
+  body_cache : Sat.lit option Body_tbl.t;
 }
 
 let fact t id = Gatom.Store.is_fact t.ground.Ground.store id
@@ -42,7 +61,7 @@ let neg_occurrence t id =
 
 (* Build (or fetch) the indicator literal of a body, with full equivalence. *)
 let body_indicator t (b : Ground.body) =
-  match Hashtbl.find_opt t.body_cache (b.pos, b.neg) with
+  match Body_tbl.find_opt t.body_cache b with
   | Some r -> r
   | None ->
     let lits = ref [] and impossible = ref false in
@@ -74,7 +93,7 @@ let body_indicator t (b : Ground.body) =
           Sat.add_clause t.sat (beta :: List.map Sat.Lit.negate lits);
           Some beta
     in
-    Hashtbl.add t.body_cache (b.pos, b.neg) result;
+    Body_tbl.add t.body_cache b result;
     result
 
 let add_support t id s = t.supports.(id) <- s :: t.supports.(id)
@@ -212,7 +231,7 @@ let translate ?(params = Sat.default_params) (g : Ground.t) =
       supports = Array.make natoms [];
       tight = true;
       false_lit = None;
-      body_cache = Hashtbl.create 256;
+      body_cache = Body_tbl.create 256;
     }
   in
   if g.Ground.inconsistent then Sat.add_clause sat [];

@@ -20,6 +20,9 @@ type support = {
   s_choice : bool;  (** support comes from a choice rule *)
 }
 
+module Body_tbl : Hashtbl.S with type key = Ground.body
+(** Bodies hashed by their atom-id tuples (used to share body auxiliaries). *)
+
 type t = {
   sat : Sat.t;
   ground : Ground.t;
@@ -27,8 +30,7 @@ type t = {
   supports : support list array;  (** ground atom id -> supporting rules *)
   tight : bool;  (** no cycle in the positive dependency graph *)
   mutable false_lit : Sat.lit option;  (** lazily created constant-false literal *)
-  body_cache : (int array * int array, Sat.lit option) Hashtbl.t;
-      (** shared body auxiliaries *)
+  body_cache : Sat.lit option Body_tbl.t;  (** shared body auxiliaries *)
 }
 
 val translate : ?params:Sat.params -> Ground.t -> t

@@ -45,19 +45,20 @@ let apply_phase_hints (t : Asp.Translate.t) =
     | Some id -> Asp.Gatom.Store.is_fact store id
     | None -> false
   in
-  let zero = Asp.Term.Int 0 in
+  let zero = Asp.Term.int 0 in
   for id = 0 to Asp.Gatom.Store.count store - 1 do
     let a = Asp.Gatom.Store.atom store id in
     let preferred =
       match (a.Asp.Gatom.pred, a.Asp.Gatom.args) with
-      | "attr", [ Asp.Term.Str "version"; p; v ] ->
+      | "attr", [ { Asp.Term.node = Asp.Term.Str "version"; _ }; p; v ] ->
         fact_holds "version_declared" [ p; v; zero ]
-      | "attr", [ Asp.Term.Str "variant_value"; p; var; value ] ->
+      | "attr", [ { Asp.Term.node = Asp.Term.Str "variant_value"; _ }; p; var; value ] ->
         fact_holds "variant_default" [ p; var; value ]
-      | "attr", [ Asp.Term.Str "node_target"; _; tgt ] ->
+      | "attr", [ { Asp.Term.node = Asp.Term.Str "node_target"; _ }; _; tgt ] ->
         fact_holds "target_weight" [ tgt; zero ]
-      | "attr", [ Asp.Term.Str "node_os"; _; os ] -> fact_holds "os_weight" [ os; zero ]
-      | "attr", [ Asp.Term.Str "node_compiler_version"; _; c; v ] ->
+      | "attr", [ { Asp.Term.node = Asp.Term.Str "node_os"; _ }; _; os ] ->
+        fact_holds "os_weight" [ os; zero ]
+      | "attr", [ { Asp.Term.node = Asp.Term.Str "node_compiler_version"; _ }; _; c; v ] ->
         fact_holds "compiler_weight" [ c; v; zero ]
       | "provider", [ v; p ] -> fact_holds "provider_weight" [ v; p; zero ]
       | _ -> false

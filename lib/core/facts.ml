@@ -16,8 +16,8 @@ type t = {
 
 exception Unknown_package of string
 
-let str s = Asp.Term.Str s
-let int i = Asp.Term.Int i
+let str s = Asp.Term.str s
+let int i = Asp.Term.int i
 
 (* Mutable generation state. *)
 type gen = {

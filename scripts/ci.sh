@@ -1,0 +1,17 @@
+#!/bin/sh
+# CI entry point: build, run the full test suite, then a quick benchmark
+# smoke test to catch performance-path regressions that type-check fine.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build"
+dune build
+
+echo "== dune runtest"
+dune runtest
+
+echo "== bench smoke (fig3 + fig7d --quick)"
+dune exec bench/main.exe -- fig3 fig7d --quick --json BENCH_ci.json
+
+echo "== ci OK"
