@@ -109,6 +109,7 @@ let table2 () =
   subsection "objective vector of hdf5@1.10.2%gcc@8.5.0 (forces old version + compiler)";
   match Concretize.Concretizer.solve_spec ~repo "hdf5@1.10.2%gcc@8.5.0" with
   | Concretize.Concretizer.Unsatisfiable _ -> print_endline "UNSAT"
+  | Concretize.Concretizer.Interrupted _ -> print_endline "INTERRUPTED"
   | Concretize.Concretizer.Concrete s ->
     Printf.printf "%s"
       (Format.asprintf "%a" Concretize.Criteria.pp_costs s.Concretize.Concretizer.costs)
@@ -149,6 +150,7 @@ let fig6 () =
   (* 6b: solving for reuse *)
   match Concretize.Concretizer.solve_spec ~repo ~installed:db request with
   | Concretize.Concretizer.Unsatisfiable _ -> print_endline "UNSAT"
+  | Concretize.Concretizer.Interrupted _ -> print_endline "INTERRUPTED"
   | Concretize.Concretizer.Concrete s ->
     Printf.printf "(b) solving for reuse: %d reused, %d to build (%s)\n"
       (List.length s.Concretize.Concretizer.reused)
@@ -160,6 +162,7 @@ let fig5 () =
   let db = reuse_cache [ "zlib"; "cmake" ] in
   match Concretize.Concretizer.solve_spec ~repo ~installed:db "h5utils" with
   | Concretize.Concretizer.Unsatisfiable _ -> print_endline "UNSAT"
+  | Concretize.Concretizer.Interrupted _ -> print_endline "INTERRUPTED"
   | Concretize.Concretizer.Concrete s ->
     Printf.printf "%d reused, %d built; objective vector (highest priority first):\n"
       (List.length s.Concretize.Concretizer.reused)
@@ -180,6 +183,7 @@ type row = {
   ground_t : float;
   solve_t : float;
   total_t : float;
+  outcome : string;  (* "optimal" | "degraded" | "interrupted" *)
 }
 
 (* Every solve performed by any experiment is recorded here, tagged with the
@@ -201,6 +205,22 @@ let solve_rows ?config ?installed names =
               ground_t = p.Concretize.Concretizer.ground_time;
               solve_t = p.Concretize.Concretizer.solve_time;
               total_t = Concretize.Concretizer.total p;
+              outcome =
+                (match s.Concretize.Concretizer.quality with
+                | `Optimal -> "optimal"
+                | `Degraded _ -> "degraded");
+            }
+        | Concretize.Concretizer.Interrupted { phases = p; n_possible; _ } ->
+          (* only reachable when a budget is configured; keep the row so
+             --json accounts for every attempted solve *)
+          Some
+            {
+              pkg;
+              possible = n_possible;
+              ground_t = p.Concretize.Concretizer.ground_time;
+              solve_t = p.Concretize.Concretizer.solve_time;
+              total_t = Concretize.Concretizer.total p;
+              outcome = "interrupted";
             }
         | Concretize.Concretizer.Unsatisfiable _ -> None
         | exception Concretize.Facts.Unknown_package _ -> None)
@@ -233,8 +253,10 @@ let write_json path =
     (fun i (exp, r) ->
       Printf.fprintf oc
         "    {\"experiment\": \"%s\", \"pkg\": \"%s\", \"possible\": %d, \
-         \"ground_s\": %.6f, \"solve_s\": %.6f, \"total_s\": %.6f}%s\n"
+         \"ground_s\": %.6f, \"solve_s\": %.6f, \"total_s\": %.6f, \
+         \"outcome\": \"%s\"}%s\n"
         (json_escape exp) (json_escape r.pkg) r.possible r.ground_t r.solve_t r.total_t
+        (json_escape r.outcome)
         (if i = List.length rows - 1 then "" else ","))
     rows;
   output_string oc "  ]\n}\n";
@@ -406,6 +428,7 @@ let usability () =
         match Concretize.Concretizer.solve_spec ~repo spec with
         | Concretize.Concretizer.Concrete _ -> "solved"
         | Concretize.Concretizer.Unsatisfiable _ -> "proven unsatisfiable"
+        | Concretize.Concretizer.Interrupted _ -> "interrupted"
       in
       Printf.printf "%-36s %-28s %s\n" name greedy asp)
     scenarios
@@ -438,7 +461,8 @@ let scaling () =
           p.Concretize.Concretizer.ground_time p.Concretize.Concretizer.solve_time
           (Concretize.Concretizer.total p)
           (List.length (Specs.Spec.concrete_nodes s.Concretize.Concretizer.spec))
-      | Concretize.Concretizer.Unsatisfiable _ -> Printf.printf "%-12d UNSAT\n" n)
+      | Concretize.Concretizer.Unsatisfiable _ -> Printf.printf "%-12d UNSAT\n" n
+      | Concretize.Concretizer.Interrupted _ -> Printf.printf "%-12d INTERRUPTED\n" n)
     sizes
 
 (* ------------------------------------------------------------------ *)
@@ -457,7 +481,8 @@ let multishot () =
       (List.length roots)
       (List.length (Specs.Spec.concrete_nodes s.Concretize.Concretizer.spec))
       (Concretize.Concretizer.total p)
-  | Concretize.Concretizer.Unsatisfiable _ -> print_endline "unified: UNSAT");
+  | Concretize.Concretizer.Unsatisfiable _ -> print_endline "unified: UNSAT"
+  | Concretize.Concretizer.Interrupted _ -> print_endline "unified: INTERRUPTED");
   (* multi-shot: divide and conquer, later shots reuse earlier results *)
   let ms = Concretize.Multishot.solve_stack ~repo roots in
   let solved =
@@ -466,7 +491,8 @@ let multishot () =
          (fun sh ->
            match sh.Concretize.Multishot.shot_result with
            | Concretize.Concretizer.Concrete _ -> true
-           | Concretize.Concretizer.Unsatisfiable _ -> false)
+           | Concretize.Concretizer.Unsatisfiable _
+           | Concretize.Concretizer.Interrupted _ -> false)
          ms.Concretize.Multishot.shots)
   in
   Printf.printf "multi-shot: %d/%d roots -> %d installed specs in %.2fs\n" solved
@@ -496,7 +522,8 @@ let multishot () =
     Printf.printf "unified   : %d roots, %d packages -> %.2fs\n" (List.length roots)
       (Pkg.Repo.size sr)
       (Concretize.Concretizer.total s.Concretize.Concretizer.phases)
-  | Concretize.Concretizer.Unsatisfiable _ -> print_endline "unified: UNSAT");
+  | Concretize.Concretizer.Unsatisfiable _ -> print_endline "unified: UNSAT"
+  | Concretize.Concretizer.Interrupted _ -> print_endline "unified: INTERRUPTED");
   let ms = Concretize.Multishot.solve_stack ~repo:sr roots in
   Printf.printf "multi-shot: %.2fs, %d package(s) with several configs\n"
     ms.Concretize.Multishot.total_time

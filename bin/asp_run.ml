@@ -9,7 +9,7 @@ let read_file = function
   | "-" -> In_channel.input_all In_channel.stdin
   | path -> In_channel.with_open_text path In_channel.input_all
 
-let run files preset show_stats nmodels =
+let run files preset show_stats nmodels timeout =
   let preset =
     match Asp.Config.preset_of_name preset with
     | Some p -> p
@@ -17,15 +17,32 @@ let run files preset show_stats nmodels =
       Printf.eprintf "unknown preset %s\n" preset;
       exit 2
   in
-  let config = Asp.Config.make ~preset () in
+  let limits =
+    {
+      Asp.Budget.no_limits with
+      Asp.Budget.wall = (if timeout > 0. then Some timeout else None);
+    }
+  in
+  let config = Asp.Config.make ~preset ~limits () in
+  (* first ^C cancels the solve cooperatively (degraded result if a model
+     is already in hand); a second one falls back to the default and kills *)
+  let tok = Asp.Budget.token () in
+  Sys.set_signal Sys.sigint
+    (Sys.Signal_handle
+       (fun _ ->
+         if Asp.Budget.is_cancelled tok then exit 130;
+         Asp.Budget.cancel tok));
+  let budget = Asp.Budget.start ~cancel:tok limits in
   let src = String.concat "\n" (List.map read_file files) in
-  match Asp.Solve.solve_text ~config src with
-  | exception Asp.Parser.Error (msg, line) ->
-    Printf.eprintf "syntax error on line %d: %s\n" line msg;
+  match Asp.Solve.solve_text ~config ~budget src with
+  | exception Asp.Solver_error.Error e ->
+    Format.eprintf "error: %a@." Asp.Solver_error.pp e;
     exit 2
-  | exception Asp.Grounder.Error msg ->
-    Printf.eprintf "grounding error: %s\n" msg;
-    exit 2
+  | Asp.Solve.Interrupted { info; ground_time; solve_time } ->
+    Format.printf "INTERRUPTED: %a@." Asp.Budget.pp_info info;
+    if show_stats then
+      Printf.printf "Time: ground %.3fs, solve %.3fs\n" ground_time solve_time;
+    exit 3
   | Asp.Solve.Unsat { ground_time; solve_time } ->
     print_endline "UNSATISFIABLE";
     if show_stats then
@@ -50,6 +67,9 @@ let run files preset show_stats nmodels =
     if o.Asp.Solve.costs <> [] then begin
       print_string "Optimization:";
       List.iter (fun (p, v) -> Printf.printf " %d@%d" v p) o.Asp.Solve.costs;
+      (match o.Asp.Solve.quality with
+      | `Degraded _ -> print_string "  (suboptimal: budget expired mid-optimization)"
+      | `Optimal -> ());
       print_newline ()
     end;
     print_endline "SATISFIABLE";
@@ -78,9 +98,13 @@ let nmodels =
   Arg.(value & opt int 1 & info [ "models"; "n" ] ~docv:"N"
          ~doc:"Enumerate up to N (optimal) stable models (0 = all).")
 
+let timeout =
+  Arg.(value & opt float 0. & info [ "timeout"; "t" ] ~docv:"SECS"
+         ~doc:"Wall-clock budget in seconds (0 = none); on expiry the best model found so far is reported as suboptimal.")
+
 let cmd =
   let doc = "ground and solve an answer set program" in
   Cmd.v (Cmd.info "asp_run" ~doc)
-    Term.(const run $ files $ preset $ stats $ nmodels)
+    Term.(const run $ files $ preset $ stats $ nmodels $ timeout)
 
 let () = exit (Cmd.eval cmd)

@@ -19,7 +19,8 @@ let print_phases (p : Concretize.Concretizer.phases) =
     p.Concretize.Concretizer.ground_time p.Concretize.Concretizer.solve_time
     (Concretize.Concretizer.total p)
 
-let solve_one repo config installed show_stats greedy validate spec_text =
+let solve_one repo config installed cancel attempts show_stats greedy validate
+    spec_text =
   if greedy then begin
     match Concretize.Greedy.concretize_spec ~repo spec_text with
     | Concretize.Greedy.Ok c ->
@@ -33,56 +34,91 @@ let solve_one repo config installed show_stats greedy validate spec_text =
       1
   end
   else
-    match Concretize.Concretizer.solve_spec ~config ?installed ~repo spec_text with
-    | exception Concretize.Facts.Unknown_package p ->
-      Printf.eprintf "Error: unknown package %s\n" p;
+    match Specs.Spec_parser.parse spec_text with
+    | exception Specs.Spec_parser.Error e ->
+      Printf.eprintf "Error: invalid spec: %s\n"
+        (Specs.Spec_parser.error_to_string e);
       2
-    | Concretize.Concretizer.Unsatisfiable { phases; n_facts; n_possible; reasons } ->
-      Printf.printf "UNSATISFIABLE: no valid configuration of %s exists\n" spec_text;
-      List.iter (Printf.printf "  possible cause: %s\n") reasons;
-      if show_stats then begin
-        Printf.printf "Facts: %d, possible dependencies: %d\n" n_facts n_possible;
-        print_phases phases
-      end;
-      1
-    | Concretize.Concretizer.Concrete s ->
-      Format.printf "%a@." Specs.Spec.pp_concrete s.Concretize.Concretizer.spec;
-      if validate then begin
-        match Concretize.Validate.check ~repo s.Concretize.Concretizer.spec with
-        | [] -> print_endline "validated: ok"
-        | vs ->
+    | root -> (
+      match
+        Concretize.Concretizer.solve_escalating ~attempts ~config ?installed
+          ?cancel ~repo [ root ]
+      with
+      | exception Concretize.Facts.Unknown_package p ->
+        Printf.eprintf "Error: unknown package %s\n" p;
+        2
+      | exception Asp.Solver_error.Error e ->
+        Format.eprintf "Error: %a@." Asp.Solver_error.pp e;
+        2
+      | Concretize.Concretizer.Interrupted { info; phases; n_facts; n_possible } ->
+        Format.printf "INTERRUPTED: %a@." Asp.Budget.pp_info info;
+        if show_stats then begin
+          Printf.printf "Facts: %d, possible dependencies: %d\n" n_facts n_possible;
+          print_phases phases
+        end;
+        3
+      | Concretize.Concretizer.Unsatisfiable { phases; n_facts; n_possible; reasons } ->
+        Printf.printf "UNSATISFIABLE: no valid configuration of %s exists\n" spec_text;
+        List.iter (Printf.printf "  possible cause: %s\n") reasons;
+        if show_stats then begin
+          Printf.printf "Facts: %d, possible dependencies: %d\n" n_facts n_possible;
+          print_phases phases
+        end;
+        1
+      | Concretize.Concretizer.Concrete s ->
+        Format.printf "%a@." Specs.Spec.pp_concrete s.Concretize.Concretizer.spec;
+        (match s.Concretize.Concretizer.quality with
+        | `Optimal -> ()
+        | `Degraded _ ->
+          print_endline
+            "note: budget expired mid-optimization; this configuration is \
+             valid but may be suboptimal");
+        if validate then begin
+          match Concretize.Validate.check ~repo s.Concretize.Concretizer.spec with
+          | [] -> print_endline "validated: ok"
+          | vs ->
+            List.iter
+              (fun v -> Format.printf "VIOLATION %a@." Concretize.Validate.pp_violation v)
+              vs
+        end;
+        if s.Concretize.Concretizer.reused <> [] then begin
+          Printf.printf "\n%d installed package(s) reused, %d to build\n"
+            (List.length s.Concretize.Concretizer.reused)
+            (List.length s.Concretize.Concretizer.built);
           List.iter
-            (fun v -> Format.printf "VIOLATION %a@." Concretize.Validate.pp_violation v)
-            vs
-      end;
-      if s.Concretize.Concretizer.reused <> [] then begin
-        Printf.printf "\n%d installed package(s) reused, %d to build\n"
-          (List.length s.Concretize.Concretizer.reused)
-          (List.length s.Concretize.Concretizer.built);
-        List.iter
-          (fun (p, h) -> Printf.printf "  [%s]  %s\n" (String.sub h 0 8) p)
-          s.Concretize.Concretizer.reused
-      end;
-      if show_stats then begin
-        Printf.printf "Facts: %d, possible dependencies: %d, logic program: %d lines\n"
-          s.Concretize.Concretizer.n_facts s.Concretize.Concretizer.n_possible
-          Concretize.Logic_program.line_count;
-        let g = s.Concretize.Concretizer.ground_stats in
-        Printf.printf "Ground: %d atoms, %d rules\n" g.Asp.Grounder.possible_atoms
-          g.Asp.Grounder.ground_rules;
-        let st = s.Concretize.Concretizer.sat_stats in
-        Printf.printf "Search: %d conflicts, %d decisions, %d restarts\n"
-          st.Asp.Sat.conflicts st.Asp.Sat.decisions st.Asp.Sat.restarts;
-        Printf.printf "Optimization vector (priority, value):";
-        List.iter (fun (p, v) -> Printf.printf " (%d,%d)" p v)
-          (List.filter (fun (_, v) -> v <> 0) s.Concretize.Concretizer.costs);
-        print_newline ();
-        print_phases s.Concretize.Concretizer.phases
-      end;
-      0
+            (fun (p, h) -> Printf.printf "  [%s]  %s\n" (String.sub h 0 8) p)
+            s.Concretize.Concretizer.reused
+        end;
+        if show_stats then begin
+          Printf.printf "Facts: %d, possible dependencies: %d, logic program: %d lines\n"
+            s.Concretize.Concretizer.n_facts s.Concretize.Concretizer.n_possible
+            Concretize.Logic_program.line_count;
+          let g = s.Concretize.Concretizer.ground_stats in
+          Printf.printf "Ground: %d atoms, %d rules\n" g.Asp.Grounder.possible_atoms
+            g.Asp.Grounder.ground_rules;
+          let st = s.Concretize.Concretizer.sat_stats in
+          Printf.printf "Search: %d conflicts, %d decisions, %d restarts\n"
+            st.Asp.Sat.conflicts st.Asp.Sat.decisions st.Asp.Sat.restarts;
+          Printf.printf "Optimization vector (priority, value):";
+          List.iter (fun (p, v) -> Printf.printf " (%d,%d)" p v)
+            (List.filter (fun (_, v) -> v <> 0) s.Concretize.Concretizer.costs);
+          print_newline ();
+          print_phases s.Concretize.Concretizer.phases
+        end;
+        0)
 
 let run_multishot repo config installed specs =
-  let roots = List.map Specs.Spec_parser.parse specs in
+  let roots =
+    List.map
+      (fun s ->
+        match Specs.Spec_parser.parse s with
+        | root -> root
+        | exception Specs.Spec_parser.Error e ->
+          Printf.eprintf "Error: invalid spec: %s\n"
+            (Specs.Spec_parser.error_to_string e);
+          exit 2)
+      specs
+  in
   let ms = Concretize.Multishot.solve_stack ~config ?installed ~repo roots in
   List.iter
     (fun (sh : Concretize.Multishot.shot) ->
@@ -97,7 +133,10 @@ let run_multishot repo config installed specs =
           (List.length s.Concretize.Concretizer.built)
       | Concretize.Concretizer.Unsatisfiable _ ->
         Printf.printf "%-24s -> UNSATISFIABLE
-" sh.Concretize.Multishot.shot_root)
+" sh.Concretize.Multishot.shot_root
+      | Concretize.Concretizer.Interrupted { info; _ } ->
+        Format.printf "%-24s -> INTERRUPTED (%a)@."
+          sh.Concretize.Multishot.shot_root Asp.Budget.pp_info info)
     ms.Concretize.Multishot.shots;
   Printf.printf "
 %d specs installed in %.2fs" (Pkg.Database.size ms.Concretize.Multishot.db)
@@ -110,7 +149,8 @@ let run_multishot repo config installed specs =
       (String.concat ", " (List.map fst dups)));
   exit 0
 
-let run repo_name preset specs show_stats greedy multishot validate reuse_roots cache_size =
+let run repo_name preset specs show_stats greedy multishot validate reuse_roots
+    cache_size timeout retries =
   let repo = pick_repo repo_name in
   let preset =
     match Asp.Config.preset_of_name preset with
@@ -119,7 +159,20 @@ let run repo_name preset specs show_stats greedy multishot validate reuse_roots 
       Printf.eprintf "unknown preset %s\n" preset;
       exit 2
   in
-  let config = Asp.Config.make ~preset () in
+  let limits =
+    {
+      Asp.Budget.no_limits with
+      Asp.Budget.wall = (if timeout > 0. then Some timeout else None);
+    }
+  in
+  let config = Asp.Config.make ~preset ~limits () in
+  (* first ^C cancels the solve cooperatively; a second one kills *)
+  let tok = Asp.Budget.token () in
+  Sys.set_signal Sys.sigint
+    (Sys.Signal_handle
+       (fun _ ->
+         if Asp.Budget.is_cancelled tok then exit 130;
+         Asp.Budget.cancel tok));
   let installed =
     match reuse_roots with
     | [] -> None
@@ -133,7 +186,9 @@ let run repo_name preset specs show_stats greedy multishot validate reuse_roots 
   let rc =
     List.fold_left
       (fun rc spec ->
-        max rc (solve_one repo config installed show_stats greedy validate spec))
+        max rc
+          (solve_one repo config installed (Some tok) (retries + 1) show_stats
+             greedy validate spec))
       0 specs
   in
   exit rc
@@ -170,6 +225,14 @@ let cache_size =
   Arg.(value & opt int 500 & info [ "cache-size" ] ~docv:"N"
          ~doc:"Approximate number of installed specs in the synthetic buildcache.")
 
+let timeout =
+  Arg.(value & opt float 0. & info [ "timeout" ] ~docv:"SECS"
+         ~doc:"Wall-clock budget per solve in seconds (0 = none). An expired budget yields a valid but possibly suboptimal spec, or INTERRUPTED when no model was found in time.")
+
+let retries =
+  Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N"
+         ~doc:"On an interrupted solve, retry up to N times with doubled limits and a reseeded search.")
+
 let cmd =
   let doc = "concretize package specs with the ASP-based dependency solver" in
   let man =
@@ -186,6 +249,6 @@ let cmd =
   Cmd.v (Cmd.info "spack_solve" ~doc ~man)
     Term.(
       const run $ repo_name $ preset $ specs $ stats $ greedy $ multishot $ validate
-      $ reuse_roots $ cache_size)
+      $ reuse_roots $ cache_size $ timeout $ retries)
 
 let () = exit (Cmd.eval cmd)

@@ -27,6 +27,7 @@ let () =
 
   print_endline "\n--- ASP concretizer ---";
   match Concretize.Concretizer.solve_spec ~repo spec with
+  | Concretize.Concretizer.Interrupted _ -> print_endline "INTERRUPTED"
   | Concretize.Concretizer.Unsatisfiable _ -> print_endline "UNSAT (unexpected)"
   | Concretize.Concretizer.Concrete s ->
     let spec = s.Concretize.Concretizer.spec in

@@ -17,6 +17,7 @@ let () =
   List.iter
     (fun root ->
       match Concretize.Concretizer.solve_spec ~repo root with
+      | Concretize.Concretizer.Interrupted _ -> print_endline "INTERRUPTED"
       | Concretize.Concretizer.Unsatisfiable _ ->
         Printf.printf "%-20s UNSAT\n" root
       | Concretize.Concretizer.Concrete s ->
@@ -34,6 +35,7 @@ let () =
   print_endline "\nUnified stack solve (all roots in one DAG):";
   let abstracts = List.map Specs.Spec_parser.parse roots in
   match Concretize.Concretizer.solve ~repo abstracts with
+  | Concretize.Concretizer.Interrupted _ -> print_endline "INTERRUPTED"
   | Concretize.Concretizer.Unsatisfiable _ -> print_endline "UNSAT"
   | Concretize.Concretizer.Concrete s ->
     let nodes = Specs.Spec.concrete_nodes s.Concretize.Concretizer.spec in

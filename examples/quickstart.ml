@@ -13,6 +13,7 @@ let () =
         targets and providers for the whole dependency DAG, optimally
         w.r.t. the 15 criteria of Table II. *)
   match Concretize.Concretizer.solve ~repo [ abstract ] with
+  | Concretize.Concretizer.Interrupted _ -> print_endline "INTERRUPTED"
   | Concretize.Concretizer.Unsatisfiable _ ->
     print_endline "no valid configuration exists"
   | Concretize.Concretizer.Concrete s ->

@@ -42,6 +42,7 @@ let () =
   (* --- Fig. 6b: solving for reuse --- *)
   print_endline "\n--- solver-based reuse (Fig. 6b) ---";
   match Concretize.Concretizer.solve_spec ~repo ~installed:db request with
+  | Concretize.Concretizer.Interrupted _ -> print_endline "INTERRUPTED"
   | Concretize.Concretizer.Unsatisfiable _ -> print_endline "UNSAT (unexpected)"
   | Concretize.Concretizer.Concrete s ->
     let reused = s.Concretize.Concretizer.reused and built = s.Concretize.Concretizer.built in

@@ -28,6 +28,7 @@ let site_prefs =
 let () =
   print_endline "== single solve under site preferences ==";
   (match Concretize.Concretizer.solve_spec ~prefs:site_prefs ~repo "hdf5" with
+  | Concretize.Concretizer.Interrupted _ -> print_endline "INTERRUPTED"
   | Concretize.Concretizer.Unsatisfiable _ -> print_endline "UNSAT"
   | Concretize.Concretizer.Concrete s ->
     let root = Specs.Spec.concrete_root s.Concretize.Concretizer.spec in
@@ -47,6 +48,7 @@ let () =
         Printf.printf "  %-12s reused %2d, built %2d\n" sh.Concretize.Multishot.shot_root
           (List.length s.Concretize.Concretizer.reused)
           (List.length s.Concretize.Concretizer.built)
+      | Concretize.Concretizer.Interrupted _ -> print_endline "INTERRUPTED"
       | Concretize.Concretizer.Unsatisfiable _ ->
         Printf.printf "  %-12s UNSAT\n" sh.Concretize.Multishot.shot_root)
     ms.Concretize.Multishot.shots;
@@ -71,6 +73,7 @@ let () =
                 Concretize.Validate.pp_violation v)
             violations
         end
+      | Concretize.Concretizer.Interrupted _ -> print_endline "INTERRUPTED"
       | Concretize.Concretizer.Unsatisfiable _ -> ())
     ms.Concretize.Multishot.shots;
   if !all_ok then print_endline "  every concretized DAG passes the §III-C.1 checklist"

@@ -13,6 +13,7 @@ let repo = Pkg.Repo_core.repo
 let solve spec =
   match Concretize.Concretizer.solve_spec ~repo spec with
   | Concretize.Concretizer.Concrete s -> s.Concretize.Concretizer.spec
+  | Concretize.Concretizer.Interrupted _ -> failwith ("INTERRUPTED: " ^ spec)
   | Concretize.Concretizer.Unsatisfiable _ -> failwith ("UNSAT: " ^ spec)
 
 let provider_of spec_dag virt =

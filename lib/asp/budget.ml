@@ -1,0 +1,151 @@
+type phase = Ground | Search | Optimize
+
+type reason =
+  | Deadline
+  | Conflict_limit
+  | Instance_limit
+  | Cancelled
+  | Injected
+
+type progress = { conflicts : int; instances : int; opt_steps : int }
+
+type info = { phase : phase; reason : reason; progress : progress }
+
+exception Exhausted of info
+
+let phase_name = function
+  | Ground -> "grounding"
+  | Search -> "search"
+  | Optimize -> "optimization"
+
+let reason_name = function
+  | Deadline -> "deadline"
+  | Conflict_limit -> "conflict limit"
+  | Instance_limit -> "instance limit"
+  | Cancelled -> "cancelled"
+  | Injected -> "injected fault"
+
+let pp_info ppf i =
+  Format.fprintf ppf
+    "%s during %s (after %d conflicts, %d ground instances, %d optimization steps)"
+    (reason_name i.reason) (phase_name i.phase) i.progress.conflicts
+    i.progress.instances i.progress.opt_steps
+
+type limits = {
+  wall : float option;
+  conflicts : int option;
+  instances : int option;
+}
+
+let no_limits = { wall = None; conflicts = None; instances = None }
+
+let double l =
+  {
+    wall = Option.map (fun w -> 2. *. w) l.wall;
+    conflicts = Option.map (fun c -> 2 * c) l.conflicts;
+    instances = Option.map (fun i -> 2 * i) l.instances;
+  }
+
+type cancel_token = bool ref
+
+let token () = ref false
+let cancel t = t := true
+let is_cancelled t = !t
+
+type event = Conflict | Instance | Opt_step
+
+type t = {
+  deadline : float option;  (* absolute, seconds since the epoch *)
+  max_conflicts : int;  (* max_int when unbounded *)
+  max_instances : int;
+  cancel : cancel_token option;
+  mutable hook : (event -> bool) option;
+  mutable phase : phase;
+  mutable conflicts : int;
+  mutable instances : int;
+  mutable opt_steps : int;
+  mutable ticks : int;  (* all events, for periodic deadline checks *)
+  mutable tripped : info option;
+}
+
+let start ?cancel l =
+  {
+    deadline = Option.map (fun w -> Unix.gettimeofday () +. w) l.wall;
+    max_conflicts = Option.value ~default:max_int l.conflicts;
+    max_instances = Option.value ~default:max_int l.instances;
+    cancel;
+    hook = None;
+    phase = Ground;
+    conflicts = 0;
+    instances = 0;
+    opt_steps = 0;
+    ticks = 0;
+    tripped = None;
+  }
+
+let unlimited = start no_limits
+
+let enter b phase = b.phase <- phase
+
+let progress b =
+  { conflicts = b.conflicts; instances = b.instances; opt_steps = b.opt_steps }
+
+let set_hook b h = b.hook <- Some h
+
+let trip b reason =
+  let i = { phase = b.phase; reason; progress = progress b } in
+  b.tripped <- Some i;
+  raise (Exhausted i)
+
+(* Once exhausted, stay exhausted: a caller that catches {!Exhausted} to
+   salvage a degraded result must not be able to keep searching. *)
+let check_tripped b =
+  match b.tripped with Some i -> raise (Exhausted i) | None -> ()
+
+let check_cancel b =
+  match b.cancel with Some c when !c -> trip b Cancelled | _ -> ()
+
+let check_deadline b =
+  match b.deadline with
+  | Some d when Unix.gettimeofday () > d -> trip b Deadline
+  | _ -> ()
+
+(* The deadline involves a syscall: only probe it every 32 events (grounding
+   ticks once per instance on a hot path). *)
+let maybe_deadline b =
+  b.ticks <- b.ticks + 1;
+  if b.ticks land 31 = 0 then check_deadline b
+
+let fire_hook b ev =
+  match b.hook with Some h when h ev -> trip b Injected | _ -> ()
+
+let tick_conflict b =
+  check_tripped b;
+  b.conflicts <- b.conflicts + 1;
+  fire_hook b Conflict;
+  check_cancel b;
+  if b.conflicts > b.max_conflicts then trip b Conflict_limit;
+  maybe_deadline b
+
+let tick_instance b =
+  check_tripped b;
+  b.instances <- b.instances + 1;
+  fire_hook b Instance;
+  check_cancel b;
+  if b.instances > b.max_instances then trip b Instance_limit;
+  maybe_deadline b
+
+let tick_opt_step b =
+  check_tripped b;
+  b.opt_steps <- b.opt_steps + 1;
+  fire_hook b Opt_step;
+  check_cancel b;
+  (* opt steps have no dedicated limit: each step's inner solve is bounded
+     by the conflict budget; check the deadline eagerly instead, steps are
+     coarse *)
+  check_deadline b
+
+let poll b =
+  check_tripped b;
+  check_cancel b;
+  maybe_deadline b

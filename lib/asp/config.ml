@@ -1,9 +1,11 @@
 type preset = Frumpy | Jumpy | Tweety | Trendy | Crafty | Handy
 type strategy = Bb | Usc
-type t = { preset : preset; strategy : strategy }
+type t = { preset : preset; strategy : strategy; limits : Budget.limits }
 
-let default = { preset = Tweety; strategy = Usc }
-let make ?(preset = Tweety) ?(strategy = Usc) () = { preset; strategy }
+let default = { preset = Tweety; strategy = Usc; limits = Budget.no_limits }
+
+let make ?(preset = Tweety) ?(strategy = Usc) ?(limits = Budget.no_limits) () =
+  { preset; strategy; limits }
 
 let params = function
   | Tweety ->

@@ -14,12 +14,17 @@ type strategy =
   | Bb  (** model-guided branch-and-bound descent *)
   | Usc  (** unsatisfiable-core-guided (clasp's [usc,one]) *)
 
-type t = { preset : preset; strategy : strategy }
+type t = {
+  preset : preset;
+  strategy : strategy;
+  limits : Budget.limits;  (** resource budget armed per solve *)
+}
 
 val default : t
-(** [tweety] with [usc], the configuration the paper settles on. *)
+(** [tweety] with [usc] and no limits, the configuration the paper settles
+    on. *)
 
-val make : ?preset:preset -> ?strategy:strategy -> unit -> t
+val make : ?preset:preset -> ?strategy:strategy -> ?limits:Budget.limits -> unit -> t
 val params : preset -> Sat.params
 val preset_name : preset -> string
 val preset_of_name : string -> preset option

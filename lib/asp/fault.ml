@@ -1,0 +1,17 @@
+type point = Conflicts | Instances | Opt_steps
+
+let matches point (ev : Budget.event) =
+  match (point, ev) with
+  | Conflicts, Budget.Conflict | Instances, Budget.Instance
+  | Opt_steps, Budget.Opt_step ->
+    true
+  | _ -> false
+
+let arm budget point n =
+  let remaining = ref n in
+  Budget.set_hook budget (fun ev ->
+      matches point ev
+      && begin
+           decr remaining;
+           !remaining <= 0
+         end)

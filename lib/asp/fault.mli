@@ -1,0 +1,15 @@
+(** Deterministic fault injection for the budget layer (testing).
+
+    [arm budget point n] installs a countdown hook on [budget] that forces
+    cancellation (reason {!Budget.Injected}) at exactly the [n]-th event of
+    the given kind.  Because the solver itself is deterministic, sweeping
+    [n] over a solve visits every interruption point exactly once, which is
+    how the anytime-optimality contract is tested: each run must either
+    complete identically to the unbudgeted solve or return a well-formed
+    degraded outcome (valid stable model, cost vector >= the optimum). *)
+
+type point = Conflicts | Instances | Opt_steps
+
+val arm : Budget.t -> point -> int -> unit
+(** Overwrites any previously armed hook on [budget].  [n <= 0] trips at
+    the first event of the kind. *)

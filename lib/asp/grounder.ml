@@ -1,8 +1,6 @@
-exception Error of string
-
 type stats = { possible_atoms : int; ground_rules : int; fixpoint_rounds : int }
 
-let errf fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+let errf fmt = Solver_error.ground_error fmt
 
 (* ------------------------------------------------------------------ *)
 (* Compiled patterns: variables resolved to dense per-rule slots.       *)
@@ -255,6 +253,7 @@ type state = {
   store : Gatom.Store.t;
   env : Env.t;
   idb : (string * int, unit) Hashtbl.t;  (** predicates with rule-defined heads *)
+  budget : Budget.t;
 }
 
 let is_edb st (a : catom) = not (Hashtbl.mem st.idb (a.cpred, a.carity))
@@ -387,6 +386,7 @@ let ground_atom st ctx (a : catom) : Gatom.t =
 (* Derive all head atoms of [rule] for the current substitution into the
    store (optimistic w.r.t. negation and Forall targets). *)
 let derive_heads st (rule : compiled) =
+  Budget.tick_instance st.budget;
   match rule.c_head with
   | C_none -> ()
   | C_atom a ->
@@ -467,6 +467,7 @@ let emit_rules st (out : Ground.t) (rules : compiled list) =
   List.iter
     (fun r ->
       enumerate st r.c_body (fun matched ->
+          Budget.tick_instance st.budget;
           match resolve_body st r.c_body matched with
           | exception Drop_instance -> ()
           | body -> (
@@ -531,6 +532,7 @@ let emit_minimize st (out : Ground.t) (groups : cmin list list) =
         (fun m ->
           Env.ensure st.env m.cm_nvars;
           enumerate st m.cm_body (fun matched ->
+              Budget.tick_instance st.budget;
               match resolve_body st m.cm_body matched with
               | exception Drop_instance -> ()
               | mbody ->
@@ -607,9 +609,10 @@ let eval_ground_arg t =
   let ct = compile_term cx t in
   eval (Env.create ()) ct
 
-let ground (prog : Ast.program) : Ground.t * stats =
+let ground ?(budget = Budget.unlimited) (prog : Ast.program) : Ground.t * stats =
+  Budget.enter budget Budget.Ground;
   let store = Gatom.Store.create () in
-  let st = { store; env = Env.create (); idb = Hashtbl.create 64 } in
+  let st = { store; env = Env.create (); idb = Hashtbl.create 64; budget } in
   let rules = ref [] and minimizes = ref [] in
   (* Seed facts; collect rules and classify IDB predicates. *)
   List.iter

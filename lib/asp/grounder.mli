@@ -13,9 +13,7 @@
 
     Conditional literals ([a : conds]) and choice-element guards must range
     over EDB predicates (predicates defined only by facts); this is checked
-    and a {!Error} is raised otherwise. *)
-
-exception Error of string
+    and a {!Solver_error.Error} is raised otherwise. *)
 
 type stats = {
   possible_atoms : int;  (** atoms in the possible-set closure *)
@@ -23,6 +21,9 @@ type stats = {
   fixpoint_rounds : int;
 }
 
-val ground : Ast.program -> Ground.t * stats
-(** @raise Error on unsafe rules, non-EDB conditions, or arithmetic on
-    non-integer terms. *)
+val ground : ?budget:Budget.t -> Ast.program -> Ground.t * stats
+(** The budget is ticked once per derived/emitted rule instance.
+    @raise Solver_error.Error ([Ground _]) on unsafe rules, non-EDB
+    conditions, or arithmetic on non-integer terms.
+    @raise Budget.Exhausted when the instance budget, deadline or cancel
+    token fires mid-grounding. *)

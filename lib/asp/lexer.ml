@@ -32,7 +32,7 @@ type token =
   | DOTDOT
   | EOF
 
-exception Error of string * int
+type pos = { line : int; col : int }
 
 let pp_token ppf = function
   | IDENT s -> Format.fprintf ppf "identifier %s" s
@@ -72,19 +72,27 @@ let is_alpha = function 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false
 let is_digit = function '0' .. '9' -> true | _ -> false
 let is_alnum c = is_alpha c || is_digit c
 
-let tokenize src =
+let tokenize ?(file = "<input>") src =
   let n = String.length src in
   let toks = ref [] in
   let line = ref 1 in
-  let emit t = toks := (t, !line) :: !toks in
+  let line_start = ref 0 in  (* offset of the first char of the current line *)
   let i = ref 0 in
+  let fail at msg =
+    Solver_error.parse_error ~src:file ~line:!line ~col:(at - !line_start + 1) "%s" msg
+  in
   let peek k = if !i + k < n then Some src.[!i + k] else None in
   while !i < n do
     let c = src.[!i] in
+    (* tokens never span lines, so the column of the token being lexed is
+       relative to the line start captured here *)
+    let start = !i in
+    let emit t = toks := (t, { line = !line; col = start - !line_start + 1 }) :: !toks in
     (match c with
     | '\n' ->
       incr line;
-      incr i
+      incr i;
+      line_start := !i
     | ' ' | '\t' | '\r' -> incr i
     | '%' ->
       (* comment to end of line *)
@@ -102,11 +110,11 @@ let tokenize src =
           incr i;
           Buffer.add_char buf
             (match src.[!i] with 'n' -> '\n' | 't' -> '\t' | ch -> ch)
-        | '\n' -> raise (Error ("unterminated string", !line))
+        | '\n' -> fail start "unterminated string"
         | ch -> Buffer.add_char buf ch);
         incr i
       done;
-      if not !closed then raise (Error ("unterminated string", !line));
+      if not !closed then fail start "unterminated string";
       emit (STRING (Buffer.contents buf))
     | '#' ->
       let j = ref (!i + 1) in
@@ -119,7 +127,7 @@ let tokenize src =
       | "maximize" -> emit MAXIMIZE
       | "show" -> emit SHOW
       | "const" -> emit CONST
-      | w -> raise (Error (Printf.sprintf "unknown directive #%s" w, !line)));
+      | w -> fail start (Printf.sprintf "unknown directive #%s" w));
       i := !j
     | ':' when peek 1 = Some '-' ->
       emit IF;
@@ -207,8 +215,8 @@ let tokenize src =
           emit (VARIABLE word)
         else emit (IDENT word));
       i := !j
-    | c -> raise (Error (Printf.sprintf "unexpected character %C" c, !line)));
+    | c -> fail start (Printf.sprintf "unexpected character %C" c));
     ()
   done;
-  emit EOF;
+  toks := (EOF, { line = !line; col = n - !line_start + 1 }) :: !toks;
   List.rev !toks

@@ -34,12 +34,13 @@ type token =
   | DOTDOT  (** [..] (intervals) *)
   | EOF
 
-exception Error of string * int
-(** [Error (message, line)] *)
+type pos = { line : int; col : int }
+(** 1-based source position of a token's first character. *)
 
 val pp_token : Format.formatter -> token -> unit
 
-val tokenize : string -> (token * int) list
+val tokenize : ?file:string -> string -> (token * pos) list
 (** [tokenize src] lexes a whole program, pairing each token with its
-    1-based source line.  [%]-comments are skipped.
-    @raise Error on invalid input. *)
+    source position.  [%]-comments are skipped.  [file] labels error
+    locations (default ["<input>"]).
+    @raise Solver_error.Error ([Parse _]) on invalid input. *)

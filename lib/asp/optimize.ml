@@ -79,51 +79,89 @@ let eval_raw sat level =
 
 let eval_level sat level = level.offset + eval_raw sat level
 
-type outcome = { costs : (int * int) list; models_enumerated : int }
+type quality = [ `Optimal | `Degraded of (int * int) list ]
+
+type outcome = {
+  costs : (int * int) list;
+  models_enumerated : int;
+  quality : quality;
+}
+
+(* Each level's descent returns [(value, lower, complete)]: the stored
+   model's value on the level, the lower bound proved so far, and whether
+   the optimum was reached.  [complete = false] means the budget expired
+   mid-level; the stored model is still a valid stable model satisfying
+   every bound fixed for earlier levels, so its cost vector is
+   lexicographically >= the true optimum (the anytime invariant). *)
 
 (* --- model-guided branch and bound (clasp's "bb") -------------------- *)
 
 (* Tighten sum <= best-1 under a fresh selector until unsatisfiable; the
    stored model always satisfies all bounds fixed so far. *)
-let bb_level sat ~(solve : ?assumptions:Sat.lit list -> unit -> Sat.result) lvl =
+let bb_level sat ~(solve : ?assumptions:Sat.lit list -> unit -> Sat.result) ~budget lvl =
   let w_total = List.fold_left (fun acc (w, _) -> acc + w) 0 lvl.entries in
   let best = ref (eval_raw sat lvl) in
   let improving = ref true in
+  let complete = ref true in
   while !improving && !best > 0 do
-    let sel = Sat.Lit.pos (Sat.new_var sat) in
-    Sat.add_pb_le sat ((w_total - !best + 1, sel) :: lvl.entries) w_total;
-    match solve ~assumptions:[ sel ] () with
-    | Sat.Sat ->
-      Sat.add_clause sat [ Sat.Lit.negate sel ];
-      let v = eval_raw sat lvl in
-      assert (v < !best);
-      best := v
-    | Sat.Unsat ->
-      Sat.add_clause sat [ Sat.Lit.negate sel ];
-      improving := false
+    match Budget.tick_opt_step budget with
+    | exception Budget.Exhausted _ ->
+      improving := false;
+      complete := false
+    | () -> (
+      let sel = Sat.Lit.pos (Sat.new_var sat) in
+      Sat.add_pb_le sat ((w_total - !best + 1, sel) :: lvl.entries) w_total;
+      match solve ~assumptions:[ sel ] () with
+      | Sat.Sat ->
+        Sat.add_clause sat [ Sat.Lit.negate sel ];
+        let v = eval_raw sat lvl in
+        assert (v < !best);
+        best := v
+      | Sat.Unsat ->
+        Sat.add_clause sat [ Sat.Lit.negate sel ];
+        improving := false
+      | exception Budget.Exhausted _ ->
+        (* neutralize the tightening constraint before bailing out: the
+           solver is back at level 0, so the selector can be fixed false *)
+        Sat.add_clause sat [ Sat.Lit.negate sel ];
+        improving := false;
+        complete := false)
   done;
-  !best
+  (* bb proves optimality only through its final Unsat: an interrupted
+     descent has established nothing below the incumbent *)
+  (!best, 0, !complete)
 
 (* --- unsatisfiable-core-guided (clasp's "usc,one", OLL-style) -------- *)
 
 (* Assume every objective indicator false; each core raises the lower bound
    by its minimum weight and is relaxed with one cardinality ladder (soft
    literals "at most j of this core violated"). *)
-let usc_level sat ~(solve : ?assumptions:Sat.lit list -> unit -> Sat.result) lvl =
+let usc_level sat ~(solve : ?assumptions:Sat.lit list -> unit -> Sat.result) ~budget lvl =
   let weights : (Sat.lit, int) Hashtbl.t = Hashtbl.create 16 in
   let add_soft l w =
     Hashtbl.replace weights l (w + Option.value ~default:0 (Hashtbl.find_opt weights l))
   in
   List.iter (fun (w, y) -> add_soft (Sat.Lit.negate y) w) lvl.entries;
   let lower = ref 0 in
+  let complete = ref true in
   let continue_ = ref true in
   while !continue_ do
+    match Budget.tick_opt_step budget with
+    | exception Budget.Exhausted _ ->
+      continue_ := false;
+      complete := false
+    | () ->
     let assumptions =
       Hashtbl.fold (fun l w acc -> if w > 0 then l :: acc else acc) weights []
     in
     if assumptions = [] then continue_ := false
     else
       match solve ~assumptions () with
+      | exception Budget.Exhausted _ ->
+        (* relaxation ladders added so far are sound (implied) constraints;
+           nothing to retract *)
+        continue_ := false;
+        complete := false
       | Sat.Sat -> continue_ := false
       | Sat.Unsat -> (
         (* keep only genuine soft assumptions (defensive) *)
@@ -156,19 +194,21 @@ let usc_level sat ~(solve : ?assumptions:Sat.lit list -> unit -> Sat.result) lvl
             done
           end)
   done;
-  (* the last model realizes the lower bound *)
+  (* the stored model realizes at least the proved lower bound (the bound
+     is a property of the constraints, interruption does not weaken it) *)
   let v = eval_raw sat lvl in
   assert (v >= !lower);
-  v
+  (v, !lower, !complete)
 
-let run ?(strategy = `Bb) (t : Translate.t) ~on_model =
+let run ?(strategy = `Bb) ?(budget = Budget.unlimited) (t : Translate.t) ~on_model =
   let sat = t.Translate.sat in
   let models = ref 0 in
   let solve ?assumptions () =
-    let r = Sat.solve ?assumptions ~on_model sat in
+    let r = Sat.solve ?assumptions ~on_model ~budget sat in
     if r = Sat.Sat then incr models;
     r
   in
+  Budget.enter budget Budget.Search;
   match solve () with
   | Sat.Unsat -> None
   | Sat.Sat ->
@@ -179,22 +219,43 @@ let run ?(strategy = `Bb) (t : Translate.t) ~on_model =
     (match solve () with
     | Sat.Unsat -> assert false (* indicators are unconstrained so far *)
     | Sat.Sat -> ());
+    Budget.enter budget Budget.Optimize;
+    let interrupted = ref false in
+    (* proved lower bounds (priority, bound) for the interrupted level and
+       every level after it; earlier levels are exact *)
+    let bounds = ref [] in
     let costs =
       List.map
         (fun lvl ->
-          let w_total = List.fold_left (fun acc (w, _) -> acc + w) 0 lvl.entries in
-          let best =
-            (* the stored model already realizes 0: no search needed *)
-            if eval_raw sat lvl = 0 then 0
-            else
-              match strategy with
-              | `Bb -> bb_level sat ~solve lvl
-              | `Usc -> usc_level sat ~solve lvl
-          in
-          (* fix the optimum for the remaining levels; the stored model
-             already satisfies this bound *)
-          if lvl.entries <> [] && best < w_total then Sat.add_pb_le sat lvl.entries best;
-          (lvl.priority, lvl.offset + best))
+          if !interrupted then begin
+            (* budget already gone: report the incumbent's value on this
+               level; nothing beyond the constant offset is proved *)
+            bounds := (lvl.priority, lvl.offset) :: !bounds;
+            (lvl.priority, eval_level sat lvl)
+          end
+          else begin
+            let w_total = List.fold_left (fun acc (w, _) -> acc + w) 0 lvl.entries in
+            let best, lower, complete =
+              (* the stored model already realizes 0: no search needed *)
+              if eval_raw sat lvl = 0 then (0, 0, true)
+              else
+                match strategy with
+                | `Bb -> bb_level sat ~solve ~budget lvl
+                | `Usc -> usc_level sat ~solve ~budget lvl
+            in
+            if complete then begin
+              (* fix the optimum for the remaining levels; the stored model
+                 already satisfies this bound *)
+              if lvl.entries <> [] && best < w_total then
+                Sat.add_pb_le sat lvl.entries best
+            end
+            else begin
+              interrupted := true;
+              bounds := (lvl.priority, lvl.offset + lower) :: !bounds
+            end;
+            (lvl.priority, lvl.offset + best)
+          end)
         lvls
     in
-    Some { costs; models_enumerated = !models }
+    let quality = if !interrupted then `Degraded (List.rev !bounds) else `Optimal in
+    Some { costs; models_enumerated = !models; quality }

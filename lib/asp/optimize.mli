@@ -24,15 +24,33 @@ val levels : Translate.t -> level list
 val eval_level : Sat.t -> level -> int
 (** Objective value of [level] in the solver's last model (offset included). *)
 
+type quality =
+  [ `Optimal  (** every level solved to proven optimality *)
+  | `Degraded of (int * int) list
+    (** the budget expired mid-descent; the payload lists, for the
+        interrupted level and every lower-priority level, the (priority,
+        proved lower bound) at interruption.  Earlier levels are exact. *) ]
+
 type outcome = {
-  costs : (int * int) list;  (** (priority, optimal value) per level *)
+  costs : (int * int) list;
+  (** (priority, value) per level: the optimum for completed levels, the
+      returned model's value for degraded ones *)
   models_enumerated : int;  (** SAT answers seen during descent *)
+  quality : quality;
 }
 
 val run :
   ?strategy:[ `Bb | `Usc ] ->
+  ?budget:Budget.t ->
   Translate.t ->
   on_model:(Sat.t -> [ `Accept | `Refine of Sat.lit list list ]) ->
   outcome option
 (** Optimize all levels.  [None] if the program is unsatisfiable.  On
-    success the solver's stored model is an optimal stable model. *)
+    success the solver's stored model is a stable model realizing [costs]:
+    the optimum when [quality] is [`Optimal]; otherwise the best model
+    found before the budget expired, whose cost vector is lexicographically
+    >= the optimum and satisfies every completed level's fixed bound (the
+    {e anytime} contract of clasp's [--time-limit]).
+    @raise Budget.Exhausted only when the budget expires before any model
+    is in hand (during the initial search); after that, expiry degrades the
+    outcome instead of raising. *)

@@ -1,19 +1,19 @@
-exception Error of string * int
-
 open Lexer
 
 type state = {
-  toks : (token * int) array;
+  file : string;
+  toks : (token * Lexer.pos) array;
   mutable pos : int;
   mutable anon : int;
   consts : (string, Ast.term) Hashtbl.t;  (* #const definitions *)
 }
 
 let peek st = fst st.toks.(st.pos)
-let line st = snd st.toks.(st.pos)
 let advance st = st.pos <- st.pos + 1
 
-let err st msg = raise (Error (msg, line st))
+let err st msg =
+  let p = snd st.toks.(st.pos) in
+  Solver_error.parse_error ~src:st.file ~line:p.Lexer.line ~col:p.Lexer.col "%s" msg
 
 let expect st tok =
   if peek st = tok then advance st
@@ -350,9 +350,9 @@ let parse_statement st =
     expect st DOT;
     Some (Ast.Rule { head; body })
 
-let parse src =
-  let toks = Array.of_list (Lexer.tokenize src) in
-  let st = { toks; pos = 0; anon = 0; consts = Hashtbl.create 8 } in
+let parse ?(file = "<program>") src =
+  let toks = Array.of_list (Lexer.tokenize ~file src) in
+  let st = { file; toks; pos = 0; anon = 0; consts = Hashtbl.create 8 } in
   let rec loop acc =
     if peek st = EOF then List.rev acc
     else
@@ -360,11 +360,11 @@ let parse src =
       | Some stmt -> loop (stmt :: acc)
       | None -> loop acc
   in
-  try loop [] with Lexer.Error (m, l) -> raise (Error (m, l))
+  loop []
 
-let parse_term src =
-  let toks = Array.of_list (Lexer.tokenize src) in
-  let st = { toks; pos = 0; anon = 0; consts = Hashtbl.create 8 } in
+let parse_term ?(file = "<term>") src =
+  let toks = Array.of_list (Lexer.tokenize ~file src) in
+  let st = { file; toks; pos = 0; anon = 0; consts = Hashtbl.create 8 } in
   let rec ground = function
     | Ast.Cst c -> c
     | Ast.Fn (f, args) -> Term.fun_ f (List.map ground args)
@@ -373,4 +373,3 @@ let parse_term src =
   match parse_term_ast st with
   | t when peek st = EOF -> ground t
   | _ -> err st "expected a single ground constant"
-  | exception Lexer.Error (m, l) -> raise (Error (m, l))

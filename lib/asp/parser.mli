@@ -1,13 +1,13 @@
 (** Recursive-descent parser for the ASP input language subset of {!Ast}. *)
 
-exception Error of string * int
-(** [Error (message, line)] *)
-
-val parse : string -> Ast.program
+val parse : ?file:string -> string -> Ast.program
 (** Parse a full program.  [#maximize] statements are normalized to
     [#minimize] with negated weights; [#show] statements are ignored.
-    @raise Error on syntax errors. *)
+    [file] labels error locations (default ["<program>"]).
+    @raise Solver_error.Error ([Parse _] with line and column) on syntax
+    errors. *)
 
-val parse_term : string -> Term.t
+val parse_term : ?file:string -> string -> Term.t
 (** Parse a single ground constant (integer, identifier or quoted string).
-    Used when reading answer atoms back. *)
+    Used when reading answer atoms back.
+    @raise Solver_error.Error ([Parse _]) on malformed input. *)

@@ -88,6 +88,7 @@ type t = {
   mutable cla_inc : float;
   mutable unsat : bool;
   mutable model : int array;  (* copy of values at last SAT *)
+  mutable has_model : bool;  (* [model] holds a completed assignment *)
   stats : stats;
   to_clear : int Vec.t;
   mutable max_learnts : float;
@@ -121,6 +122,7 @@ let create ?(params = default_params) () =
     cla_inc = 1.0;
     unsat = false;
     model = [||];
+    has_model = false;
     stats =
       {
         conflicts = 0;
@@ -656,7 +658,8 @@ let pick_branch_var s =
   in
   go ()
 
-let solve ?(assumptions = []) ?(on_model = fun _ -> `Accept) s =
+let solve ?(assumptions = []) ?(on_model = fun _ -> `Accept) ?(budget = Budget.unlimited)
+    s =
   if s.unsat then Unsat
   else begin
     let assumptions = Array.of_list assumptions in
@@ -668,6 +671,7 @@ let solve ?(assumptions = []) ?(on_model = fun _ -> `Accept) s =
       result := Some Unsat
     end
     | None -> ());
+    try
     while !result = None do
       match propagate s with
       | Some confl ->
@@ -684,6 +688,9 @@ let solve ?(assumptions = []) ?(on_model = fun _ -> `Accept) s =
           result := Some Unsat
         end
         else begin
+          (* budget consultation: terminal conflicts above conclude instead
+             of interrupting, so only the learning path ticks *)
+          Budget.tick_conflict budget;
           let learnt, bt = analyze s confl in
           (* backtrack to the asserting level (assumptions below are simply
              re-decided); raising bt instead would plant unit learnts as
@@ -698,6 +705,9 @@ let solve ?(assumptions = []) ?(on_model = fun _ -> `Accept) s =
           end
         end
       | None ->
+        (* covers decisions and model-hook refinement rounds, so deadlines
+           and cancellation fire even in conflict-free search *)
+        Budget.poll budget;
         if !conflicts_until_restart <= 0 && decision_level s > Array.length assumptions
         then begin
           s.stats.restarts <- s.stats.restarts + 1;
@@ -724,6 +734,7 @@ let solve ?(assumptions = []) ?(on_model = fun _ -> `Accept) s =
             match on_model s with
             | `Accept ->
               s.model <- Array.sub s.values 0 s.nvars;
+              s.has_model <- true;
               result := Some Sat
             | `Refine clauses ->
               cancel_until s 0;
@@ -740,13 +751,22 @@ let solve ?(assumptions = []) ?(on_model = fun _ -> `Accept) s =
     done;
     cancel_until s 0;
     Option.get !result
+    with Budget.Exhausted _ as e ->
+      (* leave the solver reusable: retract the partial assignment so the
+         trail, PB counters and heap are back to their level-0 state *)
+      cancel_until s 0;
+      raise e
   end
 
+let no_model () = raise (Solver_error.Error Solver_error.No_model)
+
 let value s l =
-  let v = s.model.(l lsr 1) in
-  v lxor (l land 1) = 1
+  let v = l lsr 1 in
+  if (not s.has_model) || v >= Array.length s.model then no_model ();
+  s.model.(v) lxor (l land 1) = 1
 
 let model_true_vars s =
+  if not s.has_model then no_model ();
   let acc = ref [] in
   Array.iteri (fun v x -> if x = 1 then acc := v :: !acc) s.model;
   List.rev !acc

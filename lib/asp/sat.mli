@@ -64,6 +64,7 @@ type result = Sat | Unsat
 val solve :
   ?assumptions:lit list ->
   ?on_model:(t -> [ `Accept | `Refine of lit list list ]) ->
+  ?budget:Budget.t ->
   t ->
   result
 (** Search for a model.  When a total assignment is found, [on_model] is
@@ -71,14 +72,22 @@ val solve :
     installs the clauses (at least one of which must be violated by the
     current assignment, or the search may not terminate) and continues.
     Assumptions are decided first; if they are contradictory with the
-    constraints the result is [Unsat]. *)
+    constraints the result is [Unsat].
+
+    The budget is ticked at every learning conflict and polled at every
+    decision.
+    @raise Budget.Exhausted when the budget runs out; the solver is left in
+    a consistent level-0 state (re-solvable, and the last stored model — if
+    any — is untouched). *)
 
 val value : t -> lit -> bool
-(** Value of a literal in the last model.  Only valid after [solve] returned
-    [Sat]. *)
+(** Value of a literal in the last stored model.
+    @raise Solver_error.Error [No_model] before the first successful solve,
+    or when the literal's variable was created after the model was stored. *)
 
 val model_true_vars : t -> int list
-(** Variables assigned true in the last model. *)
+(** Variables assigned true in the last stored model.
+    @raise Solver_error.Error [No_model] before the first successful solve. *)
 
 val stats : t -> stats
 

@@ -1,6 +1,7 @@
 type outcome = {
   answer : Gatom.t list;
   costs : (int * int) list;
+  quality : Optimize.quality;
   ground_stats : Grounder.stats;
   sat_stats : Sat.stats;
   models_enumerated : int;
@@ -8,7 +9,14 @@ type outcome = {
   solve_time : float;
 }
 
-type result = Sat of outcome | Unsat of { ground_time : float; solve_time : float }
+type result =
+  | Sat of outcome
+  | Unsat of { ground_time : float; solve_time : float }
+  | Interrupted of {
+      info : Budget.info;
+      ground_time : float;
+      solve_time : float;
+    }
 
 (* Apply #show statements: when any are present, only atoms whose
    (predicate, arity) is explicitly shown are reported. *)
@@ -22,45 +30,53 @@ let apply_show prog answer =
         List.mem (a.Gatom.pred, List.length a.Gatom.args) shown)
       answer
 
-let time f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
-
-let solve_program ?(config = Config.default) prog =
-  let (g, gstats), ground_time = time (fun () -> Grounder.ground prog) in
-  let params = Config.params config.Config.preset in
-  let result, solve_time =
-    time (fun () ->
-        let t = Translate.translate ~params g in
-        let on_model = Stable.hook t in
-        let strategy =
-          match config.Config.strategy with Config.Bb -> `Bb | Config.Usc -> `Usc
-        in
-        match Optimize.run ~strategy t ~on_model with
-        | None -> None
-        | Some { Optimize.costs; models_enumerated } ->
-          Some
-            ( apply_show prog (Translate.answer t),
-              costs,
-              Sat.stats t.Translate.sat,
-              models_enumerated ))
+let solve_program ?(config = Config.default) ?budget prog =
+  let budget =
+    match budget with Some b -> b | None -> Budget.start config.Config.limits
   in
-  match result with
-  | None -> Unsat { ground_time; solve_time }
-  | Some (answer, costs, sat_stats, models_enumerated) ->
-    Sat
-      {
-        answer;
-        costs;
-        ground_stats = gstats;
-        sat_stats;
-        models_enumerated;
-        ground_time;
-        solve_time;
-      }
+  let t0 = Unix.gettimeofday () in
+  match Grounder.ground ~budget prog with
+  | exception Budget.Exhausted info ->
+    Interrupted { info; ground_time = Unix.gettimeofday () -. t0; solve_time = 0. }
+  | g, gstats -> (
+    let ground_time = Unix.gettimeofday () -. t0 in
+    let params = Config.params config.Config.preset in
+    let t1 = Unix.gettimeofday () in
+    let run () =
+      let t = Translate.translate ~params g in
+      let on_model = Stable.hook t in
+      let strategy =
+        match config.Config.strategy with Config.Bb -> `Bb | Config.Usc -> `Usc
+      in
+      match Optimize.run ~strategy ~budget t ~on_model with
+      | None -> None
+      | Some { Optimize.costs; models_enumerated; quality } ->
+        Some
+          ( apply_show prog (Translate.answer t),
+            costs,
+            quality,
+            Sat.stats t.Translate.sat,
+            models_enumerated )
+    in
+    match run () with
+    | exception Budget.Exhausted info ->
+      (* the budget expired before any stable model was found *)
+      Interrupted { info; ground_time; solve_time = Unix.gettimeofday () -. t1 }
+    | None -> Unsat { ground_time; solve_time = Unix.gettimeofday () -. t1 }
+    | Some (answer, costs, quality, sat_stats, models_enumerated) ->
+      Sat
+        {
+          answer;
+          costs;
+          quality;
+          ground_stats = gstats;
+          sat_stats;
+          models_enumerated;
+          ground_time;
+          solve_time = Unix.gettimeofday () -. t1;
+        })
 
-let solve_text ?config src = solve_program ?config (Parser.parse src)
+let solve_text ?config ?budget src = solve_program ?config ?budget (Parser.parse src)
 
 let holds o p args =
   let target = Gatom.make p args in

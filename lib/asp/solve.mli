@@ -4,11 +4,20 @@
     program, grounds it, runs CDCL search under stable-model semantics and
     returns the optimal answer set together with per-phase timings (the
     paper's instrumentation distinguishes {e load}, {e ground} and {e solve}
-    phases; {e setup} — fact generation — happens in the caller). *)
+    phases; {e setup} — fact generation — happens in the caller).
+
+    Solves are budgeted (see {!Budget}): when the budget expires after a
+    stable model is in hand the result is still [Sat], marked
+    [`Degraded]; when it expires earlier the result is {!Interrupted}.
+    Neither case raises. *)
 
 type outcome = {
-  answer : Gatom.t list;  (** atoms of the optimal stable model, facts included *)
+  answer : Gatom.t list;  (** atoms of the stable model, facts included *)
   costs : (int * int) list;  (** optimization results: (priority, value) *)
+  quality : Optimize.quality;
+  (** [`Optimal], or [`Degraded bounds] when the budget expired
+      mid-optimization (the answer is the best model found; completed
+      levels are exact, [bounds] are the proved lower bounds of the rest) *)
   ground_stats : Grounder.stats;
   sat_stats : Sat.stats;
   models_enumerated : int;
@@ -16,14 +25,24 @@ type outcome = {
   solve_time : float;  (** translation + search + optimization, seconds *)
 }
 
-type result = Sat of outcome | Unsat of { ground_time : float; solve_time : float }
+type result =
+  | Sat of outcome
+  | Unsat of { ground_time : float; solve_time : float }
+  | Interrupted of {
+      info : Budget.info;  (** phase, reason and partial stats at expiry *)
+      ground_time : float;
+      solve_time : float;
+    }  (** the budget expired before any stable model was found *)
 
-val solve_program : ?config:Config.t -> Ast.program -> result
-(** @raise Grounder.Error on unsafe or unsupported programs. *)
+val solve_program : ?config:Config.t -> ?budget:Budget.t -> Ast.program -> result
+(** A budget is armed from [config.limits] unless an explicit (possibly
+    fault-injected, see {!Fault}) [budget] is given.
+    @raise Solver_error.Error ([Ground _]) on unsafe or unsupported
+    programs. *)
 
-val solve_text : ?config:Config.t -> string -> result
+val solve_text : ?config:Config.t -> ?budget:Budget.t -> string -> result
 (** Parse then solve.
-    @raise Parser.Error on syntax errors. *)
+    @raise Solver_error.Error ([Parse _]) on syntax errors. *)
 
 val holds : outcome -> string -> Term.t list -> bool
 (** [holds o p args] tests whether atom [p(args)] is in the answer. *)
@@ -36,4 +55,4 @@ val enumerate :
 (** Enumerate stable models (all of them by default, up to [limit]): each
     answer is blocked and the search continues, like clingo's [--models N].
     When the program has [#minimize] statements only {e optimal} models are
-    enumerated (clingo's [--opt-mode=optN]). *)
+    enumerated (clingo's [--opt-mode=optN]).  Enumeration is not budgeted. *)

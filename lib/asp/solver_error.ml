@@ -1,0 +1,23 @@
+type t =
+  | Parse of { src : string; line : int; col : int; msg : string }
+  | Ground of { msg : string }
+  | Exhausted of Budget.info
+  | No_model
+
+exception Error of t
+
+let pp ppf = function
+  | Parse { src; line; col; msg } ->
+    Format.fprintf ppf "%s:%d:%d: syntax error: %s" src line col msg
+  | Ground { msg } -> Format.fprintf ppf "grounding error: %s" msg
+  | Exhausted info -> Format.fprintf ppf "budget exhausted: %a" Budget.pp_info info
+  | No_model ->
+    Format.pp_print_string ppf
+      "no model available: the solver has not produced a model yet"
+
+let to_string e = Format.asprintf "%a" pp e
+
+let parse_error ~src ~line ~col fmt =
+  Format.kasprintf (fun msg -> raise (Error (Parse { src; line; col; msg }))) fmt
+
+let ground_error fmt = Format.kasprintf (fun msg -> raise (Error (Ground { msg }))) fmt

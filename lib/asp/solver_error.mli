@@ -1,0 +1,31 @@
+(** The typed error taxonomy of the solve pipeline.
+
+    Everything [solve_program] / [Concretizer.solve] can fail with is one of
+    these constructors — no bare [Failure] strings escape the pipeline:
+
+    - {!Parse}: syntax errors from {!Lexer}/{!Parser}, located by source
+      label, line and column;
+    - {!Ground}: grounding-time violations (unsafe rules, non-EDB
+      conditions, arithmetic on non-integer terms);
+    - {!Exhausted}: a budget ran out, with the phase and partial stats
+      (usually surfaced as an [Interrupted] result rather than raised);
+    - {!No_model}: a model accessor ({!Sat.value},
+      {!Sat.model_true_vars}) was called before a successful solve. *)
+
+type t =
+  | Parse of { src : string; line : int; col : int; msg : string }
+  | Ground of { msg : string }
+  | Exhausted of Budget.info
+  | No_model
+
+exception Error of t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val parse_error :
+  src:string -> line:int -> col:int -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise [Error (Parse _)] with a formatted message. *)
+
+val ground_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise [Error (Ground _)] with a formatted message. *)

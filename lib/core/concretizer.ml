@@ -12,6 +12,7 @@ type success = {
   reused : (string * string) list;
   built : string list;
   costs : (int * int) list;
+  quality : Asp.Optimize.quality;
   phases : phases;
   n_facts : int;
   n_possible : int;
@@ -26,6 +27,12 @@ type result =
       n_facts : int;
       n_possible : int;
       reasons : string list;
+    }
+  | Interrupted of {
+      info : Asp.Budget.info;
+      phases : phases;
+      n_facts : int;
+      n_possible : int;
     }
 
 let time f =
@@ -69,59 +76,121 @@ let apply_phase_hints (t : Asp.Translate.t) =
       | None -> ()
   done
 
-let solve ?(config = Asp.Config.default) ?(env = Facts.default_env)
-    ?(prefs = Preferences.empty) ?installed ~repo roots =
+let solve ?(config = Asp.Config.default) ?params ?(env = Facts.default_env)
+    ?(prefs = Preferences.empty) ?installed ?budget ~repo roots =
+  let budget =
+    match budget with
+    | Some b -> b
+    | None -> Asp.Budget.start config.Asp.Config.limits
+  in
   (* setup: generate the problem-instance facts *)
   let facts, setup_time =
     time (fun () -> Facts.generate ~env ~prefs ?installed ~repo roots)
   in
+  let n_facts = facts.Facts.n_facts in
+  let n_possible = List.length facts.Facts.possible in
   (* load: parse the logic program (not memoized: the paper times this) *)
   let lp, load_time = time (fun () -> Asp.Parser.parse Logic_program.text) in
   (* ground *)
-  let (ground, ground_stats), ground_time =
-    time (fun () -> Asp.Grounder.ground (lp @ facts.Facts.statements))
-  in
-  (* solve: translate, search, optimize *)
-  let params = Asp.Config.params config.Asp.Config.preset in
-  let outcome, solve_time =
-    time (fun () ->
-        let t = Asp.Translate.translate ~params ground in
-        apply_phase_hints t;
-        let on_model = Asp.Stable.hook t in
-        let strategy =
-          match config.Asp.Config.strategy with
-          | Asp.Config.Bb -> `Bb
-          | Asp.Config.Usc -> `Usc
-        in
-        match Asp.Optimize.run ~strategy t ~on_model with
-        | None -> None
-        | Some { Asp.Optimize.costs; _ } ->
-          Some (Asp.Translate.answer t, costs, Asp.Sat.stats t.Asp.Translate.sat))
-  in
-  let phases = { setup_time; load_time; ground_time; solve_time } in
-  match outcome with
-  | None ->
-    Unsatisfiable
+  let t0 = Unix.gettimeofday () in
+  match Asp.Grounder.ground ~budget (lp @ facts.Facts.statements) with
+  | exception Asp.Budget.Exhausted info ->
+    let phases =
       {
-        phases;
-        n_facts = facts.Facts.n_facts;
-        n_possible = List.length facts.Facts.possible;
-        reasons = Diagnose.explain ~env ~repo roots;
+        setup_time;
+        load_time;
+        ground_time = Unix.gettimeofday () -. t0;
+        solve_time = 0.;
       }
-  | Some (answer, costs, sat_stats) ->
-    let info = Extract.extract answer in
-    Concrete
-      {
-        spec = info.Extract.spec;
-        reused = info.Extract.reused;
-        built = info.Extract.built;
-        costs;
-        phases;
-        n_facts = facts.Facts.n_facts;
-        n_possible = List.length facts.Facts.possible;
-        ground_stats;
-        sat_stats;
-      }
+    in
+    Interrupted { info; phases; n_facts; n_possible }
+  | ground, ground_stats -> (
+    let ground_time = Unix.gettimeofday () -. t0 in
+    (* solve: translate, search, optimize *)
+    let params =
+      match params with
+      | Some p -> p
+      | None -> Asp.Config.params config.Asp.Config.preset
+    in
+    let t1 = Unix.gettimeofday () in
+    let run () =
+      let t = Asp.Translate.translate ~params ground in
+      apply_phase_hints t;
+      let on_model = Asp.Stable.hook t in
+      let strategy =
+        match config.Asp.Config.strategy with
+        | Asp.Config.Bb -> `Bb
+        | Asp.Config.Usc -> `Usc
+      in
+      match Asp.Optimize.run ~strategy ~budget t ~on_model with
+      | None -> None
+      | Some { Asp.Optimize.costs; quality; _ } ->
+        Some
+          (Asp.Translate.answer t, costs, quality, Asp.Sat.stats t.Asp.Translate.sat)
+    in
+    match run () with
+    | exception Asp.Budget.Exhausted info ->
+      let phases =
+        {
+          setup_time;
+          load_time;
+          ground_time;
+          solve_time = Unix.gettimeofday () -. t1;
+        }
+      in
+      Interrupted { info; phases; n_facts; n_possible }
+    | outcome -> (
+      let solve_time = Unix.gettimeofday () -. t1 in
+      let phases = { setup_time; load_time; ground_time; solve_time } in
+      match outcome with
+      | None ->
+        Unsatisfiable
+          {
+            phases;
+            n_facts;
+            n_possible;
+            reasons = Diagnose.explain ~env ~repo roots;
+          }
+      | Some (answer, costs, quality, sat_stats) ->
+        let info = Extract.extract answer in
+        Concrete
+          {
+            spec = info.Extract.spec;
+            reused = info.Extract.reused;
+            built = info.Extract.built;
+            costs;
+            quality;
+            phases;
+            n_facts;
+            n_possible;
+            ground_stats;
+            sat_stats;
+          }))
 
-let solve_spec ?config ?env ?prefs ?installed ~repo text =
-  solve ?config ?env ?prefs ?installed ~repo [ Specs.Spec_parser.parse text ]
+let solve_spec ?config ?env ?prefs ?installed ?budget ~repo text =
+  solve ?config ?env ?prefs ?installed ?budget ~repo
+    [ Specs.Spec_parser.parse text ]
+
+(* Retry with escalation: each interrupted attempt doubles every finite
+   limit and reseeds the search (a different EVSIDS tie-breaking order often
+   finds a first model much faster, clasp's restart-on-budget idiom).
+   Cancellation is honoured immediately — a SIGINT must not trigger a
+   retry. *)
+let solve_escalating ?(attempts = 3) ?(config = Asp.Config.default)
+    ?env ?prefs ?installed ?cancel ?fault ~repo roots =
+  let base = Asp.Config.params config.Asp.Config.preset in
+  let rec go k limits =
+    let budget = Asp.Budget.start ?cancel limits in
+    (match fault with Some f -> f k budget | None -> ());
+    let params =
+      if k = 0 then base
+      else { base with Asp.Sat.seed = base.Asp.Sat.seed + (k * 7919) }
+    in
+    match solve ~config ~params ?env ?prefs ?installed ~budget ~repo roots with
+    | Interrupted { info; _ } as r ->
+      if info.Asp.Budget.reason = Asp.Budget.Cancelled || k + 1 >= attempts
+      then r
+      else go (k + 1) (Asp.Budget.double limits)
+    | r -> r
+  in
+  go 0 config.Asp.Config.limits

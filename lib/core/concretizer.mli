@@ -3,7 +3,12 @@
     Pipeline (§VII): {e setup} generates facts for the problem instance,
     {e load} parses the logic program, {e ground} instantiates it, and
     {e solve} runs CDCL search with lexicographic optimization.  Each phase
-    is timed separately, matching the paper's instrumentation. *)
+    is timed separately, matching the paper's instrumentation.
+
+    Solves are budgeted (see {!Asp.Budget}): a budget expiring after a
+    stable model is in hand still yields {!Concrete}, marked [`Degraded];
+    expiring earlier yields {!Interrupted}.  Neither case raises, and
+    {!solve_escalating} retries interrupted solves with doubled limits. *)
 
 type phases = {
   setup_time : float;
@@ -19,6 +24,10 @@ type success = {
   reused : (string * string) list;  (** (package, hash) reused from the DB *)
   built : string list;  (** packages built from source *)
   costs : (int * int) list;  (** optimization vector: (priority, value) *)
+  quality : Asp.Optimize.quality;
+  (** [`Optimal], or [`Degraded bounds] when the budget expired
+      mid-optimization: the spec is valid (it is a stable model) but its
+      costs are only guaranteed optimal for completed levels *)
   phases : phases;
   n_facts : int;
   n_possible : int;  (** possible dependencies considered (Fig. 7's x-axis) *)
@@ -34,16 +43,27 @@ type result =
       n_possible : int;
       reasons : string list;  (** best-effort explanations ({!Diagnose}) *)
     }
+  | Interrupted of {
+      info : Asp.Budget.info;  (** phase, reason, partial stats at expiry *)
+      phases : phases;
+      n_facts : int;
+      n_possible : int;
+    }  (** the budget expired before any stable model was found *)
 
 val solve :
   ?config:Asp.Config.t ->
+  ?params:Asp.Sat.params ->
   ?env:Facts.env ->
   ?prefs:Preferences.t ->
   ?installed:Pkg.Database.t ->
+  ?budget:Asp.Budget.t ->
   repo:Pkg.Repo.t ->
   Specs.Spec.abstract list ->
   result
-(** Concretize one or more root specs together (unified DAG).
+(** Concretize one or more root specs together (unified DAG).  A budget is
+    armed from [config.limits] unless an explicit [budget] is given;
+    [params] overrides the preset's search parameters (used by
+    {!solve_escalating} to reseed retries).
     @raise Facts.Unknown_package on unknown roots or [^deps]. *)
 
 val solve_spec :
@@ -51,7 +71,28 @@ val solve_spec :
   ?env:Facts.env ->
   ?prefs:Preferences.t ->
   ?installed:Pkg.Database.t ->
+  ?budget:Asp.Budget.t ->
   repo:Pkg.Repo.t ->
   string ->
   result
-(** Parse a spec string, then {!solve}. *)
+(** Parse a spec string, then {!solve}.
+    @raise Specs.Spec_parser.Error on malformed spec syntax. *)
+
+val solve_escalating :
+  ?attempts:int ->
+  ?config:Asp.Config.t ->
+  ?env:Facts.env ->
+  ?prefs:Preferences.t ->
+  ?installed:Pkg.Database.t ->
+  ?cancel:Asp.Budget.cancel_token ->
+  ?fault:(int -> Asp.Budget.t -> unit) ->
+  repo:Pkg.Repo.t ->
+  Specs.Spec.abstract list ->
+  result
+(** {!solve} with retry-on-interruption: up to [attempts] (default 3)
+    rounds, doubling every finite limit of [config.limits] and reseeding
+    the search each round.  Returns the first non-interrupted result, or
+    the last {!Interrupted} one.  Cancellation (reason [Cancelled]) is
+    never retried.  [fault] observes each round's armed budget before the
+    solve — the fault-injection tests use it; [cancel] is shared across
+    rounds so a SIGINT during any round sticks. *)

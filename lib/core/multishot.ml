@@ -25,7 +25,7 @@ let solve_stack ?config ?env ?prefs ?installed ~repo roots =
         let result = Concretizer.solve ?config ?env ?prefs ~installed:db ~repo [ a ] in
         (match result with
         | Concretizer.Concrete s -> Pkg.Database.add_concrete db s.Concretizer.spec
-        | Concretizer.Unsatisfiable _ -> ());
+        | Concretizer.Unsatisfiable _ | Concretizer.Interrupted _ -> ());
         { shot_root = a.Specs.Spec.aroot.Specs.Spec.cname; shot_result = result })
       roots
   in

@@ -1,6 +1,9 @@
-exception Error of string
+type error = { message : string; text : string; pos : int }
 
-let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+exception Error of error
+
+let error_to_string e =
+  Printf.sprintf "%s\n  %s\n  %s^" e.message e.text (String.make e.pos ' ')
 
 let is_name_char = function
   | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> true
@@ -17,10 +20,21 @@ let is_value_char = function
 let flag_keys = [ "cflags"; "cxxflags"; "fflags"; "ldflags"; "cppflags" ]
 
 (* Parse one node's text (without '^').  [s] may contain spaces between
-   sigil groups: "hdf5@1.10 +mpi target=skylake". *)
-let parse_node_text text =
+   sigil groups: "hdf5@1.10 +mpi target=skylake".  Errors report [full]
+   (the complete spec string) with a position of [base] plus the local
+   offset, so the caret in the rendered message points into the original
+   input even for [^dep] nodes. *)
+let parse_node_text ?full ?(base = 0) text =
+  let full = match full with Some f -> f | None -> text in
   let n = String.length text in
   let i = ref 0 in
+  let fail at fmt =
+    Printf.ksprintf
+      (fun message ->
+        raise (Error { message; text = full; pos = min (base + at) (String.length full) }))
+      fmt
+  in
+  let err fmt = fail !i fmt in
   let peek () = if !i < n then Some text.[!i] else None in
   let take pred =
     let start = !i in
@@ -36,7 +50,7 @@ let parse_node_text text =
   in
   skip_spaces ();
   let name = take is_name_char in
-  if name = "" then err "expected a package name in %S" text;
+  if name = "" then err "expected a package name";
   let node = ref (Spec.empty_node name) in
   let set_variant k v =
     node :=
@@ -49,41 +63,43 @@ let parse_node_text text =
     | Some '@' ->
       incr i;
       let v = take is_version_char in
-      if v = "" then err "empty version constraint in %S" text;
+      if v = "" then err "empty version constraint";
       node := { !node with Spec.cversion = Some (Vrange.of_string v) };
       loop ()
     | Some '%' ->
       incr i;
       let c = take is_name_char in
-      if c = "" then err "empty compiler name in %S" text;
+      if c = "" then err "empty compiler name";
       node := { !node with Spec.ccompiler = Some c };
       (match peek () with
       | Some '@' ->
         incr i;
         let v = take is_version_char in
-        if v = "" then err "empty compiler version in %S" text;
+        if v = "" then err "empty compiler version";
         node := { !node with Spec.ccompiler_version = Some (Vrange.of_string v) }
       | _ -> ());
       loop ()
     | Some '+' ->
       incr i;
       let v = take is_name_char in
-      if v = "" then err "empty variant name in %S" text;
+      if v = "" then err "empty variant name";
       set_variant v "true";
       loop ()
     | Some '~' ->
       incr i;
       let v = take is_name_char in
-      if v = "" then err "empty variant name in %S" text;
+      if v = "" then err "empty variant name";
       set_variant v "false";
       loop ()
     | Some c when is_name_char c ->
       (* key=value *)
+      let key_start = !i in
       let key = take is_name_char in
       (match peek () with
       | Some '=' ->
         incr i;
         (* values may be quoted (required for flags with spaces/dashes) *)
+        let value_start = !i in
         let value =
           if peek () = Some '"' then begin
             incr i;
@@ -91,14 +107,14 @@ let parse_node_text text =
             while !i < n && text.[!i] <> '"' do
               incr i
             done;
-            if !i >= n then err "unterminated quoted value in %S" text;
+            if !i >= n then fail value_start "unterminated quoted value";
             let v = String.sub text start (!i - start) in
             incr i;
             v
           end
           else take is_value_char
         in
-        if value = "" then err "empty value for %s in %S" key text;
+        if value = "" then fail value_start "empty value for %s" key;
         (match key with
         | k when List.mem k flag_keys ->
           node :=
@@ -113,11 +129,12 @@ let parse_node_text text =
           match String.split_on_char '-' value with
           | [ _platform; os; target ] ->
             node := { !node with Spec.cos = Some os; ctarget = Some target }
-          | _ -> err "arch= expects platform-os-target, got %S" value)
+          | _ ->
+            fail value_start "arch= expects platform-os-target, got %S" value)
         | _ -> set_variant key value)
-      | _ -> err "dangling token %S in %S" key text);
+      | _ -> fail key_start "dangling token %S" key);
       loop ()
-    | Some c -> err "unexpected character %C in %S" c text
+    | Some c -> err "unexpected character %C" c
   in
   loop ();
   {
@@ -127,17 +144,38 @@ let parse_node_text text =
   }
 
 let parse_node text =
-  if String.contains text '^' then err "unexpected '^' in node %S" text;
+  (match String.index_opt text '^' with
+  | Some at ->
+    raise (Error { message = "unexpected '^' in node"; text; pos = at })
+  | None -> ());
   parse_node_text text
 
-let parse text =
-  let text = String.trim text in
-  if text = "" then err "empty spec";
-  match String.split_on_char '^' text with
-  | [] -> err "empty spec"
-  | root :: deps ->
-    if String.trim root = "" then err "spec must start with a root package";
+let parse original =
+  let text = String.trim original in
+  if text = "" then
+    raise (Error { message = "empty spec"; text = original; pos = 0 });
+  (* split on '^' keeping each piece's offset into [text] for error
+     positions *)
+  let pieces =
+    let acc = ref [] and start = ref 0 in
+    String.iteri (fun j c -> if c = '^' then begin
+        acc := (String.sub text !start (j - !start), !start) :: !acc;
+        start := j + 1
+      end) text;
+    acc := (String.sub text !start (String.length text - !start), !start) :: !acc;
+    List.rev !acc
+  in
+  match pieces with
+  | [] -> raise (Error { message = "empty spec"; text; pos = 0 })
+  | (root, _) :: deps ->
+    if String.trim root = "" then
+      raise (Error { message = "spec must start with a root package"; text; pos = 0 });
     {
-      Spec.aroot = parse_node_text root;
-      adeps = List.map parse_node_text (List.filter (fun s -> String.trim s <> "") deps);
+      Spec.aroot = parse_node_text ~full:text root;
+      adeps =
+        List.filter_map
+          (fun (s, base) ->
+            if String.trim s = "" then None
+            else Some (parse_node_text ~full:text ~base s))
+          deps;
     }

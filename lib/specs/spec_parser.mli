@@ -10,7 +10,16 @@
 
     Example: [hdf5@1.10.2 ^zlib%gcc ^cmake target=aarch64] *)
 
-exception Error of string
+type error = {
+  message : string;
+  text : string;  (** the full spec string being parsed *)
+  pos : int;  (** 0-based character offset of the error into [text] *)
+}
+
+exception Error of error
+
+val error_to_string : error -> string
+(** Render the message with the offending input and a caret under [pos]. *)
 
 val parse : string -> Spec.abstract
 (** @raise Error on malformed input. *)

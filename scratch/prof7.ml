@@ -9,5 +9,6 @@ let () =
           (if vs = [] then "valid"
            else String.concat "; "
                (List.map (Format.asprintf "%a" Concretize.Validate.pp_violation) vs))
+      | Concretize.Concretizer.Interrupted _ -> Printf.printf "%-28s INTERRUPTED\n" spec
       | Concretize.Concretizer.Unsatisfiable _ -> Printf.printf "%-28s UNSAT\n" spec)
     [ "hdf5"; "example"; "petsc"; "berkeleygw+openmp"; "hpctoolkit ^mpich"; "quantum-espresso" ]

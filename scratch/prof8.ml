@@ -19,5 +19,6 @@ let () =
              (List.filter_map
                 (fun (p, v) -> if v <> 0 then Some (Printf.sprintf "%d@%d" v p) else None)
                 s.Concretize.Concretizer.costs))
+      | Concretize.Concretizer.Interrupted _ -> print_endline "INTERRUPTED"
       | Concretize.Concretizer.Unsatisfiable _ -> print_endline "UNSAT")
     [ Asp.Config.Usc; Asp.Config.Bb ]

@@ -1,17 +1,30 @@
 #!/bin/sh
 # CI entry point: build, run the full test suite, then a quick benchmark
 # smoke test to catch performance-path regressions that type-check fine.
+# Every stage runs under a hard timeout so a hung solve (the class of bug
+# the budget layer exists to prevent) fails CI instead of wedging it.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 echo "== dune build"
-dune build
+timeout 600 dune build
 
 echo "== dune runtest"
-dune runtest
+timeout 600 dune runtest
+
+echo "== fault-injection sweep"
+timeout 300 dune exec test/test_budget.exe
+
+echo "== budgeted solve returns promptly"
+rc=0
+timeout 60 dune exec bin/spack_solve.exe -- --repo 800 --timeout 0.05 app-000 \
+  > /dev/null 2>&1 || rc=$?
+# 0 = solved in time (fast machine), 3 = interrupted cleanly; anything else
+# (hang killed by timeout, crash, bare exception) fails
+[ "$rc" -eq 0 ] || [ "$rc" -eq 3 ]
 
 echo "== bench smoke (fig3 + fig7d --quick)"
-dune exec bench/main.exe -- fig3 fig7d --quick --json BENCH_ci.json
+timeout 600 dune exec bench/main.exe -- fig3 fig7d --quick --json BENCH_ci.json
 
 echo "== ci OK"

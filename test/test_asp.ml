@@ -4,6 +4,7 @@ let solve ?config src = Asp.Solve.solve_text ?config src
 
 let answer_strings = function
   | Asp.Solve.Unsat _ -> [ "UNSAT" ]
+  | Asp.Solve.Interrupted _ -> [ "INTERRUPTED" ]
   | Asp.Solve.Sat o ->
     List.map (Format.asprintf "%a" Asp.Gatom.pp) o.Asp.Solve.answer |> List.sort compare
 
@@ -14,9 +15,12 @@ let outcome src =
   match solve src with
   | Asp.Solve.Sat o -> o
   | Asp.Solve.Unsat _ -> Alcotest.fail "expected SAT"
+  | Asp.Solve.Interrupted _ -> Alcotest.fail "unbudgeted solve interrupted"
 
 let is_unsat src =
-  match solve src with Asp.Solve.Unsat _ -> true | Asp.Solve.Sat _ -> false
+  match solve src with
+  | Asp.Solve.Unsat _ -> true
+  | Asp.Solve.Sat _ | Asp.Solve.Interrupted _ -> false
 
 (* ------------------------------------------------------------------ *)
 (* Parser                                                              *)
@@ -56,10 +60,23 @@ let test_parse_errors () =
   List.iter
     (fun src ->
       match Asp.Parser.parse src with
-      | exception Asp.Parser.Error _ -> ()
-      | exception Asp.Lexer.Error _ -> ()
+      | exception Asp.Solver_error.Error (Asp.Solver_error.Parse _) -> ()
       | _ -> Alcotest.failf "expected syntax error for %S" src)
     bad
+
+let test_parse_error_position () =
+  match Asp.Parser.parse "p(a).\nq(X :- r." with
+  | exception Asp.Solver_error.Error (Asp.Solver_error.Parse { line; col; _ }) ->
+    Alcotest.(check int) "error on the second line" 2 line;
+    Alcotest.(check bool) "column is positive" true (col > 0)
+  | _ -> Alcotest.fail "expected a located parse error"
+
+let test_lexer_error_position () =
+  match Asp.Parser.parse "p(a).\nq(\"unterminated." with
+  | exception Asp.Solver_error.Error (Asp.Solver_error.Parse { line; col; _ }) ->
+    Alcotest.(check int) "line of the open quote" 2 line;
+    Alcotest.(check int) "column of the open quote" 3 col
+  | _ -> Alcotest.fail "expected a located lexer error"
 
 let test_parse_arith () =
   match Asp.Parser.parse "p(X + 2 * Y) :- q(X, Y)." with
@@ -302,7 +319,7 @@ let test_condition_triggers_choice () =
 
 let ground_error src =
   match Asp.Grounder.ground (Asp.Parser.parse src) with
-  | exception Asp.Grounder.Error _ -> true
+  | exception Asp.Solver_error.Error (Asp.Solver_error.Ground _) -> true
   | _ -> false
 
 let test_grounder_errors () =
@@ -351,7 +368,8 @@ let test_empty_and_weird_programs () =
   (* an empty program has one (empty) stable model *)
   (match Asp.Solve.solve_text "" with
   | Asp.Solve.Sat o -> Alcotest.(check int) "empty answer" 0 (List.length o.Asp.Solve.answer)
-  | Asp.Solve.Unsat _ -> Alcotest.fail "empty program is satisfiable");
+  | Asp.Solve.Unsat _ -> Alcotest.fail "empty program is satisfiable"
+  | Asp.Solve.Interrupted _ -> Alcotest.fail "unbudgeted solve interrupted");
   (* a single trivially false constraint *)
   Alcotest.(check bool) "fact + contradiction" true (is_unsat "p. :- p.")
 
@@ -364,7 +382,7 @@ let test_intervals () =
   Alcotest.(check int) "2x2 grid" 4 (List.length (Asp.Solve.atoms_of o "grid"));
   (* intervals outside facts are rejected *)
   match Asp.Grounder.ground (Asp.Parser.parse "p(X) :- q(X..3). q(1).") with
-  | exception Asp.Grounder.Error _ -> ()
+  | exception Asp.Solver_error.Error (Asp.Solver_error.Ground _) -> ()
   | _ -> Alcotest.fail "interval in body accepted"
 
 let test_const_directive () =
@@ -469,7 +487,7 @@ let gen_small_program =
 
 let cdcl_model_of prog =
   match Asp.Solve.solve_program prog with
-  | Asp.Solve.Unsat _ -> None
+  | Asp.Solve.Unsat _ | Asp.Solve.Interrupted _ -> None
   | Asp.Solve.Sat o -> Some (List.sort Asp.Gatom.compare o.Asp.Solve.answer)
 
 let prop_agrees_with_naive =
@@ -536,6 +554,7 @@ let prop_optimal_cost_matches_naive =
     gen_opt_program (fun prog ->
       let naive = Asp.Naive.optimal_models prog in
       match Asp.Solve.solve_program prog with
+      | Asp.Solve.Interrupted _ -> false
       | Asp.Solve.Unsat _ -> naive = []
       | Asp.Solve.Sat o -> (
         match naive with
@@ -562,7 +581,7 @@ let prop_usc_matches_bb =
       let solve strategy =
         let config = Asp.Config.make ~strategy () in
         match Asp.Solve.solve_program ~config prog with
-        | Asp.Solve.Unsat _ -> None
+        | Asp.Solve.Unsat _ | Asp.Solve.Interrupted _ -> None
         | Asp.Solve.Sat o ->
           Some (List.filter (fun (_, v) -> v <> 0) o.Asp.Solve.costs)
       in
@@ -585,6 +604,8 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_parse_roundtrip;
           Alcotest.test_case "conditional literals" `Quick test_parse_conditional;
           Alcotest.test_case "syntax errors" `Quick test_parse_errors;
+          Alcotest.test_case "parse error position" `Quick test_parse_error_position;
+          Alcotest.test_case "lexer error position" `Quick test_lexer_error_position;
           Alcotest.test_case "arithmetic precedence" `Quick test_parse_arith;
         ] );
       ( "solving",

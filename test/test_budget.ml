@@ -1,0 +1,318 @@
+(* Fault-injection sweeps for the budget layer.
+
+   The harness arms a deterministic fault at each interruption point of the
+   pipeline (grounding instances, search conflicts, optimization steps) and
+   fires it after exactly N events, for every N up to the unbudgeted event
+   count.  Every run must either complete identically to the unbudgeted
+   solve or return a well-formed degraded/interrupted outcome whose cost
+   vector is lexicographically >= the optimum — the anytime-optimality
+   contract of DESIGN.md. *)
+
+module B = Asp.Budget
+
+(* a weighted vertex cover with two optimization levels: small enough for
+   Asp.Naive to enumerate, hard enough to generate conflicts and several
+   descent steps *)
+let src =
+  {|node(1..5).
+    edge(1,2). edge(2,3). edge(3,4). edge(4,5). edge(5,1). edge(1,3).
+    { in(X) : node(X) }.
+    :- edge(X,Y), not in(X), not in(Y).
+    w(1,3). w(2,1). w(3,4). w(4,1). w(5,5).
+    #minimize { W@2,X : in(X), w(X,W) }.
+    #minimize { 1@1,X : in(X) }.|}
+
+let prog = Asp.Parser.parse src
+
+(* ground truth from the brute-force reference solver *)
+let naive_models =
+  List.map (List.sort Asp.Gatom.compare) (Asp.Naive.stable_models prog)
+
+let is_stable_model answer =
+  List.mem (List.sort Asp.Gatom.compare answer) naive_models
+
+(* first differing level decides; equal vectors are also >= *)
+let rec lex_ge a b =
+  match (a, b) with
+  | [], [] -> true
+  | (pa, va) :: ta, (pb, vb) :: tb when pa = pb ->
+    va > vb || (va = vb && lex_ge ta tb)
+  | _ -> false
+
+let config strategy = Asp.Config.make ~strategy ()
+
+let unbudgeted strategy =
+  match Asp.Solve.solve_program ~config:(config strategy) prog with
+  | Asp.Solve.Sat o ->
+    Alcotest.(check bool) "baseline quality optimal" true
+      (o.Asp.Solve.quality = `Optimal);
+    o
+  | _ -> Alcotest.fail "baseline solve did not return SAT"
+
+(* count the events an unbudgeted run generates, to size the sweep *)
+let event_counts strategy =
+  let b = B.start B.no_limits in
+  match Asp.Solve.solve_program ~config:(config strategy) ~budget:b prog with
+  | Asp.Solve.Sat _ -> B.progress b
+  | _ -> Alcotest.fail "counting solve did not return SAT"
+
+let check_run ~baseline ~what = function
+  | Asp.Solve.Unsat _ -> Alcotest.failf "%s: faulted run reported UNSAT" what
+  | Asp.Solve.Interrupted { info; _ } ->
+    Alcotest.(check bool) (what ^ ": interruption reason is the fault") true
+      (info.B.reason = B.Injected);
+    Alcotest.(check bool) (what ^ ": progress counters are sane") true
+      (info.B.progress.B.conflicts >= 0
+      && info.B.progress.B.instances >= 0
+      && info.B.progress.B.opt_steps >= 0)
+  | Asp.Solve.Sat o -> (
+    Alcotest.(check bool) (what ^ ": answer is a stable model") true
+      (is_stable_model o.Asp.Solve.answer);
+    Alcotest.(check bool) (what ^ ": costs lexicographically >= optimum") true
+      (lex_ge o.Asp.Solve.costs baseline.Asp.Solve.costs);
+    match o.Asp.Solve.quality with
+    | `Optimal ->
+      Alcotest.(check (list (pair int int)))
+        (what ^ ": complete run matches the unbudgeted optimum")
+        baseline.Asp.Solve.costs o.Asp.Solve.costs
+    | `Degraded bounds ->
+      (* each proved lower bound must not exceed the reported model value *)
+      List.iter
+        (fun (prio, bound) ->
+          match List.assoc_opt prio o.Asp.Solve.costs with
+          | None -> Alcotest.failf "%s: bound for unknown priority %d" what prio
+          | Some v ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: bound %d@%d <= value %d" what bound prio v)
+              true (bound <= v))
+        bounds)
+
+let sweep strategy point count =
+  let baseline = unbudgeted strategy in
+  for n = 1 to count do
+    let b = B.start B.no_limits in
+    Asp.Fault.arm b point n;
+    let what =
+      Printf.sprintf "%s after %d %s"
+        (match strategy with Asp.Config.Bb -> "bb" | Asp.Config.Usc -> "usc")
+        n
+        (match point with
+        | Asp.Fault.Conflicts -> "conflicts"
+        | Asp.Fault.Instances -> "instances"
+        | Asp.Fault.Opt_steps -> "opt steps")
+    in
+    check_run ~baseline ~what
+      (Asp.Solve.solve_program ~config:(config strategy) ~budget:b prog)
+  done
+
+let test_sweep_conflicts strategy () =
+  let c = (event_counts strategy).B.conflicts in
+  (* usc's conflicts surface as assumption cores, which conclude the solve
+     rather than tick the budget — only bb is guaranteed to tick here *)
+  if strategy = Asp.Config.Bb then
+    Alcotest.(check bool) "program generates conflicts" true (c > 0);
+  sweep strategy Asp.Fault.Conflicts (min c 50)
+
+let test_sweep_instances strategy () =
+  let c = (event_counts strategy).B.instances in
+  Alcotest.(check bool) "program generates instances" true (c > 0);
+  (* instances number in the hundreds; probe a spread, not every value *)
+  let baseline = unbudgeted strategy in
+  List.iter
+    (fun n ->
+      if n <= c then begin
+        let b = B.start B.no_limits in
+        Asp.Fault.arm b Asp.Fault.Instances n;
+        check_run ~baseline
+          ~what:(Printf.sprintf "after %d instances" n)
+          (Asp.Solve.solve_program ~config:(config strategy) ~budget:b prog)
+      end)
+    [ 1; 2; 3; 5; 10; 20; 50; 100; c / 2; c - 1; c ]
+
+let test_sweep_opt_steps strategy () =
+  let c = (event_counts strategy).B.opt_steps in
+  Alcotest.(check bool) "descent takes optimization steps" true (c > 0);
+  sweep strategy Asp.Fault.Opt_steps c
+
+(* an injected fault during grounding interrupts in the Ground phase *)
+let test_ground_phase_attribution () =
+  let b = B.start B.no_limits in
+  Asp.Fault.arm b Asp.Fault.Instances 1;
+  match Asp.Solve.solve_program ~budget:b prog with
+  | Asp.Solve.Interrupted { info; _ } ->
+    Alcotest.(check bool) "phase is grounding" true (info.B.phase = B.Ground)
+  | _ -> Alcotest.fail "fault at the first instance did not interrupt"
+
+(* once tripped, the same budget keeps re-raising the original info *)
+let test_budget_stays_tripped () =
+  let b = B.start B.no_limits in
+  Asp.Fault.arm b Asp.Fault.Instances 1;
+  (match Asp.Solve.solve_program ~budget:b prog with
+  | Asp.Solve.Interrupted _ -> ()
+  | _ -> Alcotest.fail "expected interruption");
+  match Asp.Solve.solve_program ~budget:b prog with
+  | Asp.Solve.Interrupted { info; _ } ->
+    Alcotest.(check bool) "same reason on reuse" true (info.B.reason = B.Injected)
+  | _ -> Alcotest.fail "tripped budget allowed another solve"
+
+(* ------------------------------------------------------------------ *)
+(* Concretizer-level faults                                            *)
+(* ------------------------------------------------------------------ *)
+
+let repo = Pkg.Repo_core.repo
+
+let concretizer_fault point n =
+  let b = B.start B.no_limits in
+  Asp.Fault.arm b point n;
+  Concretize.Concretizer.solve ~budget:b ~repo
+    [ Specs.Spec_parser.parse "hdf5" ]
+
+let test_concretizer_sweep () =
+  List.iter
+    (fun (point, n) ->
+      match concretizer_fault point n with
+      | Concretize.Concretizer.Unsatisfiable _ ->
+        Alcotest.fail "faulted concretization reported UNSAT"
+      | Concretize.Concretizer.Interrupted { info; _ } ->
+        Alcotest.(check bool) "reason is the fault" true
+          (info.B.reason = B.Injected)
+      | Concretize.Concretizer.Concrete s ->
+        (* degraded or not, the spec must pass the validity audit *)
+        Alcotest.(check (list string)) "degraded spec still validates" []
+          (List.map
+             (Format.asprintf "%a" Concretize.Validate.pp_violation)
+             (Concretize.Validate.check ~repo s.Concretize.Concretizer.spec)))
+    [
+      (Asp.Fault.Instances, 1);
+      (Asp.Fault.Instances, 100);
+      (Asp.Fault.Instances, 10_000);
+      (Asp.Fault.Conflicts, 1);
+      (Asp.Fault.Conflicts, 5);
+      (Asp.Fault.Opt_steps, 1);
+      (Asp.Fault.Opt_steps, 3);
+      (Asp.Fault.Opt_steps, 8);
+    ]
+
+(* a tight wall-clock deadline on a large synthetic problem must come back
+   quickly with a degraded or interrupted outcome, never hang or raise *)
+let test_wall_deadline_large_solve () =
+  let sr = Pkg.Repo_synth.repo (Pkg.Repo_synth.scaled 800) in
+  let roots =
+    List.filter
+      (fun p -> String.length p > 3 && String.sub p 0 3 = "app")
+      (Pkg.Repo.package_names sr)
+    |> List.map Specs.Spec_parser.parse
+  in
+  let limits = { B.no_limits with B.wall = Some 0.05 } in
+  let t0 = Unix.gettimeofday () in
+  let result =
+    Concretize.Concretizer.solve ~budget:(B.start limits) ~repo:sr roots
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (* generous overshoot allowance: the deadline is only probed at ticks *)
+  Alcotest.(check bool) "returns promptly" true (elapsed < 10.);
+  match result with
+  | Concretize.Concretizer.Interrupted { info; _ } ->
+    Alcotest.(check bool) "reason is the deadline" true
+      (info.B.reason = B.Deadline)
+  | Concretize.Concretizer.Concrete _ ->
+    (* a fast machine may finish; any completed result is acceptable *)
+    ()
+  | Concretize.Concretizer.Unsatisfiable _ ->
+    Alcotest.fail "satisfiable stack reported UNSAT"
+
+(* ------------------------------------------------------------------ *)
+(* Escalation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_escalation_recovers () =
+  (* inject a fault on the first two attempts; the third runs clean *)
+  let seen = ref [] in
+  let fault k b =
+    seen := k :: !seen;
+    if k < 2 then Asp.Fault.arm b Asp.Fault.Instances 1
+  in
+  match
+    Concretize.Concretizer.solve_escalating ~attempts:3 ~fault ~repo
+      [ Specs.Spec_parser.parse "zlib" ]
+  with
+  | Concretize.Concretizer.Concrete _ ->
+    Alcotest.(check (list int)) "three attempts, in order" [ 0; 1; 2 ]
+      (List.rev !seen)
+  | _ -> Alcotest.fail "escalation did not recover from injected faults"
+
+let test_escalation_gives_up () =
+  (* an instance limit of 1 still trips after doubling: both attempts fail *)
+  let config =
+    Asp.Config.make
+      ~limits:{ B.no_limits with B.instances = Some 1 }
+      ()
+  in
+  let seen = ref 0 in
+  let fault _ _ = incr seen in
+  match
+    Concretize.Concretizer.solve_escalating ~attempts:2 ~config ~fault ~repo
+      [ Specs.Spec_parser.parse "zlib" ]
+  with
+  | Concretize.Concretizer.Interrupted { info; _ } ->
+    Alcotest.(check int) "both attempts consumed" 2 !seen;
+    Alcotest.(check bool) "reason is the instance limit" true
+      (info.B.reason = B.Instance_limit)
+  | _ -> Alcotest.fail "expected the escalation to give up"
+
+let test_escalation_honours_cancel () =
+  let cancel = B.token () in
+  B.cancel cancel;
+  let seen = ref 0 in
+  let fault _ _ = incr seen in
+  match
+    Concretize.Concretizer.solve_escalating ~attempts:3 ~cancel ~fault ~repo
+      [ Specs.Spec_parser.parse "zlib" ]
+  with
+  | Concretize.Concretizer.Interrupted { info; _ } ->
+    Alcotest.(check int) "cancellation is never retried" 1 !seen;
+    Alcotest.(check bool) "reason is cancellation" true
+      (info.B.reason = B.Cancelled)
+  | _ -> Alcotest.fail "cancelled escalation did not report Interrupted"
+
+let test_double_limits () =
+  let l = { B.wall = Some 0.5; conflicts = Some 10; instances = None } in
+  let d = B.double l in
+  Alcotest.(check (option int)) "conflicts doubled" (Some 20) d.B.conflicts;
+  Alcotest.(check bool) "wall doubled" true (d.B.wall = Some 1.0);
+  Alcotest.(check (option int)) "unbounded stays unbounded" None d.B.instances
+
+let () =
+  let case = Alcotest.test_case in
+  Alcotest.run "budget"
+    [
+      ( "fault sweeps (usc)",
+        [
+          case "conflicts" `Quick (test_sweep_conflicts Asp.Config.Usc);
+          case "instances" `Quick (test_sweep_instances Asp.Config.Usc);
+          case "opt steps" `Quick (test_sweep_opt_steps Asp.Config.Usc);
+        ] );
+      ( "fault sweeps (bb)",
+        [
+          case "conflicts" `Quick (test_sweep_conflicts Asp.Config.Bb);
+          case "instances" `Quick (test_sweep_instances Asp.Config.Bb);
+          case "opt steps" `Quick (test_sweep_opt_steps Asp.Config.Bb);
+        ] );
+      ( "budget mechanics",
+        [
+          case "ground phase attribution" `Quick test_ground_phase_attribution;
+          case "stays tripped" `Quick test_budget_stays_tripped;
+          case "double limits" `Quick test_double_limits;
+        ] );
+      ( "concretizer",
+        [
+          case "fault sweep" `Quick test_concretizer_sweep;
+          case "wall deadline, large solve" `Slow test_wall_deadline_large_solve;
+        ] );
+      ( "escalation",
+        [
+          case "recovers" `Quick test_escalation_recovers;
+          case "gives up" `Quick test_escalation_gives_up;
+          case "honours cancel" `Quick test_escalation_honours_cancel;
+        ] );
+    ]

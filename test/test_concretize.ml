@@ -11,10 +11,12 @@ let solve ?installed ?env spec =
 let concrete ?installed ?env spec =
   match solve ?installed ?env spec with
   | Concretizer.Concrete s -> s
+  | Concretizer.Interrupted _ -> Alcotest.fail "unexpectedly interrupted"
   | Concretizer.Unsatisfiable _ -> Alcotest.failf "unexpectedly UNSAT: %s" spec
 
 let unsat ?installed spec =
   match solve ?installed spec with
+  | Concretizer.Interrupted _ -> Alcotest.fail "unexpectedly interrupted"
   | Concretizer.Unsatisfiable _ -> ()
   | Concretizer.Concrete _ -> Alcotest.failf "expected UNSAT: %s" spec
 
@@ -239,6 +241,7 @@ let test_backtracking_version_choice () =
   match Concretizer.solve_spec ~repo:mini "app" with
   | Concretizer.Concrete s ->
     Alcotest.(check string) "solver backtracks to 1.0.7" "1.0.7" (version_of s "dep")
+  | Concretizer.Interrupted _ -> Alcotest.fail "unexpectedly interrupted"
   | Concretizer.Unsatisfiable _ -> Alcotest.fail "solvable instance reported UNSAT"
 
 let test_provider_specialization () =
@@ -258,6 +261,7 @@ let test_multi_root_unification () =
   | Concretizer.Concrete s ->
     (* both roots resolve against a single hdf5 node *)
     Alcotest.(check bool) "hdf5 shared" true (has_node s "hdf5")
+  | Concretizer.Interrupted _ -> Alcotest.fail "unexpectedly interrupted"
   | Concretizer.Unsatisfiable _ -> Alcotest.fail "multi-root solve failed"
 
 let test_unknown_package () =
@@ -382,6 +386,7 @@ let test_phases_measured () =
 
 let reasons_of spec =
   match solve spec with
+  | Concretizer.Interrupted _ -> Alcotest.fail "unexpectedly interrupted"
   | Concretizer.Unsatisfiable { reasons; _ } -> reasons
   | Concretizer.Concrete _ -> Alcotest.failf "expected UNSAT: %s" spec
 
@@ -399,7 +404,11 @@ let test_diagnostics () =
   Alcotest.(check bool) "bad variant value explained" true
     (has (reasons_of "hdf5 api=nonsense") "admits");
   Alcotest.(check bool) "unknown variant explained" true
-    (has (reasons_of "zlib+nonexistent") "no variant")
+    (has (reasons_of "zlib+nonexistent") "no variant");
+  Alcotest.(check bool) "unknown compiler explained" true
+    (has (reasons_of "zlib%icc") "no compiler");
+  Alcotest.(check bool) "dependency constraint explained" true
+    (has (reasons_of "hdf5 ^zlib@9.9") "no declared version")
 
 let test_logic_program_size () =
   Alcotest.(check bool) "nontrivial logic program" true (Logic_program.line_count > 120);
@@ -427,6 +436,7 @@ let test_strategies_agree_on_concretization () =
         let config = Asp.Config.make ~strategy () in
         match Concretizer.solve_spec ~config ~repo spec with
         | Concretizer.Concrete s -> List.filter (fun (_, v) -> v <> 0) s.Concretizer.costs
+        | Concretizer.Interrupted _ -> Alcotest.fail "unexpectedly interrupted"
         | Concretizer.Unsatisfiable _ -> Alcotest.failf "UNSAT: %s" spec
       in
       Alcotest.(check (list (pair int int)))
@@ -455,6 +465,7 @@ let test_prefs_version () =
   let s =
     match Concretizer.solve_spec ~prefs ~repo "zlib" with
     | Concretizer.Concrete s -> s
+    | Concretizer.Interrupted _ -> Alcotest.fail "unexpectedly interrupted"
     | Concretizer.Unsatisfiable _ -> Alcotest.fail "UNSAT"
   in
   Alcotest.(check string) "preferred version wins over newest" "1.2.8"
@@ -463,6 +474,7 @@ let test_prefs_version () =
   let s =
     match Concretizer.solve_spec ~prefs ~repo "zlib@1.2.12" with
     | Concretizer.Concrete s -> s
+    | Concretizer.Interrupted _ -> Alcotest.fail "unexpectedly interrupted"
     | Concretizer.Unsatisfiable _ -> Alcotest.fail "UNSAT"
   in
   Alcotest.(check string) "spec overrides preference" "1.2.12" (version_of s "zlib")
@@ -481,6 +493,7 @@ let test_prefs_variant () =
   let s =
     match Concretizer.solve_spec ~prefs ~repo "hdf5" with
     | Concretizer.Concrete s -> s
+    | Concretizer.Interrupted _ -> Alcotest.fail "unexpectedly interrupted"
     | Concretizer.Unsatisfiable _ -> Alcotest.fail "UNSAT"
   in
   Alcotest.(check string) "szip becomes the default" "true" (variant_of s "hdf5" "szip");
@@ -518,6 +531,7 @@ let test_prefs_provider () =
   let s =
     match Concretizer.solve_spec ~prefs ~repo "hdf5" with
     | Concretizer.Concrete s -> s
+    | Concretizer.Interrupted _ -> Alcotest.fail "unexpectedly interrupted"
     | Concretizer.Unsatisfiable _ -> Alcotest.fail "UNSAT"
   in
   Alcotest.(check bool) "openmpi chosen" true (has_node s "openmpi");
@@ -579,6 +593,7 @@ let prop_synth_solutions_validate =
       in
       let root = List.nth apps (seed mod List.length apps) in
       match Concretizer.solve_spec ~repo:sr root with
+      | Concretizer.Interrupted _ -> Alcotest.fail "unexpectedly interrupted"
       | Concretizer.Unsatisfiable _ -> true (* conflicts can make roots unsolvable *)
       | Concretizer.Concrete s -> Validate.is_valid ~repo:sr s.Concretizer.spec)
 
@@ -591,6 +606,7 @@ let test_multishot () =
     (fun (sh : Multishot.shot) ->
       match sh.Multishot.shot_result with
       | Concretizer.Concrete _ -> ()
+      | Concretizer.Interrupted _ -> Alcotest.fail "unexpectedly interrupted"
       | Concretizer.Unsatisfiable _ ->
         Alcotest.failf "shot %s failed" sh.Multishot.shot_root)
     ms.Multishot.shots;
@@ -601,6 +617,7 @@ let test_multishot () =
   | Concretizer.Concrete s ->
     Alcotest.(check bool) "h5utils reused the hdf5 shot" true
       (List.exists (fun (p, _) -> p = "hdf5") s.Concretizer.reused)
+  | Concretizer.Interrupted _ -> Alcotest.fail "unexpectedly interrupted"
   | Concretizer.Unsatisfiable _ -> Alcotest.fail "h5utils shot failed");
   (* berkeleygw+openmp needs openblas+openmp, but the third shot installed
      openblas~openmp: openblas ends up with two configurations *)

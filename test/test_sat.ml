@@ -144,6 +144,91 @@ let test_core_propagated_assumption () =
   Alcotest.(check bool) "nonempty core" true (core <> []);
   Alcotest.(check bool) "core refutes" true (S.solve ~assumptions:core s = S.Unsat)
 
+let test_core_minimal_pair () =
+  let s, v = mk 4 in
+  (* only the {v0, v1} pair conflicts: the core must not mention v2/v3, and
+     dropping either core member makes the assumptions satisfiable *)
+  S.add_clause s [ neg v.(0); neg v.(1) ];
+  let assumptions = [ pos v.(0); pos v.(1); pos v.(2); pos v.(3) ] in
+  Alcotest.(check bool) "unsat" true (S.solve ~assumptions s = S.Unsat);
+  let core = S.last_core s in
+  Alcotest.(check bool) "core within {v0,v1}" true
+    (List.for_all (fun l -> l = pos v.(0) || l = pos v.(1)) core);
+  List.iter
+    (fun dropped ->
+      let weakened = List.filter (fun l -> l <> dropped) core in
+      Alcotest.(check bool) "core minus one member is satisfiable" true
+        (S.solve ~assumptions:weakened s = S.Sat))
+    core
+
+(* ------------------------------------------------------------------ *)
+(* Typed errors and budgets                                            *)
+(* ------------------------------------------------------------------ *)
+
+let is_no_model f =
+  match f () with
+  | exception Asp.Solver_error.Error Asp.Solver_error.No_model -> true
+  | _ -> false
+
+let test_no_model_before_solve () =
+  let s, v = mk 2 in
+  S.add_clause s [ pos v.(0) ];
+  Alcotest.(check bool) "value before solve raises" true
+    (is_no_model (fun () -> S.value s (pos v.(0))));
+  Alcotest.(check bool) "model_true_vars before solve raises" true
+    (is_no_model (fun () -> S.model_true_vars s))
+
+let test_no_model_fresh_var () =
+  let s, v = mk 1 in
+  S.add_clause s [ pos v.(0) ];
+  Alcotest.(check bool) "sat" true (S.solve s = S.Sat);
+  (* a variable created after the stored model has no value in it *)
+  let fresh = S.new_var s in
+  Alcotest.(check bool) "fresh var raises" true
+    (is_no_model (fun () -> S.value s (pos fresh)));
+  (* the stored model itself remains readable *)
+  Alcotest.(check bool) "old var readable" true (S.value s (pos v.(0)))
+
+let test_conflict_budget_then_reuse () =
+  (* php(5,4) needs far more than 3 conflicts: a tiny conflict budget must
+     interrupt the solve, and the solver must stay usable afterwards *)
+  let np = 5 and nh = 4 in
+  let s = S.create () in
+  let x = Array.init np (fun _ -> Array.init nh (fun _ -> S.new_var s)) in
+  for p = 0 to np - 1 do
+    S.add_clause s (List.init nh (fun h -> pos x.(p).(h)))
+  done;
+  for h = 0 to nh - 1 do
+    for p1 = 0 to np - 1 do
+      for p2 = p1 + 1 to np - 1 do
+        S.add_clause s [ neg x.(p1).(h); neg x.(p2).(h) ]
+      done
+    done
+  done;
+  let budget =
+    Asp.Budget.start
+      { Asp.Budget.no_limits with Asp.Budget.conflicts = Some 3 }
+  in
+  (match S.solve ~budget s with
+  | exception Asp.Budget.Exhausted i ->
+    Alcotest.(check bool) "reason is the conflict limit" true
+      (i.Asp.Budget.reason = Asp.Budget.Conflict_limit)
+  | _ -> Alcotest.fail "php(5,4) finished within 3 conflicts");
+  (* the interrupted solver concludes correctly without a budget *)
+  Alcotest.(check bool) "unsat after interruption" true (S.solve s = S.Unsat)
+
+let test_cancelled_budget () =
+  let s, v = mk 2 in
+  S.add_clause s [ pos v.(0); pos v.(1) ];
+  let tok = Asp.Budget.token () in
+  Asp.Budget.cancel tok;
+  let budget = Asp.Budget.start ~cancel:tok Asp.Budget.no_limits in
+  match S.solve ~budget s with
+  | exception Asp.Budget.Exhausted i ->
+    Alcotest.(check bool) "reason cancelled" true
+      (i.Asp.Budget.reason = Asp.Budget.Cancelled)
+  | _ -> Alcotest.fail "pre-cancelled budget did not interrupt"
+
 (* ------------------------------------------------------------------ *)
 (* Model hook (the stable-semantics driver)                            *)
 (* ------------------------------------------------------------------ *)
@@ -263,6 +348,15 @@ let () =
           Alcotest.test_case "core subset" `Quick test_core_subset;
           Alcotest.test_case "propagated assumption core" `Quick
             test_core_propagated_assumption;
+          Alcotest.test_case "minimal pair core" `Quick test_core_minimal_pair;
+        ] );
+      ( "errors and budgets",
+        [
+          Alcotest.test_case "no model before solve" `Quick test_no_model_before_solve;
+          Alcotest.test_case "no model for fresh var" `Quick test_no_model_fresh_var;
+          Alcotest.test_case "conflict budget then reuse" `Quick
+            test_conflict_budget_then_reuse;
+          Alcotest.test_case "cancelled budget" `Quick test_cancelled_budget;
         ] );
       ( "hooks",
         [

@@ -143,6 +143,21 @@ let test_parse_errors () =
       | _ -> Alcotest.failf "expected parse error for %S" s)
     [ ""; "@1.2"; "pkg@"; "pkg%"; "pkg+"; "pkg os="; "pkg arch=linux" ]
 
+let test_error_positions () =
+  (match Spec_parser.parse "hdf5 ^zlib@" with
+  | exception Spec_parser.Error e ->
+    (* the caret points into the original multi-node string, not the piece *)
+    Alcotest.(check string) "full text kept" "hdf5 ^zlib@" e.Spec_parser.text;
+    Alcotest.(check int) "position after the dangling @" 11 e.Spec_parser.pos;
+    let rendered = Spec_parser.error_to_string e in
+    Alcotest.(check bool) "rendered message carries a caret" true
+      (String.contains rendered '^')
+  | _ -> Alcotest.fail "expected parse error");
+  match Spec_parser.parse "pkg os=" with
+  | exception Spec_parser.Error e ->
+    Alcotest.(check int) "position of the missing value" 7 e.Spec_parser.pos
+  | _ -> Alcotest.fail "expected parse error"
+
 let test_roundtrip () =
   let specs =
     [
@@ -320,6 +335,7 @@ let () =
           Alcotest.test_case "chained variants" `Quick test_parse_chained_variants;
           Alcotest.test_case "compiler flags" `Quick test_parse_flags;
           Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "error positions" `Quick test_error_positions;
           Alcotest.test_case "roundtrip" `Quick test_roundtrip;
         ] );
       ( "concrete",
