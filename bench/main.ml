@@ -8,6 +8,7 @@
      dune exec bench/main.exe -- micro        # Bechamel micro-benchmarks
      dune exec bench/main.exe -- --quick      # reduced sizes (CI-friendly)
      dune exec bench/main.exe -- --json F.json  # also dump per-solve timings
+     dune exec bench/main.exe -- --jobs 4       # batch solves across 4 domains
 
    Absolute times differ from the paper (different machine, OCaml solver vs
    clingo); the reproduction targets are the *shapes*: cluster structure,
@@ -15,6 +16,12 @@
 
 let quick = ref false
 let json_file : string option ref = ref None
+
+(* --jobs N: concretize each experiment's batch of solves across a domain
+   pool ({!Concretize.Concretizer.solve_many}).  [pool] is set once in main
+   and shared by every experiment. *)
+let jobs = ref 1
+let pool : Asp.Pool.t option ref = ref None
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -183,6 +190,10 @@ type row = {
   ground_t : float;
   solve_t : float;
   total_t : float;
+  wall_t : float;
+      (* caller-observed wall-clock: the single solve for jobs=1, the whole
+         batch for jobs>1 (same value on every row of that batch) *)
+  jobs : int;
   outcome : string;  (* "optimal" | "degraded" | "interrupted" *)
 }
 
@@ -192,39 +203,65 @@ let current_experiment = ref ""
 let recorded_rows : (string * row) list ref = ref []
 
 let solve_rows ?config ?installed names =
+  let row_of pkg wall result =
+    match result with
+    | Concretize.Concretizer.Concrete s ->
+      let p = s.Concretize.Concretizer.phases in
+      Some
+        {
+          pkg;
+          possible = s.Concretize.Concretizer.n_possible;
+          ground_t = p.Concretize.Concretizer.ground_time;
+          solve_t = p.Concretize.Concretizer.solve_time;
+          total_t = Concretize.Concretizer.total p;
+          wall_t = wall;
+          jobs = !jobs;
+          outcome =
+            (match s.Concretize.Concretizer.quality with
+            | `Optimal -> "optimal"
+            | `Degraded _ -> "degraded");
+        }
+    | Concretize.Concretizer.Interrupted { phases = p; n_possible; _ } ->
+      (* only reachable when a budget is configured; keep the row so
+         --json accounts for every attempted solve *)
+      Some
+        {
+          pkg;
+          possible = n_possible;
+          ground_t = p.Concretize.Concretizer.ground_time;
+          solve_t = p.Concretize.Concretizer.solve_time;
+          total_t = Concretize.Concretizer.total p;
+          wall_t = wall;
+          jobs = !jobs;
+          outcome = "interrupted";
+        }
+    | Concretize.Concretizer.Unsatisfiable _ -> None
+  in
   let rows =
-    List.filter_map
-      (fun pkg ->
-        match Concretize.Concretizer.solve_spec ?config ?installed ~repo pkg with
-        | Concretize.Concretizer.Concrete s ->
-          let p = s.Concretize.Concretizer.phases in
-          Some
-            {
-              pkg;
-              possible = s.Concretize.Concretizer.n_possible;
-              ground_t = p.Concretize.Concretizer.ground_time;
-              solve_t = p.Concretize.Concretizer.solve_time;
-              total_t = Concretize.Concretizer.total p;
-              outcome =
-                (match s.Concretize.Concretizer.quality with
-                | `Optimal -> "optimal"
-                | `Degraded _ -> "degraded");
-            }
-        | Concretize.Concretizer.Interrupted { phases = p; n_possible; _ } ->
-          (* only reachable when a budget is configured; keep the row so
-             --json accounts for every attempted solve *)
-          Some
-            {
-              pkg;
-              possible = n_possible;
-              ground_t = p.Concretize.Concretizer.ground_time;
-              solve_t = p.Concretize.Concretizer.solve_time;
-              total_t = Concretize.Concretizer.total p;
-              outcome = "interrupted";
-            }
-        | Concretize.Concretizer.Unsatisfiable _ -> None
-        | exception Concretize.Facts.Unknown_package _ -> None)
-      names
+    match !pool with
+    | Some p when !jobs > 1 ->
+      (* batch parallelism: every solve of the experiment dispatched across
+         the pool at once; the per-batch wall-clock against the sum of
+         per-solve totals is the honest speedup number *)
+      let t0 = Unix.gettimeofday () in
+      let batch =
+        Concretize.Concretizer.solve_many ~pool:p ?config ?installed ~repo
+          (List.map (fun pkg -> [ Specs.Spec_parser.parse pkg ]) names)
+      in
+      let wall = Unix.gettimeofday () -. t0 in
+      let rows = List.filter_map Fun.id (List.map2 (fun pkg r -> row_of pkg wall r) names batch) in
+      let cpu = List.fold_left (fun a r -> a +. r.total_t) 0. rows in
+      Printf.printf "[batch: %d solves on %d domains, wall %.3fs, cpu-sum %.3fs]\n"
+        (List.length rows) !jobs wall cpu;
+      rows
+    | _ ->
+      List.filter_map
+        (fun pkg ->
+          let t0 = Unix.gettimeofday () in
+          match Concretize.Concretizer.solve_spec ?config ?installed ~repo pkg with
+          | r -> row_of pkg (Unix.gettimeofday () -. t0) r
+          | exception Concretize.Facts.Unknown_package _ -> None)
+        names
   in
   if !json_file <> None then
     recorded_rows :=
@@ -254,9 +291,9 @@ let write_json path =
       Printf.fprintf oc
         "    {\"experiment\": \"%s\", \"pkg\": \"%s\", \"possible\": %d, \
          \"ground_s\": %.6f, \"solve_s\": %.6f, \"total_s\": %.6f, \
-         \"outcome\": \"%s\"}%s\n"
+         \"wall_s\": %.6f, \"jobs\": %d, \"outcome\": \"%s\"}%s\n"
         (json_escape exp) (json_escape r.pkg) r.possible r.ground_t r.solve_t r.total_t
-        (json_escape r.outcome)
+        r.wall_t r.jobs (json_escape r.outcome)
         (if i = List.length rows - 1 then "" else ","))
     rows;
   output_string oc "  ]\n}\n";
@@ -638,21 +675,39 @@ let () =
     | [ "--json" ] ->
       prerr_endline "--json requires a file argument";
       exit 2
+    | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some k when k >= 1 ->
+        jobs := k;
+        parse rest
+      | _ ->
+        prerr_endline "--jobs requires a positive integer";
+        exit 2)
+    | [ "--jobs" ] ->
+      prerr_endline "--jobs requires a positive integer";
+      exit 2
     | a :: rest -> a :: parse rest
   in
   let args = parse args in
   let to_run = match args with [] -> List.map fst experiments | names -> names in
   let t0 = Unix.gettimeofday () in
-  List.iter
-    (fun name ->
-      match List.assoc_opt name experiments with
-      | Some f ->
-        current_experiment := name;
-        f ()
-      | None ->
-        Printf.eprintf "unknown experiment %s (available: %s)\n" name
-          (String.concat ", " (List.map fst experiments));
-        exit 2)
-    to_run;
+  let run_all () =
+    List.iter
+      (fun name ->
+        match List.assoc_opt name experiments with
+        | Some f ->
+          current_experiment := name;
+          f ()
+        | None ->
+          Printf.eprintf "unknown experiment %s (available: %s)\n" name
+            (String.concat ", " (List.map fst experiments));
+          exit 2)
+      to_run
+  in
+  if !jobs > 1 then
+    Asp.Pool.with_pool ~domains:!jobs (fun p ->
+        pool := Some p;
+        Fun.protect ~finally:(fun () -> pool := None) run_all)
+  else run_all ();
   Printf.printf "\nall experiments completed in %.1fs\n" (Unix.gettimeofday () -. t0);
   match !json_file with Some path -> write_json path | None -> ()

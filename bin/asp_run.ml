@@ -9,7 +9,7 @@ let read_file = function
   | "-" -> In_channel.input_all In_channel.stdin
   | path -> In_channel.with_open_text path In_channel.input_all
 
-let run files preset show_stats nmodels timeout =
+let run files preset show_stats nmodels timeout jobs =
   let preset =
     match Asp.Config.preset_of_name preset with
     | Some p -> p
@@ -34,7 +34,12 @@ let run files preset show_stats nmodels timeout =
          Asp.Budget.cancel tok));
   let budget = Asp.Budget.start ~cancel:tok limits in
   let src = String.concat "\n" (List.map read_file files) in
-  match Asp.Solve.solve_text ~config ~budget src with
+  let solve () =
+    if jobs > 1 then
+      Asp.Portfolio.solve_program ~config ~budget ~jobs (Asp.Parser.parse src)
+    else Asp.Solve.solve_text ~config ~budget src
+  in
+  match solve () with
   | exception Asp.Solver_error.Error e ->
     Format.eprintf "error: %a@." Asp.Solver_error.pp e;
     exit 2
@@ -102,9 +107,13 @@ let timeout =
   Arg.(value & opt float 0. & info [ "timeout"; "t" ] ~docv:"SECS"
          ~doc:"Wall-clock budget in seconds (0 = none); on expiry the best model found so far is reported as suboptimal.")
 
+let jobs =
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Race N diverse solver configurations on N domains over the shared ground program; the first proof of optimality (or unsatisfiability) wins.")
+
 let cmd =
   let doc = "ground and solve an answer set program" in
   Cmd.v (Cmd.info "asp_run" ~doc)
-    Term.(const run $ files $ preset $ stats $ nmodels $ timeout)
+    Term.(const run $ files $ preset $ stats $ nmodels $ timeout $ jobs)
 
 let () = exit (Cmd.eval cmd)

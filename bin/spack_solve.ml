@@ -19,53 +19,25 @@ let print_phases (p : Concretize.Concretizer.phases) =
     p.Concretize.Concretizer.ground_time p.Concretize.Concretizer.solve_time
     (Concretize.Concretizer.total p)
 
-let solve_one repo config installed cancel attempts show_stats greedy validate
-    spec_text =
-  if greedy then begin
-    match Concretize.Greedy.concretize_spec ~repo spec_text with
-    | Concretize.Greedy.Ok c ->
-      Format.printf "%a@." Specs.Spec.pp_concrete c;
-      0
-    | Concretize.Greedy.Error e ->
-      Printf.eprintf "Error: %s\n" e.Concretize.Greedy.message;
-      (match e.Concretize.Greedy.hint with
-      | Some h -> Printf.eprintf "Hint: %s\n" h
-      | None -> ());
-      1
-  end
-  else
-    match Specs.Spec_parser.parse spec_text with
-    | exception Specs.Spec_parser.Error e ->
-      Printf.eprintf "Error: invalid spec: %s\n"
-        (Specs.Spec_parser.error_to_string e);
-      2
-    | root -> (
-      match
-        Concretize.Concretizer.solve_escalating ~attempts ~config ?installed
-          ?cancel ~repo [ root ]
-      with
-      | exception Concretize.Facts.Unknown_package p ->
-        Printf.eprintf "Error: unknown package %s\n" p;
-        2
-      | exception Asp.Solver_error.Error e ->
-        Format.eprintf "Error: %a@." Asp.Solver_error.pp e;
-        2
-      | Concretize.Concretizer.Interrupted { info; phases; n_facts; n_possible } ->
-        Format.printf "INTERRUPTED: %a@." Asp.Budget.pp_info info;
-        if show_stats then begin
-          Printf.printf "Facts: %d, possible dependencies: %d\n" n_facts n_possible;
-          print_phases phases
-        end;
-        3
-      | Concretize.Concretizer.Unsatisfiable { phases; n_facts; n_possible; reasons } ->
-        Printf.printf "UNSATISFIABLE: no valid configuration of %s exists\n" spec_text;
-        List.iter (Printf.printf "  possible cause: %s\n") reasons;
-        if show_stats then begin
-          Printf.printf "Facts: %d, possible dependencies: %d\n" n_facts n_possible;
-          print_phases phases
-        end;
-        1
-      | Concretize.Concretizer.Concrete s ->
+(* Render one concretization result; returns the exit code. *)
+let print_result repo show_stats validate spec_text result =
+  match result with
+  | Concretize.Concretizer.Interrupted { info; phases; n_facts; n_possible } ->
+    Format.printf "INTERRUPTED: %a@." Asp.Budget.pp_info info;
+    if show_stats then begin
+      Printf.printf "Facts: %d, possible dependencies: %d\n" n_facts n_possible;
+      print_phases phases
+    end;
+    3
+  | Concretize.Concretizer.Unsatisfiable { phases; n_facts; n_possible; reasons } ->
+    Printf.printf "UNSATISFIABLE: no valid configuration of %s exists\n" spec_text;
+    List.iter (Printf.printf "  possible cause: %s\n") reasons;
+    if show_stats then begin
+      Printf.printf "Facts: %d, possible dependencies: %d\n" n_facts n_possible;
+      print_phases phases
+    end;
+    1
+  | Concretize.Concretizer.Concrete s ->
         Format.printf "%a@." Specs.Spec.pp_concrete s.Concretize.Concretizer.spec;
         (match s.Concretize.Concretizer.quality with
         | `Optimal -> ()
@@ -105,9 +77,73 @@ let solve_one repo config installed cancel attempts show_stats greedy validate
           print_newline ();
           print_phases s.Concretize.Concretizer.phases
         end;
-        0)
+        0
 
-let run_multishot repo config installed specs =
+let solve_one repo config installed cancel attempts show_stats greedy validate
+    ?pool ?racers spec_text =
+  if greedy then begin
+    match Concretize.Greedy.concretize_spec ~repo spec_text with
+    | Concretize.Greedy.Ok c ->
+      Format.printf "%a@." Specs.Spec.pp_concrete c;
+      0
+    | Concretize.Greedy.Error e ->
+      Printf.eprintf "Error: %s\n" e.Concretize.Greedy.message;
+      (match e.Concretize.Greedy.hint with
+      | Some h -> Printf.eprintf "Hint: %s\n" h
+      | None -> ());
+      1
+  end
+  else
+    match Specs.Spec_parser.parse spec_text with
+    | exception Specs.Spec_parser.Error e ->
+      Printf.eprintf "Error: invalid spec: %s\n"
+        (Specs.Spec_parser.error_to_string e);
+      2
+    | root -> (
+      match
+        Concretize.Concretizer.solve_escalating ~attempts ~config ?installed
+          ?cancel ?pool ?racers ~repo [ root ]
+      with
+      | exception Concretize.Facts.Unknown_package p ->
+        Printf.eprintf "Error: unknown package %s\n" p;
+        2
+      | exception Asp.Solver_error.Error e ->
+        Format.eprintf "Error: %a@." Asp.Solver_error.pp e;
+        2
+      | result -> print_result repo show_stats validate spec_text result)
+
+(* --jobs N with several specs: concretize the batch across the pool, then
+   print in input order. *)
+let solve_batch repo config installed cancel attempts show_stats validate pool
+    specs =
+  let roots =
+    List.map
+      (fun s ->
+        match Specs.Spec_parser.parse s with
+        | root -> [ root ]
+        | exception Specs.Spec_parser.Error e ->
+          Printf.eprintf "Error: invalid spec: %s\n"
+            (Specs.Spec_parser.error_to_string e);
+          exit 2)
+      specs
+  in
+  match
+    Concretize.Concretizer.solve_many ~pool ~attempts ~config ?installed
+      ?cancel ~repo roots
+  with
+  | exception Concretize.Facts.Unknown_package p ->
+    Printf.eprintf "Error: unknown package %s\n" p;
+    2
+  | exception Asp.Solver_error.Error e ->
+    Format.eprintf "Error: %a@." Asp.Solver_error.pp e;
+    2
+  | results ->
+    List.fold_left2
+      (fun rc spec result ->
+        max rc (print_result repo show_stats validate spec result))
+      0 specs results
+
+let run_multishot repo config installed ?pool ?racers specs =
   let roots =
     List.map
       (fun s ->
@@ -119,7 +155,10 @@ let run_multishot repo config installed specs =
           exit 2)
       specs
   in
-  let ms = Concretize.Multishot.solve_stack ~config ?installed ~repo roots in
+  let ms =
+    Concretize.Multishot.solve_stack ~config ?installed ?pool ?racers ~repo
+      roots
+  in
   List.iter
     (fun (sh : Concretize.Multishot.shot) ->
       match sh.Concretize.Multishot.shot_result with
@@ -150,7 +189,7 @@ let run_multishot repo config installed specs =
   exit 0
 
 let run repo_name preset specs show_stats greedy multishot validate reuse_roots
-    cache_size timeout retries =
+    cache_size timeout retries jobs =
   let repo = pick_repo repo_name in
   let preset =
     match Asp.Config.preset_of_name preset with
@@ -182,16 +221,31 @@ let run repo_name preset specs show_stats greedy multishot validate reuse_roots
         (Pkg.Database.size db);
       Some db
   in
-  if multishot then run_multishot repo config installed specs;
-  let rc =
-    List.fold_left
-      (fun rc spec ->
-        max rc
-          (solve_one repo config installed (Some tok) (retries + 1) show_stats
-             greedy validate spec))
-      0 specs
+  let with_jobs_pool f =
+    if jobs <= 1 then f None
+    else
+      Asp.Pool.with_pool ~domains:jobs (fun pool -> f (Some pool))
   in
-  exit rc
+  with_jobs_pool (fun pool ->
+      if multishot then
+        run_multishot repo config installed ?pool ?racers:(if jobs > 1 then Some jobs else None) specs;
+      let rc =
+        match (pool, specs) with
+        | Some p, _ :: _ :: _ when not greedy ->
+          (* several specs: parallelize across the batch *)
+          solve_batch repo config installed (Some tok) (retries + 1) show_stats
+            validate p specs
+        | _ ->
+          (* single spec (or greedy): portfolio-race each solve if jobs > 1 *)
+          List.fold_left
+            (fun rc spec ->
+              max rc
+                (solve_one repo config installed (Some tok) (retries + 1)
+                   show_stats greedy validate ?pool
+                   ?racers:(if jobs > 1 then Some jobs else None) spec))
+            0 specs
+      in
+      exit rc)
 
 let specs =
   Arg.(non_empty & pos_all string [] & info [] ~docv:"SPEC" ~doc:"Abstract specs to concretize.")
@@ -233,6 +287,10 @@ let retries =
   Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N"
          ~doc:"On an interrupted solve, retry up to N times with doubled limits and a reseeded search.")
 
+let jobs =
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Solve on N domains: a single spec races N diverse solver configurations (portfolio), several specs are concretized in parallel across the batch, and multishot races each shot's solve.")
+
 let cmd =
   let doc = "concretize package specs with the ASP-based dependency solver" in
   let man =
@@ -249,6 +307,6 @@ let cmd =
   Cmd.v (Cmd.info "spack_solve" ~doc ~man)
     Term.(
       const run $ repo_name $ preset $ specs $ stats $ greedy $ multishot $ validate
-      $ reuse_roots $ cache_size $ timeout $ retries)
+      $ reuse_roots $ cache_size $ timeout $ retries $ jobs)
 
 let () = exit (Cmd.eval cmd)

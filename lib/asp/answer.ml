@@ -1,0 +1,40 @@
+module Atoms = Hashtbl.Make (struct
+  type t = Gatom.t
+
+  (* id-keyed through interned terms: O(arity), no structural recursion *)
+  let equal = Gatom.equal
+  let hash = Gatom.hash
+end)
+
+type t = {
+  atoms : unit Atoms.t;
+  by_pred : (string, Gatom.t list ref) Hashtbl.t;  (* reversed chains *)
+  size : int;
+}
+
+let of_list answer =
+  let atoms = Atoms.create 256 in
+  let by_pred = Hashtbl.create 64 in
+  let size = ref 0 in
+  List.iter
+    (fun (a : Gatom.t) ->
+      if not (Atoms.mem atoms a) then begin
+        Atoms.add atoms a ();
+        incr size;
+        match Hashtbl.find_opt by_pred a.Gatom.pred with
+        | Some r -> r := a :: !r
+        | None -> Hashtbl.add by_pred a.Gatom.pred (ref [ a ])
+      end)
+    answer;
+  { atoms; by_pred; size = !size }
+
+let mem idx a = Atoms.mem idx.atoms a
+let holds idx p args = mem idx (Gatom.make p args)
+
+let find idx p =
+  match Hashtbl.find_opt idx.by_pred p with
+  | Some r -> List.rev !r
+  | None -> []
+
+let atoms_of idx p = List.map (fun (a : Gatom.t) -> a.Gatom.args) (find idx p)
+let size idx = idx.size

@@ -1,0 +1,28 @@
+(** Hashed index over an answer set (a list of ground atoms).
+
+    [Solve.holds] / [Solve.atoms_of] used to scan the answer list with
+    [Gatom.equal] per query — O(answer) per lookup, and the concretizer's
+    extraction layer issues many.  The index is built once per answer and
+    keyed through the interned term ids ({!Gatom.hash} is a fold over
+    [Term.id]s, no structural recursion), so membership is O(arity) and
+    per-predicate access is O(1). *)
+
+type t
+
+val of_list : Gatom.t list -> t
+(** Build the index in one pass; the input order of atoms is preserved by
+    {!find} / {!atoms_of}. *)
+
+val mem : t -> Gatom.t -> bool
+
+val holds : t -> string -> Term.t list -> bool
+(** [holds idx p args] = [mem idx (Gatom.make p args)]. *)
+
+val find : t -> string -> Gatom.t list
+(** All atoms with predicate [p], in answer order ([] when none). *)
+
+val atoms_of : t -> string -> Term.t list list
+(** Argument vectors of all atoms with predicate [p], in answer order. *)
+
+val size : t -> int
+(** Number of indexed atoms. *)

@@ -46,11 +46,18 @@ let double l =
     instances = Option.map (fun i -> 2 * i) l.instances;
   }
 
-type cancel_token = bool ref
+(* Tokens form a tree: cancelling a parent cancels every descendant, while a
+   child can be cancelled on its own.  The flag is atomic because racers on
+   other domains poll it; [cancel] stays async-signal-safe. *)
+type cancel_token = { flag : bool Atomic.t; parent : cancel_token option }
 
-let token () = ref false
-let cancel t = t := true
-let is_cancelled t = !t
+let token () = { flag = Atomic.make false; parent = None }
+let child_token parent = { flag = Atomic.make false; parent = Some parent }
+let cancel t = Atomic.set t.flag true
+
+let rec is_cancelled t =
+  Atomic.get t.flag
+  || (match t.parent with Some p -> is_cancelled p | None -> false)
 
 type event = Conflict | Instance | Opt_step
 
@@ -85,6 +92,28 @@ let start ?cancel l =
 
 let unlimited = start no_limits
 
+let cancel_token_of b = b.cancel
+
+(* A racer's budget: same absolute deadline and event limits as the parent,
+   fresh counters (each domain ticks its own), optionally a different cancel
+   token (typically a {!child_token} of the parent's so the race can be
+   cancelled without touching the parent).  The fault hook is deliberately
+   not copied: hooks count events of a single sequential solve. *)
+let sibling ?cancel b =
+  {
+    deadline = b.deadline;
+    max_conflicts = b.max_conflicts;
+    max_instances = b.max_instances;
+    cancel = (match cancel with Some _ as c -> c | None -> b.cancel);
+    hook = None;
+    phase = Ground;
+    conflicts = 0;
+    instances = 0;
+    opt_steps = 0;
+    ticks = 0;
+    tripped = None;
+  }
+
 let enter b phase = b.phase <- phase
 
 let progress b =
@@ -103,7 +132,7 @@ let check_tripped b =
   match b.tripped with Some i -> raise (Exhausted i) | None -> ()
 
 let check_cancel b =
-  match b.cancel with Some c when !c -> trip b Cancelled | _ -> ()
+  match b.cancel with Some c when is_cancelled c -> trip b Cancelled | _ -> ()
 
 let check_deadline b =
   match b.deadline with

@@ -55,10 +55,20 @@ val double : limits -> limits
 type cancel_token
 
 val token : unit -> cancel_token
+
+val child_token : cancel_token -> cancel_token
+(** A token linked under [parent]: cancelling the parent cancels the child,
+    cancelling the child leaves the parent untouched.  The portfolio racer
+    protocol hangs one race token under the caller's token — the winner
+    cancels the race token to stop the losers, while a SIGINT on the
+    caller's token still reaches every racer. *)
+
 val cancel : cancel_token -> unit
-(** Async-signal-safe: just sets a flag, checked at the next tick. *)
+(** Async-signal-safe and domain-safe: an atomic store, checked at the next
+    tick of any budget sharing (or descending from) the token. *)
 
 val is_cancelled : cancel_token -> bool
+(** True when this token or any ancestor was cancelled. *)
 
 type event = Conflict | Instance | Opt_step
 
@@ -73,6 +83,15 @@ val unlimited : t
 (** Shared never-expiring budget, the default of the [?budget] parameters
     throughout the pipeline.  Its progress counters are meaningless (they
     accumulate across unrelated solves); never arm a hook on it. *)
+
+val cancel_token_of : t -> cancel_token option
+(** The token the budget was armed with, if any. *)
+
+val sibling : ?cancel:cancel_token -> t -> t
+(** A budget with the {e same} absolute deadline and event limits but fresh
+    counters, for parallel racers sharing one declarative budget.  [cancel]
+    replaces the parent's token (default: share it); the fault hook is not
+    inherited.  Each sibling must be ticked by a single domain. *)
 
 val enter : t -> phase -> unit
 (** Record the pipeline phase subsequent ticks are attributed to. *)

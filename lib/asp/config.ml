@@ -66,6 +66,8 @@ let params = function
       seed = 67;
     }
 
+let strategy_name = function Bb -> "bb" | Usc -> "usc"
+
 let preset_name = function
   | Frumpy -> "frumpy"
   | Jumpy -> "jumpy"

@@ -26,6 +26,7 @@ val default : t
 
 val make : ?preset:preset -> ?strategy:strategy -> ?limits:Budget.limits -> unit -> t
 val params : preset -> Sat.params
+val strategy_name : strategy -> string
 val preset_name : preset -> string
 val preset_of_name : string -> preset option
 val all_presets : preset list

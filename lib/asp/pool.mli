@@ -1,0 +1,49 @@
+(** A fixed-size pool of OCaml 5 domains with a shared work queue.
+
+    Domains are expensive to spawn (fresh minor heap, registration with the
+    runtime), so the pool spawns them once and reuses them across solves:
+    the portfolio races ({!Portfolio}) and batch concretization
+    ([Concretize.Concretizer.solve_many]) both draw on one pool for the
+    lifetime of the process.
+
+    Jobs are arbitrary thunks; {!submit} enqueues and returns a future,
+    {!await} blocks until the job ran and re-raises (with its original
+    backtrace) any exception the job died with.  The queue is FIFO, so
+    submission order is start order — {e not} completion order.
+
+    The pool is safe to use from several domains at once, but jobs must not
+    {!await} futures of jobs that have not started yet on the same pool
+    (classic nested-blocking deadlock); the solving layer never nests. *)
+
+type t
+
+val create : domains:int -> t
+(** Spawn [domains] worker domains (at least 1).
+    @raise Invalid_argument when [domains < 1]. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val default_size : unit -> int
+(** [Domain.recommended_domain_count () - 1], at least 1: leave one core to
+    the submitting domain. *)
+
+type 'a future
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Enqueue a job.
+    @raise Invalid_argument if the pool was {!shutdown}. *)
+
+val await : 'a future -> 'a
+(** Block until the job completed; its result, or re-raise its exception. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Run [f] on every element across the pool; results in input order.  The
+    first exceptional job (in input order) is re-raised, after every job
+    finished. *)
+
+val shutdown : t -> unit
+(** Drain the queue, then join every worker.  Idempotent. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [create], run, [shutdown] (also on exception). *)

@@ -1,0 +1,216 @@
+type racer = {
+  rname : string;
+  rpreset : Config.preset;
+  rstrategy : Config.strategy;
+  rseed_offset : int;
+}
+
+let flip = function Config.Bb -> Config.Usc | Config.Usc -> Config.Bb
+
+let racers ?(config = Config.default) n =
+  let base = config.Config.preset in
+  let presets =
+    base :: List.filter (fun p -> p <> base) Config.all_presets
+  in
+  let np = List.length presets in
+  List.init n (fun i ->
+      let rpreset = List.nth presets (i / 2 mod np) in
+      let rstrategy =
+        if i mod 2 = 0 then config.Config.strategy else flip config.Config.strategy
+      in
+      let round = i / (2 * np) in
+      let rseed_offset = round * 7919 in
+      let rname =
+        Printf.sprintf "%s/%s%s"
+          (Config.strategy_name rstrategy)
+          (Config.preset_name rpreset)
+          (if round = 0 then "" else Printf.sprintf "+%d" round)
+      in
+      { rname; rpreset; rstrategy; rseed_offset })
+
+type attempt =
+  | Model of {
+      answer : Gatom.t list;
+      costs : (int * int) list;
+      quality : Optimize.quality;
+      sat_stats : Sat.stats;
+      models_enumerated : int;
+    }
+  | Proved_unsat
+  | Gave_up of Budget.info
+
+type outcome = {
+  winner : string;
+  attempt : attempt;
+  attempts : (string * attempt) list;
+  race_time : float;
+}
+
+(* A racer that never started because the race was already over. *)
+let cancelled_info =
+  {
+    Budget.phase = Budget.Search;
+    reason = Budget.Cancelled;
+    progress = { Budget.conflicts = 0; instances = 0; opt_steps = 0 };
+  }
+
+let run_racer ~hints ~race_token ~budget ground racer =
+  (* a racer that starts after the race is decided must not pay for a
+     translation: losing promptly is the point of the cancel protocol *)
+  if Budget.is_cancelled race_token then Gave_up cancelled_info
+  else
+    let b = Budget.sibling ~cancel:race_token budget in
+    match
+      let params = Config.params racer.rpreset in
+      let params = { params with Sat.seed = params.Sat.seed + racer.rseed_offset } in
+      let t = Translate.translate ~params ground in
+      (match hints with Some h -> h t | None -> ());
+      let on_model = Stable.hook t in
+      let strategy =
+        match racer.rstrategy with Config.Bb -> `Bb | Config.Usc -> `Usc
+      in
+      Budget.enter b Budget.Search;
+      match Optimize.run ~strategy ~budget:b t ~on_model with
+      | None -> Proved_unsat
+      | Some { Optimize.costs; models_enumerated; quality } ->
+        Model
+          {
+            answer = Translate.answer t;
+            costs;
+            quality;
+            sat_stats = Sat.stats t.Translate.sat;
+            models_enumerated;
+          }
+    with
+    | exception Budget.Exhausted info -> Gave_up info
+    | attempt ->
+      (* self-service cancellation: a proof ends the race for everyone *)
+      (match attempt with
+      | Model { quality = `Optimal; _ } | Proved_unsat ->
+        Budget.cancel race_token
+      | Model _ | Gave_up _ -> ());
+      attempt
+
+(* first differing level decides; vectors over the same priorities *)
+let rec lex_lt a b =
+  match (a, b) with
+  | (_, va) :: ta, (_, vb) :: tb ->
+    va < vb || (va = vb && lex_lt ta tb)
+  | _ -> false
+
+let bounds_of = function
+  | Model { quality = `Degraded bounds; _ } -> bounds
+  | _ -> []
+
+(* tighter = lexicographically greater proved lower bounds *)
+let rec lex_gt a b =
+  match (a, b) with
+  | (_, va) :: ta, (_, vb) :: tb ->
+    va > vb || (va = vb && lex_gt ta tb)
+  | (_ :: _, []) -> true
+  | _ -> false
+
+let progress_total (i : Budget.info) =
+  i.Budget.progress.Budget.conflicts + i.Budget.progress.Budget.instances
+  + i.Budget.progress.Budget.opt_steps
+
+(* Deterministic combination given the per-racer attempts (racer order):
+   a proof wins outright; else the lexicographically best incumbent, ties
+   broken by tightest proved bounds, then racer order; else the give-up
+   that got furthest. *)
+let combine attempts =
+  let find_proof =
+    List.find_opt
+      (fun (_, a) ->
+        match a with
+        | Proved_unsat | Model { quality = `Optimal; _ } -> true
+        | _ -> false)
+      attempts
+  in
+  match find_proof with
+  | Some (name, a) -> (name, a)
+  | None -> (
+    let incumbents =
+      List.filter (fun (_, a) -> match a with Model _ -> true | _ -> false) attempts
+    in
+    match incumbents with
+    | _ :: _ ->
+      List.fold_left
+        (fun (bn, ba) (n, a) ->
+          let bc = match ba with Model m -> m.costs | _ -> [] in
+          let c = match a with Model m -> m.costs | _ -> [] in
+          if lex_lt c bc then (n, a)
+          else if (not (lex_lt bc c)) && lex_gt (bounds_of a) (bounds_of ba) then
+            (n, a)
+          else (bn, ba))
+        (List.hd incumbents) (List.tl incumbents)
+    | [] ->
+      List.fold_left
+        (fun (bn, ba) (n, a) ->
+          match (ba, a) with
+          | Gave_up bi, Gave_up i when progress_total i > progress_total bi ->
+            (n, a)
+          | _ -> (bn, ba))
+        (List.hd attempts) (List.tl attempts))
+
+let race ~pool ?hints ~racers ~budget ground =
+  if racers = [] then invalid_arg "Portfolio.race: no racers";
+  let t0 = Unix.gettimeofday () in
+  let race_token =
+    match Budget.cancel_token_of budget with
+    | Some parent -> Budget.child_token parent
+    | None -> Budget.token ()
+  in
+  let results =
+    Pool.map_list pool
+      (fun racer ->
+        (racer.rname, run_racer ~hints ~race_token ~budget ground racer))
+      racers
+  in
+  let winner, attempt = combine results in
+  {
+    winner;
+    attempt;
+    attempts = results;
+    race_time = Unix.gettimeofday () -. t0;
+  }
+
+let solve_program ?pool ?(config = Config.default) ?budget ~jobs prog =
+  let budget =
+    match budget with Some b -> b | None -> Budget.start config.Config.limits
+  in
+  let t0 = Unix.gettimeofday () in
+  match Grounder.ground ~budget prog with
+  | exception Budget.Exhausted info ->
+    Solve.Interrupted
+      { info; ground_time = Unix.gettimeofday () -. t0; solve_time = 0. }
+  | ground, gstats ->
+    let ground_time = Unix.gettimeofday () -. t0 in
+    let rs = racers ~config jobs in
+    let run pool =
+      race ~pool ~racers:rs ~budget ground
+    in
+    let t1 = Unix.gettimeofday () in
+    let outcome =
+      match pool with
+      | Some p -> run p
+      | None -> Pool.with_pool ~domains:(min jobs (Pool.default_size ())) run
+    in
+    let solve_time = Unix.gettimeofday () -. t1 in
+    (match outcome.attempt with
+    | Proved_unsat -> Solve.Unsat { ground_time; solve_time }
+    | Gave_up info -> Solve.Interrupted { info; ground_time; solve_time }
+    | Model { answer; costs; quality; sat_stats; models_enumerated } ->
+      let answer = Solve.apply_show prog answer in
+      Solve.Sat
+        {
+          Solve.answer;
+          index = lazy (Answer.of_list answer);
+          costs;
+          quality;
+          ground_stats = gstats;
+          sat_stats;
+          models_enumerated;
+          ground_time;
+          solve_time;
+        })

@@ -1,0 +1,86 @@
+(** Parallel portfolio solving: race diverse solver configurations over one
+    shared ground program.
+
+    clasp's parallel mode wins wall-clock not by splitting the search space
+    but by {e strategy diversity}: several configurations (heuristic decay,
+    restart schedule, optimization strategy, seeds) attack the same instance
+    and the first to prove optimality wins.  This module reproduces that on
+    OCaml 5 domains.
+
+    What is shared between racers is immutable during the race: the ground
+    program ({!Ground.t} including its atom store) and the global interned
+    term table.  Each racer builds its own {!Sat} state via
+    {!Translate.translate}, so no solver state crosses domains.
+
+    Cancellation protocol: every racer's budget shares one {e race token},
+    a {!Budget.child_token} of the caller's token when there is one.  A
+    racer that finishes with a {e proof} — optimality or unsatisfiability —
+    cancels the race token on its own; the remaining racers trip
+    [Cancelled] at their next budget tick and unwind.  A SIGINT on the
+    caller's token reaches every racer through the parent link.
+
+    Determinism: the winning {e cost vector} is deterministic — the
+    lexicographic optimum is unique, and every racer that completes proves
+    the same one — even though which racer wins (and hence which optimal
+    {e model} is reported) may vary with scheduling.  On budget expiry the
+    combined result is also deterministic given the per-racer outcomes: the
+    lexicographically best incumbent wins, ties broken by tightest proved
+    bounds, then racer order. *)
+
+type racer = {
+  rname : string;  (** e.g. ["usc/tweety"], for stats and tests *)
+  rpreset : Config.preset;
+  rstrategy : Config.strategy;
+  rseed_offset : int;  (** added to the preset's EVSIDS seed *)
+}
+
+val racers : ?config:Config.t -> int -> racer list
+(** [n] diverse racers: racer 0 is exactly [config]'s preset and strategy
+    (a 1-racer portfolio degenerates to the sequential solver), then the
+    strategy alternates and the preset cycles; once every
+    strategy × preset pair is used, seeds are reshuffled. *)
+
+(** One racer's result. *)
+type attempt =
+  | Model of {
+      answer : Gatom.t list;
+      costs : (int * int) list;
+      quality : Optimize.quality;
+      sat_stats : Sat.stats;
+      models_enumerated : int;
+    }  (** found a stable model; optimal iff [quality = `Optimal] *)
+  | Proved_unsat
+  | Gave_up of Budget.info
+      (** budget expired (or the race was cancelled) before any model *)
+
+type outcome = {
+  winner : string;  (** [rname] of the racer whose attempt was selected *)
+  attempt : attempt;  (** the combined verdict (see module doc) *)
+  attempts : (string * attempt) list;  (** every racer's result, racer order *)
+  race_time : float;  (** wall-clock of the whole race, seconds *)
+}
+
+val race :
+  pool:Pool.t ->
+  ?hints:(Translate.t -> unit) ->
+  racers:racer list ->
+  budget:Budget.t ->
+  Ground.t ->
+  outcome
+(** Race the configurations over the pool.  [budget] is the caller's armed
+    budget: each racer gets a {!Budget.sibling} (same deadline and limits,
+    fresh counters) on the race token.  [hints] runs on each racer's fresh
+    translation before search (the concretizer's phase seeding).
+    Racer exceptions other than [Budget.Exhausted] are re-raised. *)
+
+val solve_program :
+  ?pool:Pool.t ->
+  ?config:Config.t ->
+  ?budget:Budget.t ->
+  jobs:int ->
+  Ast.program ->
+  Solve.result
+(** Drop-in parallel [Solve.solve_program]: ground once (budgeted, on the
+    calling domain), then {!race} [jobs] racers.  Without [pool] an
+    ephemeral pool of [min jobs (Pool.default_size ())] domains is created
+    and shut down around the race. *)

@@ -1,5 +1,6 @@
 type outcome = {
   answer : Gatom.t list;
+  index : Answer.t Lazy.t;
   costs : (int * int) list;
   quality : Optimize.quality;
   ground_stats : Grounder.stats;
@@ -19,7 +20,8 @@ type result =
     }
 
 (* Apply #show statements: when any are present, only atoms whose
-   (predicate, arity) is explicitly shown are reported. *)
+   (predicate, arity) is explicitly shown are reported.  (Also used by
+   {!Portfolio} on the winning racer's answer.) *)
 let apply_show prog answer =
   let shows = List.filter_map (function Ast.Show s -> Some s | _ -> None) prog in
   if shows = [] then answer
@@ -67,6 +69,7 @@ let solve_program ?(config = Config.default) ?budget prog =
       Sat
         {
           answer;
+          index = lazy (Answer.of_list answer);
           costs;
           quality;
           ground_stats = gstats;
@@ -78,44 +81,49 @@ let solve_program ?(config = Config.default) ?budget prog =
 
 let solve_text ?config ?budget src = solve_program ?config ?budget (Parser.parse src)
 
-let holds o p args =
-  let target = Gatom.make p args in
-  List.exists (fun a -> Gatom.equal a target) o.answer
+let index o = Lazy.force o.index
+let holds o p args = Answer.holds (index o) p args
+let atoms_of o p = Answer.atoms_of (index o) p
 
-let atoms_of o p =
-  List.filter_map
-    (fun (a : Gatom.t) -> if String.equal a.Gatom.pred p then Some a.Gatom.args else None)
-    o.answer
-
-let enumerate ?(config = Config.default) ?(limit = max_int) prog =
-  let g, _ = Grounder.ground prog in
-  let params = Config.params config.Config.preset in
-  let t = Translate.translate ~params g in
-  let on_model = Stable.hook t in
-  let strategy =
-    match config.Config.strategy with Config.Bb -> `Bb | Config.Usc -> `Usc
+let enumerate ?(config = Config.default) ?budget ?(limit = max_int) prog =
+  let budget =
+    match budget with Some b -> b | None -> Budget.start config.Config.limits
   in
-  match Optimize.run ~strategy t ~on_model with
-  | None -> []
-  | Some _ ->
-    (* block each found model on its atom variables and continue *)
-    let atom_vars =
-      Array.to_list t.Translate.var_of_atom |> List.filter (fun v -> v >= 0)
+  match Grounder.ground ~budget prog with
+  | exception Budget.Exhausted _ -> []
+  | g, _ -> (
+    let params = Config.params config.Config.preset in
+    let t = Translate.translate ~params g in
+    let on_model = Stable.hook t in
+    let strategy =
+      match config.Config.strategy with Config.Bb -> `Bb | Config.Usc -> `Usc
     in
-    let results = ref [] in
-    let continue_ = ref true in
-    while !continue_ && List.length !results < limit do
-      results := apply_show prog (Translate.answer t) :: !results;
-      let blocking =
-        List.map
-          (fun v ->
-            let l = Sat.Lit.pos v in
-            if Sat.value t.Translate.sat l then Sat.Lit.negate l else l)
-          atom_vars
+    match Optimize.run ~strategy ~budget t ~on_model with
+    | exception Budget.Exhausted _ -> []
+    | None -> []
+    | Some _ ->
+      (* block each found model on its atom variables and continue *)
+      let atom_vars =
+        Array.to_list t.Translate.var_of_atom |> List.filter (fun v -> v >= 0)
       in
-      Sat.add_clause t.Translate.sat blocking;
-      match Sat.solve ~on_model t.Translate.sat with
-      | Sat.Sat -> ()
-      | Sat.Unsat -> continue_ := false
-    done;
-    List.rev !results
+      let results = ref [] in
+      let found = ref 0 in
+      (try
+         let continue_ = ref true in
+         while !continue_ && !found < limit do
+           incr found;
+           results := apply_show prog (Translate.answer t) :: !results;
+           let blocking =
+             List.map
+               (fun v ->
+                 let l = Sat.Lit.pos v in
+                 if Sat.value t.Translate.sat l then Sat.Lit.negate l else l)
+               atom_vars
+           in
+           Sat.add_clause t.Translate.sat blocking;
+           match Sat.solve ~on_model ~budget t.Translate.sat with
+           | Sat.Sat -> ()
+           | Sat.Unsat -> continue_ := false
+         done
+       with Budget.Exhausted _ -> ());
+      List.rev !results)

@@ -13,6 +13,9 @@
 
 type outcome = {
   answer : Gatom.t list;  (** atoms of the stable model, facts included *)
+  index : Answer.t Lazy.t;
+  (** id-keyed index over [answer], built on first use; {!holds} and
+      {!atoms_of} query it instead of scanning the list *)
   costs : (int * int) list;  (** optimization results: (priority, value) *)
   quality : Optimize.quality;
   (** [`Optimal], or [`Degraded bounds] when the budget expired
@@ -44,15 +47,32 @@ val solve_text : ?config:Config.t -> ?budget:Budget.t -> string -> result
 (** Parse then solve.
     @raise Solver_error.Error ([Parse _]) on syntax errors. *)
 
+val apply_show : Ast.program -> Gatom.t list -> Gatom.t list
+(** Filter an answer through the program's [#show] statements (identity when
+    there are none).  Exposed for {!Portfolio}. *)
+
+val index : outcome -> Answer.t
+(** Force and return the answer index (O(answer) the first time, O(1)
+    after).  Not domain-safe: force it before handing the outcome to other
+    domains. *)
+
 val holds : outcome -> string -> Term.t list -> bool
-(** [holds o p args] tests whether atom [p(args)] is in the answer. *)
+(** [holds o p args] tests whether atom [p(args)] is in the answer.
+    O(arity) via the index. *)
 
 val atoms_of : outcome -> string -> Term.t list list
 (** Argument vectors of all answer atoms with predicate [p]. *)
 
 val enumerate :
-  ?config:Config.t -> ?limit:int -> Ast.program -> Gatom.t list list
+  ?config:Config.t ->
+  ?budget:Budget.t ->
+  ?limit:int ->
+  Ast.program ->
+  Gatom.t list list
 (** Enumerate stable models (all of them by default, up to [limit]): each
     answer is blocked and the search continues, like clingo's [--models N].
     When the program has [#minimize] statements only {e optimal} models are
-    enumerated (clingo's [--opt-mode=optN]).  Enumeration is not budgeted. *)
+    enumerated (clingo's [--opt-mode=optN]).  Enumeration is anytime: a
+    budget armed from [config.limits] (or the explicit [budget]) is ticked
+    through grounding, search and every blocked re-solve, and on expiry the
+    models found so far are returned. *)

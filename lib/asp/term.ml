@@ -41,23 +41,38 @@ module H = Hashtbl.Make (struct
 end)
 
 (* The global hash-cons table.  Terms live for the whole process; ids are
-   dense, start at 0, and never change once assigned. *)
-let table : t H.t = H.create 65536
-let next_id = ref 0
+   dense, start at 0, and never change once assigned.
+
+   The table is shared by every domain (physical equality of equal terms
+   must hold across domains: answers computed by a portfolio racer are
+   compared against terms interned by the caller), so it is sharded by hash
+   with one mutex per shard.  Ids come from one atomic counter and are
+   therefore dense but not allocation-ordered under parallelism. *)
+let shard_count = 64 (* power of two *)
+
+let tables : t H.t array = Array.init shard_count (fun _ -> H.create 1024)
+let locks : Mutex.t array = Array.init shard_count (fun _ -> Mutex.create ())
+let next_id = Atomic.make 0
 
 let hashcons node =
-  match H.find_opt table node with
-  | Some t -> t
+  let h = node_hash node in
+  let s = h land (shard_count - 1) in
+  let tbl = tables.(s) and lock = locks.(s) in
+  Mutex.lock lock;
+  match H.find_opt tbl node with
+  | Some t ->
+    Mutex.unlock lock;
+    t
   | None ->
-    let t = { node; id = !next_id; hkey = node_hash node } in
-    incr next_id;
-    H.add table node t;
+    let t = { node; id = Atomic.fetch_and_add next_id 1; hkey = h } in
+    H.add tbl node t;
+    Mutex.unlock lock;
     t
 
 let int i = hashcons (Int i)
 let str s = hashcons (Str s)
 let fun_ f args = hashcons (Fun (f, args))
-let interned () = !next_id
+let interned () = Atomic.get next_id
 
 let rec compare a b =
   if a == b then 0

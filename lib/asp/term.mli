@@ -12,7 +12,11 @@
     usable as a hash/index key.  Terms must only be built with the smart
     constructors {!int}, {!str} and {!fun_}; the record is exposed [private]
     so call sites can pattern-match on [t.node] but cannot forge un-interned
-    values. *)
+    values.
+
+    The table is domain-safe (sharded, one lock per shard) and shared by
+    every domain, so physical equality of equal terms holds across domains —
+    a requirement of the parallel solving layer ({!Pool}, {!Portfolio}). *)
 
 type t = private { node : node; id : int; hkey : int }
 

@@ -77,7 +77,8 @@ let apply_phase_hints (t : Asp.Translate.t) =
   done
 
 let solve ?(config = Asp.Config.default) ?params ?(env = Facts.default_env)
-    ?(prefs = Preferences.empty) ?installed ?budget ~repo roots =
+    ?(prefs = Preferences.empty) ?installed ?budget ?pool ?(racers = 1) ~repo
+    roots =
   let budget =
     match budget with
     | Some b -> b
@@ -113,7 +114,7 @@ let solve ?(config = Asp.Config.default) ?params ?(env = Facts.default_env)
       | None -> Asp.Config.params config.Asp.Config.preset
     in
     let t1 = Unix.gettimeofday () in
-    let run () =
+    let run_sequential () =
       let t = Asp.Translate.translate ~params ground in
       apply_phase_hints t;
       let on_model = Asp.Stable.hook t in
@@ -128,8 +129,30 @@ let solve ?(config = Asp.Config.default) ?params ?(env = Facts.default_env)
         Some
           (Asp.Translate.answer t, costs, quality, Asp.Sat.stats t.Asp.Translate.sat)
     in
-    match run () with
-    | exception Asp.Budget.Exhausted info ->
+    (* portfolio mode: race diverse configurations over the shared ground
+       program, each racer re-seeding the phase hints on its own
+       translation.  [?params] (escalation reseeding) only drives the
+       sequential path — racers carry their own seed offsets. *)
+    let solved =
+      match pool with
+      | Some p when racers > 1 -> (
+        let rs = Asp.Portfolio.racers ~config racers in
+        match
+          Asp.Portfolio.race ~pool:p ~hints:apply_phase_hints ~racers:rs
+            ~budget ground
+        with
+        | { Asp.Portfolio.attempt = Asp.Portfolio.Proved_unsat; _ } -> Ok None
+        | { attempt = Asp.Portfolio.Gave_up info; _ } -> Error info
+        | { attempt = Asp.Portfolio.Model { answer; costs; quality; sat_stats; _ }; _ }
+          ->
+          Ok (Some (answer, costs, quality, sat_stats)))
+      | _ -> (
+        match run_sequential () with
+        | exception Asp.Budget.Exhausted info -> Error info
+        | r -> Ok r)
+    in
+    match solved with
+    | Error info ->
       let phases =
         {
           setup_time;
@@ -139,7 +162,7 @@ let solve ?(config = Asp.Config.default) ?params ?(env = Facts.default_env)
         }
       in
       Interrupted { info; phases; n_facts; n_possible }
-    | outcome -> (
+    | Ok outcome -> (
       let solve_time = Unix.gettimeofday () -. t1 in
       let phases = { setup_time; load_time; ground_time; solve_time } in
       match outcome with
@@ -152,7 +175,7 @@ let solve ?(config = Asp.Config.default) ?params ?(env = Facts.default_env)
             reasons = Diagnose.explain ~env ~repo roots;
           }
       | Some (answer, costs, quality, sat_stats) ->
-        let info = Extract.extract answer in
+        let info = Extract.of_index (Asp.Answer.of_list answer) in
         Concrete
           {
             spec = info.Extract.spec;
@@ -177,7 +200,7 @@ let solve_spec ?config ?env ?prefs ?installed ?budget ~repo text =
    Cancellation is honoured immediately — a SIGINT must not trigger a
    retry. *)
 let solve_escalating ?(attempts = 3) ?(config = Asp.Config.default)
-    ?env ?prefs ?installed ?cancel ?fault ~repo roots =
+    ?env ?prefs ?installed ?cancel ?fault ?pool ?racers ~repo roots =
   let base = Asp.Config.params config.Asp.Config.preset in
   let rec go k limits =
     let budget = Asp.Budget.start ?cancel limits in
@@ -186,7 +209,10 @@ let solve_escalating ?(attempts = 3) ?(config = Asp.Config.default)
       if k = 0 then base
       else { base with Asp.Sat.seed = base.Asp.Sat.seed + (k * 7919) }
     in
-    match solve ~config ~params ?env ?prefs ?installed ~budget ~repo roots with
+    match
+      solve ~config ~params ?env ?prefs ?installed ~budget ?pool ?racers ~repo
+        roots
+    with
     | Interrupted { info; _ } as r ->
       if info.Asp.Budget.reason = Asp.Budget.Cancelled || k + 1 >= attempts
       then r
@@ -194,3 +220,18 @@ let solve_escalating ?(attempts = 3) ?(config = Asp.Config.default)
     | r -> r
   in
   go 0 config.Asp.Config.limits
+
+(* Batch-level parallelism: independent root sets concretized across the
+   pool, one full pipeline (setup, load, ground, solve) per job.  Jobs are
+   sequential inside — batch parallelism and portfolio racing compose only
+   by over-subscribing, so [solve_many] keeps each job single-domain.
+   Results are in input order. *)
+let solve_many ?pool ?(attempts = 1) ?config ?env ?prefs ?installed ?cancel
+    ~repo jobs =
+  let one roots =
+    solve_escalating ~attempts ?config ?env ?prefs ?installed ?cancel ~repo
+      roots
+  in
+  match pool with
+  | Some p when Asp.Pool.size p > 1 -> Asp.Pool.map_list p one jobs
+  | _ -> List.map one jobs

@@ -57,6 +57,8 @@ val solve :
   ?prefs:Preferences.t ->
   ?installed:Pkg.Database.t ->
   ?budget:Asp.Budget.t ->
+  ?pool:Asp.Pool.t ->
+  ?racers:int ->
   repo:Pkg.Repo.t ->
   Specs.Spec.abstract list ->
   result
@@ -64,6 +66,13 @@ val solve :
     armed from [config.limits] unless an explicit [budget] is given;
     [params] overrides the preset's search parameters (used by
     {!solve_escalating} to reseed retries).
+
+    When [racers > 1] and a [pool] is given, the solve phase runs as a
+    parallel portfolio ({!Asp.Portfolio}): setup, load and grounding stay
+    on the calling domain, then [racers] diverse configurations race over
+    the shared ground program; the cost vector of the result is the same as
+    the sequential solver's ([params] is then ignored — racers carry their
+    own seeds).
     @raise Facts.Unknown_package on unknown roots or [^deps]. *)
 
 val solve_spec :
@@ -86,6 +95,8 @@ val solve_escalating :
   ?installed:Pkg.Database.t ->
   ?cancel:Asp.Budget.cancel_token ->
   ?fault:(int -> Asp.Budget.t -> unit) ->
+  ?pool:Asp.Pool.t ->
+  ?racers:int ->
   repo:Pkg.Repo.t ->
   Specs.Spec.abstract list ->
   result
@@ -95,4 +106,23 @@ val solve_escalating :
     the last {!Interrupted} one.  Cancellation (reason [Cancelled]) is
     never retried.  [fault] observes each round's armed budget before the
     solve — the fault-injection tests use it; [cancel] is shared across
-    rounds so a SIGINT during any round sticks. *)
+    rounds so a SIGINT during any round sticks.  [pool]/[racers] enable the
+    portfolio solve phase of {!solve} on every round. *)
+
+val solve_many :
+  ?pool:Asp.Pool.t ->
+  ?attempts:int ->
+  ?config:Asp.Config.t ->
+  ?env:Facts.env ->
+  ?prefs:Preferences.t ->
+  ?installed:Pkg.Database.t ->
+  ?cancel:Asp.Budget.cancel_token ->
+  repo:Pkg.Repo.t ->
+  Specs.Spec.abstract list list ->
+  result list
+(** Concretize independent root sets in parallel across [pool] (sequential
+    when the pool is absent or has one domain), each through
+    {!solve_escalating} with [attempts] rounds (default 1, i.e. no
+    retries).  Results are in input order; [cancel] is shared by every job,
+    so one SIGINT stops the whole batch.  Jobs are single-domain inside —
+    batch parallelism does not compose with portfolio racing. *)

@@ -10,7 +10,10 @@ let errf fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
 
 let s = Asp.Term.to_string
 
-let extract (answer : Asp.Gatom.t list) =
+(* Consumes the id-keyed answer index ({!Asp.Answer}) built once per solve:
+   only the extraction-relevant predicates are visited, instead of
+   re-scanning every atom of the (facts-included) answer. *)
+let of_index (idx : Asp.Answer.t) =
   let nodes = Hashtbl.create 16 in
   let versions = Hashtbl.create 16 in
   let variants = Hashtbl.create 16 in
@@ -21,26 +24,37 @@ let extract (answer : Asp.Gatom.t list) =
   let edges = Hashtbl.create 16 in
   let reused = ref [] and built = ref [] and roots = ref [] in
   List.iter
-    (fun (a : Asp.Gatom.t) ->
-      match (a.Asp.Gatom.pred, a.Asp.Gatom.args) with
-      | "attr", [ n; p ] when s n = "node" -> Hashtbl.replace nodes (s p) ()
-      | "attr", [ n; p; v ] when s n = "version" -> Hashtbl.replace versions (s p) (s v)
-      | "attr", [ n; p; var; value ] when s n = "variant_value" ->
+    (fun args ->
+      match args with
+      | [ n; p ] when s n = "node" -> Hashtbl.replace nodes (s p) ()
+      | [ n; p; v ] when s n = "version" -> Hashtbl.replace versions (s p) (s v)
+      | [ n; p; var; value ] when s n = "variant_value" ->
         Hashtbl.replace variants (s p) ((s var, s value) :: Option.value ~default:[] (Hashtbl.find_opt variants (s p)))
-      | "attr", [ n; p; c; v ] when s n = "node_compiler_version" ->
+      | [ n; p; c; v ] when s n = "node_compiler_version" ->
         Hashtbl.replace compilers (s p) (s c, s v)
-      | "attr", [ n; p; f; v ] when s n = "node_flags" ->
+      | [ n; p; f; v ] when s n = "node_flags" ->
         Hashtbl.replace flags (s p)
           ((s f, s v) :: Option.value ~default:[] (Hashtbl.find_opt flags (s p)))
-      | "attr", [ n; p; o ] when s n = "node_os" -> Hashtbl.replace oses (s p) (s o)
-      | "attr", [ n; p; t ] when s n = "node_target" -> Hashtbl.replace targets (s p) (s t)
-      | "edge", [ p; d ] ->
-        Hashtbl.replace edges (s p) (s d :: Option.value ~default:[] (Hashtbl.find_opt edges (s p)))
-      | "hash", [ p; h ] -> reused := (s p, s h) :: !reused
-      | "build", [ p ] -> built := s p :: !built
-      | "root", [ p ] -> roots := s p :: !roots
+      | [ n; p; o ] when s n = "node_os" -> Hashtbl.replace oses (s p) (s o)
+      | [ n; p; t ] when s n = "node_target" -> Hashtbl.replace targets (s p) (s t)
       | _ -> ())
-    answer;
+    (Asp.Answer.atoms_of idx "attr");
+  List.iter
+    (function
+      | [ p; d ] ->
+        Hashtbl.replace edges (s p)
+          (s d :: Option.value ~default:[] (Hashtbl.find_opt edges (s p)))
+      | _ -> ())
+    (Asp.Answer.atoms_of idx "edge");
+  List.iter
+    (function [ p; h ] -> reused := (s p, s h) :: !reused | _ -> ())
+    (Asp.Answer.atoms_of idx "hash");
+  List.iter
+    (function [ p ] -> built := s p :: !built | _ -> ())
+    (Asp.Answer.atoms_of idx "build");
+  List.iter
+    (function [ p ] -> roots := s p :: !roots | _ -> ())
+    (Asp.Answer.atoms_of idx "root");
   let concrete_nodes =
     Hashtbl.fold
       (fun name () acc ->
@@ -80,3 +94,5 @@ let extract (answer : Asp.Gatom.t list) =
     with Invalid_argument m -> errf "ill-formed concrete spec: %s" m
   in
   { spec; reused = List.sort_uniq compare !reused; built = List.sort_uniq compare !built }
+
+let extract answer = of_index (Asp.Answer.of_list answer)

@@ -7,7 +7,7 @@ type t = {
   total_time : float;
 }
 
-let solve_stack ?config ?env ?prefs ?installed ~repo roots =
+let solve_stack ?config ?env ?prefs ?installed ?pool ?racers ~repo roots =
   let t0 = Unix.gettimeofday () in
   let db = Pkg.Database.create () in
   let seeded = Hashtbl.create 64 in
@@ -22,7 +22,10 @@ let solve_stack ?config ?env ?prefs ?installed ~repo roots =
   let shots =
     List.map
       (fun (a : Specs.Spec.abstract) ->
-        let result = Concretizer.solve ?config ?env ?prefs ~installed:db ~repo [ a ] in
+        let result =
+          Concretizer.solve ?config ?env ?prefs ~installed:db ?pool ?racers
+            ~repo [ a ]
+        in
         (match result with
         | Concretizer.Concrete s -> Pkg.Database.add_concrete db s.Concretizer.spec
         | Concretizer.Unsatisfiable _ | Concretizer.Interrupted _ -> ());

@@ -30,8 +30,13 @@ val solve_stack :
   ?env:Facts.env ->
   ?prefs:Preferences.t ->
   ?installed:Pkg.Database.t ->
+  ?pool:Asp.Pool.t ->
+  ?racers:int ->
   repo:Pkg.Repo.t ->
   Specs.Spec.abstract list ->
   t
 (** Concretize the roots in order, each shot reusing all previous results.
-    [installed] seeds the scratch database. *)
+    [installed] seeds the scratch database.  Shots are inherently
+    sequential (each reuses its predecessors), but [pool]/[racers] turn
+    every shot's solve phase into a portfolio race
+    ({!Concretizer.solve}). *)

@@ -27,4 +27,8 @@ timeout 60 dune exec bin/spack_solve.exe -- --repo 800 --timeout 0.05 app-000 \
 echo "== bench smoke (fig3 + fig7d --quick)"
 timeout 600 dune exec bench/main.exe -- fig3 fig7d --quick --json BENCH_ci.json
 
+echo "== portfolio smoke (fig7d --quick --jobs 4)"
+timeout 600 dune exec bench/main.exe -- fig7d --quick --jobs 4 --json BENCH_ci_jobs4.json
+grep -q '"jobs": 4' BENCH_ci_jobs4.json
+
 echo "== ci OK"
