@@ -195,6 +195,7 @@ type row = {
          batch for jobs>1 (same value on every row of that batch) *)
   jobs : int;
   outcome : string;  (* "optimal" | "degraded" | "interrupted" *)
+  verified : bool;  (* independent model verification passed *)
 }
 
 (* Every solve performed by any experiment is recorded here, tagged with the
@@ -220,6 +221,7 @@ let solve_rows ?config ?installed names =
             (match s.Concretize.Concretizer.quality with
             | `Optimal -> "optimal"
             | `Degraded _ -> "degraded");
+          verified = s.Concretize.Concretizer.verified;
         }
     | Concretize.Concretizer.Interrupted { phases = p; n_possible; _ } ->
       (* only reachable when a budget is configured; keep the row so
@@ -234,6 +236,7 @@ let solve_rows ?config ?installed names =
           wall_t = wall;
           jobs = !jobs;
           outcome = "interrupted";
+          verified = false;
         }
     | Concretize.Concretizer.Unsatisfiable _ -> None
   in
@@ -291,9 +294,9 @@ let write_json path =
       Printf.fprintf oc
         "    {\"experiment\": \"%s\", \"pkg\": \"%s\", \"possible\": %d, \
          \"ground_s\": %.6f, \"solve_s\": %.6f, \"total_s\": %.6f, \
-         \"wall_s\": %.6f, \"jobs\": %d, \"outcome\": \"%s\"}%s\n"
+         \"wall_s\": %.6f, \"jobs\": %d, \"outcome\": \"%s\", \"verified\": %b}%s\n"
         (json_escape exp) (json_escape r.pkg) r.possible r.ground_t r.solve_t r.total_t
-        r.wall_t r.jobs (json_escape r.outcome)
+        r.wall_t r.jobs (json_escape r.outcome) r.verified
         (if i = List.length rows - 1 then "" else ","))
     rows;
   output_string oc "  ]\n}\n";

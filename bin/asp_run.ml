@@ -9,7 +9,7 @@ let read_file = function
   | "-" -> In_channel.input_all In_channel.stdin
   | path -> In_channel.with_open_text path In_channel.input_all
 
-let run files preset show_stats nmodels timeout jobs =
+let run files preset show_stats nmodels timeout jobs explain no_verify =
   let preset =
     match Asp.Config.preset_of_name preset with
     | Some p -> p
@@ -23,7 +23,7 @@ let run files preset show_stats nmodels timeout jobs =
       Asp.Budget.wall = (if timeout > 0. then Some timeout else None);
     }
   in
-  let config = Asp.Config.make ~preset ~limits () in
+  let config = Asp.Config.make ~preset ~limits ~verify:(not no_verify) () in
   (* first ^C cancels the solve cooperatively (degraded result if a model
      is already in hand); a second one falls back to the default and kills *)
   let tok = Asp.Budget.token () in
@@ -50,6 +50,22 @@ let run files preset show_stats nmodels timeout jobs =
     exit 3
   | Asp.Solve.Unsat { ground_time; solve_time } ->
     print_endline "UNSATISFIABLE";
+    if explain then begin
+      (* re-ground and extract a minimal core of constraint instances, each
+         tagged with its source line *)
+      let ground, _ = Asp.Grounder.ground (Asp.Parser.parse src) in
+      match Asp.Explain.explain ~budget:(Asp.Budget.start ~cancel:tok Asp.Budget.no_limits) ground with
+      | Asp.Explain.Unsat_core { causes; minimal } ->
+        Printf.printf "%s unsat core (%d constraint instance%s):\n"
+          (if minimal then "minimal" else "non-minimal")
+          (List.length causes)
+          (if List.length causes = 1 then "" else "s");
+        List.iter (fun c -> Format.printf "  %a@." Asp.Explain.pp_cause c) causes
+      | Asp.Explain.Satisfiable ->
+        print_endline "explain: the re-solve found the program satisfiable"
+      | Asp.Explain.Exhausted info ->
+        Format.printf "explain: budget exhausted (%a)@." Asp.Budget.pp_info info
+    end;
     if show_stats then
       Printf.printf "Time: ground %.3fs, solve %.3fs\n" ground_time solve_time;
     exit 1
@@ -111,9 +127,18 @@ let jobs =
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
          ~doc:"Race N diverse solver configurations on N domains over the shared ground program; the first proof of optimality (or unsatisfiability) wins.")
 
+let explain =
+  Arg.(value & flag & info [ "explain" ]
+         ~doc:"On UNSAT, extract a minimal core of integrity-constraint instances with their source lines (assumption-based solving plus deletion shrinking).")
+
+let no_verify =
+  Arg.(value & flag & info [ "no-verify" ]
+         ~doc:"Skip the independent re-verification (stable-model, support and cost checks) of reported models.")
+
 let cmd =
   let doc = "ground and solve an answer set program" in
   Cmd.v (Cmd.info "asp_run" ~doc)
-    Term.(const run $ files $ preset $ stats $ nmodels $ timeout $ jobs)
+    Term.(const run $ files $ preset $ stats $ nmodels $ timeout $ jobs
+          $ explain $ no_verify)
 
 let () = exit (Cmd.eval cmd)

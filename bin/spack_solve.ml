@@ -61,6 +61,8 @@ let print_result repo show_stats validate spec_text result =
             (fun (p, h) -> Printf.printf "  [%s]  %s\n" (String.sub h 0 8) p)
             s.Concretize.Concretizer.reused
         end;
+        if s.Concretize.Concretizer.verified then
+          print_endline "verified: independent model check passed";
         if show_stats then begin
           Printf.printf "Facts: %d, possible dependencies: %d, logic program: %d lines\n"
             s.Concretize.Concretizer.n_facts s.Concretize.Concretizer.n_possible
@@ -80,7 +82,7 @@ let print_result repo show_stats validate spec_text result =
         0
 
 let solve_one repo config installed cancel attempts show_stats greedy validate
-    ?pool ?racers spec_text =
+    explain ?pool ?racers spec_text =
   if greedy then begin
     match Concretize.Greedy.concretize_spec ~repo spec_text with
     | Concretize.Greedy.Ok c ->
@@ -102,7 +104,7 @@ let solve_one repo config installed cancel attempts show_stats greedy validate
     | root -> (
       match
         Concretize.Concretizer.solve_escalating ~attempts ~config ?installed
-          ?cancel ?pool ?racers ~repo [ root ]
+          ?cancel ?pool ?racers ~explain ~repo [ root ]
       with
       | exception Concretize.Facts.Unknown_package p ->
         Printf.eprintf "Error: unknown package %s\n" p;
@@ -114,8 +116,8 @@ let solve_one repo config installed cancel attempts show_stats greedy validate
 
 (* --jobs N with several specs: concretize the batch across the pool, then
    print in input order. *)
-let solve_batch repo config installed cancel attempts show_stats validate pool
-    specs =
+let solve_batch repo config installed cancel attempts show_stats validate
+    explain pool specs =
   let roots =
     List.map
       (fun s ->
@@ -129,7 +131,7 @@ let solve_batch repo config installed cancel attempts show_stats validate pool
   in
   match
     Concretize.Concretizer.solve_many ~pool ~attempts ~config ?installed
-      ?cancel ~repo roots
+      ?cancel ~explain ~repo roots
   with
   | exception Concretize.Facts.Unknown_package p ->
     Printf.eprintf "Error: unknown package %s\n" p;
@@ -189,7 +191,7 @@ let run_multishot repo config installed ?pool ?racers specs =
   exit 0
 
 let run repo_name preset specs show_stats greedy multishot validate reuse_roots
-    cache_size timeout retries jobs =
+    cache_size timeout retries jobs explain no_verify =
   let repo = pick_repo repo_name in
   let preset =
     match Asp.Config.preset_of_name preset with
@@ -204,7 +206,7 @@ let run repo_name preset specs show_stats greedy multishot validate reuse_roots
       Asp.Budget.wall = (if timeout > 0. then Some timeout else None);
     }
   in
-  let config = Asp.Config.make ~preset ~limits () in
+  let config = Asp.Config.make ~preset ~limits ~verify:(not no_verify) () in
   (* first ^C cancels the solve cooperatively; a second one kills *)
   let tok = Asp.Budget.token () in
   Sys.set_signal Sys.sigint
@@ -234,14 +236,14 @@ let run repo_name preset specs show_stats greedy multishot validate reuse_roots
         | Some p, _ :: _ :: _ when not greedy ->
           (* several specs: parallelize across the batch *)
           solve_batch repo config installed (Some tok) (retries + 1) show_stats
-            validate p specs
+            validate explain p specs
         | _ ->
           (* single spec (or greedy): portfolio-race each solve if jobs > 1 *)
           List.fold_left
             (fun rc spec ->
               max rc
                 (solve_one repo config installed (Some tok) (retries + 1)
-                   show_stats greedy validate ?pool
+                   show_stats greedy validate explain ?pool
                    ?racers:(if jobs > 1 then Some jobs else None) spec))
             0 specs
       in
@@ -291,6 +293,14 @@ let jobs =
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
          ~doc:"Solve on N domains: a single spec races N diverse solver configurations (portfolio), several specs are concretized in parallel across the batch, and multishot races each shot's solve.")
 
+let explain =
+  Arg.(value & flag & info [ "explain" ]
+         ~doc:"On an unsatisfiable solve, extract a provenance-mapped minimal unsat core naming the conflicting package recipes and request constraints (slower than the default syntactic diagnosis).")
+
+let no_verify =
+  Arg.(value & flag & info [ "no-verify" ]
+         ~doc:"Skip the independent re-verification of the winning model (stable-model, support and cost checks run by default).")
+
 let cmd =
   let doc = "concretize package specs with the ASP-based dependency solver" in
   let man =
@@ -307,6 +317,7 @@ let cmd =
   Cmd.v (Cmd.info "spack_solve" ~doc ~man)
     Term.(
       const run $ repo_name $ preset $ specs $ stats $ greedy $ multishot $ validate
-      $ reuse_roots $ cache_size $ timeout $ retries $ jobs)
+      $ reuse_roots $ cache_size $ timeout $ retries $ jobs $ explain
+      $ no_verify)
 
 let () = exit (Cmd.eval cmd)

@@ -22,7 +22,7 @@ type head =
   | Head_choice of { lb : term option; ub : term option; elems : choice_elem list }
   | Head_none
 
-type rule = { head : head; body : body_lit list }
+type rule = { head : head; body : body_lit list; line : int }
 
 type min_elem = {
   weight : term;
@@ -38,9 +38,11 @@ let cst_str s = Cst (Term.str s)
 let cst_int i = Cst (Term.int i)
 let var v = Var v
 let atom pred args = { pred; args }
-let fact p args = Rule { head = Head_atom (atom p (List.map (fun t -> Cst t) args)); body = [] }
-let rule h body = Rule { head = Head_atom h; body }
-let constraint_ body = Rule { head = Head_none; body }
+let fact p args =
+  Rule { head = Head_atom (atom p (List.map (fun t -> Cst t) args)); body = []; line = 0 }
+
+let rule h body = Rule { head = Head_atom h; body; line = 0 }
+let constraint_ body = Rule { head = Head_none; body; line = 0 }
 
 let rec term_vars = function
   | Cst _ -> []
@@ -64,7 +66,7 @@ let rec is_ground_term = function
   | Fn (_, args) -> List.for_all is_ground_term args
 
 let statement_is_fact = function
-  | Rule { head = Head_atom a; body = [] } -> List.for_all is_ground_term a.args
+  | Rule { head = Head_atom a; body = []; _ } -> List.for_all is_ground_term a.args
   | _ -> false
 
 let rec term_has_interval = function
@@ -140,9 +142,9 @@ let pp_min_elem ppf { weight; priority; tuple; guard } =
 let pp_statement ppf = function
   | Show None -> Format.pp_print_string ppf "#show."
   | Show (Some (p, n)) -> Format.fprintf ppf "#show %s/%d." p n
-  | Rule { head = Head_none; body } -> Format.fprintf ppf ":- %a." pp_body body
-  | Rule { head; body = [] } -> Format.fprintf ppf "%a." pp_head head
-  | Rule { head; body } -> Format.fprintf ppf "%a :- %a." pp_head head pp_body body
+  | Rule { head = Head_none; body; _ } -> Format.fprintf ppf ":- %a." pp_body body
+  | Rule { head; body = []; _ } -> Format.fprintf ppf "%a." pp_head head
+  | Rule { head; body; _ } -> Format.fprintf ppf "%a :- %a." pp_head head pp_body body
   | Minimize elems ->
     Format.fprintf ppf "#minimize{ %a }."
       (Format.pp_print_list

@@ -43,7 +43,11 @@ type head =
     }
   | Head_none  (** integrity constraint *)
 
-type rule = { head : head; body : body_lit list }
+type rule = {
+  head : head;
+  body : body_lit list;
+  line : int;  (** 1-based source line of the rule; [0] when synthesized *)
+}
 
 type min_elem = {
   weight : term;

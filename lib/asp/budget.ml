@@ -1,4 +1,4 @@
-type phase = Ground | Search | Optimize
+type phase = Ground | Search | Optimize | Verify
 
 type reason =
   | Deadline
@@ -17,6 +17,7 @@ let phase_name = function
   | Ground -> "grounding"
   | Search -> "search"
   | Optimize -> "optimization"
+  | Verify -> "verification"
 
 let reason_name = function
   | Deadline -> "deadline"
@@ -59,7 +60,7 @@ let rec is_cancelled t =
   Atomic.get t.flag
   || (match t.parent with Some p -> is_cancelled p | None -> false)
 
-type event = Conflict | Instance | Opt_step
+type event = Conflict | Instance | Opt_step | Verify_step
 
 type t = {
   deadline : float option;  (* absolute, seconds since the epoch *)
@@ -173,6 +174,15 @@ let tick_opt_step b =
      by the conflict budget; check the deadline eagerly instead, steps are
      coarse *)
   check_deadline b
+
+let tick_verify_step b =
+  check_tripped b;
+  fire_hook b Verify_step;
+  check_cancel b;
+  (* verification is a single bounded pass over the ground program: no
+     dedicated limit, and no progress counter of its own — the event exists
+     so fault injection and cancellation reach the checker *)
+  maybe_deadline b
 
 let poll b =
   check_tripped b;

@@ -21,6 +21,7 @@ type phase =
   | Ground  (** instantiating the program *)
   | Search  (** looking for a first stable model *)
   | Optimize  (** lexicographic descent, a model is already in hand *)
+  | Verify  (** independent re-checking of a claimed answer *)
 
 type reason =
   | Deadline  (** wall-clock limit passed *)
@@ -70,7 +71,7 @@ val cancel : cancel_token -> unit
 val is_cancelled : cancel_token -> bool
 (** True when this token or any ancestor was cancelled. *)
 
-type event = Conflict | Instance | Opt_step
+type event = Conflict | Instance | Opt_step | Verify_step
 
 type t
 
@@ -109,6 +110,11 @@ val tick_conflict : t -> unit
 
 val tick_instance : t -> unit
 val tick_opt_step : t -> unit
+
+val tick_verify_step : t -> unit
+(** Ticked by {!Verify} per checked rule/atom chunk.  No counter or limit of
+    its own: the event exists so countdown faults and cancellation reach the
+    verification pass. *)
 
 val poll : t -> unit
 (** Cheap check of the cancel flag and (periodically) the deadline without

@@ -1,11 +1,18 @@
 type preset = Frumpy | Jumpy | Tweety | Trendy | Crafty | Handy
 type strategy = Bb | Usc
-type t = { preset : preset; strategy : strategy; limits : Budget.limits }
+type t = {
+  preset : preset;
+  strategy : strategy;
+  limits : Budget.limits;
+  verify : bool;
+}
 
-let default = { preset = Tweety; strategy = Usc; limits = Budget.no_limits }
+let default =
+  { preset = Tweety; strategy = Usc; limits = Budget.no_limits; verify = true }
 
-let make ?(preset = Tweety) ?(strategy = Usc) ?(limits = Budget.no_limits) () =
-  { preset; strategy; limits }
+let make ?(preset = Tweety) ?(strategy = Usc) ?(limits = Budget.no_limits)
+    ?(verify = true) () =
+  { preset; strategy; limits; verify }
 
 let params = function
   | Tweety ->

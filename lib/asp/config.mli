@@ -18,13 +18,22 @@ type t = {
   preset : preset;
   strategy : strategy;
   limits : Budget.limits;  (** resource budget armed per solve *)
+  verify : bool;
+      (** independently re-check every returned model with {!Verify}
+          (default [true]; a cheap O(ground-program) pass) *)
 }
 
 val default : t
-(** [tweety] with [usc] and no limits, the configuration the paper settles
-    on. *)
+(** [tweety] with [usc], no limits and verification on, the configuration
+    the paper settles on. *)
 
-val make : ?preset:preset -> ?strategy:strategy -> ?limits:Budget.limits -> unit -> t
+val make :
+  ?preset:preset ->
+  ?strategy:strategy ->
+  ?limits:Budget.limits ->
+  ?verify:bool ->
+  unit ->
+  t
 val params : preset -> Sat.params
 val strategy_name : strategy -> string
 val preset_name : preset -> string

@@ -1,9 +1,9 @@
-type point = Conflicts | Instances | Opt_steps
+type point = Conflicts | Instances | Opt_steps | Verify_steps
 
 let matches point (ev : Budget.event) =
   match (point, ev) with
   | Conflicts, Budget.Conflict | Instances, Budget.Instance
-  | Opt_steps, Budget.Opt_step ->
+  | Opt_steps, Budget.Opt_step | Verify_steps, Budget.Verify_step ->
     true
   | _ -> false
 

@@ -8,7 +8,7 @@
     complete identically to the unbudgeted solve or return a well-formed
     degraded outcome (valid stable model, cost vector >= the optimum). *)
 
-type point = Conflicts | Instances | Opt_steps
+type point = Conflicts | Instances | Opt_steps | Verify_steps
 
 val arm : Budget.t -> point -> int -> unit
 (** Overwrites any previously armed hook on [budget].  [n <= 0] trips at

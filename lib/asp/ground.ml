@@ -14,9 +14,21 @@ type min_entry = {
   mbody : body;
 }
 
+(* Where a ground rule came from: the source rule's line and pretty-printed
+   text, and the atom ids matched by the positive body {e before} the
+   fact-stripping simplification — pins imposed as facts (version
+   constraints, compiler requests) vanish from simplified bodies, and UNSAT
+   explanations need them back. *)
+type origin = { o_line : int; o_text : string; o_pos : int array }
+
 type t = {
   store : Gatom.Store.t;
   rules : rule Vec.t;
+  origins : origin Vec.t;  (* parallel to [rules] *)
+  conflicts0 : origin Vec.t;
+      (* constraint instances whose body simplified to the empty body: each
+         is independently sufficient for unsatisfiability (see
+         [inconsistent]) *)
   minimize : min_entry Vec.t;
   mutable inconsistent : bool;
 }
@@ -25,14 +37,24 @@ let empty_body = { pos = [||]; neg = [||] }
 
 let dummy_rule = Rconstraint empty_body
 
+let dummy_origin = { o_line = 0; o_text = ""; o_pos = [||] }
+
 let create store =
   {
     store;
     rules = Vec.create ~dummy:dummy_rule ();
+    origins = Vec.create ~dummy:dummy_origin ();
+    conflicts0 = Vec.create ~dummy:dummy_origin ();
     minimize =
       Vec.create ~dummy:{ mweight = 0; mpriority = 0; mtuple = []; mbody = empty_body } ();
     inconsistent = false;
   }
+
+let push_rule t rule origin =
+  Vec.push t.rules rule;
+  Vec.push t.origins origin
+
+let origin t i = Vec.get t.origins i
 
 let body_size b = Array.length b.pos + Array.length b.neg
 let num_rules t = Vec.length t.rules

@@ -25,9 +25,23 @@ type min_entry = {
   mbody : body;  (** contributes [mweight] when this body holds *)
 }
 
+type origin = {
+  o_line : int;  (** source line of the input rule (0 when synthesized) *)
+  o_text : string;  (** pretty-printed input rule (shared per source rule) *)
+  o_pos : int array;
+      (** atom ids matched by the positive body before fact-stripping: the
+          simplification removes literals over input facts, which is exactly
+          where concretizer pins (version/compiler constraints imposed as
+          facts) live — explanations recover them from here *)
+}
+
 type t = {
   store : Gatom.Store.t;
   rules : rule Vec.t;
+  origins : origin Vec.t;  (** parallel to [rules], same indices *)
+  conflicts0 : origin Vec.t;
+      (** constraint instances whose body simplified to the empty body; each
+          one independently forces unsatisfiability *)
   minimize : min_entry Vec.t;
   mutable inconsistent : bool;
       (** true when an integrity constraint grounded to an empty body *)
@@ -38,6 +52,12 @@ val empty_body : body
 val body_size : body -> int
 val num_rules : t -> int
 val num_atoms : t -> int
+
+val push_rule : t -> rule -> origin -> unit
+(** Append a rule and its origin, keeping [rules] and [origins] in sync. *)
+
+val origin : t -> int -> origin
+(** Origin of rule [i]. *)
 
 val pp_rule : Gatom.Store.t -> Format.formatter -> rule -> unit
 val pp : Format.formatter -> t -> unit

@@ -214,7 +214,8 @@ type chead =
 type compiled = {
   c_head : chead;
   c_body : split_body;
-  c_text : string;  (** for error messages *)
+  c_text : string;  (** for error messages and provenance *)
+  c_line : int;  (** source line of the rule (0 when synthesized) *)
   c_nvars : int;
 }
 
@@ -468,19 +469,27 @@ let emit_rules st (out : Ground.t) (rules : compiled list) =
     (fun r ->
       enumerate st r.c_body (fun matched ->
           Budget.tick_instance st.budget;
+          (* [matched] is a fresh array per instance: retain it as the
+             pre-simplification positive body for provenance *)
+          let origin =
+            { Ground.o_line = r.c_line; o_text = r.c_text; o_pos = matched }
+          in
           match resolve_body st r.c_body matched with
           | exception Drop_instance -> ()
           | body -> (
             match r.c_head with
             | C_none ->
-              if Ground.body_size body = 0 then out.Ground.inconsistent <- true
-              else Vec.push out.Ground.rules (Ground.Rconstraint body)
+              if Ground.body_size body = 0 then begin
+                out.Ground.inconsistent <- true;
+                Vec.push out.Ground.conflicts0 origin
+              end
+              else Ground.push_rule out (Ground.Rconstraint body) origin
             | C_atom a -> (
               let ga = ground_atom st r.c_text a in
               let id = Gatom.Store.intern st.store ga in
               if not (Gatom.Store.is_fact st.store id) then
                 if Ground.body_size body = 0 then Gatom.Store.mark_fact st.store id
-                else Vec.push out.Ground.rules (Ground.Rnormal (id, body)))
+                else Ground.push_rule out (Ground.Rnormal (id, body)) origin)
             | C_choice { c_lb; c_ub; c_elems } ->
               let lb = bound_value st r.c_text c_lb in
               let ub = bound_value st r.c_text c_ub in
@@ -497,13 +506,17 @@ let emit_rules st (out : Ground.t) (rules : compiled list) =
               if Array.length heads = 0 then begin
                 match lb with
                 | Some n when n > 0 ->
-                  if Ground.body_size body = 0 then out.Ground.inconsistent <- true
-                  else Vec.push out.Ground.rules (Ground.Rconstraint body)
+                  if Ground.body_size body = 0 then begin
+                    out.Ground.inconsistent <- true;
+                    Vec.push out.Ground.conflicts0 origin
+                  end
+                  else Ground.push_rule out (Ground.Rconstraint body) origin
                 | _ -> ()
               end
               else
-                Vec.push out.Ground.rules
-                  (Ground.Rchoice { lb; ub; heads; cbody = body }))))
+                Ground.push_rule out
+                  (Ground.Rchoice { lb; ub; heads; cbody = body })
+                  origin)))
     rules
 
 (* Compiled minimize element: weight/priority/tuple plus its guard body. *)
@@ -620,7 +633,7 @@ let ground ?(budget = Budget.unlimited) (prog : Ast.program) : Ground.t * stats 
       match stmt with
       | Ast.Show _ -> ()
       | Ast.Minimize elems -> minimizes := List.map compile_min_elem elems :: !minimizes
-      | Ast.Rule ({ head; body } as r) ->
+      | Ast.Rule ({ head; body; _ } as r) ->
         if Ast.statement_is_fact stmt then begin
           match head with
           | Ast.Head_atom a ->
@@ -668,6 +681,7 @@ let ground ?(budget = Budget.unlimited) (prog : Ast.program) : Ground.t * stats 
               c_head = compile_head cx head;
               c_body = split_body cx body;
               c_text = text;
+              c_line = r.Ast.line;
               c_nvars = cx.nvars;
             }
           in

@@ -14,3 +14,36 @@ val optimal_models : Ast.program -> (Gatom.t list * (int * int) list) list
 (** Stable models that are lexicographically optimal w.r.t. the program's
     [#minimize] statements, with their cost vectors (priority, value),
     priorities descending. *)
+
+(** {1 Building blocks}
+
+    Exposed for {!Verify}, which re-checks claimed answers with these naive
+    code paths instead of trusting the CDCL pipeline. *)
+
+val body_holds : (int -> bool) -> Ground.body -> bool
+(** Truth of a simplified body under a candidate assignment (atom id ->
+    truth; facts must map to [true]). *)
+
+val is_model : Ground.t -> (int -> bool) -> bool
+(** Does the assignment satisfy every ground rule (constraints, normal
+    rules, choice cardinalities) and is the program not flagged
+    inconsistent? *)
+
+val founded_set : Ground.t -> int -> (int -> bool) -> bool array
+(** [founded_set g natoms is_true]: least fixpoint of the reduct — the atoms
+    non-circularly derivable under the candidate model.  A stable model is
+    exactly a model whose true atoms are all founded. *)
+
+val cost_vector : Ground.t -> bool array -> (int * int) list
+(** Cost vector of the assignment w.r.t. the ground [#minimize] entries:
+    (priority, value) pairs, priorities descending, each (priority, weight,
+    tuple) group counted once if any of its bodies holds. *)
+
+val stable_models_ground : Ground.t -> int array * bool array list
+(** All stable models of a ground program by exhaustive enumeration:
+    the candidate atom ids and one truth array (indexed by atom id) per
+    model.
+    @raise Invalid_argument beyond 22 candidate atoms. *)
+
+val atoms_of_truth : Ground.t -> bool array -> Gatom.t list
+(** Atoms true in the assignment, as sorted ground atoms (facts included). *)

@@ -294,6 +294,7 @@ let parse_minimize st ~negate =
 
 (* [None] for pure directives (#const) that produce no statement *)
 let parse_statement st =
+  let line = (snd st.toks.(st.pos)).Lexer.line in
   match peek st with
   | MINIMIZE ->
     advance st;
@@ -337,7 +338,7 @@ let parse_statement st =
     advance st;
     let body = parse_body st in
     expect st DOT;
-    Some (Ast.Rule { head = Ast.Head_none; body })
+    Some (Ast.Rule { head = Ast.Head_none; body; line })
   | _ ->
     let head = parse_head st in
     let body =
@@ -348,7 +349,7 @@ let parse_statement st =
       else []
     in
     expect st DOT;
-    Some (Ast.Rule { head; body })
+    Some (Ast.Rule { head; body; line })
 
 let parse ?(file = "<program>") src =
   let toks = Array.of_list (Lexer.tokenize ~file src) in

@@ -35,9 +35,11 @@ type attempt =
       quality : Optimize.quality;
       sat_stats : Sat.stats;
       models_enumerated : int;
+      verified : bool;
     }
   | Proved_unsat
   | Gave_up of Budget.info
+  | Quarantined of { violations : string list }
 
 type outcome = {
   winner : string;
@@ -54,7 +56,7 @@ let cancelled_info =
     progress = { Budget.conflicts = 0; instances = 0; opt_steps = 0 };
   }
 
-let run_racer ~hints ~race_token ~budget ground racer =
+let run_racer ~hints ~verify ~race_token ~budget ground racer =
   (* a racer that starts after the race is decided must not pay for a
      translation: losing promptly is the point of the cancel protocol *)
   if Budget.is_cancelled race_token then Gave_up cancelled_info
@@ -72,23 +74,37 @@ let run_racer ~hints ~race_token ~budget ground racer =
       Budget.enter b Budget.Search;
       match Optimize.run ~strategy ~budget:b t ~on_model with
       | None -> Proved_unsat
-      | Some { Optimize.costs; models_enumerated; quality } ->
-        Model
-          {
-            answer = Translate.answer t;
-            costs;
-            quality;
-            sat_stats = Sat.stats t.Translate.sat;
-            models_enumerated;
-          }
+      | Some { Optimize.costs; models_enumerated; quality } -> (
+        let model verified =
+          Model
+            {
+              answer = Translate.answer t;
+              costs;
+              quality;
+              sat_stats = Sat.stats t.Translate.sat;
+              models_enumerated;
+              verified;
+            }
+        in
+        if not verify then model false
+        else
+          (* verify BEFORE the cancel below: a bogus model must never end
+             the race.  Fresh unlimited budget — the racer's own may have
+             expired producing a degraded (but checkable) model. *)
+          match Verify.check_translation ~costs t with
+          | Ok () -> model true
+          | Error vs ->
+            Quarantined { violations = Verify.describe_all ground vs })
     with
     | exception Budget.Exhausted info -> Gave_up info
     | attempt ->
-      (* self-service cancellation: a proof ends the race for everyone *)
+      (* self-service cancellation: a (verified) proof ends the race for
+         everyone; quarantined racers keep the race alive so the next-best
+         candidate can win *)
       (match attempt with
       | Model { quality = `Optimal; _ } | Proved_unsat ->
         Budget.cancel race_token
-      | Model _ | Gave_up _ -> ());
+      | Model _ | Gave_up _ | Quarantined _ -> ());
       attempt
 
 (* first differing level decides; vectors over the same priorities *)
@@ -117,7 +133,9 @@ let progress_total (i : Budget.info) =
 (* Deterministic combination given the per-racer attempts (racer order):
    a proof wins outright; else the lexicographically best incumbent, ties
    broken by tightest proved bounds, then racer order; else the give-up
-   that got furthest. *)
+   that got furthest.  Quarantined attempts (failed verification) are never
+   proofs or incumbents — one is returned only when no racer produced
+   anything usable, signalling the caller to run the sequential rescue. *)
 let combine attempts =
   let find_proof =
     List.find_opt
@@ -144,16 +162,23 @@ let combine attempts =
             (n, a)
           else (bn, ba))
         (List.hd incumbents) (List.tl incumbents)
-    | [] ->
-      List.fold_left
-        (fun (bn, ba) (n, a) ->
-          match (ba, a) with
-          | Gave_up bi, Gave_up i when progress_total i > progress_total bi ->
-            (n, a)
-          | _ -> (bn, ba))
-        (List.hd attempts) (List.tl attempts))
+    | [] -> (
+      match
+        List.find_opt
+          (fun (_, a) -> match a with Quarantined _ -> true | _ -> false)
+          attempts
+      with
+      | Some qa -> qa
+      | None ->
+        List.fold_left
+          (fun (bn, ba) (n, a) ->
+            match (ba, a) with
+            | Gave_up bi, Gave_up i when progress_total i > progress_total bi ->
+              (n, a)
+            | _ -> (bn, ba))
+          (List.hd attempts) (List.tl attempts)))
 
-let race ~pool ?hints ~racers ~budget ground =
+let race ~pool ?hints ?(verify = true) ~racers ~budget ground =
   if racers = [] then invalid_arg "Portfolio.race: no racers";
   let t0 = Unix.gettimeofday () in
   let race_token =
@@ -164,7 +189,7 @@ let race ~pool ?hints ~racers ~budget ground =
   let results =
     Pool.map_list pool
       (fun racer ->
-        (racer.rname, run_racer ~hints ~race_token ~budget ground racer))
+        (racer.rname, run_racer ~hints ~verify ~race_token ~budget ground racer))
       racers
   in
   let winner, attempt = combine results in
@@ -188,7 +213,7 @@ let solve_program ?pool ?(config = Config.default) ?budget ~jobs prog =
     let ground_time = Unix.gettimeofday () -. t0 in
     let rs = racers ~config jobs in
     let run pool =
-      race ~pool ~racers:rs ~budget ground
+      race ~pool ~verify:config.Config.verify ~racers:rs ~budget ground
     in
     let t1 = Unix.gettimeofday () in
     let outcome =
@@ -196,11 +221,7 @@ let solve_program ?pool ?(config = Config.default) ?budget ~jobs prog =
       | Some p -> run p
       | None -> Pool.with_pool ~domains:(min jobs (Pool.default_size ())) run
     in
-    let solve_time = Unix.gettimeofday () -. t1 in
-    (match outcome.attempt with
-    | Proved_unsat -> Solve.Unsat { ground_time; solve_time }
-    | Gave_up info -> Solve.Interrupted { info; ground_time; solve_time }
-    | Model { answer; costs; quality; sat_stats; models_enumerated } ->
+    let sat_outcome answer costs quality sat_stats models_enumerated verified =
       let answer = Solve.apply_show prog answer in
       Solve.Sat
         {
@@ -212,5 +233,34 @@ let solve_program ?pool ?(config = Config.default) ?budget ~jobs prog =
           sat_stats;
           models_enumerated;
           ground_time;
-          solve_time;
-        })
+          solve_time = Unix.gettimeofday () -. t1;
+          verified;
+        }
+    in
+    (match outcome.attempt with
+    | Proved_unsat ->
+      Solve.Unsat { ground_time; solve_time = Unix.gettimeofday () -. t1 }
+    | Gave_up info ->
+      Solve.Interrupted
+        { info; ground_time; solve_time = Unix.gettimeofday () -. t1 }
+    | Model { answer; costs; quality; sat_stats; models_enumerated; verified } ->
+      sat_outcome answer costs quality sat_stats models_enumerated verified
+    | Quarantined _ -> (
+      (* every racer's model failed verification: sequential reseeded
+         re-solve of last resort (which itself retries once and raises the
+         typed Verification_failed if that also fails) *)
+      let params = Config.params config.Config.preset in
+      let params = { params with Sat.seed = params.Sat.seed + 104729 } in
+      let strategy =
+        match config.Config.strategy with Config.Bb -> `Bb | Config.Usc -> `Usc
+      in
+      match Solve.solve_ground_verified ~params ~strategy ~budget ground with
+      | exception Budget.Exhausted info ->
+        Solve.Interrupted
+          { info; ground_time; solve_time = Unix.gettimeofday () -. t1 }
+      | None ->
+        Solve.Unsat { ground_time; solve_time = Unix.gettimeofday () -. t1 }
+      | Some (t, costs, quality, models_enumerated, verified) ->
+        sat_outcome (Translate.answer t) costs quality
+          (Sat.stats t.Translate.sat)
+          models_enumerated verified))

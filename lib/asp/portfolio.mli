@@ -48,10 +48,16 @@ type attempt =
       quality : Optimize.quality;
       sat_stats : Sat.stats;
       models_enumerated : int;
+      verified : bool;  (** passed {!Verify} (always true when verifying) *)
     }  (** found a stable model; optimal iff [quality = `Optimal] *)
   | Proved_unsat
   | Gave_up of Budget.info
       (** budget expired (or the race was cancelled) before any model *)
+  | Quarantined of { violations : string list }
+      (** the racer's model failed independent verification: it is excluded
+          from the combination (and never cancels the race); selected only
+          when no racer produced anything usable, signalling
+          {!solve_program}'s sequential rescue *)
 
 type outcome = {
   winner : string;  (** [rname] of the racer whose attempt was selected *)
@@ -63,6 +69,7 @@ type outcome = {
 val race :
   pool:Pool.t ->
   ?hints:(Translate.t -> unit) ->
+  ?verify:bool ->
   racers:racer list ->
   budget:Budget.t ->
   Ground.t ->
@@ -71,6 +78,10 @@ val race :
     budget: each racer gets a {!Budget.sibling} (same deadline and limits,
     fresh counters) on the race token.  [hints] runs on each racer's fresh
     translation before search (the concretizer's phase seeding).
+    With [verify] (default [true]) each winning model is independently
+    re-checked {e before} the racer is allowed to cancel the others — the
+    verify-then-cancel handshake; a failing model becomes {!Quarantined}
+    and the race continues.
     Racer exceptions other than [Budget.Exhausted] are re-raised. *)
 
 val solve_program :

@@ -775,4 +775,38 @@ let current_lit_value s l = lit_value s l
 
 let last_core s = s.core
 
+let solve_with_assumptions ?on_model ?budget s assumptions =
+  solve ~assumptions ?on_model ?budget s
+
+(* Deletion-based core minimization: test the core with each literal removed
+   in turn.  Unsat without [l] proves [l] redundant — and the refit core of
+   that solve may drop further literals for free.  Sat without [l] proves [l]
+   necessary, permanently: the candidate set only shrinks from here on, and a
+   subset of a satisfiable assumption set stays satisfiable.  One pass
+   therefore yields a minimal unsatisfiable subset. *)
+let shrink_core ?on_model ?(budget = Budget.unlimited) s core =
+  let necessary = ref [] in
+  (* reverse order; proved needed *)
+  let pending = ref core in
+  let minimal = ref true in
+  (try
+     let rec go () =
+       match !pending with
+       | [] -> ()
+       | l :: rest ->
+         Budget.tick_opt_step budget;
+         (match solve ?on_model ~budget s ~assumptions:(List.rev_append !necessary rest) with
+         | Unsat ->
+           let c = s.core in
+           necessary := List.filter (fun x -> List.mem x c) !necessary;
+           pending := List.filter (fun x -> List.mem x c) rest
+         | Sat ->
+           necessary := l :: !necessary;
+           pending := rest);
+         go ()
+     in
+     go ()
+   with Budget.Exhausted _ -> minimal := false);
+  (List.rev_append !necessary !pending, !minimal)
+
 let suggest_phase s l = s.phases.(l lsr 1) <- l land 1 = 0

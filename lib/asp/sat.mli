@@ -105,3 +105,29 @@ val last_core : t -> lit list
 (** After [solve ~assumptions] returned [Unsat]: a subset of the assumptions
     that together are inconsistent with the constraints (the {e core}).
     Empty when the instance is unsatisfiable even without assumptions. *)
+
+val solve_with_assumptions :
+  ?on_model:(t -> [ `Accept | `Refine of lit list list ]) ->
+  ?budget:Budget.t ->
+  t ->
+  lit list ->
+  result
+(** [solve] with the assumptions as the positional argument; on [Unsat] the
+    core is available from {!last_core}. *)
+
+val shrink_core :
+  ?on_model:(t -> [ `Accept | `Refine of lit list list ]) ->
+  ?budget:Budget.t ->
+  t ->
+  lit list ->
+  lit list * bool
+(** Deletion-based minimization of an unsatisfiable assumption set: re-solve
+    with each literal removed in turn, keeping it only when its removal makes
+    the instance satisfiable.  Returns [(core, minimal)]; [minimal] is [true]
+    when the pass completed, in which case the core is a minimal
+    unsatisfiable subset.  Anytime: on budget exhaustion the current (still
+    unsatisfiable, possibly non-minimal) set is returned with [false] instead
+    of raising.  The budget is ticked once per deletion attempt
+    ({!Budget.Opt_step}) and by each inner solve as usual.  Pass the same
+    [on_model] hook used for the original solve (e.g. {!Stable.hook}) so
+    cores remain sound for non-tight programs. *)

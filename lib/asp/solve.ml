@@ -8,6 +8,7 @@ type outcome = {
   models_enumerated : int;
   ground_time : float;
   solve_time : float;
+  verified : bool;
 }
 
 type result =
@@ -32,6 +33,44 @@ let apply_show prog answer =
         List.mem (a.Gatom.pred, List.length a.Gatom.args) shown)
       answer
 
+(* The verified sequential runner shared by {!solve_program}, the
+   concretizer's sequential path and the portfolio's rescue path: translate,
+   seed phase hints, optimize, then independently re-check the winning model
+   with {!Verify}.  On verification failure the solve is retried once from a
+   reseeded search (a different EVSIDS tie-breaking order steers CDCL away
+   from whatever state triggered the bug); if the retry's model also fails,
+   the typed {!Solver_error.Verification_failed} surfaces — never a wrong
+   answer.  Verification runs on a fresh unlimited budget: a budget that
+   expired mid-optimization must not veto checking the degraded model it
+   produced. *)
+let solve_ground_verified ?(hints = fun _ -> ()) ?(verify = true) ~params
+    ~strategy ~budget g =
+  let attempt params =
+    let t = Translate.translate ~params g in
+    hints t;
+    let on_model = Stable.hook t in
+    match Optimize.run ~strategy ~budget t ~on_model with
+    | None -> `Unsat
+    | Some { Optimize.costs; models_enumerated; quality } ->
+      if not verify then `Model (t, costs, quality, models_enumerated, false)
+      else (
+        match Verify.check_translation ~costs t with
+        | Ok () -> `Model (t, costs, quality, models_enumerated, true)
+        | Error vs -> `Bad (Verify.describe_all g vs))
+  in
+  match attempt params with
+  | `Unsat -> None
+  | `Model m -> Some m
+  | `Bad _ -> (
+    match attempt { params with Sat.seed = params.seed + 7919 } with
+    | `Model m -> Some m
+    | `Unsat ->
+      (* the reseeded solve proved UNSAT: the rejected model was bogus and
+         the independent verdict stands *)
+      None
+    | `Bad violations ->
+      raise (Solver_error.Error (Solver_error.Verification_failed { violations })))
+
 let solve_program ?(config = Config.default) ?budget prog =
   let budget =
     match budget with Some b -> b | None -> Budget.start config.Config.limits
@@ -45,27 +84,29 @@ let solve_program ?(config = Config.default) ?budget prog =
     let params = Config.params config.Config.preset in
     let t1 = Unix.gettimeofday () in
     let run () =
-      let t = Translate.translate ~params g in
-      let on_model = Stable.hook t in
       let strategy =
         match config.Config.strategy with Config.Bb -> `Bb | Config.Usc -> `Usc
       in
-      match Optimize.run ~strategy ~budget t ~on_model with
+      match
+        solve_ground_verified ~verify:config.Config.verify ~params ~strategy
+          ~budget g
+      with
       | None -> None
-      | Some { Optimize.costs; models_enumerated; quality } ->
+      | Some (t, costs, quality, models_enumerated, verified) ->
         Some
           ( apply_show prog (Translate.answer t),
             costs,
             quality,
             Sat.stats t.Translate.sat,
-            models_enumerated )
+            models_enumerated,
+            verified )
     in
     match run () with
     | exception Budget.Exhausted info ->
       (* the budget expired before any stable model was found *)
       Interrupted { info; ground_time; solve_time = Unix.gettimeofday () -. t1 }
     | None -> Unsat { ground_time; solve_time = Unix.gettimeofday () -. t1 }
-    | Some (answer, costs, quality, sat_stats, models_enumerated) ->
+    | Some (answer, costs, quality, sat_stats, models_enumerated, verified) ->
       Sat
         {
           answer;
@@ -77,6 +118,7 @@ let solve_program ?(config = Config.default) ?budget prog =
           models_enumerated;
           ground_time;
           solve_time = Unix.gettimeofday () -. t1;
+          verified;
         })
 
 let solve_text ?config ?budget src = solve_program ?config ?budget (Parser.parse src)
@@ -108,11 +150,19 @@ let enumerate ?(config = Config.default) ?budget ?(limit = max_int) prog =
       in
       let results = ref [] in
       let found = ref 0 in
+      (* stability/support re-check per enumerated model (no cost check:
+         enumeration reports every optimal model, not a claimed vector) *)
+      let model_checks_out () =
+        (not config.Config.verify)
+        || match Verify.check_translation t with Ok () -> true | Error _ -> false
+      in
       (try
          let continue_ = ref true in
          while !continue_ && !found < limit do
-           incr found;
-           results := apply_show prog (Translate.answer t) :: !results;
+           if model_checks_out () then begin
+             incr found;
+             results := apply_show prog (Translate.answer t) :: !results
+           end;
            let blocking =
              List.map
                (fun v ->

@@ -26,6 +26,11 @@ type outcome = {
   models_enumerated : int;
   ground_time : float;  (** seconds *)
   solve_time : float;  (** translation + search + optimization, seconds *)
+  verified : bool;
+  (** the answer passed independent verification ({!Verify}); [false] only
+      when [config.verify] was off — a model that {e fails} verification is
+      never returned (reseeded retry, then
+      {!Solver_error.Verification_failed}) *)
 }
 
 type result =
@@ -41,7 +46,29 @@ val solve_program : ?config:Config.t -> ?budget:Budget.t -> Ast.program -> resul
 (** A budget is armed from [config.limits] unless an explicit (possibly
     fault-injected, see {!Fault}) [budget] is given.
     @raise Solver_error.Error ([Ground _]) on unsafe or unsupported
-    programs. *)
+    programs; ([Verification_failed _]) when verification is on and both the
+    original and the reseeded solve produced answers the independent checker
+    rejects. *)
+
+val solve_ground_verified :
+  ?hints:(Translate.t -> unit) ->
+  ?verify:bool ->
+  params:Sat.params ->
+  strategy:[ `Bb | `Usc ] ->
+  budget:Budget.t ->
+  Ground.t ->
+  (Translate.t * (int * int) list * Optimize.quality * int * bool) option
+(** The verified sequential runner over an already-ground program:
+    translate, apply [hints] (phase seeding), optimize, then re-check the
+    winning model with {!Verify} (on a fresh unlimited budget, so a solve
+    budget that expired mid-descent cannot veto checking the degraded model).
+    On verification failure, one retry from a reseeded search; [None] means
+    UNSAT.  Returns [(t, costs, quality, models_enumerated, verified)] with
+    the model stored in [t]'s solver.  Shared with [Concretizer] and the
+    {!Portfolio} quarantine-rescue path.
+    @raise Budget.Exhausted before the first model, as {!Optimize.run}.
+    @raise Solver_error.Error ([Verification_failed _]) when both attempts
+    fail verification. *)
 
 val solve_text : ?config:Config.t -> ?budget:Budget.t -> string -> result
 (** Parse then solve.

@@ -3,6 +3,7 @@ type t =
   | Ground of { msg : string }
   | Exhausted of Budget.info
   | No_model
+  | Verification_failed of { violations : string list }
 
 exception Error of t
 
@@ -14,6 +15,12 @@ let pp ppf = function
   | No_model ->
     Format.pp_print_string ppf
       "no model available: the solver has not produced a model yet"
+  | Verification_failed { violations } ->
+    Format.fprintf ppf
+      "independent verification rejected every candidate answer:@,%a"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_cut
+         (fun ppf v -> Format.fprintf ppf "  %s" v))
+      violations
 
 let to_string e = Format.asprintf "%a" pp e
 

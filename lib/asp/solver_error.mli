@@ -10,13 +10,17 @@
     - {!Exhausted}: a budget ran out, with the phase and partial stats
       (usually surfaced as an [Interrupted] result rather than raised);
     - {!No_model}: a model accessor ({!Sat.value},
-      {!Sat.model_true_vars}) was called before a successful solve. *)
+      {!Sat.model_true_vars}) was called before a successful solve;
+    - {!Verification_failed}: the independent checker ({!Verify}) rejected
+      every candidate answer, including the sequential re-solve of last
+      resort — a solver bug was caught before shipping a wrong answer. *)
 
 type t =
   | Parse of { src : string; line : int; col : int; msg : string }
   | Ground of { msg : string }
   | Exhausted of Budget.info
   | No_model
+  | Verification_failed of { violations : string list }
 
 exception Error of t
 

@@ -199,7 +199,7 @@ let has_positive_cycle (g : Ground.t) natoms =
    with Stack_overflow -> cyclic := true);
   !cyclic
 
-let translate ?(params = Sat.default_params) (g : Ground.t) =
+let build ~guard_constraints params (g : Ground.t) =
   let natoms = Gatom.Store.count g.Ground.store in
   let sat = Sat.create ~params () in
   let var_of_atom = Array.make natoms (-1) in
@@ -235,7 +235,21 @@ let translate ?(params = Sat.default_params) (g : Ground.t) =
     }
   in
   if g.Ground.inconsistent then Sat.add_clause sat [];
-  Vec.iter (process_rule t) g.Ground.rules;
+  let selectors = ref [] in
+  Vec.iteri
+    (fun i r ->
+      match r with
+      | Ground.Rconstraint b when guard_constraints ->
+        (* assumable selector: the constraint is enforced only while its
+           selector is assumed, so a final conflict under the assumption set
+           names the responsible constraint instances *)
+        let sel = Sat.Lit.pos (Sat.new_var sat) in
+        (match body_indicator t b with
+        | None -> Sat.add_clause sat [ Sat.Lit.negate sel ]
+        | Some l -> Sat.add_clause sat [ Sat.Lit.negate sel; Sat.Lit.negate l ]);
+        selectors := (sel, i) :: !selectors
+      | r -> process_rule t r)
+    g.Ground.rules;
   (* completion: an atom needs at least one support *)
   Array.iteri
     (fun id v ->
@@ -251,7 +265,13 @@ let translate ?(params = Sat.default_params) (g : Ground.t) =
       end)
     var_of_atom;
   let tight = not (has_positive_cycle g natoms) in
-  { t with tight }
+  ({ t with tight }, List.rev !selectors)
+
+let translate ?(params = Sat.default_params) (g : Ground.t) =
+  fst (build ~guard_constraints:false params g)
+
+let translate_with_selectors ?(params = Sat.default_params) (g : Ground.t) =
+  build ~guard_constraints:true params g
 
 let atom_is_true t id =
   if fact t id then true

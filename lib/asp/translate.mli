@@ -37,6 +37,16 @@ val translate : ?params:Sat.params -> Ground.t -> t
 (** Build the instance.  If the ground program was flagged inconsistent the
     returned solver is already unsatisfiable. *)
 
+val translate_with_selectors :
+  ?params:Sat.params -> Ground.t -> t * (Sat.lit * int) list
+(** Like {!translate}, but every integrity constraint is guarded by a fresh
+    {e selector} literal ([sel -> not body]) instead of being asserted
+    unconditionally.  Returns the selectors paired with the index of the
+    guarded rule in [ground.rules].  Solving with all selectors assumed is
+    equisatisfiable with {!translate}; on UNSAT, {!Sat.last_core} is a set of
+    selectors whose constraints suffice for the conflict (the aspcud-style
+    unsat-core setup used by {!Explain}). *)
+
 val atom_lit : t -> int -> Sat.lit option
 (** Solver literal of a ground atom id ([None] for atoms with no variable:
     facts and impossible atoms). *)

@@ -1,0 +1,121 @@
+(* Independent verification of claimed answers.
+
+   The CDCL pipeline (Sat propagation, Stable's lazy loop formulas,
+   Optimize's bound bookkeeping) is the fast path; this module is the slow,
+   obviously-correct path that re-checks its results using only the naive
+   reference semantics of {!Naive}.  A model that passes here satisfies every
+   ground rule, is supported, is unfounded-free (i.e. a stable model), and
+   realizes exactly the cost vector the solver claimed — so a silent solver
+   bug is caught before the answer ships. *)
+
+type violation =
+  | Inconsistent_program
+  | Rule_violated of int
+  | Unsupported of int
+  | Unfounded of int
+  | Cost_mismatch of { claimed : (int * int) list; actual : (int * int) list }
+
+let pp_costs ppf costs =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ' ')
+    (fun ppf (p, v) -> Format.fprintf ppf "%d@%d" v p)
+    ppf costs
+
+let describe (g : Ground.t) = function
+  | Inconsistent_program ->
+    "a constraint grounded to an empty body: the program has no model at all"
+  | Rule_violated i ->
+    Format.asprintf "ground rule not satisfied: %a"
+      (Ground.pp_rule g.Ground.store)
+      (Vec.get g.Ground.rules i)
+  | Unsupported id ->
+    Format.asprintf "atom %a is true but no rule with a satisfied body derives it"
+      Gatom.pp
+      (Gatom.Store.atom g.Ground.store id)
+  | Unfounded id ->
+    Format.asprintf "atom %a is true but unfounded (only circular justification)"
+      Gatom.pp
+      (Gatom.Store.atom g.Ground.store id)
+  | Cost_mismatch { claimed; actual } ->
+    Format.asprintf "claimed cost vector [%a] but the model's recomputed costs are [%a]"
+      pp_costs claimed pp_costs actual
+
+(* cap the report: one violation proves the answer wrong, a handful helps
+   debugging, thousands help nobody *)
+let max_reported = 20
+
+let check ?(budget = Budget.unlimited) ?costs (g : Ground.t) ~is_true =
+  Budget.enter budget Budget.Verify;
+  let store = g.Ground.store in
+  let natoms = Gatom.Store.count store in
+  let violations = ref [] in
+  let reported = ref 0 in
+  let add v =
+    if !reported < max_reported then violations := v :: !violations;
+    incr reported
+  in
+  if g.Ground.inconsistent then add Inconsistent_program;
+  (* 1. every ground rule is satisfied *)
+  let count_true heads =
+    Array.fold_left (fun acc h -> if is_true h then acc + 1 else acc) 0 heads
+  in
+  Vec.iteri
+    (fun i rule ->
+      Budget.tick_verify_step budget;
+      let ok =
+        match rule with
+        | Ground.Rnormal (h, b) -> (not (Naive.body_holds is_true b)) || is_true h
+        | Ground.Rconstraint b -> not (Naive.body_holds is_true b)
+        | Ground.Rchoice { lb; ub; heads; cbody } ->
+          (not (Naive.body_holds is_true cbody))
+          || begin
+               let n = count_true heads in
+               (match lb with Some l -> n >= l | None -> true)
+               && match ub with Some u -> n <= u | None -> true
+             end
+      in
+      if not ok then add (Rule_violated i))
+    g.Ground.rules;
+  (* 2. Clark-completion support: every true non-fact atom is the head of
+     some rule whose body holds *)
+  let supports = Array.make natoms [] in
+  Vec.iter
+    (fun rule ->
+      match rule with
+      | Ground.Rnormal (h, b) -> supports.(h) <- b :: supports.(h)
+      | Ground.Rchoice { heads; cbody; _ } ->
+        Array.iter (fun h -> supports.(h) <- cbody :: supports.(h)) heads
+      | Ground.Rconstraint _ -> ())
+    g.Ground.rules;
+  for id = 0 to natoms - 1 do
+    Budget.tick_verify_step budget;
+    if
+      is_true id
+      && (not (Gatom.Store.is_fact store id))
+      && not (List.exists (Naive.body_holds is_true) supports.(id))
+    then add (Unsupported id)
+  done;
+  (* 3. unfounded-freeness: the true atoms are exactly their own least
+     fixpoint under the reduct — supported but circular justifications
+     (which Clark completion admits and {!Stable} exists to exclude) fail
+     here *)
+  let founded = Naive.founded_set g natoms is_true in
+  for id = 0 to natoms - 1 do
+    Budget.tick_verify_step budget;
+    if is_true id && not founded.(id) then
+      if Gatom.Store.is_fact store id then () else add (Unfounded id)
+  done;
+  (* 4. the claimed cost vector matches a from-scratch recomputation *)
+  (match costs with
+  | None -> ()
+  | Some claimed ->
+    Budget.tick_verify_step budget;
+    let truth = Array.init natoms is_true in
+    let actual = Naive.cost_vector g truth in
+    if claimed <> actual then add (Cost_mismatch { claimed; actual }));
+  match !violations with [] -> Ok () | vs -> Error (List.rev vs)
+
+let check_translation ?budget ?costs (t : Translate.t) =
+  check ?budget ?costs t.Translate.ground ~is_true:(Translate.atom_is_true t)
+
+let describe_all g vs = List.map (describe g) vs

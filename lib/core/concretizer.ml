@@ -18,6 +18,7 @@ type success = {
   n_possible : int;
   ground_stats : Asp.Grounder.stats;
   sat_stats : Asp.Sat.stats;
+  verified : bool;
 }
 
 type result =
@@ -77,8 +78,8 @@ let apply_phase_hints (t : Asp.Translate.t) =
   done
 
 let solve ?(config = Asp.Config.default) ?params ?(env = Facts.default_env)
-    ?(prefs = Preferences.empty) ?installed ?budget ?pool ?(racers = 1) ~repo
-    roots =
+    ?(prefs = Preferences.empty) ?installed ?budget ?pool ?(racers = 1)
+    ?(explain = false) ~repo roots =
   let budget =
     match budget with
     | Some b -> b
@@ -114,20 +115,27 @@ let solve ?(config = Asp.Config.default) ?params ?(env = Facts.default_env)
       | None -> Asp.Config.params config.Asp.Config.preset
     in
     let t1 = Unix.gettimeofday () in
-    let run_sequential () =
-      let t = Asp.Translate.translate ~params ground in
-      apply_phase_hints t;
-      let on_model = Asp.Stable.hook t in
-      let strategy =
-        match config.Asp.Config.strategy with
-        | Asp.Config.Bb -> `Bb
-        | Asp.Config.Usc -> `Usc
-      in
-      match Asp.Optimize.run ~strategy ~budget t ~on_model with
+    let strategy =
+      match config.Asp.Config.strategy with
+      | Asp.Config.Bb -> `Bb
+      | Asp.Config.Usc -> `Usc
+    in
+    (* the verified sequential runner: translate, seed phase hints, optimize,
+       then independently re-check the winning model ({!Asp.Verify}) with a
+       reseeded retry on failure *)
+    let run_sequential params =
+      match
+        Asp.Solve.solve_ground_verified ~hints:apply_phase_hints
+          ~verify:config.Asp.Config.verify ~params ~strategy ~budget ground
+      with
       | None -> None
-      | Some { Asp.Optimize.costs; quality; _ } ->
+      | Some (t, costs, quality, _models, verified) ->
         Some
-          (Asp.Translate.answer t, costs, quality, Asp.Sat.stats t.Asp.Translate.sat)
+          ( Asp.Translate.answer t,
+            costs,
+            quality,
+            Asp.Sat.stats t.Asp.Translate.sat,
+            verified )
     in
     (* portfolio mode: race diverse configurations over the shared ground
        program, each racer re-seeding the phase hints on its own
@@ -138,16 +146,29 @@ let solve ?(config = Asp.Config.default) ?params ?(env = Facts.default_env)
       | Some p when racers > 1 -> (
         let rs = Asp.Portfolio.racers ~config racers in
         match
-          Asp.Portfolio.race ~pool:p ~hints:apply_phase_hints ~racers:rs
-            ~budget ground
+          Asp.Portfolio.race ~pool:p ~hints:apply_phase_hints
+            ~verify:config.Asp.Config.verify ~racers:rs ~budget ground
         with
         | { Asp.Portfolio.attempt = Asp.Portfolio.Proved_unsat; _ } -> Ok None
         | { attempt = Asp.Portfolio.Gave_up info; _ } -> Error info
-        | { attempt = Asp.Portfolio.Model { answer; costs; quality; sat_stats; _ }; _ }
-          ->
-          Ok (Some (answer, costs, quality, sat_stats)))
+        | {
+            attempt =
+              Asp.Portfolio.Model { answer; costs; quality; sat_stats; verified; _ };
+            _;
+          } ->
+          Ok (Some (answer, costs, quality, sat_stats, verified))
+        | { attempt = Asp.Portfolio.Quarantined _; _ } -> (
+          (* every racer's model failed verification: sequential reseeded
+             re-solve of last resort (which itself retries once and raises
+             Solver_error.Verification_failed if that fails too) *)
+          match
+            run_sequential
+              { params with Asp.Sat.seed = params.Asp.Sat.seed + 104729 }
+          with
+          | exception Asp.Budget.Exhausted info -> Error info
+          | r -> Ok r))
       | _ -> (
-        match run_sequential () with
+        match run_sequential params with
         | exception Asp.Budget.Exhausted info -> Error info
         | r -> Ok r)
     in
@@ -167,14 +188,16 @@ let solve ?(config = Asp.Config.default) ?params ?(env = Facts.default_env)
       let phases = { setup_time; load_time; ground_time; solve_time } in
       match outcome with
       | None ->
-        Unsatisfiable
-          {
-            phases;
-            n_facts;
-            n_possible;
-            reasons = Diagnose.explain ~env ~repo roots;
-          }
-      | Some (answer, costs, quality, sat_stats) ->
+        let reasons =
+          (* provenance-mapped unsat core on demand: re-solves the ground
+             program with selector guards, so it is opt-in *)
+          if explain then
+            Diagnose.explain_core ~params ~budget ~env ~repo ~facts ~ground
+              roots
+          else Diagnose.explain ~env ~repo roots
+        in
+        Unsatisfiable { phases; n_facts; n_possible; reasons }
+      | Some (answer, costs, quality, sat_stats, verified) ->
         let info = Extract.of_index (Asp.Answer.of_list answer) in
         Concrete
           {
@@ -188,10 +211,11 @@ let solve ?(config = Asp.Config.default) ?params ?(env = Facts.default_env)
             n_possible;
             ground_stats;
             sat_stats;
+            verified;
           }))
 
-let solve_spec ?config ?env ?prefs ?installed ?budget ~repo text =
-  solve ?config ?env ?prefs ?installed ?budget ~repo
+let solve_spec ?config ?env ?prefs ?installed ?budget ?explain ~repo text =
+  solve ?config ?env ?prefs ?installed ?budget ?explain ~repo
     [ Specs.Spec_parser.parse text ]
 
 (* Retry with escalation: each interrupted attempt doubles every finite
@@ -200,7 +224,7 @@ let solve_spec ?config ?env ?prefs ?installed ?budget ~repo text =
    Cancellation is honoured immediately — a SIGINT must not trigger a
    retry. *)
 let solve_escalating ?(attempts = 3) ?(config = Asp.Config.default)
-    ?env ?prefs ?installed ?cancel ?fault ?pool ?racers ~repo roots =
+    ?env ?prefs ?installed ?cancel ?fault ?pool ?racers ?explain ~repo roots =
   let base = Asp.Config.params config.Asp.Config.preset in
   let rec go k limits =
     let budget = Asp.Budget.start ?cancel limits in
@@ -210,8 +234,8 @@ let solve_escalating ?(attempts = 3) ?(config = Asp.Config.default)
       else { base with Asp.Sat.seed = base.Asp.Sat.seed + (k * 7919) }
     in
     match
-      solve ~config ~params ?env ?prefs ?installed ~budget ?pool ?racers ~repo
-        roots
+      solve ~config ~params ?env ?prefs ?installed ~budget ?pool ?racers
+        ?explain ~repo roots
     with
     | Interrupted { info; _ } as r ->
       if info.Asp.Budget.reason = Asp.Budget.Cancelled || k + 1 >= attempts
@@ -227,10 +251,10 @@ let solve_escalating ?(attempts = 3) ?(config = Asp.Config.default)
    by over-subscribing, so [solve_many] keeps each job single-domain.
    Results are in input order. *)
 let solve_many ?pool ?(attempts = 1) ?config ?env ?prefs ?installed ?cancel
-    ~repo jobs =
+    ?explain ~repo jobs =
   let one roots =
-    solve_escalating ~attempts ?config ?env ?prefs ?installed ?cancel ~repo
-      roots
+    solve_escalating ~attempts ?config ?env ?prefs ?installed ?cancel ?explain
+      ~repo roots
   in
   match pool with
   | Some p when Asp.Pool.size p > 1 -> Asp.Pool.map_list p one jobs

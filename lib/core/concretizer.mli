@@ -33,6 +33,11 @@ type success = {
   n_possible : int;  (** possible dependencies considered (Fig. 7's x-axis) *)
   ground_stats : Asp.Grounder.stats;
   sat_stats : Asp.Sat.stats;
+  verified : bool;
+  (** the spec passed independent model verification ({!Asp.Verify});
+      [false] only when [config.verify] is off — a model that {e fails}
+      verification is never returned (reseeded retry, then
+      {!Asp.Solver_error.Verification_failed}) *)
 }
 
 type result =
@@ -59,6 +64,7 @@ val solve :
   ?budget:Asp.Budget.t ->
   ?pool:Asp.Pool.t ->
   ?racers:int ->
+  ?explain:bool ->
   repo:Pkg.Repo.t ->
   Specs.Spec.abstract list ->
   result
@@ -66,6 +72,14 @@ val solve :
     armed from [config.limits] unless an explicit [budget] is given;
     [params] overrides the preset's search parameters (used by
     {!solve_escalating} to reseed retries).
+
+    With [explain] (default [false]) an unsatisfiable solve is diagnosed
+    through {!Diagnose.explain_core} — a provenance-mapped minimal unsat
+    core naming the conflicting recipes and request constraints — instead
+    of the cheap syntactic heuristics.
+
+    With [config.verify] (default on) the winning model is independently
+    re-checked before being reported; see [success.verified].
 
     When [racers > 1] and a [pool] is given, the solve phase runs as a
     parallel portfolio ({!Asp.Portfolio}): setup, load and grounding stay
@@ -81,6 +95,7 @@ val solve_spec :
   ?prefs:Preferences.t ->
   ?installed:Pkg.Database.t ->
   ?budget:Asp.Budget.t ->
+  ?explain:bool ->
   repo:Pkg.Repo.t ->
   string ->
   result
@@ -97,6 +112,7 @@ val solve_escalating :
   ?fault:(int -> Asp.Budget.t -> unit) ->
   ?pool:Asp.Pool.t ->
   ?racers:int ->
+  ?explain:bool ->
   repo:Pkg.Repo.t ->
   Specs.Spec.abstract list ->
   result
@@ -117,6 +133,7 @@ val solve_many :
   ?prefs:Preferences.t ->
   ?installed:Pkg.Database.t ->
   ?cancel:Asp.Budget.cancel_token ->
+  ?explain:bool ->
   repo:Pkg.Repo.t ->
   Specs.Spec.abstract list list ->
   result list

@@ -1,3 +1,16 @@
+(* Order-preserving dedupe: a node repeated across roots and ^deps would
+   otherwise repeat its diagnosis verbatim. *)
+let dedup xs =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.add seen x ();
+        true
+      end)
+    xs
+
 let explain ~env ~repo (roots : Specs.Spec.abstract list) =
   let reasons = ref [] in
   let say fmt = Format.kasprintf (fun s -> reasons := s :: !reasons) fmt in
@@ -107,4 +120,109 @@ let explain ~env ~repo (roots : Specs.Spec.abstract list) =
             say "virtual package %s has no providers" n)
         (a.Specs.Spec.aroot :: a.Specs.Spec.adeps))
     roots;
-  List.rev !reasons
+  dedup (List.rev !reasons)
+
+(* --- provenance-mapped unsat cores ------------------------------------- *)
+
+(* Condition ids an atom carries explicitly (always the first argument of
+   the condition-shaped predicates emitted by {!Facts}). *)
+let atom_condition_ids (a : Asp.Gatom.t) =
+  match (a.Asp.Gatom.pred, a.Asp.Gatom.args) with
+  | ( ( "condition" | "condition_holds" | "conflict" | "dependency_condition"
+      | "provider_condition" | "condition_requirement" | "imposed_constraint" ),
+      { Asp.Term.node = Asp.Term.Int id; _ } :: _ ) ->
+    [ id ]
+  | _ -> []
+
+(* Conditions that require or impose a derived [attr(...)] atom: the link
+   from "version_satisfies(hdf5, 99.9) is violated" back to "the request
+   asks for hdf5@99.9" (or "foo depends on hdf5@99.9"). *)
+let attr_condition_ids store cond_ids (a : Asp.Gatom.t) =
+  match (a.Asp.Gatom.pred, a.Asp.Gatom.args) with
+  | "attr", args ->
+    List.filter
+      (fun id ->
+        let carries pred =
+          match
+            Asp.Gatom.Store.find store
+              (Asp.Gatom.make pred (Asp.Term.int id :: args))
+          with
+          | Some aid -> Asp.Gatom.Store.is_fact store aid
+          | None -> false
+        in
+        carries "imposed_constraint" || carries "condition_requirement")
+      cond_ids
+  | _ -> []
+
+let explain_core ?params ?budget ~env ~repo ~(facts : Facts.t) ~ground roots =
+  match Asp.Explain.explain ?params ?budget ground with
+  | Asp.Explain.Satisfiable ->
+    (* should not happen when the caller just proved UNSAT; trust the
+       syntactic heuristics instead of reporting nothing *)
+    explain ~env ~repo roots
+  | Asp.Explain.Exhausted _ ->
+    "unsat-core extraction exhausted its budget; heuristic diagnosis follows"
+    :: explain ~env ~repo roots
+  | Asp.Explain.Unsat_core { causes; minimal } ->
+    let store = ground.Asp.Ground.store in
+    let cond_ids = List.map fst facts.Facts.cond_origins in
+    (* group the core's ground instances by source constraint, keeping the
+       order of first appearance (causes arrive sorted by rule index) *)
+    let groups = ref [] in
+    let group_of key =
+      match List.assoc_opt key !groups with
+      | Some g -> g
+      | None ->
+        let g = (ref 0, ref "", ref []) in
+        groups := !groups @ [ (key, g) ];
+        g
+    in
+    List.iter
+      (fun (c : Asp.Explain.cause) ->
+        let o = c.Asp.Explain.origin in
+        let count, example, conds =
+          group_of (o.Asp.Ground.o_line, o.Asp.Ground.o_text)
+        in
+        incr count;
+        if !count = 1 then example := c.Asp.Explain.ground_text;
+        Array.iter
+          (fun aid ->
+            let a = Asp.Gatom.Store.atom store aid in
+            List.iter
+              (fun id -> if not (List.mem id !conds) then conds := !conds @ [ id ])
+              (atom_condition_ids a @ attr_condition_ids store cond_ids a))
+          o.Asp.Ground.o_pos)
+      causes;
+    let render ((line, text), (count, example, conds)) =
+      let b = Buffer.create 128 in
+      Buffer.add_string b
+        (Printf.sprintf "violated constraint: %s%s" (String.trim text)
+           (if line > 0 then Printf.sprintf " (solver rule, line %d)" line
+            else ""));
+      if !example <> "" then
+        Buffer.add_string b (Printf.sprintf "\n    instance: %s" !example);
+      if !count > 1 then
+        Buffer.add_string b
+          (Printf.sprintf "\n    (+%d more ground instances)" (!count - 1));
+      List.iter
+        (fun id ->
+          match List.assoc_opt id facts.Facts.cond_origins with
+          | Some d -> Buffer.add_string b (Printf.sprintf "\n    because %s" d)
+          | None -> ())
+        !conds;
+      Buffer.contents b
+    in
+    let n = List.length !groups in
+    let header =
+      if minimal then
+        Printf.sprintf "minimal unsatisfiable core (%d conflicting constraint%s):"
+          n
+          (if n = 1 then "" else "s")
+      else
+        Printf.sprintf
+          "unsatisfiable core, %d constraint%s (budget expired before full \
+           minimization):"
+          n
+          (if n = 1 then "" else "s")
+    in
+    header :: List.map render !groups

@@ -10,4 +10,25 @@
 val explain :
   env:Facts.env -> repo:Pkg.Repo.t -> Specs.Spec.abstract list -> string list
 (** Best-effort list of reasons, most specific first; empty when nothing
-    obvious is wrong (a genuinely combinatorial conflict). *)
+    obvious is wrong (a genuinely combinatorial conflict).  Duplicates
+    (repeated nodes across roots and [^deps]) are removed, keeping first
+    occurrences. *)
+
+val explain_core :
+  ?params:Asp.Sat.params ->
+  ?budget:Asp.Budget.t ->
+  env:Facts.env ->
+  repo:Pkg.Repo.t ->
+  facts:Facts.t ->
+  ground:Asp.Ground.t ->
+  Specs.Spec.abstract list ->
+  string list
+(** Exact explanation via a minimal unsat core ({!Asp.Explain}): the ground
+    program is re-solved with selector-guarded constraints, the final
+    conflict is shrunk by deletion, and each surviving constraint instance
+    is mapped back through its {!Asp.Ground.origin} and the condition
+    provenance recorded by {!Facts} ([cond_origins]) — naming the package
+    recipes and request constraints in conflict.  Ground instances of the
+    same source constraint are grouped.  Falls back to the syntactic
+    {!explain} heuristics only when core extraction runs out of [budget]
+    (or, defensively, when the re-solve finds the program satisfiable). *)

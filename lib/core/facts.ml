@@ -12,6 +12,7 @@ type t = {
   n_facts : int;
   possible : string list;
   conflict_msgs : (int * string) list;
+  cond_origins : (int * string) list;
 }
 
 exception Unknown_package of string
@@ -28,6 +29,7 @@ type gen = {
   mutable count : int;
   mutable next_id : int;
   mutable msgs : (int * string) list;
+  mutable origins : (int * string) list;
   (* (package, version-constraint) pairs needing enumeration *)
   version_sites : (string * string, unit) Hashtbl.t;
   (* (compiler-name, version-constraint) pairs *)
@@ -51,6 +53,16 @@ let new_condition g =
   g.next_id <- id + 1;
   fact g "condition" [ int id ];
   id
+
+(* Human-readable provenance of a condition, recovered by
+   [Diagnose.explain_core] when the condition id turns up in an unsat
+   core. *)
+let describe_condition g id desc = g.origins <- (id, desc) :: g.origins
+
+let when_suffix = function
+  | None -> ""
+  | Some (w : Specs.Spec.abstract) ->
+    " when " ^ Specs.Spec.abstract_to_string w
 
 let is_virtual g name = Pkg.Repo.is_virtual g.repo name
 
@@ -191,6 +203,10 @@ let emit_package g (p : Pkg.Package.t) =
       | None -> ());
       let dname = d.Pkg.Package.dep_spec.Specs.Spec.cname in
       fact g "dependency_condition" [ int id; str name; str dname ];
+      describe_condition g id
+        (Printf.sprintf "%s depends on %s%s" name
+           (Specs.Spec.node_to_string d.Pkg.Package.dep_spec)
+           (when_suffix d.Pkg.Package.dep_when));
       emit_imposed g id dname d.Pkg.Package.dep_spec)
     p.Pkg.Package.dependencies;
   (* conflicts: conditions that must not hold *)
@@ -203,6 +219,12 @@ let emit_package g (p : Pkg.Package.t) =
       | Some w -> emit_when_requirements g id name w
       | None -> ());
       fact g "conflict" [ int id; str name ];
+      describe_condition g id
+        (Printf.sprintf "%s conflicts with %s%s%s" name
+           (Specs.Spec.node_to_string c.Pkg.Package.conflict_spec)
+           (when_suffix c.Pkg.Package.conflict_when)
+           (if c.Pkg.Package.conflict_msg = "" then ""
+            else ": " ^ c.Pkg.Package.conflict_msg));
       g.msgs <- (id, c.Pkg.Package.conflict_msg) :: g.msgs)
     p.Pkg.Package.conflicts;
   (* provides *)
@@ -213,7 +235,10 @@ let emit_package g (p : Pkg.Package.t) =
       (match pr.Pkg.Package.prov_when with
       | Some w -> emit_when_requirements g id name w
       | None -> ());
-      fact g "provider_condition" [ int id; str name; str pr.Pkg.Package.prov_virtual ])
+      fact g "provider_condition" [ int id; str name; str pr.Pkg.Package.prov_virtual ];
+      describe_condition g id
+        (Printf.sprintf "%s provides %s%s" name pr.Pkg.Package.prov_virtual
+           (when_suffix pr.Pkg.Package.prov_when)))
     p.Pkg.Package.provides;
   (* variants (preferences may override the recipe's defaults) *)
   List.iter
@@ -434,6 +459,7 @@ let generate ?(env = default_env) ?(prefs = Preferences.empty) ?installed ~repo
       count = 0;
       next_id = 1;
       msgs = [];
+      origins = [];
       version_sites = Hashtbl.create 64;
       compiler_sites = Hashtbl.create 16;
       target_sites = Hashtbl.create 16;
@@ -482,6 +508,8 @@ let generate ?(env = default_env) ?(prefs = Preferences.empty) ?installed ~repo
     (fun (a : Specs.Spec.abstract) ->
       let rname = a.Specs.Spec.aroot.Specs.Spec.cname in
       let id = new_condition g in
+      describe_condition g id
+        (Printf.sprintf "the request asks for %s" (Specs.Spec.abstract_to_string a));
       if is_virtual g rname then begin
         (* a virtual root: require its resolution, constrain the provider *)
         imp3 g id "virtual_node" rname;
@@ -565,4 +593,5 @@ let generate ?(env = default_env) ?(prefs = Preferences.empty) ?installed ~repo
     n_facts = g.count;
     possible = closure_packages;
     conflict_msgs = g.msgs;
+    cond_origins = g.origins;
   }

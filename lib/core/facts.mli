@@ -20,6 +20,10 @@ type t = {
   n_facts : int;
   possible : string list;  (** package closure considered by this solve *)
   conflict_msgs : (int * string) list;  (** condition id -> message *)
+  cond_origins : (int * string) list;
+  (** condition id -> human-readable provenance ("hdf5 depends on mpi@3:",
+      "the request asks for ...") — what {!Diagnose.explain_core} prints
+      when the id turns up in an unsat core *)
 }
 
 exception Unknown_package of string

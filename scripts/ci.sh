@@ -16,6 +16,14 @@ timeout 600 dune runtest
 echo "== fault-injection sweep"
 timeout 300 dune exec test/test_budget.exe
 
+echo "== verifier fuzz smoke"
+timeout 120 dune exec test/test_verify.exe
+
+echo "== unsat-core explanation golden"
+out=$(timeout 60 dune exec bin/spack_solve.exe -- --explain 'hdf5@99.9' || true)
+echo "$out" | grep -q "unsatisfiable core"
+echo "$out" | grep -q "because the request asks for hdf5@99.9"
+
 echo "== budgeted solve returns promptly"
 rc=0
 timeout 60 dune exec bin/spack_solve.exe -- --repo 800 --timeout 0.05 app-000 \

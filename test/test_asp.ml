@@ -448,13 +448,13 @@ let gen_small_program =
   let rule =
     Gen.map2
       (fun h body ->
-        Asp.Ast.Rule { head = Asp.Ast.Head_atom (Asp.Ast.atom h []); body })
+        Asp.Ast.Rule { head = Asp.Ast.Head_atom (Asp.Ast.atom h []); body; line = 0 })
       atom
       (Gen.list_size (Gen.int_range 0 3) lit)
   in
   let constraint_ =
     Gen.map
-      (fun body -> Asp.Ast.Rule { head = Asp.Ast.Head_none; body })
+      (fun body -> Asp.Ast.Rule { head = Asp.Ast.Head_none; body; line = 0 })
       (Gen.list_size (Gen.int_range 1 3) lit)
   in
   let choice =
@@ -475,6 +475,7 @@ let gen_small_program =
                     List.map (fun a -> { Asp.Ast.elem = Asp.Ast.atom a []; guard = [] }) elems;
                 };
             body = [];
+            line = 0;
           })
       (Gen.list_size (Gen.int_range 1 3) atom)
       (Gen.opt (Gen.int_range 0 3))
@@ -522,11 +523,12 @@ let gen_opt_program =
                      [ "a"; "b"; "c"; "d" ];
                };
            body = [];
+           line = 0;
          })
   in
   let rule =
     Gen.map2
-      (fun h body -> Asp.Ast.Rule { head = Asp.Ast.Head_atom (Asp.Ast.atom h []); body })
+      (fun h body -> Asp.Ast.Rule { head = Asp.Ast.Head_atom (Asp.Ast.atom h []); body; line = 0 })
       atom
       (Gen.list_size (Gen.int_range 1 2) lit)
   in

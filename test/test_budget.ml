@@ -99,7 +99,8 @@ let sweep strategy point count =
         (match point with
         | Asp.Fault.Conflicts -> "conflicts"
         | Asp.Fault.Instances -> "instances"
-        | Asp.Fault.Opt_steps -> "opt steps")
+        | Asp.Fault.Opt_steps -> "opt steps"
+        | Asp.Fault.Verify_steps -> "verify steps")
     in
     check_run ~baseline ~what
       (Asp.Solve.solve_program ~config:(config strategy) ~budget:b prog)
@@ -275,6 +276,101 @@ let test_escalation_honours_cancel () =
       (info.B.reason = B.Cancelled)
   | _ -> Alcotest.fail "cancelled escalation did not report Interrupted"
 
+(* ------------------------------------------------------------------ *)
+(* Verification and core-shrinking under faults                        *)
+(* ------------------------------------------------------------------ *)
+
+(* sweep a countdown fault through the independent verifier: every run
+   either completes (fault landed beyond the last verify event) or raises
+   the typed injection in the Verify phase — never a wrong verdict *)
+let test_verify_fault_sweep () =
+  let g, _ = Asp.Grounder.ground prog in
+  let _, models = Asp.Naive.stable_models_ground g in
+  let truth = List.hd models in
+  let injected = ref 0 and completed = ref 0 in
+  for n = 1 to 120 do
+    let b = B.start B.no_limits in
+    Asp.Fault.arm b Asp.Fault.Verify_steps n;
+    match Asp.Verify.check ~budget:b g ~is_true:(fun id -> truth.(id)) with
+    | exception B.Exhausted info ->
+      incr injected;
+      Alcotest.(check bool)
+        (Printf.sprintf "verify fault %d: reason is the injection" n)
+        true
+        (info.B.reason = B.Injected);
+      Alcotest.(check bool)
+        (Printf.sprintf "verify fault %d: phase is verification" n)
+        true
+        (info.B.phase = B.Verify)
+    | Ok () -> incr completed
+    | Error _ ->
+      Alcotest.failf "verify fault %d: stable model rejected" n
+  done;
+  Alcotest.(check bool) "sweep hit the checker" true (!injected > 0);
+  Alcotest.(check bool) "sweep outlived the checker" true (!completed > 0)
+
+(* sweep a countdown fault through core shrinking (which ticks the
+   optimization counter): the core stays sound — at worst non-minimal —
+   and a fault before unsatisfiability is even established surfaces as a
+   typed Exhausted result, never an exception *)
+let unsat_core_src = "{ a }.\n{ b }.\n{ e }.\n:- not a.\n:- a, not b.\n:- b.\n:- e.\n"
+
+let test_shrink_fault_sweep () =
+  let parse_ground () =
+    fst (Asp.Grounder.ground (Asp.Parser.parse unsat_core_src))
+  in
+  let lines_of causes =
+    List.sort_uniq compare
+      (List.map
+         (fun (c : Asp.Explain.cause) -> c.Asp.Explain.origin.Asp.Ground.o_line)
+         causes)
+  in
+  let non_minimal = ref 0 and minimal = ref 0 in
+  for n = 1 to 20 do
+    let b = B.start B.no_limits in
+    Asp.Fault.arm b Asp.Fault.Opt_steps n;
+    match Asp.Explain.explain ~budget:b (parse_ground ()) with
+    | Asp.Explain.Satisfiable ->
+      Alcotest.failf "shrink fault %d: UNSAT program reported satisfiable" n
+    | Asp.Explain.Exhausted info ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shrink fault %d: typed injection" n)
+        true
+        (info.B.reason = B.Injected)
+    | Asp.Explain.Unsat_core { causes; minimal = m } ->
+      if m then incr minimal else incr non_minimal;
+      Alcotest.(check bool)
+        (Printf.sprintf "shrink fault %d: causes are constraints of the program" n)
+        true
+        (causes <> []
+        && List.for_all (fun l -> l >= 4 && l <= 7) (lines_of causes));
+      if m then
+        Alcotest.(check (list int))
+          (Printf.sprintf "shrink fault %d: completed shrink is the true MUS" n)
+          [ 4; 5; 6 ] (lines_of causes)
+  done;
+  Alcotest.(check bool) "sweep interrupted shrinking at least once" true
+    (!non_minimal > 0);
+  Alcotest.(check bool) "sweep let shrinking finish at least once" true
+    (!minimal > 0)
+
+(* a faulted solve budget must not veto verification: the degraded model is
+   still independently checked (verification runs on its own budget) *)
+let test_degraded_models_still_verified () =
+  let c = (event_counts Asp.Config.Bb).B.opt_steps in
+  for n = 1 to c do
+    let b = B.start B.no_limits in
+    Asp.Fault.arm b Asp.Fault.Opt_steps n;
+    match Asp.Solve.solve_program ~config:(config Asp.Config.Bb) ~budget:b prog with
+    | Asp.Solve.Sat o ->
+      Alcotest.(check bool)
+        (Printf.sprintf "opt fault %d: degraded model verified" n)
+        true o.Asp.Solve.verified
+    | Asp.Solve.Interrupted _ -> ()
+    | Asp.Solve.Unsat _ ->
+      Alcotest.failf "opt fault %d: SAT program reported UNSAT" n
+  done
+
 let test_double_limits () =
   let l = { B.wall = Some 0.5; conflicts = Some 10; instances = None } in
   let d = B.double l in
@@ -314,5 +410,12 @@ let () =
           case "recovers" `Quick test_escalation_recovers;
           case "gives up" `Quick test_escalation_gives_up;
           case "honours cancel" `Quick test_escalation_honours_cancel;
+        ] );
+      ( "self-checking",
+        [
+          case "verify fault sweep" `Quick test_verify_fault_sweep;
+          case "shrink fault sweep" `Quick test_shrink_fault_sweep;
+          case "degraded models still verified" `Quick
+            test_degraded_models_still_verified;
         ] );
     ]

@@ -348,7 +348,7 @@ let test_fact_generation () =
   let has_pred name =
     List.exists
       (function
-        | Asp.Ast.Rule { head = Asp.Ast.Head_atom { pred; _ }; body = [] } -> pred = name
+        | Asp.Ast.Rule { head = Asp.Ast.Head_atom { pred; _ }; body = []; _ } -> pred = name
         | _ -> false)
       facts.Facts.statements
   in
@@ -363,7 +363,7 @@ let test_fact_generation_with_reuse () =
     List.length
       (List.filter
          (function
-           | Asp.Ast.Rule { head = Asp.Ast.Head_atom { pred; _ }; body = [] } ->
+           | Asp.Ast.Rule { head = Asp.Ast.Head_atom { pred; _ }; body = []; _ } ->
              pred = name
            | _ -> false)
          facts.Facts.statements)

@@ -214,7 +214,11 @@ let test_racers_agree_or_cancelled () =
             Alcotest.(check bool)
               (rname ^ ": loser was cancelled, not exhausted")
               true
-              (info.B.reason = B.Cancelled))
+              (info.B.reason = B.Cancelled)
+          | Asp.Portfolio.Quarantined { violations } ->
+            Alcotest.failf "%s: model failed independent verification: %s"
+              rname
+              (String.concat "; " violations))
         outcome.Asp.Portfolio.attempts;
       match outcome.Asp.Portfolio.attempt with
       | Asp.Portfolio.Model { costs; _ } ->
