@@ -1,0 +1,159 @@
+(* spack_serve: the concretization daemon.  Listens on a Unix domain socket,
+   answers newline-delimited JSON requests (solve / solve_many / install /
+   stats / shutdown), caches solves content-addressed and keeps the installed
+   database persistent across runs.  `spack_solve --connect SOCK` is the
+   matching client. *)
+
+open Cmdliner
+
+let pick_repo = function
+  | "core" -> Pkg.Repo_core.repo
+  | s -> (
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Pkg.Repo_synth.repo (Pkg.Repo_synth.scaled n)
+    | _ ->
+      Printf.eprintf "unknown repo %S (use 'core' or a package count)\n" s;
+      exit 2)
+
+let run socket repo_name preset db_path cache_dir cache_mem jobs max_pending
+    timeout no_verify =
+  let repo = pick_repo repo_name in
+  let preset =
+    match Asp.Config.preset_of_name preset with
+    | Some p -> p
+    | None ->
+      Printf.eprintf "unknown preset %s\n" preset;
+      exit 2
+  in
+  let solver = Asp.Config.make ~preset ~verify:(not no_verify) () in
+  let db =
+    match db_path with
+    | None -> Pkg.Database.create ()
+    | Some p when Sys.file_exists p -> (
+      match Pkg.Database.load p with
+      | Ok db ->
+        Printf.printf "spack_serve: loaded %d installed record(s) from %s\n%!"
+          (Pkg.Database.size db) p;
+        db
+      | Error e ->
+        Printf.eprintf "Error: %s: %s\n" p (Pkg.Database.load_error_to_string e);
+        exit 2)
+    | Some _ -> Pkg.Database.create ()
+  in
+  let cache = Server.Cache.create ~mem_capacity:cache_mem ?dir:cache_dir () in
+  let jobs = if jobs > 0 then jobs else Asp.Pool.default_size () in
+  let cfg =
+    {
+      Server.Daemon.socket_path = socket;
+      repo;
+      solver;
+      db;
+      db_path;
+      cache;
+      jobs;
+      max_pending;
+      timeout = (if timeout > 0. then Some timeout else None);
+    }
+  in
+  Server.Daemon.serve
+    ~on_ready:(fun () ->
+      Printf.printf "spack_serve: listening on %s (%d worker domain(s))\n%!"
+        socket jobs)
+    cfg;
+  print_endline "spack_serve: shutdown complete";
+  0
+
+let socket =
+  Arg.(
+    value
+    & opt string "spack_serve.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix domain socket path to listen on.")
+
+let repo_name =
+  Arg.(
+    value & opt string "core"
+    & info [ "repo" ] ~docv:"REPO"
+        ~doc:
+          "Repository: 'core' (bundled HPC packages) or an integer for a \
+           synthetic repository of roughly that many packages.")
+
+let preset =
+  Arg.(
+    value & opt string "tweety"
+    & info [ "preset" ] ~docv:"PRESET"
+        ~doc:
+          "clingo-style solver preset \
+           (tweety|trendy|handy|frumpy|jumpy|crafty).")
+
+let db_path =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "db" ] ~docv:"PATH"
+        ~doc:
+          "Installed database file: loaded at startup when present, saved \
+           after every install.")
+
+let cache_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persist solve results on disk under DIR (one file per \
+           content-addressed key); without it the cache is memory-only.")
+
+let cache_mem =
+  Arg.(
+    value & opt int 256
+    & info [ "cache-mem" ] ~docv:"N"
+        ~doc:"In-memory solve-cache capacity (LRU entries).")
+
+let jobs =
+  Arg.(
+    value & opt int 0
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Worker domains solving concurrently (0 = all cores but one).")
+
+let max_pending =
+  Arg.(
+    value & opt int 8
+    & info [ "max-pending" ] ~docv:"N"
+        ~doc:
+          "Distinct solves in flight before new requests are shed with a \
+           typed 'overloaded' reply.")
+
+let timeout =
+  Arg.(
+    value & opt float 0.
+    & info [ "timeout" ] ~docv:"SECS"
+        ~doc:
+          "Wall-clock deadline per request, measured from arrival (0 = \
+           none).")
+
+let no_verify =
+  Arg.(
+    value & flag
+    & info [ "no-verify" ]
+        ~doc:"Skip independent re-verification of winning models.")
+
+let cmd =
+  let doc = "serve concretization requests over a Unix domain socket" in
+  let man =
+    [
+      `S Manpage.s_examples;
+      `P "Start a daemon and solve against it:";
+      `Pre
+        "  spack_serve --socket /tmp/spack.sock &\n\
+        \  spack_solve --connect /tmp/spack.sock hdf5";
+      `P "Persistent state across restarts:";
+      `Pre "  spack_serve --db installed.db --cache-dir ./solve-cache";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "spack_serve" ~doc ~man)
+    Term.(
+      const run $ socket $ repo_name $ preset $ db_path $ cache_dir $ cache_mem
+      $ jobs $ max_pending $ timeout $ no_verify)
+
+let () = exit (Cmd.eval' cmd)

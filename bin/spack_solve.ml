@@ -190,8 +190,82 @@ let run_multishot repo config installed ?pool ?racers specs =
       (String.concat ", " (List.map fst dups)));
   exit 0
 
+(* --connect: be a client of a running spack_serve instead of solving
+   locally.  Results print through the same renderer, prefixed with the
+   daemon's cache verdict. *)
+let run_client sock remote_stats remote_shutdown show_stats validate repo_name
+    specs =
+  match Server.Client.connect sock with
+  | Error m ->
+    Printf.eprintf "Error: cannot connect: %s\n" m;
+    2
+  | Ok client ->
+    let one rc spec_text =
+      match Server.Client.request client (Server.Protocol.Solve spec_text) with
+      | Error m ->
+        Printf.eprintf "Error: %s\n" m;
+        max rc 2
+      | Ok (Server.Protocol.Result { cache; result }) ->
+        Printf.printf "cache %s: %s\n"
+          (Server.Protocol.cache_status_name cache)
+          spec_text;
+        max rc
+          (print_result (pick_repo repo_name) show_stats validate spec_text
+             result)
+      | Ok (Server.Protocol.Error { kind; message }) ->
+        (match kind with
+        | Server.Protocol.Overloaded ->
+          Printf.eprintf "Error: server overloaded: %s\n" message
+        | _ -> Printf.eprintf "Error: %s\n" message);
+        max rc 2
+      | Ok _ ->
+        Printf.eprintf "Error: unexpected reply\n";
+        max rc 2
+    in
+    let rc =
+      if remote_stats then begin
+        match Server.Client.request client Server.Protocol.Stats with
+        | Ok (Server.Protocol.Stats_reply j) ->
+          print_endline (Server.Json.to_string j);
+          0
+        | Ok _ ->
+          Printf.eprintf "Error: unexpected reply\n";
+          2
+        | Error m ->
+          Printf.eprintf "Error: %s\n" m;
+          2
+      end
+      else if remote_shutdown then begin
+        match Server.Client.request client Server.Protocol.Shutdown with
+        | Ok Server.Protocol.Bye ->
+          print_endline "server shut down";
+          0
+        | Ok _ ->
+          Printf.eprintf "Error: unexpected reply\n";
+          2
+        | Error m ->
+          Printf.eprintf "Error: %s\n" m;
+          2
+      end
+      else if specs = [] then begin
+        Printf.eprintf "Error: no specs given\n";
+        2
+      end
+      else List.fold_left one 0 specs
+    in
+    Server.Client.close client;
+    rc
+
 let run repo_name preset specs show_stats greedy multishot validate reuse_roots
-    cache_size timeout retries jobs explain no_verify =
+    cache_size timeout retries jobs explain no_verify connect remote_stats
+    remote_shutdown =
+  if connect <> "" then
+    exit (run_client connect remote_stats remote_shutdown show_stats validate
+            repo_name specs);
+  if specs = [] then begin
+    Printf.eprintf "Error: no specs given\n";
+    exit 2
+  end;
   let repo = pick_repo repo_name in
   let preset =
     match Asp.Config.preset_of_name preset with
@@ -250,7 +324,19 @@ let run repo_name preset specs show_stats greedy multishot validate reuse_roots
       exit rc)
 
 let specs =
-  Arg.(non_empty & pos_all string [] & info [] ~docv:"SPEC" ~doc:"Abstract specs to concretize.")
+  Arg.(value & pos_all string [] & info [] ~docv:"SPEC" ~doc:"Abstract specs to concretize.")
+
+let connect =
+  Arg.(value & opt string "" & info [ "connect" ] ~docv:"SOCK"
+         ~doc:"Solve through a running spack_serve daemon at this Unix socket instead of locally; each result is prefixed with the daemon's cache verdict (hit or miss).")
+
+let remote_stats =
+  Arg.(value & flag & info [ "remote-stats" ]
+         ~doc:"With --connect: print the daemon's cache/scheduler/server counters as JSON and exit.")
+
+let remote_shutdown =
+  Arg.(value & flag & info [ "remote-shutdown" ]
+         ~doc:"With --connect: ask the daemon to shut down and exit.")
 
 let repo_name =
   Arg.(value & opt string "core" & info [ "repo" ] ~docv:"REPO"
@@ -318,6 +404,6 @@ let cmd =
     Term.(
       const run $ repo_name $ preset $ specs $ stats $ greedy $ multishot $ validate
       $ reuse_roots $ cache_size $ timeout $ retries $ jobs $ explain
-      $ no_verify)
+      $ no_verify $ connect $ remote_stats $ remote_shutdown)
 
 let () = exit (Cmd.eval cmd)

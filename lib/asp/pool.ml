@@ -70,6 +70,12 @@ let submit t f =
   Mutex.unlock st.mutex;
   fut
 
+let is_done fut =
+  Mutex.lock fut.fmutex;
+  let c = fut.cell in
+  Mutex.unlock fut.fmutex;
+  match c with Pending -> false | Done _ | Failed _ -> true
+
 let await fut =
   Mutex.lock fut.fmutex;
   let rec wait () =

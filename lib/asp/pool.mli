@@ -37,6 +37,11 @@ val submit : t -> (unit -> 'a) -> 'a future
 val await : 'a future -> 'a
 (** Block until the job completed; its result, or re-raise its exception. *)
 
+val is_done : 'a future -> bool
+(** Non-blocking: has the job completed (successfully or not)?  When [true],
+    {!await} returns without blocking.  The request scheduler
+    ([Server.Scheduler]) polls this from its event loop. *)
+
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Run [f] on every element across the pool; results in input order.  The
     first exceptional job (in input order) is re-raised, after every job

@@ -41,6 +41,67 @@ let time f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+(* ------------------------------------------------------------------ *)
+(* Content-addressed solve caching.
+
+   The key digests everything the answer depends on: the normalized request
+   (order-insensitive per-spec constraint digests, root order preserved —
+   extraction roots the DAG at the first spec), the repository fingerprint,
+   the installed-database fingerprint, the solver configuration that can
+   change the answer (preset, strategy, verify — budgets are excluded
+   because only [`Optimal] results are stored, and those are
+   limit-independent), the environment roster and the preferences.  The
+   cache itself lives outside this library ([Server.Cache] provides an LRU +
+   on-disk implementation); here it is just a pair of closures. *)
+(* ------------------------------------------------------------------ *)
+
+type cache = {
+  lookup : string -> result option;
+  store : string -> result -> unit;
+}
+
+let request_key ?(config = Asp.Config.default) ?(env = Facts.default_env)
+    ?(prefs = Preferences.empty) ?installed ~repo roots =
+  let b = Buffer.create 512 in
+  let add s =
+    Buffer.add_string b s;
+    Buffer.add_char b '\x00'
+  in
+  add "request.v1";
+  List.iter (fun r -> add (Specs.Spec.abstract_digest r)) roots;
+  add (Pkg.Repo.fingerprint repo);
+  (match installed with
+  | Some db -> add (Pkg.Database.fingerprint db)
+  | None -> add "no-db");
+  add (Asp.Config.preset_name config.Asp.Config.preset);
+  add (Asp.Config.strategy_name config.Asp.Config.strategy);
+  add (string_of_bool config.Asp.Config.verify);
+  List.iter (fun c -> add (Specs.Compiler.to_string c)) env.Facts.compilers;
+  List.iter add env.Facts.oses;
+  add env.Facts.target_family;
+  List.iter
+    (fun (name, (p : Preferences.package_prefs)) ->
+      add name;
+      (match p.Preferences.pref_version with
+      | Some r -> add (Specs.Vrange.canonical r)
+      | None -> add "");
+      List.iter (fun (k, v) -> add (k ^ "=" ^ v)) (List.sort compare p.Preferences.pref_variants))
+    (List.sort compare prefs.Preferences.packages);
+  List.iter
+    (fun (v, ps) -> add (v ^ "->" ^ String.concat "," ps))
+    (List.sort compare prefs.Preferences.providers);
+  (match prefs.Preferences.compilers with
+  | Some cs -> List.iter (fun c -> add ("pc:" ^ Specs.Compiler.to_string c)) cs
+  | None -> add "no-pref-compilers");
+  Specs.Spec.digest_strings [ Buffer.contents b ]
+
+(* Only proven-optimal concrete results enter the cache: degraded or
+   interrupted outcomes depend on the budget that produced them, and UNSAT
+   diagnoses depend on [explain]. *)
+let cacheable = function
+  | Concrete { quality = `Optimal; _ } -> true
+  | Concrete { quality = `Degraded _; _ } | Unsatisfiable _ | Interrupted _ -> false
+
 (* Seed the solver's polarity toward the default configuration (newest
    version, default variants, best target, preferred compiler/OS/provider) so
    that the first model found is already close to optimal and the
@@ -77,7 +138,7 @@ let apply_phase_hints (t : Asp.Translate.t) =
       | None -> ()
   done
 
-let solve ?(config = Asp.Config.default) ?params ?(env = Facts.default_env)
+let solve_uncached ?(config = Asp.Config.default) ?params ?(env = Facts.default_env)
     ?(prefs = Preferences.empty) ?installed ?budget ?pool ?(racers = 1)
     ?(explain = false) ~repo roots =
   let budget =
@@ -214,8 +275,25 @@ let solve ?(config = Asp.Config.default) ?params ?(env = Facts.default_env)
             verified;
           }))
 
-let solve_spec ?config ?env ?prefs ?installed ?budget ?explain ~repo text =
-  solve ?config ?env ?prefs ?installed ?budget ?explain ~repo
+let solve ?config ?params ?env ?prefs ?installed ?budget ?pool ?racers
+    ?explain ?cache ~repo roots =
+  let run () =
+    solve_uncached ?config ?params ?env ?prefs ?installed ?budget ?pool
+      ?racers ?explain ~repo roots
+  in
+  match cache with
+  | None -> run ()
+  | Some c -> (
+    let key = request_key ?config ?env ?prefs ?installed ~repo roots in
+    match c.lookup key with
+    | Some r -> r
+    | None ->
+      let r = run () in
+      if cacheable r then c.store key r;
+      r)
+
+let solve_spec ?config ?env ?prefs ?installed ?budget ?explain ?cache ~repo text =
+  solve ?config ?env ?prefs ?installed ?budget ?explain ?cache ~repo
     [ Specs.Spec_parser.parse text ]
 
 (* Retry with escalation: each interrupted attempt doubles every finite
@@ -224,7 +302,8 @@ let solve_spec ?config ?env ?prefs ?installed ?budget ?explain ~repo text =
    Cancellation is honoured immediately — a SIGINT must not trigger a
    retry. *)
 let solve_escalating ?(attempts = 3) ?(config = Asp.Config.default)
-    ?env ?prefs ?installed ?cancel ?fault ?pool ?racers ?explain ~repo roots =
+    ?env ?prefs ?installed ?cancel ?fault ?pool ?racers ?explain ?cache ~repo
+    roots =
   let base = Asp.Config.params config.Asp.Config.preset in
   let rec go k limits =
     let budget = Asp.Budget.start ?cancel limits in
@@ -235,7 +314,7 @@ let solve_escalating ?(attempts = 3) ?(config = Asp.Config.default)
     in
     match
       solve ~config ~params ?env ?prefs ?installed ~budget ?pool ?racers
-        ?explain ~repo roots
+        ?explain ?cache ~repo roots
     with
     | Interrupted { info; _ } as r ->
       if info.Asp.Budget.reason = Asp.Budget.Cancelled || k + 1 >= attempts
@@ -251,11 +330,39 @@ let solve_escalating ?(attempts = 3) ?(config = Asp.Config.default)
    by over-subscribing, so [solve_many] keeps each job single-domain.
    Results are in input order. *)
 let solve_many ?pool ?(attempts = 1) ?config ?env ?prefs ?installed ?cancel
-    ?explain ~repo jobs =
+    ?fault ?explain ?cache ~repo jobs =
   let one roots =
-    solve_escalating ~attempts ?config ?env ?prefs ?installed ?cancel ?explain
-      ~repo roots
+    solve_escalating ~attempts ?config ?env ?prefs ?installed ?cancel ?fault
+      ?explain ?cache ~repo roots
   in
-  match pool with
-  | Some p when Asp.Pool.size p > 1 -> Asp.Pool.map_list p one jobs
-  | _ -> List.map one jobs
+  (* Dedupe identical requests within the batch before dispatch: duplicate-
+     heavy batches (environment refreshes, CI matrices) pay for each unique
+     request once and the single result fans back out in input order.  The
+     key is the same normalized constraint digest the solve cache uses, so
+     two spellings of one spec dedupe too. *)
+  let key roots =
+    String.concat "\x00" (List.map Specs.Spec.abstract_digest roots)
+  in
+  let seen = Hashtbl.create 16 in
+  let uniques = ref [] in
+  let slots =
+    List.map
+      (fun roots ->
+        let k = key roots in
+        match Hashtbl.find_opt seen k with
+        | Some idx -> idx
+        | None ->
+          let idx = Hashtbl.length seen in
+          Hashtbl.add seen k idx;
+          uniques := roots :: !uniques;
+          idx)
+      jobs
+  in
+  let uniques = List.rev !uniques in
+  let results =
+    match pool with
+    | Some p when Asp.Pool.size p > 1 -> Asp.Pool.map_list p one uniques
+    | _ -> List.map one uniques
+  in
+  let arr = Array.of_list results in
+  List.map (fun idx -> arr.(idx)) slots

@@ -55,6 +55,38 @@ type result =
       n_possible : int;
     }  (** the budget expired before any stable model was found *)
 
+(** {1 Solve caching}
+
+    A content-addressed cache of solve results, supplied by the caller as a
+    pair of closures ([Server.Cache] provides the LRU + on-disk
+    implementation).  Keys come from {!request_key}; only proven-optimal
+    {!Concrete} results are stored (degraded/interrupted outcomes depend on
+    the budget that produced them, UNSAT diagnoses on [explain]).  A cached
+    result is returned exactly as solved — cost vector, [verified] flag and
+    original phase timings intact. *)
+
+type cache = {
+  lookup : string -> result option;
+  store : string -> result -> unit;
+}
+
+val request_key :
+  ?config:Asp.Config.t ->
+  ?env:Facts.env ->
+  ?prefs:Preferences.t ->
+  ?installed:Pkg.Database.t ->
+  repo:Pkg.Repo.t ->
+  Specs.Spec.abstract list ->
+  string
+(** Canonical digest of everything a solve's answer depends on: the
+    normalized request ({!Specs.Spec.abstract_digest} per root, root order
+    preserved), {!Pkg.Repo.fingerprint}, {!Pkg.Database.fingerprint} of the
+    installed DB, the answer-relevant solver configuration
+    (preset/strategy/verify; budgets excluded), the environment roster and
+    the preferences.  Installing a package changes the DB fingerprint and
+    therefore every key — stale entries are never served, they just stop
+    being addressed. *)
+
 val solve :
   ?config:Asp.Config.t ->
   ?params:Asp.Sat.params ->
@@ -65,6 +97,7 @@ val solve :
   ?pool:Asp.Pool.t ->
   ?racers:int ->
   ?explain:bool ->
+  ?cache:cache ->
   repo:Pkg.Repo.t ->
   Specs.Spec.abstract list ->
   result
@@ -96,6 +129,7 @@ val solve_spec :
   ?installed:Pkg.Database.t ->
   ?budget:Asp.Budget.t ->
   ?explain:bool ->
+  ?cache:cache ->
   repo:Pkg.Repo.t ->
   string ->
   result
@@ -113,6 +147,7 @@ val solve_escalating :
   ?pool:Asp.Pool.t ->
   ?racers:int ->
   ?explain:bool ->
+  ?cache:cache ->
   repo:Pkg.Repo.t ->
   Specs.Spec.abstract list ->
   result
@@ -133,13 +168,20 @@ val solve_many :
   ?prefs:Preferences.t ->
   ?installed:Pkg.Database.t ->
   ?cancel:Asp.Budget.cancel_token ->
+  ?fault:(int -> Asp.Budget.t -> unit) ->
   ?explain:bool ->
+  ?cache:cache ->
   repo:Pkg.Repo.t ->
   Specs.Spec.abstract list list ->
   result list
 (** Concretize independent root sets in parallel across [pool] (sequential
     when the pool is absent or has one domain), each through
     {!solve_escalating} with [attempts] rounds (default 1, i.e. no
-    retries).  Results are in input order; [cancel] is shared by every job,
-    so one SIGINT stops the whole batch.  Jobs are single-domain inside —
-    batch parallelism does not compose with portfolio racing. *)
+    retries).  Identical requests within the batch (same normalized
+    constraint digests, any spelling) are deduplicated before dispatch: a
+    duplicate-heavy batch performs one solve per {e unique} request and the
+    result fans back out, so results are still in input order and
+    one-per-job.  [cancel] is shared by every job, so one SIGINT stops the
+    whole batch; [fault] observes each solve's armed budget (tests count
+    dispatches through it).  Jobs are single-domain inside — batch
+    parallelism does not compose with portfolio racing. *)

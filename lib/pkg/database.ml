@@ -60,6 +60,170 @@ let rec dag_complete t hash =
 
 let mem_dag t hash = dag_complete t hash
 
+(* ------------------------------------------------------------------ *)
+(* Persistence: a stable line-oriented text format with a digest footer.
+
+   header:   spack-installed-db v1
+   records:  record <hash> <name> <version> <os> <target> <cname> <cversion>
+             variant <name> <value>          (0+ lines, this record's)
+             dep <package> <hash>            (0+ lines, this record's)
+   footer:   digest <hex over every preceding line>
+
+   Fields are tab-separated; none of them can contain a tab (they come from
+   recipe names, version strings and variant values).  Records are written
+   in insertion order so a load-save cycle is byte-identical and reuse-fact
+   generation (which walks [records]) is unchanged after a reload. *)
+(* ------------------------------------------------------------------ *)
+
+let format_header = "spack-installed-db v1"
+
+type load_error =
+  | No_such_file of string
+  | Bad_header of string  (** first line (stale or foreign format) *)
+  | Bad_digest  (** footer digest does not match the content (corruption) *)
+  | Truncated  (** no digest footer: the file was cut short *)
+  | Malformed of { line : int; reason : string }
+
+let load_error_to_string = function
+  | No_such_file p -> Printf.sprintf "no such database file: %s" p
+  | Bad_header h -> Printf.sprintf "not a spack-installed-db file (header %S)" h
+  | Bad_digest -> "digest mismatch: the database file is corrupt"
+  | Truncated -> "truncated database file (missing digest footer)"
+  | Malformed { line; reason } -> Printf.sprintf "malformed database file, line %d: %s" line reason
+
+let render_lines t =
+  let buf = ref [ format_header ] in
+  let add l = buf := l :: !buf in
+  List.iter
+    (fun r ->
+      add
+        (String.concat "\t"
+           [
+             "record";
+             r.hash;
+             r.name;
+             Specs.Version.to_string r.version;
+             r.os;
+             r.target;
+             r.compiler.Specs.Compiler.name;
+             Specs.Version.to_string r.compiler.Specs.Compiler.version;
+           ]);
+      List.iter (fun (k, v) -> add (String.concat "\t" [ "variant"; k; v ])) r.variants;
+      List.iter (fun (p, h) -> add (String.concat "\t" [ "dep"; p; h ])) r.deps)
+    (records t);
+  List.rev !buf
+
+let save t path =
+  let lines = render_lines t in
+  let digest = Specs.Spec.digest_strings lines in
+  let tmp = path ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        lines;
+      output_string oc ("digest\t" ^ digest ^ "\n"));
+  (* atomic publish: readers see either the old or the new complete file *)
+  Sys.rename tmp path
+
+let load path =
+  if not (Sys.file_exists path) then Error (No_such_file path)
+  else begin
+    let ic = open_in path in
+    let lines =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let acc = ref [] in
+          (try
+             while true do
+               acc := input_line ic :: !acc
+             done
+           with End_of_file -> ());
+          List.rev !acc)
+    in
+    match lines with
+    | [] -> Error (Bad_header "")
+    | header :: _ when not (String.equal header format_header) -> Error (Bad_header header)
+    | _ :: rest -> (
+      (* split off the digest footer, then verify it over everything else *)
+      match List.rev rest with
+      | [] -> Error Truncated
+      | footer :: body_rev -> (
+        let body = List.rev body_rev in
+        match String.split_on_char '\t' footer with
+        | [ "digest"; d ] ->
+          if not (String.equal d (Specs.Spec.digest_strings (format_header :: body)))
+          then Error Bad_digest
+          else begin
+            let t = create () in
+            let current = ref None in
+            let flush_current () =
+              match !current with
+              | None -> ()
+              | Some r ->
+                add_record t { r with variants = List.rev r.variants; deps = List.rev r.deps };
+                current := None
+            in
+            let err = ref None in
+            List.iteri
+              (fun i line ->
+                if !err = None then
+                  let lineno = i + 2 (* 1-based, after the header *) in
+                  match String.split_on_char '\t' line with
+                  | [ "record"; hash; name; version; os; target; cname; cversion ] ->
+                    flush_current ();
+                    (match
+                       ( Specs.Version.of_string version,
+                         Specs.Version.of_string cversion )
+                     with
+                    | v, cv ->
+                      current :=
+                        Some
+                          {
+                            hash;
+                            name;
+                            version = v;
+                            variants = [];
+                            compiler = { Specs.Compiler.name = cname; version = cv };
+                            os;
+                            target;
+                            deps = [];
+                          }
+                    | exception _ ->
+                      err := Some (Malformed { line = lineno; reason = "bad version" }))
+                  | [ "variant"; k; v ] -> (
+                    match !current with
+                    | Some r -> current := Some { r with variants = (k, v) :: r.variants }
+                    | None ->
+                      err := Some (Malformed { line = lineno; reason = "variant before record" }))
+                  | [ "dep"; p; h ] -> (
+                    match !current with
+                    | Some r -> current := Some { r with deps = (p, h) :: r.deps }
+                    | None ->
+                      err := Some (Malformed { line = lineno; reason = "dep before record" }))
+                  | _ ->
+                    err := Some (Malformed { line = lineno; reason = "unrecognized line " ^ line }))
+              body;
+            match !err with
+            | Some e -> Error e
+            | None ->
+              flush_current ();
+              Ok t
+          end
+        | _ -> Error Truncated))
+  end
+
+let fingerprint t =
+  (* cheap content address: the record hashes already digest each node's
+     full parameter set and dependency closure, so hashing them (in
+     insertion order) fingerprints the whole database *)
+  Specs.Spec.digest_strings ("db.v1" :: List.rev t.insertion)
+
 let filter t ~f =
   let keep = Hashtbl.create 256 in
   List.iter

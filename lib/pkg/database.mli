@@ -40,3 +40,32 @@ val filter : t -> f:(record -> bool) -> t
 
 val mem_dag : t -> string -> bool
 (** Is the hash present with its full dependency closure? *)
+
+(** {1 Persistence}
+
+    A stable line-oriented text format ([spack-installed-db v1]) with a
+    digest footer, so the installed database and buildcaches survive across
+    runs ([spack_serve]'s [--db]) and corruption is detected instead of
+    silently accepted. *)
+
+type load_error =
+  | No_such_file of string
+  | Bad_header of string  (** not this format, or a stale format version *)
+  | Bad_digest  (** footer digest mismatch: the file is corrupt *)
+  | Truncated  (** missing digest footer: the file was cut short *)
+  | Malformed of { line : int; reason : string }
+
+val load_error_to_string : load_error -> string
+
+val save : t -> string -> unit
+(** Write the database to [path] atomically (temp file + rename): a reader
+    never observes a half-written file.  Records are written in insertion
+    order, so save/load round-trips preserve {!records} order and therefore
+    reuse-fact generation. *)
+
+val load : string -> (t, load_error) result
+
+val fingerprint : t -> string
+(** Cheap content digest over the record DAG hashes (insertion order).
+    Solve-cache keys include it, so installing anything invalidates every
+    key derived from the old database state. *)

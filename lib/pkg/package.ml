@@ -162,3 +162,44 @@ let versions_satisfying p range =
     (fun v ->
       if Specs.Vrange.satisfies range v.vversion then Some v.vversion else None)
     p.versions
+
+(* A stable plain-text rendering of the whole recipe, used to fingerprint
+   repositories for solve-cache keys: any change to a directive changes the
+   rendering, and therefore the fingerprint. *)
+let render p =
+  let b = Buffer.create 256 in
+  let add fmt = Printf.bprintf b fmt in
+  let when_to_string = function
+    | None -> ""
+    | Some w -> " when " ^ Specs.Spec.abstract_to_string w
+  in
+  add "package %s\n" p.name;
+  List.iter
+    (fun v ->
+      add "  version %s w=%d%s\n"
+        (Specs.Version.to_string v.vversion)
+        v.vweight
+        (if v.vdeprecated then " deprecated" else ""))
+    p.versions;
+  List.iter
+    (fun v ->
+      add "  variant %s default=%s values=%s\n" v.var_name v.var_default
+        (String.concat "," v.var_values))
+    p.variants;
+  List.iter
+    (fun d ->
+      add "  depends_on %s%s\n"
+        (Specs.Spec.node_to_string d.dep_spec)
+        (when_to_string d.dep_when))
+    p.dependencies;
+  List.iter
+    (fun c ->
+      add "  conflicts %s%s msg=%s\n"
+        (Specs.Spec.node_to_string c.conflict_spec)
+        (when_to_string c.conflict_when)
+        c.conflict_msg)
+    p.conflicts;
+  List.iter
+    (fun pr -> add "  provides %s%s\n" pr.prov_virtual (when_to_string pr.prov_when))
+    p.provides;
+  Buffer.contents b

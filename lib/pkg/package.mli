@@ -97,3 +97,8 @@ val parse_constraint : self:string -> string -> Specs.Spec.constraint_node
 val parse_when : self:string -> string -> Specs.Spec.abstract
 (** Parse a [when=] condition: a possibly anonymous constraint on [self],
     optionally followed by [^dep] constraints on other DAG nodes. *)
+
+val render : t -> string
+(** Stable plain-text rendering of the recipe (every directive, in
+    declaration order).  [Repo.fingerprint] digests these to content-address
+    a repository for the solve cache. *)

@@ -2,6 +2,7 @@ type t = {
   by_name : (string, Package.t) Hashtbl.t;
   names : string list;
   virtual_providers : (string, string list) Hashtbl.t;
+  mutable fp : string option;  (** memoized {!fingerprint} (immutable repo) *)
 }
 
 let make ?(preferred_providers = []) packages =
@@ -35,7 +36,7 @@ let make ?(preferred_providers = []) packages =
       Hashtbl.replace virtual_providers v (preferred @ rest))
     (Hashtbl.copy virtual_providers);
   { by_name; names = List.map (fun (p : Package.t) -> p.Package.name) packages;
-    virtual_providers }
+    virtual_providers; fp = None }
 
 let find t name = Hashtbl.find_opt t.by_name name
 
@@ -82,3 +83,19 @@ let possible_dependencies t root =
   visit root;
   Hashtbl.remove seen root;
   Hashtbl.fold (fun n () acc -> n :: acc) seen [] |> List.sort compare
+
+let fingerprint t =
+  match t.fp with
+  | Some fp -> fp
+  | None ->
+    let provider_lines =
+      List.map
+        (fun v -> v ^ " -> " ^ String.concat "," (providers t v))
+        (virtuals t)
+    in
+    let fp =
+      Specs.Spec.digest_strings
+        (("repo.v1" :: List.map Package.render (packages t)) @ provider_lines)
+    in
+    t.fp <- Some fp;
+    fp

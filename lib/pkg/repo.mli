@@ -28,3 +28,9 @@ val possible_dependencies : t -> string -> string list
     followed and virtual dependencies expand to all their providers.  This
     is the paper's "possible dependencies" measure (Fig. 7), which bounds
     solver work much better than the resolved dependency count. *)
+
+val fingerprint : t -> string
+(** Content digest of every recipe plus the effective provider orderings.
+    Two repositories with the same fingerprint concretize identically, so
+    the fingerprint is a sound solve-cache key component; it is computed on
+    first use and memoized (the repository is immutable after {!make}). *)

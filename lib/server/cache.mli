@@ -1,0 +1,51 @@
+(** Content-addressed solve cache: bounded in-memory LRU over an optional
+    on-disk layer.
+
+    Keys are {!Concretize.Concretizer.request_key} digests, so a key names
+    the full solve input (request, repository, installed DB, configuration)
+    and entries never go stale — changing any input changes the key, and
+    old entries simply stop being addressed (and eventually fall out of the
+    LRU / are overwritten on disk).
+
+    The disk layer stores one file per key under the cache directory
+    ([<key>.solve]), written atomically (temp file + rename) with a
+    versioned header and a digest footer: files from older format versions,
+    truncated files and corrupt files are ignored (a miss), never an error.
+
+    All operations are domain-safe (one internal lock; disk I/O happens
+    outside it only for reads of immutable files). *)
+
+type t
+
+val create : ?mem_capacity:int -> ?dir:string -> unit -> t
+(** [mem_capacity] bounds the in-memory LRU (default 256 entries; least
+    recently used entries are evicted first).  [dir] enables the on-disk
+    layer (created if missing). *)
+
+type stats = {
+  hits : int;  (** lookups served (memory or disk) *)
+  misses : int;
+  evictions : int;  (** LRU entries dropped over capacity *)
+  stores : int;
+  mem_entries : int;  (** current LRU size *)
+  disk_hits : int;  (** subset of [hits] that had to read a file *)
+}
+
+val stats : t -> stats
+
+val lookup : t -> string -> Concretize.Concretizer.result option
+(** Memory first, then disk (a disk hit is promoted into the LRU).  Counts
+    a hit or a miss. *)
+
+val mem : t -> string -> bool
+(** Would {!lookup} hit?  Does not touch the counters or the LRU order
+    (used by the bench harness to attribute hits per row without spending
+    them). *)
+
+val store : t -> string -> Concretize.Concretizer.result -> unit
+(** Insert into the LRU (evicting if over capacity) and, when a directory
+    was given, persist to disk atomically. *)
+
+val hook : t -> Concretize.Concretizer.cache
+(** The cache as the concretizer's lookup/store closure pair, for
+    [Concretizer.solve ~cache]. *)

@@ -1,0 +1,43 @@
+type t = { ic : in_channel; oc : out_channel; mutable next_id : int }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () ->
+    Ok
+      {
+        ic = Unix.in_channel_of_descr fd;
+        oc = Unix.out_channel_of_descr fd;
+        next_id = 1;
+      }
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error (path ^ ": " ^ Unix.error_message e)
+
+let request t req =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  match
+    output_string t.oc (Json.to_string (Protocol.request_to_json ~id req));
+    output_char t.oc '\n';
+    flush t.oc
+  with
+  | exception Sys_error m -> Error ("send failed: " ^ m)
+  | () ->
+    let rec wait () =
+      match input_line t.ic with
+      | exception End_of_file -> Error "server closed the connection"
+      | exception Sys_error m -> Error ("receive failed: " ^ m)
+      | line -> (
+        match Json.of_string line with
+        | Error m -> Error ("invalid response: " ^ m)
+        | Ok j -> (
+          match Protocol.response_of_json j with
+          | Error m -> Error m
+          | Ok (rid, resp) -> if rid = id then Ok resp else wait ()))
+    in
+    wait ()
+
+let close t =
+  (try flush t.oc with Sys_error _ -> ());
+  try close_in t.ic with Sys_error _ -> ()

@@ -1,0 +1,19 @@
+(** Blocking client for the {!Daemon} socket protocol, used by
+    [spack_solve --connect] and the end-to-end tests.
+
+    One request at a time per connection: {!request} writes the line,
+    tags it with a fresh id and reads until the matching reply arrives
+    (the daemon answers in completion order, so replies to earlier
+    pipelined requests are skipped, not lost — this client simply does not
+    pipeline). *)
+
+type t
+
+val connect : string -> (t, string) result
+(** Connect to the daemon's socket path. *)
+
+val request : t -> Protocol.request -> (Protocol.response, string) result
+(** [Error] is a transport or framing failure (daemon gone, invalid bytes);
+    daemon-level failures arrive as [Ok (Protocol.Error _)]. *)
+
+val close : t -> unit

@@ -1,0 +1,11 @@
+(** JSON (de)serialization of {!Concretize.Concretizer.result}.
+
+    Fully bidirectional for all three outcomes, so both the on-disk cache
+    layer and the wire protocol round-trip a result without loss: the
+    concrete DAG, cost vector, quality bounds, phase timings, ground/search
+    statistics and the [verified] flag all survive.  Decoding is total —
+    malformed input yields [Error], never an exception — because cache files
+    and network bytes are untrusted. *)
+
+val result_to_json : Concretize.Concretizer.result -> Json.t
+val result_of_json : Json.t -> (Concretize.Concretizer.result, string) result

@@ -1,0 +1,42 @@
+(** The concretization daemon: a Unix-domain-socket service in front of the
+    solver.
+
+    One single-threaded event loop ([select]) owns all connections and all
+    bookkeeping; solves run on an {!Asp.Pool} of worker domains and are
+    polled, never awaited.  Per request the loop:
+
+    + parses the newline-delimited JSON request ({!Protocol});
+    + derives the content-addressed key ({!Concretize.Concretizer.request_key})
+      and answers cache hits immediately ([cache = "hit"], the stored result
+      verbatim — cost vector and [verified] flag intact);
+    + otherwise admits the solve through {!Scheduler} (single-flight dedup,
+      typed [Overloaded] shed) under a budget whose wall-clock limit derives
+      from the request's arrival deadline;
+    + on completion stores proven-optimal results in the cache and writes
+      the reply — unless the client has disconnected, which abandoned the
+      ticket and cancelled the solve.
+
+    [install] concretizes, then records the winning DAG into a {e fresh}
+    database value (copy + extend) and atomically swaps it in: in-flight
+    solves keep reading the old immutable snapshot, and every later request
+    derives new cache keys from the new fingerprint — installation is cache
+    invalidation by construction. *)
+
+type config = {
+  socket_path : string;
+  repo : Pkg.Repo.t;
+  solver : Asp.Config.t;  (** preset/strategy/verify; limits are ignored —
+                              [timeout] governs *)
+  db : Pkg.Database.t;  (** initial installed database *)
+  db_path : string option;  (** persist the database here after installs *)
+  cache : Cache.t;
+  jobs : int;  (** worker domains (at least 1) *)
+  max_pending : int;  (** distinct in-flight solves before shedding *)
+  timeout : float option;  (** per-request wall-clock deadline, seconds *)
+}
+
+val serve : ?on_ready:(unit -> unit) -> config -> unit
+(** Bind, listen and run until a [shutdown] request.  [on_ready] fires once
+    the socket accepts connections (tests synchronize on it).  A stale
+    socket file at [socket_path] is replaced.  Returns after every worker
+    domain joined and the socket file was removed. *)

@@ -1,0 +1,37 @@
+(** A minimal JSON layer for the wire protocol and the on-disk cache.
+
+    The container ships no JSON library, and the service only needs
+    newline-delimited single-line values, so this is a small self-contained
+    implementation: a strict recursive-descent parser and a printer that
+    never emits raw newlines (strings escape them), keeping one value = one
+    line by construction. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact one-line rendering.  Floats round-trip ([%.17g], with a trailing
+    [.0] forced so they re-parse as floats). *)
+
+val of_string : string -> (t, string) result
+(** Parse exactly one JSON value (surrounding whitespace allowed); trailing
+    garbage is an error. *)
+
+(** {1 Accessors} — total, for protocol decoding *)
+
+val member : string -> t -> t option
+(** Field of an object ([None] on missing field or non-object). *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+(** Accepts both [Int] and [Float]. *)
+
+val to_str : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option

@@ -1,0 +1,205 @@
+type request =
+  | Solve of string
+  | Solve_many of string list
+  | Install of string
+  | Stats
+  | Shutdown
+
+let ( let* ) o f = match o with Some v -> f v | None -> None
+
+let request_to_json ?(id = 0) req =
+  let fields =
+    match req with
+    | Solve spec -> [ ("op", Json.Str "solve"); ("spec", Json.Str spec) ]
+    | Solve_many specs ->
+      [
+        ("op", Json.Str "solve_many");
+        ("specs", Json.List (List.map (fun s -> Json.Str s) specs));
+      ]
+    | Install spec -> [ ("op", Json.Str "install"); ("spec", Json.Str spec) ]
+    | Stats -> [ ("op", Json.Str "stats") ]
+    | Shutdown -> [ ("op", Json.Str "shutdown") ]
+  in
+  Json.Obj (("id", Json.Int id) :: fields)
+
+let id_of j = match Json.member "id" j with Some (Json.Int i) -> i | _ -> 0
+
+let request_of_json j =
+  let id = id_of j in
+  let decoded =
+    let* op = Json.member "op" j in
+    let* op = Json.to_str op in
+    match op with
+    | "solve" ->
+      let* spec = Json.member "spec" j in
+      let* spec = Json.to_str spec in
+      Some (Solve spec)
+    | "solve_many" ->
+      let* specs = Json.member "specs" j in
+      let* specs = Json.to_list specs in
+      let rec strs acc = function
+        | [] -> Some (List.rev acc)
+        | Json.Str s :: rest -> strs (s :: acc) rest
+        | _ -> None
+      in
+      let* specs = strs [] specs in
+      Some (Solve_many specs)
+    | "install" ->
+      let* spec = Json.member "spec" j in
+      let* spec = Json.to_str spec in
+      Some (Install spec)
+    | "stats" -> Some Stats
+    | "shutdown" -> Some Shutdown
+    | _ -> None
+  in
+  match decoded with
+  | Some r -> Ok (id, r)
+  | None -> Error "malformed request"
+
+type cache_status = Hit | Miss
+
+let cache_status_name = function Hit -> "hit" | Miss -> "miss"
+
+type error_kind =
+  | Overloaded
+  | Bad_request
+  | Unknown_package of string
+  | Internal
+
+type response =
+  | Result of { cache : cache_status; result : Concretize.Concretizer.result }
+  | Results of (cache_status * Concretize.Concretizer.result) list
+  | Installed of { root : string; hashes : (string * string) list; total : int }
+  | Stats_reply of Json.t
+  | Bye
+  | Error of { kind : error_kind; message : string }
+
+let error_kind_to_json = function
+  | Overloaded -> Json.Str "overloaded"
+  | Bad_request -> Json.Str "bad_request"
+  | Unknown_package p -> Json.List [ Json.Str "unknown_package"; Json.Str p ]
+  | Internal -> Json.Str "internal"
+
+let error_kind_of_json = function
+  | Json.Str "overloaded" -> Some Overloaded
+  | Json.Str "bad_request" -> Some Bad_request
+  | Json.List [ Json.Str "unknown_package"; Json.Str p ] ->
+    Some (Unknown_package p)
+  | Json.Str "internal" -> Some Internal
+  | _ -> None
+
+let entry_to_json (cache, result) =
+  Json.Obj
+    [
+      ("cache", Json.Str (cache_status_name cache));
+      ("result", Codec.result_to_json result);
+    ]
+
+let entry_of_json j =
+  let* c = Json.member "cache" j in
+  let* c = Json.to_str c in
+  let* cache = match c with "hit" -> Some Hit | "miss" -> Some Miss | _ -> None in
+  let* rj = Json.member "result" j in
+  match Codec.result_of_json rj with
+  | Ok result -> Some (cache, result)
+  | Error _ -> None
+
+let response_to_json ?(id = 0) resp =
+  let fields =
+    match resp with
+    | Result { cache; result } ->
+      [
+        ("ok", Json.Bool true);
+        ("cache", Json.Str (cache_status_name cache));
+        ("result", Codec.result_to_json result);
+      ]
+    | Results entries ->
+      [
+        ("ok", Json.Bool true);
+        ("results", Json.List (List.map entry_to_json entries));
+      ]
+    | Installed { root; hashes; total } ->
+      [
+        ("ok", Json.Bool true);
+        ("installed", Json.Str root);
+        ( "hashes",
+          Json.List
+            (List.map
+               (fun (p, h) -> Json.List [ Json.Str p; Json.Str h ])
+               hashes) );
+        ("total", Json.Int total);
+      ]
+    | Stats_reply stats -> [ ("ok", Json.Bool true); ("stats", stats) ]
+    | Bye -> [ ("ok", Json.Bool true); ("bye", Json.Bool true) ]
+    | Error { kind; message } ->
+      [
+        ("ok", Json.Bool false);
+        ("error", error_kind_to_json kind);
+        ("message", Json.Str message);
+      ]
+  in
+  Json.Obj (("id", Json.Int id) :: fields)
+
+let response_of_json j =
+  let id = id_of j in
+  let decoded =
+    let* ok = Json.member "ok" j in
+    let* ok = Json.to_bool ok in
+    if not ok then
+      let* kind = Json.member "error" j in
+      let* kind = error_kind_of_json kind in
+      let message =
+        match Json.member "message" j with
+        | Some (Json.Str m) -> m
+        | _ -> ""
+      in
+      Some (Error { kind; message })
+    else
+      match Json.member "result" j with
+      | Some rj -> (
+        let* c = Json.member "cache" j in
+        let* c = Json.to_str c in
+        let* cache =
+          match c with "hit" -> Some Hit | "miss" -> Some Miss | _ -> None
+        in
+        match Codec.result_of_json rj with
+        | Ok result -> Some (Result { cache; result })
+        | Error _ -> None)
+      | None -> (
+        match Json.member "results" j with
+        | Some (Json.List ejs) ->
+          let rec entries acc = function
+            | [] -> Some (Results (List.rev acc))
+            | ej :: rest ->
+              let* e = entry_of_json ej in
+              entries (e :: acc) rest
+          in
+          entries [] ejs
+        | Some _ -> None
+        | None -> (
+          match Json.member "installed" j with
+          | Some (Json.Str root) ->
+            let* hjs = Json.member "hashes" j in
+            let* hjs = Json.to_list hjs in
+            let rec hashes acc = function
+              | [] -> Some (List.rev acc)
+              | Json.List [ Json.Str p; Json.Str h ] :: rest ->
+                hashes ((p, h) :: acc) rest
+              | _ -> None
+            in
+            let* hashes = hashes [] hjs in
+            let* total = Json.member "total" j in
+            let* total = Json.to_int total in
+            Some (Installed { root; hashes; total })
+          | Some _ -> None
+          | None -> (
+            match Json.member "stats" j with
+            | Some stats -> Some (Stats_reply stats)
+            | None -> (
+              match Json.member "bye" j with
+              | Some (Json.Bool true) -> Some Bye
+              | _ -> None))))
+  in
+  match decoded with
+  | Some r -> Ok (id, r)
+  | None -> Error "malformed response"

@@ -1,0 +1,45 @@
+(** The daemon's wire protocol: newline-delimited JSON over a Unix domain
+    socket.
+
+    Each request is one JSON object on one line ([{"op": ...}]); each
+    response is one JSON object on one line, with ["ok": true/false].
+    Requests are answered in completion order, so every response carries
+    back the request's ["id"] (defaulting to 0) for correlation.
+
+    Both ends of the codec live here so the daemon and the client cannot
+    drift apart; decoding is total on both sides (network bytes are
+    untrusted). *)
+
+type request =
+  | Solve of string  (** abstract spec text, e.g. ["hdf5 +mpi ^mpich"] *)
+  | Solve_many of string list
+  | Install of string  (** concretize, then record the DAG as installed *)
+  | Stats
+  | Shutdown
+
+val request_to_json : ?id:int -> request -> Json.t
+val request_of_json : Json.t -> (int * request, string) result
+(** Returns the request id (0 when absent) alongside the decoded request. *)
+
+type cache_status = Hit | Miss
+
+val cache_status_name : cache_status -> string
+
+type error_kind =
+  | Overloaded  (** shed by admission control; retry later *)
+  | Bad_request  (** unparsable line, unknown op, malformed spec *)
+  | Unknown_package of string
+  | Internal  (** solver raised; message carries the exception text *)
+
+type response =
+  | Result of { cache : cache_status; result : Concretize.Concretizer.result }
+  | Results of (cache_status * Concretize.Concretizer.result) list
+  | Installed of { root : string; hashes : (string * string) list; total : int }
+      (** [hashes]: (package, DAG hash) per newly recorded node; [total]:
+          database size after the install *)
+  | Stats_reply of Json.t  (** free-form server counters, see {!Daemon} *)
+  | Bye
+  | Error of { kind : error_kind; message : string }
+
+val response_to_json : ?id:int -> response -> Json.t
+val response_of_json : Json.t -> (int * response, string) result

@@ -1,0 +1,129 @@
+type 'a entry = {
+  key : string;
+  future : 'a Asp.Pool.future;
+  cancel : Asp.Budget.cancel_token;
+  mutable waiters : int;
+  mutable counted : bool;  (* bumped the completed counter already *)
+  mutable cancelled : bool;
+}
+
+type 'a ticket = { entry : 'a entry; mutable live : bool }
+
+type 'a t = {
+  pool : Asp.Pool.t;
+  max_pending : int;
+  mutex : Mutex.t;
+  inflight : (string, 'a entry) Hashtbl.t;
+  mutable submitted : int;
+  mutable deduped : int;
+  mutable shed : int;
+  mutable n_cancelled : int;
+  mutable completed : int;
+}
+
+type stats = {
+  submitted : int;
+  deduped : int;
+  shed : int;
+  cancelled : int;
+  completed : int;
+  pending : int;
+}
+
+let create ~pool ~max_pending =
+  {
+    pool;
+    max_pending = max 1 max_pending;
+    mutex = Mutex.create ();
+    inflight = Hashtbl.create 16;
+    submitted = 0;
+    deduped = 0;
+    shed = 0;
+    n_cancelled = 0;
+    completed = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Call with the lock held.  Finished entries leave the table (tickets keep
+   their own reference), so [Hashtbl.length] is the pending count and a key
+   can be solved afresh once its previous flight landed. *)
+let reap t =
+  let done_keys =
+    Hashtbl.fold
+      (fun k e acc -> if Asp.Pool.is_done e.future then (k, e) :: acc else acc)
+      t.inflight []
+  in
+  List.iter
+    (fun (k, e) ->
+      Hashtbl.remove t.inflight k;
+      if not e.counted then begin
+        e.counted <- true;
+        t.completed <- t.completed + 1
+      end)
+    done_keys
+
+let submit t ~key job =
+  with_lock t (fun () ->
+      reap t;
+      match Hashtbl.find_opt t.inflight key with
+      | Some e ->
+        e.waiters <- e.waiters + 1;
+        t.deduped <- t.deduped + 1;
+        `Accepted { entry = e; live = true }
+      | None ->
+        if Hashtbl.length t.inflight >= t.max_pending then begin
+          t.shed <- t.shed + 1;
+          `Overloaded
+        end
+        else begin
+          let cancel = Asp.Budget.token () in
+          let future = Asp.Pool.submit t.pool (fun () -> job ~cancel) in
+          let e =
+            { key; future; cancel; waiters = 1; counted = false; cancelled = false }
+          in
+          Hashtbl.replace t.inflight key e;
+          t.submitted <- t.submitted + 1;
+          `Accepted { entry = e; live = true }
+        end)
+
+let poll t ticket =
+  let e = ticket.entry in
+  if not (Asp.Pool.is_done e.future) then `Pending
+  else begin
+    with_lock t (fun () ->
+        Hashtbl.remove t.inflight e.key;
+        if not e.counted then begin
+          e.counted <- true;
+          t.completed <- t.completed + 1
+        end);
+    `Done (try Ok (Asp.Pool.await e.future) with exn -> Error exn)
+  end
+
+let abandon t ticket =
+  if ticket.live then begin
+    ticket.live <- false;
+    let e = ticket.entry in
+    with_lock t (fun () ->
+        e.waiters <- e.waiters - 1;
+        if e.waiters <= 0 && (not (Asp.Pool.is_done e.future)) && not e.cancelled
+        then begin
+          e.cancelled <- true;
+          Asp.Budget.cancel e.cancel;
+          t.n_cancelled <- t.n_cancelled + 1
+        end)
+  end
+
+let stats t =
+  with_lock t (fun () ->
+      reap t;
+      {
+        submitted = t.submitted;
+        deduped = t.deduped;
+        shed = t.shed;
+        cancelled = t.n_cancelled;
+        completed = t.completed;
+        pending = Hashtbl.length t.inflight;
+      })

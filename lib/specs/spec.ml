@@ -52,22 +52,27 @@ let variant_to_string (name, value) =
   | "false" -> "~" ^ name
   | v -> Printf.sprintf " %s=%s" name v
 
+(* Renders to spec syntax that {!Spec_parser} parses back to the same
+   constraints: version ranges are re-rendered canonically (the raw form may
+   contain spaces, which do not survive reparsing) and flag values are quoted
+   verbatim (the parser reads quoted values without unescaping, so [%S]-style
+   escaping would not round-trip). *)
 let node_to_string n =
   let buf = Buffer.create 32 in
   Buffer.add_string buf n.cname;
   (match n.cversion with
-  | Some v -> Buffer.add_string buf ("@" ^ Vrange.to_string v)
+  | Some v -> Buffer.add_string buf ("@" ^ Vrange.canonical v)
   | None -> ());
   List.iter (fun kv -> Buffer.add_string buf (variant_to_string kv)) n.cvariants;
   (match n.ccompiler with
   | Some c ->
     Buffer.add_string buf ("%" ^ c);
     (match n.ccompiler_version with
-    | Some v -> Buffer.add_string buf ("@" ^ Vrange.to_string v)
+    | Some v -> Buffer.add_string buf ("@" ^ Vrange.canonical v)
     | None -> ())
   | None -> ());
   List.iter
-    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf " %s=%S" k v))
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf " %s=\"%s\"" k v))
     n.cflags;
   (match n.cos with Some o -> Buffer.add_string buf (" os=" ^ o) | None -> ());
   (match n.ctarget with Some t -> Buffer.add_string buf (" target=" ^ t) | None -> ());
@@ -76,6 +81,65 @@ let node_to_string n =
 let abstract_to_string a =
   String.concat " "
     (node_to_string a.aroot :: List.map (fun d -> "^" ^ node_to_string d) a.adeps)
+
+(* ------------------------------------------------------------------ *)
+(* Canonical digest of an abstract spec.  Forward declaration of the    *)
+(* digest helper defined with the concrete-spec hashing below.          *)
+(* ------------------------------------------------------------------ *)
+
+let fnv_fold (h : int64) (s : string) =
+  let prime = 0x100000001b3L in
+  let h = ref h in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  !h
+
+let digest strings =
+  let h1 = List.fold_left fnv_fold 0xcbf29ce484222325L strings in
+  let h2 = List.fold_left fnv_fold 0x9e3779b97f4a7c15L (List.rev strings) in
+  Printf.sprintf "%016Lx%016Lx" h1 h2
+
+let digest_strings = digest
+
+(* A rendering of a constraint node in which every choice the parser or the
+   caller could have made differently (variant order, flag order, range
+   spelling) is normalized away.  Fields are joined with control characters
+   so adjacent fields cannot alias ("ab"+"c" vs "a"+"bc"). *)
+let canonical_node n =
+  let opt f = function Some x -> f x | None -> "" in
+  let kvs l =
+    String.concat "\x02"
+      (List.map (fun (k, v) -> k ^ "=" ^ v) (List.sort compare l))
+  in
+  String.concat "\x01"
+    [
+      n.cname;
+      opt Vrange.canonical n.cversion;
+      kvs n.cvariants;
+      opt Fun.id n.ccompiler;
+      opt Vrange.canonical n.ccompiler_version;
+      kvs n.cflags;
+      opt Fun.id n.cos;
+      opt Fun.id n.ctarget;
+    ]
+
+let abstract_digest a =
+  (* duplicate ^dep constraints on one package all apply: merge them (later
+     spellings win scalar conflicts, as in [merge_nodes]) so "a ^b+x ^b~y"
+     and "a ^b+x~y" digest identically; then order-insensitivity across
+     distinct dependencies comes from sorting by name *)
+  let merged =
+    List.fold_left
+      (fun acc d ->
+        match List.assoc_opt d.cname acc with
+        | Some prev -> (d.cname, merge_nodes prev d) :: List.remove_assoc d.cname acc
+        | None -> (d.cname, d) :: acc)
+      [] a.adeps
+    |> List.map snd
+    |> List.sort (fun x y -> String.compare x.cname y.cname)
+  in
+  digest ("abstract.v1" :: canonical_node a.aroot :: List.map canonical_node merged)
 
 (* ------------------------------------------------------------------ *)
 
@@ -196,19 +260,6 @@ let concrete_satisfies (c : concrete) (a : abstract) =
 (* DAG hashing: a 128-bit FNV-style digest over a canonical rendering   *)
 (* of the node plus the hashes of its dependencies.                     *)
 (* ------------------------------------------------------------------ *)
-
-let fnv_fold (h : int64) (s : string) =
-  let prime = 0x100000001b3L in
-  let h = ref h in
-  String.iter
-    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
-    s;
-  !h
-
-let digest strings =
-  let h1 = List.fold_left fnv_fold 0xcbf29ce484222325L strings in
-  let h2 = List.fold_left fnv_fold 0x9e3779b97f4a7c15L (List.rev strings) in
-  Printf.sprintf "%016Lx%016Lx" h1 h2
 
 let concrete_node_to_string n =
   let buf = Buffer.create 48 in

@@ -33,6 +33,21 @@ val merge_nodes : constraint_node -> constraint_node -> constraint_node
 
 val node_to_string : constraint_node -> string
 val abstract_to_string : abstract -> string
+(** Spec syntax that {!Spec_parser.parse} maps back to the same constraints
+    (ranges re-rendered canonically, flag values quoted verbatim). *)
+
+val abstract_digest : abstract -> string
+(** Canonical 128-bit digest of the constraints: insensitive to variant and
+    flag order, to [^dep] order, to duplicate [^dep] constraints on one
+    package (merged as {!merge_nodes} would), and to range spelling
+    ([@1.2, 2.0:] vs [@1.2,2.0:]).  Two syntactic spellings of the same
+    request produce one digest — the solve cache's request key
+    ([Concretize.Concretizer.request_key]) is built on this. *)
+
+val digest_strings : string list -> string
+(** The 128-bit FNV-style digest underlying {!node_hash} and
+    {!abstract_digest}, exposed for other content-addressed keys (installed
+    database fingerprints, repository fingerprints, cache file footers). *)
 
 (** {1 Concrete specs} *)
 

@@ -24,6 +24,13 @@ let of_string raw =
   { raw; intervals }
 
 let to_string t = t.raw
+
+let canonical t =
+  let one iv =
+    let v = function Some x -> Version.to_string x | None -> "" in
+    if iv.exact then v iv.lo else v iv.lo ^ ":" ^ v iv.hi
+  in
+  String.concat "," (List.map one t.intervals)
 let any = { raw = ":"; intervals = [ { lo = None; hi = None; exact = false } ] }
 
 let exactly v =

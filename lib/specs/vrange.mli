@@ -13,6 +13,13 @@ val of_string : string -> t
 (** @raise Invalid_argument on an empty constraint string. *)
 
 val to_string : t -> string
+(** The constraint as originally written (whitespace and all). *)
+
+(** A normalized rendering that reparses to the same constraint: intervals
+    rebuilt from their endpoints, no whitespace.  ["1.2, 2.0:"] becomes
+    ["1.2,2.0:"].  Used by [Spec.abstract_digest] and the spec printers so
+    two spellings of one constraint share a cache key. *)
+val canonical : t -> string
 val any : t
 (** Matches every version. *)
 

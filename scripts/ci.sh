@@ -32,6 +32,30 @@ timeout 60 dune exec bin/spack_solve.exe -- --repo 800 --timeout 0.05 app-000 \
 # (hang killed by timeout, crash, bare exception) fails
 [ "$rc" -eq 0 ] || [ "$rc" -eq 3 ]
 
+echo "== daemon smoke (spack_serve + spack_solve --connect)"
+SMOKE_DIR=$(mktemp -d)
+SOCK="$SMOKE_DIR/serve.sock"
+# the daemon itself runs under a hard timeout: if shutdown never lands, the
+# background process dies on its own instead of outliving CI
+timeout 120 dune exec bin/spack_serve.exe -- \
+  --socket "$SOCK" --cache-dir "$SMOKE_DIR/cache" > "$SMOKE_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2> /dev/null || true; rm -rf "$SMOKE_DIR"' EXIT
+i=0
+while [ ! -S "$SOCK" ] && [ "$i" -lt 100 ]; do sleep 0.1; i=$((i + 1)); done
+[ -S "$SOCK" ]
+# cold solve populates the cache, the identical warm solve is served from it
+timeout 60 dune exec bin/spack_solve.exe -- --connect "$SOCK" zlib \
+  | grep -q "cache miss: zlib"
+timeout 60 dune exec bin/spack_solve.exe -- --connect "$SOCK" zlib \
+  | grep -q "cache hit: zlib"
+timeout 60 dune exec bin/spack_solve.exe -- --connect "$SOCK" --remote-stats \
+  | grep -q '"hits":1'
+timeout 60 dune exec bin/spack_solve.exe -- --connect "$SOCK" --remote-shutdown
+wait "$SERVE_PID"
+trap - EXIT
+rm -rf "$SMOKE_DIR"
+
 echo "== bench smoke (fig3 + fig7d --quick)"
 timeout 600 dune exec bench/main.exe -- fig3 fig7d --quick --json BENCH_ci.json
 

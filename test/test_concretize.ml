@@ -625,6 +625,109 @@ let test_multishot () =
     (List.mem_assoc "openblas" ms.Multishot.distinct_configs)
 
 (* ------------------------------------------------------------------ *)
+(* The service layer's hooks: batch dedup, cache, request keys          *)
+(* ------------------------------------------------------------------ *)
+
+let costs_of = function
+  | Concretizer.Concrete s -> s.Concretizer.costs
+  | _ -> Alcotest.fail "expected a concrete result"
+
+let solve' ~cache spec = Concretizer.solve_spec ~cache ~repo spec
+
+let test_solve_many_dedupes () =
+  (* a duplicate-heavy batch: 6 jobs, 2 unique requests (note the second
+     zlib spelling differs but normalizes identically) *)
+  let batch =
+    [ "zlib@1:+shared"; "libiconv"; "zlib+shared@1:"; "zlib@1:+shared";
+      "libiconv"; "zlib@1:+shared" ]
+  in
+  let roots = List.map (fun s -> [ Specs.Spec_parser.parse s ]) batch in
+  let dispatches = Atomic.make 0 in
+  let fault _round _budget = Atomic.incr dispatches in
+  let results = Concretizer.solve_many ~fault ~repo roots in
+  Alcotest.(check int) "one result per job" (List.length batch)
+    (List.length results);
+  Alcotest.(check int) "solved once per unique request" 2
+    (Atomic.get dispatches);
+  (* the single solve fans out: duplicates get identical results *)
+  let r = Array.of_list results in
+  Alcotest.(check (list (pair int int))) "zlib fan-out" (costs_of r.(0))
+    (costs_of r.(3));
+  Alcotest.(check (list (pair int int))) "normalized spelling joins"
+    (costs_of r.(0)) (costs_of r.(2));
+  Alcotest.(check (list (pair int int))) "libiconv fan-out" (costs_of r.(1))
+    (costs_of r.(4))
+
+let test_solve_cache_hook () =
+  let store = Hashtbl.create 8 in
+  let lookups = ref 0 and stores = ref 0 in
+  let cache =
+    {
+      Concretizer.lookup =
+        (fun k ->
+          incr lookups;
+          Hashtbl.find_opt store k);
+      store =
+        (fun k r ->
+          incr stores;
+          Hashtbl.replace store k r);
+    }
+  in
+  let first = solve' ~cache "zlib" in
+  Alcotest.(check int) "miss stored" 1 !stores;
+  let second = solve' ~cache "zlib" in
+  Alcotest.(check int) "two lookups" 2 !lookups;
+  Alcotest.(check int) "hit stores nothing" 1 !stores;
+  (match (first, second) with
+  | Concretizer.Concrete a, Concretizer.Concrete b ->
+    Alcotest.(check (list (pair int int))) "identical cost vector"
+      a.Concretizer.costs b.Concretizer.costs;
+    Alcotest.(check bool) "verified flag intact" a.Concretizer.verified
+      b.Concretizer.verified;
+    Alcotest.(check (pair (float 0.0) (float 0.0))) "original timings returned"
+      ( a.Concretizer.phases.Concretizer.solve_time,
+        a.Concretizer.phases.Concretizer.ground_time )
+      ( b.Concretizer.phases.Concretizer.solve_time,
+        b.Concretizer.phases.Concretizer.ground_time )
+  | _ -> Alcotest.fail "expected concrete results");
+  (* interrupted results never enter the cache: a budget-starved solve
+     under the same key must not poison later solves *)
+  let tok = Asp.Budget.token () in
+  Asp.Budget.cancel tok;
+  let budget = Asp.Budget.start ~cancel:tok Asp.Budget.no_limits in
+  (match
+     Concretizer.solve ~budget ~cache ~repo [ Specs.Spec_parser.parse "cmake" ]
+   with
+  | Concretizer.Interrupted _ -> ()
+  | _ -> Alcotest.fail "expected an interrupted solve");
+  Alcotest.(check int) "interrupted not stored" 1 !stores
+
+let test_request_key () =
+  let key ?installed s =
+    Concretizer.request_key ?installed ~repo [ Specs.Spec_parser.parse s ]
+  in
+  Alcotest.(check string) "spelling-invariant" (key "zlib@1:+shared")
+    (key "zlib+shared@1:");
+  Alcotest.(check bool) "constraint-sensitive" true (key "zlib" <> key "zlib+pic");
+  let config = Asp.Config.make ~preset:Asp.Config.Trendy () in
+  Alcotest.(check bool) "config-sensitive" true
+    (key "zlib"
+    <> Concretizer.request_key ~config ~repo [ Specs.Spec_parser.parse "zlib" ]);
+  (* budgets are excluded: only proven-optimal results are cached, and those
+     do not depend on the limits that produced them *)
+  let limits =
+    { Asp.Budget.no_limits with Asp.Budget.wall = Some 5.0 }
+  in
+  let config = Asp.Config.make ~limits () in
+  Alcotest.(check string) "budget-insensitive" (key "zlib")
+    (Concretizer.request_key ~config ~repo [ Specs.Spec_parser.parse "zlib" ]);
+  (* installing anything moves every key *)
+  let db = Pkg.Database.create () in
+  let k0 = key ~installed:db "zlib" in
+  (match solve "zlib" with
+  | Concretizer.Concrete s -> Pkg.Database.add_concrete db s.Concretizer.spec
+  | _ -> Alcotest.fail "zlib solve failed");
+  Alcotest.(check bool) "install invalidates" true (k0 <> key ~installed:db "zlib")
 
 let () =
   Alcotest.run "concretize"
@@ -680,6 +783,12 @@ let () =
         ] );
       ( "multishot",
         [ Alcotest.test_case "divide and conquer" `Quick test_multishot ] );
+      ( "service hooks",
+        [
+          Alcotest.test_case "solve_many dedupes" `Quick test_solve_many_dedupes;
+          Alcotest.test_case "cache hook" `Quick test_solve_cache_hook;
+          Alcotest.test_case "request keys" `Quick test_request_key;
+        ] );
       ( "preferences",
         [
           Alcotest.test_case "preferred version" `Quick test_prefs_version;

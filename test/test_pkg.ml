@@ -139,6 +139,133 @@ let test_database_filter () =
   Alcotest.(check int) "identity filter" 2 (Database.size keep_all)
 
 (* ------------------------------------------------------------------ *)
+(* Database persistence                                                *)
+(* ------------------------------------------------------------------ *)
+
+let temp_db_path =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "spack-test-db-%d-%d" (Unix.getpid ()) !n)
+
+let record_key (r : Database.record) =
+  ( r.Database.hash,
+    r.Database.name,
+    Specs.Version.to_string r.Database.version,
+    List.sort compare r.Database.variants,
+    r.Database.compiler,
+    r.Database.os,
+    r.Database.target,
+    List.sort compare r.Database.deps )
+
+let facts_of db roots =
+  let f =
+    Concretize.Facts.generate ~repo ~installed:db
+      (List.map Specs.Spec_parser.parse roots)
+  in
+  List.map
+    (Format.asprintf "%a" Asp.Ast.pp_statement)
+    f.Concretize.Facts.statements
+
+let test_database_save_load () =
+  (* a realistically messy database: generated buildcache over core recipes *)
+  let db = Buildcache_gen.quick ~repo ~roots:[ "hdf5"; "cmake" ] 60 in
+  let path = temp_db_path () in
+  Database.save db path;
+  match Database.load path with
+  | Error e -> Alcotest.failf "load failed: %s" (Database.load_error_to_string e)
+  | Ok db' ->
+    Alcotest.(check int) "same size" (Database.size db) (Database.size db');
+    List.iter2
+      (fun a b ->
+        Alcotest.(check bool) "records identical" true (record_key a = record_key b))
+      (Database.records db) (Database.records db');
+    Alcotest.(check string) "same fingerprint" (Database.fingerprint db)
+      (Database.fingerprint db');
+    (* the reload is invisible to the solver: reuse facts are identical *)
+    Alcotest.(check (list string)) "identical reuse facts"
+      (facts_of db [ "hdf5" ]) (facts_of db' [ "hdf5" ]);
+    (* saving the reload reproduces the file byte for byte *)
+    let path' = temp_db_path () in
+    Database.save db' path';
+    let slurp p =
+      let ic = open_in_bin p in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+    in
+    Alcotest.(check string) "byte-identical re-save" (slurp path) (slurp path');
+    Sys.remove path;
+    Sys.remove path'
+
+let test_database_load_errors () =
+  let write path lines =
+    let oc = open_out path in
+    List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+    close_out oc
+  in
+  let path = temp_db_path () in
+  let expect what lines check =
+    write path lines;
+    match Database.load path with
+    | Ok _ -> Alcotest.failf "%s: expected a load error" what
+    | Error e ->
+      if not (check e) then
+        Alcotest.failf "%s: wrong error %s" what (Database.load_error_to_string e)
+  in
+  (match Database.load (path ^ ".does-not-exist") with
+  | Error (Database.No_such_file _) -> ()
+  | _ -> Alcotest.fail "expected No_such_file");
+  expect "foreign header" [ "something else"; "digest\tffff" ] (function
+    | Database.Bad_header _ -> true
+    | _ -> false);
+  expect "stale version" [ "spack-installed-db v0"; "digest\tffff" ] (function
+    | Database.Bad_header _ -> true
+    | _ -> false);
+  (* a valid database, truncated before the footer *)
+  let db = Database.create () in
+  Database.add_concrete db (mk_concrete [ "b" ]);
+  Database.save db path;
+  let ic = open_in path in
+  let rec lines acc =
+    match input_line ic with
+    | l -> lines (l :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  let original = lines [] in
+  expect "truncated"
+    (List.filteri (fun i _ -> i < List.length original - 1) original)
+    (function Database.Truncated -> true | _ -> false);
+  (* flip a payload byte: the digest footer catches it *)
+  expect "corrupt"
+    (List.map
+       (fun l ->
+         if String.length l > 7 && String.sub l 0 6 = "record" then l ^ "x" else l)
+       original)
+    (function Database.Bad_digest -> true | _ -> false);
+  (* internally consistent digest over a malformed body: typed Malformed *)
+  let bogus = [ "spack-installed-db v1"; "gibberish line" ] in
+  expect "malformed"
+    (bogus @ [ "digest\t" ^ Specs.Spec.digest_strings bogus ])
+    (function Database.Malformed _ -> true | _ -> false);
+  Sys.remove path
+
+let test_database_fingerprint () =
+  let db = Database.create () in
+  let fp0 = Database.fingerprint db in
+  Database.add_concrete db (mk_concrete [ "b" ]);
+  let fp1 = Database.fingerprint db in
+  Alcotest.(check bool) "install changes the fingerprint" true (fp0 <> fp1);
+  (* idempotent re-add keeps it stable *)
+  Database.add_concrete db (mk_concrete [ "b" ]);
+  Alcotest.(check string) "stable fingerprint" fp1 (Database.fingerprint db);
+  let repo_fp = Repo.fingerprint repo in
+  Alcotest.(check string) "repo fingerprint memoized" repo_fp (Repo.fingerprint repo)
+
+(* ------------------------------------------------------------------ *)
 (* Generators                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -202,6 +329,9 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_database_roundtrip;
           Alcotest.test_case "filter" `Quick test_database_filter;
+          Alcotest.test_case "save/load" `Quick test_database_save_load;
+          Alcotest.test_case "load errors" `Quick test_database_load_errors;
+          Alcotest.test_case "fingerprints" `Quick test_database_fingerprint;
         ] );
       ( "generators",
         [

@@ -242,6 +242,39 @@ let test_node_satisfies () =
   sat "hdf5 target=x86_64:" true;
   sat "hdf5 target=aarch64:" false
 
+(* ------------------------------------------------------------------ *)
+(* Canonical digests of abstract specs                                 *)
+(* ------------------------------------------------------------------ *)
+
+let digest s = Spec.abstract_digest (Spec_parser.parse s)
+
+let test_abstract_digest_spellings () =
+  let same a b = Alcotest.(check string) (a ^ " == " ^ b) (digest a) (digest b) in
+  (* dependency order is irrelevant *)
+  same "hdf5@1.10.2+mpi ^zlib@1.2.8 ^cmake" "hdf5@1.10.2+mpi ^cmake ^zlib@1.2.8";
+  (* variant order is irrelevant, on roots and on dependencies *)
+  same "hdf5+mpi~szip" "hdf5~szip+mpi";
+  same "hdf5 ^mpich+fortran device=ch4" "hdf5 ^mpich device=ch4+fortran";
+  (* sigil order is irrelevant *)
+  same "hdf5@1.10.2+mpi%gcc@10.3.1" "hdf5+mpi%gcc@10.3.1@1.10.2";
+  (* compiler-flag order is irrelevant *)
+  same "zlib cflags=-O2 cppflags=-g" "zlib cppflags=-g cflags=-O2";
+  (* duplicate ^dep constraints merge into one node *)
+  same "hdf5 ^zlib@1.2.8 ^zlib+shared" "hdf5 ^zlib@1.2.8+shared"
+
+let test_abstract_digest_distinguishes () =
+  let diff a b =
+    if String.equal (digest a) (digest b) then
+      Alcotest.failf "%s and %s should digest differently" a b
+  in
+  diff "hdf5@1.10.2" "hdf5@1.10.3";
+  diff "hdf5+mpi" "hdf5~mpi";
+  diff "hdf5" "hdf5 ^zlib";
+  diff "hdf5 ^zlib@1.2.8" "hdf5 ^zlib@1.2.9";
+  diff "hdf5 os=rhel8" "hdf5 os=centos7";
+  (* a constraint on the root is not a constraint on a dependency *)
+  diff "hdf5+mpi ^zlib" "hdf5 ^zlib+mpi"
+
 (* property: parse/print roundtrip on generated abstract specs *)
 let gen_abstract =
   let open QCheck in
@@ -337,6 +370,13 @@ let () =
           Alcotest.test_case "errors" `Quick test_parse_errors;
           Alcotest.test_case "error positions" `Quick test_error_positions;
           Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+        ] );
+      ( "digest",
+        [
+          Alcotest.test_case "spelling invariance" `Quick
+            test_abstract_digest_spellings;
+          Alcotest.test_case "constraint sensitivity" `Quick
+            test_abstract_digest_distinguishes;
         ] );
       ( "concrete",
         [
