@@ -2,6 +2,8 @@ type phases = {
   setup_time : float;
   load_time : float;
   ground_time : float;
+  ground_base_time : float;
+  ground_extend_time : float;
   solve_time : float;
 }
 
@@ -67,11 +69,18 @@ let request_key ?(config = Asp.Config.default) ?(env = Facts.default_env)
     Buffer.add_string b s;
     Buffer.add_char b '\x00'
   in
-  add "request.v1";
+  add "request.v2";
   List.iter (fun r -> add (Specs.Spec.abstract_digest r)) roots;
   add (Pkg.Repo.fingerprint repo);
   (match installed with
-  | Some db -> add (Pkg.Database.fingerprint db)
+  | Some db -> (
+    (* narrowed install invalidation: key on the reuse-visible slice of the
+       DB, not the whole DB — installing a package outside the request's
+       closure leaves the key intact.  Unknown packages fall back to the
+       whole-DB fingerprint (the solve itself will raise on them anyway). *)
+    match Facts.reuse_digest ~installed:db ~repo roots with
+    | d -> add d
+    | exception Facts.Unknown_package _ -> add (Pkg.Database.fingerprint db))
   | None -> add "no-db");
   add (Asp.Config.preset_name config.Asp.Config.preset);
   add (Asp.Config.strategy_name config.Asp.Config.strategy);
@@ -140,7 +149,7 @@ let apply_phase_hints (t : Asp.Translate.t) =
 
 let solve_uncached ?(config = Asp.Config.default) ?params ?(env = Facts.default_env)
     ?(prefs = Preferences.empty) ?installed ?budget ?pool ?(racers = 1)
-    ?(explain = false) ~repo roots =
+    ?(explain = false) ?substrate ~repo roots =
   let budget =
     match budget with
     | Some b -> b
@@ -152,23 +161,64 @@ let solve_uncached ?(config = Asp.Config.default) ?params ?(env = Facts.default_
   in
   let n_facts = facts.Facts.n_facts in
   let n_possible = List.length facts.Facts.possible in
-  (* load: parse the logic program (not memoized: the paper times this) *)
-  let lp, load_time = time (fun () -> Asp.Parser.parse Logic_program.text) in
-  (* ground *)
-  let t0 = Unix.gettimeofday () in
-  match Asp.Grounder.ground ~budget (lp @ facts.Facts.statements) with
-  | exception Asp.Budget.Exhausted info ->
+  (* ground: through the substrate when one is given (frozen base + request
+     extension; the substrate holds its own parsed logic program, so the
+     load phase is 0 there), from scratch otherwise or when the substrate
+     declines the request *)
+  let via_substrate =
+    match substrate with
+    | None -> `Scratch
+    | Some s -> (
+      let t0 = Unix.gettimeofday () in
+      match
+        Substrate.ground_request s ~env ~prefs ?installed ~repo ~budget ~facts
+          roots
+      with
+      | exception Asp.Budget.Exhausted info ->
+        `Err (info, 0., Unix.gettimeofday () -. t0)
+      | None -> `Scratch
+      | Some g ->
+        `Ok
+          ( g.Substrate.ground,
+            g.Substrate.stats,
+            0.,
+            Unix.gettimeofday () -. t0,
+            g.Substrate.base_time,
+            g.Substrate.extend_time ))
+  in
+  let grounded =
+    match via_substrate with
+    | `Scratch -> (
+      (* load: parse the logic program (not memoized: the paper times this) *)
+      let lp, load_time = time (fun () -> Asp.Parser.parse Logic_program.text) in
+      let t0 = Unix.gettimeofday () in
+      match Asp.Grounder.ground ~budget (lp @ facts.Facts.statements) with
+      | exception Asp.Budget.Exhausted info ->
+        `Err (info, load_time, Unix.gettimeofday () -. t0)
+      | ground, stats ->
+        `Ok (ground, stats, load_time, Unix.gettimeofday () -. t0, 0., 0.))
+    | (`Err _ | `Ok _) as o -> o
+  in
+  match grounded with
+  | `Err (info, load_time, ground_time) ->
     let phases =
       {
         setup_time;
         load_time;
-        ground_time = Unix.gettimeofday () -. t0;
+        ground_time;
+        ground_base_time = 0.;
+        ground_extend_time = 0.;
         solve_time = 0.;
       }
     in
     Interrupted { info; phases; n_facts; n_possible }
-  | ground, ground_stats -> (
-    let ground_time = Unix.gettimeofday () -. t0 in
+  | `Ok
+      ( ground,
+        ground_stats,
+        load_time,
+        ground_time,
+        ground_base_time,
+        ground_extend_time ) -> (
     (* solve: translate, search, optimize *)
     let params =
       match params with
@@ -240,13 +290,24 @@ let solve_uncached ?(config = Asp.Config.default) ?params ?(env = Facts.default_
           setup_time;
           load_time;
           ground_time;
+          ground_base_time;
+          ground_extend_time;
           solve_time = Unix.gettimeofday () -. t1;
         }
       in
       Interrupted { info; phases; n_facts; n_possible }
     | Ok outcome -> (
       let solve_time = Unix.gettimeofday () -. t1 in
-      let phases = { setup_time; load_time; ground_time; solve_time } in
+      let phases =
+        {
+          setup_time;
+          load_time;
+          ground_time;
+          ground_base_time;
+          ground_extend_time;
+          solve_time;
+        }
+      in
       match outcome with
       | None ->
         let reasons =
@@ -276,10 +337,10 @@ let solve_uncached ?(config = Asp.Config.default) ?params ?(env = Facts.default_
           }))
 
 let solve ?config ?params ?env ?prefs ?installed ?budget ?pool ?racers
-    ?explain ?cache ~repo roots =
+    ?explain ?cache ?substrate ~repo roots =
   let run () =
     solve_uncached ?config ?params ?env ?prefs ?installed ?budget ?pool
-      ?racers ?explain ~repo roots
+      ?racers ?explain ?substrate ~repo roots
   in
   match cache with
   | None -> run ()
@@ -292,8 +353,9 @@ let solve ?config ?params ?env ?prefs ?installed ?budget ?pool ?racers
       if cacheable r then c.store key r;
       r)
 
-let solve_spec ?config ?env ?prefs ?installed ?budget ?explain ?cache ~repo text =
-  solve ?config ?env ?prefs ?installed ?budget ?explain ?cache ~repo
+let solve_spec ?config ?env ?prefs ?installed ?budget ?explain ?cache
+    ?substrate ~repo text =
+  solve ?config ?env ?prefs ?installed ?budget ?explain ?cache ?substrate ~repo
     [ Specs.Spec_parser.parse text ]
 
 (* Retry with escalation: each interrupted attempt doubles every finite
@@ -302,8 +364,8 @@ let solve_spec ?config ?env ?prefs ?installed ?budget ?explain ?cache ~repo text
    Cancellation is honoured immediately — a SIGINT must not trigger a
    retry. *)
 let solve_escalating ?(attempts = 3) ?(config = Asp.Config.default)
-    ?env ?prefs ?installed ?cancel ?fault ?pool ?racers ?explain ?cache ~repo
-    roots =
+    ?env ?prefs ?installed ?cancel ?fault ?pool ?racers ?explain ?cache
+    ?substrate ~repo roots =
   let base = Asp.Config.params config.Asp.Config.preset in
   let rec go k limits =
     let budget = Asp.Budget.start ?cancel limits in
@@ -314,7 +376,7 @@ let solve_escalating ?(attempts = 3) ?(config = Asp.Config.default)
     in
     match
       solve ~config ~params ?env ?prefs ?installed ~budget ?pool ?racers
-        ?explain ?cache ~repo roots
+        ?explain ?cache ?substrate ~repo roots
     with
     | Interrupted { info; _ } as r ->
       if info.Asp.Budget.reason = Asp.Budget.Cancelled || k + 1 >= attempts
@@ -330,10 +392,10 @@ let solve_escalating ?(attempts = 3) ?(config = Asp.Config.default)
    by over-subscribing, so [solve_many] keeps each job single-domain.
    Results are in input order. *)
 let solve_many ?pool ?(attempts = 1) ?config ?env ?prefs ?installed ?cancel
-    ?fault ?explain ?cache ~repo jobs =
+    ?fault ?explain ?cache ?substrate ~repo jobs =
   let one roots =
     solve_escalating ~attempts ?config ?env ?prefs ?installed ?cancel ?fault
-      ?explain ?cache ~repo roots
+      ?explain ?cache ?substrate ~repo roots
   in
   (* Dedupe identical requests within the batch before dispatch: duplicate-
      heavy batches (environment refreshes, CI matrices) pay for each unique

@@ -14,6 +14,12 @@ type phases = {
   setup_time : float;
   load_time : float;
   ground_time : float;
+  ground_base_time : float;
+      (** portion of [ground_time] spent building a substrate base from
+          scratch (0 without a substrate, or on a warm base hit) *)
+  ground_extend_time : float;
+      (** portion of [ground_time] spent extending a substrate base with
+          the request's own facts (0 without a substrate) *)
   solve_time : float;
 }
 
@@ -80,11 +86,14 @@ val request_key :
   string
 (** Canonical digest of everything a solve's answer depends on: the
     normalized request ({!Specs.Spec.abstract_digest} per root, root order
-    preserved), {!Pkg.Repo.fingerprint}, {!Pkg.Database.fingerprint} of the
-    installed DB, the answer-relevant solver configuration
-    (preset/strategy/verify; budgets excluded), the environment roster and
-    the preferences.  Installing a package changes the DB fingerprint and
-    therefore every key — stale entries are never served, they just stop
+    preserved), {!Pkg.Repo.fingerprint}, {!Facts.reuse_digest} of the
+    installed DB (the whole-DB {!Pkg.Database.fingerprint} only as a
+    fallback for unknown packages), the answer-relevant solver
+    configuration (preset/strategy/verify; budgets excluded), the
+    environment roster and the preferences.  Installing a package changes
+    the reuse digest — and therefore the key — only for requests whose
+    package closure can observe the new record; every other cached answer
+    survives the install.  Stale entries are never served, they just stop
     being addressed. *)
 
 val solve :
@@ -98,6 +107,7 @@ val solve :
   ?racers:int ->
   ?explain:bool ->
   ?cache:cache ->
+  ?substrate:Substrate.t ->
   repo:Pkg.Repo.t ->
   Specs.Spec.abstract list ->
   result
@@ -130,6 +140,7 @@ val solve_spec :
   ?budget:Asp.Budget.t ->
   ?explain:bool ->
   ?cache:cache ->
+  ?substrate:Substrate.t ->
   repo:Pkg.Repo.t ->
   string ->
   result
@@ -148,6 +159,7 @@ val solve_escalating :
   ?racers:int ->
   ?explain:bool ->
   ?cache:cache ->
+  ?substrate:Substrate.t ->
   repo:Pkg.Repo.t ->
   Specs.Spec.abstract list ->
   result
@@ -171,6 +183,7 @@ val solve_many :
   ?fault:(int -> Asp.Budget.t -> unit) ->
   ?explain:bool ->
   ?cache:cache ->
+  ?substrate:Substrate.t ->
   repo:Pkg.Repo.t ->
   Specs.Spec.abstract list list ->
   result list

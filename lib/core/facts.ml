@@ -441,6 +441,50 @@ let emit_installed g (r : Pkg.Database.record) =
     (fun (dname, dhash) -> fact g "hash_dep" [ str h; str dname; str dhash ])
     r.Pkg.Database.deps
 
+(* --- closure -------------------------------------------------------------- *)
+
+(* The package closure of a request depends only on the {e names} in it
+   (roots and [^dep]s), never on the constraints: this is what lets the
+   substrate key a ground base by the request's name skeleton. *)
+let closure_table ~repo (roots : Specs.Spec.abstract list) =
+  let is_virt n = Pkg.Repo.is_virtual repo n in
+  let closure = Hashtbl.create 128 in
+  let add_closure name =
+    if not (Hashtbl.mem closure name) then begin
+      if (not (is_virt name)) && Pkg.Repo.find repo name = None then
+        raise (Unknown_package name);
+      if not (is_virt name) then Hashtbl.replace closure name ();
+      List.iter
+        (fun d -> if not (is_virt d) then Hashtbl.replace closure d ())
+        (Pkg.Repo.possible_dependencies repo name)
+    end
+  in
+  List.iter
+    (fun (a : Specs.Spec.abstract) ->
+      add_closure a.Specs.Spec.aroot.Specs.Spec.cname;
+      List.iter
+        (fun (d : Specs.Spec.constraint_node) -> add_closure d.Specs.Spec.cname)
+        a.Specs.Spec.adeps)
+    roots;
+  closure
+
+let closure_packages ~repo roots =
+  Hashtbl.fold (fun n () acc -> n :: acc) (closure_table ~repo roots) []
+  |> List.sort compare
+
+let reuse_digest ?installed ~repo roots =
+  match installed with
+  | Some db -> (
+    (* an empty database and a slice with nothing eligible generate the
+       same (absent) reuse facts, so they share the "reuse-empty" digest —
+       the first install must not re-key requests that cannot see it *)
+    match eligible_records db (closure_table ~repo roots) with
+    | [] -> "reuse-empty"
+    | rs ->
+      let hs = List.sort compare (List.map (fun r -> r.Pkg.Database.hash) rs) in
+      Specs.Spec.digest_strings ("reuse.v1" :: hs))
+  | None -> "no-reuse"
+
 (* --- entry point ---------------------------------------------------------- *)
 
 let generate ?(env = default_env) ?(prefs = Preferences.empty) ?installed ~repo
@@ -471,24 +515,7 @@ let generate ?(env = default_env) ?(prefs = Preferences.empty) ?installed ~repo
     }
   in
   (* validate root and ^dep names, and compute the package closure *)
-  let closure = Hashtbl.create 128 in
-  let add_closure name =
-    if not (Hashtbl.mem closure name) then begin
-      if (not (is_virtual g name)) && Pkg.Repo.find repo name = None then
-        raise (Unknown_package name);
-      if not (is_virtual g name) then Hashtbl.replace closure name ();
-      List.iter
-        (fun d -> if not (is_virtual g d) then Hashtbl.replace closure d ())
-        (Pkg.Repo.possible_dependencies repo name)
-    end
-  in
-  List.iter
-    (fun (a : Specs.Spec.abstract) ->
-      add_closure a.Specs.Spec.aroot.Specs.Spec.cname;
-      List.iter
-        (fun (d : Specs.Spec.constraint_node) -> add_closure d.Specs.Spec.cname)
-        a.Specs.Spec.adeps)
-    roots;
+  let closure = closure_table ~repo roots in
   let closure_packages =
     Hashtbl.fold (fun n () acc -> n :: acc) closure [] |> List.sort compare
   in

@@ -37,3 +37,19 @@ val generate :
   t
 (** @raise Unknown_package when a root or [^dep] names no known package or
     virtual. *)
+
+val closure_packages : repo:Pkg.Repo.t -> Specs.Spec.abstract list -> string list
+(** The package closure a request's facts would cover, sorted.  Depends
+    only on the names in the request (roots and [^dep]s), never on their
+    constraints.
+    @raise Unknown_package as {!generate}. *)
+
+val reuse_digest :
+  ?installed:Pkg.Database.t -> repo:Pkg.Repo.t -> Specs.Spec.abstract list -> string
+(** Digest of the slice of the installed database a solve of [roots] can
+    observe: the reuse-eligible records of the request's closure (plus
+    whether reuse is on at all).  Installing a package outside the closure
+    leaves the digest unchanged — cache keys built on it survive unrelated
+    installs, narrowing install invalidation from "every key" to "keys
+    whose answer could mention the new record".
+    @raise Unknown_package as {!generate}. *)

@@ -1,0 +1,358 @@
+(* The ground-program substrate: a registry of frozen, reusable ground
+   bases keyed by everything the request-independent part of a grounding
+   depends on.
+
+   A base is the full grounding of the request's *name skeleton* — the
+   roots with every constraint stripped, keeping only package names (the
+   package closure, and hence the whole rule instantiation universe,
+   depends only on names).  A concrete request then *extends* the base
+   with the handful of fact statements the skeleton lacks: its constraint
+   requirements and imposed values.  Solving cost is unchanged (the
+   extended program is exactly what scratch grounding would produce, up to
+   rule order and retractable-fact representation); grounding cost drops
+   from "instantiate everything" to "instantiate the delta".
+
+   Installing a package rebases affected entries in place
+   ({!Asp.Grounder.rebase}): the new reuse facts are applied as a delta to
+   a clone of the base, producing the next frozen base.  Entries whose
+   regenerated facts are no longer a superset of the base (e.g. an
+   installed version renumbering a version pool) are dropped — the
+   conservative full-rebuild fallback. *)
+
+module GT = Hashtbl.Make (struct
+  type t = Asp.Gatom.t
+
+  let equal = Asp.Gatom.equal
+  let hash = Asp.Gatom.hash
+end)
+
+type counters = {
+  base_builds : int;  (** cold: a skeleton base was ground from scratch *)
+  extensions : int;  (** warm: a request reused a base via extension *)
+  delta_applies : int;  (** installs applied to a base as a rebase delta *)
+  drops : int;  (** entries dropped because a delta could not be applied *)
+  fallbacks : int;  (** requests that could not use the substrate *)
+  evictions : int;  (** LRU evictions *)
+}
+
+type entry = {
+  e_key : string;
+  e_skeleton : Specs.Spec.abstract list;
+  e_env : Facts.env;
+  e_prefs : Preferences.t;
+  e_repo_fp : string;
+  e_base : Asp.Grounder.base;
+  e_base_atoms : unit GT.t;  (** ground atoms of the base's fact statements *)
+  e_base_n : int;
+  mutable e_stamp : int;  (** LRU clock value of the last use *)
+}
+
+type t = {
+  mu : Mutex.t;
+  entries : (string, entry) Hashtbl.t;
+  cap : int;
+  lp : Asp.Ast.statement list Lazy.t;  (** parsed logic program, shared *)
+  mutable tick : int;
+  mutable n_base_builds : int;
+  mutable n_extensions : int;
+  mutable n_delta_applies : int;
+  mutable n_drops : int;
+  mutable n_fallbacks : int;
+  mutable n_evictions : int;
+}
+
+let create ?(capacity = 8) () =
+  {
+    mu = Mutex.create ();
+    entries = Hashtbl.create 16;
+    cap = max 1 capacity;
+    lp = lazy (Asp.Parser.parse Logic_program.text);
+    tick = 0;
+    n_base_builds = 0;
+    n_extensions = 0;
+    n_delta_applies = 0;
+    n_drops = 0;
+    n_fallbacks = 0;
+    n_evictions = 0;
+  }
+
+let counters t =
+  Mutex.lock t.mu;
+  let c =
+    {
+      base_builds = t.n_base_builds;
+      extensions = t.n_extensions;
+      delta_applies = t.n_delta_applies;
+      drops = t.n_drops;
+      fallbacks = t.n_fallbacks;
+      evictions = t.n_evictions;
+    }
+  in
+  Mutex.unlock t.mu;
+  c
+
+let size t =
+  Mutex.lock t.mu;
+  let n = Hashtbl.length t.entries in
+  Mutex.unlock t.mu;
+  n
+
+(* --- keys ----------------------------------------------------------------- *)
+
+let skeleton_of roots =
+  List.map
+    (fun (a : Specs.Spec.abstract) ->
+      {
+        Specs.Spec.aroot = Specs.Spec.empty_node a.Specs.Spec.aroot.Specs.Spec.cname;
+        adeps =
+          List.map
+            (fun (d : Specs.Spec.constraint_node) ->
+              Specs.Spec.empty_node d.Specs.Spec.cname)
+            a.Specs.Spec.adeps;
+      })
+    roots
+
+(* Everything the skeleton's grounding depends on: repo contents, the
+   reuse-eligible DB slice, environment roster and preferences (the
+   request's own constraints are exactly what the key excludes). *)
+let key_of ?installed ~repo ~(env : Facts.env) ~(prefs : Preferences.t) skeleton =
+  let b = Buffer.create 256 in
+  let add s =
+    Buffer.add_string b s;
+    Buffer.add_char b '\x00'
+  in
+  add "substrate.v1";
+  List.iter (fun r -> add (Specs.Spec.abstract_digest r)) skeleton;
+  add (Pkg.Repo.fingerprint repo);
+  add (Facts.reuse_digest ?installed ~repo skeleton);
+  List.iter (fun c -> add (Specs.Compiler.to_string c)) env.Facts.compilers;
+  List.iter add env.Facts.oses;
+  add env.Facts.target_family;
+  List.iter
+    (fun (name, (p : Preferences.package_prefs)) ->
+      add name;
+      (match p.Preferences.pref_version with
+      | Some r -> add (Specs.Vrange.canonical r)
+      | None -> add "");
+      List.iter
+        (fun (k, v) -> add (k ^ "=" ^ v))
+        (List.sort compare p.Preferences.pref_variants))
+    (List.sort compare prefs.Preferences.packages);
+  List.iter
+    (fun (v, ps) -> add (v ^ "->" ^ String.concat "," ps))
+    (List.sort compare prefs.Preferences.providers);
+  (match prefs.Preferences.compilers with
+  | Some cs -> List.iter (fun c -> add ("pc:" ^ Specs.Compiler.to_string c)) cs
+  | None -> add "no-pref-compilers");
+  Specs.Spec.digest_strings [ Buffer.contents b ]
+
+(* --- fact diffing --------------------------------------------------------- *)
+
+(* The ground atom of a fact statement with fully constant arguments;
+   [None] for anything else (interval facts, non-facts). *)
+let fact_atom (stmt : Asp.Ast.statement) : Asp.Gatom.t option =
+  match stmt with
+  | Asp.Ast.Rule { head = Asp.Ast.Head_atom a; _ } when Asp.Ast.statement_is_fact stmt
+    ->
+    let rec simple = function
+      | [] -> Some []
+      | Asp.Ast.Cst c :: rest -> Option.map (fun l -> c :: l) (simple rest)
+      | _ -> None
+    in
+    Option.map (fun args -> Asp.Gatom.make a.Asp.Ast.pred args) (simple a.Asp.Ast.args)
+  | _ -> None
+
+let atom_set stmts =
+  let atoms = GT.create 4096 in
+  List.iter
+    (fun s -> match fact_atom s with Some ga -> GT.replace atoms ga () | None -> ())
+    stmts;
+  atoms
+
+(* Statements of [stmts] the base does not already cover.  [None] when some
+   base fact is missing from [stmts]: the base over-approximates the
+   request and extension would be unsound — the caller must fall back.
+   Statements that cannot be resolved to a single atom are passed through
+   (re-seeding an existing fact is a no-op). *)
+let diff_statements entry (stmts : Asp.Ast.statement list) =
+  let matched = GT.create 1024 in
+  let ext =
+    List.filter
+      (fun stmt ->
+        match fact_atom stmt with
+        | Some ga when GT.mem entry.e_base_atoms ga ->
+          GT.replace matched ga ();
+          false
+        | _ -> true)
+      stmts
+  in
+  if GT.length matched = entry.e_base_n then Some ext else None
+
+(* --- entry lifecycle ------------------------------------------------------ *)
+
+let evict_over_cap t =
+  while Hashtbl.length t.entries > t.cap do
+    let victim = ref None in
+    Hashtbl.iter
+      (fun _ e ->
+        match !victim with
+        | Some v when v.e_stamp <= e.e_stamp -> ()
+        | _ -> victim := Some e)
+      t.entries;
+    match !victim with
+    | Some v ->
+      Hashtbl.remove t.entries v.e_key;
+      t.n_evictions <- t.n_evictions + 1
+    | None -> ()
+  done
+
+let build_entry t ~env ~prefs ?installed ~repo ~budget key skeleton =
+  let sfacts = Facts.generate ~env ~prefs ?installed ~repo skeleton in
+  let lp = Lazy.force t.lp in
+  let base, _ = Asp.Grounder.ground_base ~budget (lp @ sfacts.Facts.statements) in
+  let atoms = atom_set sfacts.Facts.statements in
+  {
+    e_key = key;
+    e_skeleton = skeleton;
+    e_env = env;
+    e_prefs = prefs;
+    e_repo_fp = Pkg.Repo.fingerprint repo;
+    e_base = base;
+    e_base_atoms = atoms;
+    e_base_n = GT.length atoms;
+    e_stamp = 0;
+  }
+
+type grounding = {
+  ground : Asp.Ground.t;
+  stats : Asp.Grounder.stats;
+  base_time : float;  (** seconds spent building the base; 0 on a warm hit *)
+  extend_time : float;  (** seconds spent extending the base *)
+  outcome : [ `Base_built | `Extended ];
+}
+
+let now () = Unix.gettimeofday ()
+
+(* Ground [roots]'s request through the substrate: fetch or build the
+   skeleton base, then extend it with the facts the skeleton lacks.
+   [facts] must be the request's own generated facts.  [None] means the
+   substrate cannot serve this request soundly (the caller grounds from
+   scratch); {!Asp.Budget.Exhausted} propagates. *)
+let ground_request t ~env ~prefs ?installed ~repo ~budget ~(facts : Facts.t) roots =
+  let skeleton = skeleton_of roots in
+  let key = key_of ?installed ~repo ~env ~prefs skeleton in
+  let fallback () =
+    Mutex.lock t.mu;
+    t.n_fallbacks <- t.n_fallbacks + 1;
+    Mutex.unlock t.mu;
+    None
+  in
+  Mutex.lock t.mu;
+  t.tick <- t.tick + 1;
+  let tick = t.tick in
+  let entry, base_time =
+    match Hashtbl.find_opt t.entries key with
+    | Some e ->
+      e.e_stamp <- tick;
+      Mutex.unlock t.mu;
+      (Some e, 0.)
+    | None -> (
+      (* build under the lock: concurrent requests for one skeleton must
+         not duplicate the base build (double-checked above) *)
+      let t0 = now () in
+      match build_entry t ~env ~prefs ?installed ~repo ~budget key skeleton with
+      | exception e ->
+        Mutex.unlock t.mu;
+        (match e with
+        | Asp.Budget.Exhausted _ -> raise e
+        | _ -> ());
+        (None, 0.)
+      | e ->
+        let dt = now () -. t0 in
+        if (Asp.Grounder.base_ground e.e_base).Asp.Ground.inconsistent then begin
+          (* an inconsistent base cannot be extended; skeletons are
+             relaxations so this is a defensive path *)
+          Mutex.unlock t.mu;
+          (None, dt)
+        end
+        else begin
+          e.e_stamp <- tick;
+          Hashtbl.replace t.entries key e;
+          t.n_base_builds <- t.n_base_builds + 1;
+          evict_over_cap t;
+          Mutex.unlock t.mu;
+          (Some e, dt)
+        end)
+  in
+  match entry with
+  | None -> fallback ()
+  | Some entry -> (
+    match diff_statements entry facts.Facts.statements with
+    | None -> fallback ()
+    | Some ext -> (
+      let t0 = now () in
+      match Asp.Grounder.extend ~budget entry.e_base ext with
+      | exception Asp.Solver_error.Error _ -> fallback ()
+      | ground, stats ->
+        Mutex.lock t.mu;
+        t.n_extensions <- t.n_extensions + 1;
+        Mutex.unlock t.mu;
+        Some
+          {
+            ground;
+            stats;
+            base_time;
+            extend_time = now () -. t0;
+            outcome = (if base_time > 0. then `Base_built else `Extended);
+          }))
+
+(* --- install deltas ------------------------------------------------------- *)
+
+(* Apply an install to every entry: regenerate the skeleton's facts against
+   the new database and rebase the base over the added facts, re-inserting
+   the entry under its new key (the reuse digest changed for entries whose
+   closure sees the new records).  Entries that cannot absorb the delta —
+   regenerated facts no longer a superset of the base, or a different
+   repository — are dropped and will rebuild cold on next use. *)
+let on_install t ~repo ~db =
+  let repo_fp = Pkg.Repo.fingerprint repo in
+  Mutex.lock t.mu;
+  let old = Hashtbl.fold (fun _ e acc -> e :: acc) t.entries [] in
+  Hashtbl.reset t.entries;
+  List.iter
+    (fun e ->
+      let drop () = t.n_drops <- t.n_drops + 1 in
+      if not (String.equal e.e_repo_fp repo_fp) then drop ()
+      else
+        match
+          Facts.generate ~env:e.e_env ~prefs:e.e_prefs ~installed:db ~repo
+            e.e_skeleton
+        with
+        | exception _ -> drop ()
+        | sfacts -> (
+          match diff_statements e sfacts.Facts.statements with
+          | None -> drop ()
+          | Some [] ->
+            (* nothing this closure can see changed: keep as-is (the key
+               cannot have changed either) *)
+            Hashtbl.replace t.entries e.e_key e
+          | Some delta -> (
+            match Asp.Grounder.rebase e.e_base delta with
+            | exception _ -> drop ()
+            | base, _ ->
+              let key =
+                key_of ~installed:db ~repo ~env:e.e_env ~prefs:e.e_prefs e.e_skeleton
+              in
+              let atoms = atom_set sfacts.Facts.statements in
+              t.n_delta_applies <- t.n_delta_applies + 1;
+              Hashtbl.replace t.entries key
+                {
+                  e with
+                  e_key = key;
+                  e_base = base;
+                  e_base_atoms = atoms;
+                  e_base_n = GT.length atoms;
+                })))
+    old;
+  evict_over_cap t;
+  Mutex.unlock t.mu

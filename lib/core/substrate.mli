@@ -1,0 +1,64 @@
+(** Persistent ground-program substrate (incremental grounding).
+
+    The request-independent part of a concretization grounding — the rule
+    instantiation universe over the request's {e name skeleton} — is ground
+    once per (skeleton, repository, reuse-visible DB slice, environment,
+    preferences) and frozen ({!Asp.Grounder.ground_base}).  Each concrete
+    request then {e extends} that base with only its own constraint facts,
+    and installing packages applies a {e delta} to affected bases
+    ({!Asp.Grounder.rebase}) instead of discarding them.
+
+    The registry is safe to share across domains: bases are frozen and
+    read-only, extensions live in per-request layers, and the registry
+    itself is mutex-guarded with a small LRU cap. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A fresh, empty substrate holding at most [capacity] (default 8) bases. *)
+
+type counters = {
+  base_builds : int;  (** cold: a skeleton base was ground from scratch *)
+  extensions : int;  (** warm: a request reused a base via extension *)
+  delta_applies : int;  (** installs applied to a base as a rebase delta *)
+  drops : int;  (** entries dropped because a delta could not be applied *)
+  fallbacks : int;  (** requests that could not use the substrate *)
+  evictions : int;  (** LRU evictions *)
+}
+
+val counters : t -> counters
+
+val size : t -> int
+(** Number of bases currently held. *)
+
+type grounding = {
+  ground : Asp.Ground.t;
+  stats : Asp.Grounder.stats;
+  base_time : float;  (** seconds spent building the base; 0 on a warm hit *)
+  extend_time : float;  (** seconds spent extending the base *)
+  outcome : [ `Base_built | `Extended ];
+}
+
+val ground_request :
+  t ->
+  env:Facts.env ->
+  prefs:Preferences.t ->
+  ?installed:Pkg.Database.t ->
+  repo:Pkg.Repo.t ->
+  budget:Asp.Budget.t ->
+  facts:Facts.t ->
+  Specs.Spec.abstract list ->
+  grounding option
+(** Ground [roots]'s request through the substrate.  [facts] must be the
+    facts {!Facts.generate} produced for this exact request (same [env],
+    [prefs], [installed], [repo]).  The resulting program is equivalent to
+    grounding from scratch; [None] means the substrate cannot serve the
+    request soundly and the caller should ground from scratch (counted as
+    a fallback).
+    @raise Asp.Budget.Exhausted when [budget] runs out mid-grounding. *)
+
+val on_install :
+  t -> repo:Pkg.Repo.t -> db:Pkg.Database.t -> unit
+(** Rebase every base over the facts newly visible after an install
+    recorded in [db], re-keying entries in place.  Entries that cannot
+    absorb the delta are dropped (and rebuild cold on next use). *)

@@ -39,6 +39,8 @@ let phases_to_json (p : C.phases) =
       ("setup", Json.Float p.C.setup_time);
       ("load", Json.Float p.C.load_time);
       ("ground", Json.Float p.C.ground_time);
+      ("ground_base", Json.Float p.C.ground_base_time);
+      ("ground_extend", Json.Float p.C.ground_extend_time);
       ("solve", Json.Float p.C.solve_time);
     ]
 
@@ -189,7 +191,19 @@ let phases_of_json j =
   let* load_time = field "load" Json.to_float j in
   let* ground_time = field "ground" Json.to_float j in
   let* solve_time = field "solve" Json.to_float j in
-  Some { C.setup_time; load_time; ground_time; solve_time }
+  (* absent in entries persisted before the substrate existed *)
+  let opt name = Option.value ~default:0. (field name Json.to_float j) in
+  let ground_base_time = opt "ground_base" in
+  let ground_extend_time = opt "ground_extend" in
+  Some
+    {
+      C.setup_time;
+      load_time;
+      ground_time;
+      ground_base_time;
+      ground_extend_time;
+      solve_time;
+    }
 
 let quality_of_json = function
   | Json.Str "optimal" -> Some `Optimal

@@ -40,6 +40,7 @@ type pending = {
 type state = {
   cfg : config;
   sched : C.result Scheduler.t;
+  substrate : Concretize.Substrate.t;  (* shared ground-program bases *)
   mutable db : Pkg.Database.t;  (* swapped wholesale on install *)
   mutable conns : conn list;
   mutable pendings : pending list;
@@ -93,8 +94,8 @@ let make_job st root =
     let budget =
       Asp.Budget.start ~cancel { Asp.Budget.no_limits with Asp.Budget.wall }
     in
-    C.solve ~config:st.cfg.solver ~installed:db ~budget ~repo:st.cfg.repo
-      [ root ]
+    C.solve ~config:st.cfg.solver ~installed:db ~budget
+      ~substrate:st.substrate ~repo:st.cfg.repo [ root ]
 
 (* [Ok slot] or [Error ()] when the scheduler shed the solve. *)
 let admit st root =
@@ -123,6 +124,7 @@ let abandon_slots st slots =
 let stats_json st =
   let c = Cache.stats st.cfg.cache in
   let s = Scheduler.stats st.sched in
+  let sub = Concretize.Substrate.counters st.substrate in
   Json.Obj
     [
       ( "cache",
@@ -134,6 +136,18 @@ let stats_json st =
             ("stores", Json.Int c.Cache.stores);
             ("mem_entries", Json.Int c.Cache.mem_entries);
             ("disk_hits", Json.Int c.Cache.disk_hits);
+          ] );
+      ( "substrate",
+        Json.Obj
+          [
+            ("entries", Json.Int (Concretize.Substrate.size st.substrate));
+            ("base_builds", Json.Int sub.Concretize.Substrate.base_builds);
+            ("extensions", Json.Int sub.Concretize.Substrate.extensions);
+            ( "narrowed_invalidations",
+              Json.Int sub.Concretize.Substrate.delta_applies );
+            ("full_invalidations", Json.Int sub.Concretize.Substrate.drops);
+            ("fallbacks", Json.Int sub.Concretize.Substrate.fallbacks);
+            ("evictions", Json.Int sub.Concretize.Substrate.evictions);
           ] );
       ( "scheduler",
         Json.Obj
@@ -243,6 +257,9 @@ let record_install st (s : C.success) =
       (Pkg.Database.records db)
   in
   st.db <- db;
+  (* rebase the substrate's ground bases over the install delta instead of
+     discarding them *)
+  Concretize.Substrate.on_install st.substrate ~repo:st.cfg.repo ~db;
   st.n_installs <- st.n_installs + 1;
   Option.iter (Pkg.Database.save db) st.cfg.db_path;
   fresh
@@ -376,6 +393,7 @@ let serve ?on_ready cfg =
     {
       cfg;
       sched = Scheduler.create ~pool ~max_pending:cfg.max_pending;
+      substrate = Concretize.Substrate.create ();
       db = cfg.db;
       conns = [];
       pendings = [];

@@ -16,11 +16,21 @@
       the reply — unless the client has disconnected, which abandoned the
       ticket and cancelled the solve.
 
+    Solves share a {!Concretize.Substrate}: the request-independent part of
+    each grounding (the name-skeleton base) is ground once, frozen, and
+    every request extends it with only its own constraint facts — the
+    [stats] reply's ["substrate"] section counts base builds, extensions,
+    narrowed invalidations (install deltas rebased onto a base) and full
+    invalidations (bases dropped).
+
     [install] concretizes, then records the winning DAG into a {e fresh}
     database value (copy + extend) and atomically swaps it in: in-flight
-    solves keep reading the old immutable snapshot, and every later request
-    derives new cache keys from the new fingerprint — installation is cache
-    invalidation by construction. *)
+    solves keep reading the old immutable snapshot.  Invalidation is
+    {e narrowed}: cache keys digest only the reuse-visible slice of the
+    database ({!Concretize.Facts.reuse_digest}), so an install changes the
+    keys — and the substrate rebases the bases — only of requests whose
+    package closure can observe the new records; every other cached answer
+    and frozen base survives. *)
 
 type config = {
   socket_path : string;

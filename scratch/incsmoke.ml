@@ -1,0 +1,48 @@
+(* Smoke test: extend/rebase vs from-scratch grounding on small programs. *)
+
+let parse s = Asp.Parser.parse ~file:"<smoke>" s
+
+let show_model (g : Asp.Ground.t) =
+  match
+    Asp.Solve.solve_ground_verified ~params:Asp.Sat.default_params ~strategy:`Bb
+      ~budget:Asp.Budget.unlimited g
+  with
+  | None -> [ "UNSAT" ]
+  | Some (t, costs, _q, _n, verified) ->
+    let names =
+      List.map (Format.asprintf "%a" Asp.Gatom.pp) (Asp.Translate.answer t)
+    in
+    let costs = List.map (fun (p, v) -> Printf.sprintf "%d@%d" v p) costs in
+    List.sort compare names
+    @ [ "| costs:" ] @ costs
+    @ [ (if verified then "verified" else "UNVERIFIED") ]
+
+let () =
+  let base_prog =
+    {|
+p(1). p(2).
+q(X) :- p(X), not r(X).
+{ s(X) : t(X) } 1 :- p(X).
+u(X) :- p(X), s(Y) : t(Y).
+#minimize { X@1,X : q(X) }.
+|}
+  in
+  let delta = {|
+p(3). r(2). t(7).
+|} in
+  (* from scratch *)
+  let g1, _ = Asp.Grounder.ground (parse (base_prog ^ delta)) in
+  (* incremental *)
+  let base, _ = Asp.Grounder.ground_base (parse base_prog) in
+  let g2, _ = Asp.Grounder.extend base (parse delta) in
+  Format.printf "scratch:      %s@." (String.concat " " (show_model g1));
+  Format.printf "incremental:  %s@." (String.concat " " (show_model g2));
+  (* rebase then extend again *)
+  let base2, _ = Asp.Grounder.rebase base (parse "p(3). r(2).") in
+  let g3, _ = Asp.Grounder.extend base2 (parse "t(7).") in
+  Format.printf "rebased:      %s@." (String.concat " " (show_model g3));
+  (* base must still work after extensions *)
+  let g0, _ = Asp.Grounder.ground (parse base_prog) in
+  let gb = Asp.Grounder.base_ground base in
+  Format.printf "base scratch: %s@." (String.concat " " (show_model g0));
+  Format.printf "base frozen:  %s@." (String.concat " " (show_model gb))

@@ -1,0 +1,38 @@
+(* Split ground time: seeding facts only vs full grounding; also measure a
+   hypothetical universal base (all packages as roots at once). *)
+let repo = Pkg.Repo_core.repo
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let () =
+  let lp = Asp.Parser.parse Concretize.Logic_program.text in
+  let names = Pkg.Repo.package_names repo in
+  let tot_seed = ref 0. and tot_full = ref 0. in
+  List.iter
+    (fun pkg ->
+      let root = Specs.Spec_parser.parse pkg in
+      let facts = Concretize.Facts.generate ~repo [ root ] in
+      let _, seed_t =
+        time (fun () -> Asp.Grounder.ground facts.Concretize.Facts.statements)
+      in
+      let _, full_t =
+        time (fun () -> Asp.Grounder.ground (lp @ facts.Concretize.Facts.statements))
+      in
+      tot_seed := !tot_seed +. seed_t;
+      tot_full := !tot_full +. full_t)
+    names;
+  Printf.printf "per-request: seed-only %.3fs, full %.3fs (n=%d)\n" !tot_seed !tot_full
+    (List.length names);
+  (* universal: all packages as roots in one request *)
+  let roots = List.map Specs.Spec_parser.parse names in
+  let facts, setup_t = time (fun () -> Concretize.Facts.generate ~repo roots) in
+  let (_, stats), g_t =
+    time (fun () -> Asp.Grounder.ground (lp @ facts.Concretize.Facts.statements))
+  in
+  Printf.printf
+    "universal: setup %.3fs ground %.3fs (facts %d, atoms %d, rules %d)\n" setup_t g_t
+    facts.Concretize.Facts.n_facts stats.Asp.Grounder.possible_atoms
+    stats.Asp.Grounder.ground_rules

@@ -49,8 +49,18 @@ timeout 60 dune exec bin/spack_solve.exe -- --connect "$SOCK" zlib \
   | grep -q "cache miss: zlib"
 timeout 60 dune exec bin/spack_solve.exe -- --connect "$SOCK" zlib \
   | grep -q "cache hit: zlib"
-timeout 60 dune exec bin/spack_solve.exe -- --connect "$SOCK" --remote-stats \
-  | grep -q '"hits":1'
+# incremental grounding: two *different* requests over one name skeleton —
+# the second must extend the first request's frozen ground base, not
+# rebuild it (zlib above contributed one base + one extension of its own)
+timeout 60 dune exec bin/spack_solve.exe -- --connect "$SOCK" hdf5 \
+  | grep -q "cache miss: hdf5"
+timeout 60 dune exec bin/spack_solve.exe -- --connect "$SOCK" hdf5+szip \
+  | grep -q "cache miss: hdf5+szip"
+STATS=$(timeout 60 dune exec bin/spack_solve.exe -- --connect "$SOCK" --remote-stats)
+echo "$STATS" | grep -q '"hits":1'
+echo "$STATS" | grep -q '"base_builds":2'
+echo "$STATS" | grep -q '"extensions":3'
+echo "$STATS" | grep -q '"fallbacks":0'
 timeout 60 dune exec bin/spack_solve.exe -- --connect "$SOCK" --remote-shutdown
 wait "$SERVE_PID"
 trap - EXIT
