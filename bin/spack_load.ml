@@ -1,0 +1,382 @@
+(* spack_load: load generator and chaos harness for spack_serve.
+
+   Replays many concurrent clients issuing a mixed solve / install / batch
+   workload against a running daemon, at a ladder of load tiers (multiples
+   of a base client count).  Chaos mode additionally injects client-side
+   misbehaviour — random disconnects, malformed frames, requests abandoned
+   mid-solve — which a production daemon must shrug off.  Results (per-tier
+   throughput, latency percentiles, shed/error/reconnect counts and the
+   daemon's own stats) are emitted as JSON, the BENCH_serve.json artifact. *)
+
+open Cmdliner
+module Client = Server.Client
+module Protocol = Server.Protocol
+module Json = Server.Json
+
+(* ------------------------------------------------------------------ *)
+(* Workload                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let default_specs =
+  [ "hdf5"; "netcdf-c"; "petsc"; "fftw"; "gromacs"; "lammps"; "zlib"; "cmake" ]
+
+(* Root names matching a daemon started with [--repo N]: same arithmetic as
+   Repo_synth.scaled, so every generated name exists over there. *)
+let synth_specs n =
+  let p = Pkg.Repo_synth.scaled n in
+  List.init p.Pkg.Repo_synth.n_apps (Printf.sprintf "app-%03d")
+  @ List.init p.Pkg.Repo_synth.n_libs (Printf.sprintf "lib-%03d")
+
+type counters = {
+  mutable n_ok : int;
+  mutable n_shed : int;
+  mutable n_error : int;
+  mutable n_reconnects : int;
+  mutable n_chaos : int;
+  mutable latencies : float list;  (* seconds, successful requests only *)
+}
+
+let zero () =
+  {
+    n_ok = 0;
+    n_shed = 0;
+    n_error = 0;
+    n_reconnects = 0;
+    n_chaos = 0;
+    latencies = [];
+  }
+
+let merge mutex total c =
+  Mutex.lock mutex;
+  total.n_ok <- total.n_ok + c.n_ok;
+  total.n_shed <- total.n_shed + c.n_shed;
+  total.n_error <- total.n_error + c.n_error;
+  total.n_reconnects <- total.n_reconnects + c.n_reconnects;
+  total.n_chaos <- total.n_chaos + c.n_chaos;
+  total.latencies <- List.rev_append c.latencies total.latencies;
+  Mutex.unlock mutex
+
+(* ---- chaos moves on raw sockets, outside the Client's retry layer ---- *)
+
+let raw_send socket payload ~await_reply =
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try
+       Unix.connect fd (Unix.ADDR_UNIX socket);
+       ignore (Unix.write_substring fd payload 0 (String.length payload));
+       if await_reply then begin
+         Unix.setsockopt_float fd Unix.SO_RCVTIMEO 1.0;
+         try ignore (Unix.read fd (Bytes.create 512) 0 512)
+         with Unix.Unix_error _ -> ()
+       end
+     with Unix.Unix_error _ | Sys_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let chaos_move rng socket spec =
+  match Random.State.int rng 3 with
+  | 0 ->
+    (* malformed frame: the daemon must answer bad_request, not die *)
+    raw_send socket "this is not json\n" ~await_reply:true
+  | 1 ->
+    (* mid-solve kill: enqueue a solve and vanish before the reply *)
+    raw_send socket
+      (Json.to_string (Protocol.request_to_json ~id:1 (Protocol.solve spec))
+      ^ "\n")
+      ~await_reply:false
+  | _ ->
+    (* connect-and-slam *)
+    raw_send socket "" ~await_reply:false
+
+(* ---- one client thread -------------------------------------------- *)
+
+type workload = {
+  socket : string;
+  specs : string array;
+  install_frac : float;
+  batch_frac : float;
+  batch_size : int;
+  req_timeout : float option;
+  chaos : bool;
+}
+
+let run_client wl ~seed ~deadline out mutex =
+  let rng = Random.State.make [| seed; 0x10ad |] in
+  let c = zero () in
+  let pick () = wl.specs.(Random.State.int rng (Array.length wl.specs)) in
+  let rec session client =
+    if Unix.gettimeofday () >= deadline then Client.close client
+    else if wl.chaos && Random.State.float rng 1.0 < 0.05 then begin
+      (* random disconnect: drop this connection, continue on a fresh one *)
+      c.n_chaos <- c.n_chaos + 1;
+      Client.close client;
+      chaos_move rng wl.socket (pick ());
+      session client (* the client redials lazily on the next request *)
+    end
+    else begin
+      let r = Random.State.float rng 1.0 in
+      let req =
+        if r < wl.install_frac then
+          Protocol.install ?timeout:wl.req_timeout (pick ())
+        else if r < wl.install_frac +. wl.batch_frac then
+          Protocol.solve_many ?timeout:wl.req_timeout
+            (List.init wl.batch_size (fun _ -> pick ()))
+        else Protocol.solve ?timeout:wl.req_timeout (pick ())
+      in
+      let t0 = Unix.gettimeofday () in
+      (match Client.request client req with
+      | Ok (Protocol.Result _ | Protocol.Results _ | Protocol.Installed _) ->
+        c.n_ok <- c.n_ok + 1;
+        c.latencies <- (Unix.gettimeofday () -. t0) :: c.latencies
+      | Ok (Protocol.Error { kind = Protocol.Overloaded; _ }) ->
+        c.n_shed <- c.n_shed + 1
+      | Ok _ -> c.n_error <- c.n_error + 1
+      | Error _ -> c.n_error <- c.n_error + 1);
+      session client
+    end
+  in
+  (match Client.connect ~retries:3 ~backoff:0.02 ~recv_timeout:10.0 wl.socket with
+  | Error _ -> c.n_error <- c.n_error + 1
+  | Ok client ->
+    session client;
+    c.n_reconnects <- c.n_reconnects + Client.reconnects client);
+  merge mutex out c
+
+(* ------------------------------------------------------------------ *)
+(* Tiers and reporting                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+let daemon_stats socket =
+  match Client.connect ~retries:2 socket with
+  | Error _ -> Json.Null
+  | Ok c ->
+    let r =
+      match Client.request c Protocol.Stats with
+      | Ok (Protocol.Stats_reply j) -> j
+      | _ -> Json.Null
+    in
+    Client.close c;
+    r
+
+let run_tier wl ~mult ~clients ~duration ~seed =
+  let n = clients * mult in
+  let total = zero () in
+  let mutex = Mutex.create () in
+  let deadline = Unix.gettimeofday () +. duration in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init n (fun i ->
+        Thread.create
+          (fun () -> run_client wl ~seed:(seed + (mult * 1000) + i) ~deadline total mutex)
+          ())
+  in
+  List.iter Thread.join threads;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let lat = Array.of_list total.latencies in
+  Array.sort compare lat;
+  let ms x = Float.round (x *. 1e6) /. 1e3 in
+  let requests = total.n_ok + total.n_shed + total.n_error in
+  Printf.printf
+    "spack_load: x%-2d %3d clients  %5d req  %5d ok  %4d shed  %3d err  %4d \
+     reconn  p50 %.1fms  p99 %.1fms\n%!"
+    mult n requests total.n_ok total.n_shed total.n_error total.n_reconnects
+    (ms (percentile lat 0.50))
+    (ms (percentile lat 0.99));
+  Json.Obj
+    [
+      ("load", Json.Int mult);
+      ("clients", Json.Int n);
+      ("duration_s", Json.Float elapsed);
+      ("requests", Json.Int requests);
+      ("ok", Json.Int total.n_ok);
+      ("shed", Json.Int total.n_shed);
+      ("errors", Json.Int total.n_error);
+      ("reconnects", Json.Int total.n_reconnects);
+      ("chaos_events", Json.Int total.n_chaos);
+      ( "shed_rate",
+        Json.Float
+          (if requests = 0 then 0.
+           else float_of_int total.n_shed /. float_of_int requests) );
+      ( "throughput_rps",
+        Json.Float
+          (if elapsed > 0. then float_of_int total.n_ok /. elapsed else 0.) );
+      ("p50_ms", Json.Float (ms (percentile lat 0.50)));
+      ("p95_ms", Json.Float (ms (percentile lat 0.95)));
+      ("p99_ms", Json.Float (ms (percentile lat 0.99)));
+      ("daemon", daemon_stats wl.socket);
+    ]
+
+let parse_tiers s =
+  String.split_on_char ',' s
+  |> List.filter_map (fun x ->
+         match int_of_string_opt (String.trim x) with
+         | Some n when n > 0 -> Some n
+         | _ -> None)
+
+let run socket clients duration tiers chaos specs synth install_frac batch_frac
+    batch_size req_timeout seed json_path =
+  let specs =
+    match (specs, synth) with
+    | Some s, _ ->
+      Array.of_list
+        (List.filter (fun x -> x <> "") (String.split_on_char ',' s))
+    | None, Some n -> Array.of_list (synth_specs n)
+    | None, None -> Array.of_list default_specs
+  in
+  if Array.length specs = 0 then begin
+    Printf.eprintf "spack_load: empty spec pool\n";
+    exit 2
+  end;
+  let tiers =
+    match parse_tiers tiers with [] -> [ 1; 2; 10 ] | ts -> ts
+  in
+  let wl =
+    {
+      socket;
+      specs;
+      install_frac;
+      batch_frac;
+      batch_size = max 2 batch_size;
+      req_timeout = (if req_timeout > 0. then Some req_timeout else None);
+      chaos;
+    }
+  in
+  (* fail fast when no daemon is listening *)
+  (match Client.connect ~retries:0 socket with
+  | Error m ->
+    Printf.eprintf "spack_load: cannot connect: %s\n" m;
+    exit 2
+  | Ok c -> Client.close c);
+  let results =
+    List.map (fun mult -> run_tier wl ~mult ~clients ~duration ~seed) tiers
+  in
+  let report =
+    Json.Obj
+      [
+        ("bench", Json.Str "serve");
+        ("chaos", Json.Bool chaos);
+        ("base_clients", Json.Int clients);
+        ("tier_duration_s", Json.Float duration);
+        ("spec_pool", Json.Int (Array.length specs));
+        ("tiers", Json.List results);
+      ]
+  in
+  (match json_path with
+  | Some p ->
+    let oc = open_out p in
+    output_string oc (Json.to_string report);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "spack_load: wrote %s\n%!" p
+  | None -> print_endline (Json.to_string report));
+  0
+
+(* ------------------------------------------------------------------ *)
+(* CLI                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let socket =
+  Arg.(
+    value
+    & opt string "spack_serve.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Daemon socket to load.")
+
+let clients =
+  Arg.(
+    value & opt int 20
+    & info [ "clients" ] ~docv:"N"
+        ~doc:"Base concurrent client count (the 1x tier).")
+
+let duration =
+  Arg.(
+    value & opt float 5.
+    & info [ "duration" ] ~docv:"SECS" ~doc:"Seconds per load tier.")
+
+let tiers =
+  Arg.(
+    value & opt string "1,2,10"
+    & info [ "tiers" ] ~docv:"M1,M2,.."
+        ~doc:"Load multipliers to run, each for --duration seconds.")
+
+let chaos =
+  Arg.(
+    value & flag
+    & info [ "chaos" ]
+        ~doc:
+          "Inject client misbehaviour: random disconnects, malformed \
+           frames, requests abandoned mid-solve.")
+
+let specs =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "specs" ] ~docv:"S1,S2,.."
+        ~doc:"Comma-separated spec pool (default: common HPC packages).")
+
+let synth =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "synth" ] ~docv:"N"
+        ~doc:
+          "Generate the spec pool for a daemon running --repo N (synthetic \
+           repository root names).")
+
+let install_frac =
+  Arg.(
+    value & opt float 0.1
+    & info [ "install-frac" ] ~docv:"F" ~doc:"Fraction of install requests.")
+
+let batch_frac =
+  Arg.(
+    value & opt float 0.1
+    & info [ "batch-frac" ] ~docv:"F"
+        ~doc:"Fraction of solve_many batch requests.")
+
+let batch_size =
+  Arg.(
+    value & opt int 3
+    & info [ "batch-size" ] ~docv:"K" ~doc:"Roots per batch request.")
+
+let req_timeout =
+  Arg.(
+    value & opt float 0.
+    & info [ "timeout" ] ~docv:"SECS"
+        ~doc:"Client-side per-request deadline sent to the daemon (0 = none).")
+
+let seed =
+  Arg.(
+    value & opt int 7
+    & info [ "seed" ] ~docv:"N" ~doc:"Deterministic workload seed.")
+
+let json_path =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"PATH"
+        ~doc:"Write the JSON report here (default: stdout).")
+
+let cmd =
+  let doc = "generate load (and chaos) against a running spack_serve" in
+  let man =
+    [
+      `S Manpage.s_examples;
+      `P "Bench a daemon at 1x/2x/10x with chaos:";
+      `Pre
+        "  spack_serve --socket /tmp/s.sock --repo 300 &\n\
+        \  spack_load --socket /tmp/s.sock --synth 300 --chaos --json \
+         BENCH_serve.json";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "spack_load" ~doc ~man)
+    Term.(
+      const run $ socket $ clients $ duration $ tiers $ chaos $ specs $ synth
+      $ install_frac $ batch_frac $ batch_size $ req_timeout $ seed $ json_path)
+
+let () = exit (Cmd.eval' cmd)

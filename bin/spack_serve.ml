@@ -1,8 +1,10 @@
 (* spack_serve: the concretization daemon.  Listens on a Unix domain socket,
    answers newline-delimited JSON requests (solve / solve_many / install /
-   stats / shutdown), caches solves content-addressed and keeps the installed
-   database persistent across runs.  `spack_solve --connect SOCK` is the
-   matching client. *)
+   stats / shutdown), shards connections across supervised worker domains,
+   caches solves content-addressed, journals installs write-ahead and keeps
+   the installed database persistent across runs (including crashes: startup
+   replays the journal).  `spack_solve --connect SOCK` is the matching
+   client; `spack_load` is the load generator. *)
 
 open Cmdliner
 
@@ -15,8 +17,21 @@ let pick_repo = function
       Printf.eprintf "unknown repo %S (use 'core' or a package count)\n" s;
       exit 2)
 
-let run socket repo_name preset db_path cache_dir cache_mem jobs max_pending
-    timeout no_verify =
+(* SPACK_SERVE_CRASH=after-intent|after-save makes the next install die with
+   _exit(42) at that point of the write-ahead protocol.  Used by the
+   kill -9 recovery drill in scripts/ci.sh; meaningless in production. *)
+let crash_of_env () =
+  match Sys.getenv_opt "SPACK_SERVE_CRASH" with
+  | Some "after-intent" ->
+    Some (Server.State.After_intent, fun () -> Unix._exit 42)
+  | Some "after-save" -> Some (Server.State.After_save, fun () -> Unix._exit 42)
+  | Some other ->
+    Printf.eprintf "spack_serve: ignoring SPACK_SERVE_CRASH=%S\n%!" other;
+    None
+  | None -> None
+
+let run socket repo_name preset db_path journal_arg cache_dir cache_mem workers
+    jobs max_pending timeout client_rate client_burst drain_grace no_verify =
   let repo = pick_repo repo_name in
   let preset =
     match Asp.Config.preset_of_name preset with
@@ -26,19 +41,35 @@ let run socket repo_name preset db_path cache_dir cache_mem jobs max_pending
       exit 2
   in
   let solver = Asp.Config.make ~preset ~verify:(not no_verify) () in
-  let db =
-    match db_path with
-    | None -> Pkg.Database.create ()
-    | Some p when Sys.file_exists p -> (
-      match Pkg.Database.load p with
-      | Ok db ->
-        Printf.printf "spack_serve: loaded %d installed record(s) from %s\n%!"
-          (Pkg.Database.size db) p;
-        db
-      | Error e ->
-        Printf.eprintf "Error: %s: %s\n" p (Pkg.Database.load_error_to_string e);
-        exit 2)
-    | Some _ -> Pkg.Database.create ()
+  let journal_path =
+    match (journal_arg, db_path) with
+    | Some "", _ | None, None -> None
+    | Some p, _ -> Some p
+    | None, Some db -> Some (db ^ ".journal")
+  in
+  let db, replayed =
+    match
+      Server.State.recover ?db_path ?journal_path ()
+    with
+    | { db0; replayed; uncommitted; truncated; rotated } ->
+      Option.iter
+        (fun p ->
+          if Sys.file_exists p || replayed > 0 then
+            Printf.printf "spack_serve: loaded %d installed record(s) from %s\n%!"
+              (Pkg.Database.size db0) p)
+        db_path;
+      if replayed > 0 then
+        Printf.printf
+          "spack_serve: recovered %d journaled install(s) (%d uncommitted)\n%!"
+          replayed uncommitted;
+      if truncated then
+        Printf.printf "spack_serve: dropped a torn journal tail\n%!";
+      if rotated then
+        Printf.printf "spack_serve: rotated a stale-format journal aside\n%!";
+      (db0, replayed)
+    | exception Failure m ->
+      Printf.eprintf "Error: %s\n" m;
+      exit 2
   in
   let cache = Server.Cache.create ~mem_capacity:cache_mem ?dir:cache_dir () in
   let jobs = if jobs > 0 then jobs else Asp.Pool.default_size () in
@@ -49,16 +80,24 @@ let run socket repo_name preset db_path cache_dir cache_mem jobs max_pending
       solver;
       db;
       db_path;
+      journal_path;
       cache;
+      workers;
       jobs;
       max_pending;
       timeout = (if timeout > 0. then Some timeout else None);
+      client_rate;
+      client_burst;
+      drain_grace;
+      wedge_timeout = 10.0;
+      crash = crash_of_env ();
     }
   in
-  Server.Daemon.serve
+  Server.Daemon.serve ~signals:true ~replayed
     ~on_ready:(fun () ->
-      Printf.printf "spack_serve: listening on %s (%d worker domain(s))\n%!"
-        socket jobs)
+      Printf.printf
+        "spack_serve: listening on %s (%d worker(s), %d solver domain(s))\n%!"
+        socket (max 1 workers) jobs)
     cfg;
   print_endline "spack_serve: shutdown complete";
   0
@@ -91,8 +130,17 @@ let db_path =
     & opt (some string) None
     & info [ "db" ] ~docv:"PATH"
         ~doc:
-          "Installed database file: loaded at startup when present, saved \
-           after every install.")
+          "Installed database file: loaded (and journal-recovered) at \
+           startup when present, saved after every install.")
+
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"PATH"
+        ~doc:
+          "Write-ahead install journal (default: the --db path plus \
+           '.journal'; an empty string disables journaling).")
 
 let cache_dir =
   Arg.(
@@ -109,11 +157,19 @@ let cache_mem =
     & info [ "cache-mem" ] ~docv:"N"
         ~doc:"In-memory solve-cache capacity (LRU entries).")
 
+let workers =
+  Arg.(
+    value & opt int 2
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Supervised connection-handling worker domains; a crashed worker \
+           is restarted without disturbing the others.")
+
 let jobs =
   Arg.(
     value & opt int 0
     & info [ "jobs"; "j" ] ~docv:"N"
-        ~doc:"Worker domains solving concurrently (0 = all cores but one).")
+        ~doc:"Solver domains solving concurrently (0 = all cores but one).")
 
 let max_pending =
   Arg.(
@@ -128,8 +184,30 @@ let timeout =
     value & opt float 0.
     & info [ "timeout" ] ~docv:"SECS"
         ~doc:
-          "Wall-clock deadline per request, measured from arrival (0 = \
-           none).")
+          "Wall-clock deadline per request, measured from arrival — queue \
+           time counts (0 = none).")
+
+let client_rate =
+  Arg.(
+    value & opt float 0.
+    & info [ "client-rate" ] ~docv:"R"
+        ~doc:
+          "Per-client sustained admission rate, solve roots per second, \
+           enforced by a token bucket (0 = off).")
+
+let client_burst =
+  Arg.(
+    value & opt float 8.
+    & info [ "client-burst" ] ~docv:"B"
+        ~doc:"Per-client token-bucket capacity (burst size).")
+
+let drain_grace =
+  Arg.(
+    value & opt float 5.
+    & info [ "drain-grace" ] ~docv:"SECS"
+        ~doc:
+          "Seconds granted to in-flight work when draining (shutdown \
+           request or SIGTERM) before the stop is forced.")
 
 let no_verify =
   Arg.(
@@ -146,14 +224,18 @@ let cmd =
       `Pre
         "  spack_serve --socket /tmp/spack.sock &\n\
         \  spack_solve --connect /tmp/spack.sock hdf5";
-      `P "Persistent state across restarts:";
+      `P "Persistent, crash-safe state across restarts:";
       `Pre "  spack_serve --db installed.db --cache-dir ./solve-cache";
+      `P
+        "SIGTERM drains gracefully: stop accepting, finish in-flight work, \
+         persist, exit 0.  A second SIGTERM forces an immediate stop.";
     ]
   in
   Cmd.v
     (Cmd.info "spack_serve" ~doc ~man)
     Term.(
-      const run $ socket $ repo_name $ preset $ db_path $ cache_dir $ cache_mem
-      $ jobs $ max_pending $ timeout $ no_verify)
+      const run $ socket $ repo_name $ preset $ db_path $ journal_arg
+      $ cache_dir $ cache_mem $ workers $ jobs $ max_pending $ timeout
+      $ client_rate $ client_burst $ drain_grace $ no_verify)
 
 let () = exit (Cmd.eval' cmd)

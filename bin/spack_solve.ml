@@ -193,18 +193,26 @@ let run_multishot repo config installed ?pool ?racers specs =
 (* --connect: be a client of a running spack_serve instead of solving
    locally.  Results print through the same renderer, prefixed with the
    daemon's cache verdict. *)
-let run_client sock remote_stats remote_shutdown show_stats validate repo_name
-    specs =
+let run_client sock remote_stats remote_shutdown remote_install show_stats
+    validate repo_name specs =
   match Server.Client.connect sock with
   | Error m ->
     Printf.eprintf "Error: cannot connect: %s\n" m;
     2
   | Ok client ->
     let one rc spec_text =
-      match Server.Client.request client (Server.Protocol.Solve spec_text) with
+      let req =
+        if remote_install then Server.Protocol.install spec_text
+        else Server.Protocol.solve spec_text
+      in
+      match Server.Client.request client req with
       | Error m ->
         Printf.eprintf "Error: %s\n" m;
         max rc 2
+      | Ok (Server.Protocol.Installed { root; hashes; total }) ->
+        Printf.printf "installed %s: %d new record(s), %d total\n" root
+          (List.length hashes) total;
+        rc
       | Ok (Server.Protocol.Result { cache; result }) ->
         Printf.printf "cache %s: %s\n"
           (Server.Protocol.cache_status_name cache)
@@ -258,10 +266,24 @@ let run_client sock remote_stats remote_shutdown show_stats validate repo_name
 
 let run repo_name preset specs show_stats greedy multishot validate reuse_roots
     cache_size timeout retries jobs explain no_verify connect remote_stats
-    remote_shutdown =
-  if connect <> "" then
-    exit (run_client connect remote_stats remote_shutdown show_stats validate
-            repo_name specs);
+    remote_shutdown remote_install =
+  if connect <> "" then begin
+    (* the client layer ignores SIGPIPE (it needs EPIPE as an exception),
+       so a reader that hung up — `spack_solve ... | head` — surfaces here
+       as Sys_error instead of a silent SIGPIPE death; exit like one.  The
+       buffered tail is flushed *before* exit: once a flush has failed the
+       channel is poisoned and the at_exit flushes would raise out of
+       [exit], so that case skips them with [_exit]. *)
+    let rc =
+      try
+        run_client connect remote_stats remote_shutdown remote_install
+          show_stats validate repo_name specs
+      with Sys_error m when m = "Broken pipe" -> 141
+    in
+    match flush stdout with
+    | () -> exit rc
+    | exception Sys_error _ -> Unix._exit (if rc = 0 then 141 else rc)
+  end;
   if specs = [] then begin
     Printf.eprintf "Error: no specs given\n";
     exit 2
@@ -338,6 +360,10 @@ let remote_shutdown =
   Arg.(value & flag & info [ "remote-shutdown" ]
          ~doc:"With --connect: ask the daemon to shut down and exit.")
 
+let remote_install =
+  Arg.(value & flag & info [ "remote-install" ]
+         ~doc:"With --connect: concretize each spec and record the resulting DAG in the daemon's installed database (write-ahead journaled).")
+
 let repo_name =
   Arg.(value & opt string "core" & info [ "repo" ] ~docv:"REPO"
          ~doc:"Repository: 'core' (bundled HPC packages) or an integer for a synthetic repository of roughly that many packages.")
@@ -404,6 +430,17 @@ let cmd =
     Term.(
       const run $ repo_name $ preset $ specs $ stats $ greedy $ multishot $ validate
       $ reuse_roots $ cache_size $ timeout $ retries $ jobs $ explain
-      $ no_verify $ connect $ remote_stats $ remote_shutdown)
+      $ no_verify $ connect $ remote_stats $ remote_shutdown $ remote_install)
 
-let () = exit (Cmd.eval cmd)
+(* Safety net for the hung-up-reader case: once a flush has failed with
+   EPIPE the channel buffer is poisoned, so the at_exit flushes (stdlib's
+   and Format's) would re-raise out of [exit] — skip them with [_exit]. *)
+let () =
+  let rc =
+    match Cmd.eval cmd with
+    | rc -> rc
+    | exception Sys_error m when m = "Broken pipe" -> 141
+  in
+  match flush stdout with
+  | () -> exit rc
+  | exception Sys_error _ -> Unix._exit (if rc = 0 then 141 else rc)

@@ -15,3 +15,54 @@ let arm budget point n =
            decr remaining;
            !remaining <= 0
          end)
+
+(* ------------------------------------------------------------------ *)
+(* Service-layer injection points                                      *)
+(* ------------------------------------------------------------------ *)
+
+type service_point =
+  | Journal_tear
+  | Drop_socket
+  | Truncate_response
+  | Delay_response
+  | Worker_crash
+  | Worker_wedge
+
+let n_service_points = 6
+
+let service_index = function
+  | Journal_tear -> 0
+  | Drop_socket -> 1
+  | Truncate_response -> 2
+  | Delay_response -> 3
+  | Worker_crash -> 4
+  | Worker_wedge -> 5
+
+let service_point_name = function
+  | Journal_tear -> "journal_tear"
+  | Drop_socket -> "drop_socket"
+  | Truncate_response -> "truncate_response"
+  | Delay_response -> "delay_response"
+  | Worker_crash -> "worker_crash"
+  | Worker_wedge -> "worker_wedge"
+
+(* One countdown per point, global to the process: the daemon's workers run
+   in their own domains, so the counters are atomics.  0 = disarmed. *)
+let service_counters =
+  Array.init n_service_points (fun _ -> Atomic.make 0)
+
+let arm_service point n =
+  Atomic.set service_counters.(service_index point) (max 0 n)
+
+let disarm_services () =
+  Array.iter (fun c -> Atomic.set c 0) service_counters
+
+let service_fires point =
+  let c = service_counters.(service_index point) in
+  let rec loop () =
+    let v = Atomic.get c in
+    if v <= 0 then false
+    else if Atomic.compare_and_set c v (v - 1) then v = 1
+    else loop ()
+  in
+  loop ()

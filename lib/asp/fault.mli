@@ -1,4 +1,6 @@
-(** Deterministic fault injection for the budget layer (testing).
+(** Deterministic fault injection (testing).
+
+    {1 Budget-layer faults}
 
     [arm budget point n] installs a countdown hook on [budget] that forces
     cancellation (reason {!Budget.Injected}) at exactly the [n]-th event of
@@ -13,3 +15,48 @@ type point = Conflicts | Instances | Opt_steps | Verify_steps
 val arm : Budget.t -> point -> int -> unit
 (** Overwrites any previously armed hook on [budget].  [n <= 0] trips at
     the first event of the kind. *)
+
+(** {1 Service-layer faults}
+
+    The concretization service ([lib/server]) is exercised the same way:
+    a global countdown per injection point, decremented at the matching
+    operation, firing exactly once at the [n]-th occurrence.  Unlike
+    budget hooks these are process-global atomics — the daemon's workers
+    run in their own domains and the test harness arms faults from
+    outside.
+
+    - [Journal_tear]: the next matching install-journal append writes only
+      a prefix of its entry and skips the fsync (a torn write at the
+      moment of a crash).
+    - [Drop_socket]: the worker abruptly closes the client connection
+      instead of writing the queued reply.
+    - [Truncate_response]: the worker writes only half of the queued reply
+      bytes, then closes the connection.
+    - [Delay_response]: the worker holds the queued reply back for one
+      event-loop iteration window before sending it.
+    - [Worker_crash]: request handling raises an escaped exception,
+      killing the worker domain (the supervisor must restart it).
+    - [Worker_wedge]: request handling blocks the worker's event loop for
+      several seconds (the supervisor must detect the stalled heartbeat
+      and quarantine the worker). *)
+
+type service_point =
+  | Journal_tear
+  | Drop_socket
+  | Truncate_response
+  | Delay_response
+  | Worker_crash
+  | Worker_wedge
+
+val service_point_name : service_point -> string
+
+val arm_service : service_point -> int -> unit
+(** Fire at the [n]-th matching operation from now ([n >= 1]; [n <= 0]
+    disarms).  Overwrites any previous countdown for the point. *)
+
+val disarm_services : unit -> unit
+(** Reset every service-point countdown (test teardown). *)
+
+val service_fires : service_point -> bool
+(** Decrement the point's countdown; [true] exactly when it reaches zero
+    this call.  Always [false] when disarmed.  Domain-safe. *)

@@ -1,43 +1,175 @@
-type t = { ic : in_channel; oc : out_channel; mutable next_id : int }
+type error = Transient of string | Fatal of string
 
-let connect path =
+let error_message = function Transient m | Fatal m -> m
+
+type t = {
+  path : string;
+  recv_timeout : float option;
+  retries : int;
+  backoff : float;
+  backoff_cap : float;
+  rng : Random.State.t;
+  mutable io : (in_channel * out_channel) option;
+  mutable next_id : int;
+  mutable n_reconnects : int;
+}
+
+let reconnects t = t.n_reconnects
+
+let drop t =
+  match t.io with
+  | None -> ()
+  | Some (ic, oc) ->
+    t.io <- None;
+    (try flush oc with Sys_error _ -> ());
+    (try close_in ic with Sys_error _ -> ())
+
+let dial t =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  match
+    Unix.connect fd (Unix.ADDR_UNIX t.path);
+    Option.iter
+      (fun s -> Unix.setsockopt_float fd Unix.SO_RCVTIMEO s)
+      t.recv_timeout
+  with
   | () ->
-    Ok
-      {
-        ic = Unix.in_channel_of_descr fd;
-        oc = Unix.out_channel_of_descr fd;
-        next_id = 1;
-      }
+    let io = (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd) in
+    t.io <- Some io;
+    Ok io
   | exception Unix.Unix_error (e, _, _) ->
     (try Unix.close fd with Unix.Unix_error _ -> ());
-    Error (path ^ ": " ^ Unix.error_message e)
+    Error (t.path ^ ": " ^ Unix.error_message e)
 
-let request t req =
-  let id = t.next_id in
-  t.next_id <- id + 1;
+let connect ?(retries = 4) ?(backoff = 0.05) ?recv_timeout path =
+  (* writes to a peer-closed socket must surface as EPIPE, not kill the
+     process *)
+  (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+  | _ -> ()
+  | exception Invalid_argument _ -> ());
+  let t =
+    {
+      path;
+      recv_timeout;
+      retries = max 0 retries;
+      backoff = Float.max 0.001 backoff;
+      backoff_cap = 2.0;
+      rng =
+        Random.State.make
+          [| Unix.getpid (); int_of_float (Unix.gettimeofday () *. 1e6) |];
+      io = None;
+      next_id = 1;
+      n_reconnects = 0;
+    }
+  in
+  match dial t with Ok _ -> Ok t | Error m -> Error m
+
+(* Bounded exponential backoff with full jitter: sleep a uniform fraction
+   of [base * 2^attempt], capped — herds of retrying clients decorrelate
+   instead of hammering the daemon in lockstep. *)
+let backoff_sleep t attempt =
+  let ceiling =
+    Float.min t.backoff_cap (t.backoff *. Float.pow 2. (float_of_int attempt))
+  in
+  let d = t.backoff *. 0.1 in
+  Unix.sleepf (d +. Random.State.float t.rng (Float.max d (ceiling -. d)))
+
+(* ------------------------------------------------------------------ *)
+(* One attempt over the current connection                             *)
+(* ------------------------------------------------------------------ *)
+
+let request_once t req =
   match
-    output_string t.oc (Json.to_string (Protocol.request_to_json ~id req));
-    output_char t.oc '\n';
-    flush t.oc
+    match t.io with Some io -> Ok io | None -> dial t
   with
-  | exception Sys_error m -> Error ("send failed: " ^ m)
-  | () ->
-    let rec wait () =
-      match input_line t.ic with
-      | exception End_of_file -> Error "server closed the connection"
-      | exception Sys_error m -> Error ("receive failed: " ^ m)
-      | line -> (
-        match Json.of_string line with
-        | Error m -> Error ("invalid response: " ^ m)
-        | Ok j -> (
-          match Protocol.response_of_json j with
-          | Error m -> Error m
-          | Ok (rid, resp) -> if rid = id then Ok resp else wait ()))
-    in
-    wait ()
+  | Error m -> Error (Transient ("connect: " ^ m))
+  | Ok (ic, oc) -> (
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    match
+      output_string oc (Json.to_string (Protocol.request_to_json ~id req));
+      output_char oc '\n';
+      flush oc
+    with
+    | exception Sys_error m ->
+      drop t;
+      Error (Transient ("send failed: " ^ m))
+    | () ->
+      let rec wait () =
+        match input_line ic with
+        | exception End_of_file ->
+          drop t;
+          Error (Transient "server closed the connection")
+        | exception Sys_error m ->
+          drop t;
+          Error (Transient ("receive failed: " ^ m))
+        | exception Sys_blocked_io ->
+          (* SO_RCVTIMEO expired mid-read *)
+          drop t;
+          Error (Transient "receive timed out")
+        | line -> (
+          match Json.of_string line with
+          | Error m ->
+            (* a half-written line is indistinguishable from garbage:
+               either way this connection is no longer in a usable state *)
+            drop t;
+            Error (Transient ("invalid response: " ^ m))
+          | Ok j -> (
+            match Protocol.response_of_json j with
+            | Error m ->
+              drop t;
+              Error (Transient ("malformed response: " ^ m))
+            | Ok (rid, resp) -> if rid = id then Ok resp else wait ()))
+      in
+      wait ())
 
-let close t =
-  (try flush t.oc with Sys_error _ -> ());
-  try close_in t.ic with Sys_error _ -> ()
+(* ------------------------------------------------------------------ *)
+(* Retrying layers                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Transparent reconnect on transient transport failures.  Safe to resend:
+   solves are read-only and installs are idempotent (records key on the
+   DAG hash; the journal replay gives the same guarantee to the daemon
+   itself). *)
+let request t req =
+  let rec go attempt last =
+    if attempt > t.retries then Error last
+    else begin
+      if attempt > 0 then begin
+        backoff_sleep t (attempt - 1);
+        t.n_reconnects <- t.n_reconnects + 1
+      end;
+      match request_once t req with
+      | Ok resp -> Ok resp
+      | Error (Fatal m) -> Error m
+      | Error (Transient m) -> go (attempt + 1) m
+    end
+  in
+  go 0 "unreachable"
+
+(* Also retry typed [Overloaded] sheds: the daemon is telling us to come
+   back later, so back off (with jitter) and do exactly that.  Used by the
+   load generator and batch tooling; interactive callers usually want the
+   shed surfaced instead. *)
+let call ?(retry_overloaded = true) t req =
+  let rec go attempt =
+    if attempt > t.retries then
+      match request t req with
+      | Ok (Protocol.Error { kind = Protocol.Overloaded; message }) ->
+        Error ("overloaded: " ^ message)
+      | other -> other
+    else
+      match request_once t req with
+      | Ok (Protocol.Error { kind = Protocol.Overloaded; _ })
+        when retry_overloaded ->
+        backoff_sleep t attempt;
+        go (attempt + 1)
+      | Ok resp -> Ok resp
+      | Error (Fatal m) -> Error m
+      | Error (Transient _) ->
+        backoff_sleep t attempt;
+        t.n_reconnects <- t.n_reconnects + 1;
+        go (attempt + 1)
+  in
+  go 0
+
+let close t = drop t

@@ -1,19 +1,59 @@
-(** Blocking client for the {!Daemon} socket protocol, used by
-    [spack_solve --connect] and the end-to-end tests.
+(** Resilient blocking client for the {!Daemon} socket protocol, used by
+    [spack_solve --connect], [spack_load] and the end-to-end tests.
 
-    One request at a time per connection: {!request} writes the line,
-    tags it with a fresh id and reads until the matching reply arrives
-    (the daemon answers in completion order, so replies to earlier
-    pipelined requests are skipped, not lost — this client simply does not
-    pipeline). *)
+    One request at a time per connection: a request line is tagged with a
+    fresh id and the client reads until the matching reply arrives (the
+    daemon answers in completion order, so replies to earlier pipelined
+    requests are skipped, not lost — this client simply does not
+    pipeline).
+
+    Transport failures mid-request ([EPIPE]/[ECONNRESET] surfacing as
+    [Sys_error], server EOF, truncated or malformed frames) are typed
+    {!Transient} and handled by reconnecting with bounded exponential
+    backoff and full jitter; requests are safe to resend because solves
+    are read-only and installs are idempotent on the DAG hash. *)
 
 type t
 
-val connect : string -> (t, string) result
-(** Connect to the daemon's socket path. *)
+type error = Transient of string | Fatal of string
+(** [Transient]: the connection died or returned garbage — a retry on a
+    fresh connection may succeed.  [Fatal]: retrying cannot help. *)
+
+val error_message : error -> string
+
+val connect :
+  ?retries:int ->
+  ?backoff:float ->
+  ?recv_timeout:float ->
+  string ->
+  (t, string) result
+(** Connect to the daemon's socket path.  [retries] (default 4) bounds the
+    reconnect attempts made by {!request} and {!call}; [backoff] (default
+    50 ms) is the base delay, doubled per attempt with full jitter and
+    capped at 2 s.  [recv_timeout] arms [SO_RCVTIMEO] so a wedged server
+    surfaces as a transient receive failure instead of a hang.  SIGPIPE is
+    set to ignore process-wide. *)
 
 val request : t -> Protocol.request -> (Protocol.response, string) result
-(** [Error] is a transport or framing failure (daemon gone, invalid bytes);
-    daemon-level failures arrive as [Ok (Protocol.Error _)]. *)
+(** Send, reconnecting and resending on transient transport failures up to
+    [retries] times.  [Error] means the transport failed even after
+    retries; daemon-level failures (including typed [Overloaded] sheds)
+    arrive as [Ok (Protocol.Error _)] and are {e not} retried here. *)
+
+val request_once : t -> Protocol.request -> (Protocol.response, error) result
+(** One attempt on the current connection, no retries; the connection is
+    dropped on any transport error so the next call redials. *)
+
+val call :
+  ?retry_overloaded:bool ->
+  t ->
+  Protocol.request ->
+  (Protocol.response, string) result
+(** Like {!request} but also backs off and retries typed [Overloaded]
+    sheds (default true) — the load-shedding-aware entry point used by the
+    load generator. *)
+
+val reconnects : t -> int
+(** Number of reconnect-and-retry cycles performed so far. *)
 
 val close : t -> unit

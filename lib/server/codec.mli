@@ -9,3 +9,9 @@
 
 val result_to_json : Concretize.Concretizer.result -> Json.t
 val result_of_json : Json.t -> (Concretize.Concretizer.result, string) result
+
+val concrete_to_json : Specs.Spec.concrete -> Json.t
+(** The concrete-DAG fragment alone, reused by the install journal: a
+    journal intent must carry everything needed to replay the install. *)
+
+val concrete_of_json : Json.t -> Specs.Spec.concrete option

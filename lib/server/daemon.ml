@@ -1,464 +1,87 @@
-module C = Concretize.Concretizer
-
 type config = {
   socket_path : string;
   repo : Pkg.Repo.t;
   solver : Asp.Config.t;
   db : Pkg.Database.t;
   db_path : string option;
+  journal_path : string option;
   cache : Cache.t;
+  workers : int;
   jobs : int;
   max_pending : int;
   timeout : float option;
+  client_rate : float;
+  client_burst : float;
+  drain_grace : float;
+  wedge_timeout : float;
+  crash : (State.crash_point * (unit -> unit)) option;
 }
 
-(* ------------------------------------------------------------------ *)
-(* Connections                                                         *)
-(* ------------------------------------------------------------------ *)
+let default_config ~socket_path ~repo ~db =
+  {
+    socket_path;
+    repo;
+    solver = Asp.Config.default;
+    db;
+    db_path = None;
+    journal_path = None;
+    cache = Cache.create ();
+    workers = 2;
+    jobs = 1;
+    max_pending = 8;
+    timeout = None;
+    client_rate = 0.;
+    client_burst = 8.;
+    drain_grace = 5.0;
+    wedge_timeout = 10.0;
+    crash = None;
+  }
 
-type conn = {
-  fd : Unix.file_descr;
-  mutable inbuf : string;  (* bytes read but not yet terminated by '\n' *)
-  mutable out : string;  (* bytes owed to the client *)
-  mutable alive : bool;
-}
+let state_config (cfg : config) journal =
+  {
+    State.repo = cfg.repo;
+    solver = cfg.solver;
+    cache = cfg.cache;
+    db = cfg.db;
+    db_path = cfg.db_path;
+    journal;
+    timeout = cfg.timeout;
+    client_rate = cfg.client_rate;
+    client_burst = cfg.client_burst;
+    max_pending = cfg.max_pending;
+    crash = cfg.crash;
+  }
 
-(* A request the loop is still waiting on.  [slots] covers both shapes:
-   [solve] is a one-slot batch. *)
-type slot =
-  | Ready of Protocol.cache_status * C.result
-  | Waiting of { key : string; ticket : C.result Scheduler.ticket }
-  | Failed of exn
-
-type pending = {
-  pconn : conn;
-  req_id : int;
-  slots : slot array;
-  install : string option;  (* spec text: record the result when done *)
-}
-
-type state = {
-  cfg : config;
-  sched : C.result Scheduler.t;
-  substrate : Concretize.Substrate.t;  (* shared ground-program bases *)
-  mutable db : Pkg.Database.t;  (* swapped wholesale on install *)
-  mutable conns : conn list;
-  mutable pendings : pending list;
-  mutable stopping : bool;
-  started : float;
-  mutable n_connections : int;
-  mutable n_requests : int;
-  mutable n_installs : int;
-}
-
-let send conn line = if conn.alive then conn.out <- conn.out ^ line ^ "\n"
-
-let reply st conn ~id resp =
-  send conn (Json.to_string (Protocol.response_to_json ~id resp));
-  ignore st
-
-let close_conn st conn =
-  if conn.alive then begin
-    conn.alive <- false;
-    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
-    (* a gone client wants nothing: drop its pendings and let the scheduler
-       cancel solves nobody else is waiting on *)
-    List.iter
-      (fun p ->
-        if p.pconn == conn then
-          Array.iter
-            (function
-              | Waiting { ticket; _ } -> Scheduler.abandon st.sched ticket
-              | Ready _ | Failed _ -> ())
-            p.slots)
-      st.pendings;
-    st.pendings <- List.filter (fun p -> p.pconn != conn) st.pendings;
-    st.conns <- List.filter (fun c -> c != conn) st.conns
-  end
-
-(* ------------------------------------------------------------------ *)
-(* Solve admission                                                     *)
-(* ------------------------------------------------------------------ *)
-
-let make_job st root =
-  (* the deadline derives from request arrival, not job start: time spent
-     queued behind other solves counts against the request *)
-  let deadline =
-    Option.map (fun t -> Unix.gettimeofday () +. t) st.cfg.timeout
-  in
-  let db = st.db in
-  fun ~cancel ->
-    let wall =
-      Option.map (fun d -> Float.max 0.01 (d -. Unix.gettimeofday ())) deadline
-    in
-    let budget =
-      Asp.Budget.start ~cancel { Asp.Budget.no_limits with Asp.Budget.wall }
-    in
-    C.solve ~config:st.cfg.solver ~installed:db ~budget
-      ~substrate:st.substrate ~repo:st.cfg.repo [ root ]
-
-(* [Ok slot] or [Error ()] when the scheduler shed the solve. *)
-let admit st root =
-  let key =
-    C.request_key ~config:st.cfg.solver ~installed:st.db ~repo:st.cfg.repo
-      [ root ]
-  in
-  match Cache.lookup st.cfg.cache key with
-  | Some result -> Ok (Ready (Protocol.Hit, result))
-  | None -> (
-    match Scheduler.submit st.sched ~key (make_job st root) with
-    | `Accepted ticket -> Ok (Waiting { key; ticket })
-    | `Overloaded -> Error ())
-
-let abandon_slots st slots =
-  List.iter
-    (function
-      | Waiting { ticket; _ } -> Scheduler.abandon st.sched ticket
-      | Ready _ | Failed _ -> ())
-    slots
-
-(* ------------------------------------------------------------------ *)
-(* Request handling                                                    *)
-(* ------------------------------------------------------------------ *)
-
-let stats_json st =
-  let c = Cache.stats st.cfg.cache in
-  let s = Scheduler.stats st.sched in
-  let sub = Concretize.Substrate.counters st.substrate in
-  Json.Obj
-    [
-      ( "cache",
-        Json.Obj
-          [
-            ("hits", Json.Int c.Cache.hits);
-            ("misses", Json.Int c.Cache.misses);
-            ("evictions", Json.Int c.Cache.evictions);
-            ("stores", Json.Int c.Cache.stores);
-            ("mem_entries", Json.Int c.Cache.mem_entries);
-            ("disk_hits", Json.Int c.Cache.disk_hits);
-          ] );
-      ( "substrate",
-        Json.Obj
-          [
-            ("entries", Json.Int (Concretize.Substrate.size st.substrate));
-            ("base_builds", Json.Int sub.Concretize.Substrate.base_builds);
-            ("extensions", Json.Int sub.Concretize.Substrate.extensions);
-            ( "narrowed_invalidations",
-              Json.Int sub.Concretize.Substrate.delta_applies );
-            ("full_invalidations", Json.Int sub.Concretize.Substrate.drops);
-            ("fallbacks", Json.Int sub.Concretize.Substrate.fallbacks);
-            ("evictions", Json.Int sub.Concretize.Substrate.evictions);
-          ] );
-      ( "scheduler",
-        Json.Obj
-          [
-            ("submitted", Json.Int s.Scheduler.submitted);
-            ("deduped", Json.Int s.Scheduler.deduped);
-            ("shed", Json.Int s.Scheduler.shed);
-            ("cancelled", Json.Int s.Scheduler.cancelled);
-            ("completed", Json.Int s.Scheduler.completed);
-            ("pending", Json.Int s.Scheduler.pending);
-          ] );
-      ( "server",
-        Json.Obj
-          [
-            ("uptime", Json.Float (Unix.gettimeofday () -. st.started));
-            ("connections", Json.Int st.n_connections);
-            ("requests", Json.Int st.n_requests);
-            ("installs", Json.Int st.n_installs);
-            ("db_size", Json.Int (Pkg.Database.size st.db));
-            ("db_fingerprint", Json.Str (Pkg.Database.fingerprint st.db));
-          ] );
-    ]
-
-let parse_roots specs =
-  let rec go acc = function
-    | [] -> Ok (List.rev acc)
-    | s :: rest -> (
-      match Specs.Spec_parser.parse s with
-      | root -> go (root :: acc) rest
-      | exception Specs.Spec_parser.Error e ->
-        Error (Specs.Spec_parser.error_to_string e))
-  in
-  go [] specs
-
-let solve_request st conn ~id ~install specs =
-  match parse_roots specs with
-  | Error msg ->
-    reply st conn ~id (Protocol.Error { kind = Protocol.Bad_request; message = msg })
-  | Ok roots -> (
-    let rec fill acc = function
-      | [] -> Ok (List.rev acc)
-      | root :: rest -> (
-        match admit st root with
-        | Ok slot -> fill (slot :: acc) rest
-        | Error () ->
-          abandon_slots st acc;
-          Error ())
-    in
-    match fill [] roots with
-    | Error () ->
-      reply st conn ~id
-        (Protocol.Error
-           {
-             kind = Protocol.Overloaded;
-             message =
-               Printf.sprintf "server at capacity (%d solves in flight)"
-                 st.cfg.max_pending;
-           })
-    | Ok slots ->
-      st.pendings <-
-        { pconn = conn; req_id = id; slots = Array.of_list slots; install }
-        :: st.pendings)
-
-let handle_request st conn ~id req =
-  st.n_requests <- st.n_requests + 1;
-  match req with
-  | Protocol.Stats -> reply st conn ~id (Protocol.Stats_reply (stats_json st))
-  | Protocol.Shutdown ->
-    reply st conn ~id Protocol.Bye;
-    st.stopping <- true
-  | Protocol.Solve spec -> solve_request st conn ~id ~install:None [ spec ]
-  | Protocol.Install spec -> solve_request st conn ~id ~install:(Some spec) [ spec ]
-  | Protocol.Solve_many specs -> (
-    match specs with
-    | [] -> reply st conn ~id (Protocol.Results [])
-    | _ -> solve_request st conn ~id ~install:None specs)
-
-let handle_line st conn line =
-  let bad message =
-    reply st conn ~id:0
-      (Protocol.Error { kind = Protocol.Bad_request; message })
-  in
-  match Json.of_string line with
-  | Error m -> bad ("invalid JSON: " ^ m)
-  | Ok j -> (
-    match Protocol.request_of_json j with
-    | Error m -> bad m
-    | Ok (id, req) -> handle_request st conn ~id req)
-
-(* ------------------------------------------------------------------ *)
-(* Install bookkeeping                                                 *)
-(* ------------------------------------------------------------------ *)
-
-(* Copy-and-extend, never mutate: worker domains may still be reading the
-   current database value, so installs build a fresh one and swap it in. *)
-let record_install st (s : C.success) =
-  let old = st.db in
-  let db = Pkg.Database.create () in
-  List.iter (Pkg.Database.add_record db) (Pkg.Database.records old);
-  Pkg.Database.add_concrete db s.C.spec;
-  let fresh =
-    List.filter_map
-      (fun (r : Pkg.Database.record) ->
-        match Pkg.Database.find old r.Pkg.Database.hash with
-        | Some _ -> None
-        | None -> Some (r.Pkg.Database.name, r.Pkg.Database.hash))
-      (Pkg.Database.records db)
-  in
-  st.db <- db;
-  (* rebase the substrate's ground bases over the install delta instead of
-     discarding them *)
-  Concretize.Substrate.on_install st.substrate ~repo:st.cfg.repo ~db;
-  st.n_installs <- st.n_installs + 1;
-  Option.iter (Pkg.Database.save db) st.cfg.db_path;
-  fresh
-
-(* ------------------------------------------------------------------ *)
-(* Pending-request progress                                            *)
-(* ------------------------------------------------------------------ *)
-
-let exn_response = function
-  | Concretize.Facts.Unknown_package p ->
-    Protocol.Error
-      {
-        kind = Protocol.Unknown_package p;
-        message = "unknown package " ^ p;
-      }
-  | exn ->
-    Protocol.Error { kind = Protocol.Internal; message = Printexc.to_string exn }
-
-let cacheable = function C.Concrete { quality = `Optimal; _ } -> true | _ -> false
-
-(* Advance one pending request; [true] when it was answered (or its client
-   left) and can be dropped. *)
-let advance st p =
-  if not p.pconn.alive then true
-  else begin
-    Array.iteri
-      (fun i slot ->
-        match slot with
-        | Ready _ | Failed _ -> ()
-        | Waiting { key; ticket } -> (
-          match Scheduler.poll st.sched ticket with
-          | `Pending -> ()
-          | `Done (Error exn) -> p.slots.(i) <- Failed exn
-          | `Done (Ok result) ->
-            (* several waiters may share the job: first one stores *)
-            if cacheable result && not (Cache.mem st.cfg.cache key) then
-              Cache.store st.cfg.cache key result;
-            p.slots.(i) <- Ready (Protocol.Miss, result)))
-      p.slots;
-    let all_done =
-      Array.for_all (function Waiting _ -> false | _ -> true) p.slots
-    in
-    if not all_done then false
-    else begin
-      let failure =
-        Array.fold_left
-          (fun acc slot ->
-            match (acc, slot) with
-            | None, Failed exn -> Some exn
-            | acc, _ -> acc)
-          None p.slots
-      in
-      (match failure with
-      | Some exn -> reply st p.pconn ~id:p.req_id (exn_response exn)
-      | None -> (
-        let results =
-          Array.to_list
-            (Array.map
-               (function
-                 | Ready (c, r) -> (c, r)
-                 | Waiting _ | Failed _ -> assert false)
-               p.slots)
-        in
-        match (p.install, results) with
-        | Some spec_text, [ (_, C.Concrete s) ] ->
-          let hashes = record_install st s in
-          reply st p.pconn ~id:p.req_id
-            (Protocol.Installed
-               { root = spec_text; hashes; total = Pkg.Database.size st.db })
-        | Some _, [ (cache, result) ] | None, [ (cache, result) ] ->
-          (* an install whose solve did not produce a spec reports the
-             outcome instead of recording anything *)
-          reply st p.pconn ~id:p.req_id (Protocol.Result { cache; result })
-        | _, results -> reply st p.pconn ~id:p.req_id (Protocol.Results results)));
-      true
-    end
-  end
-
-(* ------------------------------------------------------------------ *)
-(* The event loop                                                      *)
-(* ------------------------------------------------------------------ *)
-
-let read_into st conn =
-  let buf = Bytes.create 4096 in
-  match Unix.read conn.fd buf 0 4096 with
-  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
-    -> ()
-  | exception Unix.Unix_error _ -> close_conn st conn
-  | 0 -> close_conn st conn
-  | n ->
-    conn.inbuf <- conn.inbuf ^ Bytes.sub_string buf 0 n;
-    let rec lines () =
-      match String.index_opt conn.inbuf '\n' with
-      | None -> ()
-      | Some nl ->
-        let line = String.sub conn.inbuf 0 nl in
-        conn.inbuf <-
-          String.sub conn.inbuf (nl + 1) (String.length conn.inbuf - nl - 1);
-        let line =
-          (* tolerate CRLF clients *)
-          if String.length line > 0 && line.[String.length line - 1] = '\r'
-          then String.sub line 0 (String.length line - 1)
-          else line
-        in
-        if String.trim line <> "" then handle_line st conn line;
-        if conn.alive then lines ()
-    in
-    lines ()
-
-let write_out st conn =
-  let len = String.length conn.out in
-  if len > 0 then
-    match Unix.write_substring conn.fd conn.out 0 len with
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
-      -> ()
-    | exception Unix.Unix_error _ -> close_conn st conn
-    | n -> conn.out <- String.sub conn.out n (len - n)
-
-let serve ?on_ready cfg =
-  (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
-  | _ -> ()
-  | exception Invalid_argument _ -> ());
-  if Sys.file_exists cfg.socket_path then (
-    try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
-  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
-  Unix.listen listen_fd 64;
-  Unix.set_nonblock listen_fd;
-  let pool = Asp.Pool.create ~domains:(max 1 cfg.jobs) in
-  let st =
-    {
-      cfg;
-      sched = Scheduler.create ~pool ~max_pending:cfg.max_pending;
-      substrate = Concretize.Substrate.create ();
-      db = cfg.db;
-      conns = [];
-      pendings = [];
-      stopping = false;
-      started = Unix.gettimeofday ();
-      n_connections = 0;
-      n_requests = 0;
-      n_installs = 0;
-    }
-  in
-  Option.iter (fun f -> f ()) on_ready;
-  let accept_all () =
-    let rec go () =
-      match Unix.accept listen_fd with
-      | exception
-          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
-        -> ()
-      | exception Unix.Unix_error _ -> ()
-      | fd, _ ->
-        Unix.set_nonblock fd;
-        st.n_connections <- st.n_connections + 1;
-        st.conns <- { fd; inbuf = ""; out = ""; alive = true } :: st.conns;
-        go ()
-    in
-    go ()
-  in
-  let flushed () = List.for_all (fun c -> c.out = "") st.conns in
-  let stop_deadline = ref None in
-  let should_stop () =
-    st.stopping
-    &&
-    (flushed ()
-    ||
-    match !stop_deadline with
-    | None ->
-      (* give laggard clients a bounded grace period to drain *)
-      stop_deadline := Some (Unix.gettimeofday () +. 2.0);
-      false
-    | Some d -> Unix.gettimeofday () > d)
-  in
-  while not (should_stop ()) do
-    let rfds =
-      if st.stopping then List.map (fun c -> c.fd) st.conns
-      else listen_fd :: List.map (fun c -> c.fd) st.conns
-    in
-    let wfds =
-      List.filter_map
-        (fun c -> if c.out <> "" then Some c.fd else None)
-        st.conns
-    in
-    let r, w, _ =
-      match Unix.select rfds wfds [] 0.05 with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
-      | x -> x
-    in
-    if List.memq listen_fd r then accept_all ();
-    List.iter
-      (fun c -> if c.alive && List.memq c.fd r then read_into st c)
-      st.conns;
-    List.iter
-      (fun c -> if c.alive && List.memq c.fd w then write_out st c)
-      st.conns;
-    st.pendings <- List.filter (fun p -> not (advance st p)) st.pendings
-  done;
-  List.iter (fun c -> close_conn st c) st.conns;
-  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
-  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
-  Asp.Pool.shutdown pool
+let serve ?on_ready ?(signals = false) ?(replayed = 0) cfg =
+  let journal = Option.map Journal.open_ cfg.journal_path in
+  let st = State.create ~jobs:(max 1 cfg.jobs) (state_config cfg journal) in
+  Atomic.set st.State.n_replayed replayed;
+  (* SIGTERM = graceful drain; a second SIGTERM forces an immediate stop.
+     Installed only when asked ([spack_serve]): the test harness runs the
+     daemon inside its own process and must not hijack process signals. *)
+  let previous = ref None in
+  if signals then
+    previous :=
+      Some
+        (Sys.signal Sys.sigterm
+           (Sys.Signal_handle
+              (fun _ ->
+                if Atomic.get st.State.draining then
+                  Atomic.set st.State.stopping true
+                else Atomic.set st.State.draining true)));
+  Fun.protect
+    ~finally:(fun () ->
+      (match !previous with
+      | Some h -> ( try Sys.set_signal Sys.sigterm h with Sys_error _ -> ())
+      | None -> ());
+      State.persist st;
+      Asp.Pool.shutdown st.State.pool)
+    (fun () ->
+      Supervisor.run ?on_ready
+        {
+          Supervisor.socket_path = cfg.socket_path;
+          workers = max 1 cfg.workers;
+          drain_grace = cfg.drain_grace;
+          wedge_timeout = cfg.wedge_timeout;
+        }
+        st)

@@ -1,52 +1,69 @@
-(** The concretization daemon: a Unix-domain-socket service in front of the
-    solver.
+(** The concretization daemon: a supervised, multi-worker Unix-domain-socket
+    service in front of the solver.
 
-    One single-threaded event loop ([select]) owns all connections and all
-    bookkeeping; solves run on an {!Asp.Pool} of worker domains and are
-    polled, never awaited.  Per request the loop:
+    Architecture (PR 7): a {!Supervisor} accepts connections and shards
+    them round-robin across [workers] {!Worker} event-loop domains; every
+    worker operates on one shared {!State} — solve cache, ground-program
+    substrate, single-flight {!Scheduler} over a pool of [jobs] solver
+    domains, and the installed database (an atomic snapshot swapped
+    wholesale on install).  Workers are crash domains: an escaped
+    exception kills one worker, the supervisor restarts it and closes the
+    connections it leaked; other clients never notice.  Wedged workers
+    (stalled heartbeat) are quarantined and replaced.
 
-    + parses the newline-delimited JSON request ({!Protocol});
-    + derives the content-addressed key ({!Concretize.Concretizer.request_key})
-      and answers cache hits immediately ([cache = "hit"], the stored result
-      verbatim — cost vector and [verified] flag intact);
-    + otherwise admits the solve through {!Scheduler} (single-flight dedup,
-      typed [Overloaded] shed) under a budget whose wall-clock limit derives
-      from the request's arrival deadline;
-    + on completion stores proven-optimal results in the cache and writes
-      the reply — unless the client has disconnected, which abandoned the
-      ticket and cancelled the solve.
+    Robustness features on the request path:
 
-    Solves share a {!Concretize.Substrate}: the request-independent part of
-    each grounding (the name-skeleton base) is ground once, frozen, and
-    every request extends it with only its own constraint facts — the
-    [stats] reply's ["substrate"] section counts base builds, extensions,
-    narrowed invalidations (install deltas rebased onto a base) and full
-    invalidations (bases dropped).
-
-    [install] concretizes, then records the winning DAG into a {e fresh}
-    database value (copy + extend) and atomically swaps it in: in-flight
-    solves keep reading the old immutable snapshot.  Invalidation is
-    {e narrowed}: cache keys digest only the reuse-visible slice of the
-    database ({!Concretize.Facts.reuse_digest}), so an install changes the
-    keys — and the substrate rebases the bases — only of requests whose
-    package closure can observe the new records; every other cached answer
-    and frozen base survives. *)
+    - {b end-to-end deadlines}: the per-request wall budget (the tighter
+      of [timeout] and the client's own [timeout] field) is fixed at
+      {e enqueue}; time spent queued counts, and a job starting past its
+      deadline is shed with a typed [Interrupted]/[Deadline] result
+      instead of being solved;
+    - {b admission control}: beyond the scheduler's [max_pending] shed, a
+      per-client token bucket ([client_rate]/[client_burst], 0 = off)
+      refuses a greedy client's excess with a typed [Overloaded] reply
+      while other clients keep solving;
+    - {b crash-safe installs}: installs flow through a write-ahead
+      {!Journal} (intent fsynced before any state changes, commit marker
+      after the database file is atomically published); a daemon killed
+      mid-install recovers on restart via {!State.recover};
+    - {b graceful drain}: a [shutdown] request (or SIGTERM with
+      [~signals:true]) stops accepting, lets in-flight work finish within
+      [drain_grace], persists the database and returns. *)
 
 type config = {
   socket_path : string;
   repo : Pkg.Repo.t;
   solver : Asp.Config.t;  (** preset/strategy/verify; limits are ignored —
                               [timeout] governs *)
-  db : Pkg.Database.t;  (** initial installed database *)
+  db : Pkg.Database.t;  (** initial installed database (post-recovery) *)
   db_path : string option;  (** persist the database here after installs *)
+  journal_path : string option;  (** write-ahead install journal *)
   cache : Cache.t;
-  jobs : int;  (** worker domains (at least 1) *)
+  workers : int;  (** connection-handling event-loop domains (at least 1) *)
+  jobs : int;  (** solver domains (at least 1) *)
   max_pending : int;  (** distinct in-flight solves before shedding *)
-  timeout : float option;  (** per-request wall-clock deadline, seconds *)
+  timeout : float option;  (** per-request deadline, seconds, from enqueue *)
+  client_rate : float;  (** per-client sustained solves/second; 0 = off *)
+  client_burst : float;  (** per-client token-bucket capacity *)
+  drain_grace : float;  (** seconds granted to in-flight work on drain *)
+  wedge_timeout : float;  (** worker heartbeat stall before quarantine; 0 = off *)
+  crash : (State.crash_point * (unit -> unit)) option;
+      (** test seam: simulate a crash at an install crash point *)
 }
 
-val serve : ?on_ready:(unit -> unit) -> config -> unit
-(** Bind, listen and run until a [shutdown] request.  [on_ready] fires once
-    the socket accepts connections (tests synchronize on it).  A stale
-    socket file at [socket_path] is replaced.  Returns after every worker
-    domain joined and the socket file was removed. *)
+val default_config :
+  socket_path:string -> repo:Pkg.Repo.t -> db:Pkg.Database.t -> config
+(** A config with production-shaped defaults (2 workers, 1 solver domain,
+    [max_pending] 8, no timeout, token bucket off, 5 s drain grace, 10 s
+    wedge timeout, memory-only cache, no persistence). *)
+
+val serve :
+  ?on_ready:(unit -> unit) -> ?signals:bool -> ?replayed:int -> config -> unit
+(** [replayed] seeds the stats counter of journal intents re-applied by the
+    startup {!State.recover} pass (informational).
+    Bind, listen and run until a [shutdown] request drains the service (or
+    SIGTERM does, when [signals] is true — a second SIGTERM forces an
+    immediate stop).  [on_ready] fires once the socket accepts
+    connections.  A stale socket file at [socket_path] is replaced.
+    Returns after every worker and solver domain joined, the database was
+    persisted and the socket file removed. *)

@@ -1,0 +1,253 @@
+(* File format (append-only, line-oriented):
+
+     spack-install-journal v1
+     I <seq> <digest> <concrete spec as one JSON line>     (intent)
+     C <seq> <digest>                                      (commit)
+
+   Fields are tab-separated; the JSON payload never contains a raw tab or
+   newline (Json escapes control characters).  Each line carries its own
+   digest, so replay can tell a complete entry from a torn tail: the first
+   line that fails to parse or verify ends the readable prefix, and
+   recovery truncates the file there — a crash mid-append never poisons
+   the entries before it.
+
+   An intent is appended and fsynced *before* the install touches the
+   database; the commit marker lands after the new database file was
+   atomically published.  Replay therefore re-applies every intent it
+   finds (committed or not): [Pkg.Database.add_record] is idempotent on
+   the DAG hash, so re-applying a committed install is a no-op and an
+   uncommitted one completes the interrupted install. *)
+
+let format_header = "spack-install-journal v1"
+
+type entry = {
+  seq : int;
+  spec : Specs.Spec.concrete;
+  committed : bool;
+}
+
+type t = {
+  path : string;
+  mutex : Mutex.t;
+  mutable fd : Unix.file_descr option;
+  mutable next_seq : int;
+}
+
+type replay = {
+  entries : entry list;
+  truncated : bool;  (** a torn or corrupt tail was dropped *)
+  rotated : bool;  (** a stale-format file was moved aside *)
+}
+
+(* ---- line codec --------------------------------------------------- *)
+
+let intent_digest seq payload =
+  Specs.Spec.digest_strings [ "I"; string_of_int seq; payload ]
+
+let commit_digest seq = Specs.Spec.digest_strings [ "C"; string_of_int seq ]
+
+let intent_line seq payload =
+  String.concat "\t" [ "I"; string_of_int seq; intent_digest seq payload; payload ]
+
+let commit_line seq =
+  String.concat "\t" [ "C"; string_of_int seq; commit_digest seq ]
+
+(* The payload is the remainder after the third tab: JSON may contain
+   escaped but never raw tabs, so three splits are enough. *)
+let parse_line line =
+  match String.index_opt line '\t' with
+  | None -> None
+  | Some t1 -> (
+    let kind = String.sub line 0 t1 in
+    let rest = String.sub line (t1 + 1) (String.length line - t1 - 1) in
+    match kind with
+    | "C" -> (
+      match String.split_on_char '\t' rest with
+      | [ seq; digest ] -> (
+        match int_of_string_opt seq with
+        | Some s when String.equal digest (commit_digest s) -> Some (`Commit s)
+        | _ -> None)
+      | _ -> None)
+    | "I" -> (
+      match String.index_opt rest '\t' with
+      | None -> None
+      | Some t2 -> (
+        let seq = String.sub rest 0 t2 in
+        let rest = String.sub rest (t2 + 1) (String.length rest - t2 - 1) in
+        match String.index_opt rest '\t' with
+        | None -> None
+        | Some t3 -> (
+          let digest = String.sub rest 0 t3 in
+          let payload = String.sub rest (t3 + 1) (String.length rest - t3 - 1) in
+          match int_of_string_opt seq with
+          | Some s when String.equal digest (intent_digest s payload) -> (
+            match Json.of_string payload with
+            | Error _ -> None
+            | Ok j -> (
+              match Codec.concrete_of_json j with
+              | Some spec -> Some (`Intent (s, spec))
+              | None -> None))
+          | _ -> None)))
+    | _ -> None)
+
+(* ---- replay ------------------------------------------------------- *)
+
+(* Read the longest valid prefix: the header, then entries until the first
+   line that fails to parse or verify.  [good_bytes] is where that prefix
+   ends, so recovery can truncate a torn tail in place. *)
+let scan path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let read_line () = try Some (input_line ic) with End_of_file -> None in
+        match read_line () with
+        | Some h when String.equal h format_header ->
+          let good = ref (pos_in ic) in
+          let items = ref [] in
+          let torn = ref false in
+          let rec go () =
+            match read_line () with
+            | None -> ()
+            | Some line -> (
+              (* a line not terminated by '\n' (the file ends inside it) is
+                 torn even if its digest happens to verify *)
+              let complete =
+                let p = pos_in ic in
+                seek_in ic (p - 1);
+                let last = input_char ic in
+                seek_in ic p;
+                last = '\n'
+              in
+              match parse_line line with
+              | Some item when complete ->
+                items := item :: !items;
+                good := pos_in ic;
+                go ()
+              | _ -> torn := true)
+          in
+          go ();
+          Some (`Current (List.rev !items, !good, !torn))
+        | Some _ -> Some `Stale
+        | None -> Some `Empty)
+
+let entries_of_items items =
+  let committed = Hashtbl.create 16 in
+  List.iter
+    (function `Commit s -> Hashtbl.replace committed s () | `Intent _ -> ())
+    items;
+  List.filter_map
+    (function
+      | `Intent (seq, spec) ->
+        Some { seq; spec; committed = Hashtbl.mem committed seq }
+      | `Commit _ -> None)
+    items
+
+let replay path =
+  if not (Sys.file_exists path) then
+    { entries = []; truncated = false; rotated = false }
+  else begin
+    match scan path with
+    | None | Some `Empty -> { entries = []; truncated = false; rotated = false }
+    | Some `Stale ->
+      (* a foreign or stale-format file is preserved for inspection, never
+         misparsed: move it aside and start fresh *)
+      (try Sys.rename path (path ^ ".stale") with Sys_error _ -> ());
+      { entries = []; truncated = false; rotated = true }
+    | Some (`Current (items, good_bytes, torn)) ->
+      if torn then begin
+        (* truncate the torn tail in place so later appends extend a
+           well-formed file *)
+        match Unix.openfile path [ Unix.O_WRONLY ] 0o644 with
+        | exception Unix.Unix_error _ -> ()
+        | fd ->
+          (try Unix.ftruncate fd good_bytes with Unix.Unix_error _ -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ())
+      end;
+      { entries = entries_of_items items; truncated = torn; rotated = false }
+  end
+
+(* ---- appending ---------------------------------------------------- *)
+
+let open_ path =
+  let next_seq =
+    match scan path with
+    | Some (`Current (items, _, _)) ->
+      List.fold_left
+        (fun acc -> function
+          | `Intent (s, _) | `Commit s -> max acc (s + 1))
+        1 items
+    | _ -> 1
+  in
+  { path; mutex = Mutex.create (); fd = None; next_seq }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Call with the lock held. *)
+let ensure_fd t =
+  match t.fd with
+  | Some fd -> fd
+  | None ->
+    let fresh = not (Sys.file_exists t.path) in
+    let fd =
+      Unix.openfile t.path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+    in
+    if fresh || (Unix.fstat fd).Unix.st_size = 0 then begin
+      let h = format_header ^ "\n" in
+      ignore (Unix.write_substring fd h 0 (String.length h))
+    end;
+    t.fd <- Some fd;
+    fd
+
+let write_line t line =
+  let fd = ensure_fd t in
+  let data = line ^ "\n" in
+  if Asp.Fault.service_fires Asp.Fault.Journal_tear then begin
+    (* a torn write: half the bytes reach the disk, no fsync — exactly what
+       a crash mid-append leaves behind *)
+    let half = String.length data / 2 in
+    ignore (Unix.write_substring fd data 0 half)
+  end
+  else begin
+    ignore (Unix.write_substring fd data 0 (String.length data));
+    (try Unix.fsync fd with Unix.Unix_error _ -> ())
+  end
+
+let append_intent t spec =
+  with_lock t (fun () ->
+      let seq = t.next_seq in
+      t.next_seq <- seq + 1;
+      let payload = Json.to_string (Codec.concrete_to_json spec) in
+      write_line t (intent_line seq payload);
+      seq)
+
+let append_commit t seq = with_lock t (fun () -> write_line t (commit_line seq))
+
+let reset t =
+  with_lock t (fun () ->
+      (match t.fd with
+      | Some fd ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        t.fd <- None
+      | None -> ());
+      let fd =
+        Unix.openfile t.path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+      in
+      let h = format_header ^ "\n" in
+      ignore (Unix.write_substring fd h 0 (String.length h));
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      t.fd <- Some fd;
+      t.next_seq <- 1)
+
+let close t =
+  with_lock t (fun () ->
+      match t.fd with
+      | Some fd ->
+        (try Unix.fsync fd with Unix.Unix_error _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        t.fd <- None
+      | None -> ())

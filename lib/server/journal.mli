@@ -1,0 +1,54 @@
+(** Write-ahead install journal: crash safety for the daemon's installed
+    database.
+
+    An install appends an {e intent} (the full concrete DAG, one
+    self-digested line, fsynced) before touching any other state, and a
+    {e commit} marker after the new database file was atomically
+    published.  A daemon killed at any instant — even mid-append — leaves
+    a journal whose readable prefix is intact: {!replay} parses entries
+    until the first line that fails its digest, truncates the torn tail in
+    place, and hands back every intent so startup recovery can re-apply
+    them ([Pkg.Database.add_record] is idempotent on the DAG hash, so
+    replaying committed entries is harmless and replaying uncommitted ones
+    completes the interrupted install).
+
+    Files from a stale or foreign format version are rotated to
+    [<path>.stale], never misparsed.
+
+    All appends are serialized under an internal mutex; the fault point
+    {!Asp.Fault.Journal_tear} makes the next append write only half its
+    entry (a simulated crash mid-write). *)
+
+type t
+
+type entry = {
+  seq : int;
+  spec : Specs.Spec.concrete;
+  committed : bool;  (** the commit marker for this intent was found *)
+}
+
+type replay = {
+  entries : entry list;  (** intents in append order *)
+  truncated : bool;  (** a torn or corrupt tail was dropped (and truncated) *)
+  rotated : bool;  (** a stale-format file was moved to [<path>.stale] *)
+}
+
+val open_ : string -> t
+(** Open (or create lazily on first append) the journal at [path],
+    resuming the sequence counter after any existing entries. *)
+
+val replay : string -> replay
+(** Read the journal's valid prefix.  Missing file = no entries.  Also
+    repairs the file: torn tails are truncated, stale formats rotated. *)
+
+val append_intent : t -> Specs.Spec.concrete -> int
+(** Append and fsync an intent; returns its sequence number. *)
+
+val append_commit : t -> int -> unit
+(** Append the commit marker for a previously appended intent. *)
+
+val reset : t -> unit
+(** Truncate to an empty journal (every entry is known durable in the
+    database file) — startup recovery calls this after persisting. *)
+
+val close : t -> unit

@@ -1,22 +1,39 @@
+(* [timeout] is the client's own end-to-end deadline in seconds, measured
+   from the moment the daemon dequeues the request line: the effective
+   deadline is the tighter of this and the server-side default, computed at
+   enqueue — time spent queued behind other solves counts against it. *)
 type request =
-  | Solve of string
-  | Solve_many of string list
-  | Install of string
+  | Solve of { spec : string; timeout : float option }
+  | Solve_many of { specs : string list; timeout : float option }
+  | Install of { spec : string; timeout : float option }
   | Stats
   | Shutdown
 
+let solve ?timeout spec = Solve { spec; timeout }
+let solve_many ?timeout specs = Solve_many { specs; timeout }
+let install ?timeout spec = Install { spec; timeout }
+
 let ( let* ) o f = match o with Some v -> f v | None -> None
+
+let timeout_field = function
+  | None -> []
+  | Some t -> [ ("timeout", Json.Float t) ]
 
 let request_to_json ?(id = 0) req =
   let fields =
     match req with
-    | Solve spec -> [ ("op", Json.Str "solve"); ("spec", Json.Str spec) ]
-    | Solve_many specs ->
+    | Solve { spec; timeout } ->
+      [ ("op", Json.Str "solve"); ("spec", Json.Str spec) ]
+      @ timeout_field timeout
+    | Solve_many { specs; timeout } ->
       [
         ("op", Json.Str "solve_many");
         ("specs", Json.List (List.map (fun s -> Json.Str s) specs));
       ]
-    | Install spec -> [ ("op", Json.Str "install"); ("spec", Json.Str spec) ]
+      @ timeout_field timeout
+    | Install { spec; timeout } ->
+      [ ("op", Json.Str "install"); ("spec", Json.Str spec) ]
+      @ timeout_field timeout
     | Stats -> [ ("op", Json.Str "stats") ]
     | Shutdown -> [ ("op", Json.Str "shutdown") ]
   in
@@ -24,8 +41,15 @@ let request_to_json ?(id = 0) req =
 
 let id_of j = match Json.member "id" j with Some (Json.Int i) -> i | _ -> 0
 
+let timeout_of j =
+  match Json.member "timeout" j with
+  | Some (Json.Float t) when t > 0. -> Some t
+  | Some (Json.Int t) when t > 0 -> Some (float_of_int t)
+  | _ -> None
+
 let request_of_json j =
   let id = id_of j in
+  let timeout = timeout_of j in
   let decoded =
     let* op = Json.member "op" j in
     let* op = Json.to_str op in
@@ -33,7 +57,7 @@ let request_of_json j =
     | "solve" ->
       let* spec = Json.member "spec" j in
       let* spec = Json.to_str spec in
-      Some (Solve spec)
+      Some (Solve { spec; timeout })
     | "solve_many" ->
       let* specs = Json.member "specs" j in
       let* specs = Json.to_list specs in
@@ -43,11 +67,11 @@ let request_of_json j =
         | _ -> None
       in
       let* specs = strs [] specs in
-      Some (Solve_many specs)
+      Some (Solve_many { specs; timeout })
     | "install" ->
       let* spec = Json.member "spec" j in
       let* spec = Json.to_str spec in
-      Some (Install spec)
+      Some (Install { spec; timeout })
     | "stats" -> Some Stats
     | "shutdown" -> Some Shutdown
     | _ -> None

@@ -11,11 +11,19 @@
     untrusted). *)
 
 type request =
-  | Solve of string  (** abstract spec text, e.g. ["hdf5 +mpi ^mpich"] *)
-  | Solve_many of string list
-  | Install of string  (** concretize, then record the DAG as installed *)
+  | Solve of { spec : string; timeout : float option }
+      (** abstract spec text, e.g. ["hdf5 +mpi ^mpich"]; [timeout] is the
+          client's own end-to-end deadline in seconds — the daemon enforces
+          the tighter of this and its [--timeout], measured from enqueue *)
+  | Solve_many of { specs : string list; timeout : float option }
+  | Install of { spec : string; timeout : float option }
+      (** concretize, then record the DAG as installed *)
   | Stats
   | Shutdown
+
+val solve : ?timeout:float -> string -> request
+val solve_many : ?timeout:float -> string list -> request
+val install : ?timeout:float -> string -> request
 
 val request_to_json : ?id:int -> request -> Json.t
 val request_of_json : Json.t -> (int * request, string) result

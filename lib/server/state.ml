@@ -1,0 +1,298 @@
+module C = Concretize.Concretizer
+
+type crash_point = After_intent | After_save
+
+type config = {
+  repo : Pkg.Repo.t;
+  solver : Asp.Config.t;
+  cache : Cache.t;
+  db : Pkg.Database.t;
+  db_path : string option;
+  journal : Journal.t option;
+  timeout : float option;
+  client_rate : float;
+  client_burst : float;
+  max_pending : int;
+  crash : (crash_point * (unit -> unit)) option;
+}
+
+type t = {
+  cfg : config;
+  sched : C.result Scheduler.t;
+  pool : Asp.Pool.t;
+  substrate : Concretize.Substrate.t;
+  db : Pkg.Database.t Atomic.t;
+  install_mutex : Mutex.t;
+  started : float;
+  (* counters shared by every worker domain and the supervisor *)
+  n_connections : int Atomic.t;
+  n_requests : int Atomic.t;
+  n_installs : int Atomic.t;
+  n_expired : int Atomic.t;
+  n_throttled : int Atomic.t;
+  n_replayed : int Atomic.t;
+  n_restarts : int Atomic.t;
+  n_wedged : int Atomic.t;
+  (* lifecycle: [draining] stops admission of new connections/requests,
+     [stopping] makes every loop exit now *)
+  draining : bool Atomic.t;
+  stopping : bool Atomic.t;
+}
+
+let create ~jobs cfg =
+  let pool = Asp.Pool.create ~domains:(max 1 jobs) in
+  {
+    cfg;
+    sched = Scheduler.create ~pool ~max_pending:cfg.max_pending;
+    pool;
+    substrate = Concretize.Substrate.create ();
+    db = Atomic.make cfg.db;
+    install_mutex = Mutex.create ();
+    started = Unix.gettimeofday ();
+    n_connections = Atomic.make 0;
+    n_requests = Atomic.make 0;
+    n_installs = Atomic.make 0;
+    n_expired = Atomic.make 0;
+    n_throttled = Atomic.make 0;
+    n_replayed = Atomic.make 0;
+    n_restarts = Atomic.make 0;
+    n_wedged = Atomic.make 0;
+    draining = Atomic.make false;
+    stopping = Atomic.make false;
+  }
+
+let db t = Atomic.get t.db
+
+(* ------------------------------------------------------------------ *)
+(* Startup recovery                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type recovery = {
+  db0 : Pkg.Database.t;
+  replayed : int;  (** journal intents re-applied (committed or not) *)
+  uncommitted : int;  (** subset that never reached their commit marker *)
+  truncated : bool;  (** a torn journal tail was dropped *)
+  rotated : bool;  (** a stale-format journal was moved aside *)
+}
+
+(* Load the database, then re-apply every journal intent: appends are
+   idempotent on the DAG hash, so committed entries are no-ops and an
+   uncommitted entry completes the install the crash interrupted.  When
+   anything was replayed, the repaired database is persisted and the
+   journal reset — recovery itself is crash-safe (dying between the save
+   and the reset just replays again). *)
+let recover ?db_path ?journal_path () =
+  let db0 =
+    match db_path with
+    | Some p when Sys.file_exists p -> (
+      match Pkg.Database.load p with
+      | Ok db -> db
+      | Error e ->
+        failwith
+          (Printf.sprintf "%s: %s" p (Pkg.Database.load_error_to_string e)))
+    | _ -> Pkg.Database.create ()
+  in
+  match journal_path with
+  | None -> { db0; replayed = 0; uncommitted = 0; truncated = false; rotated = false }
+  | Some jp ->
+    let r = Journal.replay jp in
+    let uncommitted =
+      List.length (List.filter (fun (e : Journal.entry) -> not e.Journal.committed) r.Journal.entries)
+    in
+    List.iter
+      (fun (e : Journal.entry) -> Pkg.Database.add_concrete db0 e.Journal.spec)
+      r.Journal.entries;
+    if r.Journal.entries <> [] then begin
+      Option.iter (Pkg.Database.save db0) db_path;
+      Journal.reset (Journal.open_ jp)
+    end;
+    {
+      db0;
+      replayed = List.length r.Journal.entries;
+      uncommitted;
+      truncated = r.Journal.truncated;
+      rotated = r.Journal.rotated;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Solve jobs                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let request_key t root =
+  C.request_key ~config:t.cfg.solver ~installed:(db t) ~repo:t.cfg.repo [ root ]
+
+let zero_phases =
+  {
+    C.setup_time = 0.;
+    load_time = 0.;
+    ground_time = 0.;
+    ground_base_time = 0.;
+    ground_extend_time = 0.;
+    solve_time = 0.;
+  }
+
+let expired_result =
+  C.Interrupted
+    {
+      info =
+        {
+          Asp.Budget.phase = Asp.Budget.Ground;
+          reason = Asp.Budget.Deadline;
+          progress = { Asp.Budget.conflicts = 0; instances = 0; opt_steps = 0 };
+        };
+      phases = zero_phases;
+      n_facts = 0;
+      n_possible = 0;
+    }
+
+(* The deadline is absolute and was fixed at enqueue: a job that reaches
+   the front of the queue after its deadline passed is shed (a typed
+   deadline result, no solver work) instead of being solved with a
+   token-sized leftover budget. *)
+let make_job t ~deadline root =
+  let installed = db t in
+  fun ~cancel ->
+    let expired =
+      match deadline with
+      | Some d -> Unix.gettimeofday () >= d
+      | None -> false
+    in
+    if expired then begin
+      Atomic.incr t.n_expired;
+      expired_result
+    end
+    else begin
+      let wall = Option.map (fun d -> d -. Unix.gettimeofday ()) deadline in
+      let budget =
+        Asp.Budget.start ~cancel { Asp.Budget.no_limits with Asp.Budget.wall }
+      in
+      C.solve ~config:t.cfg.solver ~installed ~budget ~substrate:t.substrate
+        ~repo:t.cfg.repo [ root ]
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Installs: write-ahead journal, copy-on-swap database               *)
+(* ------------------------------------------------------------------ *)
+
+let crash_maybe t point =
+  match t.cfg.crash with
+  | Some (p, action) when p = point -> action ()
+  | _ -> ()
+
+(* Copy-and-extend, never mutate: worker domains may still be reading the
+   current database value, so installs build a fresh one and swap it in.
+   Ordering is what makes a kill -9 at any instant recoverable:
+     1. journal intent (fsync)     — the install survives the crash;
+     2. fresh db built and swapped — in-memory view consistent;
+     3. db file saved (atomic rename);
+     4. journal commit marker      — replay becomes a no-op.
+   Crashing between 1 and 3 replays the intent onto the old db file;
+   between 3 and 4 replays it onto the new one (idempotent). *)
+let record_install t (s : C.success) =
+  Mutex.lock t.install_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.install_mutex)
+    (fun () ->
+      let old = Atomic.get t.db in
+      let seq = Option.map (fun j -> Journal.append_intent j s.C.spec) t.cfg.journal in
+      crash_maybe t After_intent;
+      let db = Pkg.Database.create () in
+      List.iter (Pkg.Database.add_record db) (Pkg.Database.records old);
+      Pkg.Database.add_concrete db s.C.spec;
+      let fresh =
+        List.filter_map
+          (fun (r : Pkg.Database.record) ->
+            match Pkg.Database.find old r.Pkg.Database.hash with
+            | Some _ -> None
+            | None -> Some (r.Pkg.Database.name, r.Pkg.Database.hash))
+          (Pkg.Database.records db)
+      in
+      Atomic.set t.db db;
+      (* rebase the substrate's ground bases over the install delta instead
+         of discarding them *)
+      Concretize.Substrate.on_install t.substrate ~repo:t.cfg.repo ~db;
+      Atomic.incr t.n_installs;
+      Option.iter (Pkg.Database.save db) t.cfg.db_path;
+      crash_maybe t After_save;
+      (match (t.cfg.journal, seq) with
+      | Some j, Some seq -> Journal.append_commit j seq
+      | _ -> ());
+      fresh)
+
+(* ------------------------------------------------------------------ *)
+(* Shutdown persistence                                                *)
+(* ------------------------------------------------------------------ *)
+
+let persist t =
+  Mutex.lock t.install_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.install_mutex)
+    (fun () ->
+      Option.iter (Pkg.Database.save (Atomic.get t.db)) t.cfg.db_path;
+      Option.iter Journal.close t.cfg.journal)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let stats_json ?(workers = 0) t =
+  let c = Cache.stats t.cfg.cache in
+  let s = Scheduler.stats t.sched in
+  let sub = Concretize.Substrate.counters t.substrate in
+  let current_db = db t in
+  Json.Obj
+    [
+      ( "cache",
+        Json.Obj
+          [
+            ("hits", Json.Int c.Cache.hits);
+            ("misses", Json.Int c.Cache.misses);
+            ("evictions", Json.Int c.Cache.evictions);
+            ("stores", Json.Int c.Cache.stores);
+            ("mem_entries", Json.Int c.Cache.mem_entries);
+            ("disk_hits", Json.Int c.Cache.disk_hits);
+          ] );
+      ( "substrate",
+        Json.Obj
+          [
+            ("entries", Json.Int (Concretize.Substrate.size t.substrate));
+            ("base_builds", Json.Int sub.Concretize.Substrate.base_builds);
+            ("extensions", Json.Int sub.Concretize.Substrate.extensions);
+            ( "narrowed_invalidations",
+              Json.Int sub.Concretize.Substrate.delta_applies );
+            ("full_invalidations", Json.Int sub.Concretize.Substrate.drops);
+            ("fallbacks", Json.Int sub.Concretize.Substrate.fallbacks);
+            ("evictions", Json.Int sub.Concretize.Substrate.evictions);
+          ] );
+      ( "scheduler",
+        Json.Obj
+          [
+            ("submitted", Json.Int s.Scheduler.submitted);
+            ("deduped", Json.Int s.Scheduler.deduped);
+            ("shed", Json.Int s.Scheduler.shed);
+            ("cancelled", Json.Int s.Scheduler.cancelled);
+            ("completed", Json.Int s.Scheduler.completed);
+            ("pending", Json.Int s.Scheduler.pending);
+          ] );
+      ( "supervisor",
+        Json.Obj
+          [
+            ("workers", Json.Int workers);
+            ("restarts", Json.Int (Atomic.get t.n_restarts));
+            ("wedged", Json.Int (Atomic.get t.n_wedged));
+          ] );
+      ( "server",
+        Json.Obj
+          [
+            ("uptime", Json.Float (Unix.gettimeofday () -. t.started));
+            ("connections", Json.Int (Atomic.get t.n_connections));
+            ("requests", Json.Int (Atomic.get t.n_requests));
+            ("installs", Json.Int (Atomic.get t.n_installs));
+            ("expired", Json.Int (Atomic.get t.n_expired));
+            ("throttled", Json.Int (Atomic.get t.n_throttled));
+            ("replayed", Json.Int (Atomic.get t.n_replayed));
+            ("draining", Json.Bool (Atomic.get t.draining));
+            ("db_size", Json.Int (Pkg.Database.size current_db));
+            ("db_fingerprint", Json.Str (Pkg.Database.fingerprint current_db));
+          ] );
+    ]

@@ -1,0 +1,150 @@
+type config = {
+  socket_path : string;
+  workers : int;  (** connection-handling worker domains (at least 1) *)
+  drain_grace : float;  (** seconds to let in-flight work finish on drain *)
+  wedge_timeout : float;  (** heartbeat stall before quarantine; 0 = off *)
+}
+
+type slot = {
+  mutable worker : Worker.t;
+  mutable zombies : Worker.t list;
+      (* quarantined predecessors of this slot, joined at shutdown *)
+}
+
+let spawn_worker st cfg ~id =
+  Worker.start st ~id ~n_workers:cfg.workers ~drain_grace:cfg.drain_grace
+
+(* Replace a crashed or wedged worker in its slot.  A crashed worker's
+   domain is already dead: close the connections it leaked and join it.  A
+   wedged worker cannot be killed: quarantine it (it tears down whenever it
+   wakes) and keep it as a zombie to join at shutdown. *)
+let monitor st cfg slots =
+  let now = Unix.gettimeofday () in
+  Array.iteri
+    (fun id slot ->
+      let w = slot.worker in
+      match Worker.status w with
+      | Worker.Crashed _ ->
+        Worker.close_remaining w;
+        Worker.close_pipes w;
+        Worker.join w;
+        Atomic.incr st.State.n_restarts;
+        slot.worker <- spawn_worker st cfg ~id
+      | Worker.Running
+        when cfg.wedge_timeout > 0.
+             && Worker.heartbeat_age w now > cfg.wedge_timeout ->
+        Worker.quarantine w;
+        Atomic.incr st.State.n_wedged;
+        Atomic.incr st.State.n_restarts;
+        slot.zombies <- w :: slot.zombies;
+        slot.worker <- spawn_worker st cfg ~id
+      | Worker.Running | Worker.Stopped -> ())
+    slots
+
+let run ?on_ready cfg st =
+  (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+  | _ -> ()
+  | exception Invalid_argument _ -> ());
+  if Sys.file_exists cfg.socket_path then (
+    try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+  Unix.listen listen_fd 128;
+  Unix.set_nonblock listen_fd;
+  let n_workers = max 1 cfg.workers in
+  let cfg = { cfg with workers = n_workers } in
+  let slots =
+    Array.init n_workers (fun id ->
+        { worker = spawn_worker st cfg ~id; zombies = [] })
+  in
+  let rr = ref 0 in
+  let accepting = ref true in
+  let accept_all () =
+    let rec go () =
+      match Unix.accept listen_fd with
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        -> ()
+      | exception Unix.Unix_error _ -> ()
+      | fd, _ ->
+        Atomic.incr st.State.n_connections;
+        (* round-robin over healthy workers; a slot being restarted this
+           very iteration is Running again by construction *)
+        let rec pick tries =
+          let slot = slots.(!rr mod n_workers) in
+          incr rr;
+          match Worker.status slot.worker with
+          | Worker.Running -> Some slot.worker
+          | _ -> if tries <= 1 then None else pick (tries - 1)
+        in
+        (match pick n_workers with
+        | Some w -> Worker.assign w fd
+        | None -> ( try Unix.close fd with Unix.Unix_error _ -> ()));
+        go ()
+    in
+    go ()
+  in
+  Option.iter (fun f -> f ()) on_ready;
+  let drain_deadline = ref None in
+  while not (Atomic.get st.State.stopping) do
+    monitor st cfg slots;
+    if Atomic.get st.State.draining then begin
+      (* stop accepting: close the listening socket once, then wait for the
+         workers to go quiescent (bounded by the grace period) *)
+      if !accepting then begin
+        accepting := false;
+        (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+        (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ())
+      end;
+      (match !drain_deadline with
+      | None -> drain_deadline := Some (Unix.gettimeofday () +. cfg.drain_grace)
+      | Some _ -> ());
+      let all_drained =
+        Array.for_all
+          (fun slot ->
+            match Worker.status slot.worker with
+            | Worker.Running -> Worker.is_drained slot.worker
+            | Worker.Crashed _ | Worker.Stopped -> true)
+          slots
+      in
+      let grace_over =
+        match !drain_deadline with
+        | Some d -> Unix.gettimeofday () > d
+        | None -> false
+      in
+      if all_drained || grace_over then begin
+        Atomic.set st.State.stopping true;
+        Array.iter (fun slot -> Worker.wake slot.worker) slots
+      end
+      else Unix.sleepf 0.02
+    end
+    else begin
+      match Unix.select [ listen_fd ] [] [] 0.05 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error (Unix.EBADF, _, _) -> ()
+      | r, _, _ -> if r <> [] then accept_all ()
+    end
+  done;
+  Array.iter (fun slot -> Worker.wake slot.worker) slots;
+  Array.iter
+    (fun slot ->
+      (match Worker.status slot.worker with
+      | Worker.Crashed _ -> Worker.close_remaining slot.worker
+      | _ -> ());
+      Worker.join slot.worker;
+      (* a connection assigned in the instant after the worker's final
+         inbox sweep would otherwise stay open forever, leaving its client
+         blocked on a read; the domain is dead, so closing is safe *)
+      Worker.close_remaining slot.worker;
+      Worker.close_pipes slot.worker;
+      List.iter
+        (fun z ->
+          Worker.join z;
+          Worker.close_remaining z;
+          Worker.close_pipes z)
+        slot.zombies)
+    slots;
+  if !accepting then begin
+    (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+    try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ()
+  end

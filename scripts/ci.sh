@@ -7,6 +7,12 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+wait_sock() {
+  i=0
+  while [ ! -S "$1" ] && [ "$i" -lt 100 ]; do sleep 0.1; i=$((i + 1)); done
+  [ -S "$1" ]
+}
+
 echo "== dune build"
 timeout 600 dune build
 
@@ -65,6 +71,89 @@ timeout 60 dune exec bin/spack_solve.exe -- --connect "$SOCK" --remote-shutdown
 wait "$SERVE_PID"
 trap - EXIT
 rm -rf "$SMOKE_DIR"
+
+echo "== crash recovery drill (kill -9 mid-install, journal replay)"
+# Differential check: a daemon killed at each point of the write-ahead
+# install protocol, then restarted, must converge on the same installed
+# database (by content fingerprint) as a daemon that never crashed.
+SERVE=./_build/default/bin/spack_serve.exe
+SOLVE=./_build/default/bin/spack_solve.exe
+LOAD=./_build/default/bin/spack_load.exe
+DRILL_DIR=$(mktemp -d)
+trap 'rm -rf "$DRILL_DIR"' EXIT
+SOCK="$DRILL_DIR/clean.sock"
+timeout 120 "$SERVE" --socket "$SOCK" --db "$DRILL_DIR/clean.db" \
+  > "$DRILL_DIR/clean.log" 2>&1 &
+PID=$!
+wait_sock "$SOCK"
+timeout 60 "$SOLVE" --connect "$SOCK" --remote-install zlib \
+  | grep -q "installed zlib"
+CLEAN_FP=$(timeout 60 "$SOLVE" --connect "$SOCK" --remote-stats \
+  | grep -o '"db_fingerprint":"[^"]*"')
+[ -n "$CLEAN_FP" ]
+timeout 60 "$SOLVE" --connect "$SOCK" --remote-shutdown
+wait "$PID"
+for POINT in after-intent after-save; do
+  SOCK="$DRILL_DIR/$POINT.sock"
+  SPACK_SERVE_CRASH=$POINT timeout 120 "$SERVE" --socket "$SOCK" \
+    --db "$DRILL_DIR/$POINT.db" > "$DRILL_DIR/$POINT.log" 2>&1 &
+  PID=$!
+  wait_sock "$SOCK"
+  # the install request rides into the injected _exit(42); the client's
+  # transport error is expected
+  timeout 60 "$SOLVE" --connect "$SOCK" --remote-install zlib \
+    > /dev/null 2>&1 || true
+  rc=0
+  wait "$PID" || rc=$?
+  [ "$rc" -eq 42 ]
+  # restart without the crash env: journal replay reconstructs the state
+  # (_exit skipped cleanup, so drop the stale socket before waiting on it)
+  rm -f "$SOCK"
+  timeout 120 "$SERVE" --socket "$SOCK" --db "$DRILL_DIR/$POINT.db" \
+    > "$DRILL_DIR/$POINT.restart.log" 2>&1 &
+  PID=$!
+  wait_sock "$SOCK"
+  grep -q "recovered 1 journaled install(s)" "$DRILL_DIR/$POINT.restart.log"
+  FP=$(timeout 60 "$SOLVE" --connect "$SOCK" --remote-stats \
+    | grep -o '"db_fingerprint":"[^"]*"')
+  [ "$FP" = "$CLEAN_FP" ]
+  timeout 60 "$SOLVE" --connect "$SOCK" --remote-shutdown
+  wait "$PID"
+done
+
+echo "== SIGTERM drains gracefully"
+SOCK="$DRILL_DIR/drain.sock"
+timeout 120 "$SERVE" --socket "$SOCK" --drain-grace 5 \
+  > "$DRILL_DIR/drain.log" 2>&1 &
+PID=$!
+wait_sock "$SOCK"
+timeout 60 "$SOLVE" --connect "$SOCK" zlib > /dev/null
+kill -TERM "$PID"
+rc=0
+wait "$PID" || rc=$?
+[ "$rc" -eq 0 ]
+grep -q "shutdown complete" "$DRILL_DIR/drain.log"
+
+echo "== chaos load smoke (2x overload, ~10s)"
+SOCK="$DRILL_DIR/load.sock"
+timeout 120 "$SERVE" --socket "$SOCK" --repo 300 --jobs 1 --max-pending 4 \
+  > "$DRILL_DIR/load.log" 2>&1 &
+PID=$!
+wait_sock "$SOCK"
+timeout 90 "$LOAD" --socket "$SOCK" --synth 300 --chaos \
+  --clients 8 --tiers 2 --duration 5 --timeout 2 --json BENCH_serve_ci.json
+# overload must shed with a typed reply somewhere in the tier...
+grep -o '"shed":[0-9]*' BENCH_serve_ci.json | grep -qv '"shed":0'
+# ...while no worker crashed or wedged under chaos...
+grep -q '"restarts":0' BENCH_serve_ci.json
+# ...and the daemon still drains cleanly afterwards
+timeout 60 "$SOLVE" --connect "$SOCK" --remote-shutdown
+rc=0
+wait "$PID" || rc=$?
+[ "$rc" -eq 0 ]
+grep -q "shutdown complete" "$DRILL_DIR/load.log"
+rm -rf "$DRILL_DIR"
+trap - EXIT
 
 echo "== bench smoke (fig3 + fig7d --quick)"
 timeout 600 dune exec bench/main.exe -- fig3 fig7d --quick --json BENCH_ci.json

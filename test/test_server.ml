@@ -332,7 +332,8 @@ let test_scheduler_cancel () =
 (* Daemon end-to-end                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let with_daemon ?(repo = repo) ?(jobs = 2) ?(max_pending = 8) ?timeout f =
+let with_daemon ?(repo = repo) ?(workers = 2) ?(jobs = 2) ?(max_pending = 8)
+    ?timeout ?(client_rate = 0.) ?(client_burst = 8.) ?db_path ?journal_path f =
   let sock =
     Filename.concat (Filename.get_temp_dir_name ()) ("spackd-" ^ uid () ^ ".sock")
   in
@@ -342,11 +343,18 @@ let with_daemon ?(repo = repo) ?(jobs = 2) ?(max_pending = 8) ?timeout f =
       repo;
       solver = Asp.Config.default;
       db = Pkg.Database.create ();
-      db_path = None;
+      db_path;
+      journal_path;
       cache = Server.Cache.create ();
+      workers;
       jobs;
       max_pending;
       timeout;
+      client_rate;
+      client_burst;
+      drain_grace = 5.0;
+      wedge_timeout = 10.0;
+      crash = None;
     }
   in
   let ready = Atomic.make false in
@@ -392,14 +400,14 @@ let test_daemon_cold_warm () =
   with_daemon (fun sock ->
       let c = client sock in
       let cold =
-        match request c (Server.Protocol.Solve "zlib") with
+        match request c (Server.Protocol.solve "zlib") with
         | Server.Protocol.Result { cache = Server.Protocol.Miss; result } -> result
         | Server.Protocol.Result { cache = Server.Protocol.Hit; _ } ->
           Alcotest.fail "cold solve reported a hit"
         | _ -> Alcotest.fail "unexpected reply"
       in
       let warm =
-        match request c (Server.Protocol.Solve "zlib") with
+        match request c (Server.Protocol.solve "zlib") with
         | Server.Protocol.Result { cache = Server.Protocol.Hit; result } -> result
         | Server.Protocol.Result { cache = Server.Protocol.Miss; _ } ->
           Alcotest.fail "warm solve missed the cache"
@@ -423,7 +431,7 @@ let test_daemon_solve_many_single_flight () =
   with_daemon (fun sock ->
       let c = client sock in
       (match
-         request c (Server.Protocol.Solve_many [ "libiconv"; "libiconv"; "libiconv" ])
+         request c (Server.Protocol.solve_many [ "libiconv"; "libiconv"; "libiconv" ])
        with
       | Server.Protocol.Results entries ->
         Alcotest.(check int) "one result per input" 3 (List.length entries);
@@ -447,7 +455,7 @@ let test_daemon_overload () =
       let c = client sock in
       (* two distinct solves in one batch against a capacity of one: the
          second is shed, and the whole request reports Overloaded *)
-      (match request c (Server.Protocol.Solve_many [ "zlib"; "libiconv" ]) with
+      (match request c (Server.Protocol.solve_many [ "zlib"; "libiconv" ]) with
       | Server.Protocol.Error { kind = Server.Protocol.Overloaded; _ } -> ()
       | _ -> Alcotest.fail "expected a typed Overloaded reply");
       Alcotest.(check int) "shed counted" 1 (stats_int c "scheduler" "shed");
@@ -455,7 +463,7 @@ let test_daemon_overload () =
          slot, so capacity frees again once the solver unwinds *)
       let deadline = Unix.gettimeofday () +. 30.0 in
       let rec retry () =
-        match request c (Server.Protocol.Solve "zlib") with
+        match request c (Server.Protocol.solve "zlib") with
         | Server.Protocol.Result _ -> ()
         | Server.Protocol.Error { kind = Server.Protocol.Overloaded; _ } ->
           if Unix.gettimeofday () > deadline then
@@ -476,7 +484,7 @@ let test_daemon_disconnect_cancels () =
       Unix.connect fd (Unix.ADDR_UNIX sock);
       let line =
         J.to_string
-          (Server.Protocol.request_to_json (Server.Protocol.Solve "app-000"))
+          (Server.Protocol.request_to_json (Server.Protocol.solve "app-000"))
         ^ "\n"
       in
       ignore (Unix.write_substring fd line 0 (String.length line));
@@ -499,10 +507,10 @@ let test_daemon_disconnect_cancels () =
 let test_daemon_install_invalidates () =
   with_daemon (fun sock ->
       let c = client sock in
-      (match request c (Server.Protocol.Solve "zlib") with
+      (match request c (Server.Protocol.solve "zlib") with
       | Server.Protocol.Result { cache = Server.Protocol.Miss; _ } -> ()
       | _ -> Alcotest.fail "unexpected first reply");
-      (match request c (Server.Protocol.Install "zlib") with
+      (match request c (Server.Protocol.install "zlib") with
       | Server.Protocol.Installed { hashes; total; _ } ->
         Alcotest.(check bool) "records added" true (total >= 1);
         Alcotest.(check bool) "zlib recorded" true
@@ -510,7 +518,7 @@ let test_daemon_install_invalidates () =
       | _ -> Alcotest.fail "expected an install reply");
       (* the database fingerprint changed, so the old cache entry is no
          longer addressed — and the fresh solve reuses the installed DAG *)
-      (match request c (Server.Protocol.Solve "zlib") with
+      (match request c (Server.Protocol.solve "zlib") with
       | Server.Protocol.Result { cache = Server.Protocol.Miss; result = C.Concrete s }
         ->
         Alcotest.(check bool) "reuses the installed package" true (s.C.reused <> [])
@@ -524,7 +532,7 @@ let test_daemon_substrate_stats () =
   with_daemon (fun sock ->
       let c = client sock in
       let solve spec =
-        match request c (Server.Protocol.Solve spec) with
+        match request c (Server.Protocol.solve spec) with
         | Server.Protocol.Result { result = C.Concrete _; _ } -> ()
         | _ -> Alcotest.failf "solve %s failed" spec
       in
@@ -540,7 +548,7 @@ let test_daemon_substrate_stats () =
         (stats_int c "substrate" "fallbacks");
       (* an install reaches the substrate as a delta (rebase) or a drop,
          never as a silent wipe *)
-      (match request c (Server.Protocol.Install "zlib") with
+      (match request c (Server.Protocol.install "zlib") with
       | Server.Protocol.Installed _ -> ()
       | _ -> Alcotest.fail "expected an install reply");
       Alcotest.(check bool) "install rebased or dropped bases" true
@@ -552,15 +560,15 @@ let test_daemon_substrate_stats () =
 let test_daemon_bad_requests () =
   with_daemon (fun sock ->
       let c = client sock in
-      (match request c (Server.Protocol.Solve "zlib@") with
+      (match request c (Server.Protocol.solve "zlib@") with
       | Server.Protocol.Error { kind = Server.Protocol.Bad_request; _ } -> ()
       | _ -> Alcotest.fail "expected Bad_request for a malformed spec");
-      (match request c (Server.Protocol.Solve "no-such-package") with
+      (match request c (Server.Protocol.solve "no-such-package") with
       | Server.Protocol.Error { kind = Server.Protocol.Unknown_package p; _ } ->
         Alcotest.(check string) "names the package" "no-such-package" p
       | _ -> Alcotest.fail "expected Unknown_package");
       (* the connection survives bad requests *)
-      (match request c (Server.Protocol.Solve "zlib") with
+      (match request c (Server.Protocol.solve "zlib") with
       | Server.Protocol.Result _ -> ()
       | _ -> Alcotest.fail "connection unusable after errors");
       Server.Client.close c)
