@@ -17,6 +17,15 @@
 let quick = ref false
 let json_file : string option ref = ref None
 
+(* --e4s-target N: how many installed specs the full-scale fig7e-g
+   experiment grows its buildcache to (the paper's E4S cache holds 63,099) *)
+let e4s_target = ref 63099
+
+(* Scalar results (factgen p50s, cache sizes, RSS highs) surfaced to the
+   JSON dump so CI can assert on them without scraping stdout. *)
+let metrics : (string * float) list ref = ref []
+let metric k v = metrics := (k, v) :: !metrics
+
 (* --jobs N: concretize each experiment's batch of solves across a domain
    pool ({!Concretize.Concretizer.solve_many}).  [pool] is set once in main
    and shared by every experiment. *)
@@ -127,7 +136,10 @@ let table2 () =
 
 let reuse_cache roots =
   let db = Pkg.Database.create () in
-  Pkg.Buildcache_gen.populate ~repo ~combos:Pkg.Buildcache_gen.default_combos ~roots db;
+  ignore
+    (Pkg.Buildcache_gen.populate ~repo ~combos:Pkg.Buildcache_gen.default_combos
+       ~roots db
+      : Pkg.Buildcache_gen.stats);
   db
 
 let fig6 () =
@@ -199,6 +211,7 @@ type row = {
   outcome : string;  (* "optimal" | "degraded" | "interrupted" *)
   verified : bool;  (* independent model verification passed *)
   cache : string;  (* "hit" | "miss" (caching on) | "off" (no cache) *)
+  peak_rss_mb : float;  (* process high-water RSS when the row was made *)
 }
 
 (* Every solve performed by any experiment is recorded here, tagged with the
@@ -206,7 +219,7 @@ type row = {
 let current_experiment = ref ""
 let recorded_rows : (string * row) list ref = ref []
 
-let solve_rows ?config ?installed ?cache ?substrate names =
+let solve_rows ?config ?installed ?cache ?substrate ?(repo = repo) names =
   (* With a cache, label each row before its solve: a key already present is
      a [hit] (served without solving), anything else a [miss] that the solve
      below will populate.  Status is computed against the cache state at
@@ -243,6 +256,7 @@ let solve_rows ?config ?installed ?cache ?substrate names =
             | `Degraded _ -> "degraded");
           verified = s.Concretize.Concretizer.verified;
           cache = status;
+          peak_rss_mb = Rss.peak_mb ();
         }
     | Concretize.Concretizer.Interrupted { phases = p; n_possible; _ } ->
       (* only reachable when a budget is configured; keep the row so
@@ -261,6 +275,7 @@ let solve_rows ?config ?installed ?cache ?substrate names =
           outcome = "interrupted";
           verified = false;
           cache = status;
+          peak_rss_mb = Rss.peak_mb ();
         }
     | Concretize.Concretizer.Unsatisfiable _ -> None
   in
@@ -318,6 +333,28 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* Per-experiment digests: spread (p50/p99) of full solve times plus the
+   process RSS high-water observed across the experiment's rows. *)
+let summaries rows =
+  let tbl : (string, row list ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (exp, r) ->
+      match Hashtbl.find_opt tbl exp with
+      | Some l -> l := r :: !l
+      | None ->
+        Hashtbl.add tbl exp (ref [ r ]);
+        order := exp :: !order)
+    rows;
+  List.rev_map
+    (fun exp ->
+      let rs = !(Hashtbl.find tbl exp) in
+      let a = Array.of_list (List.map (fun r -> r.total_t) rs) in
+      Array.sort Float.compare a;
+      let rss = List.fold_left (fun m r -> Float.max m r.peak_rss_mb) 0. rs in
+      (exp, List.length rs, percentile a 0.50, percentile a 0.99, rss))
+    !order
+
 let write_json path =
   let oc = open_out path in
   output_string oc "{\n  \"quick\": ";
@@ -331,7 +368,7 @@ let write_json path =
          \"ground_s\": %.6f, \"ground_base_s\": %.6f, \"ground_extend_s\": %.6f, \
          \"substrate\": \"%s\", \"solve_s\": %.6f, \"total_s\": %.6f, \
          \"wall_s\": %.6f, \"jobs\": %d, \"outcome\": \"%s\", \"verified\": %b, \
-         \"cache\": \"%s\"}%s\n"
+         \"cache\": \"%s\", \"peak_rss_mb\": %.1f}%s\n"
         (json_escape exp) (json_escape r.pkg) r.possible r.ground_t r.ground_base_t
         r.ground_extend_t
         (if r.ground_base_t > 0. then "cold"
@@ -339,9 +376,28 @@ let write_json path =
          else "off")
         r.solve_t r.total_t
         r.wall_t r.jobs (json_escape r.outcome) r.verified (json_escape r.cache)
+        r.peak_rss_mb
         (if i = List.length rows - 1 then "" else ","))
     rows;
-  output_string oc "  ]\n}\n";
+  output_string oc "  ],\n  \"summaries\": [\n";
+  let sums = summaries rows in
+  List.iteri
+    (fun i (exp, n, p50, p99, rss) ->
+      Printf.fprintf oc
+        "    {\"experiment\": \"%s\", \"n\": %d, \"p50_total_s\": %.6f, \
+         \"p99_total_s\": %.6f, \"peak_rss_mb\": %.1f}%s\n"
+        (json_escape exp) n p50 p99 rss
+        (if i = List.length sums - 1 then "" else ","))
+    sums;
+  output_string oc "  ],\n  \"metrics\": {\n";
+  let ms = List.rev !metrics in
+  List.iteri
+    (fun i (k, v) ->
+      Printf.fprintf oc "    \"%s\": %.6f%s\n" (json_escape k) v
+        (if i = List.length ms - 1 then "" else ","))
+    ms;
+  output_string oc "  },\n";
+  Printf.fprintf oc "  \"peak_rss_mb\": %.1f\n}\n" (Rss.peak_mb ());
   close_out oc;
   Printf.printf "wrote %d timing rows to %s\n" (List.length rows) path
 
@@ -472,8 +528,10 @@ let fig7efg () =
   section "Fig. 7e-g: solve times of E4S roots with increasing buildcache";
   let db = Pkg.Database.create () in
   let variations = if !quick then 2 else 3 in
-  Pkg.Buildcache_gen.populate ~variations ~repo
-    ~combos:Pkg.Buildcache_gen.default_combos ~roots:Pkg.Repo_core.e4s_roots db;
+  ignore
+    (Pkg.Buildcache_gen.populate ~variations ~repo
+       ~combos:Pkg.Buildcache_gen.default_combos ~roots:Pkg.Repo_core.e4s_roots db
+      : Pkg.Buildcache_gen.stats);
   let is_family fam (r : Pkg.Database.record) =
     match Specs.Target.find r.Pkg.Database.target with
     | Some t -> String.equal t.Specs.Target.family fam
@@ -504,6 +562,147 @@ let fig7efg () =
       Printf.printf "%-32s      avg setup=%.3fs avg solve=%.3fs\n" "" (avg setup)
         (avg solve))
     slices
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 7e-g at full paper scale (E4S buildcache, 63,099 specs)        *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's §VII-C stress test: reuse solves against the real E4S
+   buildcache (63,099 specs).  A synthetic repository stands in for E4S;
+   [Buildcache_gen.scale_to] grows variation combinations until the cache
+   holds [--e4s-target] distinct DAG hashes.  Reuse facts flow through the
+   streaming pipeline (no materialized per-spec atom lists), and the four
+   paper slices are arena-sharing views of one packed database. *)
+let fig7efg_full () =
+  let target = if !quick then min 5000 !e4s_target else !e4s_target in
+  section
+    (Printf.sprintf
+       "Fig. 7e-g at full E4S scale: %d-spec buildcache, streamed reuse facts"
+       target);
+  let sr = Pkg.Repo_synth.repo (Pkg.Repo_synth.scaled 600) in
+  let apps =
+    List.filter
+      (fun p -> String.length p > 3 && String.sub p 0 3 = "app")
+      (Pkg.Repo.package_names sr)
+  in
+  let t0 = Unix.gettimeofday () in
+  let db, st =
+    Pkg.Buildcache_gen.scale_to
+      ~log:(fun m -> Printf.printf "  %s\n%!" m)
+      ~repo:sr ~roots:apps target
+  in
+  let gen_s = Unix.gettimeofday () -. t0 in
+  Printf.printf "buildcache: %d specs in %.1fs (%s), peak rss %.0f MB\n%!"
+    (Pkg.Database.size db) gen_s
+    (Pkg.Buildcache_gen.stats_to_string st)
+    (Rss.peak_mb ());
+  metric "e4s_specs" (float_of_int (Pkg.Database.size db));
+  metric "e4s_gen_s" gen_s;
+  metric "e4s_gen_peak_rss_mb" (Rss.peak_mb ());
+  (* fact generation, streamed vs materialized, over the full cache: the
+     streamed path never builds per-spec statement lists — atoms go
+     straight into a ground-atom store sink *)
+  let froots = [ Specs.Spec_parser.parse (List.nth apps 0) ] in
+  let reps = if !quick then 3 else 5 in
+  let time_of f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let p50_of f =
+    let a = Array.init reps (fun _ -> time_of f) in
+    Array.sort Float.compare a;
+    percentile a 0.50
+  in
+  (* both legs deliver every fact into a ground-atom store — that is what
+     the grounder does with them — so the measured difference is exactly
+     the intermediate AST statement list the streamed path never builds *)
+  let intern_statements store (f : Concretize.Facts.t) =
+    List.iter
+      (fun st ->
+        match st with
+        | Asp.Ast.Rule { head = Asp.Ast.Head_atom { pred; args }; body = []; _ } ->
+          let rec csts acc = function
+            | [] -> Some (List.rev acc)
+            | Asp.Ast.Cst t :: rest -> csts (t :: acc) rest
+            | _ -> None
+          in
+          (match csts [] args with
+          | Some ts ->
+            ignore (Asp.Gatom.Store.intern store (Asp.Gatom.make pred ts))
+          | None -> ())
+        | _ -> ())
+      f.Concretize.Facts.statements
+  in
+  let mat_p50 =
+    p50_of (fun () ->
+        let f =
+          Concretize.Facts.generate ~installed:db ~reuse_mode:`Materialize
+            ~repo:sr froots
+        in
+        intern_statements (Asp.Gatom.Store.create ()) f)
+  in
+  let stream_p50 =
+    p50_of (fun () ->
+        let f =
+          Concretize.Facts.generate ~installed:db ~reuse_mode:`Stream ~repo:sr
+            froots
+        in
+        let store = Asp.Gatom.Store.create () in
+        intern_statements store f;
+        match f.Concretize.Facts.reuse_stream with
+        | Some stream ->
+          stream (fun ga -> ignore (Asp.Gatom.Store.intern store ga))
+        | None -> ())
+  in
+  Printf.printf
+    "factgen over %d specs: materialized p50 %.3fs, streamed p50 %.3fs (%.2fx)\n%!"
+    (Pkg.Database.size db) mat_p50 stream_p50
+    (mat_p50 /. Float.max 1e-9 stream_p50);
+  metric "factgen_materialized_p50_s" mat_p50;
+  metric "factgen_streamed_p50_s" stream_p50;
+  (* the four paper slices, as views sharing the packed arena *)
+  let is_family fam (r : Pkg.Database.record) =
+    match Specs.Target.find r.Pkg.Database.target with
+    | Some t -> String.equal t.Specs.Target.family fam
+    | None -> false
+  in
+  let slices =
+    [
+      ("full buildcache", db);
+      ("x86_64 only", Pkg.Database.filter db ~f:(is_family "x86_64"));
+      ("rhel8 only", Pkg.Database.filter db ~f:(fun r -> r.Pkg.Database.os = "rhel8"));
+      ( "x86_64 + rhel8",
+        Pkg.Database.filter db ~f:(fun r ->
+            is_family "x86_64" r && r.Pkg.Database.os = "rhel8") );
+    ]
+  in
+  (* a handful of E4S-style roots per slice keeps the full run tractable
+     while still exercising every slice at full cache size *)
+  let n_roots = if !quick then 3 else 6 in
+  let roots =
+    List.filteri (fun i _ -> i mod (max 1 (List.length apps / n_roots)) = 0) apps
+    |> List.filteri (fun i _ -> i < n_roots)
+  in
+  let saved = !current_experiment in
+  List.iter
+    (fun (name, slice) ->
+      let tag =
+        match name with
+        | "full buildcache" -> "full"
+        | "x86_64 only" -> "x86_64"
+        | "rhel8 only" -> "rhel8"
+        | _ -> "x86_64-rhel8"
+      in
+      current_experiment := saved ^ "-" ^ tag;
+      let label = Printf.sprintf "%s (%d specs)" name (Pkg.Database.size slice) in
+      let rows = solve_rows ~installed:slice ~repo:sr roots in
+      print_cdf label (List.map (fun r -> r.total_t) rows);
+      Printf.printf "%-32s      peak rss %.0f MB\n%!" ""
+        (List.fold_left (fun m r -> Float.max m r.peak_rss_mb) 0. rows))
+    slices;
+  current_experiment := saved;
+  metric "e4s_peak_rss_mb" (Rss.peak_mb ())
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 7h: old (greedy) vs. new (ASP) concretizer                     *)
@@ -762,6 +961,7 @@ let experiments =
     ("fig7abc", fig7abc);
     ("fig7d", fig7d);
     ("fig7efg", fig7efg);
+    ("fig7efg-full", fig7efg_full);
     ("fig7h", fig7h);
     ("scaling", scaling);
     ("multishot", multishot);
@@ -782,6 +982,17 @@ let () =
     | [ "--json" ] ->
       prerr_endline "--json requires a file argument";
       exit 2
+    | "--e4s-target" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some k when k >= 1 ->
+        e4s_target := k;
+        parse rest
+      | _ ->
+        prerr_endline "--e4s-target requires a positive integer";
+        exit 2)
+    | [ "--e4s-target" ] ->
+      prerr_endline "--e4s-target requires a positive integer";
+      exit 2
     | "--jobs" :: n :: rest -> (
       match int_of_string_opt n with
       | Some k when k >= 1 ->
@@ -796,7 +1007,13 @@ let () =
     | a :: rest -> a :: parse rest
   in
   let args = parse args in
-  let to_run = match args with [] -> List.map fst experiments | names -> names in
+  (* the full-scale E4S run only happens when asked for by name: growing a
+     63k-spec buildcache is a deliberate stress test, not a default *)
+  let to_run =
+    match args with
+    | [] -> List.filter (( <> ) "fig7efg-full") (List.map fst experiments)
+    | names -> names
+  in
   let t0 = Unix.gettimeofday () in
   let run_all () =
     List.iter

@@ -1,0 +1,44 @@
+(* Peak resident-set measurement for the benchmark harness.
+
+   Primary source is [VmHWM] from /proc/self/status (the kernel's
+   high-water mark for resident pages, in kB).  On systems without /proc
+   the [getrusage] stub supplies [ru_maxrss]; Linux and the BSDs report
+   kilobytes there, macOS reports bytes — anything implausibly large for
+   a kB reading is treated as bytes. *)
+
+external ru_maxrss : unit -> int = "bench_ru_maxrss"
+
+let vm_hwm_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+    let rec scan () =
+      match input_line ic with
+      | exception End_of_file -> None
+      | line ->
+        if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+          let rest = String.sub line 6 (String.length line - 6) in
+          let digits =
+            String.to_seq rest
+            |> Seq.filter (fun c -> c >= '0' && c <= '9')
+            |> String.of_seq
+          in
+          int_of_string_opt digits
+        else scan ()
+    in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) scan
+
+let rusage_kb () =
+  let v = ru_maxrss () in
+  if v <= 0 then None
+  else if v > 1 lsl 34 then Some (v / 1024) (* plausibly bytes (macOS) *)
+  else Some v
+
+(** Peak resident set of this process so far, in MiB (0. if unreadable). *)
+let peak_mb () =
+  match vm_hwm_kb () with
+  | Some kb -> float_of_int kb /. 1024.
+  | None -> (
+    match rusage_kb () with
+    | Some kb -> float_of_int kb /. 1024.
+    | None -> 0.)

@@ -1,0 +1,15 @@
+/* Peak-RSS fallback for platforms without /proc: getrusage(2).
+   ru_maxrss is in kilobytes on Linux and most BSDs; macOS reports bytes,
+   which the OCaml side normalises heuristically. */
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <sys/resource.h>
+
+CAMLprim value bench_ru_maxrss(value unit)
+{
+  struct rusage ru;
+  (void)unit;
+  if (getrusage(RUSAGE_SELF, &ru) != 0)
+    return Val_long(0);
+  return Val_long((long)ru.ru_maxrss);
+}

@@ -812,10 +812,33 @@ let eval_ground_arg t =
   let ct = compile_term cx t in
   eval (Env.create ()) ct
 
-(* Seed a ground fact statement into the store, expanding interval
-   arguments into their cartesian product.  With [taint], records the
+(* Seed one already-ground atom as a fact.  With [taint], records the
    (pred, arity) of atoms that are new or newly fact-marked — the guard
-   taint set of an incremental extension. *)
+   taint set of an incremental extension.  This is the streaming fact
+   fast path: producers (reuse-fact generation at E4S scale) hand atoms
+   straight to the interned store, with no Ast statement or per-spec
+   atom list in between, and re-seeding an existing fact is a no-op. *)
+let seed_ground_atom store ?taint (ga : Gatom.t) =
+  let changed =
+    match Gatom.Store.find store ga with
+    | Some id ->
+      if Gatom.Store.is_fact store id then false
+      else begin
+        Gatom.Store.mark_fact store id;
+        true
+      end
+    | None ->
+      let id = Gatom.Store.intern store ga in
+      Gatom.Store.mark_fact store id;
+      true
+  in
+  match taint with
+  | Some t when changed ->
+    Hashtbl.replace t (ga.Gatom.pred, List.length ga.Gatom.args) ()
+  | _ -> ()
+
+(* Seed a ground fact statement into the store, expanding interval
+   arguments into their cartesian product. *)
 let seed_fact store ?taint (a : Ast.atom) =
   let rec arg_values = function
     | Ast.Cst c -> [ c ]
@@ -840,29 +863,11 @@ let seed_fact store ?taint (a : Ast.atom) =
       let tails = expand rest in
       List.concat_map (fun v -> List.map (fun tl -> v :: tl) tails) (arg_values t)
   in
-  let arity = List.length a.Ast.args in
   List.iter
-    (fun args ->
-      let ga = Gatom.make a.Ast.pred args in
-      let changed =
-        match Gatom.Store.find store ga with
-        | Some id ->
-          if Gatom.Store.is_fact store id then false
-          else begin
-            Gatom.Store.mark_fact store id;
-            true
-          end
-        | None ->
-          let id = Gatom.Store.intern store ga in
-          Gatom.Store.mark_fact store id;
-          true
-      in
-      match taint with
-      | Some t when changed -> Hashtbl.replace t (a.Ast.pred, arity) ()
-      | _ -> ())
+    (fun args -> seed_ground_atom store ?taint (Gatom.make a.Ast.pred args))
     (expand a.Ast.args)
 
-let ground_internal ~budget ~maps (prog : Ast.program) =
+let ground_internal ~budget ~maps ?facts_stream (prog : Ast.program) =
   Budget.enter budget Budget.Ground;
   let store = Gatom.Store.create () in
   let st = { store; env = Env.create (); idb = Hashtbl.create 64; budget } in
@@ -913,6 +918,12 @@ let ground_internal ~budget ~maps (prog : Ast.program) =
           rules := c :: !rules
         end)
     prog;
+  (* Streamed facts are seeded after the statement facts, which is where
+     a materialized producer appends them — atom interning order (and so
+     every downstream id) is identical on both paths. *)
+  (match facts_stream with
+  | Some stream -> stream (fun ga -> seed_ground_atom store ga)
+  | None -> ());
   let rules = List.rev !rules in
   let mins = List.rev !minimizes in
   let max_nvars = List.fold_left (fun m r -> max m r.c_nvars) 0 rules in
@@ -929,8 +940,11 @@ let ground_internal ~budget ~maps (prog : Ast.program) =
   in
   (st, out, rules, mins, max_nvars, stats)
 
-let ground ?(budget = Budget.unlimited) (prog : Ast.program) : Ground.t * stats =
-  let _, out, _, _, _, stats = ground_internal ~budget ~maps:None prog in
+let ground ?(budget = Budget.unlimited) ?facts_stream (prog : Ast.program) :
+    Ground.t * stats =
+  let _, out, _, _, _, stats =
+    ground_internal ~budget ~maps:None ?facts_stream prog
+  in
   (out, stats)
 
 (* ------------------------------------------------------------------ *)
@@ -952,12 +966,13 @@ type base = {
 let base_ground b = b.b_ground
 let base_stats b = b.b_stats
 
-let ground_base ?(budget = Budget.unlimited) (prog : Ast.program) : base * stats =
+let ground_base ?(budget = Budget.unlimited) ?facts_stream (prog : Ast.program) :
+    base * stats =
   let maps =
     { m_next = 0; m_absent = Hashtbl.create 256; m_guard = Hashtbl.create 64 }
   in
   let st, out, rules, mins, nvars, stats =
-    ground_internal ~budget ~maps:(Some maps) prog
+    ground_internal ~budget ~maps:(Some maps) ?facts_stream prog
   in
   Gatom.Store.freeze st.store;
   ( {
@@ -1024,9 +1039,16 @@ let seed_delta st (added : Ast.statement list) =
    result's bookkeeping is maintained (rebase) or discarded (per-request
    extension). *)
 let extend_onto st (out : Ground.t) (base : base) ~src_maps ~maps ~update_slots
-    (added : Ast.statement list) =
+    ?facts_stream (added : Ast.statement list) =
   let pre_count = Gatom.Store.count st.store in
   let guard_taint = seed_delta st added in
+  (* A streamed fact that already exists is a no-op (no taint); only the
+     genuinely new atoms taint guards, so re-streaming the full reuse set
+     over a rebased base dedups for free. *)
+  (match facts_stream with
+  | Some stream ->
+    stream (fun ga -> seed_ground_atom st.store ~taint:guard_taint ga)
+  | None -> ());
   (* Closure continuation.  Rules whose choice-element guards range over a
      tainted predicate re-derive their heads in full: the guard (not the
      body) changed, which the semi-naive body delta cannot see. *)
@@ -1144,8 +1166,8 @@ let extend ?(budget = Budget.unlimited) (base : base) (added : Ast.statement lis
   in
   (out, extension_stats st out rounds)
 
-let rebase ?(budget = Budget.unlimited) (base : base) (added : Ast.statement list) :
-    base * stats =
+let rebase ?(budget = Budget.unlimited) ?facts_stream (base : base)
+    (added : Ast.statement list) : base * stats =
   check_extendable base;
   Budget.enter budget Budget.Ground;
   let store = Gatom.Store.clone base.b_store in
@@ -1154,7 +1176,8 @@ let rebase ?(budget = Budget.unlimited) (base : base) (added : Ast.statement lis
   let out = Ground.fork base.b_ground store in
   let maps = clone_maps base.b_maps in
   let rounds =
-    extend_onto st out base ~src_maps:maps ~maps:(Some maps) ~update_slots:true added
+    extend_onto st out base ~src_maps:maps ~maps:(Some maps) ~update_slots:true
+      ?facts_stream added
   in
   Gatom.Store.freeze store;
   let stats = extension_stats st out rounds in

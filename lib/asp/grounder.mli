@@ -21,8 +21,20 @@ type stats = {
   fixpoint_rounds : int;
 }
 
-val ground : ?budget:Budget.t -> Ast.program -> Ground.t * stats
+val ground :
+  ?budget:Budget.t ->
+  ?facts_stream:((Gatom.t -> unit) -> unit) ->
+  Ast.program ->
+  Ground.t * stats
 (** The budget is ticked once per derived/emitted rule instance.
+
+    [facts_stream], when given, is invoked once with a sink; every ground
+    atom pushed into the sink is seeded as an input fact, exactly as if it
+    had appeared as a fact statement {e after} the program's statements —
+    but with no [Ast] statement or per-atom list materialized (the
+    streaming fast path for E4S-scale reuse facts, §VII-C).  Atom
+    interning order, and therefore the emitted ground program, is
+    identical to the materialized equivalent.
     @raise Solver_error.Error ([Ground _]) on unsafe rules, non-EDB
     conditions, or arithmetic on non-integer terms.
     @raise Budget.Exhausted when the instance budget, deadline or cancel
@@ -58,8 +70,13 @@ val base_ground : base -> Ground.t
 
 val base_stats : base -> stats
 
-val ground_base : ?budget:Budget.t -> Ast.program -> base * stats
-(** Ground [prog] and freeze the result for extension.
+val ground_base :
+  ?budget:Budget.t ->
+  ?facts_stream:((Gatom.t -> unit) -> unit) ->
+  Ast.program ->
+  base * stats
+(** Ground [prog] and freeze the result for extension.  [facts_stream] is
+    seeded into the base exactly as in {!ground}.
     @raise Solver_error.Error as {!ground}. *)
 
 val extend : ?budget:Budget.t -> base -> Ast.statement list -> Ground.t * stats
@@ -69,8 +86,16 @@ val extend : ?budget:Budget.t -> base -> Ast.statement list -> Ground.t * stats
     @raise Solver_error.Error if [facts] contains a non-fact statement or
     the base is inconsistent. *)
 
-val rebase : ?budget:Budget.t -> base -> Ast.statement list -> base * stats
+val rebase :
+  ?budget:Budget.t ->
+  ?facts_stream:((Gatom.t -> unit) -> unit) ->
+  base ->
+  Ast.statement list ->
+  base * stats
 (** [rebase base facts] is a new independent base equivalent to grounding
     [base]'s source program plus [facts].  [base] itself is unchanged and
-    remains usable.
+    remains usable.  Atoms pushed by [facts_stream] are seeded alongside
+    [facts]; a streamed atom the base already holds as a fact is a no-op
+    (no staleness taint), so callers may re-stream a full fact set and pay
+    only for the genuinely new atoms.
     @raise Solver_error.Error as {!extend}. *)

@@ -148,7 +148,7 @@ let apply_phase_hints (t : Asp.Translate.t) =
   done
 
 let solve_uncached ?(config = Asp.Config.default) ?params ?(env = Facts.default_env)
-    ?(prefs = Preferences.empty) ?installed ?budget ?pool ?(racers = 1)
+    ?(prefs = Preferences.empty) ?installed ?reuse_mode ?budget ?pool ?(racers = 1)
     ?(explain = false) ?substrate ~repo roots =
   let budget =
     match budget with
@@ -157,7 +157,7 @@ let solve_uncached ?(config = Asp.Config.default) ?params ?(env = Facts.default_
   in
   (* setup: generate the problem-instance facts *)
   let facts, setup_time =
-    time (fun () -> Facts.generate ~env ~prefs ?installed ~repo roots)
+    time (fun () -> Facts.generate ~env ~prefs ?installed ?reuse_mode ~repo roots)
   in
   let n_facts = facts.Facts.n_facts in
   let n_possible = List.length facts.Facts.possible in
@@ -192,7 +192,10 @@ let solve_uncached ?(config = Asp.Config.default) ?params ?(env = Facts.default_
       (* load: parse the logic program (not memoized: the paper times this) *)
       let lp, load_time = time (fun () -> Asp.Parser.parse Logic_program.text) in
       let t0 = Unix.gettimeofday () in
-      match Asp.Grounder.ground ~budget (lp @ facts.Facts.statements) with
+      match
+        Asp.Grounder.ground ~budget ?facts_stream:facts.Facts.reuse_stream
+          (lp @ facts.Facts.statements)
+      with
       | exception Asp.Budget.Exhausted info ->
         `Err (info, load_time, Unix.gettimeofday () -. t0)
       | ground, stats ->
@@ -336,11 +339,11 @@ let solve_uncached ?(config = Asp.Config.default) ?params ?(env = Facts.default_
             verified;
           }))
 
-let solve ?config ?params ?env ?prefs ?installed ?budget ?pool ?racers
-    ?explain ?cache ?substrate ~repo roots =
+let solve ?config ?params ?env ?prefs ?installed ?reuse_mode ?budget ?pool
+    ?racers ?explain ?cache ?substrate ~repo roots =
   let run () =
-    solve_uncached ?config ?params ?env ?prefs ?installed ?budget ?pool
-      ?racers ?explain ?substrate ~repo roots
+    solve_uncached ?config ?params ?env ?prefs ?installed ?reuse_mode ?budget
+      ?pool ?racers ?explain ?substrate ~repo roots
   in
   match cache with
   | None -> run ()
@@ -353,9 +356,10 @@ let solve ?config ?params ?env ?prefs ?installed ?budget ?pool ?racers
       if cacheable r then c.store key r;
       r)
 
-let solve_spec ?config ?env ?prefs ?installed ?budget ?explain ?cache
-    ?substrate ~repo text =
-  solve ?config ?env ?prefs ?installed ?budget ?explain ?cache ?substrate ~repo
+let solve_spec ?config ?env ?prefs ?installed ?reuse_mode ?budget ?explain
+    ?cache ?substrate ~repo text =
+  solve ?config ?env ?prefs ?installed ?reuse_mode ?budget ?explain ?cache
+    ?substrate ~repo
     [ Specs.Spec_parser.parse text ]
 
 (* Retry with escalation: each interrupted attempt doubles every finite
@@ -364,8 +368,8 @@ let solve_spec ?config ?env ?prefs ?installed ?budget ?explain ?cache
    Cancellation is honoured immediately — a SIGINT must not trigger a
    retry. *)
 let solve_escalating ?(attempts = 3) ?(config = Asp.Config.default)
-    ?env ?prefs ?installed ?cancel ?fault ?pool ?racers ?explain ?cache
-    ?substrate ~repo roots =
+    ?env ?prefs ?installed ?reuse_mode ?cancel ?fault ?pool ?racers ?explain
+    ?cache ?substrate ~repo roots =
   let base = Asp.Config.params config.Asp.Config.preset in
   let rec go k limits =
     let budget = Asp.Budget.start ?cancel limits in
@@ -375,8 +379,8 @@ let solve_escalating ?(attempts = 3) ?(config = Asp.Config.default)
       else { base with Asp.Sat.seed = base.Asp.Sat.seed + (k * 7919) }
     in
     match
-      solve ~config ~params ?env ?prefs ?installed ~budget ?pool ?racers
-        ?explain ?cache ?substrate ~repo roots
+      solve ~config ~params ?env ?prefs ?installed ?reuse_mode ~budget ?pool
+        ?racers ?explain ?cache ?substrate ~repo roots
     with
     | Interrupted { info; _ } as r ->
       if info.Asp.Budget.reason = Asp.Budget.Cancelled || k + 1 >= attempts
@@ -391,11 +395,11 @@ let solve_escalating ?(attempts = 3) ?(config = Asp.Config.default)
    sequential inside — batch parallelism and portfolio racing compose only
    by over-subscribing, so [solve_many] keeps each job single-domain.
    Results are in input order. *)
-let solve_many ?pool ?(attempts = 1) ?config ?env ?prefs ?installed ?cancel
-    ?fault ?explain ?cache ?substrate ~repo jobs =
+let solve_many ?pool ?(attempts = 1) ?config ?env ?prefs ?installed ?reuse_mode
+    ?cancel ?fault ?explain ?cache ?substrate ~repo jobs =
   let one roots =
-    solve_escalating ~attempts ?config ?env ?prefs ?installed ?cancel ?fault
-      ?explain ?cache ?substrate ~repo roots
+    solve_escalating ~attempts ?config ?env ?prefs ?installed ?reuse_mode
+      ?cancel ?fault ?explain ?cache ?substrate ~repo roots
   in
   (* Dedupe identical requests within the batch before dispatch: duplicate-
      heavy batches (environment refreshes, CI matrices) pay for each unique

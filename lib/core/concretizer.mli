@@ -102,6 +102,7 @@ val solve :
   ?env:Facts.env ->
   ?prefs:Preferences.t ->
   ?installed:Pkg.Database.t ->
+  ?reuse_mode:Facts.reuse_mode ->
   ?budget:Asp.Budget.t ->
   ?pool:Asp.Pool.t ->
   ?racers:int ->
@@ -137,6 +138,7 @@ val solve_spec :
   ?env:Facts.env ->
   ?prefs:Preferences.t ->
   ?installed:Pkg.Database.t ->
+  ?reuse_mode:Facts.reuse_mode ->
   ?budget:Asp.Budget.t ->
   ?explain:bool ->
   ?cache:cache ->
@@ -153,6 +155,7 @@ val solve_escalating :
   ?env:Facts.env ->
   ?prefs:Preferences.t ->
   ?installed:Pkg.Database.t ->
+  ?reuse_mode:Facts.reuse_mode ->
   ?cancel:Asp.Budget.cancel_token ->
   ?fault:(int -> Asp.Budget.t -> unit) ->
   ?pool:Asp.Pool.t ->
@@ -179,6 +182,7 @@ val solve_many :
   ?env:Facts.env ->
   ?prefs:Preferences.t ->
   ?installed:Pkg.Database.t ->
+  ?reuse_mode:Facts.reuse_mode ->
   ?cancel:Asp.Budget.cancel_token ->
   ?fault:(int -> Asp.Budget.t -> unit) ->
   ?explain:bool ->

@@ -7,12 +7,15 @@ type env = {
 let default_env =
   { compilers = Specs.Compiler.default_roster; oses = Specs.Os.known; target_family = "x86_64" }
 
+type reuse_mode = [ `Stream | `Materialize ]
+
 type t = {
   statements : Asp.Ast.statement list;
   n_facts : int;
   possible : string list;
   conflict_msgs : (int * string) list;
   cond_origins : (int * string) list;
+  reuse_stream : ((Asp.Gatom.t -> unit) -> unit) option;
 }
 
 exception Unknown_package of string
@@ -382,64 +385,101 @@ let emit_environment g =
 
 (* --- installed database -------------------------------------------------- *)
 
-(* Records eligible for reuse: package in the closure and the whole
-   dependency sub-DAG eligible too. *)
-let eligible_records db closure =
-  let by_hash = Hashtbl.create 256 in
-  List.iter
-    (fun (r : Pkg.Database.record) ->
-      if Hashtbl.mem closure r.Pkg.Database.name then
-        Hashtbl.replace by_hash r.Pkg.Database.hash r)
-    (Pkg.Database.records db);
+module D = Pkg.Database
+
+(* Slots eligible for reuse: package in the closure and the whole
+   dependency sub-DAG eligible too.  Works entirely on packed ids — no
+   record is materialized — and returns slots in insertion order, so
+   both the streamed and the materialized path emit facts in the same
+   canonical order. *)
+let eligible_slots db closure =
+  let slot_of_hash_id = Hashtbl.create 256 in
+  D.iter_slots db (fun s -> Hashtbl.replace slot_of_hash_id (D.p_hash db s) s);
+  let keep = Hashtbl.create 256 in
+  D.iter_slots db (fun s ->
+      if Hashtbl.mem closure (D.str_of_id db (D.p_name db s)) then
+        Hashtbl.replace keep s ());
   let changed = ref true in
   while !changed do
     changed := false;
+    let drop = ref [] in
     Hashtbl.iter
-      (fun h (r : Pkg.Database.record) ->
-        if
-          not
-            (List.for_all (fun (_, dh) -> Hashtbl.mem by_hash dh) r.Pkg.Database.deps)
-        then begin
-          Hashtbl.remove by_hash h;
-          changed := true
-        end)
-      (Hashtbl.copy by_hash)
+      (fun s () ->
+        let ok = ref true in
+        D.iter_deps db s (fun _ dh ->
+            if !ok then
+              match Hashtbl.find_opt slot_of_hash_id dh with
+              | Some d when Hashtbl.mem keep d -> ()
+              | _ -> ok := false);
+        if not !ok then drop := s :: !drop)
+      keep;
+    if !drop <> [] then begin
+      changed := true;
+      List.iter (Hashtbl.remove keep) !drop
+    end
   done;
-  Hashtbl.fold (fun _ r acc -> r :: acc) by_hash []
+  let out = ref [] in
+  D.iter_slots db (fun s -> if Hashtbl.mem keep s then out := s :: !out);
+  List.rev !out
 
-let note_installed_values g (r : Pkg.Database.record) =
-  (match Hashtbl.find_opt g.extra_versions r.Pkg.Database.name with
-  | Some l -> l := r.Pkg.Database.version :: !l
-  | None -> Hashtbl.replace g.extra_versions r.Pkg.Database.name (ref [ r.Pkg.Database.version ]));
-  List.iter
-    (fun (var, value) ->
-      let key = (r.Pkg.Database.name, var) in
+let note_installed_values g db slot =
+  let name = D.str_of_id db (D.p_name db slot) in
+  let version = D.version_of_id db (D.p_version db slot) in
+  (match Hashtbl.find_opt g.extra_versions name with
+  | Some l -> l := version :: !l
+  | None -> Hashtbl.replace g.extra_versions name (ref [ version ]));
+  D.iter_variants db slot (fun var value ->
+      let key = (name, D.str_of_id db var) in
+      let value = D.str_of_id db value in
       match Hashtbl.find_opt g.extra_variant_values key with
       | Some l -> l := value :: !l
-      | None -> Hashtbl.replace g.extra_variant_values key (ref [ value ]))
-    r.Pkg.Database.variants;
-  Hashtbl.replace g.extra_compilers r.Pkg.Database.compiler ();
-  Hashtbl.replace g.extra_oses r.Pkg.Database.os ()
+      | None -> Hashtbl.replace g.extra_variant_values key (ref [ value ]));
+  Hashtbl.replace g.extra_compilers
+    {
+      Specs.Compiler.name = D.str_of_id db (D.p_compiler_name db slot);
+      version = D.version_of_id db (D.p_compiler_version db slot);
+    }
+    ();
+  Hashtbl.replace g.extra_oses (D.str_of_id db (D.p_os db slot)) ()
 
-let emit_installed g (r : Pkg.Database.record) =
-  let name = r.Pkg.Database.name and h = r.Pkg.Database.hash in
-  fact g "installed_hash" [ str name; str h ];
-  let hc args = fact g "hash_constraint" (str h :: args) in
-  hc [ str "version"; str name; str (Specs.Version.to_string r.Pkg.Database.version) ];
-  List.iter (fun (var, value) -> hc [ str "variant_value"; str name; str var; str value ])
-    r.Pkg.Database.variants;
+(* Pool-id -> hash-consed term, memoized per generation: at E4S scale the
+   63k records share a few thousand distinct strings, so every term is
+   built once and reused by array index. *)
+let term_memo db =
+  let memo = Array.make (max 1 (D.pool_size db)) None in
+  fun i ->
+    match memo.(i) with
+    | Some t -> t
+    | None ->
+      let t = Asp.Term.str (D.str_of_id db i) in
+      memo.(i) <- Some t;
+      t
+
+(* One installed record's reuse facts, handed to [emit] as ground atoms:
+   [installed_hash(name, hash)] plus the hash-keyed constraints and
+   [hash_dep] edges (Section VI).  Shared verbatim by the materialized
+   path (emit = append a fact statement) and the streaming path (emit =
+   seed straight into the grounder's store). *)
+let emit_installed_atoms ts db slot emit =
+  let name = ts (D.p_name db slot) and h = ts (D.p_hash db slot) in
+  emit (Asp.Gatom.make "installed_hash" [ name; h ]);
+  let hc args = emit (Asp.Gatom.make "hash_constraint" (h :: args)) in
+  hc [ str "version"; name; ts (D.p_version db slot) ];
+  D.iter_variants db slot (fun var value ->
+      hc [ str "variant_value"; name; ts var; ts value ]);
   hc
     [
       str "node_compiler_version";
-      str name;
-      str r.Pkg.Database.compiler.Specs.Compiler.name;
-      str (Specs.Version.to_string r.Pkg.Database.compiler.Specs.Compiler.version);
+      name;
+      ts (D.p_compiler_name db slot);
+      ts (D.p_compiler_version db slot);
     ];
-  hc [ str "node_os"; str name; str r.Pkg.Database.os ];
-  hc [ str "node_target"; str name; str r.Pkg.Database.target ];
-  List.iter
-    (fun (dname, dhash) -> fact g "hash_dep" [ str h; str dname; str dhash ])
-    r.Pkg.Database.deps
+  hc [ str "node_os"; name; ts (D.p_os db slot) ];
+  hc [ str "node_target"; name; ts (D.p_target db slot) ];
+  D.iter_deps db slot (fun dn dh ->
+      emit (Asp.Gatom.make "hash_dep" [ h; ts dn; ts dh ]))
+
+let n_installed_atoms db slot = 5 + D.n_variants db slot + D.n_deps db slot
 
 (* --- closure -------------------------------------------------------------- *)
 
@@ -478,17 +518,20 @@ let reuse_digest ?installed ~repo roots =
     (* an empty database and a slice with nothing eligible generate the
        same (absent) reuse facts, so they share the "reuse-empty" digest —
        the first install must not re-key requests that cannot see it *)
-    match eligible_records db (closure_table ~repo roots) with
+    match eligible_slots db (closure_table ~repo roots) with
     | [] -> "reuse-empty"
-    | rs ->
-      let hs = List.sort compare (List.map (fun r -> r.Pkg.Database.hash) rs) in
+    | slots ->
+      let hs =
+        List.sort compare
+          (List.map (fun s -> D.str_of_id db (D.p_hash db s)) slots)
+      in
       Specs.Spec.digest_strings ("reuse.v1" :: hs))
   | None -> "no-reuse"
 
 (* --- entry point ---------------------------------------------------------- *)
 
-let generate ?(env = default_env) ?(prefs = Preferences.empty) ?installed ~repo
-    (roots : Specs.Spec.abstract list) =
+let generate ?(env = default_env) ?(prefs = Preferences.empty) ?installed
+    ?(reuse_mode = `Stream) ~repo (roots : Specs.Spec.abstract list) =
   let env =
     match prefs.Preferences.compilers with
     | Some roster -> { env with compilers = roster }
@@ -524,11 +567,11 @@ let generate ?(env = default_env) ?(prefs = Preferences.empty) ?installed ~repo
   let eligible =
     match installed with
     | Some db when not (Pkg.Database.is_empty db) ->
-      let rs = eligible_records db closure in
-      List.iter (note_installed_values g) rs;
+      let slots = eligible_slots db closure in
+      List.iter (note_installed_values g db) slots;
       fact g "optimize_for_reuse" [];
-      rs
-    | _ -> []
+      Some (db, slots)
+    | _ -> None
   in
   (* roots *)
   List.iter
@@ -614,11 +657,35 @@ let generate ?(env = default_env) ?(prefs = Preferences.empty) ?installed ~repo
           (version_pool g p))
     g.version_sites;
   emit_environment g;
-  List.iter (emit_installed g) eligible;
+  (* Installed reuse facts come last — statement order and streamed
+     seeding order coincide, so both modes intern atoms identically. *)
+  let reuse_stream =
+    match (eligible, reuse_mode) with
+    | None, _ -> None
+    | Some (db, slots), `Materialize ->
+      let ts = term_memo db in
+      List.iter
+        (fun slot ->
+          emit_installed_atoms ts db slot (fun (ga : Asp.Gatom.t) ->
+              fact g ga.Asp.Gatom.pred ga.Asp.Gatom.args))
+        slots;
+      None
+    | Some (db, slots), `Stream ->
+      (* no per-spec atom lists: atoms are built on demand, straight into
+         whatever sink the grounder hands us.  The stream is replayable
+         (the arena is append-only, so the slots stay valid) and counts
+         toward [n_facts] arithmetically. *)
+      List.iter
+        (fun slot -> g.count <- g.count + n_installed_atoms db slot)
+        slots;
+      let ts = term_memo db in
+      Some (fun sink -> List.iter (fun s -> emit_installed_atoms ts db s sink) slots)
+  in
   {
     statements = List.rev g.stmts;
     n_facts = g.count;
     possible = closure_packages;
     conflict_msgs = g.msgs;
     cond_origins = g.origins;
+    reuse_stream;
   }

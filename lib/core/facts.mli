@@ -15,15 +15,29 @@ type env = {
 
 val default_env : env
 
+type reuse_mode = [ `Stream | `Materialize ]
+(** How installed-database reuse facts are delivered.  [`Stream] (the
+    default) puts them in {!t.reuse_stream} — a replayable callback the
+    grounder seeds directly into its interned atom store, with no
+    intermediate statement or per-spec atom list; at E4S scale (60k+
+    installed specs, §VII-C) this is the difference between a bounded and
+    an exploding setup phase.  [`Materialize] appends them to
+    {!t.statements} as ordinary fact statements; both modes produce the
+    identical ground program (atoms are seeded in the same order). *)
+
 type t = {
   statements : Asp.Ast.statement list;
   n_facts : int;
+  (** total fact count, including streamed reuse facts *)
   possible : string list;  (** package closure considered by this solve *)
   conflict_msgs : (int * string) list;  (** condition id -> message *)
   cond_origins : (int * string) list;
   (** condition id -> human-readable provenance ("hdf5 depends on mpi@3:",
       "the request asks for ...") — what {!Diagnose.explain_core} prints
       when the id turns up in an unsat core *)
+  reuse_stream : ((Asp.Gatom.t -> unit) -> unit) option;
+  (** with [`Stream] and a non-empty eligible slice: replays the reuse
+      facts into a sink (pass as [?facts_stream] to {!Asp.Grounder}) *)
 }
 
 exception Unknown_package of string
@@ -32,6 +46,7 @@ val generate :
   ?env:env ->
   ?prefs:Preferences.t ->
   ?installed:Pkg.Database.t ->
+  ?reuse_mode:reuse_mode ->
   repo:Pkg.Repo.t ->
   Specs.Spec.abstract list ->
   t

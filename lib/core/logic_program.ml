@@ -172,10 +172,16 @@ target_mismatch(P, D) :-
 %-----------------------------------------------------------------------------
 % Reuse of installed packages (Section VI)
 %-----------------------------------------------------------------------------
+% The } 1 upper bound is enforced as a cardinality over every instantiated
+% hash(P, H) element — including ones derived by dependency pinning below —
+% so at-most-one-hash-per-package needs no pairwise integrity constraint.
+% (A pairwise ":- hash(P,H1), hash(P,H2), H1 < H2" encoding grounds
+% quadratically in a package's installed hash count: at E4S scale, where a
+% common utility has thousands of installed hashes, that alone is tens of
+% millions of ground constraints.)
 { hash(P, H) : installed_hash(P, H) } 1 :- attr("node", P).
 hashed(P) :- hash(P, H).
 build(P) :- attr("node", P), not hashed(P).
-:- hash(P, H1), hash(P, H2), H1 < H2.
 
 % a chosen hash imposes the installed spec's parameters ...
 attr(A1, A2)         :- hash(P, H), hash_constraint(H, A1, A2).

@@ -206,10 +206,21 @@ let evict_over_cap t =
     | None -> ()
   done
 
+(* Reuse facts are streamed straight into the base's atom store
+   ([?facts_stream]); [e_base_atoms] tracks only the skeleton's fact
+   *statements*.  That asymmetry is sound on the warm path: the entry key
+   digests [Facts.reuse_digest] over the skeleton, the package closure
+   depends only on names, and a request shares its skeleton's names — so
+   any request that finds this entry has exactly the base's eligible
+   record set (hash equality implies record equality), its reuse facts
+   are already seeded, and only statements need diffing. *)
 let build_entry t ~env ~prefs ?installed ~repo ~budget key skeleton =
   let sfacts = Facts.generate ~env ~prefs ?installed ~repo skeleton in
   let lp = Lazy.force t.lp in
-  let base, _ = Asp.Grounder.ground_base ~budget (lp @ sfacts.Facts.statements) in
+  let base, _ =
+    Asp.Grounder.ground_base ~budget ?facts_stream:sfacts.Facts.reuse_stream
+      (lp @ sfacts.Facts.statements)
+  in
   let atoms = atom_set sfacts.Facts.statements in
   {
     e_key = key;
@@ -330,19 +341,26 @@ let on_install t ~repo ~db =
         with
         | exception _ -> drop ()
         | sfacts -> (
+          (* The key decides whether anything this closure can see changed:
+             with streamed reuse facts, new eligible records leave the
+             statement delta empty, so an empty delta alone proves nothing.
+             Installs only append to the database, so the eligible set is
+             monotone — rebasing with the full re-generated stream is
+             sound, and seeding already-present facts costs nothing. *)
+          let key =
+            key_of ~installed:db ~repo ~env:e.e_env ~prefs:e.e_prefs e.e_skeleton
+          in
           match diff_statements e sfacts.Facts.statements with
           | None -> drop ()
-          | Some [] ->
-            (* nothing this closure can see changed: keep as-is (the key
-               cannot have changed either) *)
+          | Some [] when String.equal key e.e_key ->
             Hashtbl.replace t.entries e.e_key e
           | Some delta -> (
-            match Asp.Grounder.rebase e.e_base delta with
+            match
+              Asp.Grounder.rebase ?facts_stream:sfacts.Facts.reuse_stream
+                e.e_base delta
+            with
             | exception _ -> drop ()
             | base, _ ->
-              let key =
-                key_of ~installed:db ~repo ~env:e.e_env ~prefs:e.e_prefs e.e_skeleton
-              in
               let atoms = atom_set sfacts.Facts.statements in
               t.n_delta_applies <- t.n_delta_applies + 1;
               Hashtbl.replace t.entries key

@@ -18,6 +18,27 @@ let default_combos =
     { c_os = "rhel8"; c_target = "thunderx2"; c_compiler = gcc11 };
   ]
 
+type stats = {
+  expanded : int;
+  skipped : int;
+  duplicates : int;
+  added : int;
+}
+
+let zero_stats = { expanded = 0; skipped = 0; duplicates = 0; added = 0 }
+
+let merge_stats a b =
+  {
+    expanded = a.expanded + b.expanded;
+    skipped = a.skipped + b.skipped;
+    duplicates = a.duplicates + b.duplicates;
+    added = a.added + b.added;
+  }
+
+let stats_to_string s =
+  Printf.sprintf "expanded=%d skipped=%d duplicates=%d added=%d" s.expanded
+    s.skipped s.duplicates s.added
+
 (* Recipe-consistent default expansion: newest (or jittered) version, default
    (or jittered) variants, fixed compiler/os/target, dependencies activated
    by their when-conditions against already-made decisions. *)
@@ -105,27 +126,76 @@ let expand rng ~repo ~combo ~jitter root =
   let all = Hashtbl.fold (fun _ n acc -> n :: acc) nodes [] in
   Specs.Spec.make_concrete ~root all
 
-let populate ?(seed = 7) ?(variations = 3) ~repo ~combos ~roots db =
+exception Capped
+
+let populate ?(seed = 7) ?(variations = 3) ?cap ~repo ~combos ~roots db =
   let rng = Random.State.make [| seed |] in
-  List.iter
-    (fun root ->
-      List.iter
-        (fun combo ->
-          for v = 0 to variations - 1 do
-            match expand rng ~repo ~combo ~jitter:(v > 0) root with
-            | spec -> Database.add_concrete db spec
-            | exception Exit -> ()
-            | exception Invalid_argument _ -> ()
-          done)
-        combos)
-    roots
+  let st = ref zero_stats in
+  let reached () =
+    match cap with Some c -> Database.size db >= c | None -> false
+  in
+  (try
+     List.iter
+       (fun root ->
+         List.iter
+           (fun combo ->
+             for v = 0 to variations - 1 do
+               if reached () then raise Capped;
+               match expand rng ~repo ~combo ~jitter:(v > 0) root with
+               | spec ->
+                 let before = Database.size db in
+                 Database.add_concrete db spec;
+                 let delta = Database.size db - before in
+                 st :=
+                   {
+                     !st with
+                     expanded = !st.expanded + 1;
+                     added = !st.added + delta;
+                     duplicates = (!st.duplicates + if delta = 0 then 1 else 0);
+                   }
+               | exception Exit -> st := { !st with skipped = !st.skipped + 1 }
+               | exception Invalid_argument _ ->
+                 st := { !st with skipped = !st.skipped + 1 }
+             done)
+           combos)
+       roots
+   with Capped -> ());
+  !st
 
 let quick ?(seed = 7) ~repo ~roots target_size =
   let db = Database.create () in
   let variations = ref 1 in
   while Database.size db < target_size && !variations < 64 do
-    populate ~seed:(seed + !variations) ~variations:!variations ~repo
-      ~combos:default_combos ~roots db;
+    ignore
+      (populate ~seed:(seed + !variations) ~variations:!variations ~repo
+         ~combos:default_combos ~roots db
+        : stats);
     variations := !variations * 2
   done;
   db
+
+(* Deterministic growth to a target hash count: double the per-root
+   variation count until the database holds at least [target] distinct
+   DAG hashes (add_concrete dedups on hash, so re-expanded duplicates
+   across rounds are free).  The paper's §VII-C buildcache is 63,099
+   specs from ~600 packages; this is how we reach that honestly — the
+   returned stats say exactly how many expansions were deduped or
+   skipped to get there. *)
+let scale_to ?(seed = 7) ?(log = fun (_ : string) -> ()) ~repo ~roots target =
+  let db = Database.create () in
+  let total = ref zero_stats in
+  let variations = ref 1 in
+  while Database.size db < target && !variations <= 4096 do
+    (* the cap stops the final round within one expansion of the target
+       instead of letting a doubled variation count overshoot it *)
+    let round =
+      populate ~seed:(seed + !variations) ~variations:!variations ~cap:target
+        ~repo ~combos:default_combos ~roots db
+    in
+    total := merge_stats !total round;
+    log
+      (Printf.sprintf "buildcache scale_to: variations=%d size=%d (%s)"
+         !variations (Database.size db) (stats_to_string round));
+    variations := !variations * 2
+  done;
+  (db, !total)

@@ -15,19 +15,48 @@ val default_combos : combo list
 (** A paper-like matrix: x86_64, ppc64le and aarch64 targets, three OSes,
     several compilers. *)
 
+type stats = {
+  expanded : int;  (** root×combo×variation expansions that concretized *)
+  skipped : int;  (** expansions aborted (no provider/version under combo) *)
+  duplicates : int;  (** expansions whose whole DAG was already installed *)
+  added : int;  (** records actually appended to the database *)
+}
+
+val zero_stats : stats
+val merge_stats : stats -> stats -> stats
+val stats_to_string : stats -> string
+
 val populate :
   ?seed:int ->
   ?variations:int ->
+  ?cap:int ->
   repo:Repo.t ->
   combos:combo list ->
   roots:string list ->
   Database.t ->
-  unit
-(** For every root × combo × variation, build a concrete spec with
+  stats
+(** [cap] stops expansion once the database holds that many specs (the
+    stats only count work actually performed — a capped run is still
+    deterministic for a fixed seed/cap).
+    For every root × combo × variation, build a concrete spec with
     recipe-consistent defaults (newest version, default variants except the
     jittered ones, the combo's compiler/OS/target) and install its nodes.
-    Roots that cannot be expanded under a combo are skipped. *)
+    Roots that cannot be expanded under a combo are counted as [skipped];
+    expansions whose DAG hashes were all already present count as
+    [duplicates].  Deterministic in [seed]. *)
 
 val quick : ?seed:int -> repo:Repo.t -> roots:string list -> int -> Database.t
 (** [quick ~repo ~roots n] populates a cache of roughly [n] hashes using
     {!default_combos} (truncated/cycled as needed). *)
+
+val scale_to :
+  ?seed:int ->
+  ?log:(string -> unit) ->
+  repo:Repo.t ->
+  roots:string list ->
+  int ->
+  Database.t * stats
+(** [scale_to ~repo ~roots target] grows a cache until it holds at least
+    [target] distinct DAG hashes by doubling the per-root variation count,
+    deduping identical DAGs across rounds.  Deterministic in [seed]; each
+    round's size and stats go through [log]. *)

@@ -2,7 +2,15 @@
 
     Stores per-node records of concrete specs keyed by DAG hash — the same
     information Spack encodes into reuse facts ([installed_hash/2] plus
-    hash-keyed [imposed_constraint]s, Section VI). *)
+    hash-keyed [imposed_constraint]s, Section VI).
+
+    Records live in a packed arena — every string field is interned into a
+    pool and each record is a row of pool ids in flat int arrays — so a
+    full E4S-scale buildcache (60k+ specs, §VII-C) costs a few hundred
+    bytes per record instead of a boxed record of lists.  {!filter}
+    returns a *view* sharing the parent's arena (no copying); the arena is
+    append-only, so a view is a stable snapshot and mutating through one
+    is rejected. *)
 
 type record = {
   hash : string;
@@ -20,26 +28,73 @@ type t
 val create : unit -> t
 
 val add_record : t -> record -> unit
-(** Idempotent on hash. *)
+(** Idempotent on hash. Raises [Invalid_argument] on a {!filter} view. *)
 
 val add_concrete : t -> Specs.Spec.concrete -> unit
-(** Install every node of a concrete spec. *)
+(** Install every node of a concrete spec. Raises [Invalid_argument] on a
+    {!filter} view. *)
+
+val copy : t -> t
+(** An independent database with the same visible records (the server's
+    install path copies, extends, then atomically swaps). Copying a full
+    database is a flat array blit; copying a view compacts it. *)
 
 val find : t -> string -> record option
 (** Lookup by hash. *)
 
 val by_package : t -> string -> record list
+(** Records for one package, newest install first. *)
+
 val records : t -> record list
+(** All visible records in insertion order. *)
+
 val size : t -> int
 val is_empty : t -> bool
+val is_view : t -> bool
 
 val filter : t -> f:(record -> bool) -> t
 (** Restrict to records matching [f] whose dependency closure also matches
     (dangling sub-DAGs are dropped), e.g. per-architecture or per-OS
-    buildcache slices (§VII-C). *)
+    buildcache slices (§VII-C). The result is a view over the parent's
+    arena: no records are copied, and it is a snapshot — records installed
+    into the parent afterwards are not visible, and {!add_record} /
+    {!add_concrete} on the view raise. *)
 
 val mem_dag : t -> string -> bool
 (** Is the hash present with its full dependency closure? *)
+
+(** {1 Packed access}
+
+    Allocation-free accessors for the fact pipeline: iterate visible rows
+    ({e slots}), read pool ids per field, resolve ids to strings or
+    memoized parsed versions. Slots and pool ids are only meaningful for
+    the database (and views of the database) that produced them. *)
+
+val iter_slots : t -> (int -> unit) -> unit
+(** Visible slots in insertion order. *)
+
+val slot_of_hash : t -> string -> int option
+val pool_size : t -> int
+val str_of_id : t -> int -> string
+
+val version_of_id : t -> int -> Specs.Version.t
+(** Memoized [Specs.Version.of_string] of the pooled string. *)
+
+val p_hash : t -> int -> int
+val p_name : t -> int -> int
+val p_version : t -> int -> int
+val p_compiler_name : t -> int -> int
+val p_compiler_version : t -> int -> int
+val p_os : t -> int -> int
+val p_target : t -> int -> int
+val n_variants : t -> int -> int
+val n_deps : t -> int -> int
+
+val iter_variants : t -> int -> (int -> int -> unit) -> unit
+(** [iter_variants t slot f] calls [f key_id value_id] in recipe order. *)
+
+val iter_deps : t -> int -> (int -> int -> unit) -> unit
+(** [iter_deps t slot f] calls [f package_id hash_id] per direct dep. *)
 
 (** {1 Persistence}
 
@@ -56,6 +111,8 @@ type load_error =
   | Malformed of { line : int; reason : string }
 
 val load_error_to_string : load_error -> string
+
+val format_header : string
 
 val save : t -> string -> unit
 (** Write the database to [path] atomically (temp file + rename): a reader

@@ -196,8 +196,8 @@ let record_install t (s : C.success) =
       let old = Atomic.get t.db in
       let seq = Option.map (fun j -> Journal.append_intent j s.C.spec) t.cfg.journal in
       crash_maybe t After_intent;
-      let db = Pkg.Database.create () in
-      List.iter (Pkg.Database.add_record db) (Pkg.Database.records old);
+      (* copy is a flat arena blit, not a per-record rebuild *)
+      let db = Pkg.Database.copy old in
       Pkg.Database.add_concrete db s.C.spec;
       let fresh =
         List.filter_map

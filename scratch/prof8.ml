@@ -1,8 +1,10 @@
 let () =
   let repo = Pkg.Repo_core.repo in
   let db = Pkg.Database.create () in
-  Pkg.Buildcache_gen.populate ~variations:5 ~repo
-    ~combos:Pkg.Buildcache_gen.default_combos ~roots:Pkg.Repo_core.e4s_roots db;
+  ignore
+    (Pkg.Buildcache_gen.populate ~variations:5 ~repo
+       ~combos:Pkg.Buildcache_gen.default_combos ~roots:Pkg.Repo_core.e4s_roots db
+      : Pkg.Buildcache_gen.stats);
   Printf.printf "cache: %d specs\n%!" (Pkg.Database.size db);
   List.iter
     (fun strategy ->

@@ -162,4 +162,27 @@ echo "== portfolio smoke (fig7d --quick --jobs 4)"
 timeout 600 dune exec bench/main.exe -- fig7d --quick --jobs 4 --json BENCH_ci_jobs4.json
 grep -q '"jobs": 4' BENCH_ci_jobs4.json
 
+echo "== E4S-scale reuse smoke (5k-spec buildcache, streamed reuse facts)"
+# medium-scale rehearsal of the paper's §VII-C stress test: grows a ~5,000
+# spec buildcache and runs all four slices through the streaming fact
+# pipeline; independent of --quick so the solve sizes match a real run
+timeout 900 dune exec bench/main.exe -- fig7efg-full --e4s-target 5000 \
+  --json BENCH_e4s_ci.json
+python3 - << 'EOF'
+import json
+d = json.load(open("BENCH_e4s_ci.json"))
+m = d["metrics"]
+assert m["e4s_specs"] >= 5000, m
+# the streamed fact path must beat the materialized one at CI scale
+assert m["factgen_streamed_p50_s"] < m["factgen_materialized_p50_s"], m
+# the full 63k run is bounded at 2 GiB; the 5k smoke must stay far below
+assert d["peak_rss_mb"] < 1024, d["peak_rss_mb"]
+sums = [s for s in d["summaries"] if s["experiment"].startswith("fig7efg-full")]
+assert len(sums) == 4, [s["experiment"] for s in sums]
+assert all(s["n"] > 0 and s["p50_total_s"] > 0 for s in sums), sums
+print("e4s smoke: %d specs, factgen %.3fs -> %.3fs, peak rss %.0f MB" % (
+    m["e4s_specs"], m["factgen_materialized_p50_s"],
+    m["factgen_streamed_p50_s"], d["peak_rss_mb"]))
+EOF
+
 echo "== ci OK"

@@ -275,8 +275,10 @@ let test_unknown_package () =
 
 let build_cache ?variations roots =
   let db = Pkg.Database.create () in
-  Pkg.Buildcache_gen.populate ?variations ~repo ~combos:Pkg.Buildcache_gen.default_combos
-    ~roots db;
+  ignore
+    (Pkg.Buildcache_gen.populate ?variations ~repo
+       ~combos:Pkg.Buildcache_gen.default_combos ~roots db
+      : Pkg.Buildcache_gen.stats);
   db
 
 let test_reuse_prefers_installed () =
@@ -358,7 +360,10 @@ let test_fact_generation () =
 
 let test_fact_generation_with_reuse () =
   let db = build_cache ~variations:1 [ "zlib" ] in
-  let facts = Facts.generate ~installed:db ~repo [ Specs.Spec_parser.parse "zlib" ] in
+  let roots = [ Specs.Spec_parser.parse "zlib" ] in
+  let facts =
+    Facts.generate ~installed:db ~reuse_mode:`Materialize ~repo roots
+  in
   let count name =
     List.length
       (List.filter
@@ -370,7 +375,29 @@ let test_fact_generation_with_reuse () =
   in
   Alcotest.(check bool) "optimize_for_reuse emitted" true (count "optimize_for_reuse" = 1);
   Alcotest.(check bool) "installed hashes" true (count "installed_hash" > 0);
-  Alcotest.(check bool) "hash constraints" true (count "hash_constraint" > 0)
+  Alcotest.(check bool) "hash constraints" true (count "hash_constraint" > 0);
+  (* the streaming default delivers the same facts via [reuse_stream]
+     instead of statements, with an identical total count *)
+  let streamed = Facts.generate ~installed:db ~repo roots in
+  let stream =
+    match streamed.Facts.reuse_stream with
+    | Some s -> s
+    | None -> Alcotest.fail "streaming mode produced no reuse stream"
+  in
+  let by_pred = Hashtbl.create 8 in
+  stream (fun (ga : Asp.Gatom.t) ->
+      let n =
+        Option.value ~default:0 (Hashtbl.find_opt by_pred ga.Asp.Gatom.pred)
+      in
+      Hashtbl.replace by_pred ga.Asp.Gatom.pred (n + 1));
+  let scount p = Option.value ~default:0 (Hashtbl.find_opt by_pred p) in
+  Alcotest.(check int) "streamed installed_hash" (count "installed_hash")
+    (scount "installed_hash");
+  Alcotest.(check int) "streamed hash_constraint" (count "hash_constraint")
+    (scount "hash_constraint");
+  Alcotest.(check int) "streamed hash_dep" (count "hash_dep") (scount "hash_dep");
+  Alcotest.(check int) "n_facts identical across modes" facts.Facts.n_facts
+    streamed.Facts.n_facts
 
 let test_phases_measured () =
   let s = concrete "hdf5" in

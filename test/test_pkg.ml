@@ -136,7 +136,21 @@ let test_database_filter () =
   let filtered = Database.filter db ~f:(fun r -> r.Database.name <> "b") in
   Alcotest.(check int) "closure-consistent filter" 0 (Database.size filtered);
   let keep_all = Database.filter db ~f:(fun _ -> true) in
-  Alcotest.(check int) "identity filter" 2 (Database.size keep_all)
+  Alcotest.(check int) "identity filter" 2 (Database.size keep_all);
+  (* slices are arena-sharing views: mutating through one is rejected... *)
+  Alcotest.(check bool) "slice is a view" true (Database.is_view keep_all);
+  (match Database.add_concrete keep_all (mk_concrete [ "c" ]) with
+  | () -> Alcotest.fail "mutating a slice must raise"
+  | exception Invalid_argument _ -> ());
+  (* ...and installs into the parent stay invisible to the snapshot *)
+  Database.add_concrete db (mk_concrete [ "b"; "c" ]);
+  Alcotest.(check int) "parent grew" 4 (Database.size db);
+  Alcotest.(check int) "snapshot unchanged" 2 (Database.size keep_all);
+  List.iter2
+    (fun (a : Database.record) (b : Database.record) ->
+      Alcotest.(check string) "same records" a.Database.hash b.Database.hash)
+    (Database.records keep_all)
+    (List.filteri (fun i _ -> i < 2) (Database.records db))
 
 (* ------------------------------------------------------------------ *)
 (* Database persistence                                                *)
@@ -160,8 +174,10 @@ let record_key (r : Database.record) =
     List.sort compare r.Database.deps )
 
 let facts_of db roots =
+  (* Materialize mode renders the reuse facts as statements so the
+     comparison still covers the installed records *)
   let f =
-    Concretize.Facts.generate ~repo ~installed:db
+    Concretize.Facts.generate ~repo ~installed:db ~reuse_mode:`Materialize
       (List.map Specs.Spec_parser.parse roots)
   in
   List.map
@@ -291,9 +307,32 @@ let test_synth_repo () =
 
 let test_buildcache_gen () =
   let db = Database.create () in
-  Buildcache_gen.populate ~repo ~combos:Buildcache_gen.default_combos
-    ~roots:[ "zlib"; "hdf5" ] db;
+  let st =
+    Buildcache_gen.populate ~repo ~combos:Buildcache_gen.default_combos
+      ~roots:[ "zlib"; "hdf5" ] db
+  in
   Alcotest.(check bool) "cache populated" true (Database.size db > 50);
+  (* the stats account for every expansion and agree with the cache size *)
+  Alcotest.(check int) "added = size" (Database.size db)
+    st.Buildcache_gen.added;
+  Alcotest.(check bool) "expansions counted" true
+    (st.Buildcache_gen.expanded > 0);
+  Alcotest.(check bool) "duplicates deduped" true
+    (st.Buildcache_gen.duplicates > 0);
+  (* deterministic in the seed: same stats, same fingerprint *)
+  let db2 = Database.create () in
+  let st2 =
+    Buildcache_gen.populate ~repo ~combos:Buildcache_gen.default_combos
+      ~roots:[ "zlib"; "hdf5" ] db2
+  in
+  Alcotest.(check bool) "deterministic stats" true (st = st2);
+  Alcotest.(check string) "deterministic contents" (Database.fingerprint db)
+    (Database.fingerprint db2);
+  (* scale_to reaches its target deterministically and reports honestly *)
+  let big, bst = Buildcache_gen.scale_to ~repo ~roots:[ "zlib"; "hdf5" ] 200 in
+  Alcotest.(check bool) "target reached" true (Database.size big >= 200);
+  Alcotest.(check int) "scale_to added = size" (Database.size big)
+    bst.Buildcache_gen.added;
   (* every record's dep closure is present *)
   List.iter
     (fun (r : Database.record) ->
