@@ -211,6 +211,181 @@ let run_tier wl ~mult ~clients ~duration ~seed =
       ("daemon", daemon_stats wl.socket);
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Failover chaos tier: kill -9 the primary under install load         *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared state of one failover drill.  [kill_time] flips from 0 to the
+   SIGKILL timestamp; each client measures the gap from that instant to
+   its first install acked by the promoted standby.  [acked] collects
+   every spec whose install the old primary (or the new one) acknowledged
+   — the lost-ack audit replays them against the survivor afterwards. *)
+type failover_ctx = {
+  standby : string;
+  kill_time : float Atomic.t;
+  recoveries : float list ref;  (* guarded by the tier mutex *)
+  acked : (string, unit) Hashtbl.t;  (* guarded by the tier mutex *)
+}
+
+let run_failover_client wl ctx ~seed ~deadline out mutex =
+  let rng = Random.State.make [| seed; 0xfa11 |] in
+  let c = zero () in
+  let recovered = ref false in
+  let pick () = wl.specs.(Random.State.int rng (Array.length wl.specs)) in
+  match
+    Client.connect_many ~retries:12 ~backoff:0.05 ~recv_timeout:10.0
+      [ wl.socket; ctx.standby ]
+  with
+  | Error _ ->
+    c.n_error <- c.n_error + 1;
+    merge mutex out c
+  | Ok client ->
+    let rec loop () =
+      if Unix.gettimeofday () < deadline then begin
+        let spec = pick () in
+        let is_install = Random.State.float rng 1.0 < wl.install_frac in
+        let req =
+          if is_install then Protocol.install ?timeout:wl.req_timeout spec
+          else Protocol.solve ?timeout:wl.req_timeout spec
+        in
+        let t0 = Unix.gettimeofday () in
+        (match Client.call client req with
+        | Ok (Protocol.Result _ | Protocol.Results _ | Protocol.Installed _)
+          ->
+          let t1 = Unix.gettimeofday () in
+          c.n_ok <- c.n_ok + 1;
+          c.latencies <- (t1 -. t0) :: c.latencies;
+          if is_install then begin
+            Mutex.lock mutex;
+            Hashtbl.replace ctx.acked spec ();
+            (* write availability restored: first install ack after the
+               kill is this client's failover latency *)
+            let tk = Atomic.get ctx.kill_time in
+            if tk > 0. && not !recovered then begin
+              recovered := true;
+              ctx.recoveries := (t1 -. tk) :: !(ctx.recoveries)
+            end;
+            Mutex.unlock mutex
+          end
+        | Ok (Protocol.Error { kind = Protocol.Overloaded; _ }) ->
+          c.n_shed <- c.n_shed + 1
+        | Ok _ -> c.n_error <- c.n_error + 1
+        | Error _ -> c.n_error <- c.n_error + 1);
+        loop ()
+      end
+    in
+    loop ();
+    c.n_reconnects <- Client.reconnects client;
+    Client.close client;
+    merge mutex out c
+
+(* Replay every acked install against the survivor: an [Installed] reply
+   with fresh hashes means the records were missing — that ack was lost.
+   Under --repl-ack=sync this must come back 0. *)
+let audit_lost_acks standby acked =
+  match Client.connect ~retries:6 ~recv_timeout:10.0 standby with
+  | Error _ -> (Hashtbl.length acked, 0, false)
+  | Ok c ->
+    let lost, unknown =
+      Hashtbl.fold
+        (fun spec () (lost, unknown) ->
+          match Client.call c (Protocol.install spec) with
+          | Ok (Protocol.Installed { hashes = []; _ }) -> (lost, unknown)
+          | Ok (Protocol.Installed _) -> (lost + 1, unknown)
+          | _ -> (lost, unknown + 1))
+        acked (0, 0)
+    in
+    Client.close c;
+    (lost, unknown, true)
+
+let run_failover_tier wl ~standby ~kill_pid ~clients ~duration ~seed =
+  let ctx =
+    {
+      standby;
+      kill_time = Atomic.make 0.;
+      recoveries = ref [];
+      acked = Hashtbl.create 64;
+    }
+  in
+  let total = zero () in
+  let mutex = Mutex.create () in
+  let deadline = Unix.gettimeofday () +. duration in
+  let promote_result = ref None in
+  let killer =
+    Thread.create
+      (fun () ->
+        (* let installs accumulate on the primary first *)
+        Thread.delay (Float.min 1.5 (duration /. 3.));
+        let tk = Unix.gettimeofday () in
+        (try Unix.kill kill_pid Sys.sigkill
+         with Unix.Unix_error _ | Invalid_argument _ -> ());
+        Atomic.set ctx.kill_time tk;
+        let rec promote n =
+          if n > 100 then None
+          else
+            match Client.connect ~retries:2 ~recv_timeout:5.0 standby with
+            | Error _ ->
+              Thread.delay 0.05;
+              promote (n + 1)
+            | Ok c -> (
+              let r = Client.request c Protocol.Promote in
+              Client.close c;
+              match r with
+              | Ok (Protocol.Promoted { epoch }) ->
+                Some (Unix.gettimeofday () -. tk, epoch)
+              | _ ->
+                Thread.delay 0.05;
+                promote (n + 1))
+        in
+        promote_result := promote 0)
+      ()
+  in
+  let threads =
+    List.init clients (fun i ->
+        Thread.create
+          (fun () ->
+            run_failover_client wl ctx ~seed:(seed + 9000 + i) ~deadline total
+              mutex)
+          ())
+  in
+  List.iter Thread.join threads;
+  Thread.join killer;
+  let lost, unknown, audited = audit_lost_acks standby ctx.acked in
+  let rec_lat = Array.of_list !(ctx.recoveries) in
+  Array.sort compare rec_lat;
+  let ms x = Float.round (x *. 1e6) /. 1e3 in
+  let promote_ms, epoch =
+    match !promote_result with
+    | Some (d, e) -> (ms d, e)
+    | None -> (-1., -1)
+  in
+  Printf.printf
+    "spack_load: failover  %3d clients  %5d ok  %3d err  killed pid %d  \
+     promote %.1fms  recover p50 %.1fms p99 %.1fms  acked %d  lost %d\n%!"
+    clients total.n_ok total.n_error kill_pid promote_ms
+    (ms (percentile rec_lat 0.50))
+    (ms (percentile rec_lat 0.99))
+    (Hashtbl.length ctx.acked) lost;
+  Json.Obj
+    [
+      ("clients", Json.Int clients);
+      ("killed_pid", Json.Int kill_pid);
+      ("ok", Json.Int total.n_ok);
+      ("shed", Json.Int total.n_shed);
+      ("errors", Json.Int total.n_error);
+      ("reconnects", Json.Int total.n_reconnects);
+      ("promote_ms", Json.Float promote_ms);
+      ("promoted_epoch", Json.Int epoch);
+      ("recovered_clients", Json.Int (Array.length rec_lat));
+      ("failover_p50_ms", Json.Float (ms (percentile rec_lat 0.50)));
+      ("failover_p99_ms", Json.Float (ms (percentile rec_lat 0.99)));
+      ("acked_installs", Json.Int (Hashtbl.length ctx.acked));
+      ("lost_acks", Json.Int lost);
+      ("audit_errors", Json.Int unknown);
+      ("audited", Json.Bool audited);
+      ("daemon", daemon_stats standby);
+    ]
+
 let parse_tiers s =
   String.split_on_char ',' s
   |> List.filter_map (fun x ->
@@ -219,7 +394,7 @@ let parse_tiers s =
          | _ -> None)
 
 let run socket clients duration tiers chaos specs synth install_frac batch_frac
-    batch_size req_timeout seed json_path =
+    batch_size req_timeout seed json_path kill_primary standby =
   let specs =
     match (specs, synth) with
     | Some s, _ ->
@@ -233,7 +408,9 @@ let run socket clients duration tiers chaos specs synth install_frac batch_frac
     exit 2
   end;
   let tiers =
-    match parse_tiers tiers with [] -> [ 1; 2; 10 ] | ts -> ts
+    (* "--tiers 0" skips the load ladder (a failover-only run) *)
+    if String.trim tiers = "0" then []
+    else match parse_tiers tiers with [] -> [ 1; 2; 10 ] | ts -> ts
   in
   let wl =
     {
@@ -255,16 +432,34 @@ let run socket clients duration tiers chaos specs synth install_frac batch_frac
   let results =
     List.map (fun mult -> run_tier wl ~mult ~clients ~duration ~seed) tiers
   in
+  (* --kill-primary PID (with --standby SOCK): after the load tiers, run
+     the failover drill — kill -9 the primary mid-install-stream, promote
+     the standby, measure write-unavailability per client and audit that
+     no acked install was lost *)
+  let failover =
+    match (kill_primary, standby) with
+    | 0, _ -> []
+    | _, None ->
+      Printf.eprintf "spack_load: --kill-primary needs --standby SOCK\n";
+      exit 2
+    | pid, Some standby ->
+      [
+        ( "failover",
+          run_failover_tier wl ~standby ~kill_pid:pid ~clients ~duration ~seed
+        );
+      ]
+  in
   let report =
     Json.Obj
-      [
-        ("bench", Json.Str "serve");
-        ("chaos", Json.Bool chaos);
-        ("base_clients", Json.Int clients);
-        ("tier_duration_s", Json.Float duration);
-        ("spec_pool", Json.Int (Array.length specs));
-        ("tiers", Json.List results);
-      ]
+      ([
+         ("bench", Json.Str "serve");
+         ("chaos", Json.Bool chaos);
+         ("base_clients", Json.Int clients);
+         ("tier_duration_s", Json.Float duration);
+         ("spec_pool", Json.Int (Array.length specs));
+         ("tiers", Json.List results);
+       ]
+      @ failover)
   in
   (match json_path with
   | Some p ->
@@ -361,6 +556,27 @@ let json_path =
     & info [ "json" ] ~docv:"PATH"
         ~doc:"Write the JSON report here (default: stdout).")
 
+let kill_primary =
+  Arg.(
+    value & opt int 0
+    & info [ "kill-primary" ] ~docv:"PID"
+        ~doc:
+          "Failover drill (needs --standby): after the load tiers, stream \
+           installs through the --socket/--standby failover chain, kill -9 \
+           this daemon PID mid-stream, promote the standby, and report \
+           per-client failover latency (p50/p99) plus a lost-ack audit — \
+           every acked install is replayed against the survivor and must \
+           already be present (0 lost under --repl-ack=sync).")
+
+let standby =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "standby" ] ~docv:"SOCK"
+        ~doc:
+          "Hot-standby follower socket used as the second failover \
+           endpoint and promotion target of --kill-primary.")
+
 let cmd =
   let doc = "generate load (and chaos) against a running spack_serve" in
   let man =
@@ -377,6 +593,7 @@ let cmd =
     (Cmd.info "spack_load" ~doc ~man)
     Term.(
       const run $ socket $ clients $ duration $ tiers $ chaos $ specs $ synth
-      $ install_frac $ batch_frac $ batch_size $ req_timeout $ seed $ json_path)
+      $ install_frac $ batch_frac $ batch_size $ req_timeout $ seed $ json_path
+      $ kill_primary $ standby)
 
 let () = exit (Cmd.eval' cmd)

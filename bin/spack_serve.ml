@@ -17,22 +17,33 @@ let pick_repo = function
       Printf.eprintf "unknown repo %S (use 'core' or a package count)\n" s;
       exit 2)
 
-(* SPACK_SERVE_CRASH=after-intent|after-save makes the next install die with
-   _exit(42) at that point of the write-ahead protocol.  Used by the
-   kill -9 recovery drill in scripts/ci.sh; meaningless in production. *)
+(* SPACK_SERVE_CRASH=after-intent|after-save|after-commit makes the next
+   install die with _exit(42) at that point of the write-ahead protocol.
+   Used by the kill -9 recovery and failover drills in scripts/ci.sh;
+   meaningless in production. *)
 let crash_of_env () =
   match Sys.getenv_opt "SPACK_SERVE_CRASH" with
   | Some "after-intent" ->
     Some (Server.State.After_intent, fun () -> Unix._exit 42)
   | Some "after-save" -> Some (Server.State.After_save, fun () -> Unix._exit 42)
+  | Some "after-commit" ->
+    Some (Server.State.After_commit, fun () -> Unix._exit 42)
   | Some other ->
     Printf.eprintf "spack_serve: ignoring SPACK_SERVE_CRASH=%S\n%!" other;
     None
   | None -> None
 
-let run socket repo_name preset db_path journal_arg cache_dir cache_mem workers
-    jobs max_pending timeout client_rate client_burst drain_grace no_verify =
+let run socket repo_name preset db_path journal_arg journal_max_bytes follow
+    repl_ack cache_dir cache_mem workers jobs max_pending timeout client_rate
+    client_burst drain_grace no_verify =
   let repo = pick_repo repo_name in
+  let repl_ack =
+    match Server.Replica.ack_mode_of_string repl_ack with
+    | Some m -> m
+    | None ->
+      Printf.eprintf "unknown --repl-ack %S (use none|async|sync)\n" repl_ack;
+      exit 2
+  in
   let preset =
     match Asp.Config.preset_of_name preset with
     | Some p -> p
@@ -47,6 +58,12 @@ let run socket repo_name preset db_path journal_arg cache_dir cache_mem workers
     | Some p, _ -> Some p
     | None, Some db -> Some (db ^ ".journal")
   in
+  if follow <> None && journal_path = None then begin
+    Printf.eprintf
+      "Error: --follow needs a journal (give --db or --journal): follower \
+       acks promise durability\n";
+    exit 2
+  end;
   let db, replayed =
     match
       Server.State.recover ?db_path ?journal_path ()
@@ -81,6 +98,9 @@ let run socket repo_name preset db_path journal_arg cache_dir cache_mem workers
       db;
       db_path;
       journal_path;
+      journal_max_bytes;
+      follow;
+      repl_ack;
       cache;
       workers;
       jobs;
@@ -141,6 +161,37 @@ let journal_arg =
         ~doc:
           "Write-ahead install journal (default: the --db path plus \
            '.journal'; an empty string disables journaling).")
+
+let journal_max_bytes =
+  Arg.(
+    value & opt int 0
+    & info [ "journal-max-bytes" ] ~docv:"N"
+        ~doc:
+          "Compact the install journal (checkpoint against the saved \
+           database, preserving sequence positions) once it outgrows N \
+           bytes (0 = never).")
+
+let follow =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "follow" ] ~docv:"SOCKET"
+        ~doc:
+          "Run as a hot-standby follower of the primary daemon at SOCKET: \
+           stream its install journal into local state, serve solves \
+           read-only, refuse installs until a 'promote' request flips this \
+           daemon to primary (fencing the old epoch).")
+
+let repl_ack =
+  Arg.(
+    value & opt string "async"
+    & info [ "repl-ack" ] ~docv:"MODE"
+        ~doc:
+          "Replication durability of the client-visible install ack: \
+           'none' (replication off), 'async' (ack after the local commit \
+           fsync; followers trail), 'sync' (ack only after a follower \
+           fsynced the record too — a primary kill -9 loses nothing \
+           acked).")
 
 let cache_dir =
   Arg.(
@@ -235,7 +286,8 @@ let cmd =
     (Cmd.info "spack_serve" ~doc ~man)
     Term.(
       const run $ socket $ repo_name $ preset $ db_path $ journal_arg
-      $ cache_dir $ cache_mem $ workers $ jobs $ max_pending $ timeout
-      $ client_rate $ client_burst $ drain_grace $ no_verify)
+      $ journal_max_bytes $ follow $ repl_ack $ cache_dir $ cache_mem
+      $ workers $ jobs $ max_pending $ timeout $ client_rate $ client_burst
+      $ drain_grace $ no_verify)
 
 let () = exit (Cmd.eval' cmd)

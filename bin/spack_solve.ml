@@ -192,10 +192,15 @@ let run_multishot repo config installed ?pool ?racers specs =
 
 (* --connect: be a client of a running spack_serve instead of solving
    locally.  Results print through the same renderer, prefixed with the
-   daemon's cache verdict. *)
-let run_client sock remote_stats remote_shutdown remote_install show_stats
-    validate repo_name specs =
-  match Server.Client.connect sock with
+   daemon's cache verdict.  A comma-separated socket list is a failover
+   chain (primary first, standbys after): transient failures and
+   read-only refusals rotate to the next endpoint. *)
+let run_client socks remote_stats remote_shutdown remote_install
+    remote_promote show_stats validate repo_name specs =
+  let endpoints =
+    String.split_on_char ',' socks |> List.filter (fun s -> s <> "")
+  in
+  match Server.Client.connect_many endpoints with
   | Error m ->
     Printf.eprintf "Error: cannot connect: %s\n" m;
     2
@@ -205,7 +210,7 @@ let run_client sock remote_stats remote_shutdown remote_install show_stats
         if remote_install then Server.Protocol.install spec_text
         else Server.Protocol.solve spec_text
       in
-      match Server.Client.request client req with
+      match Server.Client.call client req with
       | Error m ->
         Printf.eprintf "Error: %s\n" m;
         max rc 2
@@ -243,6 +248,21 @@ let run_client sock remote_stats remote_shutdown remote_install show_stats
           Printf.eprintf "Error: %s\n" m;
           2
       end
+      else if remote_promote then begin
+        match Server.Client.request client Server.Protocol.Promote with
+        | Ok (Server.Protocol.Promoted { epoch }) ->
+          Printf.printf "promoted: now primary in epoch %d\n" epoch;
+          0
+        | Ok (Server.Protocol.Error { message; _ }) ->
+          Printf.eprintf "Error: %s\n" message;
+          2
+        | Ok _ ->
+          Printf.eprintf "Error: unexpected reply\n";
+          2
+        | Error m ->
+          Printf.eprintf "Error: %s\n" m;
+          2
+      end
       else if remote_shutdown then begin
         match Server.Client.request client Server.Protocol.Shutdown with
         | Ok Server.Protocol.Bye ->
@@ -266,7 +286,7 @@ let run_client sock remote_stats remote_shutdown remote_install show_stats
 
 let run repo_name preset specs show_stats greedy multishot validate reuse_roots
     cache_size timeout retries jobs explain no_verify connect remote_stats
-    remote_shutdown remote_install =
+    remote_shutdown remote_install remote_promote =
   if connect <> "" then begin
     (* the client layer ignores SIGPIPE (it needs EPIPE as an exception),
        so a reader that hung up — `spack_solve ... | head` — surfaces here
@@ -277,7 +297,7 @@ let run repo_name preset specs show_stats greedy multishot validate reuse_roots
     let rc =
       try
         run_client connect remote_stats remote_shutdown remote_install
-          show_stats validate repo_name specs
+          remote_promote show_stats validate repo_name specs
       with Sys_error m when m = "Broken pipe" -> 141
     in
     match flush stdout with
@@ -349,8 +369,8 @@ let specs =
   Arg.(value & pos_all string [] & info [] ~docv:"SPEC" ~doc:"Abstract specs to concretize.")
 
 let connect =
-  Arg.(value & opt string "" & info [ "connect" ] ~docv:"SOCK"
-         ~doc:"Solve through a running spack_serve daemon at this Unix socket instead of locally; each result is prefixed with the daemon's cache verdict (hit or miss).")
+  Arg.(value & opt string "" & info [ "connect" ] ~docv:"SOCKS"
+         ~doc:"Solve through a running spack_serve daemon instead of locally; each result is prefixed with the daemon's cache verdict (hit or miss). A comma-separated socket list is a failover chain (primary first, hot standbys after): requests rotate to the next endpoint when the active one dies or answers read-only.")
 
 let remote_stats =
   Arg.(value & flag & info [ "remote-stats" ]
@@ -363,6 +383,10 @@ let remote_shutdown =
 let remote_install =
   Arg.(value & flag & info [ "remote-install" ]
          ~doc:"With --connect: concretize each spec and record the resulting DAG in the daemon's installed database (write-ahead journaled).")
+
+let remote_promote =
+  Arg.(value & flag & info [ "remote-promote" ]
+         ~doc:"With --connect: promote a hot-standby follower to primary (it stops following, bumps the replication epoch to fence the old primary, and starts accepting installs) and exit.")
 
 let repo_name =
   Arg.(value & opt string "core" & info [ "repo" ] ~docv:"REPO"
@@ -430,7 +454,8 @@ let cmd =
     Term.(
       const run $ repo_name $ preset $ specs $ stats $ greedy $ multishot $ validate
       $ reuse_roots $ cache_size $ timeout $ retries $ jobs $ explain
-      $ no_verify $ connect $ remote_stats $ remote_shutdown $ remote_install)
+      $ no_verify $ connect $ remote_stats $ remote_shutdown $ remote_install
+      $ remote_promote)
 
 (* Safety net for the hung-up-reader case: once a flush has failed with
    EPIPE the channel buffer is poisoned, so the at_exit flushes (stdlib's

@@ -27,8 +27,11 @@ type service_point =
   | Delay_response
   | Worker_crash
   | Worker_wedge
+  | Repl_drop
+  | Repl_reorder
+  | Follower_crash
 
-let n_service_points = 6
+let n_service_points = 9
 
 let service_index = function
   | Journal_tear -> 0
@@ -37,6 +40,9 @@ let service_index = function
   | Delay_response -> 3
   | Worker_crash -> 4
   | Worker_wedge -> 5
+  | Repl_drop -> 6
+  | Repl_reorder -> 7
+  | Follower_crash -> 8
 
 let service_point_name = function
   | Journal_tear -> "journal_tear"
@@ -45,6 +51,9 @@ let service_point_name = function
   | Delay_response -> "delay_response"
   | Worker_crash -> "worker_crash"
   | Worker_wedge -> "worker_wedge"
+  | Repl_drop -> "repl_drop"
+  | Repl_reorder -> "repl_reorder"
+  | Follower_crash -> "follower_crash"
 
 (* One countdown per point, global to the process: the daemon's workers run
    in their own domains, so the counters are atomics.  0 = disarmed. *)

@@ -38,7 +38,15 @@ val arm : Budget.t -> point -> int -> unit
       killing the worker domain (the supervisor must restart it).
     - [Worker_wedge]: request handling blocks the worker's event loop for
       several seconds (the supervisor must detect the stalled heartbeat
-      and quarantine the worker). *)
+      and quarantine the worker).
+    - [Repl_drop]: the replication hub silently drops the next record
+      instead of shipping it (the follower must detect the sequence gap
+      and resubscribe from its last durable position).
+    - [Repl_reorder]: the hub holds the next record back and ships it
+      after its successor (the follower must reject the out-of-order
+      sequence and resynchronize).
+    - [Follower_crash]: the follower's apply loop raises mid-stream (the
+      follower must reconnect and resume from its last fsynced entry). *)
 
 type service_point =
   | Journal_tear
@@ -47,6 +55,9 @@ type service_point =
   | Delay_response
   | Worker_crash
   | Worker_wedge
+  | Repl_drop
+  | Repl_reorder
+  | Follower_crash
 
 val service_point_name : service_point -> string
 

@@ -97,6 +97,13 @@ let size t =
   Mutex.unlock t.mu;
   n
 
+let clear t =
+  Mutex.lock t.mu;
+  let n = Hashtbl.length t.entries in
+  Hashtbl.reset t.entries;
+  t.n_drops <- t.n_drops + n;
+  Mutex.unlock t.mu
+
 (* --- keys ----------------------------------------------------------------- *)
 
 let skeleton_of roots =

@@ -31,6 +31,12 @@ val counters : t -> counters
 val size : t -> int
 (** Number of bases currently held. *)
 
+val clear : t -> unit
+(** Drop every base (counted as drops).  {!on_install} only absorbs
+    add-only deltas; a state change that can {e remove} records — a
+    replication follower resynchronizing from a snapshot — must invalidate
+    wholesale and let bases rebuild cold. *)
+
 type grounding = {
   ground : Asp.Ground.t;
   stats : Asp.Grounder.stats;

@@ -424,6 +424,18 @@ let render_lines t =
       iter_deps t slot (fun p h -> add (String.concat "\t" [ "dep"; s p; s h ])));
   List.rev !buf
 
+let render_string t =
+  let lines = render_lines t in
+  let digest = Specs.Spec.digest_strings lines in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun l ->
+      Buffer.add_string buf l;
+      Buffer.add_char buf '\n')
+    lines;
+  Buffer.add_string buf ("digest\t" ^ digest ^ "\n");
+  Buffer.contents buf
+
 let save t path =
   let lines = render_lines t in
   let digest = Specs.Spec.digest_strings lines in
@@ -441,23 +453,8 @@ let save t path =
   (* atomic publish: readers see either the old or the new complete file *)
   Sys.rename tmp path
 
-let load path =
-  if not (Sys.file_exists path) then Error (No_such_file path)
-  else begin
-    let ic = open_in path in
-    let lines =
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () ->
-          let acc = ref [] in
-          (try
-             while true do
-               acc := input_line ic :: !acc
-             done
-           with End_of_file -> ());
-          List.rev !acc)
-    in
-    match lines with
+let parse_lines lines =
+  match lines with
     | [] -> Error (Bad_header "")
     | header :: _ when not (String.equal header format_header) -> Error (Bad_header header)
     | _ :: rest -> (
@@ -527,7 +524,36 @@ let load path =
               Ok t
           end
         | _ -> Error Truncated))
+
+let load path =
+  if not (Sys.file_exists path) then Error (No_such_file path)
+  else begin
+    let ic = open_in path in
+    let lines =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let acc = ref [] in
+          (try
+             while true do
+               acc := input_line ic :: !acc
+             done
+           with End_of_file -> ());
+          List.rev !acc)
+    in
+    parse_lines lines
   end
+
+(* The in-memory mirror of [load]/[save]: replication ships database
+   snapshots as the exact bytes [save] would have written, footer digest
+   included, so the receiving side gets the same corruption detection a
+   file read does. *)
+let load_string s =
+  let lines = String.split_on_char '\n' s in
+  let lines =
+    match List.rev lines with "" :: rest -> List.rev rest | _ -> lines
+  in
+  parse_lines lines
 
 let fingerprint t =
   (* cheap content address: the record hashes already digest each node's

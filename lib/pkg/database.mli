@@ -122,6 +122,13 @@ val save : t -> string -> unit
 
 val load : string -> (t, load_error) result
 
+val render_string : t -> string
+(** The exact bytes {!save} would write (digest footer included) as one
+    string — how replication ships a database snapshot to a follower. *)
+
+val load_string : string -> (t, load_error) result
+(** Parse {!render_string} output, with the same verification as {!load}. *)
+
 val fingerprint : t -> string
 (** Cheap content digest over the record DAG hashes (insertion order).
     Solve-cache keys include it, so installing anything invalidates every

@@ -3,7 +3,8 @@ type error = Transient of string | Fatal of string
 let error_message = function Transient m | Fatal m -> m
 
 type t = {
-  path : string;
+  endpoints : string array;  (* failover list; [cursor] is the active one *)
+  mutable cursor : int;
   recv_timeout : float option;
   retries : int;
   backoff : float;
@@ -12,9 +13,12 @@ type t = {
   mutable io : (in_channel * out_channel) option;
   mutable next_id : int;
   mutable n_reconnects : int;
+  mutable n_failovers : int;
 }
 
 let reconnects t = t.n_reconnects
+let failovers t = t.n_failovers
+let endpoint t = t.endpoints.(t.cursor)
 
 let drop t =
   match t.io with
@@ -24,10 +28,22 @@ let drop t =
     (try flush oc with Sys_error _ -> ());
     (try close_in ic with Sys_error _ -> ())
 
+(* Move to the next endpoint in the list (no-op with a single endpoint):
+   called when the active one failed transiently or answered [Read_only] —
+   either the primary died (a follower will answer once promoted) or we
+   were pointed at a follower all along. *)
+let rotate t =
+  if Array.length t.endpoints > 1 then begin
+    drop t;
+    t.cursor <- (t.cursor + 1) mod Array.length t.endpoints;
+    t.n_failovers <- t.n_failovers + 1
+  end
+
 let dial t =
+  let path = endpoint t in
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   match
-    Unix.connect fd (Unix.ADDR_UNIX t.path);
+    Unix.connect fd (Unix.ADDR_UNIX path);
     Option.iter
       (fun s -> Unix.setsockopt_float fd Unix.SO_RCVTIMEO s)
       t.recv_timeout
@@ -38,30 +54,48 @@ let dial t =
     Ok io
   | exception Unix.Unix_error (e, _, _) ->
     (try Unix.close fd with Unix.Unix_error _ -> ());
-    Error (t.path ^ ": " ^ Unix.error_message e)
+    Error (path ^ ": " ^ Unix.error_message e)
 
-let connect ?(retries = 4) ?(backoff = 0.05) ?recv_timeout path =
+let connect_many ?(retries = 4) ?(backoff = 0.05) ?recv_timeout paths =
   (* writes to a peer-closed socket must surface as EPIPE, not kill the
      process *)
   (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
   | _ -> ()
   | exception Invalid_argument _ -> ());
-  let t =
-    {
-      path;
-      recv_timeout;
-      retries = max 0 retries;
-      backoff = Float.max 0.001 backoff;
-      backoff_cap = 2.0;
-      rng =
-        Random.State.make
-          [| Unix.getpid (); int_of_float (Unix.gettimeofday () *. 1e6) |];
-      io = None;
-      next_id = 1;
-      n_reconnects = 0;
-    }
-  in
-  match dial t with Ok _ -> Ok t | Error m -> Error m
+  match paths with
+  | [] -> Error "no endpoints"
+  | _ ->
+    let t =
+      {
+        endpoints = Array.of_list paths;
+        cursor = 0;
+        recv_timeout;
+        retries = max 0 retries;
+        backoff = Float.max 0.001 backoff;
+        backoff_cap = 2.0;
+        rng =
+          Random.State.make
+            [| Unix.getpid (); int_of_float (Unix.gettimeofday () *. 1e6) |];
+        io = None;
+        next_id = 1;
+        n_reconnects = 0;
+        n_failovers = 0;
+      }
+    in
+    (* connect to the first endpoint that answers; all down is still Ok if
+       retries remain for the first request to spend *)
+    let rec first i last =
+      if i >= Array.length t.endpoints then
+        if t.retries > 0 then Ok t else Error last
+      else begin
+        t.cursor <- i;
+        match dial t with Ok _ -> Ok t | Error m -> first (i + 1) m
+      end
+    in
+    first 0 "unreachable"
+
+let connect ?retries ?backoff ?recv_timeout path =
+  connect_many ?retries ?backoff ?recv_timeout [ path ]
 
 (* Bounded exponential backoff with full jitter: sleep a uniform fraction
    of [base * 2^attempt], capped — herds of retrying clients decorrelate
@@ -141,21 +175,27 @@ let request t req =
       match request_once t req with
       | Ok resp -> Ok resp
       | Error (Fatal m) -> Error m
-      | Error (Transient m) -> go (attempt + 1) m
+      | Error (Transient m) ->
+        rotate t;
+        go (attempt + 1) m
     end
   in
   go 0 "unreachable"
 
-(* Also retry typed [Overloaded] sheds: the daemon is telling us to come
-   back later, so back off (with jitter) and do exactly that.  Used by the
-   load generator and batch tooling; interactive callers usually want the
-   shed surfaced instead. *)
+(* Also retry typed [Overloaded] sheds (the daemon is telling us to come
+   back later, so back off with jitter and do exactly that) and typed
+   [Read_only] refusals (we reached a follower; rotate endpoints and retry
+   until promotion makes one of them a primary).  Used by the load
+   generator and batch tooling; interactive callers usually want the shed
+   surfaced instead. *)
 let call ?(retry_overloaded = true) t req =
   let rec go attempt =
     if attempt > t.retries then
       match request t req with
       | Ok (Protocol.Error { kind = Protocol.Overloaded; message }) ->
         Error ("overloaded: " ^ message)
+      | Ok (Protocol.Error { kind = Protocol.Read_only; message }) ->
+        Error ("read-only: " ^ message)
       | other -> other
     else
       match request_once t req with
@@ -163,9 +203,14 @@ let call ?(retry_overloaded = true) t req =
         when retry_overloaded ->
         backoff_sleep t attempt;
         go (attempt + 1)
+      | Ok (Protocol.Error { kind = Protocol.Read_only; _ }) ->
+        rotate t;
+        backoff_sleep t attempt;
+        go (attempt + 1)
       | Ok resp -> Ok resp
       | Error (Fatal m) -> Error m
       | Error (Transient _) ->
+        rotate t;
         backoff_sleep t attempt;
         t.n_reconnects <- t.n_reconnects + 1;
         go (attempt + 1)

@@ -11,7 +11,13 @@
     [Sys_error], server EOF, truncated or malformed frames) are typed
     {!Transient} and handled by reconnecting with bounded exponential
     backoff and full jitter; requests are safe to resend because solves
-    are read-only and installs are idempotent on the DAG hash. *)
+    are read-only and installs are idempotent on the DAG hash.
+
+    {!connect_many} takes a failover list of endpoints (primary first,
+    then hot-standby followers).  Transient failures and typed
+    [Read_only] refusals rotate to the next endpoint before retrying, so
+    a client survives a primary crash: its retries land on the follower,
+    which answers once promoted. *)
 
 type t
 
@@ -34,6 +40,19 @@ val connect :
     surfaces as a transient receive failure instead of a hang.  SIGPIPE is
     set to ignore process-wide. *)
 
+val connect_many :
+  ?retries:int ->
+  ?backoff:float ->
+  ?recv_timeout:float ->
+  string list ->
+  (t, string) result
+(** Like {!connect} with a failover endpoint list: the client starts on
+    the first endpoint that accepts a connection and rotates through the
+    list whenever the active one fails transiently or answers a typed
+    [Read_only] refusal.  With every endpoint down at connect time the
+    client is still returned (as long as [retries > 0]) so the first
+    request can spend the retry budget waiting out a failover. *)
+
 val request : t -> Protocol.request -> (Protocol.response, string) result
 (** Send, reconnecting and resending on transient transport failures up to
     [retries] times.  [Error] means the transport failed even after
@@ -50,10 +69,18 @@ val call :
   Protocol.request ->
   (Protocol.response, string) result
 (** Like {!request} but also backs off and retries typed [Overloaded]
-    sheds (default true) — the load-shedding-aware entry point used by the
-    load generator. *)
+    sheds (default true) and typed [Read_only] refusals (rotating to the
+    next endpoint — the daemon answering is a not-yet-promoted follower) —
+    the failover-aware entry point used by the load generator. *)
 
 val reconnects : t -> int
 (** Number of reconnect-and-retry cycles performed so far. *)
+
+val failovers : t -> int
+(** Number of endpoint rotations performed so far (0 with a single
+    endpoint). *)
+
+val endpoint : t -> string
+(** The endpoint currently targeted. *)
 
 val close : t -> unit

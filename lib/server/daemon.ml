@@ -5,6 +5,9 @@ type config = {
   db : Pkg.Database.t;
   db_path : string option;
   journal_path : string option;
+  journal_max_bytes : int;
+  follow : string option;
+  repl_ack : Replica.ack_mode;
   cache : Cache.t;
   workers : int;
   jobs : int;
@@ -25,6 +28,9 @@ let default_config ~socket_path ~repo ~db =
     db;
     db_path = None;
     journal_path = None;
+    journal_max_bytes = 0;
+    follow = None;
+    repl_ack = Replica.Ack_async;
     cache = Cache.create ();
     workers = 2;
     jobs = 1;
@@ -37,7 +43,7 @@ let default_config ~socket_path ~repo ~db =
     crash = None;
   }
 
-let state_config (cfg : config) journal =
+let state_config (cfg : config) journal repl =
   {
     State.repo = cfg.repo;
     solver = cfg.solver;
@@ -45,6 +51,9 @@ let state_config (cfg : config) journal =
     db = cfg.db;
     db_path = cfg.db_path;
     journal;
+    journal_max_bytes = cfg.journal_max_bytes;
+    repl;
+    follower = Option.is_some cfg.follow;
     timeout = cfg.timeout;
     client_rate = cfg.client_rate;
     client_burst = cfg.client_burst;
@@ -53,9 +62,45 @@ let state_config (cfg : config) journal =
   }
 
 let serve ?on_ready ?(signals = false) ?(replayed = 0) cfg =
+  if cfg.follow <> None && cfg.journal_path = None then
+    invalid_arg "Daemon.serve: --follow requires a journal (durable acks)";
   let journal = Option.map Journal.open_ cfg.journal_path in
-  let st = State.create ~jobs:(max 1 cfg.jobs) (state_config cfg journal) in
+  (* every journaled daemon gets a hub: a follower's hub is inert until
+     promotion (no installs, no subscribers), after which it serves the
+     {e next} generation of followers *)
+  let hub =
+    Option.map (fun j -> Replica.create_hub ~mode:cfg.repl_ack j) journal
+  in
+  let st = State.create ~jobs:(max 1 cfg.jobs) (state_config cfg journal hub) in
   Atomic.set st.State.n_replayed replayed;
+  Option.iter
+    (fun h ->
+      Replica.set_snapshot h (fun () ->
+          Pkg.Database.render_string (State.db st)))
+    hub;
+  (* follower mode: stream the primary's journal into our own state; the
+     loop stops on promotion (State.promote fires on_promote) or shutdown *)
+  let follower =
+    Option.map
+      (fun primary ->
+        let fol =
+          Replica.start_follower ~primary
+            {
+              Replica.fc_position = (fun () -> State.replica_position st);
+              fc_apply =
+                (fun ~epoch ~seq ~intent ~commit ~spec ->
+                  State.apply_replicated st ~epoch ~seq ~intent ~commit ~spec);
+              fc_snapshot =
+                (fun ~epoch ~next_seq ~db ->
+                  State.install_snapshot st ~epoch ~next_seq ~db);
+              fc_reset = (fun ~epoch -> State.reset_replica st ~epoch);
+            }
+        in
+        st.State.on_promote := (fun () -> Replica.stop_follower fol);
+        st.State.repl_extra := (fun () -> Replica.follower_stats fol);
+        fol)
+      cfg.follow
+  in
   (* SIGTERM = graceful drain; a second SIGTERM forces an immediate stop.
      Installed only when asked ([spack_serve]): the test harness runs the
      daemon inside its own process and must not hijack process signals. *)
@@ -74,6 +119,8 @@ let serve ?on_ready ?(signals = false) ?(replayed = 0) cfg =
       (match !previous with
       | Some h -> ( try Sys.set_signal Sys.sigterm h with Sys_error _ -> ())
       | None -> ());
+      Option.iter Replica.stop_follower follower;
+      Option.iter Replica.shutdown_hub hub;
       State.persist st;
       Asp.Pool.shutdown st.State.pool)
     (fun () ->

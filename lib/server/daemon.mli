@@ -28,7 +28,14 @@
       mid-install recovers on restart via {!State.recover};
     - {b graceful drain}: a [shutdown] request (or SIGTERM with
       [~signals:true]) stops accepting, lets in-flight work finish within
-      [drain_grace], persists the database and returns. *)
+      [drain_grace], persists the database and returns;
+    - {b replication} (PR 9): with a journal, the daemon runs a
+      {!Replica} hub shipping committed installs to hot-standby followers;
+      [repl_ack] picks the client-ack durability point ([sync] = acked on
+      two nodes).  With [follow], the daemon starts as a warm read-only
+      follower of another daemon's socket (solves served locally, installs
+      refused with a typed [Read_only]) until a [promote] request fences
+      the old epoch and flips it to primary. *)
 
 type config = {
   socket_path : string;
@@ -38,6 +45,11 @@ type config = {
   db : Pkg.Database.t;  (** initial installed database (post-recovery) *)
   db_path : string option;  (** persist the database here after installs *)
   journal_path : string option;  (** write-ahead install journal *)
+  journal_max_bytes : int;
+      (** checkpoint/compact the journal beyond this size; 0 = never *)
+  follow : string option;
+      (** start as a follower of this primary socket (requires a journal) *)
+  repl_ack : Replica.ack_mode;  (** install-ack durability (default async) *)
   cache : Cache.t;
   workers : int;  (** connection-handling event-loop domains (at least 1) *)
   jobs : int;  (** solver domains (at least 1) *)

@@ -1,8 +1,9 @@
 (* File format (append-only, line-oriented):
 
-     spack-install-journal v1
+     spack-install-journal v2 <epoch> <base_seq>
      I <seq> <digest> <concrete spec as one JSON line>     (intent)
      C <seq> <digest>                                      (commit)
+     E <epoch> <digest>                                    (epoch bump)
 
    Fields are tab-separated; the JSON payload never contains a raw tab or
    newline (Json escapes control characters).  Each line carries its own
@@ -11,6 +12,14 @@
    recovery truncates the file there — a crash mid-append never poisons
    the entries before it.
 
+   The header carries the replication epoch (bumped on follower promotion,
+   possibly overridden by a later E record) and the base sequence number:
+   checkpointing truncates the journal after the database snapshot was
+   saved, and [base_seq] is where the surviving suffix starts, so sequence
+   numbers stay monotonic across compactions — replication followers key
+   their resume position on them.  v1 files (no epoch) are read as epoch 1,
+   base 1.
+
    An intent is appended and fsynced *before* the install touches the
    database; the commit marker lands after the new database file was
    atomically published.  Replay therefore re-applies every intent it
@@ -18,7 +27,23 @@
    the DAG hash, so re-applying a committed install is a no-op and an
    uncommitted one completes the interrupted install. *)
 
-let format_header = "spack-install-journal v1"
+let header_v1 = "spack-install-journal v1"
+let header_prefix_v2 = "spack-install-journal v2"
+
+let render_header ~epoch ~base_seq =
+  Printf.sprintf "%s\t%d\t%d" header_prefix_v2 epoch base_seq
+
+(* [Some (epoch, base_seq)] when the line is a valid header of any
+   supported format version. *)
+let parse_header h =
+  if String.equal h header_v1 then Some (1, 1)
+  else
+    match String.split_on_char '\t' h with
+    | [ p; e; b ] when String.equal p header_prefix_v2 -> (
+      match (int_of_string_opt e, int_of_string_opt b) with
+      | Some e, Some b when e >= 1 && b >= 1 -> Some (e, b)
+      | _ -> None)
+    | _ -> None
 
 type entry = {
   seq : int;
@@ -31,10 +56,13 @@ type t = {
   mutex : Mutex.t;
   mutable fd : Unix.file_descr option;
   mutable next_seq : int;
+  mutable cur_epoch : int;
+  mutable base : int;
 }
 
 type replay = {
   entries : entry list;
+  epoch : int;  (** effective epoch (header, overridden by E records) *)
   truncated : bool;  (** a torn or corrupt tail was dropped *)
   rotated : bool;  (** a stale-format file was moved aside *)
 }
@@ -45,12 +73,20 @@ let intent_digest seq payload =
   Specs.Spec.digest_strings [ "I"; string_of_int seq; payload ]
 
 let commit_digest seq = Specs.Spec.digest_strings [ "C"; string_of_int seq ]
+let epoch_digest e = Specs.Spec.digest_strings [ "E"; string_of_int e ]
 
 let intent_line seq payload =
   String.concat "\t" [ "I"; string_of_int seq; intent_digest seq payload; payload ]
 
 let commit_line seq =
   String.concat "\t" [ "C"; string_of_int seq; commit_digest seq ]
+
+let epoch_line e = String.concat "\t" [ "E"; string_of_int e; epoch_digest e ]
+
+let render_intent seq spec =
+  intent_line seq (Json.to_string (Codec.concrete_to_json spec))
+
+let render_commit = commit_line
 
 (* The payload is the remainder after the third tab: JSON may contain
    escaped but never raw tabs, so three splits are enough. *)
@@ -66,6 +102,13 @@ let parse_line line =
       | [ seq; digest ] -> (
         match int_of_string_opt seq with
         | Some s when String.equal digest (commit_digest s) -> Some (`Commit s)
+        | _ -> None)
+      | _ -> None)
+    | "E" -> (
+      match String.split_on_char '\t' rest with
+      | [ e; digest ] -> (
+        match int_of_string_opt e with
+        | Some e when String.equal digest (epoch_digest e) -> Some (`Epoch e)
         | _ -> None)
       | _ -> None)
     | "I" -> (
@@ -90,10 +133,21 @@ let parse_line line =
           | _ -> None)))
     | _ -> None)
 
-(* ---- replay ------------------------------------------------------- *)
+let parse = parse_line
+
+(* ---- scanning ----------------------------------------------------- *)
+
+type scanned = {
+  s_items : ([ `Intent of int * Specs.Spec.concrete | `Commit of int | `Epoch of int ] * string) list;
+      (* (parsed item, raw line) in append order *)
+  s_epoch : int;
+  s_base : int;
+  s_good : int;  (* byte offset where the valid prefix ends *)
+  s_torn : bool;
+}
 
 (* Read the longest valid prefix: the header, then entries until the first
-   line that fails to parse or verify.  [good_bytes] is where that prefix
+   line that fails to parse or verify.  [s_good] is where that prefix
    ends, so recovery can truncate a torn tail in place. *)
 let scan path =
   match open_in_bin path with
@@ -104,88 +158,134 @@ let scan path =
       (fun () ->
         let read_line () = try Some (input_line ic) with End_of_file -> None in
         match read_line () with
-        | Some h when String.equal h format_header ->
-          let good = ref (pos_in ic) in
-          let items = ref [] in
-          let torn = ref false in
-          let rec go () =
-            match read_line () with
-            | None -> ()
-            | Some line -> (
-              (* a line not terminated by '\n' (the file ends inside it) is
-                 torn even if its digest happens to verify *)
-              let complete =
-                let p = pos_in ic in
-                seek_in ic (p - 1);
-                let last = input_char ic in
-                seek_in ic p;
-                last = '\n'
-              in
-              match parse_line line with
-              | Some item when complete ->
-                items := item :: !items;
-                good := pos_in ic;
-                go ()
-              | _ -> torn := true)
-          in
-          go ();
-          Some (`Current (List.rev !items, !good, !torn))
-        | Some _ -> Some `Stale
+        | Some h -> (
+          match parse_header h with
+          | None -> Some `Stale
+          | Some (epoch, base) ->
+            let good = ref (pos_in ic) in
+            let items = ref [] in
+            let eff_epoch = ref epoch in
+            let torn = ref false in
+            let rec go () =
+              match read_line () with
+              | None -> ()
+              | Some line -> (
+                (* a line not terminated by '\n' (the file ends inside it)
+                   is torn even if its digest happens to verify *)
+                let complete =
+                  let p = pos_in ic in
+                  seek_in ic (p - 1);
+                  let last = input_char ic in
+                  seek_in ic p;
+                  last = '\n'
+                in
+                match parse_line line with
+                | Some item when complete ->
+                  (match item with `Epoch e -> eff_epoch := max !eff_epoch e | _ -> ());
+                  items := (item, line) :: !items;
+                  good := pos_in ic;
+                  go ()
+                | _ -> torn := true)
+            in
+            go ();
+            Some
+              (`Current
+                {
+                  s_items = List.rev !items;
+                  s_epoch = !eff_epoch;
+                  s_base = base;
+                  s_good = !good;
+                  s_torn = !torn;
+                }))
         | None -> Some `Empty)
 
 let entries_of_items items =
   let committed = Hashtbl.create 16 in
   List.iter
-    (function `Commit s -> Hashtbl.replace committed s () | `Intent _ -> ())
+    (fun (item, _) ->
+      match item with `Commit s -> Hashtbl.replace committed s () | _ -> ())
     items;
   List.filter_map
-    (function
+    (fun (item, _) ->
+      match item with
       | `Intent (seq, spec) ->
         Some { seq; spec; committed = Hashtbl.mem committed seq }
-      | `Commit _ -> None)
+      | `Commit _ | `Epoch _ -> None)
     items
 
 let replay path =
   if not (Sys.file_exists path) then
-    { entries = []; truncated = false; rotated = false }
+    { entries = []; epoch = 1; truncated = false; rotated = false }
   else begin
     match scan path with
-    | None | Some `Empty -> { entries = []; truncated = false; rotated = false }
+    | None | Some `Empty ->
+      { entries = []; epoch = 1; truncated = false; rotated = false }
     | Some `Stale ->
       (* a foreign or stale-format file is preserved for inspection, never
          misparsed: move it aside and start fresh *)
       (try Sys.rename path (path ^ ".stale") with Sys_error _ -> ());
-      { entries = []; truncated = false; rotated = true }
-    | Some (`Current (items, good_bytes, torn)) ->
-      if torn then begin
+      { entries = []; epoch = 1; truncated = false; rotated = true }
+    | Some (`Current sc) ->
+      if sc.s_torn then begin
         (* truncate the torn tail in place so later appends extend a
            well-formed file *)
         match Unix.openfile path [ Unix.O_WRONLY ] 0o644 with
         | exception Unix.Unix_error _ -> ()
         | fd ->
-          (try Unix.ftruncate fd good_bytes with Unix.Unix_error _ -> ());
+          (try Unix.ftruncate fd sc.s_good with Unix.Unix_error _ -> ());
           (try Unix.close fd with Unix.Unix_error _ -> ())
       end;
-      { entries = entries_of_items items; truncated = torn; rotated = false }
+      {
+        entries = entries_of_items sc.s_items;
+        epoch = sc.s_epoch;
+        truncated = sc.s_torn;
+        rotated = false;
+      }
   end
 
-(* ---- appending ---------------------------------------------------- *)
+(* ---- opening / appending ------------------------------------------ *)
 
-let open_ path =
-  let next_seq =
-    match scan path with
-    | Some (`Current (items, _, _)) ->
+let open_ ?(epoch = 1) path =
+  match scan path with
+  | Some (`Current sc) ->
+    let next =
       List.fold_left
-        (fun acc -> function
-          | `Intent (s, _) | `Commit s -> max acc (s + 1))
-        1 items
-    | _ -> 1
-  in
-  { path; mutex = Mutex.create (); fd = None; next_seq }
+        (fun acc (item, _) ->
+          match item with
+          | `Intent (s, _) | `Commit s -> max acc (s + 1)
+          | `Epoch _ -> acc)
+        sc.s_base sc.s_items
+    in
+    {
+      path;
+      mutex = Mutex.create ();
+      fd = None;
+      next_seq = next;
+      cur_epoch = sc.s_epoch;
+      base = sc.s_base;
+    }
+  | _ ->
+    {
+      path;
+      mutex = Mutex.create ();
+      fd = None;
+      next_seq = 1;
+      cur_epoch = max 1 epoch;
+      base = 1;
+    }
 
 let with_lock t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let epoch t = with_lock t (fun () -> t.cur_epoch)
+let next_seq t = with_lock t (fun () -> t.next_seq)
+let base_seq t = with_lock t (fun () -> t.base)
+
+let size_bytes t =
+  match Unix.stat t.path with
+  | { Unix.st_size; _ } -> st_size
+  | exception Unix.Unix_error _ -> 0
 
 (* Call with the lock held. *)
 let ensure_fd t =
@@ -197,15 +297,19 @@ let ensure_fd t =
       Unix.openfile t.path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
     in
     if fresh || (Unix.fstat fd).Unix.st_size = 0 then begin
-      let h = format_header ^ "\n" in
+      t.base <- t.next_seq;
+      let h = render_header ~epoch:t.cur_epoch ~base_seq:t.base ^ "\n" in
       ignore (Unix.write_substring fd h 0 (String.length h))
     end;
     t.fd <- Some fd;
     fd
 
-let write_line t line =
+(* Durability is the whole point of the journal: an fsync failure must
+   fail the append (and with it the install, which is then never
+   acknowledged) instead of acknowledging state the disk may not have. *)
+let write_lines t lines =
   let fd = ensure_fd t in
-  let data = line ^ "\n" in
+  let data = String.concat "" (List.map (fun l -> l ^ "\n") lines) in
   if Asp.Fault.service_fires Asp.Fault.Journal_tear then begin
     (* a torn write: half the bytes reach the disk, no fsync — exactly what
        a crash mid-append leaves behind *)
@@ -214,7 +318,7 @@ let write_line t line =
   end
   else begin
     ignore (Unix.write_substring fd data 0 (String.length data));
-    (try Unix.fsync fd with Unix.Unix_error _ -> ())
+    Unix.fsync fd
   end
 
 let append_intent t spec =
@@ -222,26 +326,94 @@ let append_intent t spec =
       let seq = t.next_seq in
       t.next_seq <- seq + 1;
       let payload = Json.to_string (Codec.concrete_to_json spec) in
-      write_line t (intent_line seq payload);
+      write_lines t [ intent_line seq payload ];
       seq)
 
-let append_commit t seq = with_lock t (fun () -> write_line t (commit_line seq))
+let append_commit t seq = with_lock t (fun () -> write_lines t [ commit_line seq ])
 
-let reset t =
+let append_raw t ~seq lines =
+  with_lock t (fun () ->
+      write_lines t lines;
+      t.next_seq <- max t.next_seq (seq + 1))
+
+let bump_epoch t e =
+  with_lock t (fun () ->
+      if e > t.cur_epoch then begin
+        write_lines t [ epoch_line e ];
+        t.cur_epoch <- e
+      end)
+
+(* ---- tail reads (replication catch-up) ---------------------------- *)
+
+(* Committed (intent, commit) pairs with seq >= [from], in sequence order.
+   Taken under the journal mutex so no append is mid-write while the file
+   is being re-read; an intent whose commit has not landed yet is an
+   install still inside [record_install] and is excluded — it will be
+   shipped by its own commit. *)
+let tail_from t from =
+  with_lock t (fun () ->
+      match scan t.path with
+      | Some (`Current sc) ->
+        let intents = Hashtbl.create 16 in
+        List.iter
+          (fun (item, raw) ->
+            match item with
+            | `Intent (s, _) when s >= from -> Hashtbl.replace intents s raw
+            | _ -> ())
+          sc.s_items;
+        List.filter_map
+          (fun (item, raw) ->
+            match item with
+            | `Commit s when s >= from -> (
+              match Hashtbl.find_opt intents s with
+              | Some intent -> Some (s, intent, raw)
+              | None -> None)
+            | _ -> None)
+          sc.s_items
+        |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+      | _ -> [])
+
+(* ---- truncation --------------------------------------------------- *)
+
+(* Rewrite the journal as just a header, atomically (temp + rename): used
+   after the database snapshot made every entry durable elsewhere.  The
+   sequence counter carries over as the new base, so replication positions
+   stay meaningful across compactions. *)
+let rewrite_locked t ~epoch ~base_seq =
+  (match t.fd with
+  | Some fd ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    t.fd <- None
+  | None -> ());
+  t.cur_epoch <- epoch;
+  t.base <- base_seq;
+  t.next_seq <- max t.next_seq base_seq;
+  let tmp = t.path ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let h = render_header ~epoch ~base_seq ^ "\n" in
+  ignore (Unix.write_substring fd h 0 (String.length h));
+  Unix.fsync fd;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Sys.rename tmp t.path
+
+let checkpoint t =
+  with_lock t (fun () ->
+      rewrite_locked t ~epoch:t.cur_epoch ~base_seq:t.next_seq)
+
+let set_position t ~epoch ~base_seq =
+  with_lock t (fun () ->
+      t.next_seq <- base_seq;
+      rewrite_locked t ~epoch ~base_seq)
+
+let rotate_stale t =
   with_lock t (fun () ->
       (match t.fd with
       | Some fd ->
         (try Unix.close fd with Unix.Unix_error _ -> ());
         t.fd <- None
       | None -> ());
-      let fd =
-        Unix.openfile t.path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
-      in
-      let h = format_header ^ "\n" in
-      ignore (Unix.write_substring fd h 0 (String.length h));
-      (try Unix.fsync fd with Unix.Unix_error _ -> ());
-      t.fd <- Some fd;
-      t.next_seq <- 1)
+      if Sys.file_exists t.path then
+        try Sys.rename t.path (t.path ^ ".stale") with Sys_error _ -> ())
 
 let close t =
   with_lock t (fun () ->

@@ -1,5 +1,5 @@
 (** Write-ahead install journal: crash safety for the daemon's installed
-    database.
+    database, and the unit of replication to hot-standby followers.
 
     An install appends an {e intent} (the full concrete DAG, one
     self-digested line, fsynced) before touching any other state, and a
@@ -12,10 +12,18 @@
     replaying committed entries is harmless and replaying uncommitted ones
     completes the interrupted install).
 
-    Files from a stale or foreign format version are rotated to
-    [<path>.stale], never misparsed.
+    The v2 header carries a replication {e epoch} (monotonic, bumped when
+    a follower is promoted — see {!Replica}) and the {e base sequence}:
+    {!checkpoint} truncates the journal once the database snapshot holds
+    every entry, and sequence numbers continue from the base instead of
+    restarting, so follower resume positions survive compaction.  A later
+    [E] record overrides the header epoch ({!bump_epoch} is append-only).
+    v1 files are still read (as epoch 1); files from a foreign format are
+    rotated to [<path>.stale], never misparsed.
 
-    All appends are serialized under an internal mutex; the fault point
+    All appends are serialized under an internal mutex and fsynced; an
+    fsync failure raises (the install must fail rather than be
+    acknowledged on state the disk may not hold).  The fault point
     {!Asp.Fault.Journal_tear} makes the next append write only half its
     entry (a simulated crash mid-write). *)
 
@@ -29,26 +37,87 @@ type entry = {
 
 type replay = {
   entries : entry list;  (** intents in append order *)
+  epoch : int;  (** effective epoch (header, overridden by [E] records) *)
   truncated : bool;  (** a torn or corrupt tail was dropped (and truncated) *)
   rotated : bool;  (** a stale-format file was moved to [<path>.stale] *)
 }
 
-val open_ : string -> t
+val open_ : ?epoch:int -> string -> t
 (** Open (or create lazily on first append) the journal at [path],
-    resuming the sequence counter after any existing entries. *)
+    resuming the sequence counter and epoch after any existing entries.
+    [epoch] (default 1) seeds a journal created from scratch only. *)
 
 val replay : string -> replay
 (** Read the journal's valid prefix.  Missing file = no entries.  Also
     repairs the file: torn tails are truncated, stale formats rotated. *)
 
+val epoch : t -> int
+(** The current replication epoch. *)
+
+val next_seq : t -> int
+(** The sequence number the next intent will take; equivalently, one past
+    the last sequence this journal has seen (a follower resumes
+    replication from here). *)
+
+val base_seq : t -> int
+(** First sequence number the on-disk suffix can contain (entries below it
+    were compacted into the database snapshot). *)
+
+val size_bytes : t -> int
+(** Current on-disk size ([0] if the file does not exist yet). *)
+
 val append_intent : t -> Specs.Spec.concrete -> int
 (** Append and fsync an intent; returns its sequence number. *)
 
 val append_commit : t -> int -> unit
-(** Append the commit marker for a previously appended intent. *)
+(** Append and fsync the commit marker for a previously appended intent. *)
 
-val reset : t -> unit
-(** Truncate to an empty journal (every entry is known durable in the
-    database file) — startup recovery calls this after persisting. *)
+val append_raw : t -> seq:int -> string list -> unit
+(** Append pre-rendered journal lines verbatim (one fsync for the group)
+    and advance the sequence counter past [seq] — the follower side of
+    replication, mirroring the primary's exact bytes. The caller must have
+    verified the lines with {!parse}. *)
+
+val bump_epoch : t -> int -> unit
+(** Append an epoch record raising the effective epoch to [e] (no-op when
+    [e] is not greater) — follower promotion. *)
+
+(** {1 Line codec} — shared with the replication layer *)
+
+val render_intent : int -> Specs.Spec.concrete -> string
+(** The exact line {!append_intent} would write for this (seq, spec). *)
+
+val render_commit : int -> string
+
+val parse :
+  string ->
+  [ `Intent of int * Specs.Spec.concrete | `Commit of int | `Epoch of int ]
+  option
+(** Parse and digest-verify one journal line ([None] = corrupt). *)
+
+(** {1 Replication catch-up} *)
+
+val tail_from : t -> int -> (int * string * string) list
+(** [(seq, intent_line, commit_line)] for every {e committed} entry with
+    [seq >= from], in sequence order — what a resubscribing follower
+    missed.  Entries below {!base_seq} are gone (compacted); the caller
+    must ship a database snapshot instead. *)
+
+(** {1 Truncation} *)
+
+val checkpoint : t -> unit
+(** Atomically truncate to an empty journal whose base is the current
+    {!next_seq} (every entry is known durable in the database snapshot) —
+    clean shutdown, post-recovery persistence and the [--journal-max-bytes]
+    compaction threshold all land here.  Epoch is preserved. *)
+
+val set_position : t -> epoch:int -> base_seq:int -> unit
+(** Truncate and restart at an explicit epoch/base — a follower installing
+    a database snapshot adopts the primary's position. *)
+
+val rotate_stale : t -> unit
+(** Move the journal file aside to [<path>.stale] (fencing: a stale
+    primary rejoining as follower must not replay its unacknowledged
+    entries into the new epoch). *)
 
 val close : t -> unit

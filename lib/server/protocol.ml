@@ -8,6 +8,9 @@ type request =
   | Install of { spec : string; timeout : float option }
   | Stats
   | Shutdown
+  | Promote
+  | Repl_subscribe of { epoch : int; from_seq : int }
+  | Repl_ack of { seq : int }
 
 let solve ?timeout spec = Solve { spec; timeout }
 let solve_many ?timeout specs = Solve_many { specs; timeout }
@@ -36,6 +39,14 @@ let request_to_json ?(id = 0) req =
       @ timeout_field timeout
     | Stats -> [ ("op", Json.Str "stats") ]
     | Shutdown -> [ ("op", Json.Str "shutdown") ]
+    | Promote -> [ ("op", Json.Str "promote") ]
+    | Repl_subscribe { epoch; from_seq } ->
+      [
+        ("op", Json.Str "repl_subscribe");
+        ("epoch", Json.Int epoch);
+        ("from_seq", Json.Int from_seq);
+      ]
+    | Repl_ack { seq } -> [ ("op", Json.Str "repl_ack"); ("seq", Json.Int seq) ]
   in
   Json.Obj (("id", Json.Int id) :: fields)
 
@@ -74,6 +85,17 @@ let request_of_json j =
       Some (Install { spec; timeout })
     | "stats" -> Some Stats
     | "shutdown" -> Some Shutdown
+    | "promote" -> Some Promote
+    | "repl_subscribe" ->
+      let* epoch = Json.member "epoch" j in
+      let* epoch = Json.to_int epoch in
+      let* from_seq = Json.member "from_seq" j in
+      let* from_seq = Json.to_int from_seq in
+      Some (Repl_subscribe { epoch; from_seq })
+    | "repl_ack" ->
+      let* seq = Json.member "seq" j in
+      let* seq = Json.to_int seq in
+      Some (Repl_ack { seq })
     | _ -> None
   in
   match decoded with
@@ -88,6 +110,7 @@ type error_kind =
   | Overloaded
   | Bad_request
   | Unknown_package of string
+  | Read_only  (** installs refused: this daemon is a replication follower *)
   | Internal
 
 type response =
@@ -96,12 +119,17 @@ type response =
   | Installed of { root : string; hashes : (string * string) list; total : int }
   | Stats_reply of Json.t
   | Bye
+  | Promoted of { epoch : int }
+  | Repl_reset of { epoch : int }
+  | Repl_snapshot of { epoch : int; next_seq : int; db : string }
+  | Repl_record of { epoch : int; seq : int; intent : string; commit : string }
   | Error of { kind : error_kind; message : string }
 
 let error_kind_to_json = function
   | Overloaded -> Json.Str "overloaded"
   | Bad_request -> Json.Str "bad_request"
   | Unknown_package p -> Json.List [ Json.Str "unknown_package"; Json.Str p ]
+  | Read_only -> Json.Str "read_only"
   | Internal -> Json.Str "internal"
 
 let error_kind_of_json = function
@@ -109,6 +137,7 @@ let error_kind_of_json = function
   | Json.Str "bad_request" -> Some Bad_request
   | Json.List [ Json.Str "unknown_package"; Json.Str p ] ->
     Some (Unknown_package p)
+  | Json.Str "read_only" -> Some Read_only
   | Json.Str "internal" -> Some Internal
   | _ -> None
 
@@ -155,6 +184,31 @@ let response_to_json ?(id = 0) resp =
       ]
     | Stats_reply stats -> [ ("ok", Json.Bool true); ("stats", stats) ]
     | Bye -> [ ("ok", Json.Bool true); ("bye", Json.Bool true) ]
+    | Promoted { epoch } ->
+      [
+        ("ok", Json.Bool true);
+        ("promoted", Json.Bool true);
+        ("epoch", Json.Int epoch);
+      ]
+    | Repl_reset { epoch } ->
+      [ ("ok", Json.Bool true); ("repl", Json.Str "reset"); ("epoch", Json.Int epoch) ]
+    | Repl_snapshot { epoch; next_seq; db } ->
+      [
+        ("ok", Json.Bool true);
+        ("repl", Json.Str "snapshot");
+        ("epoch", Json.Int epoch);
+        ("next_seq", Json.Int next_seq);
+        ("db", Json.Str db);
+      ]
+    | Repl_record { epoch; seq; intent; commit } ->
+      [
+        ("ok", Json.Bool true);
+        ("repl", Json.Str "record");
+        ("epoch", Json.Int epoch);
+        ("seq", Json.Int seq);
+        ("intent", Json.Str intent);
+        ("commit", Json.Str commit);
+      ]
     | Error { kind; message } ->
       [
         ("ok", Json.Bool false);
@@ -179,6 +233,36 @@ let response_of_json j =
       in
       Some (Error { kind; message })
     else
+      match Json.member "repl" j with
+      | Some (Json.Str tag) -> (
+        let* epoch = Json.member "epoch" j in
+        let* epoch = Json.to_int epoch in
+        match tag with
+        | "reset" -> Some (Repl_reset { epoch })
+        | "snapshot" ->
+          let* next_seq = Json.member "next_seq" j in
+          let* next_seq = Json.to_int next_seq in
+          let* db = Json.member "db" j in
+          let* db = Json.to_str db in
+          Some (Repl_snapshot { epoch; next_seq; db })
+        | "record" ->
+          let* seq = Json.member "seq" j in
+          let* seq = Json.to_int seq in
+          let* intent = Json.member "intent" j in
+          let* intent = Json.to_str intent in
+          let* commit = Json.member "commit" j in
+          let* commit = Json.to_str commit in
+          Some (Repl_record { epoch; seq; intent; commit })
+        | _ -> None)
+      | Some _ -> None
+      | None -> (
+      match Json.member "promoted" j with
+      | Some (Json.Bool true) ->
+        let* epoch = Json.member "epoch" j in
+        let* epoch = Json.to_int epoch in
+        Some (Promoted { epoch })
+      | Some _ -> None
+      | None -> (
       match Json.member "result" j with
       | Some rj -> (
         let* c = Json.member "cache" j in
@@ -222,7 +306,7 @@ let response_of_json j =
             | None -> (
               match Json.member "bye" j with
               | Some (Json.Bool true) -> Some Bye
-              | _ -> None))))
+              | _ -> None))))))
   in
   match decoded with
   | Some r -> Ok (id, r)

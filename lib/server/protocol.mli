@@ -20,6 +20,16 @@ type request =
       (** concretize, then record the DAG as installed *)
   | Stats
   | Shutdown
+  | Promote
+      (** admin verb: a follower stops following, bumps the epoch and
+          starts accepting installs; idempotent on a primary *)
+  | Repl_subscribe of { epoch : int; from_seq : int }
+      (** a follower attaches to the primary's replication hub, resuming
+          from its last durable position; the connection then carries
+          server-pushed {!Repl_record}/{!Repl_snapshot} frames *)
+  | Repl_ack of { seq : int }
+      (** follower → primary on the subscription connection: every record
+          up to [seq] is fsynced on the follower (no response) *)
 
 val solve : ?timeout:float -> string -> request
 val solve_many : ?timeout:float -> string list -> request
@@ -37,6 +47,9 @@ type error_kind =
   | Overloaded  (** shed by admission control; retry later *)
   | Bad_request  (** unparsable line, unknown op, malformed spec *)
   | Unknown_package of string
+  | Read_only
+      (** installs refused: this daemon is a replication follower — retry
+          against the primary, or after promotion *)
   | Internal  (** solver raised; message carries the exception text *)
 
 type response =
@@ -47,6 +60,16 @@ type response =
           database size after the install *)
   | Stats_reply of Json.t  (** free-form server counters, see {!Daemon} *)
   | Bye
+  | Promoted of { epoch : int }  (** reply to {!Promote}: the new epoch *)
+  | Repl_reset of { epoch : int }
+      (** the subscriber's epoch is stale: rotate local state aside and
+          resubscribe from sequence 0 under the current epoch *)
+  | Repl_snapshot of { epoch : int; next_seq : int; db : string }
+      (** full database snapshot ({!Pkg.Database} text format): entries
+          before [next_seq] were compacted out of the primary's journal *)
+  | Repl_record of { epoch : int; seq : int; intent : string; commit : string }
+      (** one replicated install: the primary's exact journal lines,
+          digest-verified by the follower before appending *)
   | Error of { kind : error_kind; message : string }
 
 val response_to_json : ?id:int -> response -> Json.t

@@ -1,0 +1,620 @@
+(* Journal shipping: the primary streams its write-ahead journal to
+   hot-standby followers over the same NDJSON protocol clients speak.
+
+   Primary side (the hub): every committed install ships its exact journal
+   lines — the (intent, commit) pair, self-digested — as one [Repl_record]
+   frame to every subscriber.  Each subscriber owns a dedicated domain
+   doing blocking-ish IO on the adopted socket: the worker that received
+   the [repl_subscribe] request hands the fd over and never sees it again.
+   That isolation is what makes [--repl-ack=sync] deadlock-free: an
+   install blocked waiting for a follower ack inside a worker's event loop
+   must not depend on that same event loop to read the ack.
+
+   Follower side: a single domain connects to the primary, subscribes from
+   its own durable position (journal epoch, next expected sequence) and
+   applies the stream — fsync the primary's bytes into its own journal,
+   then swap the install into its database — before acking.  An ack
+   therefore means "this record survives my kill -9".  Gaps, reorders,
+   corrupt frames and apply crashes all resolve the same way: drop the
+   connection and resubscribe from the last durable position.
+
+   Epoch fencing: the journal header carries a monotonic epoch, bumped on
+   promotion.  A subscriber announcing an older epoch (a stale primary
+   rejoining after failover) is told [Repl_reset]: it rotates its journal
+   to [.stale], wipes its database and resubscribes from scratch — its
+   unacknowledged entries can never leak into the new epoch. *)
+
+(* ------------------------------------------------------------------ *)
+(* Ack modes                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type ack_mode = Ack_none | Ack_async | Ack_sync
+
+let ack_mode_name = function
+  | Ack_none -> "none"
+  | Ack_async -> "async"
+  | Ack_sync -> "sync"
+
+let ack_mode_of_string = function
+  | "none" -> Some Ack_none
+  | "async" -> Some Ack_async
+  | "sync" -> Some Ack_sync
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Low-level IO helpers (blocking fds)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then begin
+      match Unix.write_substring fd s off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+    end
+  in
+  go 0
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* A line-buffered reader over a raw fd.  [`Timeout] surfaces both
+   SO_RCVTIMEO expiry and select timeouts so callers can poll their stop
+   flag between reads. *)
+type line_reader = { lr_fd : Unix.file_descr; mutable lr_buf : string }
+
+let line_reader fd = { lr_fd = fd; lr_buf = "" }
+
+let rec reader_next lr =
+  match String.index_opt lr.lr_buf '\n' with
+  | Some nl ->
+    let line = String.sub lr.lr_buf 0 nl in
+    lr.lr_buf <-
+      String.sub lr.lr_buf (nl + 1) (String.length lr.lr_buf - nl - 1);
+    let line =
+      if String.length line > 0 && line.[String.length line - 1] = '\r' then
+        String.sub line 0 (String.length line - 1)
+      else line
+    in
+    `Line line
+  | None -> (
+    let buf = Bytes.create 8192 in
+    match Unix.read lr.lr_fd buf 0 8192 with
+    | 0 -> `Eof
+    | n ->
+      lr.lr_buf <- lr.lr_buf ^ Bytes.sub_string buf 0 n;
+      reader_next lr
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      `Timeout
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> reader_next lr
+    | exception Unix.Unix_error _ -> `Eof)
+
+(* ------------------------------------------------------------------ *)
+(* The hub (primary side)                                              *)
+(* ------------------------------------------------------------------ *)
+
+type subscriber = {
+  sid : int;
+  fd : Unix.file_descr;
+  outbox : string Queue.t;  (* rendered response lines, hub-mutex guarded *)
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  mutable acked : int;  (* highest sequence this follower has fsynced *)
+  mutable sent : int;  (* highest sequence enqueued to this follower *)
+  mutable live : bool;
+  mutable domain : unit Domain.t option;
+}
+
+type hub = {
+  mode : ack_mode;
+  sync_timeout : float;
+  journal : Journal.t;
+  mutable snapshot_fn : unit -> string;
+      (* rendered database snapshot; installed by the daemon once the
+         shared state exists *)
+  m : Mutex.t;
+  mutable subs : subscriber list;
+  mutable next_sid : int;
+  mutable held : string option;  (* Repl_reorder fault: a delayed record *)
+  stopping : bool Atomic.t;
+  (* counters (stats) *)
+  c_shipped : int Atomic.t;  (* record frames enqueued, summed over followers *)
+  c_acked : int Atomic.t;  (* ack frames received *)
+  c_snapshots : int Atomic.t;  (* snapshot frames shipped *)
+  c_resets : int Atomic.t;  (* stale subscribers fenced *)
+  c_dropped : int Atomic.t;  (* fault-injected record drops *)
+  c_sync_degraded : int Atomic.t;  (* sync installs acked with no follower *)
+  c_sync_timeouts : int Atomic.t;  (* sync installs acked after ack timeout *)
+}
+
+let create_hub ?(sync_timeout = 5.0) ~mode journal =
+  {
+    mode;
+    sync_timeout;
+    journal;
+    snapshot_fn = (fun () -> "");
+    m = Mutex.create ();
+    subs = [];
+    next_sid = 1;
+    held = None;
+    stopping = Atomic.make false;
+    c_shipped = Atomic.make 0;
+    c_acked = Atomic.make 0;
+    c_snapshots = Atomic.make 0;
+    c_resets = Atomic.make 0;
+    c_dropped = Atomic.make 0;
+    c_sync_degraded = Atomic.make 0;
+    c_sync_timeouts = Atomic.make 0;
+  }
+
+let hub_mode hub = hub.mode
+let set_snapshot hub f = hub.snapshot_fn <- f
+
+let with_hub hub f =
+  Mutex.lock hub.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock hub.m) f
+
+let response_line resp =
+  Json.to_string (Protocol.response_to_json ~id:0 resp)
+
+let record_line hub ~seq ~intent ~commit =
+  response_line
+    (Protocol.Repl_record
+       { epoch = Journal.epoch hub.journal; seq; intent; commit })
+
+let sub_wake sub =
+  try ignore (Unix.write_substring sub.wake_w "x" 0 1)
+  with Unix.Unix_error _ -> ()
+
+(* Call with the hub mutex held. *)
+let enqueue_locked hub sub ~seq line =
+  Queue.push line sub.outbox;
+  if seq > sub.sent then sub.sent <- seq;
+  Atomic.incr hub.c_shipped
+
+let drop_sub_locked hub sub =
+  if sub.live then begin
+    sub.live <- false;
+    hub.subs <- List.filter (fun s -> s != sub) hub.subs
+  end
+
+(* ---- per-subscriber pump domain ----------------------------------- *)
+
+(* One domain per follower: drain the outbox to the socket, read acks off
+   it.  Dies (and deregisters) on any socket error; the follower's retry
+   loop resubscribes onto a fresh connection. *)
+let pump hub sub =
+  let lr = line_reader sub.fd in
+  let handle_line line =
+    match Json.of_string line with
+    | Error _ -> ()
+    | Ok j -> (
+      match Protocol.request_of_json j with
+      | Ok (_, Protocol.Repl_ack { seq }) ->
+        Atomic.incr hub.c_acked;
+        with_hub hub (fun () -> if seq > sub.acked then sub.acked <- seq)
+      | _ -> ())
+  in
+  let rec loop () =
+    if Atomic.get hub.stopping || not (with_hub hub (fun () -> sub.live))
+    then ()
+    else begin
+      let batch =
+        with_hub hub (fun () ->
+            let acc = ref [] in
+            while not (Queue.is_empty sub.outbox) do
+              acc := Queue.pop sub.outbox :: !acc
+            done;
+            List.rev !acc)
+      in
+      match
+        if batch <> [] then
+          write_all sub.fd
+            (String.concat "" (List.map (fun l -> l ^ "\n") batch))
+      with
+      | exception Unix.Unix_error _ -> ()
+      | () -> (
+        match Unix.select [ sub.fd; sub.wake_r ] [] [] 0.2 with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+        | exception Unix.Unix_error _ -> ()
+        | r, _, _ -> (
+          if List.memq sub.wake_r r then begin
+            let b = Bytes.create 64 in
+            try ignore (Unix.read sub.wake_r b 0 64)
+            with Unix.Unix_error _ -> ()
+          end;
+          if not (List.memq sub.fd r) then loop ()
+          else
+            let rec drain_lines () =
+              match reader_next lr with
+              | `Line l ->
+                handle_line l;
+                drain_lines ()
+              | `Timeout -> loop ()
+              | `Eof -> ()
+            in
+            drain_lines ()))
+    end
+  in
+  loop ();
+  with_hub hub (fun () -> drop_sub_locked hub sub);
+  close_quiet sub.fd;
+  close_quiet sub.wake_r;
+  close_quiet sub.wake_w
+
+(* ---- subscription ------------------------------------------------- *)
+
+(* Adopt a client socket as a replication subscriber.  The caller (a
+   worker) has flushed and detached it; whatever happens, the fd now
+   belongs to the hub.  Epoch fencing and catch-up happen here, under the
+   hub mutex, so the backlog and the live stream cannot interleave out of
+   order: [ship] also enqueues under the mutex. *)
+let adopt hub fd ~epoch ~from_seq =
+  if hub.mode = Ack_none then begin
+    write_all fd
+      (response_line
+         (Protocol.Error
+            {
+              kind = Protocol.Bad_request;
+              message = "replication disabled (--repl-ack=none)";
+            })
+      ^ "\n");
+    close_quiet fd
+  end
+  else begin
+    let j_epoch = Journal.epoch hub.journal in
+    if epoch > j_epoch then begin
+      (* the subscriber has seen a newer epoch than we have: WE are the
+         stale side; refuse rather than feed it old-epoch records *)
+      write_all fd
+        (response_line
+           (Protocol.Error
+              {
+                kind = Protocol.Bad_request;
+                message =
+                  Printf.sprintf
+                    "subscriber epoch %d ahead of primary epoch %d" epoch
+                    j_epoch;
+              })
+        ^ "\n");
+      close_quiet fd
+    end
+    else if epoch > 0 && epoch < j_epoch then begin
+      (* fencing: a stale-epoch subscriber must wipe before rejoining *)
+      Atomic.incr hub.c_resets;
+      write_all fd
+        (response_line (Protocol.Repl_reset { epoch = j_epoch }) ^ "\n");
+      close_quiet fd
+    end
+    else begin
+      let wake_r, wake_w = Unix.pipe () in
+      Unix.set_nonblock wake_r;
+      Unix.set_nonblock wake_w;
+      (* acks must not block the pump forever: reads time out and loop *)
+      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.2
+       with Unix.Unix_error _ -> ());
+      let sub =
+        with_hub hub (fun () ->
+            let sub =
+              {
+                sid = hub.next_sid;
+                fd;
+                outbox = Queue.create ();
+                wake_r;
+                wake_w;
+                acked = from_seq - 1;
+                sent = from_seq - 1;
+                live = true;
+                domain = None;
+              }
+            in
+            hub.next_sid <- hub.next_sid + 1;
+            (* catch-up backlog, oldest first.  Reading [next_seq] before
+               rendering the snapshot makes the pair safe against a
+               concurrent install: the snapshot may contain more than
+               [next_seq] promises (the follower then re-receives a record
+               it already holds — idempotent), never less. *)
+            (if from_seq < Journal.base_seq hub.journal then begin
+               let next_seq = Journal.next_seq hub.journal in
+               let db = hub.snapshot_fn () in
+               Atomic.incr hub.c_snapshots;
+               enqueue_locked hub sub ~seq:(next_seq - 1)
+                 (response_line
+                    (Protocol.Repl_snapshot { epoch = j_epoch; next_seq; db }))
+             end);
+            List.iter
+              (fun (seq, intent, commit) ->
+                enqueue_locked hub sub ~seq
+                  (record_line hub ~seq ~intent ~commit))
+              (Journal.tail_from hub.journal (max from_seq (Journal.base_seq hub.journal)));
+            hub.subs <- sub :: hub.subs;
+            sub)
+      in
+      sub.domain <- Some (Domain.spawn (fun () -> pump hub sub))
+    end
+  end
+
+(* ---- shipping (called from State.record_install, post-commit) ------ *)
+
+let followers hub = with_hub hub (fun () -> List.length hub.subs)
+
+(* Under [Ack_sync], block until some follower acked [seq] — polling under
+   the hub mutex rather than a condition variable keeps the wait bounded
+   even if every follower dies silently.  Degrading to a local-only ack
+   (no follower connected, or ack timeout) is counted, never silent: the
+   drills assert the counter stayed at zero. *)
+let sync_wait hub seq =
+  let deadline = Unix.gettimeofday () +. hub.sync_timeout in
+  let rec wait () =
+    let verdict =
+      with_hub hub (fun () ->
+          if hub.subs = [] then `Degraded
+          else if List.exists (fun s -> s.live && s.acked >= seq) hub.subs
+          then `Acked
+          else `Wait)
+    in
+    match verdict with
+    | `Acked -> ()
+    | `Degraded -> Atomic.incr hub.c_sync_degraded
+    | `Wait ->
+      if Unix.gettimeofday () > deadline then Atomic.incr hub.c_sync_timeouts
+      else begin
+        Unix.sleepf 0.001;
+        wait ()
+      end
+  in
+  wait ()
+
+let ship hub ~seq ~intent ~commit =
+  if hub.mode <> Ack_none then begin
+    let line = record_line hub ~seq ~intent ~commit in
+    let fire_drop = Asp.Fault.service_fires Asp.Fault.Repl_drop in
+    let fire_reorder =
+      (not fire_drop) && Asp.Fault.service_fires Asp.Fault.Repl_reorder
+    in
+    let touched =
+      with_hub hub (fun () ->
+          let batch =
+            if fire_drop then begin
+              (* the record vanishes in flight; anything held ships *)
+              Atomic.incr hub.c_dropped;
+              match hub.held with
+              | Some h ->
+                hub.held <- None;
+                [ h ]
+              | None -> []
+            end
+            else if fire_reorder && hub.held = None then begin
+              (* hold this record back; it ships after its successor *)
+              hub.held <- Some line;
+              []
+            end
+            else begin
+              match hub.held with
+              | Some h ->
+                hub.held <- None;
+                [ line; h ]
+              | None -> [ line ]
+            end
+          in
+          List.iter
+            (fun sub ->
+              if sub.live then
+                List.iter (fun l -> enqueue_locked hub sub ~seq l) batch)
+            hub.subs;
+          if batch <> [] then hub.subs else [])
+    in
+    List.iter sub_wake touched;
+    if hub.mode = Ack_sync then sync_wait hub seq
+  end
+
+let hub_stats hub =
+  let followers, lag =
+    with_hub hub (fun () ->
+        let n = List.length hub.subs in
+        let lag =
+          List.fold_left
+            (fun acc s -> max acc (s.sent - s.acked))
+            0 hub.subs
+        in
+        (n, lag))
+  in
+  [
+    ("ack_mode", Json.Str (ack_mode_name hub.mode));
+    ("followers", Json.Int followers);
+    ("lag", Json.Int lag);
+    ("shipped", Json.Int (Atomic.get hub.c_shipped));
+    ("acked", Json.Int (Atomic.get hub.c_acked));
+    ("snapshots_sent", Json.Int (Atomic.get hub.c_snapshots));
+    ("resets_sent", Json.Int (Atomic.get hub.c_resets));
+    ("dropped", Json.Int (Atomic.get hub.c_dropped));
+    ("sync_degraded", Json.Int (Atomic.get hub.c_sync_degraded));
+    ("sync_timeouts", Json.Int (Atomic.get hub.c_sync_timeouts));
+  ]
+
+let shutdown_hub hub =
+  Atomic.set hub.stopping true;
+  let subs = with_hub hub (fun () -> hub.subs) in
+  List.iter sub_wake subs;
+  List.iter
+    (fun sub -> match sub.domain with Some d -> Domain.join d | None -> ())
+    subs
+
+(* ------------------------------------------------------------------ *)
+(* The follower loop                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type follower_cbs = {
+  fc_position : unit -> int * int;
+      (** (epoch, next expected sequence), both durable *)
+  fc_apply :
+    epoch:int ->
+    seq:int ->
+    intent:string ->
+    commit:string ->
+    spec:Specs.Spec.concrete ->
+    unit;  (** fsync the lines into the local journal, apply the install *)
+  fc_snapshot : epoch:int -> next_seq:int -> db:string -> unit;
+  fc_reset : epoch:int -> unit;  (** rotate aside, wipe, adopt [epoch] *)
+}
+
+type follower = {
+  f_primary : string;
+  f_cbs : follower_cbs;
+  f_stop : bool Atomic.t;
+  mutable f_domain : unit Domain.t option;
+  f_connected : bool Atomic.t;
+  f_applied : int Atomic.t;
+  f_snapshots : int Atomic.t;
+  f_resyncs : int Atomic.t;  (* gap / corrupt-frame / crash recoveries *)
+  f_reconnects : int Atomic.t;
+  f_last_seq : int Atomic.t;
+}
+
+let dial_primary path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.2
+  with
+  | () -> Some fd
+  | exception Unix.Unix_error _ ->
+    close_quiet fd;
+    None
+
+exception Resync of string
+
+(* One connected session: subscribe from the durable position, stream
+   until something goes wrong.  Every failure mode — gap, reorder,
+   corrupt frame, injected apply crash, transport error — lands back in
+   [run_follower]'s reconnect loop, which resubscribes from the (possibly
+   advanced) durable position. *)
+let session fol fd =
+  let cbs = fol.f_cbs in
+  let epoch, from_seq = cbs.fc_position () in
+  write_all fd
+    (Json.to_string
+       (Protocol.request_to_json ~id:1
+          (Protocol.Repl_subscribe { epoch; from_seq }))
+    ^ "\n");
+  let lr = line_reader fd in
+  let expected = ref from_seq in
+  let ack seq =
+    write_all fd
+      (Json.to_string (Protocol.request_to_json ~id:0 (Protocol.Repl_ack { seq }))
+      ^ "\n")
+  in
+  let rec loop () =
+    if Atomic.get fol.f_stop then ()
+    else
+      match reader_next lr with
+      | `Timeout -> loop ()
+      | `Eof -> ()
+      | `Line line -> (
+        match Json.of_string line with
+        | Error m -> raise (Resync ("unparsable frame: " ^ m))
+        | Ok j -> (
+          match Protocol.response_of_json j with
+          | Error m -> raise (Resync ("malformed frame: " ^ m))
+          | Ok (_, resp) -> (
+            match resp with
+            | Protocol.Repl_record { epoch; seq; intent; commit } ->
+              if seq < !expected then begin
+                (* duplicate delivery (snapshot overlap, primary retry):
+                   already durable here, so just re-ack *)
+                ack (!expected - 1);
+                loop ()
+              end
+              else if seq > !expected then
+                raise
+                  (Resync
+                     (Printf.sprintf "sequence gap: expected %d, got %d"
+                        !expected seq))
+              else begin
+                if Asp.Fault.service_fires Asp.Fault.Follower_crash then
+                  failwith "injected follower crash";
+                (* trust nothing: the lines must digest-verify and carry
+                   the advertised sequence before they reach the journal *)
+                match (Journal.parse intent, Journal.parse commit) with
+                | Some (`Intent (si, spec)), Some (`Commit sc)
+                  when si = seq && sc = seq ->
+                  cbs.fc_apply ~epoch ~seq ~intent ~commit ~spec;
+                  expected := seq + 1;
+                  Atomic.incr fol.f_applied;
+                  Atomic.set fol.f_last_seq seq;
+                  ack seq;
+                  loop ()
+                | _ -> raise (Resync "corrupt replicated record")
+              end
+            | Protocol.Repl_snapshot { epoch; next_seq; db } ->
+              cbs.fc_snapshot ~epoch ~next_seq ~db;
+              expected := next_seq;
+              Atomic.incr fol.f_snapshots;
+              if next_seq > 1 then Atomic.set fol.f_last_seq (next_seq - 1);
+              ack (next_seq - 1);
+              loop ()
+            | Protocol.Repl_reset { epoch } ->
+              cbs.fc_reset ~epoch;
+              Atomic.incr fol.f_resyncs
+              (* session over: resubscribe under the adopted epoch *)
+            | Protocol.Error { message; _ } ->
+              raise (Resync ("subscription refused: " ^ message))
+            | _ -> loop ())))
+  in
+  loop ()
+
+let run_follower fol =
+  let backoff = ref 0.05 in
+  while not (Atomic.get fol.f_stop) do
+    match dial_primary fol.f_primary with
+    | None ->
+      Unix.sleepf !backoff;
+      backoff := Float.min 0.5 (!backoff *. 2.)
+    | Some fd ->
+      Atomic.set fol.f_connected true;
+      Atomic.incr fol.f_reconnects;
+      backoff := 0.05;
+      (try session fol fd with
+      | Resync _ | Failure _ -> Atomic.incr fol.f_resyncs
+      | Unix.Unix_error _ | Sys_error _ -> ());
+      Atomic.set fol.f_connected false;
+      close_quiet fd;
+      if not (Atomic.get fol.f_stop) then Unix.sleepf 0.02
+  done
+
+let start_follower ~primary cbs =
+  let fol =
+    {
+      f_primary = primary;
+      f_cbs = cbs;
+      f_stop = Atomic.make false;
+      f_domain = None;
+      f_connected = Atomic.make false;
+      f_applied = Atomic.make 0;
+      f_snapshots = Atomic.make 0;
+      f_resyncs = Atomic.make 0;
+      f_reconnects = Atomic.make 0;
+      f_last_seq = Atomic.make 0;
+    }
+  in
+  fol.f_domain <- Some (Domain.spawn (fun () -> run_follower fol));
+  fol
+
+let stop_follower fol =
+  Atomic.set fol.f_stop true;
+  match fol.f_domain with
+  | Some d ->
+    Domain.join d;
+    fol.f_domain <- None
+  | None -> ()
+
+let follower_stats fol =
+  [
+    ("following", Json.Str fol.f_primary);
+    ("connected", Json.Bool (Atomic.get fol.f_connected));
+    ("stream_applied", Json.Int (Atomic.get fol.f_applied));
+    ("snapshots", Json.Int (Atomic.get fol.f_snapshots));
+    ("stream_resyncs", Json.Int (Atomic.get fol.f_resyncs));
+    ("reconnects", Json.Int (Atomic.get fol.f_reconnects));
+    ("last_seq", Json.Int (Atomic.get fol.f_last_seq));
+  ]

@@ -1,0 +1,114 @@
+(** Replicated install state: journal shipping to hot-standby daemons.
+
+    The primary's write-ahead {!Journal} is the replication log.  After an
+    install's commit marker is fsynced locally, the {e hub} ships the
+    exact journal lines — the self-digested (intent, commit) pair — as one
+    [Repl_record] frame to every subscribed follower; followers fsync the
+    bytes into their own journal and apply the install to their own
+    database {e before} acking, so a follower ack means the record
+    survives a follower kill -9.  The [--repl-ack] knob picks the
+    durability point of the client-visible install ack:
+
+    - [none]: replication off (subscriptions are refused);
+    - [async]: ack after the local commit fsync; followers trail;
+    - [sync]: ack only after some follower acked the record too — a
+      kill -9 of the primary at any instant loses nothing a client saw
+      acknowledged, because every acked install is durable on two nodes.
+
+    Sequence numbers survive journal compaction (the journal's [base_seq])
+    — a follower resuming from below the primary's base receives a full
+    database snapshot frame and continues from the primary's position.
+
+    Promotion bumps the journal {e epoch} (monotonic, in the journal
+    header / [E] records).  A stale primary rejoining as a follower
+    announces its old epoch and is fenced with [Repl_reset]: it rotates
+    its journal to [.stale], wipes its database and resubscribes from
+    scratch, so unreplicated entries from the dead epoch cannot corrupt
+    the new one.
+
+    Fault points: {!Asp.Fault.Repl_drop} (hub silently drops a record —
+    the follower detects the gap and resubscribes), {!Asp.Fault.Repl_reorder}
+    (hub ships a record after its successor — rejected as a gap),
+    {!Asp.Fault.Follower_crash} (the apply loop raises — the follower
+    reconnects and resumes from its last fsynced entry). *)
+
+(** {1 Ack modes} *)
+
+type ack_mode = Ack_none | Ack_async | Ack_sync
+
+val ack_mode_name : ack_mode -> string
+val ack_mode_of_string : string -> ack_mode option
+
+(** {1 The hub (primary side)} *)
+
+type hub
+
+val create_hub : ?sync_timeout:float -> mode:ack_mode -> Journal.t -> hub
+(** A hub over the daemon's journal.  [sync_timeout] (default 5 s) bounds
+    the per-install wait for a follower ack under [Ack_sync]; on expiry
+    the install is acked locally and counted in [sync_timeouts]. *)
+
+val hub_mode : hub -> ack_mode
+
+val set_snapshot : hub -> (unit -> string) -> unit
+(** Install the database-snapshot renderer ({!Pkg.Database.render_string}
+    over the current state) used for followers resuming from below the
+    journal's base sequence. *)
+
+val adopt : hub -> Unix.file_descr -> epoch:int -> from_seq:int -> unit
+(** Take ownership of a client socket whose [repl_subscribe] a worker just
+    decoded.  The fd leaves the request/response protocol for good: a
+    dedicated pump domain streams records to it and reads acks off it, so
+    a worker blocked in a sync-mode install can never deadlock against its
+    own event loop.  Stale epochs are fenced ([Repl_reset] + close); the
+    catch-up backlog (snapshot frame and/or journal tail) is enqueued
+    atomically with the subscription, so the live stream cannot
+    interleave out of order. *)
+
+val ship : hub -> seq:int -> intent:string -> commit:string -> unit
+(** Ship one committed install (the primary's exact journal lines) to
+    every subscriber; under [Ack_sync], block until a follower acks [seq]
+    (or the timeout/degraded paths count the miss).  Called by
+    {!State.record_install} after the local commit fsync, still under the
+    install mutex — replication order is install order. *)
+
+val followers : hub -> int
+val hub_stats : hub -> (string * Json.t) list
+
+val shutdown_hub : hub -> unit
+(** Stop every pump domain and close the subscriber sockets. *)
+
+(** {1 The follower loop} *)
+
+type follower_cbs = {
+  fc_position : unit -> int * int;
+      (** (epoch, next expected seq), read from durable local state —
+          where to resume the subscription *)
+  fc_apply :
+    epoch:int ->
+    seq:int ->
+    intent:string ->
+    commit:string ->
+    spec:Specs.Spec.concrete ->
+    unit;
+      (** make the record durable locally (journal fsync), then apply the
+          install; the ack is sent only after this returns *)
+  fc_snapshot : epoch:int -> next_seq:int -> db:string -> unit;
+      (** adopt a full database snapshot and the primary's position *)
+  fc_reset : epoch:int -> unit;
+      (** fenced: rotate local journal to [.stale], wipe the database,
+          adopt [epoch]; the loop then resubscribes from scratch *)
+}
+
+type follower
+
+val start_follower : primary:string -> follower_cbs -> follower
+(** Spawn the follower domain: connect to the primary's socket, subscribe
+    from [fc_position ()], stream-apply-ack until stopped.  Transport
+    errors, sequence gaps, corrupt frames and injected crashes all
+    reconnect with backoff and resume from the durable position. *)
+
+val stop_follower : follower -> unit
+(** Stop and join the follower domain (promotion, shutdown). *)
+
+val follower_stats : follower -> (string * Json.t) list

@@ -1,6 +1,6 @@
 module C = Concretize.Concretizer
 
-type crash_point = After_intent | After_save
+type crash_point = After_intent | After_save | After_commit
 
 type config = {
   repo : Pkg.Repo.t;
@@ -9,6 +9,9 @@ type config = {
   db : Pkg.Database.t;
   db_path : string option;
   journal : Journal.t option;
+  journal_max_bytes : int;
+  repl : Replica.hub option;
+  follower : bool;
   timeout : float option;
   client_rate : float;
   client_burst : float;
@@ -33,6 +36,17 @@ type t = {
   n_replayed : int Atomic.t;
   n_restarts : int Atomic.t;
   n_wedged : int Atomic.t;
+  n_replicated : int Atomic.t;
+  n_resyncs : int Atomic.t;
+  (* replication role: a follower serves solves but refuses installs with
+     a typed [Read_only] until promoted *)
+  read_only : bool Atomic.t;
+  (* promotion must stop the follower loop before the role flips; the
+     daemon (which owns the loop) installs the hook *)
+  on_promote : (unit -> unit) ref;
+  (* extra fields merged into the stats [replication] section (the daemon
+     adds the follower-link counters it owns) *)
+  repl_extra : (unit -> (string * Json.t) list) ref;
   (* lifecycle: [draining] stops admission of new connections/requests,
      [stopping] makes every loop exit now *)
   draining : bool Atomic.t;
@@ -57,11 +71,17 @@ let create ~jobs cfg =
     n_replayed = Atomic.make 0;
     n_restarts = Atomic.make 0;
     n_wedged = Atomic.make 0;
+    n_replicated = Atomic.make 0;
+    n_resyncs = Atomic.make 0;
+    read_only = Atomic.make cfg.follower;
+    on_promote = ref (fun () -> ());
+    repl_extra = ref (fun () -> []);
     draining = Atomic.make false;
     stopping = Atomic.make false;
   }
 
 let db t = Atomic.get t.db
+let read_only t = Atomic.get t.read_only
 
 (* ------------------------------------------------------------------ *)
 (* Startup recovery                                                    *)
@@ -104,7 +124,12 @@ let recover ?db_path ?journal_path () =
       r.Journal.entries;
     if r.Journal.entries <> [] then begin
       Option.iter (Pkg.Database.save db0) db_path;
-      Journal.reset (Journal.open_ jp)
+      (* checkpoint, not wipe: the sequence counter (and epoch) carry over
+         as the new base, so replication followers' resume positions
+         survive the recovery compaction *)
+      let j = Journal.open_ jp in
+      Journal.checkpoint j;
+      Journal.close j
     end;
     {
       db0;
@@ -179,6 +204,20 @@ let crash_maybe t point =
   | Some (p, action) when p = point -> action ()
   | _ -> ()
 
+(* Journal compaction ([--journal-max-bytes]): once the journal outgrows
+   the threshold — and the database snapshot on disk already holds every
+   entry, which is true after each install's save — truncate it to a bare
+   header whose base is the current sequence.  Crashing between the save
+   and the checkpoint merely replays entries idempotently.  Call with the
+   install mutex held. *)
+let maybe_compact t =
+  match (t.cfg.journal, t.cfg.db_path) with
+  | Some j, Some _
+    when t.cfg.journal_max_bytes > 0
+         && Journal.size_bytes j > t.cfg.journal_max_bytes ->
+    Journal.checkpoint j
+  | _ -> ()
+
 (* Copy-and-extend, never mutate: worker domains may still be reading the
    current database value, so installs build a fresh one and swap it in.
    Ordering is what makes a kill -9 at any instant recoverable:
@@ -217,18 +256,123 @@ let record_install t (s : C.success) =
       (match (t.cfg.journal, seq) with
       | Some j, Some seq -> Journal.append_commit j seq
       | _ -> ());
+      (* the client-visible ack happens strictly after the commit-marker
+         fsync above: a kill -9 here (the After_commit seam) leaves an
+         install that was never acknowledged, so losing its replication is
+         allowed — but its journal entry is already durable locally *)
+      crash_maybe t After_commit;
+      (match (t.cfg.repl, seq) with
+      | Some hub, Some seq ->
+        (* ship the exact bytes the journal holds; under sync ack this
+           blocks (inside the install mutex: replication order is install
+           order) until a follower made them durable too *)
+        Replica.ship hub ~seq
+          ~intent:(Journal.render_intent seq s.C.spec)
+          ~commit:(Journal.render_commit seq)
+      | _ -> ());
+      maybe_compact t;
       fresh)
+
+(* ------------------------------------------------------------------ *)
+(* Replication (follower side + promotion)                             *)
+(* ------------------------------------------------------------------ *)
+
+let with_install_mutex t f =
+  Mutex.lock t.install_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.install_mutex) f
+
+let replica_position t =
+  match t.cfg.journal with
+  | Some j -> (Journal.epoch j, Journal.next_seq j)
+  | None -> (1, 1)
+
+(* Apply one replicated install.  Durability first — the primary's exact
+   bytes are fsynced into the local journal before the database moves —
+   because the ack sent after this returns is a promise that a follower
+   kill -9 loses nothing. *)
+let apply_replicated t ~epoch ~seq ~intent ~commit ~spec =
+  with_install_mutex t (fun () ->
+      (match t.cfg.journal with
+      | Some j ->
+        if epoch > Journal.epoch j then Journal.bump_epoch j epoch;
+        Journal.append_raw j ~seq [ intent; commit ]
+      | None -> ());
+      let old = Atomic.get t.db in
+      let db = Pkg.Database.copy old in
+      Pkg.Database.add_concrete db spec;
+      Atomic.set t.db db;
+      Concretize.Substrate.on_install t.substrate ~repo:t.cfg.repo ~db;
+      Atomic.incr t.n_replicated;
+      Option.iter (Pkg.Database.save db) t.cfg.db_path;
+      maybe_compact t)
+
+(* Adopt a full database snapshot (resume position was compacted away on
+   the primary): swap it in, drop every ground base (records may have
+   {e disappeared} relative to what we held — rebasing is add-only), and
+   restart the local journal at the primary's position. *)
+let install_snapshot t ~epoch ~next_seq ~db =
+  match Pkg.Database.load_string db with
+  | Error e ->
+    failwith
+      ("replicated snapshot rejected: " ^ Pkg.Database.load_error_to_string e)
+  | Ok fresh ->
+    with_install_mutex t (fun () ->
+        Atomic.set t.db fresh;
+        Concretize.Substrate.clear t.substrate;
+        Option.iter (Pkg.Database.save fresh) t.cfg.db_path;
+        (match t.cfg.journal with
+        | Some j -> Journal.set_position j ~epoch ~base_seq:next_seq
+        | None -> ());
+        Atomic.incr t.n_replicated)
+
+(* Fenced by the primary (our epoch is stale): preserve the old journal as
+   [.stale] for forensics, wipe the database and start over under the new
+   epoch.  Everything we held that the new epoch lacks was, by
+   construction, never acknowledged under sync replication. *)
+let reset_replica t ~epoch =
+  with_install_mutex t (fun () ->
+      Option.iter Journal.rotate_stale t.cfg.journal;
+      let empty = Pkg.Database.create () in
+      Atomic.set t.db empty;
+      Concretize.Substrate.clear t.substrate;
+      Option.iter (Pkg.Database.save empty) t.cfg.db_path;
+      (match t.cfg.journal with
+      | Some j -> Journal.set_position j ~epoch ~base_seq:1
+      | None -> ());
+      Atomic.incr t.n_resyncs)
+
+(* Promotion: stop the follower loop (no more applies can race the role
+   flip), bump the epoch — the fence against the old primary — and start
+   accepting installs.  Idempotent on a primary: no bump, same epoch. *)
+let promote t =
+  !(t.on_promote) ();
+  with_install_mutex t (fun () ->
+      let epoch =
+        match t.cfg.journal with
+        | Some j ->
+          let e = Journal.epoch j in
+          if Atomic.get t.read_only then begin
+            Journal.bump_epoch j (e + 1);
+            e + 1
+          end
+          else e
+        | None -> 1
+      in
+      Atomic.set t.read_only false;
+      epoch)
 
 (* ------------------------------------------------------------------ *)
 (* Shutdown persistence                                                *)
 (* ------------------------------------------------------------------ *)
 
 let persist t =
-  Mutex.lock t.install_mutex;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.install_mutex)
-    (fun () ->
+  with_install_mutex t (fun () ->
       Option.iter (Pkg.Database.save (Atomic.get t.db)) t.cfg.db_path;
+      (* clean shutdown: the saved snapshot holds every entry, so the
+         journal compacts to a bare header (positions preserved) *)
+      (match (t.cfg.journal, t.cfg.db_path) with
+      | Some j, Some _ -> Journal.checkpoint j
+      | _ -> ());
       Option.iter Journal.close t.cfg.journal)
 
 (* ------------------------------------------------------------------ *)
@@ -281,6 +425,24 @@ let stats_json ?(workers = 0) t =
             ("restarts", Json.Int (Atomic.get t.n_restarts));
             ("wedged", Json.Int (Atomic.get t.n_wedged));
           ] );
+      ( "replication",
+        Json.Obj
+          ([
+             ( "role",
+               Json.Str
+                 (if Atomic.get t.read_only then "follower" else "primary") );
+             ( "epoch",
+               Json.Int
+                 (match t.cfg.journal with
+                 | Some j -> Journal.epoch j
+                 | None -> 1) );
+             ("applied", Json.Int (Atomic.get t.n_replicated));
+             ("resyncs", Json.Int (Atomic.get t.n_resyncs));
+           ]
+          @ (match t.cfg.repl with
+            | Some hub -> Replica.hub_stats hub
+            | None -> [])
+          @ !(t.repl_extra) ()) );
       ( "server",
         Json.Obj
           [

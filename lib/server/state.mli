@@ -14,8 +14,11 @@ module C = Concretize.Concretizer
 (** Where {!record_install} simulates a crash (tests and the kill -9
     recovery drill): [After_intent] dies after the journal intent was
     fsynced but before the database was touched; [After_save] dies after
-    the new database file was published but before the commit marker. *)
-type crash_point = After_intent | After_save
+    the new database file was published but before the commit marker;
+    [After_commit] dies after the commit marker was fsynced but before the
+    client saw the ack (and before replication shipped) — the seam that
+    proves the ack ordering: everything acked is already durable. *)
+type crash_point = After_intent | After_save | After_commit
 
 type config = {
   repo : Pkg.Repo.t;
@@ -24,6 +27,11 @@ type config = {
   db : Pkg.Database.t;  (** initial installed database (post-recovery) *)
   db_path : string option;  (** persist the database here after installs *)
   journal : Journal.t option;  (** write-ahead journal for installs *)
+  journal_max_bytes : int;
+      (** compact the journal (checkpoint against the saved database) when
+          it outgrows this; 0 = never *)
+  repl : Replica.hub option;  (** replication hub (ships committed installs) *)
+  follower : bool;  (** start read-only, following a primary *)
   timeout : float option;  (** server-side per-request deadline, seconds *)
   client_rate : float;  (** per-client token refill per second; 0 = off *)
   client_burst : float;  (** per-client token-bucket capacity *)
@@ -48,6 +56,14 @@ type t = {
   n_replayed : int Atomic.t;  (** journal intents re-applied at startup *)
   n_restarts : int Atomic.t;  (** crashed workers replaced *)
   n_wedged : int Atomic.t;  (** stalled workers quarantined *)
+  n_replicated : int Atomic.t;  (** replicated records applied (follower) *)
+  n_resyncs : int Atomic.t;  (** follower resets (fenced / resynced) *)
+  read_only : bool Atomic.t;  (** refuses installs until promoted *)
+  on_promote : (unit -> unit) ref;
+      (** invoked by {!promote} before the role flips — the daemon hooks
+          the follower-loop stop here *)
+  repl_extra : (unit -> (string * Json.t) list) ref;
+      (** extra fields for the stats [replication] section *)
   draining : bool Atomic.t;
   stopping : bool Atomic.t;
 }
@@ -57,6 +73,9 @@ val create : jobs:int -> config -> t
 
 val db : t -> Pkg.Database.t
 (** The current installed-database snapshot (immutable once published). *)
+
+val read_only : t -> bool
+(** [true] on an unpromoted follower: installs get a typed [Read_only]. *)
 
 (** {1 Startup recovery} *)
 
@@ -105,7 +124,42 @@ val record_install : t -> C.success -> (string * string) list
     {!recover}).  Returns the (package, hash) pairs newly added. *)
 
 val persist : t -> unit
-(** Final save of the database and journal sync (graceful drain). *)
+(** Final save of the database, then a clean-shutdown journal checkpoint
+    (the snapshot holds every entry; sequence positions carry over) and
+    journal close. *)
+
+(** {1 Replication} *)
+
+val replica_position : t -> int * int
+(** (epoch, next expected sequence) from the local journal — where a
+    follower (re)subscribes from. *)
+
+val apply_replicated :
+  t ->
+  epoch:int ->
+  seq:int ->
+  intent:string ->
+  commit:string ->
+  spec:Specs.Spec.concrete ->
+  unit
+(** Follower apply: fsync the primary's exact journal lines locally
+    (bumping the epoch first if the stream moved ahead), then swap the
+    install into the database.  The caller acks only after this returns. *)
+
+val install_snapshot : t -> epoch:int -> next_seq:int -> db:string -> unit
+(** Follower catch-up from a full database snapshot: verify and swap it
+    in, drop every substrate base (snapshot deltas are not add-only), and
+    restart the journal at the primary's position.
+    @raise Failure when the snapshot fails its digest check. *)
+
+val reset_replica : t -> epoch:int -> unit
+(** Fenced (stale epoch): rotate the journal to [.stale], wipe the
+    database, adopt [epoch] at sequence 1. *)
+
+val promote : t -> int
+(** Stop the follower loop ({!on_promote}), bump the journal epoch and
+    start accepting installs; returns the (possibly new) epoch.
+    Idempotent on a primary. *)
 
 val stats_json : ?workers:int -> t -> Json.t
 (** The [stats] reply: cache / substrate / scheduler / supervisor /

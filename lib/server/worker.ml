@@ -206,6 +206,27 @@ let solve_request lp conn ~id ~install ~timeout specs =
             { pconn = conn; req_id = id; slots = Array.of_list slots; install }
             :: lp.pendings)
 
+(* Hand a connection over to the replication hub: from here on the socket
+   carries server-pushed record frames and follower acks, not the
+   request/response protocol, and a dedicated hub domain owns its IO.  The
+   worker flushes what it still owes, forgets the fd (without closing it)
+   and never selects on it again. *)
+let detach_for_replication lp conn =
+  unregister_fd lp.w conn.fd;
+  (try Unix.clear_nonblock conn.fd with Unix.Unix_error _ -> ());
+  if conn.out <> "" then begin
+    (try ignore (Unix.write_substring conn.fd conn.out 0 (String.length conn.out))
+     with Unix.Unix_error _ -> ());
+    conn.out <- ""
+  end;
+  conn.alive <- false;
+  List.iter
+    (fun p ->
+      if p.pconn == conn then abandon_slots lp (Array.to_list p.slots))
+    lp.pendings;
+  lp.pendings <- List.filter (fun p -> p.pconn != conn) lp.pendings;
+  lp.conns <- List.filter (fun c -> c != conn) lp.conns
+
 let handle_request lp conn ~id req =
   let st = lp.w.st in
   Atomic.incr st.State.n_requests;
@@ -225,11 +246,43 @@ let handle_request lp conn ~id req =
   | Protocol.Solve { spec; timeout } ->
     solve_request lp conn ~id ~install:None ~timeout [ spec ]
   | Protocol.Install { spec; timeout } ->
-    solve_request lp conn ~id ~install:(Some spec) ~timeout [ spec ]
+    if State.read_only st then
+      reply conn ~id
+        (Protocol.Error
+           {
+             kind = Protocol.Read_only;
+             message =
+               "read-only follower: installs go to the primary (or promote)";
+           })
+    else solve_request lp conn ~id ~install:(Some spec) ~timeout [ spec ]
   | Protocol.Solve_many { specs; timeout } -> (
     match specs with
     | [] -> reply conn ~id (Protocol.Results [])
     | _ -> solve_request lp conn ~id ~install:None ~timeout specs)
+  | Protocol.Promote ->
+    let epoch = State.promote st in
+    reply conn ~id (Protocol.Promoted { epoch })
+  | Protocol.Repl_subscribe { epoch; from_seq } -> (
+    match st.State.cfg.State.repl with
+    | None ->
+      reply conn ~id
+        (Protocol.Error
+           {
+             kind = Protocol.Bad_request;
+             message = "replication unavailable (daemon has no journal)";
+           })
+    | Some hub ->
+      let fd = conn.fd in
+      detach_for_replication lp conn;
+      Replica.adopt hub fd ~epoch ~from_seq)
+  | Protocol.Repl_ack _ ->
+    (* acks belong on a subscription socket, which never reaches here *)
+    reply conn ~id
+      (Protocol.Error
+         {
+           kind = Protocol.Bad_request;
+           message = "repl_ack outside a replication subscription";
+         })
 
 let handle_line lp conn line =
   let bad message =

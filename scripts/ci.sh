@@ -93,7 +93,7 @@ CLEAN_FP=$(timeout 60 "$SOLVE" --connect "$SOCK" --remote-stats \
 [ -n "$CLEAN_FP" ]
 timeout 60 "$SOLVE" --connect "$SOCK" --remote-shutdown
 wait "$PID"
-for POINT in after-intent after-save; do
+for POINT in after-intent after-save after-commit; do
   SOCK="$DRILL_DIR/$POINT.sock"
   SPACK_SERVE_CRASH=$POINT timeout 120 "$SERVE" --socket "$SOCK" \
     --db "$DRILL_DIR/$POINT.db" > "$DRILL_DIR/$POINT.log" 2>&1 &
@@ -120,6 +120,79 @@ for POINT in after-intent after-save; do
   timeout 60 "$SOLVE" --connect "$SOCK" --remote-shutdown
   wait "$PID"
 done
+
+echo "== failover drill (kill -9 primary, promote standby, lossless sync acks)"
+PSOCK="$DRILL_DIR/primary.sock"
+FSOCK="$DRILL_DIR/standby.sock"
+timeout 180 "$SERVE" --socket "$PSOCK" --db "$DRILL_DIR/primary.db" \
+  --repl-ack sync > "$DRILL_DIR/primary.log" 2>&1 &
+PRIMARY_PID=$!
+wait_sock "$PSOCK"
+# $! is the timeout(1) wrapper; resolve the daemon underneath it so the
+# kill -9 hits the primary itself, not its babysitter
+PRIMARY_DPID=$(pgrep -P "$PRIMARY_PID")
+timeout 180 "$SERVE" --socket "$FSOCK" --db "$DRILL_DIR/standby.db" \
+  --follow "$PSOCK" > "$DRILL_DIR/standby.log" 2>&1 &
+STANDBY_PID=$!
+wait_sock "$FSOCK"
+# wait for the subscription: from here every install ack is follower-backed
+i=0
+until timeout 60 "$SOLVE" --connect "$PSOCK" --remote-stats \
+  | grep -q '"followers":1'; do
+  sleep 0.1
+  i=$((i + 1))
+  [ "$i" -lt 100 ]
+done
+timeout 60 "$SOLVE" --connect "$PSOCK" --remote-install zlib \
+  | grep -q "installed zlib"
+timeout 60 "$SOLVE" --connect "$PSOCK" --remote-install hdf5 \
+  | grep -q "installed hdf5"
+STATS=$(timeout 60 "$SOLVE" --connect "$PSOCK" --remote-stats)
+echo "$STATS" | grep -q '"sync_degraded":0'
+echo "$STATS" | grep -q '"sync_timeouts":0'
+ACKED_FP=$(echo "$STATS" | grep -o '"db_fingerprint":"[^"]*"')
+# the primary dies without warning; the standby holds every acked install
+kill -9 "$PRIMARY_DPID" 2> /dev/null || true
+wait "$PRIMARY_PID" 2> /dev/null || true
+timeout 60 "$SOLVE" --connect "$FSOCK" --remote-promote \
+  | grep -q "promoted: now primary in epoch 2"
+FP=$(timeout 60 "$SOLVE" --connect "$FSOCK" --remote-stats \
+  | grep -o '"db_fingerprint":"[^"]*"')
+[ "$FP" = "$ACKED_FP" ]
+# clients configured with the failover chain rotate past the dead primary
+timeout 60 "$SOLVE" --connect "$PSOCK,$FSOCK" --remote-install libiconv \
+  | grep -q "installed libiconv"
+timeout 60 "$SOLVE" --connect "$FSOCK" --remote-shutdown
+wait "$STANDBY_PID" 2> /dev/null || true
+
+echo "== failover chaos tier (spack_load --kill-primary, lost-ack audit)"
+rm -f "$DRILL_DIR/primary.sock" "$DRILL_DIR/standby.sock"
+timeout 180 "$SERVE" --socket "$PSOCK" --db "$DRILL_DIR/chaos-primary.db" \
+  --repl-ack sync > "$DRILL_DIR/chaos-primary.log" 2>&1 &
+PRIMARY_PID=$!
+wait_sock "$PSOCK"
+PRIMARY_DPID=$(pgrep -P "$PRIMARY_PID")
+timeout 180 "$SERVE" --socket "$FSOCK" --db "$DRILL_DIR/chaos-standby.db" \
+  --follow "$PSOCK" > "$DRILL_DIR/chaos-standby.log" 2>&1 &
+STANDBY_PID=$!
+wait_sock "$FSOCK"
+i=0
+until timeout 60 "$SOLVE" --connect "$PSOCK" --remote-stats \
+  | grep -q '"followers":1'; do
+  sleep 0.1
+  i=$((i + 1))
+  [ "$i" -lt 100 ]
+done
+timeout 120 "$LOAD" --socket "$PSOCK" --standby "$FSOCK" \
+  --kill-primary "$PRIMARY_DPID" --tiers 0 --clients 6 --duration 6 \
+  --install-frac 0.5 --timeout 5 --json BENCH_failover_ci.json
+# under sync acks the drill must lose nothing a client saw acknowledged
+grep -q '"lost_acks":0' BENCH_failover_ci.json
+grep -q '"audited":true' BENCH_failover_ci.json
+! grep -q '"promoted_epoch":-1' BENCH_failover_ci.json
+wait "$PRIMARY_PID" 2> /dev/null || true
+timeout 60 "$SOLVE" --connect "$FSOCK" --remote-shutdown
+wait "$STANDBY_PID" 2> /dev/null || true
 
 echo "== SIGTERM drains gracefully"
 SOCK="$DRILL_DIR/drain.sock"

@@ -191,6 +191,9 @@ let test_daemon_journal_differential () =
       db_path = Some (Filename.concat dir "installed.db");
       journal =
         Some (Server.Journal.open_ (Filename.concat dir "installed.db.journal"));
+      journal_max_bytes = 0;
+      repl = None;
+      follower = false;
       timeout = None;
       client_rate = 0.;
       client_burst = 8.;

@@ -345,6 +345,9 @@ let with_daemon ?(repo = repo) ?(workers = 2) ?(jobs = 2) ?(max_pending = 8)
       db = Pkg.Database.create ();
       db_path;
       journal_path;
+      journal_max_bytes = 0;
+      follow = None;
+      repl_ack = Server.Replica.Ack_async;
       cache = Server.Cache.create ();
       workers;
       jobs;

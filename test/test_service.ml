@@ -121,7 +121,8 @@ let test_journal_stale_rotation () =
 
 exception Simulated_crash
 
-let service_state ?crash ~dir () =
+let service_state ?crash ?(journal_max_bytes = 0) ?repl ?(follower = false)
+    ~dir () =
   let cfg =
     {
       Server.State.repo;
@@ -130,6 +131,9 @@ let service_state ?crash ~dir () =
       db = Pkg.Database.create ();
       db_path = Some (Filename.concat dir "installed.db");
       journal = Some (Server.Journal.open_ (Filename.concat dir "installed.db.journal"));
+      journal_max_bytes;
+      repl;
+      follower;
       timeout = None;
       client_rate = 0.;
       client_burst = 8.;
@@ -357,7 +361,8 @@ let test_client_recv_timeout () =
 
 let with_daemon ?(repo = repo) ?(workers = 2) ?(jobs = 2) ?(max_pending = 8)
     ?timeout ?(client_rate = 0.) ?(client_burst = 8.) ?(drain_grace = 5.0)
-    ?(wedge_timeout = 10.0) f =
+    ?(wedge_timeout = 10.0) ?db ?db_path ?journal_path ?(journal_max_bytes = 0)
+    ?follow ?(repl_ack = Server.Replica.Ack_async) f =
   let sock =
     Filename.concat (Filename.get_temp_dir_name ())
       ("spacksvc-" ^ uid () ^ ".sock")
@@ -367,9 +372,12 @@ let with_daemon ?(repo = repo) ?(workers = 2) ?(jobs = 2) ?(max_pending = 8)
       Server.Daemon.socket_path = sock;
       repo;
       solver = Asp.Config.default;
-      db = Pkg.Database.create ();
-      db_path = None;
-      journal_path = None;
+      db = (match db with Some db -> db | None -> Pkg.Database.create ());
+      db_path;
+      journal_path;
+      journal_max_bytes;
+      follow;
+      repl_ack;
       cache = Server.Cache.create ();
       workers;
       jobs;
@@ -418,6 +426,17 @@ let stats_int c section field =
           Option.bind (J.member field s) J.to_int)
     with
     | Some n -> n
+    | None -> Alcotest.failf "stats field %s.%s missing" section field)
+  | _ -> Alcotest.fail "expected a stats reply"
+
+let stats_str c section field =
+  match request c Server.Protocol.Stats with
+  | Server.Protocol.Stats_reply j -> (
+    match
+      Option.bind (J.member section j) (fun s ->
+          Option.bind (J.member field s) J.to_str)
+    with
+    | Some s -> s
     | None -> Alcotest.failf "stats field %s.%s missing" section field)
   | _ -> Alcotest.fail "expected a stats reply"
 
@@ -606,6 +625,371 @@ let test_daemon_graceful_drain () =
 (* with_daemon's teardown then joins the daemon domain: if drain hangs,
    the test hangs — the join itself is the assertion *)
 
+(* ------------------------------------------------------------------ *)
+(* Replication: journal shipping to hot-standby daemons                *)
+(* ------------------------------------------------------------------ *)
+
+let wait_for ?(timeout = 30.) msg f =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    if not (f ()) then
+      if Unix.gettimeofday () > deadline then
+        Alcotest.failf "timed out waiting for %s" msg
+      else begin
+        Unix.sleepf 0.02;
+        go ()
+      end
+  in
+  go ()
+
+let install_via c spec =
+  match request c (Server.Protocol.install spec) with
+  | Server.Protocol.Installed _ -> ()
+  | Server.Protocol.Error { message; _ } ->
+    Alcotest.failf "install %s refused: %s" spec message
+  | _ -> Alcotest.failf "expected an Installed reply for %s" spec
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* A follower started against a primary that already compacted its journal
+   must catch up via a database snapshot, then track the live record
+   stream; its database must be byte-identical to the primary's. *)
+let test_repl_follower_equivalence () =
+  let pdir = temp_dir () and fdir = temp_dir () in
+  with_daemon
+    ~db_path:(Filename.concat pdir "installed.db")
+    ~journal_path:(Filename.concat pdir "installed.db.journal")
+    ~journal_max_bytes:1 (* compact after every install *)
+    (fun psock ->
+      let pc = client psock in
+      (* two installs land before any follower exists, and aggressive
+         compaction folds them into the database snapshot *)
+      install_via pc "zlib";
+      install_via pc "libiconv";
+      with_daemon
+        ~db_path:(Filename.concat fdir "installed.db")
+        ~journal_path:(Filename.concat fdir "installed.db.journal")
+        ~follow:psock
+        (fun fsock ->
+          let fc = client fsock in
+          Alcotest.(check string) "standby reports the follower role"
+            "follower"
+            (stats_str fc "replication" "role");
+          (* counters trail the database swap by a few instructions, so
+             the wait covers both *)
+          wait_for "snapshot catch-up" (fun () ->
+              stats_int fc "replication" "snapshots" >= 1
+              && stats_str fc "server" "db_fingerprint"
+                 = stats_str pc "server" "db_fingerprint");
+          (* a live install now streams as a (seq, intent, commit) record *)
+          install_via pc "hdf5";
+          wait_for "live record stream" (fun () ->
+              stats_int fc "replication" "stream_applied" >= 1
+              && stats_str fc "server" "db_fingerprint"
+                 = stats_str pc "server" "db_fingerprint");
+          Alcotest.(check bool) "primary sees its follower" true
+            (stats_int pc "replication" "followers" >= 1);
+          (* a follower is read-only: installs are refused with a typed
+             error the client can use to fail over *)
+          (match request fc (Server.Protocol.install "fftw") with
+          | Server.Protocol.Error { kind = Server.Protocol.Read_only; _ } ->
+            ()
+          | _ -> Alcotest.fail "follower accepted an install");
+          Server.Client.close fc);
+      Server.Client.close pc);
+  (* both shut down cleanly; now tear the follower's journal (a crash
+     mid-replicated-append) — recovery must drop the torn tail and still
+     reproduce the replicated database from the saved snapshot *)
+  let fj = Filename.concat fdir "installed.db.journal" in
+  write_file fj (read_file fj ^ "I\t99\tdeadbeef\ttorn{");
+  let r =
+    Server.State.recover
+      ~db_path:(Filename.concat fdir "installed.db")
+      ~journal_path:fj ()
+  in
+  Alcotest.(check bool) "torn replicated tail detected" true
+    r.Server.State.truncated;
+  let p =
+    Server.State.recover
+      ~db_path:(Filename.concat pdir "installed.db")
+      ~journal_path:(Filename.concat pdir "installed.db.journal")
+      ()
+  in
+  Alcotest.(check string) "follower recovery equals primary recovery"
+    (Pkg.Database.fingerprint p.Server.State.db0)
+    (Pkg.Database.fingerprint r.Server.State.db0)
+
+(* Under --repl-ack=sync the client-visible install ack implies the record
+   is already durable on the follower: copying the follower's on-disk
+   state the moment the ack returns (as a kill -9 would freeze it) and
+   recovering from the copy must reproduce the install. *)
+let test_repl_sync_ack_durability () =
+  let pdir = temp_dir () and fdir = temp_dir () and snap = temp_dir () in
+  with_daemon
+    ~db_path:(Filename.concat pdir "installed.db")
+    ~journal_path:(Filename.concat pdir "installed.db.journal")
+    ~repl_ack:Server.Replica.Ack_sync
+    (fun psock ->
+      let pc = client psock in
+      with_daemon
+        ~db_path:(Filename.concat fdir "installed.db")
+        ~journal_path:(Filename.concat fdir "installed.db.journal")
+        ~follow:psock
+        (fun _fsock ->
+          wait_for "follower subscription" (fun () ->
+              stats_int pc "replication" "followers" >= 1);
+          install_via pc "zlib";
+          (* freeze the follower's disk state as of the ack *)
+          write_file
+            (Filename.concat snap "installed.db")
+            (read_file (Filename.concat fdir "installed.db"));
+          write_file
+            (Filename.concat snap "installed.db.journal")
+            (read_file (Filename.concat fdir "installed.db.journal"));
+          Alcotest.(check int) "no ack was follower-less" 0
+            (stats_int pc "replication" "sync_degraded");
+          Alcotest.(check int) "no ack timed out waiting for the follower" 0
+            (stats_int pc "replication" "sync_timeouts");
+          Alcotest.(check bool) "the follower acked" true
+            (stats_int pc "replication" "acked" >= 1));
+      let live_fp = stats_str pc "server" "db_fingerprint" in
+      let r =
+        Server.State.recover
+          ~db_path:(Filename.concat snap "installed.db")
+          ~journal_path:(Filename.concat snap "installed.db.journal")
+          ()
+      in
+      Alcotest.(check string)
+        "follower state frozen at ack time reproduces the install" live_fp
+        (Pkg.Database.fingerprint r.Server.State.db0);
+      Server.Client.close pc)
+
+(* Promotion flips a follower to primary in a new epoch; installs are
+   accepted from then on. *)
+let test_repl_promotion () =
+  let pdir = temp_dir () and fdir = temp_dir () in
+  with_daemon
+    ~db_path:(Filename.concat pdir "installed.db")
+    ~journal_path:(Filename.concat pdir "installed.db.journal")
+    (fun psock ->
+      let pc = client psock in
+      with_daemon
+        ~db_path:(Filename.concat fdir "installed.db")
+        ~journal_path:(Filename.concat fdir "installed.db.journal")
+        ~follow:psock
+        (fun fsock ->
+          install_via pc "zlib";
+          let fc = client fsock in
+          wait_for "replication of the first install" (fun () ->
+              stats_str fc "server" "db_fingerprint"
+              = stats_str pc "server" "db_fingerprint");
+          (match request fc Server.Protocol.Promote with
+          | Server.Protocol.Promoted { epoch } ->
+            Alcotest.(check int) "promotion bumps the epoch" 2 epoch
+          | _ -> Alcotest.fail "expected a Promoted reply");
+          Alcotest.(check string) "promoted standby reports primary"
+            "primary"
+            (stats_str fc "replication" "role");
+          (* idempotent: a second promote reports the same epoch *)
+          (match request fc Server.Protocol.Promote with
+          | Server.Protocol.Promoted { epoch } ->
+            Alcotest.(check int) "promote is idempotent" 2 epoch
+          | _ -> Alcotest.fail "expected a Promoted reply");
+          (* the new primary accepts installs *)
+          install_via fc "libiconv";
+          Server.Client.close fc);
+      Server.Client.close pc)
+
+(* A stale primary rejoining as a follower is fenced: its journal (with
+   entries the new epoch never saw) is rotated aside, its database wiped
+   and resynced — the unreplicated tail cannot leak into the new epoch. *)
+let test_repl_stale_primary_fenced () =
+  let dir_a = temp_dir () and dir_b = temp_dir () in
+  (* epoch-1 primary A: one replicated install, then death; a second
+     committed entry lands in its journal that nobody ever saw *)
+  let st = service_state ~dir:dir_a () in
+  ignore (Server.State.record_install st (concrete "zlib"));
+  Server.State.persist st;
+  shutdown_state st;
+  let ja = Server.Journal.open_ (Filename.concat dir_a "installed.db.journal") in
+  let seq = Server.Journal.append_intent ja (concrete "libiconv").C.spec in
+  Server.Journal.append_commit ja seq;
+  Server.Journal.close ja;
+  (* B was promoted meanwhile: epoch 2 *)
+  let jb = Server.Journal.open_ (Filename.concat dir_b "installed.db.journal") in
+  Server.Journal.bump_epoch jb 2;
+  Server.Journal.close jb;
+  with_daemon
+    ~db_path:(Filename.concat dir_b "installed.db")
+    ~journal_path:(Filename.concat dir_b "installed.db.journal")
+    (fun bsock ->
+      let bc = client bsock in
+      Alcotest.(check int) "B leads epoch 2" 2
+        (stats_int bc "replication" "epoch");
+      install_via bc "hdf5";
+      (* A rejoins as a follower, announcing epoch 1 *)
+      let ra =
+        Server.State.recover
+          ~db_path:(Filename.concat dir_a "installed.db")
+          ~journal_path:(Filename.concat dir_a "installed.db.journal")
+          ()
+      in
+      Alcotest.(check bool) "A recovered its unreplicated tail" true
+        (Pkg.Database.size ra.Server.State.db0 >= 2);
+      with_daemon ~db:ra.Server.State.db0
+        ~db_path:(Filename.concat dir_a "installed.db")
+        ~journal_path:(Filename.concat dir_a "installed.db.journal")
+        ~follow:bsock
+        (fun asock ->
+          let ac = client asock in
+          wait_for "fencing and resync" (fun () ->
+              stats_int ac "replication" "epoch" = 2
+              && stats_str ac "server" "db_fingerprint"
+                 = stats_str bc "server" "db_fingerprint");
+          Alcotest.(check bool) "A counted the reset" true
+            (stats_int ac "replication" "resyncs" >= 1);
+          Alcotest.(check bool) "B counted the fence" true
+            (stats_int bc "replication" "resets_sent" >= 1);
+          Alcotest.(check bool) "A's dead-epoch journal rotated aside" true
+            (Sys.file_exists
+               (Filename.concat dir_a "installed.db.journal.stale"));
+          Server.Client.close ac);
+      Server.Client.close bc)
+
+(* Follower crash mid-stream and a hub-dropped record: both resume from
+   the durable position and converge (the drop is detected as a sequence
+   gap on the next record). *)
+let test_repl_follower_crash_and_gap () =
+  with_faults (fun () ->
+      let pdir = temp_dir () and fdir = temp_dir () in
+      with_daemon
+        ~db_path:(Filename.concat pdir "installed.db")
+        ~journal_path:(Filename.concat pdir "installed.db.journal")
+        (fun psock ->
+          let pc = client psock in
+          with_daemon
+            ~db_path:(Filename.concat fdir "installed.db")
+            ~journal_path:(Filename.concat fdir "installed.db.journal")
+            ~follow:psock
+            (fun fsock ->
+              let fc = client fsock in
+              wait_for "follower subscription" (fun () ->
+                  stats_int pc "replication" "followers" >= 1);
+              (* the apply loop dies on the next record; the follower
+                 domain reconnects and resumes from its fsynced position *)
+              Asp.Fault.arm_service Asp.Fault.Follower_crash 1;
+              install_via pc "zlib";
+              wait_for "recovery from the crash" (fun () ->
+                  stats_str fc "server" "db_fingerprint"
+                  = stats_str pc "server" "db_fingerprint");
+              (* the hub silently drops the next record; the follower only
+                 notices when the one after arrives as a gap *)
+              Asp.Fault.arm_service Asp.Fault.Repl_drop 1;
+              install_via pc "libiconv";
+              install_via pc "hdf5";
+              wait_for "gap resync" (fun () ->
+                  stats_str fc "server" "db_fingerprint"
+                  = stats_str pc "server" "db_fingerprint");
+              Alcotest.(check bool) "the follower resubscribed" true
+                (stats_int fc "replication" "reconnects" >= 1
+                || stats_int fc "replication" "stream_resyncs" >= 1);
+              Alcotest.(check bool) "the drop was counted" true
+                (stats_int pc "replication" "dropped" >= 1);
+              Server.Client.close fc);
+          Server.Client.close pc))
+
+(* --journal-max-bytes compaction and the clean-shutdown checkpoint both
+   preserve sequence positions while truncating entries. *)
+let test_repl_checkpoint_compaction () =
+  let dir = temp_dir () in
+  let st = service_state ~journal_max_bytes:1 ~dir () in
+  ignore (Server.State.record_install st (concrete "zlib"));
+  ignore (Server.State.record_install st (concrete "hdf5"));
+  let j =
+    match st.Server.State.cfg.Server.State.journal with
+    | Some j -> j
+    | None -> Alcotest.fail "expected a journal"
+  in
+  Alcotest.(check int) "sequences survive compaction" 3
+    (Server.Journal.next_seq j);
+  Alcotest.(check int) "base advanced past the compacted entries" 3
+    (Server.Journal.base_seq j);
+  let live_fp = Pkg.Database.fingerprint (Server.State.db st) in
+  Server.State.persist st;
+  shutdown_state st;
+  let path = Filename.concat dir "installed.db.journal" in
+  Alcotest.(check int) "compacted journal holds no entries" 0
+    (List.length (Server.Journal.replay path).Server.Journal.entries);
+  let r =
+    Server.State.recover ~db_path:(Filename.concat dir "installed.db")
+      ~journal_path:path ()
+  in
+  Alcotest.(check int) "nothing left to replay" 0 r.Server.State.replayed;
+  Alcotest.(check string) "database snapshot carries everything" live_fp
+    (Pkg.Database.fingerprint r.Server.State.db0);
+  let j2 = Server.Journal.open_ path in
+  Alcotest.(check int) "reopened journal resumes the sequence" 3
+    (Server.Journal.next_seq j2);
+  Server.Journal.close j2
+
+(* Journal v2 position plumbing: epochs, base sequences, raw appends and
+   the catch-up tail — the primitives replication is built from. *)
+let test_journal_v2_positions () =
+  let dir = temp_dir () in
+  let path = Filename.concat dir "installs.journal" in
+  let s1 = concrete "zlib" in
+  let j = Server.Journal.open_ path in
+  Alcotest.(check int) "fresh epoch" 1 (Server.Journal.epoch j);
+  Alcotest.(check int) "fresh base" 1 (Server.Journal.base_seq j);
+  let seq = Server.Journal.append_intent j s1.C.spec in
+  Server.Journal.append_commit j seq;
+  (match Server.Journal.tail_from j 1 with
+  | [ (1, il, cl) ] ->
+    (match Server.Journal.parse il with
+    | Some (`Intent (1, _)) -> ()
+    | _ -> Alcotest.fail "tail intent line does not parse back");
+    (match Server.Journal.parse cl with
+    | Some (`Commit 1) -> ()
+    | _ -> Alcotest.fail "tail commit line does not parse back")
+  | t -> Alcotest.failf "unexpected tail of %d entries" (List.length t));
+  Server.Journal.bump_epoch j 2;
+  Alcotest.(check int) "epoch bumped" 2 (Server.Journal.epoch j);
+  (* the follower side: mirror pre-rendered lines at an explicit seq *)
+  Server.Journal.append_raw j ~seq:5
+    [ Server.Journal.render_intent 5 s1.C.spec; Server.Journal.render_commit 5 ];
+  Alcotest.(check int) "raw append advances the counter" 6
+    (Server.Journal.next_seq j);
+  Server.Journal.close j;
+  let j2 = Server.Journal.open_ path in
+  Alcotest.(check int) "epoch survives reopen" 2 (Server.Journal.epoch j2);
+  Alcotest.(check int) "sequence survives reopen" 6 (Server.Journal.next_seq j2);
+  Alcotest.(check int) "tail skips below from_seq" 1
+    (List.length (Server.Journal.tail_from j2 2));
+  Server.Journal.checkpoint j2;
+  Alcotest.(check int) "checkpoint keeps the epoch" 2 (Server.Journal.epoch j2);
+  Alcotest.(check int) "checkpoint advances the base" 6
+    (Server.Journal.base_seq j2);
+  Alcotest.(check int) "checkpointed tail is empty" 0
+    (List.length (Server.Journal.tail_from j2 1));
+  Server.Journal.set_position j2 ~epoch:5 ~base_seq:10;
+  Server.Journal.close j2;
+  let j3 = Server.Journal.open_ path in
+  Alcotest.(check int) "adopted epoch survives reopen" 5
+    (Server.Journal.epoch j3);
+  Alcotest.(check int) "adopted base survives reopen" 10
+    (Server.Journal.next_seq j3);
+  Server.Journal.close j3
+
 let () =
   Alcotest.run "service"
     [
@@ -643,5 +1027,21 @@ let () =
             test_daemon_enqueue_deadline;
           Alcotest.test_case "token bucket" `Quick test_daemon_token_bucket;
           Alcotest.test_case "graceful drain" `Quick test_daemon_graceful_drain;
+        ] );
+      ( "replication",
+        [
+          Alcotest.test_case "journal v2 positions" `Quick
+            test_journal_v2_positions;
+          Alcotest.test_case "checkpoint compaction" `Quick
+            test_repl_checkpoint_compaction;
+          Alcotest.test_case "follower equivalence + torn tail" `Quick
+            test_repl_follower_equivalence;
+          Alcotest.test_case "sync-ack durability" `Quick
+            test_repl_sync_ack_durability;
+          Alcotest.test_case "promotion" `Quick test_repl_promotion;
+          Alcotest.test_case "stale primary fenced" `Quick
+            test_repl_stale_primary_fenced;
+          Alcotest.test_case "follower crash and gap resync" `Quick
+            test_repl_follower_crash_and_gap;
         ] );
     ]
