@@ -30,16 +30,41 @@ let decode_priority p =
     let base, bucket = if p > 100 then (p - 200, Build) else (p, Reuse) in
     if base >= 1 && base <= 15 then Some (Criterion (16 - base, bucket)) else None
 
-let pp_cost ppf (p, v) =
+(* --- criterion stacks ------------------------------------------------- *)
+
+(* A stack names the objective levels of one frontend's #minimize scheme.
+   Decoding and rendering go through the stack so cost vectors print with
+   the frontend's own level names: the Spack stack decodes Table II's
+   1..15/100/201..215 priorities, the CUDF stacks (paranoid, trendy — see
+   Cudf.Criteria) carry explicit (priority, label) lists. *)
+type stack = { stack_name : string; level : int -> string option }
+
+let stack_name s = s.stack_name
+let level_label s p = s.level p
+
+let spack_level p =
   match decode_priority p with
-  | Some Number_of_builds -> Format.fprintf ppf "@%-3d number of builds = %d" p v
+  | Some Number_of_builds -> Some "number of builds"
   | Some (Criterion (i, bucket)) ->
-    Format.fprintf ppf "@%-3d criterion %2d (%s)%s = %d" p i (name i)
-      (match bucket with Build -> " [build]" | Reuse -> "")
-      v
+    Some
+      (Printf.sprintf "criterion %2d (%s)%s" i (name i)
+         (match bucket with Build -> " [build]" | Reuse -> ""))
+  | None -> None
+
+let spack = { stack_name = "spack"; level = spack_level }
+
+let stack_of_levels ~name levels =
+  { stack_name = name; level = (fun p -> List.assoc_opt p levels) }
+
+let pp_cost_in s ppf (p, v) =
+  match s.level p with
+  | Some l -> Format.fprintf ppf "@%-3d %s = %d" p l v
   | None -> Format.fprintf ppf "@%-3d = %d" p v
 
-let pp_costs ppf costs =
+let pp_costs_in s ppf costs =
   List.iter
-    (fun (p, v) -> if v <> 0 then Format.fprintf ppf "%a@." pp_cost (p, v))
+    (fun (p, v) -> if v <> 0 then Format.fprintf ppf "%a@." (pp_cost_in s) (p, v))
     costs
+
+let pp_cost ppf pv = pp_cost_in spack ppf pv
+let pp_costs ppf costs = pp_costs_in spack ppf costs

@@ -22,8 +22,33 @@ type decoded =
 val decode_priority : int -> decoded option
 (** Decode a ground [#minimize] priority level. *)
 
+type stack
+(** A frontend's objective-level naming scheme: how ground [#minimize]
+    priorities decode to human-readable level names.  Cost-vector rendering
+    is stack-aware so each frontend's levels print under their own names —
+    Spack's Table II criteria for {!spack}, [removed]/[changed]/... for the
+    CUDF user-objective stacks ([Cudf.Criteria]). *)
+
+val spack : stack
+(** Decodes via {!decode_priority} (Table II + the two-bucket scheme). *)
+
+val stack_of_levels : name:string -> (int * string) list -> stack
+(** A stack from explicit [(priority, label)] pairs; unlisted priorities
+    render bare. *)
+
+val stack_name : stack -> string
+
+val level_label : stack -> int -> string option
+(** The label of a ground priority level under this stack's decoding. *)
+
+val pp_cost_in : stack -> Format.formatter -> int * int -> unit
+(** Render one [(priority, value)] pair under a stack's level names. *)
+
+val pp_costs_in : stack -> Format.formatter -> (int * int) list -> unit
+(** Render the nonzero entries of an objective vector, one per line. *)
+
 val pp_cost : Format.formatter -> int * int -> unit
-(** Render one [(priority, value)] pair of an objective vector. *)
+(** [pp_cost_in spack]. *)
 
 val pp_costs : Format.formatter -> (int * int) list -> unit
-(** Render the nonzero entries of an objective vector, one per line. *)
+(** [pp_costs_in spack]. *)

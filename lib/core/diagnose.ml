@@ -154,18 +154,23 @@ let attr_condition_ids store cond_ids (a : Asp.Gatom.t) =
       cond_ids
   | _ -> []
 
-let explain_core ?params ?budget ~env ~repo ~(facts : Facts.t) ~ground roots =
+(* Frontend-neutral core mapping: everything here keys off the
+   generalized-condition predicates (Logic_program.conditions_fragment), so
+   any frontend that emits them — Spack's [Facts], the CUDF encoder — gets
+   its own [cond_origins] provenance printed; only the [fallback] heuristics
+   are per-frontend. *)
+let explain_core_origins ?params ?budget ~cond_origins ~fallback ~ground () =
   match Asp.Explain.explain ?params ?budget ground with
   | Asp.Explain.Satisfiable ->
     (* should not happen when the caller just proved UNSAT; trust the
        syntactic heuristics instead of reporting nothing *)
-    explain ~env ~repo roots
+    fallback ()
   | Asp.Explain.Exhausted _ ->
     "unsat-core extraction exhausted its budget; heuristic diagnosis follows"
-    :: explain ~env ~repo roots
+    :: fallback ()
   | Asp.Explain.Unsat_core { causes; minimal } ->
     let store = ground.Asp.Ground.store in
-    let cond_ids = List.map fst facts.Facts.cond_origins in
+    let cond_ids = List.map fst cond_origins in
     (* group the core's ground instances by source constraint, keeping the
        order of first appearance (causes arrive sorted by rule index) *)
     let groups = ref [] in
@@ -206,7 +211,7 @@ let explain_core ?params ?budget ~env ~repo ~(facts : Facts.t) ~ground roots =
           (Printf.sprintf "\n    (+%d more ground instances)" (!count - 1));
       List.iter
         (fun id ->
-          match List.assoc_opt id facts.Facts.cond_origins with
+          match List.assoc_opt id cond_origins with
           | Some d -> Buffer.add_string b (Printf.sprintf "\n    because %s" d)
           | None -> ())
         !conds;
@@ -226,3 +231,8 @@ let explain_core ?params ?budget ~env ~repo ~(facts : Facts.t) ~ground roots =
           (if n = 1 then "" else "s")
     in
     header :: List.map render !groups
+
+let explain_core ?params ?budget ~env ~repo ~(facts : Facts.t) ~ground roots =
+  explain_core_origins ?params ?budget ~cond_origins:facts.Facts.cond_origins
+    ~fallback:(fun () -> explain ~env ~repo roots)
+    ~ground ()

@@ -14,6 +14,24 @@ val explain :
     (repeated nodes across roots and [^deps]) are removed, keeping first
     occurrences. *)
 
+val explain_core_origins :
+  ?params:Asp.Sat.params ->
+  ?budget:Asp.Budget.t ->
+  cond_origins:(int * string) list ->
+  fallback:(unit -> string list) ->
+  ground:Asp.Ground.t ->
+  unit ->
+  string list
+(** Frontend-neutral unsat-core explanation: extract a minimal core
+    ({!Asp.Explain}), group its ground instances by source constraint, and
+    map every condition id found in the core's atoms back through
+    [cond_origins] ("because pkg foo conflicts with bar < 2").  Works for
+    any frontend that targets the generalized-condition fragment
+    ({!Logic_program.conditions_fragment}): Spack's {!Facts} and the CUDF
+    encoder both qualify.  [fallback] supplies the frontend's syntactic
+    heuristics, used when core extraction exhausts its budget (prefixed
+    with a note) or, defensively, when the re-solve is satisfiable. *)
+
 val explain_core :
   ?params:Asp.Sat.params ->
   ?budget:Asp.Budget.t ->

@@ -23,16 +23,55 @@ exception Unknown_package of string
 let str s = Asp.Term.str s
 let int i = Asp.Term.int i
 
+(* Shared fact-generation core: statement accumulation plus the
+   condition-id/provenance bookkeeping every frontend needs to target the
+   generalized-condition fragment (Logic_program.conditions_fragment).
+   The Spack generator below drives it through thin wrappers; the CUDF
+   frontend (Cudf.Encode) drives it directly. *)
+module Gen = struct
+  type t = {
+    mutable stmts : Asp.Ast.statement list;  (* newest first *)
+    mutable count : int;
+    mutable next_id : int;
+    mutable origins : (int * string) list;  (* newest first *)
+  }
+
+  let create ?(first_id = 1) () =
+    { stmts = []; count = 0; next_id = first_id; origins = [] }
+
+  let fact t p args =
+    t.stmts <- Asp.Ast.fact p args :: t.stmts;
+    t.count <- t.count + 1
+
+  (* streamed facts bypass [stmts] but still count toward [n_facts] *)
+  let bump t n = t.count <- t.count + n
+
+  let new_condition t =
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    fact t "condition" [ Asp.Term.int id ];
+    id
+
+  let describe t id desc = t.origins <- (id, desc) :: t.origins
+
+  let require t id n args =
+    fact t "condition_requirement" (Asp.Term.int id :: Asp.Term.str n :: args)
+
+  let impose t id n args =
+    fact t "imposed_constraint" (Asp.Term.int id :: Asp.Term.str n :: args)
+
+  let statements t = List.rev t.stmts
+  let n_facts t = t.count
+  let origins t = t.origins
+end
+
 (* Mutable generation state. *)
 type gen = {
   repo : Pkg.Repo.t;
   genv : env;
   prefs : Preferences.t;
-  mutable stmts : Asp.Ast.statement list;
-  mutable count : int;
-  mutable next_id : int;
+  core : Gen.t;
   mutable msgs : (int * string) list;
-  mutable origins : (int * string) list;
   (* (package, version-constraint) pairs needing enumeration *)
   version_sites : (string * string, unit) Hashtbl.t;
   (* (compiler-name, version-constraint) pairs *)
@@ -47,20 +86,13 @@ type gen = {
   extra_variant_values : (string * string, string list ref) Hashtbl.t;
 }
 
-let fact g p args =
-  g.stmts <- Asp.Ast.fact p args :: g.stmts;
-  g.count <- g.count + 1
-
-let new_condition g =
-  let id = g.next_id in
-  g.next_id <- id + 1;
-  fact g "condition" [ int id ];
-  id
+let fact g p args = Gen.fact g.core p args
+let new_condition g = Gen.new_condition g.core
 
 (* Human-readable provenance of a condition, recovered by
    [Diagnose.explain_core] when the condition id turns up in an unsat
    core. *)
-let describe_condition g id desc = g.origins <- (id, desc) :: g.origins
+let describe_condition g id desc = Gen.describe g.core id desc
 
 let when_suffix = function
   | None -> ""
@@ -542,11 +574,8 @@ let generate ?(env = default_env) ?(prefs = Preferences.empty) ?installed
       repo;
       genv = env;
       prefs;
-      stmts = [];
-      count = 0;
-      next_id = 1;
+      core = Gen.create ();
       msgs = [];
-      origins = [];
       version_sites = Hashtbl.create 64;
       compiler_sites = Hashtbl.create 16;
       target_sites = Hashtbl.create 16;
@@ -676,16 +705,16 @@ let generate ?(env = default_env) ?(prefs = Preferences.empty) ?installed
          (the arena is append-only, so the slots stay valid) and counts
          toward [n_facts] arithmetically. *)
       List.iter
-        (fun slot -> g.count <- g.count + n_installed_atoms db slot)
+        (fun slot -> Gen.bump g.core (n_installed_atoms db slot))
         slots;
       let ts = term_memo db in
       Some (fun sink -> List.iter (fun s -> emit_installed_atoms ts db s sink) slots)
   in
   {
-    statements = List.rev g.stmts;
-    n_facts = g.count;
+    statements = Gen.statements g.core;
+    n_facts = Gen.n_facts g.core;
     possible = closure_packages;
     conflict_msgs = g.msgs;
-    cond_origins = g.origins;
+    cond_origins = Gen.origins g.core;
     reuse_stream;
   }

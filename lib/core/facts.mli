@@ -7,6 +7,48 @@
     and (4) optionally the installed database for reuse (hash-keyed
     constraints, Section VI).  A typical solve produces 10k–100k facts. *)
 
+(** Shared fact-generation core, exposed for other workload frontends.
+
+    Accumulates fact statements and the condition-id / provenance
+    bookkeeping needed to target the generalized-condition fragment
+    ({!Logic_program.conditions_fragment}): fresh [condition/1] ids,
+    [condition_requirement] / [imposed_constraint] facts keyed by them, and
+    the id → human-readable origin map that
+    {!Diagnose.explain_core_origins} prints for unsat cores.  The Spack
+    generator below and the CUDF encoder ([Cudf.Encode]) both drive it, so
+    every frontend gets identical condition semantics and provenance. *)
+module Gen : sig
+  type t
+
+  val create : ?first_id:int -> unit -> t
+  (** Fresh state; condition ids start at [first_id] (default 1). *)
+
+  val fact : t -> string -> Asp.Term.t list -> unit
+
+  val bump : t -> int -> unit
+  (** Count [n] facts delivered outside [statements] (streamed atoms). *)
+
+  val new_condition : t -> int
+  (** Allocate a condition id and emit its [condition/1] fact. *)
+
+  val describe : t -> int -> string -> unit
+  (** Record a condition's human-readable provenance. *)
+
+  val require : t -> int -> string -> Asp.Term.t list -> unit
+  (** [require t id attr args]: a [condition_requirement] of [id]. *)
+
+  val impose : t -> int -> string -> Asp.Term.t list -> unit
+  (** [impose t id attr args]: an [imposed_constraint] of [id]. *)
+
+  val statements : t -> Asp.Ast.statement list
+  (** Emission order. *)
+
+  val n_facts : t -> int
+
+  val origins : t -> (int * string) list
+  (** Condition provenance, newest first. *)
+end
+
 type env = {
   compilers : Specs.Compiler.t list;  (** roster, most preferred first *)
   oses : Specs.Os.t list;  (** most preferred first *)

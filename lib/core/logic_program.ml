@@ -1,3 +1,27 @@
+(* The generalized-condition fragment (Section V-A) is ecosystem-neutral:
+   any frontend that emits [condition/1], [condition_requirement/3..5] and
+   [imposed_constraint/3..5] facts over its own [attr] vocabulary gets the
+   same trigger/effect semantics (and, downstream, the same unsat-core
+   provenance mapping in [Diagnose]).  It is exposed separately so the CUDF
+   frontend ([Cudf.Logic]) can splice it into its own program; [text] below
+   concatenates it back unchanged. *)
+let conditions_fragment =
+  {|%-----------------------------------------------------------------------------
+% Generalized conditions (Section V-A): a condition holds when every
+% requirement attribute of its arity holds.
+%-----------------------------------------------------------------------------
+condition_holds(ID) :-
+  condition(ID);
+  attr(N, A1)         : condition_requirement(ID, N, A1);
+  attr(N, A1, A2)     : condition_requirement(ID, N, A1, A2);
+  attr(N, A1, A2, A3) : condition_requirement(ID, N, A1, A2, A3).
+
+% conditions impose constraints when they hold
+attr(N, A1)         :- condition_holds(ID), imposed_constraint(ID, N, A1).
+attr(N, A1, A2)     :- condition_holds(ID), imposed_constraint(ID, N, A1, A2).
+attr(N, A1, A2, A3) :- condition_holds(ID), imposed_constraint(ID, N, A1, A2, A3).
+|}
+
 let text =
   {|
 %=============================================================================
@@ -15,21 +39,9 @@ let text =
 %   installed_hash/2, hash_constraint/3..5, hash_dep/3, optimize_for_reuse/0
 %=============================================================================
 
-%-----------------------------------------------------------------------------
-% Generalized conditions (Section V-A): a condition holds when every
-% requirement attribute of its arity holds.
-%-----------------------------------------------------------------------------
-condition_holds(ID) :-
-  condition(ID);
-  attr(N, A1)         : condition_requirement(ID, N, A1);
-  attr(N, A1, A2)     : condition_requirement(ID, N, A1, A2);
-  attr(N, A1, A2, A3) : condition_requirement(ID, N, A1, A2, A3).
-
-% conditions impose constraints when they hold
-attr(N, A1)         :- condition_holds(ID), imposed_constraint(ID, N, A1).
-attr(N, A1, A2)     :- condition_holds(ID), imposed_constraint(ID, N, A1, A2).
-attr(N, A1, A2, A3) :- condition_holds(ID), imposed_constraint(ID, N, A1, A2, A3).
-
+|}
+  ^ conditions_fragment
+  ^ {|
 % conflicts are conditions that must not hold (Section V-B.2); they apply to
 % packages we would build, while installed packages are taken as-is
 :- conflict(ID, P), condition_holds(ID), build(P).

@@ -13,6 +13,14 @@
 val text : string
 (** ASP source, parsed by {!Asp.Parser}. *)
 
+val conditions_fragment : string
+(** The generalized-condition rules alone (Section V-A): [condition_holds/1]
+    triggered by [condition_requirement/3..5], imposing
+    [imposed_constraint/3..5].  Ecosystem-neutral — [text] splices it in
+    unchanged, and the CUDF frontend ([Cudf.Logic]) shares it so both
+    workloads run the identical trigger/effect semantics and unsat-core
+    provenance ({!Diagnose.explain_core_origins}). *)
+
 val program : unit -> Asp.Ast.program
 (** Parsed form (parsed once, memoized). *)
 

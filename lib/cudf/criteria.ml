@@ -1,0 +1,34 @@
+type stack = Paranoid | Trendy
+
+let all = [ Paranoid; Trendy ]
+let name = function Paranoid -> "paranoid" | Trendy -> "trendy"
+
+let of_name = function
+  | "paranoid" -> Some Paranoid
+  | "trendy" -> Some Trendy
+  | _ -> None
+
+let levels = function
+  | Paranoid -> [ (20, "removed packages"); (19, "changed packages") ]
+  | Trendy ->
+    [ (20, "outdated packages"); (19, "new packages"); (18, "unmet recommends") ]
+
+let to_core s = Concretize.Criteria.stack_of_levels ~name:(name s) (levels s)
+
+let minimize_text = function
+  | Paranoid ->
+    {|
+% paranoid: disturb the installation as little as possible
+#minimize { 1@20,P : removed(P) }.
+#minimize { 1@19,P : changed(P) }.
+|}
+  | Trendy ->
+    {|
+% trendy: as fresh as possible, then as small and as complete as possible
+#minimize { 1@20,P : outdated(P) }.
+#minimize { 1@19,P : new_pkg(P) }.
+#minimize { 1@18,C : rec_unmet(C) }.
+|}
+
+let pp_costs s ppf costs = Concretize.Criteria.pp_costs_in (to_core s) ppf costs
+let pp_cost s ppf pv = Concretize.Criteria.pp_cost_in (to_core s) ppf pv

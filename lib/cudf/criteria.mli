@@ -1,0 +1,35 @@
+(** CUDF user-objective criterion stacks.
+
+    Where Spack's objective is fixed (Table II), CUDF solvers take the
+    objective from the user.  The two standard Mancoosi tracks are
+    reproduced here as alternative lexicographic stacks over the same
+    encoding, selectable per request:
+
+    - {e paranoid}: fewest removed packages, then fewest changed;
+    - {e trendy}: fewest outdated packages, then fewest newly installed,
+      then fewest unmet [recommends].
+
+    Priorities deliberately overlap across stacks (both use @20, @19) —
+    decoding a cost vector requires knowing the stack it was solved under,
+    which is exactly what {!Concretize.Criteria}'s stack-aware rendering
+    handles. *)
+
+type stack = Paranoid | Trendy
+
+val all : stack list
+val name : stack -> string
+val of_name : string -> stack option
+
+val levels : stack -> (int * string) list
+(** [(ground priority, level label)] pairs, most significant first. *)
+
+val to_core : stack -> Concretize.Criteria.stack
+(** The stack's decoding scheme for {!Concretize.Criteria.pp_costs_in}. *)
+
+val minimize_text : stack -> string
+(** The stack's [#minimize] statements (appended to {!Logic.text}). *)
+
+val pp_cost : stack -> Format.formatter -> int * int -> unit
+val pp_costs : stack -> Format.formatter -> (int * int) list -> unit
+(** Render (nonzero entries of) a cost vector under the stack's own level
+    names. *)

@@ -1,0 +1,321 @@
+type relop = Eq | Neq | Geq | Gt | Leq | Lt
+
+type vpkg = { vname : string; vconstr : (relop * int) option }
+type clause = vpkg list
+type keep = Knone | Kversion | Kpackage | Kfeature
+
+type package = {
+  name : string;
+  version : int;
+  depends : clause list;
+  conflicts : vpkg list;
+  provides : (string * int option) list;
+  recommends : clause list;
+  installed : bool;
+  keep : keep;
+}
+
+type request = {
+  req_id : string;
+  install : vpkg list;
+  upgrade : vpkg list;
+  remove : vpkg list;
+}
+
+type t = { packages : package list; request : request }
+
+exception Parse_error of int * string
+
+let empty_request = { req_id = ""; install = []; upgrade = []; remove = [] }
+
+let package name version =
+  {
+    name;
+    version;
+    depends = [];
+    conflicts = [];
+    provides = [];
+    recommends = [];
+    installed = false;
+    keep = Knone;
+  }
+
+(* --- semantics helpers ------------------------------------------------- *)
+
+let relop_sat op a b =
+  match op with
+  | Eq -> a = b
+  | Neq -> a <> b
+  | Geq -> a >= b
+  | Gt -> a > b
+  | Leq -> a <= b
+  | Lt -> a < b
+
+let constr_sat c v = match c with None -> true | Some (op, k) -> relop_sat op v k
+
+(* CUDF satisfaction: a package stanza satisfies [name op v] through its own
+   (name, version), or through a feature it provides — an unversioned
+   feature matches any constraint on that name, a versioned one matches iff
+   its version does. *)
+let satisfies (p : package) (vp : vpkg) =
+  (String.equal p.name vp.vname && constr_sat vp.vconstr p.version)
+  || List.exists
+       (fun (f, vo) ->
+         String.equal f vp.vname
+         && (match vo with None -> true | Some w -> constr_sat vp.vconstr w))
+       p.provides
+
+let installed_pairs doc =
+  List.filter_map
+    (fun p -> if p.installed then Some (p.name, p.version) else None)
+    doc.packages
+
+(* --- printer ----------------------------------------------------------- *)
+
+let relop_to_string = function
+  | Eq -> "="
+  | Neq -> "!="
+  | Geq -> ">="
+  | Gt -> ">"
+  | Leq -> "<="
+  | Lt -> "<"
+
+let vpkg_to_string { vname; vconstr } =
+  match vconstr with
+  | None -> vname
+  | Some (op, v) -> Printf.sprintf "%s %s %d" vname (relop_to_string op) v
+
+let clause_to_string = function
+  | [] -> "false!"
+  | lits -> String.concat " | " (List.map vpkg_to_string lits)
+
+let vpkglist_to_string l = String.concat ", " (List.map vpkg_to_string l)
+let cnf_to_string cls = String.concat ", " (List.map clause_to_string cls)
+
+let provide_to_string (f, vo) =
+  match vo with None -> f | Some v -> Printf.sprintf "%s = %d" f v
+
+let keep_to_string = function
+  | Knone -> "none"
+  | Kversion -> "version"
+  | Kpackage -> "package"
+  | Kfeature -> "feature"
+
+let print_package b (p : package) =
+  let pr fmt = Printf.ksprintf (fun s -> Buffer.add_string b s) fmt in
+  pr "package: %s\n" p.name;
+  pr "version: %d\n" p.version;
+  if p.depends <> [] then pr "depends: %s\n" (cnf_to_string p.depends);
+  if p.conflicts <> [] then pr "conflicts: %s\n" (vpkglist_to_string p.conflicts);
+  if p.provides <> [] then
+    pr "provides: %s\n" (String.concat ", " (List.map provide_to_string p.provides));
+  if p.recommends <> [] then pr "recommends: %s\n" (cnf_to_string p.recommends);
+  if p.installed then pr "installed: true\n";
+  if p.keep <> Knone then pr "keep: %s\n" (keep_to_string p.keep)
+
+let to_string doc =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun p ->
+      print_package b p;
+      Buffer.add_char b '\n')
+    doc.packages;
+  let r = doc.request in
+  Buffer.add_string b
+    (if r.req_id = "" then "request: \n" else Printf.sprintf "request: %s\n" r.req_id);
+  if r.install <> [] then
+    Buffer.add_string b (Printf.sprintf "install: %s\n" (vpkglist_to_string r.install));
+  if r.upgrade <> [] then
+    Buffer.add_string b (Printf.sprintf "upgrade: %s\n" (vpkglist_to_string r.upgrade));
+  if r.remove <> [] then
+    Buffer.add_string b (Printf.sprintf "remove: %s\n" (vpkglist_to_string r.remove));
+  Buffer.contents b
+
+(* --- parser ------------------------------------------------------------ *)
+
+let err line fmt = Printf.ksprintf (fun s -> raise (Parse_error (line, s))) fmt
+
+let valid_name s =
+  s <> ""
+  && String.for_all
+       (fun c -> not (c = ' ' || c = ',' || c = '|' || c = ':' || c = '\t'))
+       s
+
+let parse_vpkg ~line s =
+  let s = String.trim s in
+  let n = String.length s in
+  let is_op c = c = '=' || c = '!' || c = '<' || c = '>' in
+  let i = ref 0 in
+  while !i < n && not (is_op s.[!i]) do
+    incr i
+  done;
+  if !i >= n then begin
+    if not (valid_name s) then err line "bad package name %S" s;
+    { vname = s; vconstr = None }
+  end
+  else begin
+    let name = String.trim (String.sub s 0 !i) in
+    let j = ref !i in
+    while !j < n && is_op s.[!j] do
+      incr j
+    done;
+    let op_s = String.sub s !i (!j - !i) in
+    let ver_s = String.trim (String.sub s !j (n - !j)) in
+    let op =
+      match op_s with
+      | "=" -> Eq
+      | "!=" -> Neq
+      | ">=" -> Geq
+      | ">" -> Gt
+      | "<=" -> Leq
+      | "<" -> Lt
+      | o -> err line "bad version operator %S" o
+    in
+    let v =
+      match int_of_string_opt ver_s with
+      | Some v when v >= 0 -> v
+      | _ -> err line "bad version %S (CUDF versions are nonnegative integers)" ver_s
+    in
+    if not (valid_name name) then err line "bad package name %S" name;
+    { vname = name; vconstr = Some (op, v) }
+  end
+
+let split_nonempty sep s =
+  String.split_on_char sep s |> List.map String.trim
+  |> List.filter (fun x -> x <> "")
+
+let parse_vpkglist ~line s =
+  if String.trim s = "" then []
+  else List.map (parse_vpkg ~line) (split_nonempty ',' s)
+
+let parse_clause ~line s =
+  if String.trim s = "false!" then []
+  else List.map (parse_vpkg ~line) (split_nonempty '|' s)
+
+let parse_cnf ~line s =
+  let s = String.trim s in
+  if s = "" || s = "true!" then []
+  else
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun x -> x <> "")
+    |> List.map (parse_clause ~line)
+
+let parse_provides ~line s =
+  parse_vpkglist ~line s
+  |> List.map (fun vp ->
+         match vp.vconstr with
+         | None -> (vp.vname, None)
+         | Some (Eq, v) -> (vp.vname, Some v)
+         | Some _ -> err line "provides admits only '=' version qualifiers")
+
+(* One stanza: (line, key, value) triples.  Lines starting with a space
+   continue the previous property's value. *)
+let stanzas src =
+  let lines = String.split_on_char '\n' src in
+  let stanzas = ref [] and cur = ref [] in
+  let flush () =
+    if !cur <> [] then begin
+      stanzas := List.rev !cur :: !stanzas;
+      cur := []
+    end
+  in
+  List.iteri
+    (fun i raw ->
+      let lineno = i + 1 in
+      let line = if String.length raw > 0 && raw.[String.length raw - 1] = '\r'
+        then String.sub raw 0 (String.length raw - 1) else raw in
+      if String.trim line = "" then flush ()
+      else if String.length line > 0 && (line.[0] = ' ' || line.[0] = '\t') then (
+        match !cur with
+        | (l, k, v) :: rest -> cur := (l, k, v ^ " " ^ String.trim line) :: rest
+        | [] -> err lineno "continuation line outside a stanza")
+      else if line.[0] = '#' then ()
+      else
+        match String.index_opt line ':' with
+        | None -> err lineno "expected 'property: value', got %S" line
+        | Some c ->
+          let k = String.trim (String.sub line 0 c) in
+          let v = String.trim (String.sub line (c + 1) (String.length line - c - 1)) in
+          if k = "" then err lineno "empty property name";
+          cur := (lineno, String.lowercase_ascii k, v) :: !cur)
+    lines;
+  flush ();
+  List.rev !stanzas
+
+let parse_package stanza =
+  let first_line = match stanza with (l, _, _) :: _ -> l | [] -> 0 in
+  let p = ref (package "" (-1)) in
+  List.iter
+    (fun (line, k, v) ->
+      match k with
+      | "package" ->
+        if not (valid_name v) then err line "bad package name %S" v;
+        p := { !p with name = v }
+      | "version" -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 -> p := { !p with version = n }
+        | _ -> err line "bad version %S (CUDF versions are positive integers)" v)
+      | "depends" -> p := { !p with depends = parse_cnf ~line v }
+      | "conflicts" -> p := { !p with conflicts = parse_vpkglist ~line v }
+      | "provides" -> p := { !p with provides = parse_provides ~line v }
+      | "recommends" -> p := { !p with recommends = parse_cnf ~line v }
+      | "installed" -> (
+        match v with
+        | "true" -> p := { !p with installed = true }
+        | "false" -> p := { !p with installed = false }
+        | _ -> err line "installed must be true or false, got %S" v)
+      | "keep" -> (
+        match v with
+        | "none" -> p := { !p with keep = Knone }
+        | "version" -> p := { !p with keep = Kversion }
+        | "package" -> p := { !p with keep = Kpackage }
+        | "feature" -> p := { !p with keep = Kfeature }
+        | _ -> err line "bad keep value %S" v)
+      | _ -> (* CUDF allows extra properties; ignore them *) ())
+    stanza;
+  if !p.name = "" then err first_line "package stanza without a name";
+  if !p.version < 0 then err first_line "package %s without a version" !p.name;
+  (first_line, !p)
+
+let parse_request stanza =
+  let r = ref empty_request in
+  List.iter
+    (fun (line, k, v) ->
+      match k with
+      | "request" -> r := { !r with req_id = v }
+      | "install" -> r := { !r with install = parse_vpkglist ~line v }
+      | "upgrade" -> r := { !r with upgrade = parse_vpkglist ~line v }
+      | "remove" -> r := { !r with remove = parse_vpkglist ~line v }
+      | _ -> ())
+    stanza;
+  !r
+
+let parse src =
+  let packages = ref [] and request = ref None in
+  List.iter
+    (fun stanza ->
+      match stanza with
+      | (line, k, _) :: _ -> (
+        match k with
+        | "preamble" -> ()
+        | "package" -> packages := parse_package stanza :: !packages
+        | "request" ->
+          if !request <> None then err line "duplicate request stanza";
+          request := Some (parse_request stanza)
+        | k -> err line "unknown stanza kind %S" k)
+      | [] -> ())
+    (stanzas src);
+  let packages = List.rev !packages in
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun (line, (p : package)) ->
+      if Hashtbl.mem seen (p.name, p.version) then
+        err line "duplicate package stanza %s = %d" p.name p.version;
+      Hashtbl.add seen (p.name, p.version) ())
+    packages;
+  {
+    packages = List.map snd packages;
+    request = (match !request with Some r -> r | None -> empty_request);
+  }
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,89 @@
+(** CUDF documents: the Common Upgradeability Description Format used by
+    the Mancoosi solver competitions and by aspcud (PAPERS.md).
+
+    A document is a flat universe of package stanzas — integer versions,
+    [depends] as a CNF of version-constrained disjunctions, [conflicts],
+    [provides] (optionally versioned virtual features), [installed]/[keep]
+    flags — plus one request stanza (install/upgrade/remove lists).  This
+    module is the document model with a parser and canonical printer;
+    semantics live in {!Encode} (ASP) and {!Reference} (brute force). *)
+
+type relop = Eq | Neq | Geq | Gt | Leq | Lt
+
+type vpkg = { vname : string; vconstr : (relop * int) option }
+(** A possibly version-constrained package (or feature) name: [bar >= 2]. *)
+
+type clause = vpkg list
+(** One disjunct group of a [depends]/[recommends] CNF.  The empty clause is
+    CUDF's [false!] (never satisfiable). *)
+
+type keep =
+  | Knone
+  | Kversion  (** this exact (name, version) must stay installed *)
+  | Kpackage  (** some version of the package must stay installed *)
+  | Kfeature  (** every feature it provides must stay provided *)
+
+type package = {
+  name : string;
+  version : int;  (** CUDF versions are positive integers *)
+  depends : clause list;  (** conjunction of disjunctions *)
+  conflicts : vpkg list;  (** the stanza itself is always exempt *)
+  provides : (string * int option) list;
+      (** virtual features; [None] matches any version constraint *)
+  recommends : clause list;  (** soft CNF (trendy's third objective) *)
+  installed : bool;
+  keep : keep;  (** only meaningful on installed stanzas *)
+}
+
+type request = {
+  req_id : string;
+  install : vpkg list;  (** each must be satisfied by the final state *)
+  upgrade : vpkg list;
+      (** satisfied, single version of the named package, no downgrade *)
+  remove : vpkg list;  (** none may be satisfied by the final state *)
+}
+
+type t = { packages : package list; request : request }
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val empty_request : request
+
+val package : string -> int -> package
+(** A bare stanza with the given name and version, everything else empty. *)
+
+(** {1 Semantics helpers} *)
+
+val relop_sat : relop -> int -> int -> bool
+val constr_sat : (relop * int) option -> int -> bool
+
+val satisfies : package -> vpkg -> bool
+(** Does the stanza satisfy the constraint, through its own (name, version)
+    or through a feature it provides?  Unversioned features match any
+    constraint on their name. *)
+
+val installed_pairs : t -> (string * int) list
+(** The [(name, version)] pairs marked installed, in document order. *)
+
+(** {1 Printing and parsing} *)
+
+val relop_to_string : relop -> string
+val vpkg_to_string : vpkg -> string
+val clause_to_string : clause -> string
+val vpkglist_to_string : vpkg list -> string
+val cnf_to_string : clause list -> string
+
+val to_string : t -> string
+(** Canonical text: default-valued properties are omitted; [parse] of the
+    result is structurally equal to the document. *)
+
+val parse : string -> t
+(** Parse CUDF text: blank-line-separated stanzas of [key: value]
+    properties (leading whitespace continues the previous value, [#] lines
+    are comments, [preamble] stanzas and unknown properties are ignored).
+    @raise Parse_error on malformed input, duplicate (name, version)
+    stanzas, or duplicate request stanzas. *)
+
+val equal : t -> t -> bool
+(** Structural equality. *)

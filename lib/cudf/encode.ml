@@ -1,0 +1,245 @@
+module Gen = Concretize.Facts.Gen
+
+type mode = [ `Stream | `Materialize ]
+
+type t = {
+  statements : Asp.Ast.statement list;
+  n_facts : int;
+  n_packages : int;
+  n_sets : int;
+  cond_origins : (int * string) list;
+  installed_stream : ((Asp.Gatom.t -> unit) -> unit) option;
+}
+
+let str = Asp.Term.str
+let int = Asp.Term.int
+
+(* Satisfier-set keys.  [Vp] is the general constraint (provides included);
+   [Exact]/[Name] are the narrower sets keep flags need — keep is about the
+   stanza itself staying installed, not about its name staying satisfiable
+   through some provider. *)
+type skey =
+  | Vp of string * (Doc.relop * int) option
+  | Exact of string * int
+  | Name of string
+
+let generate ?(installed_mode = `Stream) (doc : Doc.t) : t =
+  let g = Gen.create () in
+  (* name / feature indexes *)
+  let by_name : (string, Doc.package list ref) Hashtbl.t = Hashtbl.create 256 in
+  let by_feature : (string, Doc.package list ref) Hashtbl.t = Hashtbl.create 64 in
+  let push tbl k v =
+    match Hashtbl.find_opt tbl k with
+    | Some r -> r := v :: !r
+    | None -> Hashtbl.add tbl k (ref [ v ])
+  in
+  List.iter
+    (fun (p : Doc.package) ->
+      push by_name p.Doc.name p;
+      List.iter (fun (f, _) -> push by_feature f p) p.Doc.provides)
+    doc.Doc.packages;
+  let versions_of n =
+    match Hashtbl.find_opt by_name n with Some r -> !r | None -> []
+  in
+  let offers_of n =
+    versions_of n
+    @ (match Hashtbl.find_opt by_feature n with Some r -> !r | None -> [])
+  in
+  (* the universe *)
+  List.iter
+    (fun (p : Doc.package) ->
+      Gen.fact g "cudf_package" [ str p.Doc.name; int p.Doc.version ])
+    doc.Doc.packages;
+  Hashtbl.iter
+    (fun n versions ->
+      let newest =
+        List.fold_left (fun m (q : Doc.package) -> max m q.Doc.version) 0 !versions
+      in
+      Gen.fact g "newest" [ str n; int newest ])
+    by_name;
+  (* interned satisfier sets *)
+  let sets : (skey, int) Hashtbl.t = Hashtbl.create 256 in
+  let n_sets = ref 0 in
+  let intern key =
+    match Hashtbl.find_opt sets key with
+    | Some s -> s
+    | None ->
+      let s = !n_sets in
+      incr n_sets;
+      Hashtbl.add sets key s;
+      let members =
+        match key with
+        | Exact (n, v) ->
+          List.filter (fun (q : Doc.package) -> q.Doc.version = v) (versions_of n)
+        | Name n -> versions_of n
+        | Vp (n, c) ->
+          let vp = { Doc.vname = n; Doc.vconstr = c } in
+          List.filter (fun q -> Doc.satisfies q vp) (offers_of n)
+      in
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun (q : Doc.package) ->
+          if not (Hashtbl.mem seen (q.Doc.name, q.Doc.version)) then begin
+            Hashtbl.add seen (q.Doc.name, q.Doc.version) ();
+            Gen.fact g "sat" [ int s; str q.Doc.name; int q.Doc.version ]
+          end)
+        members;
+      s
+  in
+  let intern_vp (vp : Doc.vpkg) = intern (Vp (vp.Doc.vname, vp.Doc.vconstr)) in
+  (* clause ids are shared between depends and recommends (clause_hit) *)
+  let next_clause = ref 0 in
+  let emit_clause cl =
+    let c = !next_clause in
+    incr next_clause;
+    List.iter (fun vp -> Gen.fact g "clause_lit" [ int c; int (intern_vp vp) ]) cl;
+    c
+  in
+  (* a condition triggered by the stanza being installed *)
+  let stanza_condition (p : Doc.package) desc =
+    let id = Gen.new_condition g in
+    Gen.require g id "in" [ str p.Doc.name; int p.Doc.version ];
+    Gen.describe g id desc;
+    id
+  in
+  (* an unconditional (request/keep) condition *)
+  let free_condition desc =
+    let id = Gen.new_condition g in
+    Gen.describe g id desc;
+    id
+  in
+  List.iter
+    (fun (p : Doc.package) ->
+      let pv = Printf.sprintf "%s=%d" p.Doc.name p.Doc.version in
+      List.iter
+        (fun cl ->
+          let id =
+            stanza_condition p
+              (Printf.sprintf "%s depends on %s" pv (Doc.clause_to_string cl))
+          in
+          Gen.fact g "depends_clause" [ int id; int (emit_clause cl) ])
+        p.Doc.depends;
+      List.iter
+        (fun vp ->
+          let id =
+            stanza_condition p
+              (Printf.sprintf "package %s conflicts with %s" pv
+                 (Doc.vpkg_to_string vp))
+          in
+          Gen.fact g "conflict_owner" [ int id; str p.Doc.name; int p.Doc.version ];
+          Gen.fact g "conflict_set" [ int id; int (intern_vp vp) ])
+        p.Doc.conflicts;
+      List.iter
+        (fun cl ->
+          let c = emit_clause cl in
+          Gen.fact g "rec_owner" [ int c; str p.Doc.name; int p.Doc.version ])
+        p.Doc.recommends;
+      if p.Doc.installed then begin
+        match p.Doc.keep with
+        | Doc.Knone -> ()
+        | Doc.Kversion ->
+          let id =
+            free_condition (Printf.sprintf "%s is installed with keep: version" pv)
+          in
+          Gen.fact g "require_set"
+            [ int id; int (intern (Exact (p.Doc.name, p.Doc.version))) ]
+        | Doc.Kpackage ->
+          let id =
+            free_condition (Printf.sprintf "%s is installed with keep: package" pv)
+          in
+          Gen.fact g "require_set" [ int id; int (intern (Name p.Doc.name)) ]
+        | Doc.Kfeature ->
+          List.iter
+            (fun (f, _) ->
+              let id =
+                free_condition
+                  (Printf.sprintf "%s is installed with keep: feature (provides %s)"
+                     pv f)
+              in
+              Gen.fact g "require_set" [ int id; int (intern (Vp (f, None))) ])
+            p.Doc.provides
+      end)
+    doc.Doc.packages;
+  (* the request *)
+  let r = doc.Doc.request in
+  List.iter
+    (fun vp ->
+      let id =
+        free_condition
+          (Printf.sprintf "the request asks to install %s" (Doc.vpkg_to_string vp))
+      in
+      Gen.fact g "require_set" [ int id; int (intern_vp vp) ])
+    r.Doc.install;
+  List.iter
+    (fun vp ->
+      let id =
+        free_condition
+          (Printf.sprintf "the request asks to upgrade %s" (Doc.vpkg_to_string vp))
+      in
+      Gen.fact g "require_set" [ int id; int (intern_vp vp) ];
+      Gen.fact g "upgrade_name" [ str vp.Doc.vname ];
+      let max_installed =
+        List.fold_left
+          (fun m (q : Doc.package) ->
+            if q.Doc.installed then max m q.Doc.version else m)
+          0
+          (versions_of vp.Doc.vname)
+      in
+      List.iter
+        (fun (q : Doc.package) ->
+          if q.Doc.version < max_installed then
+            Gen.fact g "upgrade_forbidden" [ str q.Doc.name; int q.Doc.version ])
+        (versions_of vp.Doc.vname))
+    r.Doc.upgrade;
+  List.iter
+    (fun vp ->
+      let id =
+        free_condition
+          (Printf.sprintf "the request asks to remove %s" (Doc.vpkg_to_string vp))
+      in
+      Gen.fact g "forbid_set" [ int id; int (intern_vp vp) ])
+    r.Doc.remove;
+  (* Installed-state facts come last: statement order and streamed seeding
+     order coincide, so both modes intern atoms identically (the E4S
+     pattern, Facts.reuse_mode). *)
+  let installed = Doc.installed_pairs doc in
+  let names =
+    let seen = Hashtbl.create 64 in
+    List.filter_map
+      (fun (n, _) ->
+        if Hashtbl.mem seen n then None
+        else begin
+          Hashtbl.add seen n ();
+          Some n
+        end)
+      installed
+  in
+  let installed_stream =
+    match installed_mode with
+    | `Materialize ->
+      List.iter (fun (n, v) -> Gen.fact g "was_installed" [ str n; int v ]) installed;
+      List.iter (fun n -> Gen.fact g "was_installed_name" [ str n ]) names;
+      None
+    | `Stream ->
+      if installed = [] then None
+      else begin
+        Gen.bump g (List.length installed + List.length names);
+        Some
+          (fun sink ->
+            List.iter
+              (fun (n, v) ->
+                sink (Asp.Gatom.make "was_installed" [ str n; int v ]))
+              installed;
+            List.iter
+              (fun n -> sink (Asp.Gatom.make "was_installed_name" [ str n ]))
+              names)
+      end
+  in
+  {
+    statements = Gen.statements g;
+    n_facts = Gen.n_facts g;
+    n_packages = List.length doc.Doc.packages;
+    n_sets = !n_sets;
+    cond_origins = Gen.origins g;
+    installed_stream;
+  }

@@ -1,0 +1,193 @@
+(* Self-contained CUDF semantics, written directly against Doc — no ASP,
+   no sets, no sharing with Encode/Logic beyond the Doc helpers — so the
+   differential tests compare two independent implementations. *)
+
+let selected_list (doc : Doc.t) sel =
+  List.filteri (fun i _ -> sel.(i)) doc.Doc.packages
+
+let sat_by_selected (doc : Doc.t) sel vp =
+  List.exists (fun q -> Doc.satisfies q vp) (selected_list doc sel)
+
+let valid (doc : Doc.t) sel =
+  let pkgs = Array.of_list doc.Doc.packages in
+  let selected = selected_list doc sel in
+  let sat vp = sat_by_selected doc sel vp in
+  let clause_hit cl = List.exists sat cl in
+  let real_versions n =
+    List.filter_map
+      (fun (q : Doc.package) ->
+        if String.equal q.Doc.name n then Some q.Doc.version else None)
+      selected
+  in
+  (* depends *)
+  List.for_all
+    (fun (p : Doc.package) -> List.for_all clause_hit p.Doc.depends)
+    selected
+  (* conflicts, with CUDF's self-exemption *)
+  && List.for_all
+       (fun (p : Doc.package) ->
+         List.for_all
+           (fun vp ->
+             List.for_all
+               (fun (q : Doc.package) ->
+                 (not (Doc.satisfies q vp))
+                 || (String.equal q.Doc.name p.Doc.name
+                    && q.Doc.version = p.Doc.version))
+               selected)
+           p.Doc.conflicts)
+       selected
+  (* request *)
+  && List.for_all sat doc.Doc.request.Doc.install
+  && List.for_all (fun vp -> not (sat vp)) doc.Doc.request.Doc.remove
+  && List.for_all
+       (fun (vp : Doc.vpkg) ->
+         sat vp
+         &&
+         let vs = real_versions vp.Doc.vname in
+         let max_installed =
+           Array.fold_left
+             (fun m (q : Doc.package) ->
+               if q.Doc.installed && String.equal q.Doc.name vp.Doc.vname then
+                 max m q.Doc.version
+               else m)
+             0 pkgs
+         in
+         match vs with [ v ] -> v >= max_installed | _ -> false)
+       doc.Doc.request.Doc.upgrade
+  (* keep flags of installed stanzas *)
+  && Array.for_all
+       (fun (p : Doc.package) ->
+         (not p.Doc.installed)
+         ||
+         match p.Doc.keep with
+         | Doc.Knone -> true
+         | Doc.Kversion ->
+           List.exists
+             (fun (q : Doc.package) ->
+               String.equal q.Doc.name p.Doc.name && q.Doc.version = p.Doc.version)
+             selected
+         | Doc.Kpackage -> real_versions p.Doc.name <> []
+         | Doc.Kfeature ->
+           List.for_all
+             (fun (f, _) -> sat { Doc.vname = f; Doc.vconstr = None })
+             p.Doc.provides)
+       pkgs
+
+let costs ~(stack : Criteria.stack) (doc : Doc.t) sel =
+  let selected = selected_list doc sel in
+  let names xs =
+    let seen = Hashtbl.create 16 in
+    List.iter (fun n -> Hashtbl.replace seen n ()) xs;
+    seen
+  in
+  let installed = Doc.installed_pairs doc in
+  let installed_names = names (List.map fst installed) in
+  let selected_names =
+    names (List.map (fun (q : Doc.package) -> q.Doc.name) selected)
+  in
+  let count_names pred tbl =
+    Hashtbl.fold (fun n () acc -> if pred n then acc + 1 else acc) tbl 0
+  in
+  let has tbl n = Hashtbl.mem tbl n in
+  let is_selected n v =
+    List.exists
+      (fun (q : Doc.package) -> String.equal q.Doc.name n && q.Doc.version = v)
+      selected
+  in
+  match stack with
+  | Criteria.Paranoid ->
+    let removed = count_names (fun n -> not (has selected_names n)) installed_names in
+    let changed_names = Hashtbl.create 16 in
+    List.iter
+      (fun (q : Doc.package) ->
+        if not (List.mem (q.Doc.name, q.Doc.version) installed) then
+          Hashtbl.replace changed_names q.Doc.name ())
+      selected;
+    List.iter
+      (fun (n, v) -> if not (is_selected n v) then Hashtbl.replace changed_names n ())
+      installed;
+    [ (20, removed); (19, Hashtbl.length changed_names) ]
+  | Criteria.Trendy ->
+    let newest = Hashtbl.create 16 in
+    List.iter
+      (fun (q : Doc.package) ->
+        let cur = try Hashtbl.find newest q.Doc.name with Not_found -> 0 in
+        if q.Doc.version > cur then Hashtbl.replace newest q.Doc.name q.Doc.version)
+      doc.Doc.packages;
+    let outdated =
+      count_names
+        (fun n -> not (is_selected n (Hashtbl.find newest n)))
+        selected_names
+    in
+    let new_pkgs = count_names (fun n -> not (has installed_names n)) selected_names in
+    let rec_unmet =
+      List.fold_left
+        (fun acc (q : Doc.package) ->
+          List.fold_left
+            (fun acc cl ->
+              if List.exists (fun vp -> sat_by_selected doc sel vp) cl then acc
+              else acc + 1)
+            acc q.Doc.recommends)
+        0 selected
+    in
+    [ (20, outdated); (19, new_pkgs); (18, rec_unmet) ]
+
+(* lexicographic comparison along descending priorities *)
+let better a b =
+  let rec go = function
+    | [], [] -> false
+    | (_, va) :: ra, (_, vb) :: rb ->
+      if va < vb then true else if va > vb then false else go (ra, rb)
+    | _ -> invalid_arg "Reference.better: shape mismatch"
+  in
+  go (a, b)
+
+let best ~stack (doc : Doc.t) =
+  let n = List.length doc.Doc.packages in
+  if n > 20 then invalid_arg "Reference.best: more than 20 stanzas";
+  let sel = Array.make n false in
+  let best = ref None in
+  let rec go i =
+    if i = n then begin
+      if valid doc sel then begin
+        let c = costs ~stack doc sel in
+        match !best with
+        | Some (bc, _) when not (better c bc) -> ()
+        | _ ->
+          let state =
+            List.sort compare
+              (List.map
+                 (fun (q : Doc.package) -> (q.Doc.name, q.Doc.version))
+                 (selected_list doc sel))
+          in
+          best := Some (c, state)
+      end
+    end
+    else begin
+      sel.(i) <- false;
+      go (i + 1);
+      sel.(i) <- true;
+      go (i + 1);
+      sel.(i) <- false
+    end
+  in
+  go 0;
+  !best
+
+let valid_state (doc : Doc.t) (state : (string * int) list) =
+  let sel =
+    Array.of_list
+      (List.map
+         (fun (q : Doc.package) -> List.mem (q.Doc.name, q.Doc.version) state)
+         doc.Doc.packages)
+  in
+  valid doc sel
+
+let costs_of_state ~stack (doc : Doc.t) (state : (string * int) list) =
+  let sel =
+    Array.of_list
+      (List.map
+         (fun (q : Doc.package) -> List.mem (q.Doc.name, q.Doc.version) state)
+         doc.Doc.packages)
+  in
+  costs ~stack doc sel

@@ -1,0 +1,30 @@
+(** Brute-force CUDF reference semantics (testing only).
+
+    An independent implementation of document validity and the criterion
+    stacks, written directly against {!Doc} — it shares nothing with
+    {!Encode}/{!Logic} beyond the vpkg-satisfaction helper — so the
+    differential tests pit the whole ASP pipeline (encoder, logic program,
+    grounder, CDCL solver, optimizer) against straight-line OCaml.
+    Exponential in the stanza count. *)
+
+val valid : Doc.t -> bool array -> bool
+(** Is the selection (indexed like [doc.packages]) a consistent final
+    state satisfying the request and every keep flag? *)
+
+val costs : stack:Criteria.stack -> Doc.t -> bool array -> (int * int) list
+(** The stack's cost vector for a selection, [(priority, value)] with
+    priorities descending — same shape as the engine's. *)
+
+val better : (int * int) list -> (int * int) list -> bool
+(** Strict lexicographic improvement along descending priorities. *)
+
+val best : stack:Criteria.stack -> Doc.t -> ((int * int) list * (string * int) list) option
+(** Optimal cost vector and one optimal state (sorted), by exhaustive
+    enumeration; [None] when no valid state exists.
+    @raise Invalid_argument beyond 20 stanzas. *)
+
+val valid_state : Doc.t -> (string * int) list -> bool
+(** {!valid} for a state given as the engine reports it. *)
+
+val costs_of_state :
+  stack:Criteria.stack -> Doc.t -> (string * int) list -> (int * int) list

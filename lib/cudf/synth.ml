@@ -1,0 +1,305 @@
+(* Deterministic Debian-like universes.
+
+   Shape: tall version columns (a 10% slice of names carries up to ~20
+   versions), a universal "conflicts: ownname" self-conflict (the
+   single-version discipline of real distributions), virtual features with
+   dense provider cliques (every provider conflicts with the feature it
+   provides — the mail-transport-agent idiom — so providers of one virtual
+   are mutually exclusive), and CNF dependencies over names and virtuals.
+
+   Satisfiability by construction: names are partitioned into providers
+   (reachable only through their virtual), leaves (reachable by nothing —
+   keep flags and remove requests are confined here) and free names
+   (dependency targets).  Every depends clause leads with a literal
+   satisfied by the newest version of a free name or by any provider of a
+   virtual, so {newest of every free name} ∪ {one provider per virtual} ∪
+   {kept leaves} is always a witness — the generator can emit dense
+   conflict structure at 10k+ stanzas and still guarantee the benchmark
+   asserts a proven optimum.  The installed state carries deliberate
+   breakage (old versions, co-installed rival providers): fixing it is the
+   solver's job, not the generator's. *)
+
+let universe ?(seed = 0) ~n () =
+  let rng = Random.State.make [| 0x0cdf; seed; n |] in
+  let int_in lo hi = lo + Random.State.int rng (hi - lo + 1) in
+  let flip p = Random.State.float rng 1.0 < p in
+  (* names and their version-column heights, trimmed to exactly [n] stanzas *)
+  let nnames = max 6 (n / 3) in
+  let heights =
+    Array.init nnames (fun _ -> if flip 0.10 then int_in 8 20 else int_in 1 5)
+  in
+  let total = Array.fold_left ( + ) 0 heights in
+  let total = ref total in
+  let i = ref 0 in
+  while !total <> n do
+    let k = !i mod nnames in
+    if !total > n && heights.(k) > 1 then begin
+      heights.(k) <- heights.(k) - 1;
+      decr total
+    end
+    else if !total < n then begin
+      heights.(k) <- heights.(k) + 1;
+      incr total
+    end;
+    incr i
+  done;
+  let name k = Printf.sprintf "pkg%05d" k in
+  (* pools: [0, n_prov) providers, [n_prov, n_prov + n_leaf) leaves, rest free *)
+  let n_prov = max 2 (nnames * 12 / 100) in
+  let n_leaf = max 2 (nnames * 18 / 100) in
+  let n_virt = max 1 (n_prov / 4) in
+  let virt j = Printf.sprintf "virt%03d" j in
+  let virt_of_provider k = k mod n_virt in
+  let is_provider k = k < n_prov in
+  let is_leaf k = k >= n_prov && k < n_prov + n_leaf in
+  let free_names =
+    Array.init (nnames - n_prov - n_leaf) (fun i -> n_prov + n_leaf + i)
+  in
+  (* dependency targets follow a power law (everything depends on libc):
+     squaring the uniform draw concentrates ~75% of edges on the first
+     quarter of the pool, keeping dependency closures small and heavily
+     overlapping like a real distribution's *)
+  let pick_free () =
+    let u = Random.State.float rng 1.0 in
+    free_names.(int_of_float (u *. u *. float_of_int (Array.length free_names)))
+  in
+  (* installed state: ~35% of names carry one installed version (old when
+     the column allows, so paranoid and trendy pull in different
+     directions); leaves sometimes pin it with keep *)
+  let installed_version = Array.make nnames 0 in
+  Array.iteri
+    (fun k h ->
+      if flip 0.35 then
+        installed_version.(k) <- (if h > 1 then int_in 1 (h - 1) else 1))
+    heights;
+  let keep_of = Array.make nnames Doc.Knone in
+  Array.iteri
+    (fun k v ->
+      if v > 0 && is_leaf k then begin
+        if flip 0.2 then keep_of.(k) <- Doc.Kversion
+        else if flip 0.12 then keep_of.(k) <- Doc.Kpackage
+      end)
+    installed_version;
+  (* Installed stanzas draw their dependencies from other installed free
+     names, with constraints satisfied by the installed version and by any
+     upgrade of it (None, or Geq at/below the installed version) — the
+     installed state is dependency-closed modulo provider rivalry, like a
+     real distribution, so the optimal repair is a small delta around the
+     request rather than a rebuild of the world. *)
+  let installed_free =
+    Array.to_list free_names |> List.filter (fun k -> installed_version.(k) > 0)
+  in
+  let coherent_clause self =
+    let cands =
+      List.filter (fun k -> not (String.equal (name k) self)) installed_free
+    in
+    match cands with
+    | [] -> None
+    | _ ->
+      let t = List.nth cands (Random.State.int rng (List.length cands)) in
+      let c =
+        if flip 0.6 then None else Some (Doc.Geq, int_in 1 installed_version.(t))
+      in
+      Some [ { Doc.vname = name t; Doc.vconstr = c } ]
+  in
+  (* a dependency literal always satisfiable at the target's newest version *)
+  let safe_literal () =
+    if flip 0.25 then { Doc.vname = virt (Random.State.int rng n_virt); Doc.vconstr = None }
+    else begin
+      let t = pick_free () in
+      let c =
+        if flip 0.5 then None
+        else if flip 0.8 then Some (Doc.Geq, int_in 1 heights.(t))
+        else Some (Doc.Eq, heights.(t))
+      in
+      { Doc.vname = name t; Doc.vconstr = c }
+    end
+  in
+  (* extra literals may be anything, satisfiable or not *)
+  let wild_literal () =
+    let t = Random.State.int rng nnames in
+    let c =
+      match int_in 0 4 with
+      | 0 -> None
+      | 1 -> Some (Doc.Geq, int_in 1 (heights.(t) + 2))
+      | 2 -> Some (Doc.Lt, int_in 1 (heights.(t) + 1))
+      | 3 -> Some (Doc.Eq, int_in 1 (heights.(t) + 1))
+      | _ -> Some (Doc.Neq, int_in 1 heights.(t))
+    in
+    { Doc.vname = name t; Doc.vconstr = c }
+  in
+  let clause self =
+    (* most clauses of uninstalled stanzas also resolve inside the
+       installed world (a new release mostly depends on what is already
+       there) — without this, the all-newest world trendy reaches for
+       drags in a large fresh closure and proving the minimum number of
+       new packages becomes an intractable covering problem *)
+    match if flip 0.75 then coherent_clause self else None with
+    | Some cl -> cl
+    | None ->
+      let lead = ref (safe_literal ()) in
+      while String.equal !lead.Doc.vname self do
+        lead := safe_literal ()
+      done;
+      let extras =
+        List.init (int_in 0 1) (fun _ -> wild_literal ())
+        |> List.filter
+             (fun (vp : Doc.vpkg) -> not (String.equal vp.Doc.vname self))
+      in
+      !lead :: extras
+  in
+  let packages =
+    List.concat
+      (List.init nnames (fun k ->
+           let pname = name k in
+           List.init heights.(k) (fun vi ->
+               let v = vi + 1 in
+               let depends =
+                 if installed_version.(k) = v then
+                   List.filter_map
+                     (fun _ -> coherent_clause pname)
+                     (List.init (int_in 0 2) Fun.id)
+                 else List.init (int_in 0 3) (fun _ -> clause pname)
+               in
+               let conflicts =
+                 { Doc.vname = pname; Doc.vconstr = None }
+                 ::
+                 (if is_provider k then
+                    [ { Doc.vname = virt (virt_of_provider k); Doc.vconstr = None } ]
+                  else [])
+               in
+               let provides =
+                 if is_provider k then
+                   [
+                     ( virt (virt_of_provider k),
+                       if flip 0.3 then Some v else None );
+                   ]
+                 else []
+               in
+               let recommends =
+                 (* only non-newest stanzas carry recommends, and each is
+                    either resolvable in place or names a release that
+                    never shipped (unsatisfiable by propagation).
+                    Recommends on the all-newest frontier that are
+                    satisfiable only at the price of extra packages couple
+                    level 18 with the fixed new-package bound of level 19
+                    into a joint covering problem that stops scaling past
+                    a few thousand stanzas. *)
+                 if v < heights.(k) && flip 0.3 then
+                   match
+                     if flip 0.75 then coherent_clause pname else None
+                   with
+                   | Some cl -> [ cl ]
+                   | None ->
+                     let t = Random.State.int rng nnames in
+                     [ [ { Doc.vname = name t;
+                           Doc.vconstr = Some (Doc.Gt, heights.(t) + 5) } ] ]
+                 else []
+               in
+               {
+                 Doc.name = pname;
+                 version = v;
+                 depends;
+                 conflicts;
+                 provides;
+                 recommends;
+                 installed = installed_version.(k) = v;
+                 keep = (if installed_version.(k) = v then keep_of.(k) else Doc.Knone);
+               })))
+  in
+  (* request: installs and upgrades over free names, removes over unkept
+     installed leaves *)
+  let install =
+    List.init (int_in 2 4) (fun _ ->
+        let t = pick_free () in
+        let c = if flip 0.5 then None else Some (Doc.Geq, int_in 1 heights.(t)) in
+        { Doc.vname = name t; Doc.vconstr = c })
+  in
+  let upgrade =
+    let cands =
+      Array.to_list free_names
+      |> List.filter (fun k -> installed_version.(k) > 0)
+    in
+    List.filteri (fun i _ -> i < int_in 1 3) cands
+    |> List.map (fun k -> { Doc.vname = name k; Doc.vconstr = None })
+  in
+  let remove =
+    let cands =
+      List.init nnames Fun.id
+      |> List.filter (fun k ->
+             is_leaf k && installed_version.(k) > 0 && keep_of.(k) = Doc.Knone)
+    in
+    List.filteri (fun i _ -> i < int_in 1 2) cands
+    |> List.map (fun k -> { Doc.vname = name k; Doc.vconstr = None })
+  in
+  {
+    Doc.packages;
+    request = { Doc.req_id = Printf.sprintf "synth-%d-%d" n seed; install; upgrade; remove };
+  }
+
+(* Tiny chaotic universes for the differential tests: no satisfiability
+   guarantee (UNSAT agreement is part of what the tests check), every
+   feature exercised. *)
+let small ?(seed = 0) () =
+  let rng = Random.State.make [| 0x5a11; seed |] in
+  let int_in lo hi = lo + Random.State.int rng (hi - lo + 1) in
+  let flip p = Random.State.float rng 1.0 < p in
+  let nnames = int_in 3 4 in
+  let name k = String.make 1 (Char.chr (Char.code 'a' + k)) in
+  let heights = Array.init nnames (fun _ -> int_in 1 3) in
+  let any_vp () =
+    let t = Random.State.int rng nnames in
+    let c =
+      match int_in 0 5 with
+      | 0 | 1 -> None
+      | 2 -> Some (Doc.Geq, int_in 1 (heights.(t) + 1))
+      | 3 -> Some (Doc.Lt, int_in 1 (heights.(t) + 1))
+      | 4 -> Some (Doc.Eq, int_in 1 (heights.(t) + 1))
+      | _ -> Some (Doc.Neq, int_in 1 heights.(t))
+    in
+    { Doc.vname = name t; Doc.vconstr = c }
+  in
+  let packages =
+    List.concat
+      (List.init nnames (fun k ->
+           List.init heights.(k) (fun vi ->
+               let v = vi + 1 in
+               let depends =
+                 if flip 0.55 then
+                   [ List.init (int_in 1 2) (fun _ -> any_vp ()) ]
+                 else []
+               in
+               let conflicts = if flip 0.3 then [ any_vp () ] else [] in
+               let provides =
+                 if flip 0.2 then
+                   [ ("virt", if flip 0.5 then Some v else None) ]
+                 else []
+               in
+               let recommends = if flip 0.2 then [ [ any_vp () ] ] else [] in
+               let installed = flip 0.4 in
+               {
+                 Doc.name = name k;
+                 version = v;
+                 depends;
+                 conflicts;
+                 provides;
+                 recommends;
+                 installed;
+                 keep =
+                   (if installed && flip 0.15 then
+                      if flip 0.5 then Doc.Kversion else Doc.Kpackage
+                    else Doc.Knone);
+               })))
+  in
+  let vps n = List.init n (fun _ -> any_vp ()) in
+  let request =
+    {
+      Doc.req_id = Printf.sprintf "small-%d" seed;
+      install = vps (int_in 0 2);
+      upgrade =
+        (if flip 0.35 then [ { Doc.vname = name (Random.State.int rng nnames); Doc.vconstr = None } ]
+         else []);
+      remove = (if flip 0.35 then vps 1 else []);
+    }
+  in
+  { Doc.packages; request }

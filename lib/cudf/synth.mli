@@ -1,0 +1,17 @@
+(** Deterministic synthetic CUDF universes.
+
+    [universe] generates Debian-like benchmark instances — tall version
+    columns, universal self-conflicts, virtual features with mutually
+    exclusive provider cliques, CNF dependencies, a deliberately stale or
+    broken installed state, and an install/upgrade/remove request — that
+    are {e satisfiable by construction} (see the implementation notes), so
+    benchmarks and CI can assert a proven optimum at any size.
+
+    [small] generates tiny chaotic universes with no satisfiability
+    guarantee, for the differential tests against {!Reference}. *)
+
+val universe : ?seed:int -> n:int -> unit -> Doc.t
+(** Exactly [n] stanzas.  Deterministic in [(seed, n)]. *)
+
+val small : ?seed:int -> unit -> Doc.t
+(** 3–12 stanzas over 3–4 names.  Deterministic in [seed]. *)

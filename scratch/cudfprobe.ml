@@ -1,0 +1,26 @@
+let () =
+  let n = int_of_string Sys.argv.(1) in
+  let seed = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 1 in
+  let wall = if Array.length Sys.argv > 3 then float_of_string Sys.argv.(3) else 60. in
+  let config =
+    Asp.Config.make
+      ~limits:{ Asp.Budget.wall = Some wall; conflicts = None; instances = None }
+      ()
+  in
+  let doc = Cudf.Synth.universe ~seed ~n () in
+  (match Cudf.Solver.solve ~config ~stack:Cudf.Criteria.Trendy doc with
+  | Cudf.Solver.Solution s ->
+    Printf.printf "n=%d seed=%d: costs=%s %s solve=%.1fs conflicts=%d\n%!" n seed
+      (String.concat ","
+         (List.map (fun (p, v) -> Printf.sprintf "%d@%d" v p) s.Cudf.Solver.costs))
+      (match s.Cudf.Solver.quality with
+      | `Optimal -> "OPTIMAL"
+      | `Degraded bounds ->
+        "degraded " ^ String.concat ","
+          (List.map (fun (p, b) -> Printf.sprintf "lb%d@%d" b p) bounds))
+      s.Cudf.Solver.phases.Cudf.Solver.solve_time
+      s.Cudf.Solver.sat_stats.Asp.Sat.conflicts
+  | Cudf.Solver.Unsatisfiable _ -> print_endline "UNSAT"
+  | Cudf.Solver.Interrupted { info; _ } ->
+    Printf.printf "n=%d seed=%d: interrupted in %s\n" n seed
+      (match info.Asp.Budget.phase with _ -> "?"))

@@ -1,0 +1,27 @@
+let () =
+  let n = int_of_string Sys.argv.(1) in
+  let doc = Cudf.Synth.universe ~seed:1 ~n () in
+  List.iter
+    (fun stack ->
+      let t0 = Unix.gettimeofday () in
+      match Cudf.Solver.solve ~stack doc with
+      | Cudf.Solver.Solution s ->
+        Printf.printf
+          "%s n=%d: %.2fs (ground %.2fs solve %.2fs) state=%d costs=%s verified=%b %s facts=%d sets=%d\n%!"
+          (Cudf.Criteria.name stack) n
+          (Unix.gettimeofday () -. t0)
+          s.Cudf.Solver.phases.Cudf.Solver.ground_time
+          s.Cudf.Solver.phases.Cudf.Solver.solve_time
+          (List.length s.Cudf.Solver.state)
+          (String.concat ","
+             (List.map (fun (p, v) -> Printf.sprintf "%d@%d" v p) s.Cudf.Solver.costs))
+          s.Cudf.Solver.verified
+          (match s.Cudf.Solver.quality with `Optimal -> "optimal" | `Degraded _ -> "degraded")
+          s.Cudf.Solver.n_facts s.Cudf.Solver.n_sets
+      | Cudf.Solver.Unsatisfiable { reasons; _ } ->
+        Printf.printf "%s n=%d: UNSAT\n" (Cudf.Criteria.name stack) n;
+        List.iter print_endline reasons
+      | Cudf.Solver.Interrupted { info; _ } ->
+        Printf.printf "%s n=%d: interrupted (%s)\n" (Cudf.Criteria.name stack) n
+          (Asp.Budget.reason_name info.Asp.Budget.reason))
+    Cudf.Criteria.all

@@ -1,0 +1,22 @@
+let () =
+  let n = int_of_string Sys.argv.(1) in
+  let strat = if Array.length Sys.argv > 2 then Sys.argv.(2) else "usc" in
+  let stack = if Array.length Sys.argv > 3 then Option.get (Cudf.Criteria.of_name Sys.argv.(3)) else Cudf.Criteria.Paranoid in
+  let config =
+    Asp.Config.make
+      ~strategy:(if strat = "bb" then Asp.Config.Bb else Asp.Config.Usc)
+      ()
+  in
+  let doc = Cudf.Synth.universe ~seed:1 ~n () in
+  let t0 = Unix.gettimeofday () in
+  (match Cudf.Solver.solve ~config ~stack doc with
+  | Cudf.Solver.Solution s ->
+    Printf.printf "%s/%s n=%d: %.2fs (solve %.2fs) costs=%s %s\n%!"
+      (Cudf.Criteria.name stack) strat n
+      (Unix.gettimeofday () -. t0)
+      s.Cudf.Solver.phases.Cudf.Solver.solve_time
+      (String.concat ","
+         (List.map (fun (p, v) -> Printf.sprintf "%d@%d" v p) s.Cudf.Solver.costs))
+      (match s.Cudf.Solver.quality with `Optimal -> "optimal" | `Degraded _ -> "degraded")
+  | Cudf.Solver.Unsatisfiable _ -> print_endline "UNSAT"
+  | Cudf.Solver.Interrupted _ -> print_endline "interrupted")

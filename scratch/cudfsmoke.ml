@@ -1,0 +1,84 @@
+let () =
+  (* round-trip a synth universe *)
+  let doc = Cudf.Synth.universe ~seed:1 ~n:60 () in
+  let s = Cudf.Doc.to_string doc in
+  let doc' = Cudf.Doc.parse s in
+  assert (Cudf.Doc.equal doc doc');
+  Printf.printf "round-trip ok (%d stanzas, %d bytes)\n%!"
+    (List.length doc.Cudf.Doc.packages)
+    (String.length s);
+  (* solve it under both stacks *)
+  List.iter
+    (fun stack ->
+      match Cudf.Solver.solve ~stack doc with
+      | Cudf.Solver.Solution s ->
+        Printf.printf "%s: solved, %d pkgs in state, costs=%s verified=%b quality=%s\n%!"
+          (Cudf.Criteria.name stack)
+          (List.length s.Cudf.Solver.state)
+          (String.concat ","
+             (List.map (fun (p, v) -> Printf.sprintf "%d@%d" v p) s.Cudf.Solver.costs))
+          s.Cudf.Solver.verified
+          (match s.Cudf.Solver.quality with `Optimal -> "optimal" | `Degraded _ -> "degraded")
+      | Cudf.Solver.Unsatisfiable { reasons; _ } ->
+        Printf.printf "%s: UNSAT\n" (Cudf.Criteria.name stack);
+        List.iter print_endline reasons;
+        exit 1
+      | Cudf.Solver.Interrupted _ ->
+        print_endline "interrupted";
+        exit 1)
+    Cudf.Criteria.all;
+  (* differential check on tiny universes *)
+  let agree = ref 0 and unsat = ref 0 in
+  for seed = 0 to 40 do
+    let doc = Cudf.Synth.small ~seed () in
+    List.iter
+      (fun stack ->
+        let eng = Cudf.Solver.solve ~stack doc in
+        let ref_best = Cudf.Reference.best ~stack doc in
+        match (eng, ref_best) with
+        | Cudf.Solver.Solution s, Some (rc, _) ->
+          assert (Cudf.Reference.valid_state doc s.Cudf.Solver.state);
+          let norm costs =
+            List.map
+              (fun (p, _) ->
+                (p, try List.assoc p costs with Not_found -> 0))
+              rc
+          in
+          if norm s.Cudf.Solver.costs <> rc then begin
+            Printf.printf "COST MISMATCH seed=%d stack=%s eng=%s ref=%s\n" seed
+              (Cudf.Criteria.name stack)
+              (String.concat ","
+                 (List.map (fun (p, v) -> Printf.sprintf "%d@%d" v p) s.Cudf.Solver.costs))
+              (String.concat ","
+                 (List.map (fun (p, v) -> Printf.sprintf "%d@%d" v p) rc));
+            print_string (Cudf.Doc.to_string doc);
+            exit 1
+          end;
+          incr agree
+        | Cudf.Solver.Unsatisfiable _, None ->
+          incr unsat;
+          incr agree
+        | Cudf.Solver.Solution s, None ->
+          Printf.printf "ENGINE SAT / REF UNSAT seed=%d stack=%s state=%s\n" seed
+            (Cudf.Criteria.name stack)
+            (String.concat " "
+               (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) s.Cudf.Solver.state));
+          print_string (Cudf.Doc.to_string doc);
+          exit 1
+        | Cudf.Solver.Unsatisfiable { reasons; _ }, Some (rc, st) ->
+          Printf.printf "ENGINE UNSAT / REF SAT seed=%d stack=%s refcost=%s refstate=%s\n"
+            seed
+            (Cudf.Criteria.name stack)
+            (String.concat ","
+               (List.map (fun (p, v) -> Printf.sprintf "%d@%d" v p) rc))
+            (String.concat " "
+               (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) st));
+          List.iter print_endline reasons;
+          print_string (Cudf.Doc.to_string doc);
+          exit 1
+        | Cudf.Solver.Interrupted _, _ ->
+          print_endline "interrupted";
+          exit 1)
+      Cudf.Criteria.all
+  done;
+  Printf.printf "differential: %d agreements (%d unsat)\n" !agree !unsat

@@ -258,4 +258,28 @@ print("e4s smoke: %d specs, factgen %.3fs -> %.3fs, peak rss %.0f MB" % (
     m["factgen_streamed_p50_s"], d["peak_rss_mb"]))
 EOF
 
+echo "== CUDF frontend smoke (1k-package universe, both criterion stacks)"
+# the Linux-distro frontend end to end: a 1k-stanza synthetic Debian-like
+# universe must solve to a verified proven optimum under both stacks, and
+# the unsat-core diagnosis must name the offending stanza
+timeout 300 dune exec bench/main.exe -- cudf --quick --json BENCH_cudf_ci.json
+python3 - << 'EOF'
+import json
+d = json.load(open("BENCH_cudf_ci.json"))
+rows = [r for r in d["rows"] if r["experiment"].startswith("cudf-")]
+assert rows, d
+assert all(r["outcome"] == "optimal" and r["verified"] for r in rows), rows
+stacks = {r["experiment"].split("-")[-1] for r in rows}
+assert stacks == {"paranoid", "trendy"}, stacks
+m = d["metrics"]
+assert m["cudf-1000-paranoid_p50_s"] > 0 and m["cudf-1000-trendy_p50_s"] > 0, m
+print("cudf smoke: %d solves, paranoid p50 %.2fs, trendy p50 %.2fs" % (
+    len(rows), m["cudf-1000-paranoid_p50_s"], m["cudf-1000-trendy_p50_s"]))
+EOF
+out=$(timeout 60 dune exec bin/cudf_solve.exe -- --synth 200 --stats)
+echo "$out" | grep -q "optimality proven at every level"
+echo "$out" | grep -q "verified: independent model check passed"
+out=$(timeout 60 dune exec bin/cudf_solve.exe -- --explain "$(dirname "$0")/ci_broken.cudf" || true)
+echo "$out" | grep -q "conflicts with"
+
 echo "== ci OK"
